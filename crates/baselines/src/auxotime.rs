@@ -1,0 +1,286 @@
+//! AuxoTime: the stronger baseline constructed in Section VI-A of the HIGGS
+//! paper by extending Auxo (the state-of-the-art *non-temporal* graph stream
+//! summary) with Horae's temporal-range decomposition scheme.
+//!
+//! One Auxo prefix-embedded tree is kept per dyadic granularity; the dyadic
+//! block id is folded into the edge keys of that layer. AuxoTime-cpt keeps
+//! only every second granularity, like Horae-cpt.
+
+use crate::decompose::{clamp_to_domain, granularities_for_span, RangeDecomposer};
+use higgs_common::hashing::splitmix64;
+use higgs_common::{StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection, VertexId, Weight};
+use higgs_sketch::auxo::{Auxo, AuxoConfig};
+use higgs_sketch::GraphSketch;
+
+/// Configuration of an [`AuxoTime`] summary.
+#[derive(Clone, Copy, Debug)]
+pub struct AuxoTimeConfig {
+    /// Per-layer Auxo configuration.
+    pub auxo: AuxoConfig,
+    /// Number of time slices the stream may span.
+    pub time_slices: u64,
+    /// Keep only every `granularity_step`-th layer (1 = AuxoTime,
+    /// 2 = AuxoTime-cpt).
+    pub granularity_step: u32,
+}
+
+impl Default for AuxoTimeConfig {
+    fn default() -> Self {
+        Self {
+            auxo: AuxoConfig::default(),
+            time_slices: 1 << 16,
+            granularity_step: 1,
+        }
+    }
+}
+
+impl AuxoTimeConfig {
+    /// Sizes the per-layer trees for an expected number of stream items.
+    pub fn for_stream(expected_edges: usize, time_slices: u64) -> Self {
+        let cells_needed = (expected_edges / 2).max(64);
+        let side = ((cells_needed as f64).sqrt().ceil() as usize).next_power_of_two();
+        Self {
+            auxo: AuxoConfig {
+                side,
+                ..Default::default()
+            },
+            time_slices,
+            granularity_step: 1,
+        }
+    }
+
+    /// The compact (-cpt) version of this configuration.
+    pub fn compact(mut self) -> Self {
+        self.granularity_step = 2;
+        self
+    }
+}
+
+/// The AuxoTime temporal graph summary (and, via [`AuxoTime::compact`],
+/// AuxoTime-cpt).
+#[derive(Clone, Debug)]
+pub struct AuxoTime {
+    config: AuxoTimeConfig,
+    decomposer: RangeDecomposer,
+    /// Largest timestamp observed so far (query ranges are clamped to it).
+    max_seen: u64,
+    layers: Vec<Auxo>,
+    compact: bool,
+}
+
+impl AuxoTime {
+    /// Creates a full AuxoTime summary.
+    pub fn new(config: AuxoTimeConfig) -> Self {
+        Self::build(config, false)
+    }
+
+    /// Creates the space-optimised AuxoTime-cpt variant.
+    pub fn compact(config: AuxoTimeConfig) -> Self {
+        Self::build(config.compact(), true)
+    }
+
+    fn build(config: AuxoTimeConfig, compact: bool) -> Self {
+        let max_g = granularities_for_span(config.time_slices);
+        let decomposer = if config.granularity_step <= 1 {
+            RangeDecomposer::full(max_g)
+        } else {
+            RangeDecomposer::compact(max_g, config.granularity_step)
+        };
+        let layers = decomposer
+            .granularities()
+            .iter()
+            .map(|_| Auxo::new(config.auxo))
+            .collect();
+        Self {
+            config,
+            decomposer,
+            layers,
+            max_seen: 0,
+            compact,
+        }
+    }
+
+    /// Number of granularity layers physically present.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The configuration the summary was built with.
+    pub fn config(&self) -> AuxoTimeConfig {
+        self.config
+    }
+
+    #[inline]
+    fn fold(key: VertexId, granularity: u32, block: u64) -> u64 {
+        key ^ splitmix64(block.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) ^ (u64::from(granularity) << 48))
+    }
+
+    fn apply(&mut self, edge: &StreamEdge, delete: bool) {
+        if !delete {
+            self.max_seen = self.max_seen.max(edge.timestamp);
+        }
+        for &g in &self.decomposer.granularities() {
+            let block = edge.timestamp >> g;
+            let s = Self::fold(edge.src, g, block);
+            let d = Self::fold(edge.dst, g, block);
+            let idx = self.decomposer.layer_index(g);
+            if delete {
+                self.layers[idx].delete(s, d, edge.weight);
+            } else {
+                self.layers[idx].insert(s, d, edge.weight);
+            }
+        }
+    }
+}
+
+impl TemporalGraphSummary for AuxoTime {
+    fn insert(&mut self, edge: &StreamEdge) {
+        self.apply(edge, false);
+    }
+
+    fn delete(&mut self, edge: &StreamEdge) {
+        self.apply(edge, true);
+    }
+
+    fn edge_query(&self, src: VertexId, dst: VertexId, range: TimeRange) -> Weight {
+        let Some(range) = clamp_to_domain(range, self.max_seen) else {
+            return 0;
+        };
+        self.decomposer
+            .decompose(range)
+            .into_iter()
+            .map(|(g, block)| {
+                let layer = &self.layers[self.decomposer.layer_index(g)];
+                layer.edge_weight(Self::fold(src, g, block), Self::fold(dst, g, block))
+            })
+            .sum()
+    }
+
+    fn vertex_query(
+        &self,
+        vertex: VertexId,
+        direction: VertexDirection,
+        range: TimeRange,
+    ) -> Weight {
+        let Some(range) = clamp_to_domain(range, self.max_seen) else {
+            return 0;
+        };
+        self.decomposer
+            .decompose(range)
+            .into_iter()
+            .map(|(g, block)| {
+                let layer = &self.layers[self.decomposer.layer_index(g)];
+                let key = Self::fold(vertex, g, block);
+                match direction {
+                    VertexDirection::Out => layer.src_weight(key),
+                    VertexDirection::In => layer.dst_weight(key),
+                }
+            })
+            .sum()
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.layers.iter().map(GraphSketch::space_bytes).sum::<usize>()
+            + std::mem::size_of::<Self>()
+    }
+
+    fn name(&self) -> &'static str {
+        if self.compact {
+            "AuxoTime-cpt"
+        } else {
+            "AuxoTime"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AuxoTimeConfig {
+        AuxoTimeConfig {
+            auxo: AuxoConfig {
+                side: 32,
+                fingerprint_bits: 16,
+                prefix_bits: 2,
+                max_levels: 6,
+            },
+            time_slices: 1 << 10,
+            granularity_step: 1,
+        }
+    }
+
+    #[test]
+    fn edge_query_over_range() {
+        let mut a = AuxoTime::new(cfg());
+        a.insert(&StreamEdge::new(1, 2, 5, 10));
+        a.insert(&StreamEdge::new(1, 2, 3, 20));
+        a.insert(&StreamEdge::new(1, 2, 7, 900));
+        assert_eq!(a.edge_query(1, 2, TimeRange::new(0, 100)), 8);
+        assert_eq!(a.edge_query(1, 2, TimeRange::new(0, 1023)), 15);
+    }
+
+    #[test]
+    fn vertex_query_over_range() {
+        let mut a = AuxoTime::new(cfg());
+        a.insert(&StreamEdge::new(1, 2, 5, 10));
+        a.insert(&StreamEdge::new(1, 3, 2, 11));
+        a.insert(&StreamEdge::new(4, 2, 9, 500));
+        assert!(a.vertex_query(1, VertexDirection::Out, TimeRange::new(0, 100)) >= 7);
+        assert!(a.vertex_query(2, VertexDirection::In, TimeRange::new(0, 1023)) >= 14);
+    }
+
+    #[test]
+    fn compact_variant_has_fewer_layers_and_less_space() {
+        let full = AuxoTime::new(cfg());
+        let cpt = AuxoTime::compact(cfg());
+        assert!(cpt.layer_count() < full.layer_count());
+        assert!(cpt.space_bytes() <= full.space_bytes());
+        assert_eq!(full.name(), "AuxoTime");
+        assert_eq!(cpt.name(), "AuxoTime-cpt");
+    }
+
+    #[test]
+    fn never_underestimates() {
+        let mut a = AuxoTime::new(cfg());
+        let mut truth = std::collections::HashMap::new();
+        for i in 0..1_500u64 {
+            let e = StreamEdge::new(i % 40, (i * 11) % 40, 1, i % 1024);
+            a.insert(&e);
+            *truth.entry((e.src, e.dst)).or_insert(0u64) += 1;
+        }
+        for (&(s, d), &w) in truth.iter().take(100) {
+            assert!(a.edge_query(s, d, TimeRange::new(0, 1023)) >= w);
+        }
+    }
+
+    #[test]
+    fn delete_reverses_insert() {
+        let mut a = AuxoTime::new(cfg());
+        let e = StreamEdge::new(5, 6, 3, 321);
+        a.insert(&e);
+        a.delete(&e);
+        assert_eq!(a.edge_query(5, 6, TimeRange::new(0, 1023)), 0);
+    }
+
+    #[test]
+    fn out_of_range_query_is_zero() {
+        let mut a = AuxoTime::new(cfg());
+        a.insert(&StreamEdge::new(1, 2, 5, 10));
+        assert_eq!(a.edge_query(1, 2, TimeRange::new(512, 1023)), 0);
+    }
+
+    #[test]
+    fn config_for_stream_scales() {
+        let small = AuxoTimeConfig::for_stream(10_000, 1 << 12);
+        let big = AuxoTimeConfig::for_stream(500_000, 1 << 12);
+        assert!(big.auxo.side > small.auxo.side);
+        assert_eq!(small.config_step(), 1);
+    }
+
+    impl AuxoTimeConfig {
+        fn config_step(&self) -> u32 {
+            self.granularity_step
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Top-down temporal-domain range decomposition shared by the baselines.
+//!
+//! PGSS, Horae, and AuxoTime all recursively split the temporal domain into
+//! dyadic granularities: layer `g` covers blocks of `2^g` consecutive time
+//! slices. A query range `[ts, te]` is decomposed into the minimal set of
+//! aligned dyadic blocks drawn from the *available* granularities — the full
+//! variants keep every granularity `0..=max`, while the "-cpt" (compact)
+//! variants keep only every `step`-th granularity, trading extra sub-range
+//! queries (and therefore accuracy and latency) for less space, exactly the
+//! trade-off discussed in Section VI-B.
+
+use higgs_common::TimeRange;
+
+/// Decomposes temporal ranges into aligned dyadic blocks restricted to a set
+/// of available granularities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RangeDecomposer {
+    /// Largest granularity (block size `2^max_granularity`) available.
+    pub max_granularity: u32,
+    /// Only granularities that are multiples of `step` are available
+    /// (`step = 1` keeps every layer; `step = 2` is the "-cpt" layout).
+    pub step: u32,
+}
+
+impl RangeDecomposer {
+    /// Creates a decomposer with all granularities `0..=max_granularity`.
+    pub fn full(max_granularity: u32) -> Self {
+        Self {
+            max_granularity,
+            step: 1,
+        }
+    }
+
+    /// Creates a compact decomposer that only keeps every `step`-th
+    /// granularity (granularity 0 is always kept so single slices remain
+    /// addressable).
+    pub fn compact(max_granularity: u32, step: u32) -> Self {
+        assert!(step >= 1);
+        Self {
+            max_granularity,
+            step,
+        }
+    }
+
+    /// Whether granularity `g` has a physical layer.
+    pub fn is_available(&self, g: u32) -> bool {
+        g <= self.max_granularity && g % self.step == 0
+    }
+
+    /// The granularities that have physical layers, ascending.
+    pub fn granularities(&self) -> Vec<u32> {
+        (0..=self.max_granularity)
+            .filter(|&g| self.is_available(g))
+            .collect()
+    }
+
+    /// Index of granularity `g` among the available layers.
+    pub fn layer_index(&self, g: u32) -> usize {
+        debug_assert!(self.is_available(g));
+        (g / self.step) as usize
+    }
+
+    /// Decomposes `[range.start, range.end]` into `(granularity, block)`
+    /// pairs, where block `k` at granularity `g` covers slices
+    /// `[k·2^g, (k+1)·2^g − 1]`. The blocks are disjoint, aligned, restricted
+    /// to available granularities, and exactly cover the range.
+    pub fn decompose(&self, range: TimeRange) -> Vec<(u32, u64)> {
+        let mut out = Vec::new();
+        let mut lo = range.start;
+        let hi = range.end;
+        let granularities = self.granularities();
+        while lo <= hi {
+            let mut best = 0u32;
+            for &g in &granularities {
+                let block = 1u64 << g;
+                if lo % block == 0 && block - 1 <= hi - lo {
+                    best = g;
+                }
+            }
+            out.push((best, lo >> best));
+            let next = lo.checked_add(1u64 << best);
+            match next {
+                Some(n) => lo = n,
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Upper bound on the number of blocks any range of length `range_len`
+    /// decomposes into (`2·(#layers)` for the full layout; larger for compact
+    /// layouts).
+    pub fn worst_case_blocks(&self, range_len: u64) -> usize {
+        let levels = 64 - range_len.leading_zeros();
+        (2 * levels as usize * self.step as usize).max(1)
+    }
+}
+
+/// Number of dyadic granularities needed to cover a stream spanning
+/// `time_slices` slices (i.e. `⌈log2(time_slices)⌉`, at least 1).
+pub fn granularities_for_span(time_slices: u64) -> u32 {
+    let slices = time_slices.max(2);
+    64 - (slices - 1).leading_zeros()
+}
+
+/// Clamps a query range to the time domain `[0, max_seen]` actually covered
+/// by a summary. Returns `None` when the range lies entirely after the last
+/// observed timestamp (the query result is zero by definition). Without this
+/// clamp an unbounded range such as `TimeRange::all()` would decompose into
+/// an astronomically large number of dyadic blocks.
+pub fn clamp_to_domain(range: TimeRange, max_seen: u64) -> Option<TimeRange> {
+    range.intersect(&TimeRange::new(0, max_seen))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_cover(dec: &RangeDecomposer, range: TimeRange) {
+        let blocks = dec.decompose(range);
+        let mut covered: Vec<(u64, u64)> = blocks
+            .iter()
+            .map(|&(g, k)| (k << g, (k << g) + (1u64 << g) - 1))
+            .collect();
+        covered.sort_unstable();
+        assert_eq!(covered.first().unwrap().0, range.start);
+        assert_eq!(covered.last().unwrap().1, range.end);
+        for w in covered.windows(2) {
+            assert_eq!(w[0].1 + 1, w[1].0, "gap/overlap in {blocks:?}");
+        }
+        for &(g, _) in &blocks {
+            assert!(dec.is_available(g), "used unavailable granularity {g}");
+        }
+    }
+
+    #[test]
+    fn full_decomposition_covers_exactly() {
+        let dec = RangeDecomposer::full(20);
+        for (s, e) in [(0u64, 0u64), (0, 1023), (5, 17), (100, 1000), (7, 8), (1, 1)] {
+            check_cover(&dec, TimeRange::new(s, e));
+        }
+    }
+
+    #[test]
+    fn compact_decomposition_covers_exactly_with_fewer_layers() {
+        let dec = RangeDecomposer::compact(20, 2);
+        for (s, e) in [(0u64, 1023u64), (5, 500), (64, 319)] {
+            check_cover(&dec, TimeRange::new(s, e));
+        }
+    }
+
+    #[test]
+    fn compact_needs_at_least_as_many_blocks() {
+        let full = RangeDecomposer::full(20);
+        let cpt = RangeDecomposer::compact(20, 2);
+        for (s, e) in [(0u64, 1023u64), (3, 801), (17, 905)] {
+            let r = TimeRange::new(s, e);
+            assert!(cpt.decompose(r).len() >= full.decompose(r).len());
+        }
+    }
+
+    #[test]
+    fn aligned_power_of_two_is_one_block() {
+        let dec = RangeDecomposer::full(20);
+        assert_eq!(dec.decompose(TimeRange::new(64, 127)), vec![(6, 1)]);
+    }
+
+    #[test]
+    fn max_granularity_caps_block_size() {
+        let dec = RangeDecomposer::full(3); // blocks of at most 8 slices
+        let blocks = dec.decompose(TimeRange::new(0, 63));
+        assert_eq!(blocks.len(), 8);
+        assert!(blocks.iter().all(|&(g, _)| g <= 3));
+    }
+
+    #[test]
+    fn layer_indexing() {
+        let dec = RangeDecomposer::compact(8, 2);
+        assert_eq!(dec.granularities(), vec![0, 2, 4, 6, 8]);
+        assert_eq!(dec.layer_index(4), 2);
+        assert!(dec.is_available(6));
+        assert!(!dec.is_available(5));
+    }
+
+    #[test]
+    fn granularities_for_span_values() {
+        assert_eq!(granularities_for_span(2), 1);
+        assert_eq!(granularities_for_span(1024), 10);
+        assert_eq!(granularities_for_span(1025), 11);
+        assert!(granularities_for_span(1) >= 1);
+    }
+
+    #[test]
+    fn worst_case_blocks_positive() {
+        let dec = RangeDecomposer::full(16);
+        assert!(dec.worst_case_blocks(1_000) >= 1);
+    }
+}

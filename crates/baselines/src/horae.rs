@@ -1,0 +1,303 @@
+//! Horae (Chen et al., ICDE'22): "A graph stream summarization structure for
+//! efficient temporal range query".
+//!
+//! Horae is the state-of-the-art top-down baseline: one GSS-style
+//! fingerprinted layer per dyadic temporal granularity, with the time prefix
+//! (the dyadic block id) encoded into the edge key of that layer. A temporal
+//! range query is decomposed into per-granularity sub-ranges (Fig. 1a in the
+//! HIGGS paper) and each sub-range becomes one edge/vertex query on the
+//! corresponding layer.
+//!
+//! The compact variant **Horae-cpt** keeps only every second granularity,
+//! halving the number of layers (and roughly the space) at the cost of more
+//! sub-range queries per temporal range — which is exactly why the paper
+//! finds Horae-cpt to be smaller but less accurate and slower to query.
+
+use crate::decompose::{clamp_to_domain, granularities_for_span, RangeDecomposer};
+use higgs_common::hashing::splitmix64;
+use higgs_common::{StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection, VertexId, Weight};
+use higgs_sketch::gss::{Gss, GssConfig};
+use higgs_sketch::GraphSketch;
+
+/// Configuration of a [`Horae`] summary.
+#[derive(Clone, Copy, Debug)]
+pub struct HoraeConfig {
+    /// Side length of each layer's fingerprinted matrix (power of two).
+    pub side: usize,
+    /// Fingerprint bits per endpoint.
+    pub fingerprint_bits: u32,
+    /// Square-hashing candidate positions per endpoint.
+    pub candidates: u32,
+    /// Number of time slices the stream may span.
+    pub time_slices: u64,
+    /// Keep only every `granularity_step`-th layer (1 = full Horae,
+    /// 2 = Horae-cpt).
+    pub granularity_step: u32,
+}
+
+impl Default for HoraeConfig {
+    fn default() -> Self {
+        Self {
+            side: 256,
+            fingerprint_bits: 16,
+            candidates: 4,
+            time_slices: 1 << 16,
+            granularity_step: 1,
+        }
+    }
+}
+
+impl HoraeConfig {
+    /// Sizes the layers for an expected number of stream items.
+    pub fn for_stream(expected_edges: usize, time_slices: u64) -> Self {
+        let cells_needed = (expected_edges / 2).max(64);
+        let side = ((cells_needed as f64).sqrt().ceil() as usize).next_power_of_two();
+        Self {
+            side,
+            time_slices,
+            ..Default::default()
+        }
+    }
+
+    /// The compact (-cpt) version of this configuration.
+    pub fn compact(mut self) -> Self {
+        self.granularity_step = 2;
+        self
+    }
+}
+
+/// The Horae temporal graph summary (and, via [`Horae::compact`], Horae-cpt).
+#[derive(Clone, Debug)]
+pub struct Horae {
+    config: HoraeConfig,
+    decomposer: RangeDecomposer,
+    /// Largest timestamp observed so far (query ranges are clamped to it).
+    max_seen: u64,
+    layers: Vec<Gss>,
+    compact: bool,
+}
+
+impl Horae {
+    /// Creates a full Horae summary.
+    pub fn new(config: HoraeConfig) -> Self {
+        Self::build(config, false)
+    }
+
+    /// Creates the space-optimised Horae-cpt variant.
+    pub fn compact(config: HoraeConfig) -> Self {
+        Self::build(config.compact(), true)
+    }
+
+    fn build(config: HoraeConfig, compact: bool) -> Self {
+        let max_g = granularities_for_span(config.time_slices);
+        let decomposer = if config.granularity_step <= 1 {
+            RangeDecomposer::full(max_g)
+        } else {
+            RangeDecomposer::compact(max_g, config.granularity_step)
+        };
+        let layers = decomposer
+            .granularities()
+            .iter()
+            .map(|_| {
+                Gss::new(GssConfig {
+                    side: config.side,
+                    fingerprint_bits: config.fingerprint_bits,
+                    candidates: config.candidates,
+                })
+            })
+            .collect();
+        Self {
+            config,
+            decomposer,
+            layers,
+            max_seen: 0,
+            compact,
+        }
+    }
+
+    /// Number of granularity layers physically present.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The configuration the summary was built with.
+    pub fn config(&self) -> HoraeConfig {
+        self.config
+    }
+
+    /// Encodes the time prefix (granularity + dyadic block) into a vertex
+    /// key, reproducing Horae's time-prefix embedding.
+    #[inline]
+    fn fold(key: VertexId, granularity: u32, block: u64) -> u64 {
+        key ^ splitmix64(block.wrapping_mul(0xD6E8_FEB8_6659_FD93) ^ (u64::from(granularity) << 56))
+    }
+
+    fn apply(&mut self, edge: &StreamEdge, delete: bool) {
+        if !delete {
+            self.max_seen = self.max_seen.max(edge.timestamp);
+        }
+        for &g in &self.decomposer.granularities() {
+            let block = edge.timestamp >> g;
+            let s = Self::fold(edge.src, g, block);
+            let d = Self::fold(edge.dst, g, block);
+            let idx = self.decomposer.layer_index(g);
+            if delete {
+                self.layers[idx].delete(s, d, edge.weight);
+            } else {
+                self.layers[idx].insert(s, d, edge.weight);
+            }
+        }
+    }
+}
+
+impl TemporalGraphSummary for Horae {
+    fn insert(&mut self, edge: &StreamEdge) {
+        self.apply(edge, false);
+    }
+
+    fn delete(&mut self, edge: &StreamEdge) {
+        self.apply(edge, true);
+    }
+
+    fn edge_query(&self, src: VertexId, dst: VertexId, range: TimeRange) -> Weight {
+        let Some(range) = clamp_to_domain(range, self.max_seen) else {
+            return 0;
+        };
+        self.decomposer
+            .decompose(range)
+            .into_iter()
+            .map(|(g, block)| {
+                let layer = &self.layers[self.decomposer.layer_index(g)];
+                layer.edge_weight(Self::fold(src, g, block), Self::fold(dst, g, block))
+            })
+            .sum()
+    }
+
+    fn vertex_query(
+        &self,
+        vertex: VertexId,
+        direction: VertexDirection,
+        range: TimeRange,
+    ) -> Weight {
+        let Some(range) = clamp_to_domain(range, self.max_seen) else {
+            return 0;
+        };
+        self.decomposer
+            .decompose(range)
+            .into_iter()
+            .map(|(g, block)| {
+                let layer = &self.layers[self.decomposer.layer_index(g)];
+                let key = Self::fold(vertex, g, block);
+                match direction {
+                    VertexDirection::Out => layer.src_weight(key),
+                    VertexDirection::In => layer.dst_weight(key),
+                }
+            })
+            .sum()
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.layers.iter().map(GraphSketch::space_bytes).sum::<usize>()
+            + std::mem::size_of::<Self>()
+    }
+
+    fn name(&self) -> &'static str {
+        if self.compact {
+            "Horae-cpt"
+        } else {
+            "Horae"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HoraeConfig {
+        HoraeConfig {
+            side: 64,
+            fingerprint_bits: 16,
+            candidates: 2,
+            time_slices: 1 << 10,
+            granularity_step: 1,
+        }
+    }
+
+    #[test]
+    fn edge_query_over_range() {
+        let mut h = Horae::new(cfg());
+        h.insert(&StreamEdge::new(1, 2, 5, 10));
+        h.insert(&StreamEdge::new(1, 2, 3, 20));
+        h.insert(&StreamEdge::new(1, 2, 7, 900));
+        assert_eq!(h.edge_query(1, 2, TimeRange::new(0, 100)), 8);
+        assert_eq!(h.edge_query(1, 2, TimeRange::new(0, 1023)), 15);
+        assert_eq!(h.edge_query(1, 2, TimeRange::new(890, 910)), 7);
+    }
+
+    #[test]
+    fn vertex_query_over_range() {
+        let mut h = Horae::new(cfg());
+        h.insert(&StreamEdge::new(1, 2, 5, 10));
+        h.insert(&StreamEdge::new(1, 3, 2, 11));
+        h.insert(&StreamEdge::new(4, 2, 9, 500));
+        assert!(h.vertex_query(1, VertexDirection::Out, TimeRange::new(0, 100)) >= 7);
+        assert!(h.vertex_query(2, VertexDirection::In, TimeRange::new(0, 1023)) >= 14);
+    }
+
+    #[test]
+    fn compact_variant_uses_fewer_layers_and_less_space() {
+        let full = Horae::new(cfg());
+        let cpt = Horae::compact(cfg());
+        assert!(cpt.layer_count() < full.layer_count());
+        assert!(cpt.space_bytes() < full.space_bytes());
+        assert_eq!(full.name(), "Horae");
+        assert_eq!(cpt.name(), "Horae-cpt");
+    }
+
+    #[test]
+    fn compact_variant_is_still_correct_on_clean_streams() {
+        let mut cpt = Horae::compact(cfg());
+        cpt.insert(&StreamEdge::new(10, 20, 4, 100));
+        cpt.insert(&StreamEdge::new(10, 20, 6, 612));
+        assert_eq!(cpt.edge_query(10, 20, TimeRange::new(0, 1023)), 10);
+        assert_eq!(cpt.edge_query(10, 20, TimeRange::new(90, 110)), 4);
+    }
+
+    #[test]
+    fn never_underestimates() {
+        let mut h = Horae::new(cfg());
+        let mut truth = std::collections::HashMap::new();
+        for i in 0..2_000u64 {
+            let e = StreamEdge::new(i % 60, (i * 7) % 60, 1, i % 1024);
+            h.insert(&e);
+            *truth.entry((e.src, e.dst)).or_insert(0u64) += 1;
+        }
+        for (&(s, d), &w) in truth.iter().take(200) {
+            assert!(h.edge_query(s, d, TimeRange::new(0, 1023)) >= w);
+        }
+    }
+
+    #[test]
+    fn delete_reverses_insert() {
+        let mut h = Horae::new(cfg());
+        let e = StreamEdge::new(3, 9, 2, 77);
+        h.insert(&e);
+        h.delete(&e);
+        assert_eq!(h.edge_query(3, 9, TimeRange::new(0, 1023)), 0);
+    }
+
+    #[test]
+    fn out_of_range_query_is_zero() {
+        let mut h = Horae::new(cfg());
+        h.insert(&StreamEdge::new(1, 2, 5, 10));
+        assert_eq!(h.edge_query(1, 2, TimeRange::new(512, 1023)), 0);
+    }
+
+    #[test]
+    fn config_for_stream_scales() {
+        let a = HoraeConfig::for_stream(10_000, 1 << 12);
+        let b = HoraeConfig::for_stream(500_000, 1 << 12);
+        assert!(b.side > a.side);
+    }
+}

@@ -1,0 +1,35 @@
+//! # higgs-baselines
+//!
+//! Temporal-range-query (TRQ) baselines from the HIGGS evaluation
+//! (Section VI-A): the state-of-the-art competitors that HIGGS is compared
+//! against. All of them follow the *top-down, temporal-domain-based*
+//! multi-layer architecture of Fig. 1a — each layer summarises the whole
+//! stream at one temporal granularity, and a query range is decomposed into
+//! per-layer sub-ranges — in contrast to HIGGS's bottom-up, item-based tree.
+//!
+//! * [`Pgss`] — PGSS (WWW'23): TCM-style matrices whose buckets hold one
+//!   counter per dyadic time granularity.
+//! * [`Horae`] — Horae (ICDE'22): one fingerprinted (GSS-style) layer per
+//!   dyadic granularity, with the time prefix folded into the edge key.
+//!   [`Horae::compact`] builds the space-optimised Horae-cpt variant.
+//! * [`AuxoTime`] — the stronger baseline constructed in the paper by
+//!   combining Auxo's prefix-embedded tree with Horae's range decomposition.
+//!   [`AuxoTime::compact`] builds AuxoTime-cpt.
+//!
+//! Every baseline implements
+//! [`TemporalGraphSummary`](higgs_common::TemporalGraphSummary), so the
+//! benchmark harness can drive HIGGS and the baselines through identical
+//! query code.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod auxotime;
+pub mod decompose;
+pub mod horae;
+pub mod pgss;
+
+pub use auxotime::{AuxoTime, AuxoTimeConfig};
+pub use decompose::{granularities_for_span, RangeDecomposer};
+pub use horae::{Horae, HoraeConfig};
+pub use pgss::{Pgss, PgssConfig};

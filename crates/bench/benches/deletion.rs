@@ -1,0 +1,43 @@
+//! Criterion bench for Fig. 18: deletion throughput of every competitor.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use higgs_bench::competitors::CompetitorKind;
+use higgs_common::generator::{DatasetPreset, ExperimentScale};
+use std::hint::black_box;
+
+fn bench_deletion(c: &mut Criterion) {
+    let stream = DatasetPreset::Lkml.generate(ExperimentScale::Smoke);
+    let slices = stream.time_span().unwrap().end.next_power_of_two();
+    let delete_count = stream.len() / 10;
+    let mut group = c.benchmark_group("deletion_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(delete_count as u64));
+    for kind in CompetitorKind::all() {
+        let mut loaded = kind.build(stream.len(), slices);
+        loaded.insert_all(stream.edges());
+        group.bench_with_input(
+            BenchmarkId::new(kind.label(), delete_count),
+            &stream,
+            |b, stream| {
+                b.iter_batched(
+                    || (),
+                    |_| {
+                        for e in stream.edges().iter().take(delete_count) {
+                            loaded.delete(e);
+                        }
+                        // Re-insert so successive iterations stay balanced.
+                        for e in stream.edges().iter().take(delete_count) {
+                            loaded.insert(e);
+                        }
+                        black_box(())
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_deletion);
+criterion_main!(benches);

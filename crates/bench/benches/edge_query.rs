@@ -1,0 +1,39 @@
+//! Criterion bench for Fig. 10(g–i): edge-query latency of every competitor
+//! as the query range length grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use higgs_bench::competitors::CompetitorKind;
+use higgs_common::generator::{DatasetPreset, ExperimentScale, WorkloadBuilder};
+use std::hint::black_box;
+
+fn bench_edge_queries(c: &mut Criterion) {
+    let stream = DatasetPreset::Lkml.generate(ExperimentScale::Smoke);
+    let slices = stream.time_span().unwrap().end.next_power_of_two();
+    let mut group = c.benchmark_group("edge_query_latency");
+    group.sample_size(20);
+    for kind in CompetitorKind::all() {
+        let mut summary = kind.build(stream.len(), slices);
+        summary.insert_all(stream.edges());
+        for lq in [100u64, 10_000, 1_000_000] {
+            let mut builder = WorkloadBuilder::new(&stream, 42);
+            let queries = builder.edge_queries(64, lq);
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), lq),
+                &queries,
+                |b, queries| {
+                    b.iter(|| {
+                        let mut acc = 0u64;
+                        for q in queries {
+                            acc += summary.edge_query(q.src, q.dst, q.range);
+                        }
+                        black_box(acc)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_edge_queries);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for Fig. 16/17: insertion throughput and latency of every
+//! competitor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use higgs_bench::competitors::CompetitorKind;
+use higgs_common::generator::{DatasetPreset, ExperimentScale};
+use std::hint::black_box;
+
+fn bench_insertion(c: &mut Criterion) {
+    let stream = DatasetPreset::Lkml.generate(ExperimentScale::Smoke);
+    let slices = stream.time_span().unwrap().end.next_power_of_two();
+    let mut group = c.benchmark_group("insertion_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for kind in CompetitorKind::all() {
+        group.bench_with_input(
+            BenchmarkId::new(kind.label(), stream.len()),
+            stream.edges(),
+            |b, edges| {
+                b.iter(|| {
+                    let mut summary = kind.build(edges.len(), slices);
+                    summary.insert_all(edges);
+                    black_box(summary.space_bytes())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insertion);
+criterion_main!(benches);

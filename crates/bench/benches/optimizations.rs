@@ -1,0 +1,84 @@
+//! Criterion bench for Fig. 20/21: the HIGGS optimisation ablations
+//! (parallel insertion, multiple mapping buckets, overflow blocks) and the
+//! leaf-matrix-size parameter sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use higgs::{HiggsConfig, HiggsSummary, ParallelHiggs};
+use higgs_common::generator::{DatasetPreset, ExperimentScale, WorkloadBuilder};
+use higgs_common::TemporalGraphSummary;
+use std::hint::black_box;
+
+fn bench_parallel_insertion(c: &mut Criterion) {
+    let stream = DatasetPreset::Lkml.generate(ExperimentScale::Smoke);
+    let mut group = c.benchmark_group("fig20a_parallelisation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut s = HiggsSummary::new(HiggsConfig::paper_default());
+            s.insert_all(stream.edges());
+            black_box(s.leaf_count())
+        })
+    });
+    group.bench_function("parallel_4_workers", |b| {
+        b.iter(|| {
+            let mut s = ParallelHiggs::new(HiggsConfig::paper_default(), 4);
+            s.insert_all(stream.edges());
+            s.flush();
+            black_box(s.summary().leaf_count())
+        })
+    });
+    group.finish();
+}
+
+fn bench_mmb_and_ob(c: &mut Criterion) {
+    let stream = DatasetPreset::Lkml.generate(ExperimentScale::Smoke);
+    let mut group = c.benchmark_group("fig20b_ablation_insertion");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for (label, config) in [
+        ("full", HiggsConfig::paper_default()),
+        ("no_mmb", HiggsConfig::paper_default().without_mmb()),
+        ("no_ob", HiggsConfig::paper_default().without_overflow_blocks()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut s = HiggsSummary::new(config);
+                s.insert_all(stream.edges());
+                black_box(s.space_bytes())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_d1_sweep(c: &mut Criterion) {
+    let stream = DatasetPreset::Lkml.generate(ExperimentScale::Smoke);
+    let lq = stream.time_span().unwrap().len() / 8;
+    let mut group = c.benchmark_group("fig21_d1_query_latency");
+    group.sample_size(15);
+    for d1 in [4u64, 16, 64] {
+        let mut summary = HiggsSummary::new(HiggsConfig::paper_default().with_d1(d1));
+        summary.insert_all(stream.edges());
+        let mut builder = WorkloadBuilder::new(&stream, 46);
+        let queries = builder.edge_queries(64, lq);
+        group.bench_with_input(BenchmarkId::new("edge_query", d1), &queries, |b, qs| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for q in qs {
+                    acc += summary.edge_query(q.src, q.dst, q.range);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parallel_insertion,
+    bench_mmb_and_ob,
+    bench_d1_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench for Fig. 12/13: path and subgraph query latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use higgs_bench::competitors::CompetitorKind;
+use higgs_common::generator::{DatasetPreset, ExperimentScale, WorkloadBuilder};
+use higgs_common::SummaryExt;
+use std::hint::black_box;
+
+fn bench_composite_queries(c: &mut Criterion) {
+    let stream = DatasetPreset::Lkml.generate(ExperimentScale::Smoke);
+    let slices = stream.time_span().unwrap().end.next_power_of_two();
+    let lq = stream.time_span().unwrap().len() / 4;
+
+    let mut group = c.benchmark_group("path_query_latency");
+    group.sample_size(15);
+    for kind in [CompetitorKind::Higgs, CompetitorKind::Horae, CompetitorKind::Pgss] {
+        let mut summary = kind.build(stream.len(), slices);
+        summary.insert_all(stream.edges());
+        for hops in [2usize, 4, 6] {
+            let mut builder = WorkloadBuilder::new(&stream, 44);
+            let queries = builder.path_queries(16, hops, lq);
+            group.bench_with_input(BenchmarkId::new(kind.label(), hops), &queries, |b, qs| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for q in qs {
+                        acc += summary.path_query(q);
+                    }
+                    black_box(acc)
+                })
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("subgraph_query_latency");
+    group.sample_size(15);
+    for kind in [CompetitorKind::Higgs, CompetitorKind::Horae, CompetitorKind::Pgss] {
+        let mut summary = kind.build(stream.len(), slices);
+        summary.insert_all(stream.edges());
+        for size in [50usize, 200] {
+            let mut builder = WorkloadBuilder::new(&stream, 45);
+            let queries = builder.subgraph_queries(4, size, lq);
+            group.bench_with_input(BenchmarkId::new(kind.label(), size), &queries, |b, qs| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for q in qs {
+                        acc += summary.subgraph_query(q);
+                    }
+                    black_box(acc)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_composite_queries);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for Fig. 11(g–i): vertex-query latency of every
+//! competitor as the query range length grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use higgs_bench::competitors::CompetitorKind;
+use higgs_common::generator::{DatasetPreset, ExperimentScale, WorkloadBuilder};
+use std::hint::black_box;
+
+fn bench_vertex_queries(c: &mut Criterion) {
+    let stream = DatasetPreset::Lkml.generate(ExperimentScale::Smoke);
+    let slices = stream.time_span().unwrap().end.next_power_of_two();
+    let mut group = c.benchmark_group("vertex_query_latency");
+    group.sample_size(20);
+    for kind in CompetitorKind::all() {
+        let mut summary = kind.build(stream.len(), slices);
+        summary.insert_all(stream.edges());
+        for lq in [100u64, 1_000_000] {
+            let mut builder = WorkloadBuilder::new(&stream, 43);
+            let queries = builder.vertex_queries(16, lq);
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), lq),
+                &queries,
+                |b, queries| {
+                    b.iter(|| {
+                        let mut acc = 0u64;
+                        for q in queries {
+                            acc += summary.vertex_query(q.vertex, q.direction, q.range);
+                        }
+                        black_box(acc)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vertex_queries);
+criterion_main!(benches);

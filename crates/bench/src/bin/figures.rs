@@ -1,0 +1,85 @@
+//! Regenerates the tables and figures of the HIGGS evaluation (Section VI).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p higgs-bench --release --bin figures -- <experiment> [--scale smoke|default|paper]
+//!
+//! experiments:
+//!   table2   fig2   fig3
+//!   fig10    fig11  fig12  fig13   (fig12/fig13 run together as `composite`)
+//!   fig14    fig15
+//!   fig16 | fig17 | fig18 | fig19  (run together as `update`)
+//!   fig20a | fig20b                (run together as `fig20`)
+//!   fig21
+//!   all
+//! ```
+
+use higgs_bench::experiments::{
+    accuracy_experiment, composite_experiment, fig2, fig3, irregularity_experiment,
+    optimization_experiment, parameter_experiment, table2, update_cost_experiment,
+    ExperimentConfig, QueryKind,
+};
+use higgs_bench::report::Report;
+use higgs_common::generator::ExperimentScale;
+
+fn parse_scale(args: &[String]) -> ExperimentScale {
+    if let Some(pos) = args.iter().position(|a| a == "--scale") {
+        match args.get(pos + 1).map(String::as_str) {
+            Some("smoke") => ExperimentScale::Smoke,
+            Some("paper") => ExperimentScale::Paper,
+            _ => ExperimentScale::Default,
+        }
+    } else {
+        ExperimentScale::Default
+    }
+}
+
+fn run(name: &str, cfg: &ExperimentConfig) -> Vec<Report> {
+    match name {
+        "table2" => table2(cfg),
+        "fig2" => fig2(cfg),
+        "fig3" => fig3(cfg),
+        "fig10" => accuracy_experiment(cfg, QueryKind::Edge),
+        "fig11" => accuracy_experiment(cfg, QueryKind::Vertex),
+        "fig12" | "fig13" | "composite" => composite_experiment(cfg),
+        "fig14" => irregularity_experiment(cfg, false),
+        "fig15" => irregularity_experiment(cfg, true),
+        "fig16" | "fig17" | "fig18" | "fig19" | "update" => update_cost_experiment(cfg),
+        "fig20" | "fig20a" | "fig20b" => optimization_experiment(cfg),
+        "fig21" => parameter_experiment(cfg),
+        _ => Vec::new(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = parse_scale(&args);
+    let cfg = ExperimentConfig::for_scale(scale);
+    let skip: [&str; 4] = ["--scale", "smoke", "default", "paper"];
+    let experiment = args
+        .iter()
+        .find(|a| !skip.contains(&a.as_str()))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    let names: Vec<&str> = if experiment == "all" {
+        vec![
+            "table2", "fig2", "fig3", "fig10", "fig11", "composite", "fig14", "fig15", "update",
+            "fig20", "fig21",
+        ]
+    } else {
+        vec![experiment.as_str()]
+    };
+
+    for name in names {
+        let reports = run(name, &cfg);
+        if reports.is_empty() {
+            eprintln!("unknown experiment: {name}");
+            std::process::exit(2);
+        }
+        for r in reports {
+            r.print();
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The six competitors of the paper's evaluation (Section VI-A): HIGGS and
+//! the five baselines, built with comparable parameters so that hash ranges
+//! (and hence collision behaviour) are matched, as the paper does.
+
+use higgs::{HiggsConfig, HiggsSummary, ParallelHiggs};
+use higgs_baselines::{AuxoTime, AuxoTimeConfig, Horae, HoraeConfig, Pgss, PgssConfig};
+use higgs_common::TemporalGraphSummary;
+
+/// Identifies one competitor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompetitorKind {
+    /// HIGGS with the paper-default configuration.
+    Higgs,
+    /// PGSS (WWW'23).
+    Pgss,
+    /// Horae (ICDE'22).
+    Horae,
+    /// Horae-cpt (space-optimised Horae).
+    HoraeCpt,
+    /// AuxoTime (Auxo + Horae range decomposition).
+    AuxoTime,
+    /// AuxoTime-cpt.
+    AuxoTimeCpt,
+}
+
+impl CompetitorKind {
+    /// All competitors in the order the paper's figures list them.
+    pub fn all() -> [CompetitorKind; 6] {
+        [
+            CompetitorKind::Higgs,
+            CompetitorKind::Pgss,
+            CompetitorKind::Horae,
+            CompetitorKind::HoraeCpt,
+            CompetitorKind::AuxoTime,
+            CompetitorKind::AuxoTimeCpt,
+        ]
+    }
+
+    /// Human-readable label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CompetitorKind::Higgs => "HIGGS",
+            CompetitorKind::Pgss => "PGSS",
+            CompetitorKind::Horae => "Horae",
+            CompetitorKind::HoraeCpt => "Horae-cpt",
+            CompetitorKind::AuxoTime => "AuxoTime",
+            CompetitorKind::AuxoTimeCpt => "AuxoTime-cpt",
+        }
+    }
+
+    /// Builds an empty summary of this kind sized for `expected_edges` stream
+    /// items over `time_slices` time slices.
+    pub fn build(
+        &self,
+        expected_edges: usize,
+        time_slices: u64,
+    ) -> Box<dyn TemporalGraphSummary + Send> {
+        match self {
+            CompetitorKind::Higgs => Box::new(HiggsSummary::new(HiggsConfig::paper_default())),
+            CompetitorKind::Pgss => {
+                Box::new(Pgss::new(PgssConfig::for_stream(expected_edges, time_slices)))
+            }
+            CompetitorKind::Horae => Box::new(Horae::new(HoraeConfig::for_stream(
+                expected_edges,
+                time_slices,
+            ))),
+            CompetitorKind::HoraeCpt => Box::new(Horae::compact(HoraeConfig::for_stream(
+                expected_edges,
+                time_slices,
+            ))),
+            CompetitorKind::AuxoTime => Box::new(AuxoTime::new(AuxoTimeConfig::for_stream(
+                expected_edges,
+                time_slices,
+            ))),
+            CompetitorKind::AuxoTimeCpt => Box::new(AuxoTime::compact(
+                AuxoTimeConfig::for_stream(expected_edges, time_slices),
+            )),
+        }
+    }
+}
+
+/// Builds every competitor for a stream of `expected_edges` items over
+/// `time_slices` slices.
+pub fn build_competitors(
+    expected_edges: usize,
+    time_slices: u64,
+) -> Vec<Box<dyn TemporalGraphSummary + Send>> {
+    CompetitorKind::all()
+        .into_iter()
+        .map(|k| k.build(expected_edges, time_slices))
+        .collect()
+}
+
+/// Builds a HIGGS instance wrapped in the parallel insertion pipeline
+/// (Fig. 20a ablation).
+pub fn build_parallel_higgs(workers: usize) -> ParallelHiggs {
+    ParallelHiggs::new(HiggsConfig::paper_default(), workers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use higgs_common::{StreamEdge, TimeRange};
+
+    #[test]
+    fn all_competitors_build_and_answer_queries() {
+        for kind in CompetitorKind::all() {
+            let mut s = kind.build(10_000, 1 << 12);
+            s.insert(&StreamEdge::new(1, 2, 5, 100));
+            assert_eq!(
+                s.edge_query(1, 2, TimeRange::new(0, 4000)),
+                5,
+                "{} failed",
+                kind.label()
+            );
+            assert_eq!(s.name(), kind.label());
+            assert!(s.space_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn build_competitors_returns_all_six() {
+        let all = build_competitors(1_000, 1024);
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn parallel_higgs_builder_works() {
+        let mut p = build_parallel_higgs(2);
+        p.insert(&StreamEdge::new(3, 4, 1, 7));
+        assert_eq!(p.edge_query(3, 4, TimeRange::all()), 1);
+    }
+}

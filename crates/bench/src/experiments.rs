@@ -1,0 +1,611 @@
+//! Experiment drivers: one function per table/figure of the paper's
+//! evaluation (Section VI). The `figures` binary and the Criterion benches
+//! both call into this module so the numbers they report come from the same
+//! code paths.
+
+use crate::competitors::{build_parallel_higgs, CompetitorKind};
+use crate::report::{fmt_metric, Report, Row};
+use higgs::{HiggsConfig, HiggsSummary};
+use higgs_common::generator::presets::{skewness_sweep, variance_sweep};
+use higgs_common::generator::{DatasetPreset, ExperimentScale, WorkloadBuilder};
+use higgs_common::metrics::{
+    arrival_histogram, arrival_variance, degree_distribution, format_mib, powerlaw_exponent,
+};
+use higgs_common::{
+    EdgeQuery, ErrorStats, ExactTemporalGraph, GraphStream, SummaryExt, TemporalGraphSummary,
+    ThroughputStats, VertexQuery,
+};
+use std::time::Instant;
+
+/// Knobs shared by every experiment run.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Stream scale (smoke / default / paper-sized).
+    pub scale: ExperimentScale,
+    /// Number of edge queries per range length.
+    pub edge_queries: usize,
+    /// Number of vertex queries per range length.
+    pub vertex_queries: usize,
+    /// Query range lengths (the paper sweeps 10^1..10^7; scaled runs use a
+    /// subset capped at the stream span).
+    pub lq_values: Vec<u64>,
+    /// Path/subgraph queries per configuration.
+    pub composite_queries: usize,
+    /// RNG seed for workload sampling.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// Configuration for a given stream scale.
+    pub fn for_scale(scale: ExperimentScale) -> Self {
+        match scale {
+            ExperimentScale::Smoke => Self {
+                scale,
+                edge_queries: 50,
+                vertex_queries: 20,
+                lq_values: vec![10, 1_000, 100_000],
+                composite_queries: 5,
+                seed: 7,
+            },
+            ExperimentScale::Default => Self {
+                scale,
+                edge_queries: 300,
+                vertex_queries: 60,
+                lq_values: vec![10, 100, 1_000, 10_000, 100_000, 1_000_000],
+                composite_queries: 20,
+                seed: 7,
+            },
+            ExperimentScale::Paper => Self {
+                scale,
+                edge_queries: 2_000,
+                vertex_queries: 300,
+                lq_values: vec![10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000],
+                composite_queries: 100,
+                seed: 7,
+            },
+        }
+    }
+
+    fn sweep_sizes(&self) -> (usize, usize) {
+        match self.scale {
+            ExperimentScale::Smoke => (1_000, 8_000),
+            ExperimentScale::Default => (10_000, 60_000),
+            ExperimentScale::Paper => (100_000, 600_000),
+        }
+    }
+}
+
+/// Builds every competitor and feeds the stream through it, returning the
+/// loaded summaries together with per-method insertion timings.
+fn load_all(
+    stream: &GraphStream,
+) -> Vec<(CompetitorKind, Box<dyn TemporalGraphSummary + Send>, f64)> {
+    let slices = stream
+        .time_span()
+        .map(|s| s.end + 1)
+        .unwrap_or(1 << 16)
+        .next_power_of_two();
+    CompetitorKind::all()
+        .into_iter()
+        .map(|kind| {
+            let mut summary = kind.build(stream.len(), slices);
+            let start = Instant::now();
+            summary.insert_all(stream.edges());
+            let secs = start.elapsed().as_secs_f64();
+            (kind, summary, secs)
+        })
+        .collect()
+}
+
+fn error_stats_for_edges(
+    summary: &dyn TemporalGraphSummary,
+    exact: &ExactTemporalGraph,
+    queries: &[EdgeQuery],
+) -> (ErrorStats, f64) {
+    let mut stats = ErrorStats::new();
+    let start = Instant::now();
+    for q in queries {
+        let est = summary.edge_query(q.src, q.dst, q.range);
+        let truth = exact.edge_query(q.src, q.dst, q.range);
+        stats.record(truth, est);
+    }
+    let us = start.elapsed().as_secs_f64() * 1e6 / queries.len().max(1) as f64;
+    (stats, us)
+}
+
+fn error_stats_for_vertices(
+    summary: &dyn TemporalGraphSummary,
+    exact: &ExactTemporalGraph,
+    queries: &[VertexQuery],
+) -> (ErrorStats, f64) {
+    let mut stats = ErrorStats::new();
+    let start = Instant::now();
+    for q in queries {
+        let est = summary.vertex_query(q.vertex, q.direction, q.range);
+        let truth = exact.vertex_query(q.vertex, q.direction, q.range);
+        stats.record(truth, est);
+    }
+    let us = start.elapsed().as_secs_f64() * 1e6 / queries.len().max(1) as f64;
+    (stats, us)
+}
+
+/// Table II: dataset summary statistics.
+pub fn table2(cfg: &ExperimentConfig) -> Vec<Report> {
+    let mut report = Report::new(
+        "Table II — Summary of datasets (scaled presets)",
+        vec!["nodes", "edges", "distinct edges", "time span"],
+    );
+    for preset in DatasetPreset::all() {
+        let stream = preset.generate(cfg.scale);
+        let stats = stream.stats();
+        report.push(Row::new(
+            preset.label(),
+            vec![
+                stats.vertices.to_string(),
+                stats.edges.to_string(),
+                stats.distinct_edges.to_string(),
+                stats
+                    .time_span
+                    .map(|s| format!("{s}"))
+                    .unwrap_or_else(|| "-".into()),
+            ],
+        ));
+    }
+    vec![report]
+}
+
+/// Fig. 2: skewness of vertex degrees (log-binned degree distribution and
+/// fitted power-law exponent per dataset).
+pub fn fig2(cfg: &ExperimentConfig) -> Vec<Report> {
+    let mut reports = Vec::new();
+    for preset in DatasetPreset::all() {
+        let stream = preset.generate(cfg.scale);
+        let dist = degree_distribution(&stream);
+        let mut report = Report::new(
+            format!(
+                "Fig. 2 — Vertex-degree skewness ({}; fitted exponent {:.2})",
+                preset.label(),
+                powerlaw_exponent(&stream)
+            ),
+            vec!["#vertices"],
+        );
+        for point in dist {
+            report.push(Row::new(
+                format!("degree≥{}", point.degree),
+                vec![point.vertices.to_string()],
+            ));
+        }
+        reports.push(report);
+    }
+    reports
+}
+
+/// Fig. 3: irregularity of stream arrivals (hottest slices and variance).
+pub fn fig3(cfg: &ExperimentConfig) -> Vec<Report> {
+    let mut reports = Vec::new();
+    for preset in DatasetPreset::all() {
+        let stream = preset.generate(cfg.scale);
+        let slice = (stream.time_span().map(|s| s.len()).unwrap_or(1) / 64).max(1);
+        let mut hist = arrival_histogram(&stream, slice);
+        hist.sort_by_key(|p| std::cmp::Reverse(p.arrivals));
+        let mut report = Report::new(
+            format!(
+                "Fig. 3 — Arrival irregularity ({}; per-slice variance {:.1})",
+                preset.label(),
+                arrival_variance(&stream, slice)
+            ),
+            vec!["arrivals"],
+        );
+        for p in hist.iter().take(10) {
+            report.push(Row::new(format!("slice {}", p.slice), vec![p.arrivals.to_string()]));
+        }
+        reports.push(report);
+    }
+    reports
+}
+
+/// Which TRQ primitive an accuracy experiment exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Edge queries (Fig. 10).
+    Edge,
+    /// Vertex queries (Fig. 11).
+    Vertex,
+}
+
+/// Figs. 10 & 11: AAE / ARE / latency of edge (or vertex) queries versus the
+/// query range length, per dataset and method.
+pub fn accuracy_experiment(cfg: &ExperimentConfig, kind: QueryKind) -> Vec<Report> {
+    let fig = match kind {
+        QueryKind::Edge => "Fig. 10",
+        QueryKind::Vertex => "Fig. 11",
+    };
+    let mut reports = Vec::new();
+    for preset in DatasetPreset::all() {
+        let stream = preset.generate(cfg.scale);
+        let exact = ExactTemporalGraph::from_edges(stream.edges());
+        let loaded = load_all(&stream);
+        let lq_cols: Vec<String> = cfg.lq_values.iter().map(|lq| format!("Lq=1e{}", (*lq as f64).log10() as u32)).collect();
+        let mut aae = Report::new(
+            format!("{fig} — {} query AAE ({})", kind_label(kind), preset.label()),
+            lq_cols.iter().map(String::as_str).collect(),
+        );
+        let mut are = Report::new(
+            format!("{fig} — {} query ARE ({})", kind_label(kind), preset.label()),
+            lq_cols.iter().map(String::as_str).collect(),
+        );
+        let mut latency = Report::new(
+            format!(
+                "{fig} — {} query latency, µs ({})",
+                kind_label(kind),
+                preset.label()
+            ),
+            lq_cols.iter().map(String::as_str).collect(),
+        );
+        for (knd, summary, _) in &loaded {
+            let mut aae_vals = Vec::new();
+            let mut are_vals = Vec::new();
+            let mut lat_vals = Vec::new();
+            for &lq in &cfg.lq_values {
+                let mut builder = WorkloadBuilder::new(&stream, cfg.seed ^ lq);
+                let (stats, us) = match kind {
+                    QueryKind::Edge => {
+                        let queries = builder.edge_queries(cfg.edge_queries, lq);
+                        error_stats_for_edges(summary.as_ref(), &exact, &queries)
+                    }
+                    QueryKind::Vertex => {
+                        let queries = builder.vertex_queries(cfg.vertex_queries, lq);
+                        error_stats_for_vertices(summary.as_ref(), &exact, &queries)
+                    }
+                };
+                aae_vals.push(fmt_metric(stats.aae()));
+                are_vals.push(fmt_metric(stats.are()));
+                lat_vals.push(fmt_metric(us));
+            }
+            aae.push(Row::new(knd.label(), aae_vals));
+            are.push(Row::new(knd.label(), are_vals));
+            latency.push(Row::new(knd.label(), lat_vals));
+        }
+        reports.push(aae);
+        reports.push(are);
+        reports.push(latency);
+    }
+    reports
+}
+
+fn kind_label(kind: QueryKind) -> &'static str {
+    match kind {
+        QueryKind::Edge => "edge",
+        QueryKind::Vertex => "vertex",
+    }
+}
+
+/// Figs. 12 & 13: path queries versus hop count and subgraph queries versus
+/// subgraph size (temporal range fixed, as in the paper).
+pub fn composite_experiment(cfg: &ExperimentConfig) -> Vec<Report> {
+    let preset = DatasetPreset::Lkml;
+    let stream = preset.generate(cfg.scale);
+    let exact = ExactTemporalGraph::from_edges(stream.edges());
+    let loaded = load_all(&stream);
+    let lq = stream.time_span().map(|s| s.len() / 4).unwrap_or(1_000);
+
+    let hop_cols: Vec<String> = (1..=7).map(|h| format!("{h} hops")).collect();
+    let mut path_aae = Report::new(
+        format!("Fig. 12 — Path query AAE ({})", preset.label()),
+        hop_cols.iter().map(String::as_str).collect(),
+    );
+    let mut path_lat = Report::new(
+        format!("Fig. 12 — Path query latency, µs ({})", preset.label()),
+        hop_cols.iter().map(String::as_str).collect(),
+    );
+    let size_values: Vec<usize> = (1..=7).map(|i| i * 50).collect();
+    let size_cols: Vec<String> = size_values.iter().map(|s| format!("{s} edges")).collect();
+    let mut sub_aae = Report::new(
+        format!("Fig. 13 — Subgraph query AAE ({})", preset.label()),
+        size_cols.iter().map(String::as_str).collect(),
+    );
+    let mut sub_lat = Report::new(
+        format!("Fig. 13 — Subgraph query latency, µs ({})", preset.label()),
+        size_cols.iter().map(String::as_str).collect(),
+    );
+
+    for (kind, summary, _) in &loaded {
+        let mut aae_vals = Vec::new();
+        let mut lat_vals = Vec::new();
+        for hops in 1..=7usize {
+            let mut builder = WorkloadBuilder::new(&stream, cfg.seed + hops as u64);
+            let queries = builder.path_queries(cfg.composite_queries, hops, lq);
+            let mut stats = ErrorStats::new();
+            let start = Instant::now();
+            for q in &queries {
+                stats.record(exact.path_query(q), summary.path_query(q));
+            }
+            let us = start.elapsed().as_secs_f64() * 1e6 / queries.len().max(1) as f64;
+            aae_vals.push(fmt_metric(stats.aae()));
+            lat_vals.push(fmt_metric(us));
+        }
+        path_aae.push(Row::new(kind.label(), aae_vals));
+        path_lat.push(Row::new(kind.label(), lat_vals));
+
+        let mut aae_vals = Vec::new();
+        let mut lat_vals = Vec::new();
+        for &size in &size_values {
+            let mut builder = WorkloadBuilder::new(&stream, cfg.seed + size as u64);
+            let queries = builder.subgraph_queries(cfg.composite_queries.max(3) / 3, size, lq);
+            let mut stats = ErrorStats::new();
+            let start = Instant::now();
+            for q in &queries {
+                stats.record(exact.subgraph_query(q), summary.subgraph_query(q));
+            }
+            let us = start.elapsed().as_secs_f64() * 1e6 / queries.len().max(1) as f64;
+            aae_vals.push(fmt_metric(stats.aae()));
+            lat_vals.push(fmt_metric(us));
+        }
+        sub_aae.push(Row::new(kind.label(), aae_vals));
+        sub_lat.push(Row::new(kind.label(), lat_vals));
+    }
+    vec![path_aae, path_lat, sub_aae, sub_lat]
+}
+
+/// Figs. 14 & 15: vertex-query accuracy and update cost under varying degree
+/// skewness and arrival variance.
+pub fn irregularity_experiment(cfg: &ExperimentConfig, by_variance: bool) -> Vec<Report> {
+    let (nodes, edges) = cfg.sweep_sizes();
+    let datasets: Vec<(String, GraphStream)> = if by_variance {
+        variance_sweep(nodes, edges)
+            .into_iter()
+            .map(|(level, s)| (format!("variance level {level}"), s))
+            .collect()
+    } else {
+        skewness_sweep(nodes, edges)
+            .into_iter()
+            .map(|(skew, s)| (format!("skew {skew:.1}"), s))
+            .collect()
+    };
+    let fig = if by_variance { "Fig. 15" } else { "Fig. 14" };
+    let cols: Vec<String> = datasets.iter().map(|(label, _)| label.clone()).collect();
+    let mut aae = Report::new(
+        format!("{fig}(a) — Vertex query AAE"),
+        cols.iter().map(String::as_str).collect(),
+    );
+    let mut lat = Report::new(
+        format!("{fig}(b) — Vertex query latency, µs"),
+        cols.iter().map(String::as_str).collect(),
+    );
+    let mut space = Report::new(
+        format!("{fig}(c) — Space cost"),
+        cols.iter().map(String::as_str).collect(),
+    );
+    let mut thr = Report::new(
+        format!("{fig}(d) — Insertion throughput, Medges/s"),
+        cols.iter().map(String::as_str).collect(),
+    );
+
+    let mut per_method: Vec<(CompetitorKind, Vec<String>, Vec<String>, Vec<String>, Vec<String>)> =
+        CompetitorKind::all()
+            .into_iter()
+            .map(|k| (k, Vec::new(), Vec::new(), Vec::new(), Vec::new()))
+            .collect();
+
+    for (_, stream) in &datasets {
+        let exact = ExactTemporalGraph::from_edges(stream.edges());
+        let loaded = load_all(stream);
+        let lq = stream.time_span().map(|s| s.len() / 8).unwrap_or(1_000);
+        for ((kind, summary, secs), slot) in loaded.iter().zip(per_method.iter_mut()) {
+            debug_assert_eq!(*kind, slot.0);
+            let mut builder = WorkloadBuilder::new(stream, cfg.seed);
+            let queries = builder.vertex_queries(cfg.vertex_queries, lq);
+            let (stats, us) = error_stats_for_vertices(summary.as_ref(), &exact, &queries);
+            slot.1.push(fmt_metric(stats.aae()));
+            slot.2.push(fmt_metric(us));
+            slot.3.push(format_mib(summary.space_bytes()));
+            let throughput = ThroughputStats {
+                items: stream.len(),
+                seconds: *secs,
+            };
+            slot.4.push(fmt_metric(throughput.mops()));
+        }
+    }
+    for (kind, aae_v, lat_v, space_v, thr_v) in per_method {
+        aae.push(Row::new(kind.label(), aae_v));
+        lat.push(Row::new(kind.label(), lat_v));
+        space.push(Row::new(kind.label(), space_v));
+        thr.push(Row::new(kind.label(), thr_v));
+    }
+    vec![aae, lat, space, thr]
+}
+
+/// Figs. 16–19: insertion throughput, insertion latency, deletion throughput,
+/// and space cost per dataset and method.
+pub fn update_cost_experiment(cfg: &ExperimentConfig) -> Vec<Report> {
+    let presets = DatasetPreset::all();
+    let cols: Vec<String> = presets.iter().map(|p| p.label().to_string()).collect();
+    let mut thr = Report::new(
+        "Fig. 16 — Insertion throughput, Medges/s",
+        cols.iter().map(String::as_str).collect(),
+    );
+    let mut lat = Report::new(
+        "Fig. 17 — Insertion latency, µs/edge",
+        cols.iter().map(String::as_str).collect(),
+    );
+    let mut del = Report::new(
+        "Fig. 18 — Deletion throughput, Medges/s",
+        cols.iter().map(String::as_str).collect(),
+    );
+    let mut space = Report::new(
+        "Fig. 19 — Space cost",
+        cols.iter().map(String::as_str).collect(),
+    );
+
+    let mut per_method: Vec<(CompetitorKind, Vec<String>, Vec<String>, Vec<String>, Vec<String>)> =
+        CompetitorKind::all()
+            .into_iter()
+            .map(|k| (k, Vec::new(), Vec::new(), Vec::new(), Vec::new()))
+            .collect();
+
+    for preset in presets {
+        let stream = preset.generate(cfg.scale);
+        let loaded = load_all(&stream);
+        // Delete a sample of the stream to measure deletion throughput.
+        let delete_count = (stream.len() / 5).max(1);
+        for ((kind, mut summary, secs), slot) in loaded.into_iter().zip(per_method.iter_mut()) {
+            debug_assert_eq!(kind, slot.0);
+            let throughput = ThroughputStats {
+                items: stream.len(),
+                seconds: secs,
+            };
+            slot.1.push(fmt_metric(throughput.mops()));
+            slot.2.push(fmt_metric(throughput.latency_us()));
+            let start = Instant::now();
+            for e in stream.edges().iter().take(delete_count) {
+                summary.delete(e);
+            }
+            let del_thr = ThroughputStats::new(delete_count, start.elapsed());
+            slot.3.push(fmt_metric(del_thr.mops()));
+            slot.4.push(format_mib(summary.space_bytes()));
+        }
+    }
+    for (kind, thr_v, lat_v, del_v, space_v) in per_method {
+        thr.push(Row::new(kind.label(), thr_v));
+        lat.push(Row::new(kind.label(), lat_v));
+        del.push(Row::new(kind.label(), del_v));
+        space.push(Row::new(kind.label(), space_v));
+    }
+    vec![thr, lat, del, space]
+}
+
+/// Fig. 20: effectiveness of the three optimisations (parallel insertion,
+/// multiple mapping buckets, overflow blocks).
+pub fn optimization_experiment(cfg: &ExperimentConfig) -> Vec<Report> {
+    let mut para = Report::new(
+        "Fig. 20(a) — HIGGS insertion throughput with/without parallelisation, Medges/s",
+        vec!["sequential", "parallel"],
+    );
+    let mut ablation = Report::new(
+        "Fig. 20(b) — Space & accuracy with/without MMB and OB",
+        vec!["space", "vertex AAE", "leaves"],
+    );
+
+    for preset in DatasetPreset::all() {
+        let stream = preset.generate(cfg.scale);
+        // Parallelisation.
+        let mut sequential = HiggsSummary::new(HiggsConfig::paper_default());
+        let start = Instant::now();
+        sequential.insert_all(stream.edges());
+        let seq_thr = ThroughputStats::new(stream.len(), start.elapsed()).mops();
+        let mut parallel = build_parallel_higgs(4);
+        let start = Instant::now();
+        parallel.insert_all(stream.edges());
+        parallel.flush();
+        let par_thr = ThroughputStats::new(stream.len(), start.elapsed()).mops();
+        para.push(Row::new(
+            preset.label(),
+            vec![fmt_metric(seq_thr), fmt_metric(par_thr)],
+        ));
+    }
+
+    // MMB / OB ablation on the Lkml-like preset.
+    let stream = DatasetPreset::Lkml.generate(cfg.scale);
+    let exact = ExactTemporalGraph::from_edges(stream.edges());
+    let lq = stream.time_span().map(|s| s.len() / 8).unwrap_or(1_000);
+    for (label, config) in [
+        ("HIGGS", HiggsConfig::paper_default()),
+        ("HIGGS w/o MMB", HiggsConfig::paper_default().without_mmb()),
+        (
+            "HIGGS w/o OB",
+            HiggsConfig::paper_default().without_overflow_blocks(),
+        ),
+    ] {
+        let mut summary = HiggsSummary::new(config);
+        summary.insert_all(stream.edges());
+        let mut builder = WorkloadBuilder::new(&stream, cfg.seed);
+        let queries = builder.vertex_queries(cfg.vertex_queries, lq);
+        let (stats, _) = error_stats_for_vertices(&summary, &exact, &queries);
+        ablation.push(Row::new(
+            label,
+            vec![
+                format_mib(summary.space_bytes()),
+                fmt_metric(stats.aae()),
+                summary.leaf_count().to_string(),
+            ],
+        ));
+    }
+    vec![para, ablation]
+}
+
+/// Fig. 21: impact of the leaf matrix side `d1` on space and query latency.
+pub fn parameter_experiment(cfg: &ExperimentConfig) -> Vec<Report> {
+    let stream = DatasetPreset::Stackoverflow.generate(cfg.scale);
+    let lq = stream.time_span().map(|s| s.len() / 8).unwrap_or(1_000);
+    let mut report = Report::new(
+        "Fig. 21 — Space cost and query latency vs leaf matrix size d1 (Stackoverflow)",
+        vec!["space", "edge-query latency µs", "leaves", "height"],
+    );
+    for d1 in [4u64, 8, 16, 32, 64] {
+        let mut summary = HiggsSummary::new(HiggsConfig::paper_default().with_d1(d1));
+        summary.insert_all(stream.edges());
+        let mut builder = WorkloadBuilder::new(&stream, cfg.seed);
+        let queries = builder.edge_queries(cfg.edge_queries, lq);
+        let start = Instant::now();
+        let mut acc = 0u64;
+        for q in &queries {
+            acc += summary.edge_query(q.src, q.dst, q.range);
+        }
+        std::hint::black_box(acc);
+        let us = start.elapsed().as_secs_f64() * 1e6 / queries.len().max(1) as f64;
+        report.push(Row::new(
+            format!("d1={d1}"),
+            vec![
+                format_mib(summary.space_bytes()),
+                fmt_metric(us),
+                summary.leaf_count().to_string(),
+                summary.height().to_string(),
+            ],
+        ));
+    }
+    vec![report]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke() -> ExperimentConfig {
+        ExperimentConfig::for_scale(ExperimentScale::Smoke)
+    }
+
+    #[test]
+    fn table2_lists_three_datasets() {
+        let reports = table2(&smoke());
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].rows.len(), 3);
+    }
+
+    #[test]
+    fn fig2_and_fig3_produce_one_report_per_dataset() {
+        assert_eq!(fig2(&smoke()).len(), 3);
+        assert_eq!(fig3(&smoke()).len(), 3);
+    }
+
+    #[test]
+    fn parameter_experiment_sweeps_d1() {
+        let reports = parameter_experiment(&ExperimentConfig {
+            edge_queries: 10,
+            ..smoke()
+        });
+        assert_eq!(reports[0].rows.len(), 5);
+    }
+
+    #[test]
+    fn accuracy_experiment_covers_all_methods_smoke() {
+        let cfg = ExperimentConfig {
+            edge_queries: 10,
+            vertex_queries: 5,
+            lq_values: vec![100],
+            ..smoke()
+        };
+        let reports = accuracy_experiment(&cfg, QueryKind::Edge);
+        assert_eq!(reports.len(), 9, "3 datasets × (AAE, ARE, latency)");
+        assert!(reports.iter().all(|r| r.rows.len() == 6));
+    }
+}

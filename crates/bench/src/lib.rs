@@ -1,0 +1,26 @@
+//! # higgs-bench
+//!
+//! Benchmark harness regenerating the HIGGS evaluation (Section VI).
+//!
+//! Two entry points:
+//!
+//! * the `figures` binary (`cargo run -p higgs-bench --release --bin figures
+//!   -- <experiment>`) prints the rows/series behind every table and figure
+//!   of the paper (Table II, Fig 2–3, Fig 10–21),
+//! * Criterion micro-benchmarks (`cargo bench -p higgs-bench`) cover the
+//!   latency/throughput figures (edge/vertex query latency, insertion and
+//!   deletion throughput, path/subgraph queries, optimisation ablations).
+//!
+//! The library part of the crate contains the shared experiment drivers so
+//! that the binary and the Criterion benches run exactly the same code.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod competitors;
+pub mod experiments;
+pub mod report;
+
+pub use competitors::{build_competitors, CompetitorKind};
+pub use experiments::ExperimentConfig;
+pub use report::{Report, Row};

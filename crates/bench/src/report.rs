@@ -1,0 +1,133 @@
+//! Plain-text experiment reports: each figure/table of the paper is rendered
+//! as one aligned table whose rows are the series the paper plots.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of a report: a label plus one value per column.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Row {
+    /// Row label (e.g. method name or parameter value).
+    pub label: String,
+    /// One value per column, already formatted.
+    pub values: Vec<String>,
+}
+
+impl Row {
+    /// Creates a row from a label and pre-formatted values.
+    pub fn new(label: impl Into<String>, values: Vec<String>) -> Self {
+        Self {
+            label: label.into(),
+            values,
+        }
+    }
+}
+
+/// A rendered experiment: title, column headers, and rows.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Report {
+    /// Report title (e.g. "Fig. 10a — Edge query AAE (Lkml)").
+    pub title: String,
+    /// Column headers (not counting the leading label column).
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(title: impl Into<String>, columns: Vec<&str>) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Renders the report as an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let mut widths = vec![self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once("method".len()))
+            .max()
+            .unwrap_or(8)];
+        for (i, col) in self.columns.iter().enumerate() {
+            let w = self
+                .rows
+                .iter()
+                .map(|r| r.values.get(i).map(String::len).unwrap_or(0))
+                .chain(std::iter::once(col.len()))
+                .max()
+                .unwrap_or(col.len());
+            widths.push(w);
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let mut header = format!("{:<width$}", "method", width = widths[0]);
+        for (i, col) in self.columns.iter().enumerate() {
+            header.push_str(&format!("  {:>width$}", col, width = widths[i + 1]));
+        }
+        out.push_str(&header);
+        out.push('\n');
+        out.push_str(&"-".repeat(header.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("{:<width$}", row.label, width = widths[0]));
+            for (i, v) in row.values.iter().enumerate() {
+                out.push_str(&format!("  {:>width$}", v, width = widths[i + 1]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats a float with engineering-style precision suited to error metrics.
+pub fn fmt_metric(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() < 0.001 || v.abs() >= 100_000.0 {
+        format!("{v:.3e}")
+    } else if v.abs() < 1.0 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut r = Report::new("Fig. X — demo", vec!["AAE", "ARE"]);
+        r.push(Row::new("HIGGS", vec!["0".into(), "0".into()]));
+        r.push(Row::new("Horae", vec!["12.5".into(), "0.33".into()]));
+        let text = r.render();
+        assert!(text.contains("Fig. X"));
+        assert!(text.contains("HIGGS"));
+        assert!(text.contains("Horae"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn fmt_metric_ranges() {
+        assert_eq!(fmt_metric(0.0), "0");
+        assert_eq!(fmt_metric(0.5), "0.5000");
+        assert_eq!(fmt_metric(12.345), "12.35");
+        assert!(fmt_metric(1.0e-6).contains('e'));
+        assert!(fmt_metric(5.0e7).contains('e'));
+    }
+}

@@ -1,0 +1,148 @@
+//! Zipf / power-law vertex popularity sampling.
+//!
+//! Vertex degrees in the paper's datasets follow a power law (Fig. 2); the
+//! skewness sweep of Fig. 14 varies the exponent from 1.5 to 3.0. This module
+//! provides an exact inverse-CDF Zipf sampler over ranks `0..n` with
+//! probability `P(rank = k) ∝ 1 / (k+1)^s`.
+
+use rand::Rng;
+
+/// Exact Zipf sampler over `n` ranks with exponent `s`.
+///
+/// Sampling uses binary search over the precomputed CDF: O(n) memory,
+/// O(log n) per sample, fully deterministic given the RNG. For the stream
+/// sizes used in the reproduction (≤ a few hundred thousand vertices) this is
+/// both simpler and more accurate than rejection-based samplers.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n ≥ 1` ranks with exponent `s ≥ 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "ZipfSampler needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and ≥ 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating point drift.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf, exponent: s }
+    }
+
+    /// The exponent this sampler was built with.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has zero ranks (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..n`; rank 0 is the most popular.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of a given rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cdf.len() {
+            return 0.0;
+        }
+        let hi = self.cdf[rank];
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = ZipfSampler::new(100, 2.0);
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.len(), 100);
+        assert!(!z.is_empty());
+        assert_eq!(z.exponent(), 2.0);
+    }
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let z = ZipfSampler::new(50, 1.8);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+        assert!(z.pmf(10) > z.pmf(49));
+    }
+
+    #[test]
+    fn samples_follow_pmf_roughly() {
+        let z = ZipfSampler::new(10, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in 0..10 {
+            let empirical = counts[k] as f64 / n as f64;
+            let expected = z.pmf(k);
+            assert!(
+                (empirical - expected).abs() < 0.01,
+                "rank {k}: empirical {empirical} expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = ZipfSampler::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn higher_exponent_concentrates_mass() {
+        let lo = ZipfSampler::new(1000, 1.5);
+        let hi = ZipfSampler::new(1000, 3.0);
+        assert!(hi.pmf(0) > lo.pmf(0));
+    }
+
+    #[test]
+    fn single_rank_always_sampled() {
+        let z = ZipfSampler::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

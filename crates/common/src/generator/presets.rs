@@ -1,0 +1,223 @@
+//! Dataset presets standing in for the paper's three real datasets
+//! (Table II) and the synthetic skewness / variance sweeps of Fig. 14/15.
+//!
+//! The real KONECT dumps are not redistributable inside this repository, so
+//! each preset produces a scaled-down stream with the same qualitative
+//! characteristics: node/edge ratio, degree skew, and arrival burstiness.
+//! The scale factor is controlled by [`ExperimentScale`] so the full
+//! benchmark harness runs on a laptop (see DESIGN.md §4 for the
+//! substitution rationale).
+
+use super::{generate_stream, BurstConfig, StreamConfig};
+use crate::edge::GraphStream;
+
+/// How large the generated experiment streams should be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// Tiny streams for CI / unit tests (a few thousand edges).
+    Smoke,
+    /// Default laptop-scale streams (tens to hundreds of thousands of edges).
+    Default,
+    /// Larger streams approximating the paper's relative dataset sizes
+    /// (millions of edges; minutes of runtime).
+    Paper,
+}
+
+impl ExperimentScale {
+    /// Multiplier applied to the default edge counts.
+    pub fn edge_multiplier(&self) -> f64 {
+        match self {
+            ExperimentScale::Smoke => 0.05,
+            ExperimentScale::Default => 1.0,
+            ExperimentScale::Paper => 10.0,
+        }
+    }
+}
+
+/// The three dataset presets of Table II.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatasetPreset {
+    /// Linux kernel mailing list replies: 63K users, 1.1M replies, 2006–2013.
+    Lkml,
+    /// English Wikipedia talk-page messages: 3.0M users, 25M messages.
+    WikiTalk,
+    /// Stack Overflow interactions: 2.6M users, 63M interactions.
+    Stackoverflow,
+}
+
+impl DatasetPreset {
+    /// All presets in the order the paper lists them.
+    pub fn all() -> [DatasetPreset; 3] {
+        [
+            DatasetPreset::Lkml,
+            DatasetPreset::WikiTalk,
+            DatasetPreset::Stackoverflow,
+        ]
+    }
+
+    /// Short name used in experiment output (matches the paper's labels).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DatasetPreset::Lkml => "Lkml",
+            DatasetPreset::WikiTalk => "Wiki-talk",
+            DatasetPreset::Stackoverflow => "Stackoverflow",
+        }
+    }
+
+    /// Generator configuration for this preset at the given scale.
+    ///
+    /// Node/edge ratios follow Table II: Lkml has ~17 edges per node and a
+    /// heavier tail (mailing-list power users), Wiki-talk ~8, Stackoverflow
+    /// ~24. Time spans are proportional to the real multi-year spans.
+    pub fn config(&self, scale: ExperimentScale) -> StreamConfig {
+        let m = scale.edge_multiplier();
+        let (edges, vertices, skew, slices, bursts) = match self {
+            DatasetPreset::Lkml => (
+                120_000,
+                7_000,
+                2.2,
+                1u64 << 18,
+                BurstConfig {
+                    burst_count: 6,
+                    burst_fraction: 0.55,
+                    burst_width_fraction: 0.01,
+                },
+            ),
+            DatasetPreset::WikiTalk => (
+                250_000,
+                30_000,
+                2.0,
+                1u64 << 19,
+                BurstConfig {
+                    burst_count: 10,
+                    burst_fraction: 0.45,
+                    burst_width_fraction: 0.015,
+                },
+            ),
+            DatasetPreset::Stackoverflow => (
+                400_000,
+                17_000,
+                1.9,
+                1u64 << 19,
+                BurstConfig {
+                    burst_count: 12,
+                    burst_fraction: 0.5,
+                    burst_width_fraction: 0.008,
+                },
+            ),
+        };
+        StreamConfig {
+            name: self.label().to_string(),
+            vertices: ((vertices as f64 * m.max(0.05)) as usize).max(200),
+            edges: ((edges as f64 * m) as usize).max(1_000),
+            skew,
+            time_slices: slices,
+            bursts,
+            max_weight: 1,
+            seed: 0xD1CE ^ (*self as u64),
+        }
+    }
+
+    /// Generates the preset stream at the given scale.
+    pub fn generate(&self, scale: ExperimentScale) -> GraphStream {
+        generate_stream(&self.config(scale))
+    }
+}
+
+/// Generates the six skewness datasets of Fig. 14: power-law exponents from
+/// 1.5 to 3.0 in steps of 0.3, each with `vertices` nodes and `edges` items.
+pub fn skewness_sweep(vertices: usize, edges: usize) -> Vec<(f64, GraphStream)> {
+    (0..6)
+        .map(|i| {
+            let skew = 1.5 + 0.3 * i as f64;
+            let cfg = StreamConfig {
+                name: format!("skew-{skew:.1}"),
+                vertices,
+                edges,
+                skew,
+                time_slices: 1 << 16,
+                bursts: BurstConfig::default(),
+                max_weight: 1,
+                seed: 9_000 + i,
+            };
+            (skew, generate_stream(&cfg))
+        })
+        .collect()
+}
+
+/// Generates the six variance datasets of Fig. 15: increasing arrival
+/// burstiness levels, each with `vertices` nodes and `edges` items. Returns
+/// `(level, stream)` pairs; the measured per-slice variance grows with the
+/// level.
+pub fn variance_sweep(vertices: usize, edges: usize) -> Vec<(usize, GraphStream)> {
+    (0..6)
+        .map(|level| {
+            let cfg = StreamConfig {
+                name: format!("variance-{level}"),
+                vertices,
+                edges,
+                skew: 2.0,
+                time_slices: 1 << 16,
+                bursts: BurstConfig::variance_level(level),
+                max_weight: 1,
+                seed: 11_000 + level as u64,
+            };
+            (level, generate_stream(&cfg))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::arrival_variance;
+
+    #[test]
+    fn presets_generate_at_smoke_scale() {
+        for preset in DatasetPreset::all() {
+            let s = preset.generate(ExperimentScale::Smoke);
+            assert!(!s.is_empty());
+            assert_eq!(s.name, preset.label());
+        }
+    }
+
+    #[test]
+    fn preset_sizes_are_ordered_like_table_2() {
+        let lkml = DatasetPreset::Lkml.config(ExperimentScale::Default);
+        let wt = DatasetPreset::WikiTalk.config(ExperimentScale::Default);
+        let so = DatasetPreset::Stackoverflow.config(ExperimentScale::Default);
+        assert!(lkml.edges < wt.edges);
+        assert!(wt.edges < so.edges);
+        assert!(lkml.vertices < wt.vertices);
+    }
+
+    #[test]
+    fn scale_multiplier_orders() {
+        assert!(
+            ExperimentScale::Smoke.edge_multiplier() < ExperimentScale::Default.edge_multiplier()
+        );
+        assert!(
+            ExperimentScale::Default.edge_multiplier() < ExperimentScale::Paper.edge_multiplier()
+        );
+    }
+
+    #[test]
+    fn skewness_sweep_has_six_levels() {
+        let sweep = skewness_sweep(500, 4_000);
+        assert_eq!(sweep.len(), 6);
+        assert!((sweep[0].0 - 1.5).abs() < 1e-9);
+        assert!((sweep[5].0 - 3.0).abs() < 1e-9);
+        let max_deg_first = *sweep[0].1.out_degrees().values().max().unwrap();
+        let max_deg_last = *sweep[5].1.out_degrees().values().max().unwrap();
+        assert!(max_deg_last >= max_deg_first);
+    }
+
+    #[test]
+    fn variance_sweep_variance_grows() {
+        let sweep = variance_sweep(500, 20_000);
+        assert_eq!(sweep.len(), 6);
+        let v0 = arrival_variance(&sweep[0].1, 64);
+        let v5 = arrival_variance(&sweep[5].1, 64);
+        assert!(v5 > v0, "variance should grow with level: {v0} vs {v5}");
+    }
+}

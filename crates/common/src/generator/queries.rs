@@ -1,0 +1,267 @@
+//! Query-workload sampling.
+//!
+//! Section VI-A: "For vertex and edge queries, we vary the query range length
+//! Lq from 10^1 to 10^7. For each Lq, we randomly generated 100K edge queries
+//! and 10K vertex queries. For path and subgraph queries, the path length is
+//! set to [1, 7] and subgraph size is set to [50, 350]."
+//!
+//! [`WorkloadBuilder`] samples queries from an existing stream so that query
+//! targets are real edges/vertices (true values are mostly non-zero, as the
+//! ARE metric requires), with configurable range length and counts.
+
+use crate::edge::{GraphStream, VertexId};
+use crate::query::{
+    EdgeQuery, PathQuery, QueryWorkload, SubgraphQuery, VertexDirection, VertexQuery,
+};
+use crate::time::{TimeRange, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// Samples TRQ workloads anchored on an existing graph stream.
+#[derive(Clone, Debug)]
+pub struct WorkloadBuilder {
+    edges: Vec<(VertexId, VertexId)>,
+    adjacency: HashMap<VertexId, Vec<VertexId>>,
+    vertices: Vec<VertexId>,
+    span: TimeRange,
+    rng: StdRng,
+}
+
+impl WorkloadBuilder {
+    /// Creates a builder over `stream` with a deterministic seed.
+    pub fn new(stream: &GraphStream, seed: u64) -> Self {
+        let mut edge_set = HashSet::new();
+        let mut adjacency: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+        let mut vertex_set = HashSet::new();
+        for e in stream.iter() {
+            if edge_set.insert((e.src, e.dst)) {
+                adjacency.entry(e.src).or_default().push(e.dst);
+            }
+            vertex_set.insert(e.src);
+            vertex_set.insert(e.dst);
+        }
+        let mut edges: Vec<_> = edge_set.into_iter().collect();
+        edges.sort_unstable();
+        let mut vertices: Vec<_> = vertex_set.into_iter().collect();
+        vertices.sort_unstable();
+        let span = stream.time_span().unwrap_or(TimeRange::new(0, 1));
+        Self {
+            edges,
+            adjacency,
+            vertices,
+            span,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Full time span of the underlying stream.
+    pub fn span(&self) -> TimeRange {
+        self.span
+    }
+
+    /// Samples a temporal range of length `lq` (clamped to the stream span),
+    /// positioned uniformly at random.
+    pub fn random_range(&mut self, lq: u64) -> TimeRange {
+        let lq = lq.max(1);
+        let span_len = self.span.len();
+        let len = lq.min(span_len);
+        let max_start = self.span.end.saturating_sub(len - 1);
+        let start = if max_start <= self.span.start {
+            self.span.start
+        } else {
+            self.rng.gen_range(self.span.start..=max_start)
+        };
+        TimeRange::new(start, start + len - 1)
+    }
+
+    /// Samples `count` edge queries with range length `lq`.
+    pub fn edge_queries(&mut self, count: usize, lq: u64) -> Vec<EdgeQuery> {
+        (0..count)
+            .map(|_| {
+                let (src, dst) = self.edges[self.rng.gen_range(0..self.edges.len())];
+                EdgeQuery {
+                    src,
+                    dst,
+                    range: self.random_range(lq),
+                }
+            })
+            .collect()
+    }
+
+    /// Samples `count` vertex queries with range length `lq`, alternating
+    /// between out- and in-direction.
+    pub fn vertex_queries(&mut self, count: usize, lq: u64) -> Vec<VertexQuery> {
+        (0..count)
+            .map(|i| {
+                let vertex = self.vertices[self.rng.gen_range(0..self.vertices.len())];
+                VertexQuery {
+                    vertex,
+                    direction: if i % 2 == 0 {
+                        VertexDirection::Out
+                    } else {
+                        VertexDirection::In
+                    },
+                    range: self.random_range(lq),
+                }
+            })
+            .collect()
+    }
+
+    /// Samples `count` path queries of exactly `hops` hops (paths follow
+    /// existing edges where possible, falling back to random vertices when a
+    /// walk dead-ends, as the paper's random path queries do).
+    pub fn path_queries(&mut self, count: usize, hops: usize, lq: u64) -> Vec<PathQuery> {
+        (0..count)
+            .map(|_| {
+                let mut vertices = Vec::with_capacity(hops + 1);
+                let start = self.vertices[self.rng.gen_range(0..self.vertices.len())];
+                vertices.push(start);
+                let mut current = start;
+                for _ in 0..hops {
+                    let next = match self.adjacency.get(&current) {
+                        Some(nexts) if !nexts.is_empty() => {
+                            nexts[self.rng.gen_range(0..nexts.len())]
+                        }
+                        _ => self.vertices[self.rng.gen_range(0..self.vertices.len())],
+                    };
+                    vertices.push(next);
+                    current = next;
+                }
+                PathQuery {
+                    vertices,
+                    range: self.random_range(lq),
+                }
+            })
+            .collect()
+    }
+
+    /// Samples `count` subgraph queries of `size` edges each.
+    pub fn subgraph_queries(&mut self, count: usize, size: usize, lq: u64) -> Vec<SubgraphQuery> {
+        (0..count)
+            .map(|_| {
+                let edges = (0..size)
+                    .map(|_| self.edges[self.rng.gen_range(0..self.edges.len())])
+                    .collect();
+                SubgraphQuery {
+                    edges,
+                    range: self.random_range(lq),
+                }
+            })
+            .collect()
+    }
+
+    /// Builds a full mixed workload at range length `lq` (scaled-down version
+    /// of the Section VI-A setup).
+    pub fn mixed_workload(
+        &mut self,
+        edge_count: usize,
+        vertex_count: usize,
+        path_count: usize,
+        subgraph_count: usize,
+        lq: u64,
+    ) -> QueryWorkload {
+        QueryWorkload {
+            edge_queries: self.edge_queries(edge_count, lq),
+            vertex_queries: self.vertex_queries(vertex_count, lq),
+            path_queries: self.path_queries(path_count, 4, lq),
+            subgraph_queries: self.subgraph_queries(subgraph_count, 50, lq),
+        }
+    }
+
+    /// Randomly samples an arrival timestamp present in the stream span.
+    pub fn random_timestamp(&mut self) -> Timestamp {
+        self.rng.gen_range(self.span.start..=self.span.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::StreamEdge;
+
+    fn stream() -> GraphStream {
+        let mut edges = Vec::new();
+        for i in 0..200u64 {
+            edges.push(StreamEdge::new(i % 20, (i + 1) % 20, 1, i * 10));
+        }
+        GraphStream::from_edges("test", edges)
+    }
+
+    #[test]
+    fn edge_queries_hit_existing_edges() {
+        let s = stream();
+        let mut b = WorkloadBuilder::new(&s, 1);
+        let qs = b.edge_queries(50, 100);
+        assert_eq!(qs.len(), 50);
+        let known: HashSet<_> = s.iter().map(|e| (e.src, e.dst)).collect();
+        assert!(qs.iter().all(|q| known.contains(&(q.src, q.dst))));
+    }
+
+    #[test]
+    fn ranges_have_requested_length() {
+        let s = stream();
+        let mut b = WorkloadBuilder::new(&s, 2);
+        for _ in 0..100 {
+            let r = b.random_range(17);
+            assert_eq!(r.len(), 17);
+            assert!(r.start >= b.span().start);
+            assert!(r.end <= b.span().end);
+        }
+    }
+
+    #[test]
+    fn long_ranges_are_clamped_to_span() {
+        let s = stream();
+        let mut b = WorkloadBuilder::new(&s, 3);
+        let r = b.random_range(10_000_000);
+        assert_eq!(r.len(), b.span().len());
+    }
+
+    #[test]
+    fn path_queries_have_requested_hops() {
+        let s = stream();
+        let mut b = WorkloadBuilder::new(&s, 4);
+        for q in b.path_queries(20, 5, 50) {
+            assert_eq!(q.hops(), 5);
+        }
+    }
+
+    #[test]
+    fn subgraph_queries_have_requested_size() {
+        let s = stream();
+        let mut b = WorkloadBuilder::new(&s, 5);
+        for q in b.subgraph_queries(10, 30, 50) {
+            assert_eq!(q.edges.len(), 30);
+        }
+    }
+
+    #[test]
+    fn mixed_workload_counts() {
+        let s = stream();
+        let mut b = WorkloadBuilder::new(&s, 6);
+        let w = b.mixed_workload(10, 5, 3, 2, 100);
+        assert_eq!(w.edge_queries.len(), 10);
+        assert_eq!(w.vertex_queries.len(), 5);
+        assert_eq!(w.path_queries.len(), 3);
+        assert_eq!(w.subgraph_queries.len(), 2);
+        assert_eq!(w.len(), 20);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = stream();
+        let a = WorkloadBuilder::new(&s, 9).edge_queries(20, 10);
+        let b = WorkloadBuilder::new(&s, 9).edge_queries(20, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vertex_queries_alternate_direction() {
+        let s = stream();
+        let mut b = WorkloadBuilder::new(&s, 10);
+        let qs = b.vertex_queries(4, 10);
+        assert_eq!(qs[0].direction, VertexDirection::Out);
+        assert_eq!(qs[1].direction, VertexDirection::In);
+    }
+}

@@ -1,0 +1,192 @@
+//! Bursty arrival-time generation.
+//!
+//! Fig. 3 of the paper shows "hot time intervals where a large number of
+//! stream edges occur" — arrivals are far from uniform. The
+//! [`ArrivalProcess`] reproduces this by mixing a uniform background with a
+//! configurable number of Gaussian bursts; the burst fraction and width drive
+//! the per-slice arrival variance, which is the x-axis of Fig. 15.
+
+use crate::time::Timestamp;
+use rand::Rng;
+use rand_distr_free::sample_gaussian;
+
+/// Configuration of the burstiness of a synthetic stream's arrivals.
+#[derive(Clone, Debug)]
+pub struct BurstConfig {
+    /// Number of hot intervals (bursts) across the stream's time span.
+    pub burst_count: usize,
+    /// Fraction of all edges that arrive inside bursts (0.0 = uniform).
+    pub burst_fraction: f64,
+    /// Standard deviation of each burst as a fraction of the total time span.
+    pub burst_width_fraction: f64,
+}
+
+impl Default for BurstConfig {
+    fn default() -> Self {
+        Self {
+            burst_count: 4,
+            burst_fraction: 0.5,
+            burst_width_fraction: 0.02,
+        }
+    }
+}
+
+impl BurstConfig {
+    /// Purely uniform arrivals (no bursts).
+    pub fn uniform() -> Self {
+        Self {
+            burst_count: 0,
+            burst_fraction: 0.0,
+            burst_width_fraction: 0.0,
+        }
+    }
+
+    /// A configuration whose per-slice arrival variance grows monotonically
+    /// with `level` in `0..=5`, used for the Fig. 15 sweep (the paper labels
+    /// the six synthetic datasets with variances 600–1600).
+    pub fn variance_level(level: usize) -> Self {
+        let level = level.min(5);
+        Self {
+            burst_count: 6,
+            burst_fraction: 0.3 + 0.12 * level as f64,
+            burst_width_fraction: 0.03 / (1.0 + level as f64),
+        }
+    }
+}
+
+/// Samples arrival timestamps over `0..time_slices`.
+#[derive(Clone, Debug)]
+pub struct ArrivalProcess {
+    time_slices: u64,
+    config: BurstConfig,
+}
+
+impl ArrivalProcess {
+    /// Creates an arrival process over `time_slices ≥ 1` slices.
+    pub fn new(time_slices: u64, config: BurstConfig) -> Self {
+        assert!(time_slices >= 1);
+        Self {
+            time_slices,
+            config,
+        }
+    }
+
+    /// Samples `count` timestamps (unsorted).
+    pub fn sample_timestamps<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<Timestamp> {
+        let span = self.time_slices as f64;
+        // Pick burst centres uniformly.
+        let centres: Vec<f64> = (0..self.config.burst_count)
+            .map(|_| rng.gen_range(0.0..span))
+            .collect();
+        let sigma = (self.config.burst_width_fraction * span).max(1.0);
+
+        (0..count)
+            .map(|_| {
+                let in_burst =
+                    !centres.is_empty() && rng.gen_range(0.0..1.0) < self.config.burst_fraction;
+                let t = if in_burst {
+                    let c = centres[rng.gen_range(0..centres.len())];
+                    sample_gaussian(rng, c, sigma)
+                } else {
+                    rng.gen_range(0.0..span)
+                };
+                (t.clamp(0.0, span - 1.0)) as Timestamp
+            })
+            .collect()
+    }
+}
+
+/// A tiny dependency-free Gaussian sampler (Box–Muller), kept private to this
+/// module so the workspace needs no `rand_distr` dependency.
+mod rand_distr_free {
+    use rand::Rng;
+
+    /// Draws one sample from N(mean, sigma²).
+    pub fn sample_gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + sigma * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn timestamps_within_bounds() {
+        let p = ArrivalProcess::new(1000, BurstConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        let ts = p.sample_timestamps(10_000, &mut rng);
+        assert_eq!(ts.len(), 10_000);
+        assert!(ts.iter().all(|&t| t < 1000));
+    }
+
+    #[test]
+    fn uniform_config_spreads_mass() {
+        let p = ArrivalProcess::new(100, BurstConfig::uniform());
+        let mut rng = StdRng::seed_from_u64(1);
+        let ts = p.sample_timestamps(50_000, &mut rng);
+        let mut counts = vec![0u64; 100];
+        for t in ts {
+            counts[t as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 2.0, "uniform arrivals too lumpy: {min}..{max}");
+    }
+
+    #[test]
+    fn bursty_config_concentrates_mass() {
+        let p = ArrivalProcess::new(1000, BurstConfig {
+            burst_count: 2,
+            burst_fraction: 0.95,
+            burst_width_fraction: 0.002,
+        });
+        let mut rng = StdRng::seed_from_u64(2);
+        let ts = p.sample_timestamps(50_000, &mut rng);
+        let mut counts = vec![0u64; 1000];
+        for t in ts {
+            counts[t as usize] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top_20: u64 = counts.iter().take(20).sum();
+        assert!(
+            top_20 > 25_000,
+            "expected >half of arrivals in the hottest 2% of slices, got {top_20}"
+        );
+    }
+
+    #[test]
+    fn variance_levels_are_monotone() {
+        let mut variances = Vec::new();
+        for level in 0..6 {
+            let p = ArrivalProcess::new(1024, BurstConfig::variance_level(level));
+            let mut rng = StdRng::seed_from_u64(3);
+            let ts = p.sample_timestamps(40_000, &mut rng);
+            let mut counts = vec![0f64; 1024];
+            for t in ts {
+                counts[t as usize] += 1.0;
+            }
+            let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+            let var =
+                counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;
+            variances.push(var);
+        }
+        assert!(
+            variances.last().unwrap() > variances.first().unwrap(),
+            "variance levels should increase: {variances:?}"
+        );
+    }
+
+    #[test]
+    fn single_slice_process() {
+        let p = ArrivalProcess::new(1, BurstConfig::default());
+        let mut rng = StdRng::seed_from_u64(4);
+        let ts = p.sample_timestamps(100, &mut rng);
+        assert!(ts.iter().all(|&t| t == 0));
+    }
+}

@@ -1,0 +1,42 @@
+//! # higgs-common
+//!
+//! Shared substrate for the HIGGS (HIerarchy-Guided Graph Stream
+//! Summarization, ICDE 2025) reproduction:
+//!
+//! * the graph-stream data model ([`StreamEdge`], [`GraphStream`],
+//!   [`TimeRange`]),
+//! * the hashing substrate used by every sketch (64-bit mixing, the
+//!   fingerprint/address split of Eq. (1), linear-congruential address
+//!   sequences for multiple mapping buckets),
+//! * the [`TemporalGraphSummary`] trait that HIGGS and every baseline
+//!   implement, together with composed path/subgraph queries,
+//! * an exact ground-truth store ([`ExactTemporalGraph`]) for measuring
+//!   average absolute / relative error,
+//! * synthetic workload generators reproducing the skewed, bursty character
+//!   of the paper's datasets (Lkml, Wikipedia-talk, Stackoverflow), and
+//! * the error / throughput / latency / space metrics of Section VI.
+//!
+//! Everything here is self-contained: no external sketch or graph library is
+//! used, matching the "build every substrate" requirement of the
+//! reproduction.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod edge;
+pub mod exact;
+pub mod generator;
+pub mod hashing;
+pub mod metrics;
+pub mod query;
+pub mod time;
+
+pub use edge::{GraphStream, StreamEdge, StreamStats, VertexId, Weight};
+pub use exact::ExactTemporalGraph;
+pub use hashing::{lcg_sequence, vertex_hash, AddressSequence, FingerprintLayout, HashedVertex};
+pub use metrics::{ErrorStats, LatencyStats, ThroughputStats};
+pub use query::{
+    EdgeQuery, PathQuery, QueryWorkload, SubgraphQuery, SummaryExt, TemporalGraphSummary,
+    VertexDirection, VertexQuery,
+};
+pub use time::{TimeRange, Timestamp};

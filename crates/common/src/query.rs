@@ -1,0 +1,327 @@
+//! Temporal Range Query (TRQ) primitives and the [`TemporalGraphSummary`]
+//! trait implemented by HIGGS and by every baseline.
+//!
+//! Definition 2 of the paper gives two primitives — edge queries and vertex
+//! queries over a temporal range — from which path and subgraph queries are
+//! composed. The composition lives in [`SummaryExt`] so that all competitors
+//! are driven by exactly the same query code in the experiments.
+
+use crate::edge::{StreamEdge, VertexId, Weight};
+use crate::time::TimeRange;
+use serde::{Deserialize, Serialize};
+
+/// Direction of a vertex query: aggregate over outgoing or incoming edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VertexDirection {
+    /// Aggregate the weights of all outgoing edges of the vertex.
+    Out,
+    /// Aggregate the weights of all incoming edges of the vertex.
+    In,
+}
+
+/// An edge query: aggregated weight of `src → dst` within `range`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EdgeQuery {
+    /// Source vertex of the queried edge.
+    pub src: VertexId,
+    /// Destination vertex of the queried edge.
+    pub dst: VertexId,
+    /// Temporal range of interest.
+    pub range: TimeRange,
+}
+
+/// A vertex query: aggregated weight of all outgoing (or incoming) edges of
+/// `vertex` within `range`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VertexQuery {
+    /// The queried vertex.
+    pub vertex: VertexId,
+    /// Whether outgoing or incoming edges are aggregated.
+    pub direction: VertexDirection,
+    /// Temporal range of interest.
+    pub range: TimeRange,
+}
+
+/// A path query: the sequence of vertices `v_0 → v_1 → … → v_k`; the result
+/// is the sum of the aggregated weights of the constituent edges within
+/// `range` (the composition used in Section VI-C).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathQuery {
+    /// Vertices along the path, in order. A path of `h` hops has `h + 1`
+    /// vertices.
+    pub vertices: Vec<VertexId>,
+    /// Temporal range of interest.
+    pub range: TimeRange,
+}
+
+impl PathQuery {
+    /// Number of hops (edges) on the path.
+    pub fn hops(&self) -> usize {
+        self.vertices.len().saturating_sub(1)
+    }
+}
+
+/// A subgraph query: a set of directed edges; the result is the sum of the
+/// aggregated weights of each edge within `range` (Example 1 of the paper).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SubgraphQuery {
+    /// Directed edges forming the queried subgraph.
+    pub edges: Vec<(VertexId, VertexId)>,
+    /// Temporal range of interest.
+    pub range: TimeRange,
+}
+
+/// The interface every graph-stream summary in this repository implements:
+/// HIGGS, PGSS, Horae(-cpt), AuxoTime(-cpt), and the exact ground-truth store.
+///
+/// Implementations are *approximate* (except the exact store) but must have
+/// one-sided error: estimates never underestimate the true aggregated weight.
+pub trait TemporalGraphSummary {
+    /// Inserts one stream item.
+    fn insert(&mut self, edge: &StreamEdge);
+
+    /// Deletes (reverses) one previously inserted stream item, decrementing
+    /// the matching counters. Deleting an item that was never inserted leaves
+    /// the summary in an unspecified (but safe) state, as with Count-Min
+    /// deletions.
+    fn delete(&mut self, edge: &StreamEdge);
+
+    /// Aggregated weight of the directed edge `src → dst` within `range`.
+    fn edge_query(&self, src: VertexId, dst: VertexId, range: TimeRange) -> Weight;
+
+    /// Aggregated weight of all edges incident to `vertex` in `direction`
+    /// within `range`.
+    fn vertex_query(&self, vertex: VertexId, direction: VertexDirection, range: TimeRange)
+        -> Weight;
+
+    /// Main-memory footprint of the summary in bytes (Section VI-G).
+    fn space_bytes(&self) -> usize;
+
+    /// Short human-readable name used in experiment output ("HIGGS",
+    /// "Horae", …).
+    fn name(&self) -> &'static str;
+
+    /// Bulk-inserts a slice of edges in arrival order. Implementations may
+    /// override this with a faster path (e.g. the parallel HIGGS pipeline).
+    fn insert_all(&mut self, edges: &[StreamEdge]) {
+        for e in edges {
+            self.insert(e);
+        }
+    }
+}
+
+/// Query composition shared by every summary: path and subgraph queries built
+/// from the edge-query primitive, plus convenience wrappers taking the query
+/// structs.
+pub trait SummaryExt: TemporalGraphSummary {
+    /// Evaluates an [`EdgeQuery`].
+    fn run_edge_query(&self, q: &EdgeQuery) -> Weight {
+        self.edge_query(q.src, q.dst, q.range)
+    }
+
+    /// Evaluates a [`VertexQuery`].
+    fn run_vertex_query(&self, q: &VertexQuery) -> Weight {
+        self.vertex_query(q.vertex, q.direction, q.range)
+    }
+
+    /// Evaluates a [`PathQuery`]: sum of the aggregated weights of each hop.
+    fn path_query(&self, q: &PathQuery) -> Weight {
+        q.vertices
+            .windows(2)
+            .map(|w| self.edge_query(w[0], w[1], q.range))
+            .sum()
+    }
+
+    /// Evaluates a [`SubgraphQuery`]: sum of the aggregated weights of each
+    /// edge in the subgraph.
+    fn subgraph_query(&self, q: &SubgraphQuery) -> Weight {
+        q.edges
+            .iter()
+            .map(|&(s, d)| self.edge_query(s, d, q.range))
+            .sum()
+    }
+}
+
+impl<T: TemporalGraphSummary + ?Sized> SummaryExt for T {}
+
+/// A bundle of randomly generated queries of all four kinds over one stream,
+/// reused verbatim against every competitor and the exact store so errors are
+/// measured on identical workloads (Section VI-A).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct QueryWorkload {
+    /// Edge queries.
+    pub edge_queries: Vec<EdgeQuery>,
+    /// Vertex queries.
+    pub vertex_queries: Vec<VertexQuery>,
+    /// Path queries.
+    pub path_queries: Vec<PathQuery>,
+    /// Subgraph queries.
+    pub subgraph_queries: Vec<SubgraphQuery>,
+}
+
+impl QueryWorkload {
+    /// Total number of queries in the workload.
+    pub fn len(&self) -> usize {
+        self.edge_queries.len()
+            + self.vertex_queries.len()
+            + self.path_queries.len()
+            + self.subgraph_queries.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Tiny exact reference implementation used to test the default methods.
+    #[derive(Default)]
+    struct Toy {
+        edges: Vec<StreamEdge>,
+    }
+
+    impl TemporalGraphSummary for Toy {
+        fn insert(&mut self, edge: &StreamEdge) {
+            self.edges.push(*edge);
+        }
+        fn delete(&mut self, edge: &StreamEdge) {
+            if let Some(pos) = self.edges.iter().position(|e| e == edge) {
+                self.edges.remove(pos);
+            }
+        }
+        fn edge_query(&self, src: VertexId, dst: VertexId, range: TimeRange) -> Weight {
+            self.edges
+                .iter()
+                .filter(|e| e.src == src && e.dst == dst && range.contains(e.timestamp))
+                .map(|e| e.weight)
+                .sum()
+        }
+        fn vertex_query(
+            &self,
+            vertex: VertexId,
+            direction: VertexDirection,
+            range: TimeRange,
+        ) -> Weight {
+            self.edges
+                .iter()
+                .filter(|e| match direction {
+                    VertexDirection::Out => e.src == vertex,
+                    VertexDirection::In => e.dst == vertex,
+                })
+                .filter(|e| range.contains(e.timestamp))
+                .map(|e| e.weight)
+                .sum()
+        }
+        fn space_bytes(&self) -> usize {
+            self.edges.len() * std::mem::size_of::<StreamEdge>()
+        }
+        fn name(&self) -> &'static str {
+            "Toy"
+        }
+    }
+
+    fn example_fig5() -> Toy {
+        // The stream of Fig. 5 / Example 1.
+        let mut t = Toy::default();
+        let edges = [
+            (1, 2, 1, 1),
+            (4, 5, 1, 2),
+            (2, 3, 1, 3),
+            (1, 4, 2, 4),
+            (4, 6, 3, 5),
+            (2, 3, 1, 6),
+            (3, 7, 2, 7),
+            (4, 7, 2, 8),
+            (2, 3, 2, 9),
+            (5, 6, 1, 10),
+            (6, 7, 1, 11),
+        ];
+        for (s, d, w, ts) in edges {
+            t.insert(&StreamEdge::new(s, d, w, ts));
+        }
+        t
+    }
+
+    #[test]
+    fn example_1_edge_query() {
+        let t = example_fig5();
+        // Edge v2→v3 from t5 to t10 has weight 3 (t6 and t9).
+        assert_eq!(t.edge_query(2, 3, TimeRange::new(5, 10)), 3);
+    }
+
+    #[test]
+    fn example_1_vertex_query() {
+        let t = example_fig5();
+        // v4's outgoing edges from t1 to t11 total 6... the paper counts
+        // (4,5,t2,1), (4,6,t5,3), (4,7,t8,2).
+        assert_eq!(
+            t.vertex_query(4, VertexDirection::Out, TimeRange::new(1, 11)),
+            6
+        );
+    }
+
+    #[test]
+    fn example_1_subgraph_query() {
+        let t = example_fig5();
+        let q = SubgraphQuery {
+            edges: vec![(2, 3), (3, 7), (2, 4)],
+            range: TimeRange::new(4, 8),
+        };
+        assert_eq!(t.subgraph_query(&q), 3);
+    }
+
+    #[test]
+    fn path_query_sums_hops() {
+        let t = example_fig5();
+        let q = PathQuery {
+            vertices: vec![1, 2, 3, 7],
+            range: TimeRange::new(1, 11),
+        };
+        // (1→2)=1, (2→3)=4, (3→7)=2
+        assert_eq!(t.path_query(&q), 7);
+        assert_eq!(q.hops(), 3);
+    }
+
+    #[test]
+    fn insert_all_and_delete() {
+        let mut t = Toy::default();
+        let edges: Vec<StreamEdge> = (0..5).map(|i| StreamEdge::new(1, 2, 1, i)).collect();
+        t.insert_all(&edges);
+        assert_eq!(t.edge_query(1, 2, TimeRange::all()), 5);
+        t.delete(&edges[0]);
+        assert_eq!(t.edge_query(1, 2, TimeRange::all()), 4);
+    }
+
+    #[test]
+    fn in_and_out_directions_differ() {
+        let t = example_fig5();
+        let r = TimeRange::all();
+        let out = t.vertex_query(3, VertexDirection::Out, r);
+        let inn = t.vertex_query(3, VertexDirection::In, r);
+        assert_eq!(out, 2); // 3→7 at t7
+        assert_eq!(inn, 4); // three arrivals of 2→3
+        let _sanity: HashMap<&str, Weight> = HashMap::from([("out", out), ("in", inn)]);
+    }
+
+    #[test]
+    fn workload_len() {
+        let mut w = QueryWorkload::default();
+        assert!(w.is_empty());
+        w.edge_queries.push(EdgeQuery {
+            src: 1,
+            dst: 2,
+            range: TimeRange::all(),
+        });
+        w.vertex_queries.push(VertexQuery {
+            vertex: 1,
+            direction: VertexDirection::Out,
+            range: TimeRange::all(),
+        });
+        assert_eq!(w.len(), 2);
+    }
+}

@@ -1,0 +1,163 @@
+//! Configuration of a HIGGS summary.
+
+use higgs_common::hashing::FingerprintLayout;
+
+/// Tunable parameters of a [`HiggsSummary`](crate::HiggsSummary).
+///
+/// The defaults follow Section VI-A of the paper: leaf matrix side `d1 = 16`,
+/// fingerprint length `F1 = 19` bits, `b = 3` entries per bucket, `r = 4`
+/// mapping addresses per vertex (so each edge has 4×4 candidate buckets and a
+/// 4-bit index pair), and `θ = 4` children per node (`R = 1` fingerprint bit
+/// converted to address bits per level).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HiggsConfig {
+    /// Leaf-layer compressed-matrix side `d1` (power of two).
+    pub d1: u64,
+    /// Leaf-layer fingerprint length `F1` in bits (per endpoint, ≤ 31).
+    pub f1_bits: u32,
+    /// Fingerprint bits converted into address bits per level climbed (`R`);
+    /// the branching factor is `θ = 4^R`.
+    pub r_bits: u32,
+    /// Number of entries per bucket (`b`).
+    pub bucket_entries: usize,
+    /// Number of mapping addresses per vertex (`r`) for the Multiple Mapping
+    /// Buckets optimisation; `1` disables MMB.
+    pub mapping_addresses: u32,
+    /// Whether overflow blocks absorb same-timestamp bursts (Section IV-C).
+    ///
+    /// Overflow blocks share the leaf matrix side `d1` (so their entries lift
+    /// into ancestor aggregates without losing address bits) but use a single
+    /// entry per bucket, keeping each block small.
+    pub overflow_blocks: bool,
+}
+
+impl Default for HiggsConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl HiggsConfig {
+    /// The configuration used throughout the paper's experiments
+    /// (Section VI-A).
+    pub fn paper_default() -> Self {
+        Self {
+            d1: 16,
+            f1_bits: 19,
+            r_bits: 1,
+            bucket_entries: 3,
+            mapping_addresses: 4,
+            overflow_blocks: true,
+        }
+    }
+
+    /// A configuration with Multiple Mapping Buckets disabled (used by the
+    /// Fig. 20b ablation).
+    pub fn without_mmb(mut self) -> Self {
+        self.mapping_addresses = 1;
+        self
+    }
+
+    /// A configuration with overflow blocks disabled (used by the Fig. 20b
+    /// ablation).
+    pub fn without_overflow_blocks(mut self) -> Self {
+        self.overflow_blocks = false;
+        self
+    }
+
+    /// A configuration with a different leaf matrix side (the Fig. 21
+    /// parameter sweep).
+    pub fn with_d1(mut self, d1: u64) -> Self {
+        self.d1 = d1;
+        self
+    }
+
+    /// The branching factor `θ = 4^R`.
+    pub fn theta(&self) -> usize {
+        1usize << (2 * self.r_bits)
+    }
+
+    /// Number of entries a leaf matrix can hold (`b · d1²`).
+    pub fn leaf_capacity(&self) -> usize {
+        self.bucket_entries * (self.d1 * self.d1) as usize
+    }
+
+    /// The fingerprint/address bit layout shared by all layers.
+    pub fn layout(&self) -> FingerprintLayout {
+        FingerprintLayout::new(self.f1_bits, self.d1, self.r_bits)
+    }
+
+    /// Validates the configuration, panicking with a descriptive message on
+    /// invalid combinations. Called by [`HiggsSummary::new`](crate::HiggsSummary::new).
+    pub fn validate(&self) {
+        assert!(self.d1.is_power_of_two(), "d1 must be a power of two");
+        assert!(self.d1 >= 2, "d1 must be at least 2");
+        assert!(
+            self.f1_bits >= self.r_bits && self.f1_bits <= 31,
+            "F1 must be in [R, 31]"
+        );
+        assert!((1..=8).contains(&self.r_bits), "R must be in [1, 8]");
+        assert!(self.bucket_entries >= 1, "b must be at least 1");
+        assert!(
+            (1..=16).contains(&self.mapping_addresses),
+            "r must be in [1, 16]"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_6a() {
+        let c = HiggsConfig::paper_default();
+        assert_eq!(c.d1, 16);
+        assert_eq!(c.f1_bits, 19);
+        assert_eq!(c.bucket_entries, 3);
+        assert_eq!(c.mapping_addresses, 4);
+        assert_eq!(c.theta(), 4);
+        assert_eq!(c.leaf_capacity(), 3 * 256);
+        c.validate();
+    }
+
+    #[test]
+    fn ablation_helpers() {
+        let c = HiggsConfig::paper_default().without_mmb();
+        assert_eq!(c.mapping_addresses, 1);
+        let c = HiggsConfig::paper_default().without_overflow_blocks();
+        assert!(!c.overflow_blocks);
+        let c = HiggsConfig::paper_default().with_d1(64);
+        assert_eq!(c.d1, 64);
+        c.validate();
+    }
+
+    #[test]
+    fn layout_is_consistent_with_config() {
+        let c = HiggsConfig::paper_default();
+        let layout = c.layout();
+        assert_eq!(layout.theta(), c.theta());
+        assert_eq!(layout.matrix_side(1), c.d1);
+        assert_eq!(layout.fingerprint_bits(1), c.f1_bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_d1_rejected() {
+        HiggsConfig {
+            d1: 12,
+            ..HiggsConfig::paper_default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "b must be")]
+    fn invalid_bucket_entries_rejected() {
+        HiggsConfig {
+            bucket_entries: 0,
+            ..HiggsConfig::paper_default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,57 @@
+//! # higgs
+//!
+//! HIGGS — HIerarchy-Guided Graph Stream Summarization (ICDE 2025) — is an
+//! item-based, bottom-up hierarchical sketch for summarising graph streams
+//! with temporal information. This crate is the paper's primary
+//! contribution, built from scratch in Rust:
+//!
+//! * [`matrix`] — the compressed matrix of fingerprinted buckets, including
+//!   the Multiple Mapping Buckets (MMB) optimisation,
+//! * [`tree`] — the aggregated B-tree of matrices ([`HiggsSummary`]):
+//!   append-only leaves, θ-ary grouping, upward timestamp propagation
+//!   (Algorithm 1),
+//! * [`aggregate`] — the error-free fingerprint-shift aggregation of child
+//!   matrices into parents (Algorithm 2),
+//! * [`boundary`] — the boundary-search range decomposition (Algorithm 3),
+//! * [`query`] — TRQ evaluation (edge / vertex queries; path and subgraph
+//!   queries come from `higgs_common::SummaryExt`),
+//! * [`overflow`] — overflow blocks absorbing same-timestamp bursts,
+//! * [`parallel`] — the per-layer parallel insertion pipeline
+//!   ([`ParallelHiggs`]).
+//!
+//! # Quick example
+//!
+//! ```
+//! use higgs::{HiggsConfig, HiggsSummary};
+//! use higgs_common::{StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection};
+//!
+//! let mut summary = HiggsSummary::new(HiggsConfig::default());
+//! summary.insert(&StreamEdge::new(1, 2, 5, 10));
+//! summary.insert(&StreamEdge::new(1, 3, 2, 11));
+//! summary.insert(&StreamEdge::new(1, 2, 1, 20));
+//!
+//! assert_eq!(summary.edge_query(1, 2, TimeRange::new(0, 15)), 5);
+//! assert_eq!(
+//!     summary.vertex_query(1, VertexDirection::Out, TimeRange::new(0, 30)),
+//!     8
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aggregate;
+pub mod boundary;
+pub mod config;
+pub mod matrix;
+pub mod node;
+pub mod overflow;
+pub mod parallel;
+pub mod query;
+pub mod tree;
+
+pub use boundary::{QueryPlan, QueryTarget};
+pub use config::HiggsConfig;
+pub use matrix::CompressedMatrix;
+pub use parallel::ParallelHiggs;
+pub use tree::HiggsSummary;

@@ -1,0 +1,572 @@
+//! The HIGGS compressed matrix: a `d × d` grid of buckets, each holding up to
+//! `b` fingerprinted entries, with the Multiple Mapping Buckets (MMB)
+//! optimisation of Section IV-C.
+//!
+//! Leaf matrices store a per-entry time offset relative to the matrix's start
+//! time; aggregated (non-leaf) matrices store no temporal information
+//! (Section IV-A). Every entry also records the index pair `(i, j)` of the
+//! mapping-bucket it occupies so that queries and aggregation can attribute
+//! it to the correct base address.
+
+use higgs_common::hashing::AddressSequence;
+
+/// One stored edge record: the fingerprint pair, the MMB index pair, the
+/// time offset (leaf matrices only; 0 in aggregated matrices), and the
+/// accumulated weight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// Source fingerprint at this matrix's layer.
+    pub fp_src: u32,
+    /// Destination fingerprint at this matrix's layer.
+    pub fp_dst: u32,
+    /// Index of the source mapping address used (`i` of the index pair).
+    pub idx_src: u8,
+    /// Index of the destination mapping address used (`j` of the index pair).
+    pub idx_dst: u8,
+    /// Timestamp offset relative to the matrix's start time (leaf layer only).
+    pub time_offset: u32,
+    /// Accumulated weight (signed so deletions cannot wrap).
+    pub weight: i64,
+}
+
+/// A query-time filter on entry time offsets (inclusive bounds). `None`
+/// disables temporal filtering (non-leaf matrices).
+pub type OffsetFilter = Option<(u32, u32)>;
+
+/// A spilled aggregation entry: kept outside the bucket grid when every
+/// candidate bucket of an aggregation insert is full. Spills are rare (the
+/// parent has the same total capacity as its children) but must preserve
+/// exact attribution so that aggregation never loses weight for any edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct SpillEntry {
+    addr_src: u64,
+    addr_dst: u64,
+    fp_src: u32,
+    fp_dst: u32,
+    weight: i64,
+}
+
+/// The HIGGS compressed matrix.
+#[derive(Clone, Debug)]
+pub struct CompressedMatrix {
+    side: u64,
+    layer: u32,
+    bucket_entries: usize,
+    mapping: u32,
+    seq: AddressSequence,
+    buckets: Vec<Vec<Entry>>,
+    spill: Vec<SpillEntry>,
+    stored: usize,
+}
+
+impl CompressedMatrix {
+    /// Creates an empty matrix of `side × side` buckets at tree layer
+    /// `layer`, with `bucket_entries` entries per bucket and `mapping`
+    /// candidate addresses per vertex.
+    pub fn new(side: u64, layer: u32, bucket_entries: usize, mapping: u32) -> Self {
+        assert!(side.is_power_of_two() && side >= 2);
+        assert!(bucket_entries >= 1);
+        assert!(mapping >= 1);
+        Self {
+            side,
+            layer,
+            bucket_entries,
+            mapping,
+            seq: AddressSequence::new(side),
+            buckets: vec![Vec::new(); (side * side) as usize],
+            spill: Vec::new(),
+            stored: 0,
+        }
+    }
+
+    /// Matrix side length `d`.
+    pub fn side(&self) -> u64 {
+        self.side
+    }
+
+    /// Tree layer this matrix belongs to (1 = leaf layer).
+    pub fn layer(&self) -> u32 {
+        self.layer
+    }
+
+    /// Number of entries currently stored.
+    pub fn stored(&self) -> usize {
+        self.stored
+    }
+
+    /// Maximum number of entries (`b · d²`).
+    pub fn capacity(&self) -> usize {
+        self.bucket_entries * (self.side * self.side) as usize
+    }
+
+    /// Fraction of entry slots in use (the utilisation rate of Section V-A).
+    pub fn utilization(&self) -> f64 {
+        self.stored as f64 / self.capacity() as f64
+    }
+
+    /// Whether the matrix holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.stored == 0
+    }
+
+    /// Number of aggregation entries that spilled outside the bucket grid
+    /// because every candidate bucket was full (diagnostic; always zero for
+    /// leaf usage and zero whenever the parent capacity suffices).
+    pub fn spill_len(&self) -> usize {
+        self.spill.len()
+    }
+
+    /// Total stored weight (bucket entries plus spilled entries).
+    pub fn total_weight(&self) -> i64 {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(|e| e.weight)
+            .sum::<i64>()
+            + self.spill.iter().map(|e| e.weight).sum::<i64>()
+    }
+
+    #[inline]
+    fn bucket_index(&self, row: u64, col: u64) -> usize {
+        (row * self.side + col) as usize
+    }
+
+    /// Tries to insert (or accumulate) an entry. Returns `false` if every
+    /// candidate bucket is full and no matching entry exists — the signal
+    /// that triggers leaf creation in Algorithm 1.
+    ///
+    /// `time_offset = Some(o)` (leaf matrices) requires matching entries to
+    /// carry the same offset; `None` (aggregated matrices) matches on the
+    /// fingerprint pair alone.
+    pub fn try_insert(
+        &mut self,
+        addr_src: u64,
+        addr_dst: u64,
+        fp_src: u32,
+        fp_dst: u32,
+        time_offset: Option<u32>,
+        weight: i64,
+    ) -> bool {
+        let offset = time_offset.unwrap_or(0);
+        // First pass: look for a matching entry among all candidate buckets
+        // (an identical edge may already live in a later candidate because
+        // earlier ones were full when it first arrived).
+        for i in 0..self.mapping {
+            let row = self.seq.address(addr_src % self.side, i);
+            for j in 0..self.mapping {
+                let col = self.seq.address(addr_dst % self.side, j);
+                let idx = self.bucket_index(row, col);
+                for entry in &mut self.buckets[idx] {
+                    if entry.fp_src == fp_src
+                        && entry.fp_dst == fp_dst
+                        && entry.idx_src == i as u8
+                        && entry.idx_dst == j as u8
+                        && (time_offset.is_none() || entry.time_offset == offset)
+                    {
+                        entry.weight += weight;
+                        return true;
+                    }
+                }
+            }
+        }
+        // Second pass: first candidate bucket with a free slot.
+        for i in 0..self.mapping {
+            let row = self.seq.address(addr_src % self.side, i);
+            for j in 0..self.mapping {
+                let col = self.seq.address(addr_dst % self.side, j);
+                let idx = self.bucket_index(row, col);
+                if self.buckets[idx].len() < self.bucket_entries {
+                    self.buckets[idx].push(Entry {
+                        fp_src,
+                        fp_dst,
+                        idx_src: i as u8,
+                        idx_dst: j as u8,
+                        time_offset: offset,
+                        weight,
+                    });
+                    self.stored += 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Inserts during aggregation: never fails. If every candidate bucket is
+    /// full, the entry is kept in an exact spill list keyed by its base
+    /// address and fingerprint pair, so aggregation never loses or misplaces
+    /// weight (Algorithm 2's no-additional-error guarantee).
+    pub fn insert_aggregated(
+        &mut self,
+        addr_src: u64,
+        addr_dst: u64,
+        fp_src: u32,
+        fp_dst: u32,
+        weight: i64,
+    ) {
+        if self.try_insert(addr_src, addr_dst, fp_src, fp_dst, None, weight) {
+            return;
+        }
+        let addr_src = addr_src % self.side;
+        let addr_dst = addr_dst % self.side;
+        if let Some(existing) = self.spill.iter_mut().find(|e| {
+            e.addr_src == addr_src
+                && e.addr_dst == addr_dst
+                && e.fp_src == fp_src
+                && e.fp_dst == fp_dst
+        }) {
+            existing.weight += weight;
+        } else {
+            self.spill.push(SpillEntry {
+                addr_src,
+                addr_dst,
+                fp_src,
+                fp_dst,
+                weight,
+            });
+        }
+    }
+
+    /// Decrements a previously inserted edge. Matching entries are searched
+    /// across all candidate buckets; if `filter` is given, only entries whose
+    /// offset lies inside it are decremented. Returns `true` if any entry was
+    /// found.
+    pub fn try_delete(
+        &mut self,
+        addr_src: u64,
+        addr_dst: u64,
+        fp_src: u32,
+        fp_dst: u32,
+        filter: OffsetFilter,
+        weight: i64,
+    ) -> bool {
+        for i in 0..self.mapping {
+            let row = self.seq.address(addr_src % self.side, i);
+            for j in 0..self.mapping {
+                let col = self.seq.address(addr_dst % self.side, j);
+                let idx = self.bucket_index(row, col);
+                for entry in &mut self.buckets[idx] {
+                    let offset_ok = match filter {
+                        None => true,
+                        Some((lo, hi)) => entry.time_offset >= lo && entry.time_offset <= hi,
+                    };
+                    if entry.fp_src == fp_src
+                        && entry.fp_dst == fp_dst
+                        && entry.idx_src == i as u8
+                        && entry.idx_dst == j as u8
+                        && offset_ok
+                    {
+                        entry.weight -= weight;
+                        return true;
+                    }
+                }
+            }
+        }
+        let (addr_src, addr_dst) = (addr_src % self.side, addr_dst % self.side);
+        if let Some(entry) = self.spill.iter_mut().find(|e| {
+            e.addr_src == addr_src
+                && e.addr_dst == addr_dst
+                && e.fp_src == fp_src
+                && e.fp_dst == fp_dst
+        }) {
+            entry.weight -= weight;
+            return true;
+        }
+        false
+    }
+
+    /// Edge query: sums entries matching the fingerprint pair (and offset
+    /// filter) over all candidate buckets. Never underestimates.
+    pub fn edge_weight(
+        &self,
+        addr_src: u64,
+        addr_dst: u64,
+        fp_src: u32,
+        fp_dst: u32,
+        filter: OffsetFilter,
+    ) -> u64 {
+        let mut total = 0i64;
+        for i in 0..self.mapping {
+            let row = self.seq.address(addr_src % self.side, i);
+            for j in 0..self.mapping {
+                let col = self.seq.address(addr_dst % self.side, j);
+                let idx = self.bucket_index(row, col);
+                for entry in &self.buckets[idx] {
+                    if entry.fp_src == fp_src
+                        && entry.fp_dst == fp_dst
+                        && entry.idx_src == i as u8
+                        && entry.idx_dst == j as u8
+                        && Self::offset_matches(entry, filter)
+                    {
+                        total += entry.weight;
+                    }
+                }
+            }
+        }
+        let (addr_src, addr_dst) = (addr_src % self.side, addr_dst % self.side);
+        total += self
+            .spill
+            .iter()
+            .filter(|e| {
+                e.addr_src == addr_src
+                    && e.addr_dst == addr_dst
+                    && e.fp_src == fp_src
+                    && e.fp_dst == fp_dst
+            })
+            .map(|e| e.weight)
+            .sum::<i64>();
+        total.max(0) as u64
+    }
+
+    /// Source-vertex query: sums entries in the candidate rows whose source
+    /// fingerprint (and row index) match (Eq. (2) of the paper, extended to
+    /// MMB rows).
+    pub fn src_weight(&self, addr_src: u64, fp_src: u32, filter: OffsetFilter) -> u64 {
+        let mut total = 0i64;
+        for i in 0..self.mapping {
+            let row = self.seq.address(addr_src % self.side, i);
+            let base = (row * self.side) as usize;
+            for bucket in &self.buckets[base..base + self.side as usize] {
+                for entry in bucket {
+                    if entry.fp_src == fp_src
+                        && entry.idx_src == i as u8
+                        && Self::offset_matches(entry, filter)
+                    {
+                        total += entry.weight;
+                    }
+                }
+            }
+        }
+        let addr_src = addr_src % self.side;
+        total += self
+            .spill
+            .iter()
+            .filter(|e| e.addr_src == addr_src && e.fp_src == fp_src)
+            .map(|e| e.weight)
+            .sum::<i64>();
+        total.max(0) as u64
+    }
+
+    /// Destination-vertex query: sums entries in the candidate columns whose
+    /// destination fingerprint (and column index) match.
+    pub fn dst_weight(&self, addr_dst: u64, fp_dst: u32, filter: OffsetFilter) -> u64 {
+        let mut total = 0i64;
+        for j in 0..self.mapping {
+            let col = self.seq.address(addr_dst % self.side, j);
+            for row in 0..self.side {
+                let idx = self.bucket_index(row, col);
+                for entry in &self.buckets[idx] {
+                    if entry.fp_dst == fp_dst
+                        && entry.idx_dst == j as u8
+                        && Self::offset_matches(entry, filter)
+                    {
+                        total += entry.weight;
+                    }
+                }
+            }
+        }
+        let addr_dst = addr_dst % self.side;
+        total += self
+            .spill
+            .iter()
+            .filter(|e| e.addr_dst == addr_dst && e.fp_dst == fp_dst)
+            .map(|e| e.weight)
+            .sum::<i64>();
+        total.max(0) as u64
+    }
+
+    #[inline]
+    fn offset_matches(entry: &Entry, filter: OffsetFilter) -> bool {
+        match filter {
+            None => true,
+            Some((lo, hi)) => entry.time_offset >= lo && entry.time_offset <= hi,
+        }
+    }
+
+    /// Iterates over all stored entries together with the row/column of the
+    /// bucket holding them (used by aggregation).
+    pub fn entries(&self) -> impl Iterator<Item = (u64, u64, &Entry)> {
+        self.buckets.iter().enumerate().flat_map(move |(idx, bucket)| {
+            let row = idx as u64 / self.side;
+            let col = idx as u64 % self.side;
+            bucket.iter().map(move |e| (row, col, e))
+        })
+    }
+
+    /// The LCG address sequence used by this matrix (needed to map stored
+    /// bucket positions back to base addresses during aggregation).
+    pub fn address_sequence(&self) -> AddressSequence {
+        self.seq
+    }
+
+    /// Memory footprint in bytes.
+    pub fn space_bytes(&self) -> usize {
+        let entries: usize = self
+            .buckets
+            .iter()
+            .map(|b| b.capacity() * std::mem::size_of::<Entry>())
+            .sum();
+        entries
+            + self.buckets.capacity() * std::mem::size_of::<Vec<Entry>>()
+            + self.spill.capacity() * std::mem::size_of::<SpillEntry>()
+            + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> CompressedMatrix {
+        CompressedMatrix::new(8, 1, 3, 4)
+    }
+
+    #[test]
+    fn insert_and_edge_query() {
+        let mut m = matrix();
+        assert!(m.try_insert(1, 2, 100, 200, Some(5), 7));
+        assert_eq!(m.edge_weight(1, 2, 100, 200, None), 7);
+        assert_eq!(m.edge_weight(1, 2, 100, 200, Some((0, 10))), 7);
+        assert_eq!(m.edge_weight(1, 2, 100, 200, Some((6, 10))), 0);
+    }
+
+    #[test]
+    fn same_edge_same_offset_accumulates() {
+        let mut m = matrix();
+        assert!(m.try_insert(1, 2, 100, 200, Some(5), 3));
+        assert!(m.try_insert(1, 2, 100, 200, Some(5), 4));
+        assert_eq!(m.stored(), 1);
+        assert_eq!(m.edge_weight(1, 2, 100, 200, None), 7);
+    }
+
+    #[test]
+    fn same_edge_different_offset_uses_two_entries() {
+        let mut m = matrix();
+        assert!(m.try_insert(1, 2, 100, 200, Some(5), 3));
+        assert!(m.try_insert(1, 2, 100, 200, Some(9), 4));
+        assert_eq!(m.stored(), 2);
+        assert_eq!(m.edge_weight(1, 2, 100, 200, Some((0, 6))), 3);
+        assert_eq!(m.edge_weight(1, 2, 100, 200, Some((6, 9))), 4);
+        assert_eq!(m.edge_weight(1, 2, 100, 200, None), 7);
+    }
+
+    #[test]
+    fn aggregated_mode_ignores_offsets() {
+        let mut m = CompressedMatrix::new(8, 2, 3, 4);
+        assert!(m.try_insert(1, 2, 10, 20, None, 3));
+        assert!(m.try_insert(1, 2, 10, 20, None, 4));
+        assert_eq!(m.stored(), 1);
+        assert_eq!(m.edge_weight(1, 2, 10, 20, None), 7);
+    }
+
+    #[test]
+    fn distinct_fingerprints_do_not_mix() {
+        let mut m = matrix();
+        assert!(m.try_insert(1, 2, 100, 200, Some(0), 5));
+        assert!(m.try_insert(1, 2, 101, 200, Some(0), 9));
+        assert_eq!(m.edge_weight(1, 2, 100, 200, None), 5);
+        assert_eq!(m.edge_weight(1, 2, 101, 200, None), 9);
+    }
+
+    #[test]
+    fn insertion_fails_when_all_candidates_full() {
+        // 2×2 matrix, 1 entry per bucket, 1 mapping address: capacity 4 but a
+        // single (addr, addr) pair only ever sees one bucket.
+        let mut m = CompressedMatrix::new(2, 1, 1, 1);
+        assert!(m.try_insert(0, 0, 1, 1, Some(0), 1));
+        assert!(!m.try_insert(0, 0, 2, 2, Some(0), 1), "bucket is full");
+    }
+
+    #[test]
+    fn mmb_increases_effective_capacity() {
+        let mut without = CompressedMatrix::new(4, 1, 1, 1);
+        let mut with = CompressedMatrix::new(4, 1, 1, 4);
+        let mut placed_without = 0;
+        let mut placed_with = 0;
+        for k in 0..64u32 {
+            // All edges share the same base address pair: the worst case MMB
+            // is designed for.
+            if without.try_insert(1, 1, k, k, Some(0), 1) {
+                placed_without += 1;
+            }
+            if with.try_insert(1, 1, k, k, Some(0), 1) {
+                placed_with += 1;
+            }
+        }
+        assert!(placed_with > placed_without);
+    }
+
+    #[test]
+    fn vertex_queries_sum_rows_and_columns() {
+        let mut m = matrix();
+        m.try_insert(3, 1, 10, 21, Some(0), 2);
+        m.try_insert(3, 2, 10, 22, Some(0), 3);
+        m.try_insert(4, 1, 11, 21, Some(0), 5);
+        assert_eq!(m.src_weight(3, 10, None), 5);
+        assert_eq!(m.dst_weight(1, 21, None), 7);
+        assert_eq!(m.src_weight(4, 11, None), 5);
+    }
+
+    #[test]
+    fn vertex_query_respects_offset_filter() {
+        let mut m = matrix();
+        m.try_insert(3, 1, 10, 21, Some(2), 2);
+        m.try_insert(3, 2, 10, 22, Some(8), 3);
+        assert_eq!(m.src_weight(3, 10, Some((0, 4))), 2);
+        assert_eq!(m.src_weight(3, 10, Some((5, 9))), 3);
+    }
+
+    #[test]
+    fn delete_decrements_weight() {
+        let mut m = matrix();
+        m.try_insert(1, 2, 100, 200, Some(5), 7);
+        assert!(m.try_delete(1, 2, 100, 200, Some((5, 5)), 3));
+        assert_eq!(m.edge_weight(1, 2, 100, 200, None), 4);
+        assert!(!m.try_delete(1, 2, 100, 200, Some((9, 9)), 1));
+    }
+
+    #[test]
+    fn insert_aggregated_never_fails_or_loses_attribution() {
+        let mut m = CompressedMatrix::new(2, 2, 1, 1);
+        for k in 0..20u32 {
+            m.insert_aggregated(0, 0, k, k, 1);
+        }
+        assert!(m.spill_len() > 0, "tiny aggregate must spill");
+        assert_eq!(m.total_weight(), 20);
+        // Every spilled edge remains individually queryable: no weight is
+        // credited to the wrong fingerprint.
+        for k in 0..20u32 {
+            assert_eq!(m.edge_weight(0, 0, k, k, None), 1);
+        }
+        // Vertex queries see spilled entries too.
+        assert_eq!(m.src_weight(0, 5, None), 1);
+        assert_eq!(m.dst_weight(0, 7, None), 1);
+        // Deleting a spilled entry works.
+        assert!(m.try_delete(0, 0, 9, 9, None, 1));
+        assert_eq!(m.edge_weight(0, 0, 9, 9, None), 0);
+    }
+
+    #[test]
+    fn entries_iterator_reports_positions() {
+        let mut m = matrix();
+        m.try_insert(1, 2, 100, 200, Some(0), 7);
+        let collected: Vec<_> = m.entries().collect();
+        assert_eq!(collected.len(), 1);
+        let (row, col, e) = collected[0];
+        assert!(row < 8 && col < 8);
+        assert_eq!(e.weight, 7);
+    }
+
+    #[test]
+    fn utilization_and_space() {
+        let mut m = matrix();
+        assert_eq!(m.utilization(), 0.0);
+        m.try_insert(1, 2, 1, 2, Some(0), 1);
+        assert!(m.utilization() > 0.0);
+        assert!(m.space_bytes() > 0);
+        assert_eq!(m.capacity(), 3 * 64);
+        assert_eq!(m.side(), 8);
+        assert_eq!(m.layer(), 1);
+        assert!(!m.is_empty());
+    }
+}

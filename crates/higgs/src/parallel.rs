@@ -1,0 +1,322 @@
+//! Parallel insertion pipeline (Section IV-C).
+//!
+//! The paper assigns each tree layer its own thread and lets only the leaf
+//! thread touch the raw stream, so that order preservation is required only
+//! at the item level. This implementation keeps leaf insertion on the ingest
+//! thread (it is O(1) and cheap) and ships every group-close *aggregation*
+//! job to a pool of per-layer worker threads over crossbeam channels:
+//! aggregation — the expensive part of an insertion — is thereby removed from
+//! the ingest critical path, which is what produces the throughput gain of
+//! Fig. 20a.
+//!
+//! Queries remain correct while aggregations are in flight because the
+//! boundary search only uses aggregates that have materialised and otherwise
+//! descends to the leaves (see [`boundary`](crate::boundary)). Calling
+//! [`ParallelHiggs::flush`] blocks until every outstanding aggregate is
+//! installed, after which the structure is bit-for-bit equivalent to a
+//! sequentially built [`HiggsSummary`].
+
+use crate::config::HiggsConfig;
+use crate::matrix::CompressedMatrix;
+use crate::tree::HiggsSummary;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use higgs_common::hashing::FingerprintLayout;
+use higgs_common::{StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection, VertexId, Weight};
+use std::thread::JoinHandle;
+
+/// An aggregation job shipped to a worker: the cloned leaf matrices (and
+/// overflow blocks) covered by the node, plus the target layer.
+struct Job {
+    level: usize,
+    index: usize,
+    target_layer: u32,
+    sources: Vec<CompressedMatrix>,
+    layout: FingerprintLayout,
+    config: HiggsConfig,
+}
+
+/// A finished aggregation.
+struct JobResult {
+    level: usize,
+    index: usize,
+    matrix: CompressedMatrix,
+}
+
+/// HIGGS with background aggregation workers.
+pub struct ParallelHiggs {
+    inner: HiggsSummary,
+    job_tx: Option<Sender<Job>>,
+    result_rx: Receiver<JobResult>,
+    workers: Vec<JoinHandle<()>>,
+    in_flight: usize,
+}
+
+impl ParallelHiggs {
+    /// Creates a parallel summary with `workers` aggregation threads
+    /// (the paper uses one per layer; 2–4 is plenty for laptop-scale runs).
+    pub fn new(config: HiggsConfig, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (job_tx, job_rx) = unbounded::<Job>();
+        let (result_tx, result_rx) = unbounded::<JobResult>();
+        let handles = (0..workers)
+            .map(|_| {
+                let job_rx = job_rx.clone();
+                let result_tx = result_tx.clone();
+                std::thread::spawn(move || {
+                    while let Ok(job) = job_rx.recv() {
+                        let sources: Vec<&CompressedMatrix> = job.sources.iter().collect();
+                        let matrix = crate::aggregate::aggregate_leaves_to_layer(
+                            &job.layout,
+                            &job.config,
+                            &sources,
+                            job.target_layer,
+                        );
+                        // The receiver disappearing just means the owner was
+                        // dropped mid-flight; the result is no longer needed.
+                        let _ = result_tx.send(JobResult {
+                            level: job.level,
+                            index: job.index,
+                            matrix,
+                        });
+                    }
+                })
+            })
+            .collect();
+        Self {
+            inner: HiggsSummary::with_deferred_aggregation(config),
+            job_tx: Some(job_tx),
+            result_rx,
+            workers: handles,
+            in_flight: 0,
+        }
+    }
+
+    /// Read access to the underlying summary (aggregates may still be in
+    /// flight; queries are nonetheless correct).
+    pub fn summary(&self) -> &HiggsSummary {
+        &self.inner
+    }
+
+    /// Number of aggregation jobs currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    fn dispatch_pending(&mut self) {
+        let jobs = self.inner.take_pending_aggregations();
+        for job in jobs {
+            let (first, last) = self.inner.leaf_span(job.level, job.index);
+            let mut sources = Vec::new();
+            for leaf in &self.inner.leaves[first..=last] {
+                sources.push(leaf.matrix.clone());
+                sources.extend(leaf.overflow.blocks().iter().cloned());
+            }
+            let payload = Job {
+                level: job.level,
+                index: job.index,
+                target_layer: job.level as u32 + 2,
+                sources,
+                layout: *self.inner.layout(),
+                config: *self.inner.config(),
+            };
+            if let Some(tx) = &self.job_tx {
+                if tx.send(payload).is_ok() {
+                    self.in_flight += 1;
+                }
+            }
+        }
+    }
+
+    fn drain_results(&mut self, block: bool) {
+        loop {
+            let result = if block && self.in_flight > 0 {
+                match self.result_rx.recv() {
+                    Ok(r) => r,
+                    Err(_) => break,
+                }
+            } else {
+                match self.result_rx.try_recv() {
+                    Ok(r) => r,
+                    Err(_) => break,
+                }
+            };
+            self.inner
+                .install_aggregation(result.level, result.index, result.matrix);
+            self.in_flight -= 1;
+            if self.in_flight == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Blocks until every outstanding aggregation has been installed.
+    pub fn flush(&mut self) {
+        self.dispatch_pending();
+        while self.in_flight > 0 {
+            self.drain_results(true);
+        }
+    }
+
+    /// Consumes the pipeline, flushes it, and returns the fully aggregated
+    /// sequential summary.
+    pub fn into_summary(mut self) -> HiggsSummary {
+        self.flush();
+        self.shutdown();
+        std::mem::replace(
+            &mut self.inner,
+            HiggsSummary::new(HiggsConfig::paper_default()),
+        )
+    }
+
+    fn shutdown(&mut self) {
+        self.job_tx = None; // closing the channel stops the workers
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ParallelHiggs {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl TemporalGraphSummary for ParallelHiggs {
+    fn insert(&mut self, edge: &StreamEdge) {
+        self.inner.insert_edge(edge);
+        self.dispatch_pending();
+        self.drain_results(false);
+    }
+
+    fn delete(&mut self, edge: &StreamEdge) {
+        // Deletions must see fully materialised ancestors to decrement them.
+        self.flush();
+        self.inner.delete_edge(edge);
+    }
+
+    fn edge_query(&self, src: VertexId, dst: VertexId, range: TimeRange) -> Weight {
+        self.inner.edge_query(src, dst, range)
+    }
+
+    fn vertex_query(
+        &self,
+        vertex: VertexId,
+        direction: VertexDirection,
+        range: TimeRange,
+    ) -> Weight {
+        self.inner.vertex_query(vertex, direction, range)
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.inner.space_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "HIGGS-parallel"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> HiggsConfig {
+        HiggsConfig {
+            d1: 4,
+            f1_bits: 12,
+            r_bits: 1,
+            bucket_entries: 2,
+            mapping_addresses: 2,
+            overflow_blocks: true,
+        }
+    }
+
+    fn edges(n: u64) -> Vec<StreamEdge> {
+        (0..n)
+            .map(|i| StreamEdge::new(i % 150, (i * 7) % 150, 1 + i % 3, i))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_after_flush() {
+        let stream = edges(4_000);
+        let mut sequential = HiggsSummary::new(tiny_config());
+        let mut parallel = ParallelHiggs::new(tiny_config(), 3);
+        for e in &stream {
+            sequential.insert(e);
+            parallel.insert(e);
+        }
+        parallel.flush();
+        assert_eq!(parallel.in_flight(), 0);
+        for (lo, hi) in [(0u64, 3_999u64), (100, 900), (2_000, 2_500)] {
+            let r = TimeRange::new(lo, hi);
+            for v in (0..150u64).step_by(13) {
+                assert_eq!(
+                    sequential.edge_query(v, (v * 7) % 150, r),
+                    parallel.edge_query(v, (v * 7) % 150, r)
+                );
+                assert_eq!(
+                    sequential.vertex_query(v, VertexDirection::Out, r),
+                    parallel.vertex_query(v, VertexDirection::Out, r)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn queries_are_correct_while_jobs_in_flight() {
+        let stream = edges(2_000);
+        let mut sequential = HiggsSummary::new(tiny_config());
+        let mut parallel = ParallelHiggs::new(tiny_config(), 2);
+        for e in &stream {
+            sequential.insert(e);
+            parallel.insert(e);
+        }
+        // No flush: some aggregates may still be missing; answers must match
+        // anyway because queries fall back to the leaves.
+        let r = TimeRange::new(250, 1_750);
+        for v in (0..150u64).step_by(29) {
+            assert_eq!(
+                sequential.edge_query(v, (v * 7) % 150, r),
+                parallel.edge_query(v, (v * 7) % 150, r)
+            );
+        }
+    }
+
+    #[test]
+    fn into_summary_produces_fully_aggregated_tree() {
+        let mut parallel = ParallelHiggs::new(tiny_config(), 2);
+        for e in edges(3_000) {
+            parallel.insert(&e);
+        }
+        let summary = parallel.into_summary();
+        assert!(summary
+            .internals
+            .iter()
+            .flatten()
+            .all(|n| n.matrix.is_some()));
+    }
+
+    #[test]
+    fn delete_through_pipeline() {
+        let mut parallel = ParallelHiggs::new(tiny_config(), 2);
+        let stream = edges(1_000);
+        for e in &stream {
+            parallel.insert(e);
+        }
+        let target = &stream[123];
+        let before = parallel.edge_query(target.src, target.dst, TimeRange::all());
+        parallel.delete(target);
+        let after = parallel.edge_query(target.src, target.dst, TimeRange::all());
+        assert_eq!(after, before - target.weight);
+    }
+
+    #[test]
+    fn name_and_space() {
+        let p = ParallelHiggs::new(tiny_config(), 1);
+        assert_eq!(p.name(), "HIGGS-parallel");
+        assert_eq!(p.summary().leaf_count(), 0);
+        assert!(p.space_bytes() > 0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Temporal-range-query evaluation for HIGGS: edge and vertex queries over a
+//! [`QueryPlan`], plus the [`TemporalGraphSummary`] trait implementation that
+//! plugs HIGGS into the shared experiment harness (path and subgraph queries
+//! come from `higgs_common::SummaryExt`, identical for every competitor).
+
+use crate::boundary::{QueryPlan, QueryTarget};
+use crate::tree::HiggsSummary;
+use higgs_common::{StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection, VertexId, Weight};
+
+impl HiggsSummary {
+    /// Edge query evaluated over an existing plan (exposed so benchmarks can
+    /// separate planning cost from matrix-access cost).
+    pub fn edge_query_with_plan(&self, src: VertexId, dst: VertexId, plan: &QueryPlan) -> Weight {
+        let mut total: u64 = 0;
+        for target in &plan.targets {
+            match *target {
+                QueryTarget::Leaf { index, filter } => {
+                    let leaf = &self.leaves[index];
+                    let hs = self.layout.split_vertex(src, 1);
+                    let hd = self.layout.split_vertex(dst, 1);
+                    total += leaf.matrix.edge_weight(
+                        hs.address,
+                        hd.address,
+                        hs.fingerprint as u32,
+                        hd.fingerprint as u32,
+                        Some(filter),
+                    );
+                    total += leaf.overflow.edge_weight(
+                        hs.address,
+                        hd.address,
+                        hs.fingerprint as u32,
+                        hd.fingerprint as u32,
+                        Some(filter),
+                    );
+                }
+                QueryTarget::Aggregate { level, index } => {
+                    let layer = level as u32 + 2;
+                    let node = &self.internals[level][index];
+                    let matrix = node
+                        .matrix
+                        .as_ref()
+                        .expect("plan only references materialised aggregates");
+                    let hs = self.layout.split_vertex(src, layer);
+                    let hd = self.layout.split_vertex(dst, layer);
+                    total += matrix.edge_weight(
+                        hs.address,
+                        hd.address,
+                        hs.fingerprint as u32,
+                        hd.fingerprint as u32,
+                        None,
+                    );
+                }
+            }
+        }
+        total
+    }
+
+    /// Vertex query evaluated over an existing plan.
+    pub fn vertex_query_with_plan(
+        &self,
+        vertex: VertexId,
+        direction: VertexDirection,
+        plan: &QueryPlan,
+    ) -> Weight {
+        let mut total: u64 = 0;
+        for target in &plan.targets {
+            match *target {
+                QueryTarget::Leaf { index, filter } => {
+                    let leaf = &self.leaves[index];
+                    let hv = self.layout.split_vertex(vertex, 1);
+                    let (m, o) = match direction {
+                        VertexDirection::Out => (
+                            leaf.matrix.src_weight(
+                                hv.address,
+                                hv.fingerprint as u32,
+                                Some(filter),
+                            ),
+                            leaf.overflow.src_weight(
+                                hv.address,
+                                hv.fingerprint as u32,
+                                Some(filter),
+                            ),
+                        ),
+                        VertexDirection::In => (
+                            leaf.matrix.dst_weight(
+                                hv.address,
+                                hv.fingerprint as u32,
+                                Some(filter),
+                            ),
+                            leaf.overflow.dst_weight(
+                                hv.address,
+                                hv.fingerprint as u32,
+                                Some(filter),
+                            ),
+                        ),
+                    };
+                    total += m + o;
+                }
+                QueryTarget::Aggregate { level, index } => {
+                    let layer = level as u32 + 2;
+                    let node = &self.internals[level][index];
+                    let matrix = node
+                        .matrix
+                        .as_ref()
+                        .expect("plan only references materialised aggregates");
+                    let hv = self.layout.split_vertex(vertex, layer);
+                    total += match direction {
+                        VertexDirection::Out => {
+                            matrix.src_weight(hv.address, hv.fingerprint as u32, None)
+                        }
+                        VertexDirection::In => {
+                            matrix.dst_weight(hv.address, hv.fingerprint as u32, None)
+                        }
+                    };
+                }
+            }
+        }
+        total
+    }
+}
+
+impl TemporalGraphSummary for HiggsSummary {
+    fn insert(&mut self, edge: &StreamEdge) {
+        self.insert_edge(edge);
+    }
+
+    fn delete(&mut self, edge: &StreamEdge) {
+        self.delete_edge(edge);
+    }
+
+    fn edge_query(&self, src: VertexId, dst: VertexId, range: TimeRange) -> Weight {
+        let plan = self.plan(range);
+        self.edge_query_with_plan(src, dst, &plan)
+    }
+
+    fn vertex_query(
+        &self,
+        vertex: VertexId,
+        direction: VertexDirection,
+        range: TimeRange,
+    ) -> Weight {
+        let plan = self.plan(range);
+        self.vertex_query_with_plan(vertex, direction, &plan)
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.space()
+    }
+
+    fn name(&self) -> &'static str {
+        "HIGGS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HiggsConfig;
+    use higgs_common::{ExactTemporalGraph, SummaryExt};
+
+    fn tiny_config() -> HiggsConfig {
+        HiggsConfig {
+            d1: 4,
+            f1_bits: 14,
+            r_bits: 1,
+            bucket_entries: 2,
+            mapping_addresses: 2,
+            overflow_blocks: true,
+        }
+    }
+
+    fn fig5_edges() -> Vec<StreamEdge> {
+        vec![
+            StreamEdge::new(1, 2, 1, 1),
+            StreamEdge::new(4, 5, 1, 2),
+            StreamEdge::new(2, 3, 1, 3),
+            StreamEdge::new(1, 4, 2, 4),
+            StreamEdge::new(4, 6, 3, 5),
+            StreamEdge::new(2, 3, 1, 6),
+            StreamEdge::new(3, 7, 2, 7),
+            StreamEdge::new(4, 7, 2, 8),
+            StreamEdge::new(2, 3, 2, 9),
+            StreamEdge::new(5, 6, 1, 10),
+            StreamEdge::new(6, 7, 1, 11),
+        ]
+    }
+
+    #[test]
+    fn reproduces_example_1_exactly() {
+        let mut s = HiggsSummary::new(HiggsConfig::paper_default());
+        for e in fig5_edges() {
+            s.insert(&e);
+        }
+        // Example 1 of the paper.
+        assert_eq!(s.edge_query(2, 3, TimeRange::new(5, 10)), 3);
+        assert_eq!(
+            s.vertex_query(4, VertexDirection::Out, TimeRange::new(1, 11)),
+            6
+        );
+        let sub = higgs_common::SubgraphQuery {
+            edges: vec![(2, 3), (3, 7), (2, 4)],
+            range: TimeRange::new(4, 8),
+        };
+        assert_eq!(s.subgraph_query(&sub), 3);
+    }
+
+    #[test]
+    fn matches_exact_store_on_small_collision_free_stream() {
+        let mut s = HiggsSummary::new(HiggsConfig::paper_default());
+        let mut exact = ExactTemporalGraph::new();
+        let edges: Vec<StreamEdge> = (0..500u64)
+            .map(|i| StreamEdge::new(i % 37, (i * 13) % 41 + 100, 1 + i % 4, i))
+            .collect();
+        for e in &edges {
+            s.insert(e);
+            exact.insert(e);
+        }
+        for (lo, hi) in [(0u64, 499u64), (10, 20), (100, 400), (250, 250)] {
+            let r = TimeRange::new(lo, hi);
+            for e in edges.iter().step_by(17) {
+                assert_eq!(
+                    s.edge_query(e.src, e.dst, r),
+                    exact.edge_query(e.src, e.dst, r),
+                    "edge ({},{}) over {r}",
+                    e.src,
+                    e.dst
+                );
+            }
+            for v in [0u64, 5, 17, 101, 120] {
+                assert_eq!(
+                    s.vertex_query(v, VertexDirection::Out, r),
+                    exact.vertex_query(v, VertexDirection::Out, r)
+                );
+                assert_eq!(
+                    s.vertex_query(v, VertexDirection::In, r),
+                    exact.vertex_query(v, VertexDirection::In, r)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn never_underestimates_with_tiny_matrices() {
+        // Force heavy collisions with a deliberately under-sized structure:
+        // estimates may exceed the truth but never fall below it.
+        let mut s = HiggsSummary::new(tiny_config());
+        let mut exact = ExactTemporalGraph::new();
+        for i in 0..5_000u64 {
+            let e = StreamEdge::new(i % 23, (i * 7) % 23, 1, i / 3);
+            s.insert(&e);
+            exact.insert(&e);
+        }
+        for (lo, hi) in [(0u64, 2000u64), (100, 300), (0, 50), (1500, 1666)] {
+            let r = TimeRange::new(lo, hi);
+            for src in 0..23u64 {
+                for dst in 0..23u64 {
+                    let est = s.edge_query(src, dst, r);
+                    let truth = exact.edge_query(src, dst, r);
+                    assert!(est >= truth, "underestimate for ({src},{dst}) over {r}");
+                }
+                let est = s.vertex_query(src, VertexDirection::Out, r);
+                let truth = exact.vertex_query(src, VertexDirection::Out, r);
+                assert!(est >= truth);
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_filtering_respects_range_boundaries() {
+        let mut s = HiggsSummary::new(HiggsConfig::paper_default());
+        s.insert(&StreamEdge::new(1, 2, 10, 100));
+        s.insert(&StreamEdge::new(1, 2, 20, 200));
+        s.insert(&StreamEdge::new(1, 2, 30, 300));
+        assert_eq!(s.edge_query(1, 2, TimeRange::new(0, 99)), 0);
+        assert_eq!(s.edge_query(1, 2, TimeRange::new(100, 100)), 10);
+        assert_eq!(s.edge_query(1, 2, TimeRange::new(100, 200)), 30);
+        assert_eq!(s.edge_query(1, 2, TimeRange::new(150, 250)), 20);
+        assert_eq!(s.edge_query(1, 2, TimeRange::new(301, 400)), 0);
+        assert_eq!(s.edge_query(1, 2, TimeRange::all()), 60);
+    }
+
+    #[test]
+    fn plan_reuse_matches_direct_queries() {
+        let mut s = HiggsSummary::new(tiny_config());
+        for i in 0..3_000u64 {
+            s.insert(&StreamEdge::new(i % 80, (i * 3) % 80, 1, i));
+        }
+        let range = TimeRange::new(500, 2_200);
+        let plan = s.plan(range);
+        for src in (0..80u64).step_by(7) {
+            for dst in (0..80u64).step_by(11) {
+                assert_eq!(
+                    s.edge_query_with_plan(src, dst, &plan),
+                    s.edge_query(src, dst, range)
+                );
+            }
+            assert_eq!(
+                s.vertex_query_with_plan(src, VertexDirection::In, &plan),
+                s.vertex_query(src, VertexDirection::In, range)
+            );
+        }
+    }
+
+    #[test]
+    fn name_is_higgs() {
+        let s = HiggsSummary::new(HiggsConfig::paper_default());
+        assert_eq!(s.name(), "HIGGS");
+    }
+}

@@ -1,0 +1,498 @@
+//! The HIGGS hierarchical summary: an aggregated B-tree of compressed
+//! matrices built bottom-up in stream order (Section IV-A/IV-B, Algorithm 1).
+//!
+//! Leaves are created append-only as the current leaf fills up; every time a
+//! group of θ nodes at some layer completes, their matrices are aggregated
+//! into a parent node one layer up (Algorithm 2). Aggregation can run inline
+//! (the default) or be deferred to background workers (see
+//! [`ParallelHiggs`](crate::ParallelHiggs)); queries fall back to a node's
+//! children whenever its aggregate has not materialised yet, so results are
+//! identical either way.
+
+use crate::aggregate::aggregate_leaves_to_layer;
+use crate::config::HiggsConfig;
+use crate::matrix::CompressedMatrix;
+use crate::node::{InternalNode, LeafNode};
+use crate::overflow::OverflowChain;
+use higgs_common::hashing::FingerprintLayout;
+use higgs_common::{StreamEdge, TimeRange, Timestamp};
+
+/// A deferred aggregation job: internal level (0 = the layer right above the
+/// leaves) and node index within that level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PendingAggregation {
+    /// Index into the internal-levels vector (level 0 is tree layer 2).
+    pub level: usize,
+    /// Node index within the level.
+    pub index: usize,
+}
+
+/// The HIGGS summary structure.
+#[derive(Clone, Debug)]
+pub struct HiggsSummary {
+    pub(crate) config: HiggsConfig,
+    pub(crate) layout: FingerprintLayout,
+    pub(crate) leaves: Vec<LeafNode>,
+    /// `internals[l]` holds the complete nodes of tree layer `l + 2`.
+    pub(crate) internals: Vec<Vec<InternalNode>>,
+    pub(crate) total_items: u64,
+    pub(crate) defer_aggregation: bool,
+    pub(crate) pending: Vec<PendingAggregation>,
+}
+
+impl HiggsSummary {
+    /// Creates an empty summary with inline (synchronous) aggregation.
+    pub fn new(config: HiggsConfig) -> Self {
+        config.validate();
+        Self {
+            layout: config.layout(),
+            config,
+            leaves: Vec::new(),
+            internals: Vec::new(),
+            total_items: 0,
+            defer_aggregation: false,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Creates an empty summary whose aggregations are deferred: completed
+    /// groups are recorded in [`take_pending_aggregations`](Self::take_pending_aggregations)
+    /// instead of being aggregated inline. Used by the parallel pipeline.
+    pub fn with_deferred_aggregation(config: HiggsConfig) -> Self {
+        let mut s = Self::new(config);
+        s.defer_aggregation = true;
+        s
+    }
+
+    /// The configuration this summary was built with.
+    pub fn config(&self) -> &HiggsConfig {
+        &self.config
+    }
+
+    /// The fingerprint/address layout shared by all layers.
+    pub fn layout(&self) -> &FingerprintLayout {
+        &self.layout
+    }
+
+    /// Number of leaf nodes.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Number of tree layers (leaf layer included). An empty summary has
+    /// height 0.
+    pub fn height(&self) -> usize {
+        if self.leaves.is_empty() {
+            0
+        } else {
+            1 + self.internals.len()
+        }
+    }
+
+    /// Total number of stream items inserted (minus deletions).
+    pub fn total_items(&self) -> u64 {
+        self.total_items
+    }
+
+    /// The full time span covered by the summary, if any edge was inserted.
+    pub fn time_span(&self) -> Option<TimeRange> {
+        let first = self.leaves.first()?;
+        let last = self.leaves.last()?;
+        Some(TimeRange::new(first.start_time, last.end_time))
+    }
+
+    /// Sum of matrix utilisation over all leaves (diagnostic, Section V-A).
+    pub fn average_leaf_utilization(&self) -> f64 {
+        if self.leaves.is_empty() {
+            return 0.0;
+        }
+        self.leaves.iter().map(|l| l.matrix.utilization()).sum::<f64>() / self.leaves.len() as f64
+    }
+
+    fn new_leaf(&self, start_time: Timestamp) -> LeafNode {
+        LeafNode::new(
+            CompressedMatrix::new(
+                self.config.d1,
+                1,
+                self.config.bucket_entries,
+                self.config.mapping_addresses,
+            ),
+            // Overflow blocks keep the leaf side so their base addresses lift
+            // exactly like leaf entries during aggregation, but hold a single
+            // entry per bucket to stay small.
+            OverflowChain::new(self.config.d1, 1, self.config.mapping_addresses),
+            start_time,
+        )
+    }
+
+    /// Inserts one stream item (Algorithm 1).
+    pub fn insert_edge(&mut self, edge: &StreamEdge) {
+        let hs = self.layout.split_vertex(edge.src, 1);
+        let hd = self.layout.split_vertex(edge.dst, 1);
+        let (fs, fd) = (hs.fingerprint as u32, hd.fingerprint as u32);
+        let weight = edge.weight as i64;
+
+        if self.leaves.is_empty() {
+            self.leaves.push(self.new_leaf(edge.timestamp));
+        }
+        let leaf = self.leaves.last_mut().expect("at least one leaf exists");
+        // Streams are time-ordered; guard against minor reordering by
+        // clamping to the leaf's start so offsets stay non-negative.
+        let t = edge.timestamp.max(leaf.start_time);
+        let offset = leaf.offset_of(t);
+        if leaf
+            .matrix
+            .try_insert(hs.address, hd.address, fs, fd, Some(offset), weight)
+        {
+            leaf.end_time = leaf.end_time.max(t);
+            leaf.items += 1;
+            self.total_items += 1;
+            return;
+        }
+
+        // Insertion failed: either chain an overflow block (same timestamp as
+        // the previous edge — a new leaf key would be ambiguous) or open a
+        // new leaf and propagate the timestamp upward.
+        if self.config.overflow_blocks && t == leaf.end_time {
+            leaf.overflow
+                .insert(hs.address, hd.address, fs, fd, offset, weight);
+            leaf.items += 1;
+            self.total_items += 1;
+            return;
+        }
+
+        self.leaves.push(self.new_leaf(t));
+        let leaf = self.leaves.last_mut().expect("just pushed");
+        let inserted = leaf
+            .matrix
+            .try_insert(hs.address, hd.address, fs, fd, Some(0), weight);
+        debug_assert!(inserted, "insertion into an empty leaf matrix cannot fail");
+        leaf.end_time = t;
+        leaf.items = 1;
+        self.total_items += 1;
+        self.on_leaf_closed();
+    }
+
+    /// Called after a leaf closes (a new leaf was appended): creates every
+    /// internal node whose child group has just completed (the upward
+    /// propagation loop of Algorithm 1, lines 7–12).
+    fn on_leaf_closed(&mut self) {
+        let theta = self.config.theta();
+        let mut level = 0usize;
+        loop {
+            let children_closed = if level == 0 {
+                // All leaves except the freshly opened one are closed.
+                self.leaves.len() - 1
+            } else {
+                self.internals[level - 1].len()
+            };
+            if children_closed == 0 || children_closed % theta != 0 {
+                break;
+            }
+            let group_idx = children_closed / theta - 1;
+            if self.internals.len() <= level {
+                self.internals.push(Vec::new());
+            }
+            if self.internals[level].len() > group_idx {
+                break; // node already exists (defensive; should not happen)
+            }
+            self.create_internal(level, group_idx);
+            level += 1;
+        }
+    }
+
+    /// Creates the internal node at `(level, group_idx)`; aggregates inline
+    /// unless aggregation is deferred.
+    fn create_internal(&mut self, level: usize, group_idx: usize) {
+        let (first_leaf, last_leaf) = self.leaf_span(level, group_idx);
+        let start_time = self.leaves[first_leaf].start_time;
+        let end_time = self.leaves[last_leaf].end_time;
+        let matrix = if self.defer_aggregation {
+            self.pending.push(PendingAggregation {
+                level,
+                index: group_idx,
+            });
+            None
+        } else {
+            Some(self.compute_aggregation(level, group_idx))
+        };
+        debug_assert_eq!(self.internals[level].len(), group_idx);
+        self.internals[level].push(InternalNode {
+            matrix,
+            start_time,
+            end_time,
+        });
+    }
+
+    /// Leaf index range `[first, last]` covered by internal node
+    /// `(level, group_idx)`.
+    pub(crate) fn leaf_span(&self, level: usize, group_idx: usize) -> (usize, usize) {
+        let theta = self.config.theta();
+        let span = theta.pow(level as u32 + 1);
+        let first = group_idx * span;
+        let last = ((group_idx + 1) * span - 1).min(self.leaves.len().saturating_sub(1));
+        (first, last)
+    }
+
+    /// Computes the aggregated matrix of internal node `(level, group_idx)`
+    /// directly from the leaf matrices (and overflow blocks) it covers.
+    pub fn compute_aggregation(&self, level: usize, group_idx: usize) -> CompressedMatrix {
+        let (first, last) = self.leaf_span(level, group_idx);
+        let mut sources: Vec<&CompressedMatrix> = Vec::new();
+        for leaf in &self.leaves[first..=last] {
+            sources.push(&leaf.matrix);
+            sources.extend(leaf.overflow.blocks());
+        }
+        aggregate_leaves_to_layer(&self.layout, &self.config, &sources, level as u32 + 2)
+    }
+
+    /// Drains the list of deferred aggregation jobs (deferred mode only).
+    pub fn take_pending_aggregations(&mut self) -> Vec<PendingAggregation> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Installs an externally computed aggregate for node `(level, index)`.
+    pub fn install_aggregation(&mut self, level: usize, index: usize, matrix: CompressedMatrix) {
+        if let Some(node) = self
+            .internals
+            .get_mut(level)
+            .and_then(|nodes| nodes.get_mut(index))
+        {
+            node.matrix = Some(matrix);
+        }
+    }
+
+    /// Runs every outstanding deferred aggregation inline (used when a
+    /// deferred-mode summary must become fully aggregated without worker
+    /// threads).
+    pub fn finalize_aggregations(&mut self) {
+        let jobs = self.take_pending_aggregations();
+        for job in jobs {
+            let matrix = self.compute_aggregation(job.level, job.index);
+            self.install_aggregation(job.level, job.index, matrix);
+        }
+    }
+
+    /// Deletes (reverses) one previously inserted stream item: decrements the
+    /// leaf entry covering the edge's timestamp and every aggregated ancestor
+    /// covering that leaf.
+    pub fn delete_edge(&mut self, edge: &StreamEdge) {
+        if self.leaves.is_empty() {
+            return;
+        }
+        let hs1 = self.layout.split_vertex(edge.src, 1);
+        let hd1 = self.layout.split_vertex(edge.dst, 1);
+        let weight = edge.weight as i64;
+
+        // Locate the leaf whose range contains the timestamp: last leaf whose
+        // start_time <= t (ranges are non-decreasing in stream order).
+        let t = edge.timestamp;
+        let pos = self
+            .leaves
+            .partition_point(|l| l.start_time <= t)
+            .saturating_sub(1);
+        let mut deleted_leaf = None;
+        for idx in [pos, pos.saturating_sub(1)] {
+            let leaf = &mut self.leaves[idx];
+            let filter = leaf.offset_filter(TimeRange::instant(t));
+            let Some(filter) = filter else { continue };
+            if leaf.matrix.try_delete(
+                hs1.address,
+                hd1.address,
+                hs1.fingerprint as u32,
+                hd1.fingerprint as u32,
+                Some(filter),
+                weight,
+            ) || leaf.overflow.delete(
+                hs1.address,
+                hd1.address,
+                hs1.fingerprint as u32,
+                hd1.fingerprint as u32,
+                Some(filter),
+                weight,
+            ) {
+                deleted_leaf = Some(idx);
+                break;
+            }
+        }
+        let Some(leaf_idx) = deleted_leaf else { return };
+        self.total_items = self.total_items.saturating_sub(1);
+
+        // Decrement every aggregated ancestor that covers this leaf.
+        let theta = self.config.theta();
+        for level in 0..self.internals.len() {
+            let span = theta.pow(level as u32 + 1);
+            let node_idx = leaf_idx / span;
+            if let Some(node) = self.internals[level].get_mut(node_idx) {
+                if let Some(matrix) = node.matrix.as_mut() {
+                    let layer = level as u32 + 2;
+                    let hs = self.layout.split_vertex(edge.src, layer);
+                    let hd = self.layout.split_vertex(edge.dst, layer);
+                    matrix.try_delete(
+                        hs.address,
+                        hd.address,
+                        hs.fingerprint as u32,
+                        hd.fingerprint as u32,
+                        None,
+                        weight,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Memory footprint in bytes.
+    pub fn space(&self) -> usize {
+        let leaves: usize = self.leaves.iter().map(LeafNode::space_bytes).sum();
+        let internals: usize = self
+            .internals
+            .iter()
+            .flat_map(|lvl| lvl.iter())
+            .map(InternalNode::space_bytes)
+            .sum();
+        leaves + internals + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use higgs_common::{SummaryExt, TemporalGraphSummary, VertexDirection};
+
+    fn tiny_config() -> HiggsConfig {
+        // Small matrices so the tree grows quickly in tests.
+        HiggsConfig {
+            d1: 4,
+            f1_bits: 12,
+            r_bits: 1,
+            bucket_entries: 2,
+            mapping_addresses: 2,
+            overflow_blocks: true,
+        }
+    }
+
+    #[test]
+    fn empty_summary_has_no_height() {
+        let s = HiggsSummary::new(HiggsConfig::default());
+        assert_eq!(s.height(), 0);
+        assert_eq!(s.leaf_count(), 0);
+        assert!(s.time_span().is_none());
+        assert_eq!(s.total_items(), 0);
+    }
+
+    #[test]
+    fn single_insert_creates_one_leaf() {
+        let mut s = HiggsSummary::new(tiny_config());
+        s.insert_edge(&StreamEdge::new(1, 2, 3, 100));
+        assert_eq!(s.leaf_count(), 1);
+        assert_eq!(s.height(), 1);
+        assert_eq!(s.total_items(), 1);
+        assert_eq!(s.time_span(), Some(TimeRange::new(100, 100)));
+    }
+
+    #[test]
+    fn tree_grows_leaves_and_internal_layers() {
+        let mut s = HiggsSummary::new(tiny_config());
+        for i in 0..4_000u64 {
+            s.insert_edge(&StreamEdge::new(i % 500, (i * 7) % 500, 1, i));
+        }
+        assert!(s.leaf_count() > 4, "expected multiple leaves");
+        assert!(s.height() > 1, "expected internal layers");
+        // Every complete group of θ leaves has an aggregated node.
+        let theta = s.config().theta();
+        assert_eq!(s.internals[0].len(), (s.leaf_count() - 1) / theta.max(1));
+        assert!(s.internals[0].iter().all(|n| n.matrix.is_some()));
+    }
+
+    #[test]
+    fn leaf_time_ranges_are_ordered() {
+        let mut s = HiggsSummary::new(tiny_config());
+        for i in 0..2_000u64 {
+            s.insert_edge(&StreamEdge::new(i % 100, (i + 1) % 100, 1, i / 2));
+        }
+        for w in s.leaves.windows(2) {
+            assert!(w[0].start_time <= w[1].start_time);
+            assert!(w[0].end_time <= w[1].end_time);
+        }
+    }
+
+    #[test]
+    fn overflow_blocks_absorb_same_timestamp_bursts() {
+        let mut s = HiggsSummary::new(tiny_config());
+        // Far more same-timestamp edges than one tiny leaf can hold.
+        for i in 0..500u64 {
+            s.insert_edge(&StreamEdge::new(i, i + 1000, 1, 42));
+        }
+        assert_eq!(
+            s.leaf_count(),
+            1,
+            "same-timestamp burst must not open new leaves when OB is enabled"
+        );
+        assert!(s.leaves[0].overflow.len() > 0);
+        assert_eq!(s.total_items(), 500);
+    }
+
+    #[test]
+    fn without_overflow_blocks_bursts_open_new_leaves() {
+        let mut s = HiggsSummary::new(tiny_config().without_overflow_blocks());
+        for i in 0..500u64 {
+            s.insert_edge(&StreamEdge::new(i, i + 1000, 1, 42));
+        }
+        assert!(s.leaf_count() > 1);
+    }
+
+    #[test]
+    fn deferred_mode_records_pending_jobs_and_finalize_installs_them() {
+        let mut s = HiggsSummary::with_deferred_aggregation(tiny_config());
+        for i in 0..3_000u64 {
+            s.insert_edge(&StreamEdge::new(i % 300, (i * 3) % 300, 1, i));
+        }
+        assert!(s.internals.iter().flatten().any(|n| n.matrix.is_none()));
+        // Queries are still correct before aggregation materialises.
+        let q = s.edge_query(10, 30, TimeRange::all());
+        s.finalize_aggregations();
+        assert!(s.internals.iter().flatten().all(|n| n.matrix.is_some()));
+        assert_eq!(s.edge_query(10, 30, TimeRange::all()), q);
+        assert!(s.take_pending_aggregations().is_empty());
+    }
+
+    #[test]
+    fn delete_reverses_insert_everywhere() {
+        let mut s = HiggsSummary::new(tiny_config());
+        let edges: Vec<StreamEdge> = (0..2_000u64)
+            .map(|i| StreamEdge::new(i % 200, (i * 11) % 200, 1, i))
+            .collect();
+        for e in &edges {
+            s.insert_edge(e);
+        }
+        let before = s.edge_query(edges[7].src, edges[7].dst, TimeRange::all());
+        s.delete_edge(&edges[7]);
+        let after = s.edge_query(edges[7].src, edges[7].dst, TimeRange::all());
+        assert_eq!(after, before - 1);
+        assert_eq!(s.total_items(), edges.len() as u64 - 1);
+    }
+
+    #[test]
+    fn utilization_and_space_are_reported() {
+        let mut s = HiggsSummary::new(tiny_config());
+        for i in 0..1_000u64 {
+            s.insert_edge(&StreamEdge::new(i % 100, (i + 3) % 100, 1, i));
+        }
+        assert!(s.average_leaf_utilization() > 0.0);
+        assert!(s.space() > 0);
+        assert!(s.space_bytes() >= s.space() - 16);
+    }
+
+    #[test]
+    fn trait_composition_path_query_works() {
+        let mut s = HiggsSummary::new(tiny_config());
+        s.insert_edge(&StreamEdge::new(1, 2, 5, 10));
+        s.insert_edge(&StreamEdge::new(2, 3, 7, 11));
+        let q = higgs_common::PathQuery {
+            vertices: vec![1, 2, 3],
+            range: TimeRange::new(0, 20),
+        };
+        assert_eq!(s.path_query(&q), 12);
+        assert_eq!(s.vertex_query(1, VertexDirection::Out, TimeRange::all()), 5);
+    }
+}

@@ -1,0 +1,2 @@
+//! Anchor crate that exposes the repository-level `tests/` directory as cargo
+//! integration tests spanning every crate in the workspace.

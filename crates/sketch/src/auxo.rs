@@ -1,0 +1,372 @@
+//! Auxo (Jiang et al., VLDB'23): "A scalable and efficient graph stream
+//! summarization structure".
+//!
+//! Auxo organises GSS-style fingerprinted matrices into a *prefix embedded
+//! tree* (PET). Every edge derives a fingerprint pair from its endpoints; the
+//! leading bits of the combined fingerprint pick a path down the tree, and
+//! the remaining bits are stored. Insertion starts at the root matrix and
+//! descends one level each time the current matrix has no room for the edge,
+//! appending levels on demand (the "proportional incremental" growth
+//! strategy: each deeper level has `2^bits_per_level` times as many matrices,
+//! so total capacity grows geometrically while the per-level prefix consumed
+//! shortens the stored fingerprints).
+//!
+//! Auxo is the strongest non-temporal baseline in the paper; the AuxoTime
+//! baseline (in `higgs-baselines`) adds Horae's temporal-range decomposition
+//! on top of this structure.
+
+use crate::GraphSketch;
+use higgs_common::hashing::vertex_hash;
+use std::collections::HashMap;
+
+/// Configuration of an [`Auxo`] prefix-embedded tree.
+#[derive(Clone, Copy, Debug)]
+pub struct AuxoConfig {
+    /// Side length of each level's matrices (power of two).
+    pub side: usize,
+    /// Fingerprint bits per endpoint at the root level.
+    pub fingerprint_bits: u32,
+    /// Prefix bits consumed per level of the tree (per endpoint).
+    pub prefix_bits: u32,
+    /// Maximum number of levels the tree may grow to.
+    pub max_levels: u32,
+}
+
+impl Default for AuxoConfig {
+    fn default() -> Self {
+        Self {
+            side: 128,
+            fingerprint_bits: 16,
+            prefix_bits: 2,
+            max_levels: 8,
+        }
+    }
+}
+
+/// A cell in one of the PET matrices.
+#[derive(Clone, Copy, Debug, Default)]
+struct Cell {
+    occupied: bool,
+    fp_src: u32,
+    fp_dst: u32,
+    weight: i64,
+}
+
+/// One level of the prefix-embedded tree: `2^(prefix_bits · 2 · level)`
+/// matrices, indexed by the prefix consumed so far.
+#[derive(Clone, Debug)]
+struct Level {
+    /// Matrices of this level, keyed by prefix index. Allocated lazily so an
+    /// almost-empty level costs almost nothing.
+    matrices: HashMap<u64, Vec<Cell>>,
+    side: usize,
+}
+
+impl Level {
+    fn new(side: usize) -> Self {
+        Self {
+            matrices: HashMap::new(),
+            side,
+        }
+    }
+
+    fn matrix_mut(&mut self, prefix: u64) -> &mut Vec<Cell> {
+        let side = self.side;
+        self.matrices
+            .entry(prefix)
+            .or_insert_with(|| vec![Cell::default(); side * side])
+    }
+
+    fn matrix(&self, prefix: u64) -> Option<&Vec<Cell>> {
+        self.matrices.get(&prefix)
+    }
+
+    fn bytes(&self) -> usize {
+        self.matrices.len() * self.side * self.side * std::mem::size_of::<Cell>()
+            + self.matrices.capacity() * std::mem::size_of::<(u64, Vec<Cell>)>()
+    }
+}
+
+/// Hash decomposition of one endpoint for Auxo.
+#[derive(Clone, Copy, Debug)]
+struct Decomposed {
+    address: u64,
+    fingerprint: u64,
+}
+
+/// The Auxo prefix-embedded tree sketch.
+#[derive(Clone, Debug)]
+pub struct Auxo {
+    config: AuxoConfig,
+    levels: Vec<Level>,
+}
+
+impl Auxo {
+    /// Creates an empty Auxo tree.
+    pub fn new(config: AuxoConfig) -> Self {
+        assert!(config.side.is_power_of_two(), "side must be a power of two");
+        assert!(config.prefix_bits >= 1 && config.prefix_bits <= 8);
+        assert!(config.fingerprint_bits > config.prefix_bits);
+        Self {
+            config,
+            levels: vec![Level::new(config.side)],
+        }
+    }
+
+    /// Creates an Auxo tree with the default configuration and the given
+    /// matrix side.
+    pub fn with_side(side: usize) -> Self {
+        Self::new(AuxoConfig {
+            side,
+            ..Default::default()
+        })
+    }
+
+    /// Number of levels currently allocated.
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    #[inline]
+    fn decompose(&self, key: u64) -> Decomposed {
+        let h = vertex_hash(key, 0xA0B0_u64 ^ 0xDEAD_BEEF);
+        let fp_mask = (1u64 << self.config.fingerprint_bits) - 1;
+        Decomposed {
+            address: (h >> self.config.fingerprint_bits) % self.config.side as u64,
+            fingerprint: h & fp_mask,
+        }
+    }
+
+    /// Prefix index and residual fingerprints for a given level.
+    fn level_view(&self, src: Decomposed, dst: Decomposed, level: u32) -> (u64, u32, u32) {
+        let consumed = self.config.prefix_bits * level;
+        let fp_bits = self.config.fingerprint_bits;
+        let keep = fp_bits.saturating_sub(consumed);
+        let take = |fp: u64| -> (u64, u64) {
+            // Prefix = the `consumed` leading bits, residual = the rest.
+            if consumed >= fp_bits {
+                (fp, 0)
+            } else {
+                (fp >> keep, fp & ((1u64 << keep) - 1))
+            }
+        };
+        let (sp, sres) = take(src.fingerprint);
+        let (dp, dres) = take(dst.fingerprint);
+        let prefix = (sp << (consumed.min(32))) | dp;
+        (prefix, sres as u32, dres as u32)
+    }
+
+    fn add(&mut self, src_key: u64, dst_key: u64, delta: i64) {
+        let src = self.decompose(src_key);
+        let dst = self.decompose(dst_key);
+        let side = self.config.side;
+        let max_levels = self.config.max_levels;
+        for level in 0..max_levels {
+            if level as usize >= self.levels.len() {
+                self.levels.push(Level::new(side));
+            }
+            let (prefix, fs, fd) = self.level_view(src, dst, level);
+            let idx = (src.address as usize) * side + dst.address as usize;
+            let matrix = self.levels[level as usize].matrix_mut(prefix);
+            let cell = &mut matrix[idx];
+            if cell.occupied && cell.fp_src == fs && cell.fp_dst == fd {
+                cell.weight += delta;
+                return;
+            }
+            if !cell.occupied && delta > 0 {
+                *cell = Cell {
+                    occupied: true,
+                    fp_src: fs,
+                    fp_dst: fd,
+                    weight: delta,
+                };
+                return;
+            }
+            // Otherwise descend to the next level.
+        }
+        // Tree exhausted: accumulate in the deepest level regardless of the
+        // resident fingerprint (bounded error fallback, mirroring Auxo's
+        // leaf-chaining behaviour under extreme load).
+        let deepest = self.levels.len() - 1;
+        let (prefix, _, _) = self.level_view(src, dst, deepest as u32);
+        let idx = (src.address as usize) * side + dst.address as usize;
+        let cell = &mut self.levels[deepest].matrix_mut(prefix)[idx];
+        cell.occupied = true;
+        cell.weight = (cell.weight + delta).max(0);
+    }
+}
+
+impl GraphSketch for Auxo {
+    fn insert(&mut self, src_key: u64, dst_key: u64, weight: u64) {
+        self.add(src_key, dst_key, weight as i64);
+    }
+
+    fn delete(&mut self, src_key: u64, dst_key: u64, weight: u64) {
+        self.add(src_key, dst_key, -(weight as i64));
+    }
+
+    fn edge_weight(&self, src_key: u64, dst_key: u64) -> u64 {
+        let src = self.decompose(src_key);
+        let dst = self.decompose(dst_key);
+        let side = self.config.side;
+        let idx = (src.address as usize) * side + dst.address as usize;
+        let mut total = 0i64;
+        for level in 0..self.levels.len() {
+            let (prefix, fs, fd) = self.level_view(src, dst, level as u32);
+            if let Some(matrix) = self.levels[level].matrix(prefix) {
+                let cell = &matrix[idx];
+                if cell.occupied && cell.fp_src == fs && cell.fp_dst == fd {
+                    total += cell.weight;
+                }
+            }
+        }
+        total.max(0) as u64
+    }
+
+    fn src_weight(&self, src_key: u64) -> u64 {
+        let src = self.decompose(src_key);
+        let side = self.config.side;
+        let mut total = 0i64;
+        for (li, level) in self.levels.iter().enumerate() {
+            let consumed = self.config.prefix_bits * li as u32;
+            let keep = self.config.fingerprint_bits.saturating_sub(consumed);
+            let (src_prefix, src_res) = if consumed >= self.config.fingerprint_bits {
+                (src.fingerprint, 0)
+            } else {
+                (src.fingerprint >> keep, src.fingerprint & ((1u64 << keep) - 1))
+            };
+            for (&prefix, matrix) in &level.matrices {
+                // The source prefix occupies the high bits of the combined
+                // prefix; only matrices whose prefix matches can hold edges
+                // of this source.
+                if consumed > 0 && (prefix >> consumed.min(32)) != src_prefix {
+                    continue;
+                }
+                let row = src.address as usize;
+                for cell in &matrix[row * side..(row + 1) * side] {
+                    if cell.occupied && u64::from(cell.fp_src) == src_res {
+                        total += cell.weight;
+                    }
+                }
+            }
+        }
+        total.max(0) as u64
+    }
+
+    fn dst_weight(&self, dst_key: u64) -> u64 {
+        let dst = self.decompose(dst_key);
+        let side = self.config.side;
+        let mut total = 0i64;
+        for (li, level) in self.levels.iter().enumerate() {
+            let consumed = self.config.prefix_bits * li as u32;
+            let keep = self.config.fingerprint_bits.saturating_sub(consumed);
+            let (dst_prefix, dst_res) = if consumed >= self.config.fingerprint_bits {
+                (dst.fingerprint, 0)
+            } else {
+                (dst.fingerprint >> keep, dst.fingerprint & ((1u64 << keep) - 1))
+            };
+            let prefix_mask = if consumed >= 32 {
+                u64::MAX
+            } else {
+                (1u64 << consumed) - 1
+            };
+            for (&prefix, matrix) in &level.matrices {
+                if consumed > 0 && (prefix & prefix_mask) != dst_prefix {
+                    continue;
+                }
+                let col = dst.address as usize;
+                for row in 0..side {
+                    let cell = &matrix[row * side + col];
+                    if cell.occupied && u64::from(cell.fp_dst) == dst_res {
+                        total += cell.weight;
+                    }
+                }
+            }
+        }
+        total.max(0) as u64
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.levels.iter().map(Level::bytes).sum::<usize>() + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_edge_query() {
+        let mut a = Auxo::with_side(64);
+        a.insert(1, 2, 3);
+        a.insert(1, 2, 4);
+        assert_eq!(a.edge_weight(1, 2), 7);
+    }
+
+    #[test]
+    fn grows_levels_under_pressure() {
+        let mut a = Auxo::new(AuxoConfig {
+            side: 4,
+            fingerprint_bits: 16,
+            prefix_bits: 2,
+            max_levels: 8,
+        });
+        for i in 0..2_000u64 {
+            a.insert(i, i * 31 + 7, 1);
+        }
+        assert!(a.levels() > 1, "PET should have grown under load");
+    }
+
+    #[test]
+    fn never_underestimates() {
+        let mut a = Auxo::new(AuxoConfig {
+            side: 16,
+            fingerprint_bits: 16,
+            prefix_bits: 2,
+            max_levels: 6,
+        });
+        let mut truth = std::collections::HashMap::new();
+        for i in 0..3_000u64 {
+            let (s, d) = (i % 120, (i * 13) % 120);
+            a.insert(s, d, 1);
+            *truth.entry((s, d)).or_insert(0u64) += 1;
+        }
+        for (&(s, d), &w) in &truth {
+            assert!(a.edge_weight(s, d) >= w, "underestimate for ({s},{d})");
+        }
+    }
+
+    #[test]
+    fn vertex_queries_cover_incident_edges() {
+        let mut a = Auxo::with_side(64);
+        a.insert(5, 10, 2);
+        a.insert(5, 11, 3);
+        a.insert(6, 10, 4);
+        assert!(a.src_weight(5) >= 5);
+        assert!(a.dst_weight(10) >= 6);
+    }
+
+    #[test]
+    fn delete_reverses_insert() {
+        let mut a = Auxo::with_side(64);
+        a.insert(8, 9, 6);
+        a.delete(8, 9, 6);
+        assert_eq!(a.edge_weight(8, 9), 0);
+    }
+
+    #[test]
+    fn space_grows_with_levels() {
+        let small = Auxo::with_side(16);
+        let mut loaded = Auxo::with_side(16);
+        for i in 0..5_000u64 {
+            loaded.insert(i, i + 1, 1);
+        }
+        assert!(loaded.space_bytes() > small.space_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_side() {
+        let _ = Auxo::with_side(100);
+    }
+}

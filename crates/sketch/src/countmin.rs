@@ -1,0 +1,158 @@
+//! The Count-Min sketch (Cormode & Muthukrishnan, J. Algorithms'04): the
+//! frequency-estimation substrate at the root of the technical evolution in
+//! Fig. 4 of the HIGGS paper.
+
+use higgs_common::hashing::vertex_hash;
+
+/// A Count-Min sketch with `depth` rows of `width` counters.
+///
+/// Counters are signed so deletions (count-min supports them symmetrically)
+/// cannot wrap; queries clamp at zero, preserving one-sided error for
+/// insert-only workloads.
+#[derive(Clone, Debug)]
+pub struct CountMinSketch {
+    depth: usize,
+    width: usize,
+    counters: Vec<i64>,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with `depth ≥ 1` hash rows and `width ≥ 1` counters
+    /// per row.
+    pub fn new(depth: usize, width: usize) -> Self {
+        assert!(depth >= 1 && width >= 1, "depth and width must be ≥ 1");
+        Self {
+            depth,
+            width,
+            counters: vec![0; depth * width],
+        }
+    }
+
+    /// Creates a sketch sized for additive error `ε` (relative to the total
+    /// weight) with failure probability `δ`: `width = ⌈e/ε⌉`,
+    /// `depth = ⌈ln(1/δ)⌉`.
+    pub fn with_error(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0 && delta > 0.0 && delta < 1.0);
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(depth, width)
+    }
+
+    /// Number of hash rows.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    #[inline]
+    fn index(&self, row: usize, key: u64) -> usize {
+        let h = vertex_hash(key, row as u64 + 1);
+        row * self.width + (h % self.width as u64) as usize
+    }
+
+    /// Adds `weight` to `key`.
+    pub fn insert(&mut self, key: u64, weight: u64) {
+        for row in 0..self.depth {
+            let idx = self.index(row, key);
+            self.counters[idx] += weight as i64;
+        }
+    }
+
+    /// Subtracts `weight` from `key`.
+    pub fn delete(&mut self, key: u64, weight: u64) {
+        for row in 0..self.depth {
+            let idx = self.index(row, key);
+            self.counters[idx] -= weight as i64;
+        }
+    }
+
+    /// Point query: the minimum counter across rows, clamped at zero.
+    pub fn query(&self, key: u64) -> u64 {
+        (0..self.depth)
+            .map(|row| self.counters[self.index(row, key)])
+            .min()
+            .unwrap_or(0)
+            .max(0) as u64
+    }
+
+    /// Memory footprint in bytes.
+    pub fn space_bytes(&self) -> usize {
+        self.counters.capacity() * std::mem::size_of::<i64>() + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_query() {
+        let mut cm = CountMinSketch::new(4, 1024);
+        cm.insert(42, 5);
+        cm.insert(42, 3);
+        assert_eq!(cm.query(42), 8);
+    }
+
+    #[test]
+    fn estimates_never_underestimate() {
+        let mut cm = CountMinSketch::new(4, 256);
+        let mut truth = std::collections::HashMap::new();
+        for k in 0..5_000u64 {
+            let w = (k % 7) + 1;
+            cm.insert(k, w);
+            *truth.entry(k).or_insert(0u64) += w;
+        }
+        for (k, t) in truth {
+            assert!(cm.query(k) >= t, "underestimate for key {k}");
+        }
+    }
+
+    #[test]
+    fn unseen_keys_may_collide_but_start_at_zero() {
+        let cm = CountMinSketch::new(3, 128);
+        assert_eq!(cm.query(999), 0);
+    }
+
+    #[test]
+    fn delete_reverses_insert() {
+        let mut cm = CountMinSketch::new(4, 512);
+        cm.insert(7, 10);
+        cm.delete(7, 10);
+        assert_eq!(cm.query(7), 0);
+    }
+
+    #[test]
+    fn with_error_sizes_reasonably() {
+        let cm = CountMinSketch::with_error(0.01, 0.01);
+        assert!(cm.width() >= 271);
+        assert!(cm.depth() >= 4);
+    }
+
+    #[test]
+    fn wider_sketch_is_more_accurate() {
+        let mut narrow = CountMinSketch::new(2, 32);
+        let mut wide = CountMinSketch::new(2, 4096);
+        for k in 0..20_000u64 {
+            narrow.insert(k, 1);
+            wide.insert(k, 1);
+        }
+        let narrow_err: u64 = (0..100).map(|k| narrow.query(k) - 1).sum();
+        let wide_err: u64 = (0..100).map(|k| wide.query(k) - 1).sum();
+        assert!(wide_err < narrow_err);
+    }
+
+    #[test]
+    fn space_grows_with_dimensions() {
+        assert!(CountMinSketch::new(4, 1024).space_bytes() > CountMinSketch::new(2, 64).space_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 1")]
+    fn zero_width_panics() {
+        let _ = CountMinSketch::new(1, 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! # higgs-sketch
+//!
+//! Non-temporal graph-stream sketch substrates used by the HIGGS
+//! reproduction, following the technical-evolution roadmap of Fig. 4 in the
+//! paper:
+//!
+//! * [`CountMinSketch`] — the classic frequency sketch (Cormode &
+//!   Muthukrishnan) that everything else builds on,
+//! * [`Tcm`] — TCM (SIGMOD'16): a set of compressed matrices, one per hash
+//!   function, supporting edge and vertex queries,
+//! * [`Gss`] — GSS (ICDE'19): a fingerprinted matrix with square hashing and
+//!   an adjacency-list buffer,
+//! * [`Auxo`] — Auxo (VLDB'23): a prefix-embedded tree (PET) of fingerprinted
+//!   matrices with proportionally growing levels.
+//!
+//! These structures are *not* time-aware; the temporal baselines in
+//! `higgs-baselines` (PGSS, Horae, AuxoTime) compose them with top-down
+//! temporal-domain decomposition. All of them key edges by opaque `u64`
+//! source/destination keys so callers can fold temporal prefixes into the
+//! keys (as Horae does).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod auxo;
+pub mod countmin;
+pub mod gss;
+pub mod tcm;
+
+pub use auxo::Auxo;
+pub use countmin::CountMinSketch;
+pub use gss::Gss;
+pub use tcm::Tcm;
+
+/// A non-temporal graph sketch over opaque `u64` vertex keys.
+///
+/// `src_weight` / `dst_weight` answer vertex queries (aggregate over all
+/// outgoing / incoming edges of the key); `edge_weight` answers edge queries.
+/// All estimates have one-sided error: they never underestimate.
+pub trait GraphSketch {
+    /// Adds `weight` to the edge `src_key → dst_key`.
+    fn insert(&mut self, src_key: u64, dst_key: u64, weight: u64);
+
+    /// Removes `weight` from the edge `src_key → dst_key` (saturating).
+    fn delete(&mut self, src_key: u64, dst_key: u64, weight: u64);
+
+    /// Estimated aggregated weight of the edge `src_key → dst_key`.
+    fn edge_weight(&self, src_key: u64, dst_key: u64) -> u64;
+
+    /// Estimated aggregated weight of all edges whose source is `src_key`.
+    fn src_weight(&self, src_key: u64) -> u64;
+
+    /// Estimated aggregated weight of all edges whose destination is
+    /// `dst_key`.
+    fn dst_weight(&self, dst_key: u64) -> u64;
+
+    /// Main-memory footprint in bytes.
+    fn space_bytes(&self) -> usize;
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build a HIGGS summary over a small graph stream and run the
+//! four TRQ primitives (edge, vertex, path, subgraph queries).
+//!
+//! Run with: `cargo run -p higgs-examples --release --bin quickstart`
+
+use higgs::{HiggsConfig, HiggsSummary};
+use higgs_common::{
+    PathQuery, StreamEdge, SubgraphQuery, SummaryExt, TemporalGraphSummary, TimeRange,
+    VertexDirection,
+};
+
+fn main() {
+    // The graph stream of Fig. 5 in the paper: edges (src, dst, weight, time).
+    let stream = vec![
+        StreamEdge::new(1, 2, 1, 1),
+        StreamEdge::new(4, 5, 1, 2),
+        StreamEdge::new(2, 3, 1, 3),
+        StreamEdge::new(1, 4, 2, 4),
+        StreamEdge::new(4, 6, 3, 5),
+        StreamEdge::new(2, 3, 1, 6),
+        StreamEdge::new(3, 7, 2, 7),
+        StreamEdge::new(4, 7, 2, 8),
+        StreamEdge::new(2, 3, 2, 9),
+        StreamEdge::new(5, 6, 1, 10),
+        StreamEdge::new(6, 7, 1, 11),
+    ];
+
+    // Build the summary with the paper's default parameters (d1 = 16,
+    // F1 = 19, b = 3, r = 4, θ = 4).
+    let mut summary = HiggsSummary::new(HiggsConfig::paper_default());
+    for edge in &stream {
+        summary.insert(edge);
+    }
+
+    println!("HIGGS quickstart — {} stream items inserted", stream.len());
+    println!("tree height: {}, leaves: {}", summary.height(), summary.leaf_count());
+    println!("space: {} bytes\n", summary.space_bytes());
+
+    // Edge query: aggregated weight of 2 → 3 between t5 and t10 (paper: 3).
+    let w = summary.edge_query(2, 3, TimeRange::new(5, 10));
+    println!("edge  query  (2 → 3) in [5, 10]      = {w}");
+
+    // Vertex query: total outgoing weight of vertex 4 in [1, 11] (paper: 6).
+    let w = summary.vertex_query(4, VertexDirection::Out, TimeRange::new(1, 11));
+    println!("vertex query (out of 4) in [1, 11]    = {w}");
+
+    // Path query: 1 → 2 → 3 → 7 over the whole stream.
+    let w = summary.path_query(&PathQuery {
+        vertices: vec![1, 2, 3, 7],
+        range: TimeRange::all(),
+    });
+    println!("path  query  (1→2→3→7) over all time = {w}");
+
+    // Subgraph query: {(2,3), (3,7), (2,4)} between t4 and t8 (paper: 3).
+    let w = summary.subgraph_query(&SubgraphQuery {
+        edges: vec![(2, 3), (3, 7), (2, 4)],
+        range: TimeRange::new(4, 8),
+    });
+    println!("subgraph query {{(2,3),(3,7),(2,4)}} in [4, 8] = {w}");
+}

@@ -1,0 +1,79 @@
+//! Accuracy contract tests: HIGGS versus the exact ground truth.
+//!
+//! The paper's headline claim is near-lossless accuracy (AAE ≈ 0 on Lkml,
+//! Section VI-B) plus a strict one-sided error guarantee (Section V-D). These
+//! tests check both on generated streams at the paper's default parameters.
+
+use higgs::{HiggsConfig, HiggsSummary};
+use higgs_common::generator::{DatasetPreset, ExperimentScale, WorkloadBuilder};
+use higgs_common::{ErrorStats, ExactTemporalGraph, TemporalGraphSummary};
+
+fn build_pair(preset: DatasetPreset) -> (HiggsSummary, ExactTemporalGraph, higgs_common::GraphStream) {
+    let stream = preset.generate(ExperimentScale::Smoke);
+    let mut summary = HiggsSummary::new(HiggsConfig::paper_default());
+    summary.insert_all(stream.edges());
+    let exact = ExactTemporalGraph::from_edges(stream.edges());
+    (summary, exact, stream)
+}
+
+#[test]
+fn edge_query_error_is_tiny_at_paper_parameters() {
+    let (summary, exact, stream) = build_pair(DatasetPreset::Lkml);
+    let mut builder = WorkloadBuilder::new(&stream, 11);
+    let mut stats = ErrorStats::new();
+    for lq in [100u64, 10_000, 1_000_000] {
+        for q in builder.edge_queries(200, lq) {
+            stats.record(
+                exact.edge_query(q.src, q.dst, q.range),
+                summary.edge_query(q.src, q.dst, q.range),
+            );
+        }
+    }
+    assert!(stats.is_one_sided(), "HIGGS must never underestimate");
+    assert!(
+        stats.aae() < 0.05,
+        "edge-query AAE should be near zero at paper parameters, got {}",
+        stats.aae()
+    );
+}
+
+#[test]
+fn vertex_query_error_is_small_and_one_sided() {
+    let (summary, exact, stream) = build_pair(DatasetPreset::WikiTalk);
+    let mut builder = WorkloadBuilder::new(&stream, 12);
+    let mut stats = ErrorStats::new();
+    for q in builder.vertex_queries(200, 50_000) {
+        stats.record(
+            exact.vertex_query(q.vertex, q.direction, q.range),
+            summary.vertex_query(q.vertex, q.direction, q.range),
+        );
+    }
+    assert!(stats.is_one_sided());
+    assert!(
+        stats.are() < 0.05,
+        "vertex-query ARE should be small, got {}",
+        stats.are()
+    );
+}
+
+#[test]
+fn accuracy_holds_across_every_range_length_decade() {
+    let (summary, exact, stream) = build_pair(DatasetPreset::Stackoverflow);
+    let mut builder = WorkloadBuilder::new(&stream, 13);
+    for exp in 1..=6u32 {
+        let lq = 10u64.pow(exp);
+        let mut stats = ErrorStats::new();
+        for q in builder.edge_queries(100, lq) {
+            stats.record(
+                exact.edge_query(q.src, q.dst, q.range),
+                summary.edge_query(q.src, q.dst, q.range),
+            );
+        }
+        assert!(stats.is_one_sided(), "underestimate at Lq=1e{exp}");
+        assert!(
+            stats.aae() < 0.5,
+            "AAE too large at Lq=1e{exp}: {}",
+            stats.aae()
+        );
+    }
+}

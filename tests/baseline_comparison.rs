@@ -1,0 +1,96 @@
+//! Reproduction-shape tests: on identical workloads HIGGS should be at least
+//! as accurate as every top-down baseline and should not use more space than
+//! the per-layer-global baselines (the qualitative ordering of Figs. 10, 19,
+//! and 21 of the paper).
+
+use higgs::{HiggsConfig, HiggsSummary};
+use higgs_baselines::{Horae, HoraeConfig, Pgss, PgssConfig};
+use higgs_common::generator::{DatasetPreset, ExperimentScale, WorkloadBuilder};
+use higgs_common::{ErrorStats, ExactTemporalGraph, TemporalGraphSummary};
+
+struct Loaded {
+    name: &'static str,
+    summary: Box<dyn TemporalGraphSummary>,
+}
+
+fn load_all() -> (Vec<Loaded>, ExactTemporalGraph, higgs_common::GraphStream) {
+    let stream = DatasetPreset::Lkml.generate(ExperimentScale::Smoke);
+    let slices = stream.time_span().unwrap().end.next_power_of_two();
+    let mut out: Vec<Loaded> = vec![
+        Loaded {
+            name: "HIGGS",
+            summary: Box::new(HiggsSummary::new(HiggsConfig::paper_default())),
+        },
+        Loaded {
+            name: "Horae",
+            summary: Box::new(Horae::new(HoraeConfig::for_stream(stream.len(), slices))),
+        },
+        Loaded {
+            name: "Horae-cpt",
+            summary: Box::new(Horae::compact(HoraeConfig::for_stream(stream.len(), slices))),
+        },
+        Loaded {
+            name: "PGSS",
+            summary: Box::new(Pgss::new(PgssConfig::for_stream(stream.len(), slices))),
+        },
+    ];
+    for l in &mut out {
+        l.summary.insert_all(stream.edges());
+    }
+    let exact = ExactTemporalGraph::from_edges(stream.edges());
+    (out, exact, stream)
+}
+
+fn edge_aae(summary: &dyn TemporalGraphSummary, exact: &ExactTemporalGraph, stream: &higgs_common::GraphStream, lq: u64) -> f64 {
+    let mut builder = WorkloadBuilder::new(stream, 21);
+    let mut stats = ErrorStats::new();
+    for q in builder.edge_queries(300, lq) {
+        stats.record(
+            exact.edge_query(q.src, q.dst, q.range),
+            summary.edge_query(q.src, q.dst, q.range),
+        );
+    }
+    stats.aae()
+}
+
+#[test]
+fn higgs_is_at_least_as_accurate_as_every_baseline() {
+    let (loaded, exact, stream) = load_all();
+    let lq = stream.time_span().unwrap().len() / 4;
+    let higgs_aae = edge_aae(loaded[0].summary.as_ref(), &exact, &stream, lq);
+    for l in &loaded[1..] {
+        let baseline_aae = edge_aae(l.summary.as_ref(), &exact, &stream, lq);
+        assert!(
+            higgs_aae <= baseline_aae + 1e-9,
+            "HIGGS AAE {higgs_aae} should not exceed {} AAE {baseline_aae}",
+            l.name
+        );
+    }
+}
+
+#[test]
+fn compact_variants_trade_accuracy_or_latency_for_space() {
+    let (loaded, _, _) = load_all();
+    let horae = loaded.iter().find(|l| l.name == "Horae").unwrap();
+    let horae_cpt = loaded.iter().find(|l| l.name == "Horae-cpt").unwrap();
+    assert!(
+        horae_cpt.summary.space_bytes() < horae.summary.space_bytes(),
+        "the -cpt variant must be smaller"
+    );
+}
+
+#[test]
+fn pgss_is_least_accurate_without_fingerprints() {
+    // The paper attributes PGSS's poor accuracy to the absence of
+    // fingerprints; with matched hash ranges it should trail Horae and HIGGS.
+    let (loaded, exact, stream) = load_all();
+    let lq = stream.time_span().unwrap().len() / 4;
+    let pgss_aae = edge_aae(
+        loaded.iter().find(|l| l.name == "PGSS").unwrap().summary.as_ref(),
+        &exact,
+        &stream,
+        lq,
+    );
+    let higgs_aae = edge_aae(loaded[0].summary.as_ref(), &exact, &stream, lq);
+    assert!(pgss_aae >= higgs_aae);
+}

@@ -1,0 +1,86 @@
+//! End-to-end pipeline tests: generate a dataset preset, feed it through
+//! HIGGS and every baseline, and run the full query workload machinery the
+//! benchmark harness uses.
+
+use higgs::{HiggsConfig, HiggsSummary};
+use higgs_baselines::{AuxoTime, AuxoTimeConfig, Horae, HoraeConfig, Pgss, PgssConfig};
+use higgs_common::generator::{DatasetPreset, ExperimentScale, WorkloadBuilder};
+use higgs_common::{ExactTemporalGraph, SummaryExt, TemporalGraphSummary};
+
+fn competitors(edges: usize, slices: u64) -> Vec<Box<dyn TemporalGraphSummary>> {
+    vec![
+        Box::new(HiggsSummary::new(HiggsConfig::paper_default())),
+        Box::new(Pgss::new(PgssConfig::for_stream(edges, slices))),
+        Box::new(Horae::new(HoraeConfig::for_stream(edges, slices))),
+        Box::new(Horae::compact(HoraeConfig::for_stream(edges, slices))),
+        Box::new(AuxoTime::new(AuxoTimeConfig::for_stream(edges, slices))),
+        Box::new(AuxoTime::compact(AuxoTimeConfig::for_stream(edges, slices))),
+    ]
+}
+
+#[test]
+fn every_summary_ingests_a_preset_and_answers_all_query_kinds() {
+    let stream = DatasetPreset::Lkml.generate(ExperimentScale::Smoke);
+    let slices = stream.time_span().unwrap().end.next_power_of_two();
+    let exact = ExactTemporalGraph::from_edges(stream.edges());
+    let mut builder = WorkloadBuilder::new(&stream, 1);
+    let workload = builder.mixed_workload(25, 10, 5, 2, 5_000);
+
+    for mut summary in competitors(stream.len(), slices) {
+        summary.insert_all(stream.edges());
+        assert!(summary.space_bytes() > 0, "{}", summary.name());
+
+        for q in &workload.edge_queries {
+            let est = summary.run_edge_query(q);
+            let truth = exact.run_edge_query(q);
+            assert!(est >= truth, "{} underestimated an edge query", summary.name());
+        }
+        for q in &workload.vertex_queries {
+            assert!(
+                summary.run_vertex_query(q) >= exact.run_vertex_query(q),
+                "{} underestimated a vertex query",
+                summary.name()
+            );
+        }
+        for q in &workload.path_queries {
+            assert!(summary.path_query(q) >= exact.path_query(q));
+        }
+        for q in &workload.subgraph_queries {
+            assert!(summary.subgraph_query(q) >= exact.subgraph_query(q));
+        }
+    }
+}
+
+#[test]
+fn higgs_tracks_the_whole_stream_shape() {
+    let stream = DatasetPreset::WikiTalk.generate(ExperimentScale::Smoke);
+    let mut summary = HiggsSummary::new(HiggsConfig::paper_default());
+    summary.insert_all(stream.edges());
+    assert_eq!(summary.total_items(), stream.len() as u64);
+    let span = stream.time_span().unwrap();
+    let covered = summary.time_span().unwrap();
+    assert_eq!(covered.start, span.start);
+    assert_eq!(covered.end, span.end);
+    assert!(summary.height() >= 2, "real streams should build a hierarchy");
+    // Highly skewed streams repeat a few hot edges at many timestamps, which
+    // caps per-leaf utilisation (each occurrence needs its own entry in the
+    // same small set of candidate buckets) — so only require it to be sane.
+    let util = summary.average_leaf_utilization();
+    assert!(util > 0.01 && util <= 1.0, "implausible utilisation {util}");
+}
+
+#[test]
+fn workload_builder_and_exact_store_agree_on_nonzero_truths() {
+    // Edge queries sampled from the stream should mostly have non-zero truth
+    // when the range spans the whole stream, which is what ARE needs.
+    let stream = DatasetPreset::Stackoverflow.generate(ExperimentScale::Smoke);
+    let exact = ExactTemporalGraph::from_edges(stream.edges());
+    let span_len = stream.time_span().unwrap().len();
+    let mut builder = WorkloadBuilder::new(&stream, 3);
+    let queries = builder.edge_queries(100, span_len);
+    let nonzero = queries
+        .iter()
+        .filter(|q| exact.edge_query(q.src, q.dst, q.range) > 0)
+        .count();
+    assert!(nonzero >= 95, "expected almost all truths non-zero, got {nonzero}");
+}

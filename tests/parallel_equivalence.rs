@@ -1,0 +1,47 @@
+//! The parallel insertion pipeline must produce query results identical to
+//! the sequential summary on the same stream (Section IV-C guarantees
+//! element-level order preservation is sufficient).
+
+use higgs::{HiggsConfig, HiggsSummary, ParallelHiggs};
+use higgs_common::generator::{DatasetPreset, ExperimentScale, WorkloadBuilder};
+use higgs_common::{SummaryExt, TemporalGraphSummary};
+
+#[test]
+fn parallel_and_sequential_agree_on_a_real_workload() {
+    let stream = DatasetPreset::Lkml.generate(ExperimentScale::Smoke);
+    let mut sequential = HiggsSummary::new(HiggsConfig::paper_default());
+    let mut parallel = ParallelHiggs::new(HiggsConfig::paper_default(), 3);
+    sequential.insert_all(stream.edges());
+    parallel.insert_all(stream.edges());
+    parallel.flush();
+
+    let mut builder = WorkloadBuilder::new(&stream, 31);
+    let workload = builder.mixed_workload(100, 40, 10, 3, 20_000);
+    for q in &workload.edge_queries {
+        assert_eq!(sequential.run_edge_query(q), parallel.run_edge_query(q));
+    }
+    for q in &workload.vertex_queries {
+        assert_eq!(sequential.run_vertex_query(q), parallel.run_vertex_query(q));
+    }
+    for q in &workload.path_queries {
+        assert_eq!(sequential.path_query(q), parallel.path_query(q));
+    }
+    assert_eq!(sequential.leaf_count(), parallel.summary().leaf_count());
+    assert_eq!(sequential.height(), parallel.summary().height());
+}
+
+#[test]
+fn into_summary_is_equivalent_to_flush_then_query() {
+    let stream = DatasetPreset::Lkml.generate(ExperimentScale::Smoke);
+    let mut parallel = ParallelHiggs::new(HiggsConfig::paper_default(), 2);
+    parallel.insert_all(stream.edges());
+    let finished = parallel.into_summary();
+
+    let mut sequential = HiggsSummary::new(HiggsConfig::paper_default());
+    sequential.insert_all(stream.edges());
+
+    let mut builder = WorkloadBuilder::new(&stream, 32);
+    for q in builder.edge_queries(200, 10_000) {
+        assert_eq!(finished.run_edge_query(&q), sequential.run_edge_query(&q));
+    }
+}

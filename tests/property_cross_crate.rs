@@ -1,0 +1,140 @@
+//! Property-based tests spanning crates: randomised streams and query ranges
+//! drive the invariants the paper proves — one-sided error for every summary
+//! (Section V-D), exact additivity of disjoint ranges on the exact store, and
+//! insert/delete inverses.
+
+use higgs::{HiggsConfig, HiggsSummary};
+use higgs_baselines::{Horae, HoraeConfig, Pgss, PgssConfig};
+use higgs_common::{ExactTemporalGraph, StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection};
+use proptest::prelude::*;
+
+const MAX_T: u64 = 2_000;
+
+fn edge_strategy() -> impl Strategy<Value = StreamEdge> {
+    (0u64..40, 0u64..40, 1u64..5, 0u64..MAX_T)
+        .prop_map(|(s, d, w, t)| StreamEdge::new(s, d, w, t))
+}
+
+fn stream_strategy(max_len: usize) -> impl Strategy<Value = Vec<StreamEdge>> {
+    prop::collection::vec(edge_strategy(), 1..max_len).prop_map(|mut edges| {
+        edges.sort_by_key(|e| e.timestamp);
+        edges
+    })
+}
+
+fn range_strategy() -> impl Strategy<Value = TimeRange> {
+    (0u64..MAX_T, 0u64..MAX_T).prop_map(|(a, b)| TimeRange::new(a.min(b), a.max(b)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn higgs_never_underestimates_edge_or_vertex_queries(
+        edges in stream_strategy(300),
+        range in range_strategy(),
+    ) {
+        let mut summary = HiggsSummary::new(HiggsConfig {
+            d1: 4,
+            f1_bits: 10,
+            r_bits: 1,
+            bucket_entries: 2,
+            mapping_addresses: 2,
+            overflow_blocks: true,
+        });
+        let mut exact = ExactTemporalGraph::new();
+        for e in &edges {
+            summary.insert(e);
+            exact.insert(e);
+        }
+        for v in 0u64..40 {
+            for d in [VertexDirection::Out, VertexDirection::In] {
+                prop_assert!(summary.vertex_query(v, d, range) >= exact.vertex_query(v, d, range));
+            }
+        }
+        for e in edges.iter().take(40) {
+            prop_assert!(summary.edge_query(e.src, e.dst, range) >= exact.edge_query(e.src, e.dst, range));
+        }
+    }
+
+    #[test]
+    fn baselines_never_underestimate(
+        edges in stream_strategy(200),
+        range in range_strategy(),
+    ) {
+        let mut horae = Horae::new(HoraeConfig {
+            side: 32,
+            fingerprint_bits: 12,
+            candidates: 2,
+            time_slices: MAX_T.next_power_of_two(),
+            granularity_step: 1,
+        });
+        let mut pgss = Pgss::new(PgssConfig {
+            matrices: 2,
+            side: 32,
+            time_slices: MAX_T.next_power_of_two(),
+        });
+        let mut exact = ExactTemporalGraph::new();
+        for e in &edges {
+            horae.insert(e);
+            pgss.insert(e);
+            exact.insert(e);
+        }
+        for e in edges.iter().take(30) {
+            let truth = exact.edge_query(e.src, e.dst, range);
+            prop_assert!(horae.edge_query(e.src, e.dst, range) >= truth);
+            prop_assert!(pgss.edge_query(e.src, e.dst, range) >= truth);
+        }
+    }
+
+    #[test]
+    fn higgs_full_range_query_equals_total_weight_per_edge_when_collision_free(
+        edges in stream_strategy(150),
+    ) {
+        // At the paper's default parameters the hash range is ~8M while the
+        // vertex universe here is 40, so collisions are (essentially) absent
+        // and HIGGS is exact — the Lkml observation of Section VI-B.
+        let mut summary = HiggsSummary::new(HiggsConfig::paper_default());
+        let mut exact = ExactTemporalGraph::new();
+        for e in &edges {
+            summary.insert(e);
+            exact.insert(e);
+        }
+        for e in &edges {
+            prop_assert_eq!(
+                summary.edge_query(e.src, e.dst, TimeRange::all()),
+                exact.edge_query(e.src, e.dst, TimeRange::all())
+            );
+        }
+    }
+
+    #[test]
+    fn insert_then_delete_is_identity_for_higgs(
+        edges in stream_strategy(120),
+    ) {
+        let mut summary = HiggsSummary::new(HiggsConfig::paper_default());
+        for e in &edges {
+            summary.insert(e);
+        }
+        for e in &edges {
+            summary.delete(e);
+        }
+        for e in &edges {
+            prop_assert_eq!(summary.edge_query(e.src, e.dst, TimeRange::all()), 0);
+        }
+    }
+
+    #[test]
+    fn exact_store_is_additive_over_disjoint_ranges(
+        edges in stream_strategy(200),
+        split in 1u64..MAX_T,
+    ) {
+        let exact = ExactTemporalGraph::from_edges(&edges);
+        for e in edges.iter().take(30) {
+            let left = exact.edge_query(e.src, e.dst, TimeRange::new(0, split - 1));
+            let right = exact.edge_query(e.src, e.dst, TimeRange::new(split, MAX_T));
+            let whole = exact.edge_query(e.src, e.dst, TimeRange::new(0, MAX_T));
+            prop_assert_eq!(left + right, whole);
+        }
+    }
+}
