@@ -44,7 +44,7 @@ impl RangeDecomposer {
 
     /// Whether granularity `g` has a physical layer.
     pub fn is_available(&self, g: u32) -> bool {
-        g <= self.max_granularity && g % self.step == 0
+        g <= self.max_granularity && g.is_multiple_of(self.step)
     }
 
     /// The granularities that have physical layers, ascending.
@@ -73,7 +73,7 @@ impl RangeDecomposer {
             let mut best = 0u32;
             for &g in &granularities {
                 let block = 1u64 << g;
-                if lo % block == 0 && block - 1 <= hi - lo {
+                if lo.is_multiple_of(block) && block - 1 <= hi - lo {
                     best = g;
                 }
             }
@@ -136,7 +136,14 @@ mod tests {
     #[test]
     fn full_decomposition_covers_exactly() {
         let dec = RangeDecomposer::full(20);
-        for (s, e) in [(0u64, 0u64), (0, 1023), (5, 17), (100, 1000), (7, 8), (1, 1)] {
+        for (s, e) in [
+            (0u64, 0u64),
+            (0, 1023),
+            (5, 17),
+            (100, 1000),
+            (7, 8),
+            (1, 1),
+        ] {
             check_cover(&dec, TimeRange::new(s, e));
         }
     }

@@ -15,7 +15,9 @@
 
 use crate::decompose::{clamp_to_domain, granularities_for_span, RangeDecomposer};
 use higgs_common::hashing::splitmix64;
-use higgs_common::{StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection, VertexId, Weight};
+use higgs_common::{
+    StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection, VertexId, Weight,
+};
 use higgs_sketch::gss::{Gss, GssConfig};
 use higgs_sketch::GraphSketch;
 
@@ -197,7 +199,10 @@ impl TemporalGraphSummary for Horae {
     }
 
     fn space_bytes(&self) -> usize {
-        self.layers.iter().map(GraphSketch::space_bytes).sum::<usize>()
+        self.layers
+            .iter()
+            .map(GraphSketch::space_bytes)
+            .sum::<usize>()
             + std::mem::size_of::<Self>()
     }
 

@@ -15,7 +15,9 @@
 
 use crate::decompose::{clamp_to_domain, granularities_for_span, RangeDecomposer};
 use higgs_common::hashing::splitmix64;
-use higgs_common::{StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection, VertexId, Weight};
+use higgs_common::{
+    StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection, VertexId, Weight,
+};
 use higgs_sketch::{GraphSketch, Tcm};
 
 /// Configuration of a [`Pgss`] summary.
@@ -163,7 +165,10 @@ impl TemporalGraphSummary for Pgss {
     }
 
     fn space_bytes(&self) -> usize {
-        self.layers.iter().map(GraphSketch::space_bytes).sum::<usize>()
+        self.layers
+            .iter()
+            .map(GraphSketch::space_bytes)
+            .sum::<usize>()
             + std::mem::size_of::<Self>()
     }
 
@@ -211,7 +216,7 @@ mod tests {
         assert!(p.vertex_query(2, VertexDirection::In, TimeRange::new(0, 1023)) >= 14);
         // Range excluding t=500 must exclude the second edge into vertex 2.
         let early = p.vertex_query(2, VertexDirection::In, TimeRange::new(0, 100));
-        assert!(early >= 5 && early < 14);
+        assert!((5..14).contains(&early));
     }
 
     #[test]
@@ -240,7 +245,10 @@ mod tests {
     #[test]
     fn layer_count_matches_span() {
         let p = small();
-        assert_eq!(p.layer_count(), granularities_for_span(1 << 10) as usize + 1);
+        assert_eq!(
+            p.layer_count(),
+            granularities_for_span(1 << 10) as usize + 1
+        );
     }
 
     #[test]

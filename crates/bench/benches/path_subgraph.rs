@@ -13,7 +13,11 @@ fn bench_composite_queries(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("path_query_latency");
     group.sample_size(15);
-    for kind in [CompetitorKind::Higgs, CompetitorKind::Horae, CompetitorKind::Pgss] {
+    for kind in [
+        CompetitorKind::Higgs,
+        CompetitorKind::Horae,
+        CompetitorKind::Pgss,
+    ] {
         let mut summary = kind.build(stream.len(), slices);
         summary.insert_all(stream.edges());
         for hops in [2usize, 4, 6] {
@@ -34,7 +38,11 @@ fn bench_composite_queries(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("subgraph_query_latency");
     group.sample_size(15);
-    for kind in [CompetitorKind::Higgs, CompetitorKind::Horae, CompetitorKind::Pgss] {
+    for kind in [
+        CompetitorKind::Higgs,
+        CompetitorKind::Horae,
+        CompetitorKind::Pgss,
+    ] {
         let mut summary = kind.build(stream.len(), slices);
         summary.insert_all(stream.edges());
         for size in [50usize, 200] {

@@ -65,8 +65,17 @@ fn main() {
 
     let names: Vec<&str> = if experiment == "all" {
         vec![
-            "table2", "fig2", "fig3", "fig10", "fig11", "composite", "fig14", "fig15", "update",
-            "fig20", "fig21",
+            "table2",
+            "fig2",
+            "fig3",
+            "fig10",
+            "fig11",
+            "composite",
+            "fig14",
+            "fig15",
+            "update",
+            "fig20",
+            "fig21",
         ]
     } else {
         vec![experiment.as_str()]

@@ -57,9 +57,10 @@ impl CompetitorKind {
     ) -> Box<dyn TemporalGraphSummary + Send> {
         match self {
             CompetitorKind::Higgs => Box::new(HiggsSummary::new(HiggsConfig::paper_default())),
-            CompetitorKind::Pgss => {
-                Box::new(Pgss::new(PgssConfig::for_stream(expected_edges, time_slices)))
-            }
+            CompetitorKind::Pgss => Box::new(Pgss::new(PgssConfig::for_stream(
+                expected_edges,
+                time_slices,
+            ))),
             CompetitorKind::Horae => Box::new(Horae::new(HoraeConfig::for_stream(
                 expected_edges,
                 time_slices,
@@ -72,9 +73,10 @@ impl CompetitorKind {
                 expected_edges,
                 time_slices,
             ))),
-            CompetitorKind::AuxoTimeCpt => Box::new(AuxoTime::compact(
-                AuxoTimeConfig::for_stream(expected_edges, time_slices),
-            )),
+            CompetitorKind::AuxoTimeCpt => Box::new(AuxoTime::compact(AuxoTimeConfig::for_stream(
+                expected_edges,
+                time_slices,
+            ))),
         }
     }
 }

@@ -17,6 +17,16 @@ use higgs_common::{
 };
 use std::time::Instant;
 
+/// Per-competitor accumulator used by the sweep experiments: one label plus
+/// four metric columns collected across datasets.
+type MethodColumns = (
+    CompetitorKind,
+    Vec<String>,
+    Vec<String>,
+    Vec<String>,
+    Vec<String>,
+);
+
 /// Knobs shared by every experiment run.
 #[derive(Clone, Debug)]
 pub struct ExperimentConfig {
@@ -197,7 +207,10 @@ pub fn fig3(cfg: &ExperimentConfig) -> Vec<Report> {
             vec!["arrivals"],
         );
         for p in hist.iter().take(10) {
-            report.push(Row::new(format!("slice {}", p.slice), vec![p.arrivals.to_string()]));
+            report.push(Row::new(
+                format!("slice {}", p.slice),
+                vec![p.arrivals.to_string()],
+            ));
         }
         reports.push(report);
     }
@@ -225,13 +238,25 @@ pub fn accuracy_experiment(cfg: &ExperimentConfig, kind: QueryKind) -> Vec<Repor
         let stream = preset.generate(cfg.scale);
         let exact = ExactTemporalGraph::from_edges(stream.edges());
         let loaded = load_all(&stream);
-        let lq_cols: Vec<String> = cfg.lq_values.iter().map(|lq| format!("Lq=1e{}", (*lq as f64).log10() as u32)).collect();
+        let lq_cols: Vec<String> = cfg
+            .lq_values
+            .iter()
+            .map(|lq| format!("Lq=1e{}", (*lq as f64).log10() as u32))
+            .collect();
         let mut aae = Report::new(
-            format!("{fig} — {} query AAE ({})", kind_label(kind), preset.label()),
+            format!(
+                "{fig} — {} query AAE ({})",
+                kind_label(kind),
+                preset.label()
+            ),
             lq_cols.iter().map(String::as_str).collect(),
         );
         let mut are = Report::new(
-            format!("{fig} — {} query ARE ({})", kind_label(kind), preset.label()),
+            format!(
+                "{fig} — {} query ARE ({})",
+                kind_label(kind),
+                preset.label()
+            ),
             lq_cols.iter().map(String::as_str).collect(),
         );
         let mut latency = Report::new(
@@ -381,11 +406,10 @@ pub fn irregularity_experiment(cfg: &ExperimentConfig, by_variance: bool) -> Vec
         cols.iter().map(String::as_str).collect(),
     );
 
-    let mut per_method: Vec<(CompetitorKind, Vec<String>, Vec<String>, Vec<String>, Vec<String>)> =
-        CompetitorKind::all()
-            .into_iter()
-            .map(|k| (k, Vec::new(), Vec::new(), Vec::new(), Vec::new()))
-            .collect();
+    let mut per_method: Vec<MethodColumns> = CompetitorKind::all()
+        .into_iter()
+        .map(|k| (k, Vec::new(), Vec::new(), Vec::new(), Vec::new()))
+        .collect();
 
     for (_, stream) in &datasets {
         let exact = ExactTemporalGraph::from_edges(stream.edges());
@@ -437,11 +461,10 @@ pub fn update_cost_experiment(cfg: &ExperimentConfig) -> Vec<Report> {
         cols.iter().map(String::as_str).collect(),
     );
 
-    let mut per_method: Vec<(CompetitorKind, Vec<String>, Vec<String>, Vec<String>, Vec<String>)> =
-        CompetitorKind::all()
-            .into_iter()
-            .map(|k| (k, Vec::new(), Vec::new(), Vec::new(), Vec::new()))
-            .collect();
+    let mut per_method: Vec<MethodColumns> = CompetitorKind::all()
+        .into_iter()
+        .map(|k| (k, Vec::new(), Vec::new(), Vec::new(), Vec::new()))
+        .collect();
 
     for preset in presets {
         let stream = preset.generate(cfg.scale);

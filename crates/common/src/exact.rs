@@ -232,8 +232,7 @@ impl TemporalGraphSummary for ExactTemporalGraph {
             .map(TimeSeries::bytes)
             .sum();
         series
-            + self.per_edge.capacity()
-                * std::mem::size_of::<((VertexId, VertexId), TimeSeries)>()
+            + self.per_edge.capacity() * std::mem::size_of::<((VertexId, VertexId), TimeSeries)>()
             + (self.per_src.capacity() + self.per_dst.capacity())
                 * std::mem::size_of::<(VertexId, TimeSeries)>()
     }
@@ -278,7 +277,11 @@ mod tests {
         let edges = fig5_stream();
         let mut g = ExactTemporalGraph::from_edges(&edges);
         for (s, d) in [(2u64, 3u64), (1, 2), (4, 6), (9, 9)] {
-            for range in [TimeRange::new(0, 5), TimeRange::new(5, 10), TimeRange::all()] {
+            for range in [
+                TimeRange::new(0, 5),
+                TimeRange::new(5, 10),
+                TimeRange::all(),
+            ] {
                 let fast = g.exact_edge(s, d, range);
                 let slow = g.edge_query(s, d, range);
                 assert_eq!(fast, slow);
@@ -299,7 +302,10 @@ mod tests {
         assert_eq!(g.edge_query(10, 20, TimeRange::all()), 7);
         g.delete(&e);
         assert_eq!(g.edge_query(10, 20, TimeRange::all()), 0);
-        assert_eq!(g.vertex_query(10, VertexDirection::Out, TimeRange::all()), 0);
+        assert_eq!(
+            g.vertex_query(10, VertexDirection::Out, TimeRange::all()),
+            0
+        );
     }
 
     #[test]
@@ -316,7 +322,10 @@ mod tests {
     fn unknown_entities_return_zero() {
         let g = ExactTemporalGraph::from_edges(&fig5_stream());
         assert_eq!(g.edge_query(99, 100, TimeRange::all()), 0);
-        assert_eq!(g.vertex_query(99, VertexDirection::Out, TimeRange::all()), 0);
+        assert_eq!(
+            g.vertex_query(99, VertexDirection::Out, TimeRange::all()),
+            0
+        );
     }
 
     #[test]

@@ -106,8 +106,8 @@ mod tests {
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for k in 0..10 {
-            let empirical = counts[k] as f64 / n as f64;
+        for (k, &count) in counts.iter().enumerate() {
+            let empirical = count as f64 / n as f64;
             let expected = z.pmf(k);
             assert!(
                 (empirical - expected).abs() < 0.01,

@@ -141,11 +141,14 @@ mod tests {
 
     #[test]
     fn bursty_config_concentrates_mass() {
-        let p = ArrivalProcess::new(1000, BurstConfig {
-            burst_count: 2,
-            burst_fraction: 0.95,
-            burst_width_fraction: 0.002,
-        });
+        let p = ArrivalProcess::new(
+            1000,
+            BurstConfig {
+                burst_count: 2,
+                burst_fraction: 0.95,
+                burst_width_fraction: 0.002,
+            },
+        );
         let mut rng = StdRng::seed_from_u64(2);
         let ts = p.sample_timestamps(50_000, &mut rng);
         let mut counts = vec![0u64; 1000];

@@ -82,8 +82,12 @@ impl FingerprintLayout {
     pub fn new(f1_bits: u32, d1: u64, r_bits: u32) -> Self {
         assert!(d1.is_power_of_two(), "d1 must be a power of two, got {d1}");
         assert!(f1_bits > 0 && f1_bits < 48, "F1 must be in (0, 48)");
-        assert!(r_bits >= 1 && r_bits <= 8, "R must be in [1, 8]");
-        Self { f1_bits, d1, r_bits }
+        assert!((1..=8).contains(&r_bits), "R must be in [1, 8]");
+        Self {
+            f1_bits,
+            d1,
+            r_bits,
+        }
     }
 
     /// The branching factor implied by `R`: `θ = 4^R`.
@@ -184,12 +188,40 @@ impl AddressSequence {
 
     /// The `i`-th address (0-based) in the sequence starting from `base`.
     /// Index 0 is `base` itself.
+    ///
+    /// O(`index`) per call: fine for a one-off lookup, but probing loops that
+    /// need the first `r` addresses should use [`fill_sequence`](Self::fill_sequence)
+    /// or [`iter`](Self::iter), which walk the LCG iteratively (O(r) total
+    /// instead of O(r²)).
     pub fn address(&self, base: u64, index: u32) -> u64 {
         let mut x = base % self.side;
         for _ in 0..index {
             x = self.step(x);
         }
         x
+    }
+
+    /// Writes the first `out.len()` addresses of the sequence starting at
+    /// `base` into `out` (index 0 is `base` itself), stepping the LCG once
+    /// per slot. This is the batched form used by every MMB/square-hashing
+    /// probe loop: one call per operation replaces per-index
+    /// [`address`](Self::address) calls.
+    #[inline]
+    pub fn fill_sequence(&self, base: u64, out: &mut [u64]) {
+        let mut x = base % self.side;
+        for slot in out.iter_mut() {
+            *slot = x;
+            x = self.step(x);
+        }
+    }
+
+    /// An infinite iterator over the sequence starting at `base` (index 0 is
+    /// `base` itself). Each `next` is one LCG step.
+    pub fn iter(&self, base: u64) -> AddressIter {
+        AddressIter {
+            seq: *self,
+            next: base % self.side,
+        }
     }
 
     /// One LCG step modulo the side.
@@ -218,13 +250,28 @@ impl AddressSequence {
 
     /// The first `count` addresses starting at `base` (index 0..count).
     pub fn sequence(&self, base: u64, count: u32) -> Vec<u64> {
-        let mut out = Vec::with_capacity(count as usize);
-        let mut x = base % self.side;
-        for _ in 0..count {
-            out.push(x);
-            x = self.step(x);
-        }
+        let mut out = vec![0u64; count as usize];
+        self.fill_sequence(base, &mut out);
         out
+    }
+}
+
+/// Infinite iterator over an LCG address sequence; see
+/// [`AddressSequence::iter`].
+#[derive(Clone, Copy, Debug)]
+pub struct AddressIter {
+    seq: AddressSequence,
+    next: u64,
+}
+
+impl Iterator for AddressIter {
+    type Item = u64;
+
+    #[inline]
+    fn next(&mut self) -> Option<u64> {
+        let current = self.next;
+        self.next = self.seq.step(current);
+        Some(current)
     }
 }
 
@@ -338,6 +385,36 @@ mod tests {
                 assert_eq!(seq.base_of(stored, idx), base);
             }
         }
+    }
+
+    #[test]
+    fn fill_sequence_matches_per_index_address() {
+        let seq = AddressSequence::new(32);
+        for base in [0u64, 5, 31, 1000] {
+            let mut buf = [0u64; 12];
+            seq.fill_sequence(base, &mut buf);
+            for (i, &addr) in buf.iter().enumerate() {
+                assert_eq!(addr, seq.address(base, i as u32), "base {base} index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn iterator_matches_per_index_address() {
+        let seq = AddressSequence::new(16);
+        for (i, addr) in seq.iter(7).take(20).enumerate() {
+            assert_eq!(addr, seq.address(7, i as u32));
+        }
+    }
+
+    #[test]
+    fn fill_sequence_reduces_base_modulo_side() {
+        let seq = AddressSequence::new(8);
+        let mut a = [0u64; 4];
+        let mut b = [0u64; 4];
+        seq.fill_sequence(3, &mut a);
+        seq.fill_sequence(3 + 8 * 5, &mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

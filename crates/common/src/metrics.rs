@@ -198,7 +198,11 @@ pub fn degree_distribution(stream: &GraphStream) -> Vec<DegreePoint> {
     let degrees = stream.out_degrees();
     let mut bins: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
     for &d in degrees.values() {
-        let bin = if d == 0 { 0 } else { 1u64 << (63 - d.leading_zeros()) };
+        let bin = if d == 0 {
+            0
+        } else {
+            1u64 << (63 - d.leading_zeros())
+        };
         *bins.entry(bin).or_insert(0) += 1;
     }
     bins.into_iter()

@@ -91,8 +91,12 @@ pub trait TemporalGraphSummary {
 
     /// Aggregated weight of all edges incident to `vertex` in `direction`
     /// within `range`.
-    fn vertex_query(&self, vertex: VertexId, direction: VertexDirection, range: TimeRange)
-        -> Weight;
+    fn vertex_query(
+        &self,
+        vertex: VertexId,
+        direction: VertexDirection,
+        range: TimeRange,
+    ) -> Weight;
 
     /// Main-memory footprint of the summary in bytes (Section VI-G).
     fn space_bytes(&self) -> usize;

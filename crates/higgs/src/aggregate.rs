@@ -21,6 +21,10 @@ use higgs_common::hashing::FingerprintLayout;
 /// pair give back the base address, the top `R` fingerprint bits move into
 /// the address, and the entry is re-inserted into the (4^R-times larger)
 /// parent matrix. Entries with zero weight (fully deleted) are skipped.
+///
+/// [`CompressedMatrix::entries`] yields unpacked [`Entry`](crate::matrix::Entry)
+/// values straight off the child's contiguous slab, so the per-child walk is
+/// a linear sweep rather than a bucket-by-bucket pointer chase.
 pub fn aggregate_matrices(
     layout: &FingerprintLayout,
     config: &HiggsConfig,
@@ -45,7 +49,13 @@ pub fn aggregate_matrices(
             let base_dst = seq.base_of(col, u32::from(entry.idx_dst));
             let (fp_src, addr_src) = layout.lift(u64::from(entry.fp_src), base_src, child_layer);
             let (fp_dst, addr_dst) = layout.lift(u64::from(entry.fp_dst), base_dst, child_layer);
-            parent.insert_aggregated(addr_src, addr_dst, fp_src as u32, fp_dst as u32, entry.weight);
+            parent.insert_aggregated(
+                addr_src,
+                addr_dst,
+                fp_src as u32,
+                fp_dst as u32,
+                entry.weight,
+            );
         }
     }
     parent
@@ -63,7 +73,10 @@ pub fn aggregate_leaves_to_layer(
     leaves: &[&CompressedMatrix],
     target_layer: u32,
 ) -> CompressedMatrix {
-    assert!(target_layer >= 2, "target layer must be above the leaf layer");
+    assert!(
+        target_layer >= 2,
+        "target layer must be above the leaf layer"
+    );
     let mut parent = CompressedMatrix::new(
         layout.matrix_side(target_layer),
         target_layer,
@@ -71,7 +84,11 @@ pub fn aggregate_leaves_to_layer(
         config.mapping_addresses,
     );
     for leaf in leaves {
-        debug_assert_eq!(leaf.layer(), 1, "aggregate_leaves_to_layer expects leaf matrices");
+        debug_assert_eq!(
+            leaf.layer(),
+            1,
+            "aggregate_leaves_to_layer expects leaf matrices"
+        );
         let seq = leaf.address_sequence();
         for (row, col, entry) in leaf.entries() {
             if entry.weight == 0 {
@@ -89,7 +106,13 @@ pub fn aggregate_leaves_to_layer(
                 fp_dst = fd;
                 addr_dst = ad;
             }
-            parent.insert_aggregated(addr_src, addr_dst, fp_src as u32, fp_dst as u32, entry.weight);
+            parent.insert_aggregated(
+                addr_src,
+                addr_dst,
+                fp_src as u32,
+                fp_dst as u32,
+                entry.weight,
+            );
         }
     }
     parent
@@ -208,7 +231,10 @@ mod tests {
                 })
                 .sum();
             let parent_est = parent_edge_weight(&parent, &layout, s, d);
-            assert_eq!(parent_est, child_sum, "aggregation added error for ({s},{d})");
+            assert_eq!(
+                parent_est, child_sum,
+                "aggregation added error for ({s},{d})"
+            );
             assert!(parent_est >= w);
         }
     }
@@ -282,7 +308,10 @@ mod tests {
                     hd.fingerprint as u32,
                     None,
                 );
-                assert_eq!(a, b, "stepwise and direct aggregation disagree for ({s},{d})");
+                assert_eq!(
+                    a, b,
+                    "stepwise and direct aggregation disagree for ({s},{d})"
+                );
             }
         }
     }

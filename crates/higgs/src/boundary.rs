@@ -212,7 +212,10 @@ mod tests {
         let span = s.time_span().unwrap();
         let mid = (span.start + span.end) / 2;
         let plan = s.plan(TimeRange::new(mid, mid + 3));
-        assert!(plan.len() <= 4, "narrow query should touch few matrices: {plan:?}");
+        assert!(
+            plan.len() <= 4,
+            "narrow query should touch few matrices: {plan:?}"
+        );
         assert_eq!(plan.aggregate_count(), 0);
     }
 
@@ -247,7 +250,9 @@ mod tests {
         let s = build(8_000);
         let span = s.time_span().unwrap();
         let small = s.plan(TimeRange::new(span.start, span.start + 10)).len();
-        let medium = s.plan(TimeRange::new(span.start, span.start + span.len() / 8)).len();
+        let medium = s
+            .plan(TimeRange::new(span.start, span.start + span.len() / 8))
+            .len();
         let large = s.plan(TimeRange::all()).len();
         assert!(small <= medium);
         // The full-range plan collapses to the top aggregates, so it is small
@@ -262,6 +267,9 @@ mod tests {
         let plan = s.plan(TimeRange::new(span.end + 10, span.end + 20));
         assert_eq!(plan.len(), 0);
         // Sanity: queries over that range return zero.
-        assert_eq!(s.edge_query(1, 5, TimeRange::new(span.end + 10, span.end + 20)), 0);
+        assert_eq!(
+            s.edge_query(1, 5, TimeRange::new(span.end + 10, span.end + 20)),
+            0
+        );
     }
 }

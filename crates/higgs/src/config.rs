@@ -97,10 +97,16 @@ impl HiggsConfig {
             "F1 must be in [R, 31]"
         );
         assert!((1..=8).contains(&self.r_bits), "R must be in [1, 8]");
-        assert!(self.bucket_entries >= 1, "b must be at least 1");
+        // Bounds shared with CompressedMatrix::new: per-bucket occupancy is
+        // stored as u8 and MMB index pairs as two u8 halves of a u16.
         assert!(
-            (1..=16).contains(&self.mapping_addresses),
-            "r must be in [1, 16]"
+            (1..=u8::MAX as usize).contains(&self.bucket_entries),
+            "b must be in [1, 255]"
+        );
+        assert!(
+            (1..=crate::matrix::MAX_MAPPING as u32).contains(&self.mapping_addresses),
+            "r must be in [1, {}]",
+            crate::matrix::MAX_MAPPING
         );
     }
 }
@@ -156,6 +162,18 @@ mod tests {
     fn invalid_bucket_entries_rejected() {
         HiggsConfig {
             bucket_entries: 0,
+            ..HiggsConfig::paper_default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "b must be")]
+    fn oversized_bucket_entries_rejected_at_validation() {
+        // Occupancy counts are stored as u8 in the slab layout; validate()
+        // must fail fast instead of letting leaf construction panic later.
+        HiggsConfig {
+            bucket_entries: 256,
             ..HiggsConfig::paper_default()
         }
         .validate();

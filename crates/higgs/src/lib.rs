@@ -36,6 +36,33 @@
 //!     8
 //! );
 //! ```
+//!
+//! # Performance notes
+//!
+//! Every insert, temporal-range query, and aggregation funnels through the
+//! compressed matrix, so [`matrix`] is written for the cache, not the
+//! allocator:
+//!
+//! * **Flat slab storage.** A `d × d` matrix with `b`-entry buckets is one
+//!   contiguous `Vec` of `b · d²` fixed-stride slots plus a `Vec<u8>` of
+//!   per-bucket lengths — no per-bucket heap allocations, no pointer chases.
+//!   A source-vertex query sweeps each candidate row as a single contiguous
+//!   range; cloning a matrix (parallel aggregation snapshots) is a memcpy.
+//! * **Packed match keys.** The fingerprint pair is packed into one `u64`
+//!   and the MMB index pair into one `u16` per slot, so candidate scans are
+//!   two integer compares per entry instead of four field compares.
+//! * **Single-pass probing.** The `r` candidate rows and columns of an
+//!   operation are computed once per operation with an iterative LCG walk
+//!   ([`higgs_common::hashing::AddressSequence::fill_sequence`]) into stack
+//!   arrays, and insertion finds a match *and* the first free slot in one
+//!   fused sweep of the `r × r` candidate buckets.
+//! * **One hash per endpoint per query.** Query-plan evaluation hashes each
+//!   vertex once and re-partitions the hash per visited layer, instead of
+//!   re-hashing per plan target.
+//!
+//! The `matrix_layout` Criterion group in `higgs-bench` tracks the raw
+//! matrix insert/probe costs at `d ∈ {64, 256}`; `insert_throughput` and
+//! `edge_query`/`vertex_query` track the end-to-end effect.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -2,6 +2,37 @@
 //! `b` fingerprinted entries, with the Multiple Mapping Buckets (MMB)
 //! optimisation of Section IV-C.
 //!
+//! # Storage layout
+//!
+//! Bucket storage is a single contiguous slab: one `Vec` of `b · d²`
+//! fixed-stride slots (bucket `(row, col)` owns slots
+//! `[(row·d + col)·b, (row·d + col + 1)·b)`) plus one `Vec<u8>` of per-bucket
+//! occupancy counts. Compared to the obvious `Vec<Vec<Entry>>` this removes
+//! one heap allocation and one pointer chase per bucket: probing a bucket is
+//! an index computation into an array that is already warm in cache, and a
+//! source-vertex query sweeps a row as one contiguous `d · b`-slot range
+//! instead of `d` separate heap objects.
+//!
+//! Each slot stores the match key packed into two integers: the fingerprint
+//! pair as one `u64` (`fp_src` in the high half, `fp_dst` in the low half —
+//! exact, since fingerprints are at most 32 bits each) and the MMB index pair
+//! as one `u16`. A candidate scan therefore compares one `u64` and one `u16`
+//! per slot instead of four separate fields. The index pair cannot be folded
+//! into the key `u64` without truncating fingerprints (32 + 32 + 4 + 4 bits
+//! exceeds 64), and truncation would change query semantics, so it stays a
+//! separate — still single-compare — field.
+//!
+//! # Probing
+//!
+//! Every operation precomputes its `r` candidate rows and columns once with
+//! an iterative LCG walk ([`AddressSequence::fill_sequence`]) into small
+//! stack arrays; the `r × r` candidate loops then index those arrays. The
+//! seed implementation recomputed each address from scratch per probe
+//! (`address(base, i)` is O(i)), making the candidate loops effectively
+//! cubic in `r`. Insertion additionally fuses the seed's two passes
+//! (match-scan, then free-slot-scan) into a single sweep that records the
+//! first free slot while searching for a match.
+//!
 //! Leaf matrices store a per-entry time offset relative to the matrix's start
 //! time; aggregated (non-leaf) matrices store no temporal information
 //! (Section IV-A). Every entry also records the index pair `(i, j)` of the
@@ -10,9 +41,19 @@
 
 use higgs_common::hashing::AddressSequence;
 
+/// Maximum number of MMB mapping addresses per vertex: index pairs are
+/// stored as two 8-bit halves of a `u16` and candidate addresses live in
+/// fixed stack arrays of this size. [`HiggsConfig`](crate::HiggsConfig)
+/// validates the same bound.
+pub const MAX_MAPPING: usize = 16;
+
 /// One stored edge record: the fingerprint pair, the MMB index pair, the
 /// time offset (leaf matrices only; 0 in aggregated matrices), and the
 /// accumulated weight.
+///
+/// This is the public *view* of a slot; internally the fingerprint and index
+/// pairs are packed (see the module docs), and [`CompressedMatrix::entries`]
+/// materialises `Entry` values on the fly.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Entry {
     /// Source fingerprint at this matrix's layer.
@@ -32,6 +73,36 @@ pub struct Entry {
 /// A query-time filter on entry time offsets (inclusive bounds). `None`
 /// disables temporal filtering (non-leaf matrices).
 pub type OffsetFilter = Option<(u32, u32)>;
+
+/// One occupied slot of the slab: the packed match key plus payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Slot {
+    /// `fp_src` in the high 32 bits, `fp_dst` in the low 32 bits.
+    key: u64,
+    /// `idx_src` in the high byte, `idx_dst` in the low byte.
+    idx: u16,
+    /// Timestamp offset relative to the matrix's start time (leaf layer only).
+    time_offset: u32,
+    /// Accumulated weight.
+    weight: i64,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    key: 0,
+    idx: 0,
+    time_offset: 0,
+    weight: 0,
+};
+
+#[inline]
+fn pack_key(fp_src: u32, fp_dst: u32) -> u64 {
+    (u64::from(fp_src) << 32) | u64::from(fp_dst)
+}
+
+#[inline]
+fn pack_idx(i: usize, j: usize) -> u16 {
+    ((i as u16) << 8) | j as u16
+}
 
 /// A spilled aggregation entry: kept outside the bucket grid when every
 /// candidate bucket of an aggregation insert is full. Spills are rare (the
@@ -54,7 +125,12 @@ pub struct CompressedMatrix {
     bucket_entries: usize,
     mapping: u32,
     seq: AddressSequence,
-    buckets: Vec<Vec<Entry>>,
+    /// `b · d²` fixed-stride slots; bucket `(r, c)` owns
+    /// `slots[(r·d + c)·b ..][..b]`, of which the first `lens[r·d + c]` are
+    /// occupied.
+    slots: Vec<Slot>,
+    /// Per-bucket occupancy, indexed by `r·d + c`.
+    lens: Vec<u8>,
     spill: Vec<SpillEntry>,
     stored: usize,
 }
@@ -65,15 +141,23 @@ impl CompressedMatrix {
     /// candidate addresses per vertex.
     pub fn new(side: u64, layer: u32, bucket_entries: usize, mapping: u32) -> Self {
         assert!(side.is_power_of_two() && side >= 2);
-        assert!(bucket_entries >= 1);
-        assert!(mapping >= 1);
+        assert!(
+            bucket_entries >= 1 && bucket_entries <= u8::MAX as usize,
+            "bucket_entries must be in [1, 255]"
+        );
+        assert!(
+            mapping >= 1 && mapping as usize <= MAX_MAPPING,
+            "mapping must be in [1, {MAX_MAPPING}]"
+        );
+        let buckets = (side * side) as usize;
         Self {
             side,
             layer,
             bucket_entries,
             mapping,
             seq: AddressSequence::new(side),
-            buckets: vec![Vec::new(); (side * side) as usize],
+            slots: vec![EMPTY_SLOT; buckets * bucket_entries],
+            lens: vec![0u8; buckets],
             spill: Vec::new(),
             stored: 0,
         }
@@ -96,7 +180,7 @@ impl CompressedMatrix {
 
     /// Maximum number of entries (`b · d²`).
     pub fn capacity(&self) -> usize {
-        self.bucket_entries * (self.side * self.side) as usize
+        self.slots.len()
     }
 
     /// Fraction of entry slots in use (the utilisation rate of Section V-A).
@@ -118,17 +202,25 @@ impl CompressedMatrix {
 
     /// Total stored weight (bucket entries plus spilled entries).
     pub fn total_weight(&self) -> i64 {
-        self.buckets
-            .iter()
-            .flat_map(|b| b.iter())
-            .map(|e| e.weight)
-            .sum::<i64>()
+        self.occupied_slots().map(|(_, s)| s.weight).sum::<i64>()
             + self.spill.iter().map(|e| e.weight).sum::<i64>()
     }
 
+    /// The candidate rows/columns of `addr`: the first `mapping` LCG
+    /// addresses, computed iteratively in one pass.
     #[inline]
-    fn bucket_index(&self, row: u64, col: u64) -> usize {
-        (row * self.side + col) as usize
+    fn candidates(&self, addr: u64) -> [u64; MAX_MAPPING] {
+        let mut out = [0u64; MAX_MAPPING];
+        self.seq
+            .fill_sequence(addr, &mut out[..self.mapping as usize]);
+        out
+    }
+
+    /// Slab range of bucket `(row, col)`: `(bucket index, slot start)`.
+    #[inline]
+    fn bucket_slots(&self, row: u64, col: u64) -> (usize, usize) {
+        let bucket = (row * self.side + col) as usize;
+        (bucket, bucket * self.bucket_entries)
     }
 
     /// Tries to insert (or accumulate) an entry. Returns `false` if every
@@ -138,6 +230,11 @@ impl CompressedMatrix {
     /// `time_offset = Some(o)` (leaf matrices) requires matching entries to
     /// carry the same offset; `None` (aggregated matrices) matches on the
     /// fingerprint pair alone.
+    ///
+    /// Single fused pass over the `r × r` candidate buckets: while scanning
+    /// for a matching entry (which may live in any candidate bucket because
+    /// earlier ones were full when it first arrived), the first free slot is
+    /// recorded; if the scan finds no match, the entry is placed there.
     pub fn try_insert(
         &mut self,
         addr_src: u64,
@@ -148,46 +245,43 @@ impl CompressedMatrix {
         weight: i64,
     ) -> bool {
         let offset = time_offset.unwrap_or(0);
-        // First pass: look for a matching entry among all candidate buckets
-        // (an identical edge may already live in a later candidate because
-        // earlier ones were full when it first arrived).
-        for i in 0..self.mapping {
-            let row = self.seq.address(addr_src % self.side, i);
-            for j in 0..self.mapping {
-                let col = self.seq.address(addr_dst % self.side, j);
-                let idx = self.bucket_index(row, col);
-                for entry in &mut self.buckets[idx] {
-                    if entry.fp_src == fp_src
-                        && entry.fp_dst == fp_dst
-                        && entry.idx_src == i as u8
-                        && entry.idx_dst == j as u8
-                        && (time_offset.is_none() || entry.time_offset == offset)
+        let match_any_offset = time_offset.is_none();
+        let key = pack_key(fp_src, fp_dst);
+        let m = self.mapping as usize;
+        let rows = self.candidates(addr_src);
+        let cols = self.candidates(addr_dst);
+        // (bucket index, free slot position, packed index pair) of the first
+        // candidate bucket with spare capacity, in (i, j) scan order.
+        let mut free: Option<(usize, usize, u16)> = None;
+        for (i, &row) in rows[..m].iter().enumerate() {
+            for (j, &col) in cols[..m].iter().enumerate() {
+                let idx = pack_idx(i, j);
+                let (bucket, start) = self.bucket_slots(row, col);
+                let len = self.lens[bucket] as usize;
+                for slot in &mut self.slots[start..start + len] {
+                    if slot.key == key
+                        && slot.idx == idx
+                        && (match_any_offset || slot.time_offset == offset)
                     {
-                        entry.weight += weight;
+                        slot.weight += weight;
                         return true;
                     }
                 }
-            }
-        }
-        // Second pass: first candidate bucket with a free slot.
-        for i in 0..self.mapping {
-            let row = self.seq.address(addr_src % self.side, i);
-            for j in 0..self.mapping {
-                let col = self.seq.address(addr_dst % self.side, j);
-                let idx = self.bucket_index(row, col);
-                if self.buckets[idx].len() < self.bucket_entries {
-                    self.buckets[idx].push(Entry {
-                        fp_src,
-                        fp_dst,
-                        idx_src: i as u8,
-                        idx_dst: j as u8,
-                        time_offset: offset,
-                        weight,
-                    });
-                    self.stored += 1;
-                    return true;
+                if free.is_none() && len < self.bucket_entries {
+                    free = Some((bucket, start + len, idx));
                 }
             }
+        }
+        if let Some((bucket, pos, idx)) = free {
+            self.slots[pos] = Slot {
+                key,
+                idx,
+                time_offset: offset,
+                weight,
+            };
+            self.lens[bucket] += 1;
+            self.stored += 1;
+            return true;
         }
         false
     }
@@ -240,23 +334,18 @@ impl CompressedMatrix {
         filter: OffsetFilter,
         weight: i64,
     ) -> bool {
-        for i in 0..self.mapping {
-            let row = self.seq.address(addr_src % self.side, i);
-            for j in 0..self.mapping {
-                let col = self.seq.address(addr_dst % self.side, j);
-                let idx = self.bucket_index(row, col);
-                for entry in &mut self.buckets[idx] {
-                    let offset_ok = match filter {
-                        None => true,
-                        Some((lo, hi)) => entry.time_offset >= lo && entry.time_offset <= hi,
-                    };
-                    if entry.fp_src == fp_src
-                        && entry.fp_dst == fp_dst
-                        && entry.idx_src == i as u8
-                        && entry.idx_dst == j as u8
-                        && offset_ok
-                    {
-                        entry.weight -= weight;
+        let key = pack_key(fp_src, fp_dst);
+        let m = self.mapping as usize;
+        let rows = self.candidates(addr_src);
+        let cols = self.candidates(addr_dst);
+        for (i, &row) in rows[..m].iter().enumerate() {
+            for (j, &col) in cols[..m].iter().enumerate() {
+                let idx = pack_idx(i, j);
+                let (bucket, start) = self.bucket_slots(row, col);
+                let len = self.lens[bucket] as usize;
+                for slot in &mut self.slots[start..start + len] {
+                    if slot.key == key && slot.idx == idx && offset_in(slot.time_offset, filter) {
+                        slot.weight -= weight;
                         return true;
                     }
                 }
@@ -285,20 +374,19 @@ impl CompressedMatrix {
         fp_dst: u32,
         filter: OffsetFilter,
     ) -> u64 {
+        let key = pack_key(fp_src, fp_dst);
+        let m = self.mapping as usize;
+        let rows = self.candidates(addr_src);
+        let cols = self.candidates(addr_dst);
         let mut total = 0i64;
-        for i in 0..self.mapping {
-            let row = self.seq.address(addr_src % self.side, i);
-            for j in 0..self.mapping {
-                let col = self.seq.address(addr_dst % self.side, j);
-                let idx = self.bucket_index(row, col);
-                for entry in &self.buckets[idx] {
-                    if entry.fp_src == fp_src
-                        && entry.fp_dst == fp_dst
-                        && entry.idx_src == i as u8
-                        && entry.idx_dst == j as u8
-                        && Self::offset_matches(entry, filter)
-                    {
-                        total += entry.weight;
+        for (i, &row) in rows[..m].iter().enumerate() {
+            for (j, &col) in cols[..m].iter().enumerate() {
+                let idx = pack_idx(i, j);
+                let (bucket, start) = self.bucket_slots(row, col);
+                let len = self.lens[bucket] as usize;
+                for slot in &self.slots[start..start + len] {
+                    if slot.key == key && slot.idx == idx && offset_in(slot.time_offset, filter) {
+                        total += slot.weight;
                     }
                 }
             }
@@ -320,19 +408,26 @@ impl CompressedMatrix {
 
     /// Source-vertex query: sums entries in the candidate rows whose source
     /// fingerprint (and row index) match (Eq. (2) of the paper, extended to
-    /// MMB rows).
+    /// MMB rows). Each candidate row is one contiguous `d · b`-slot sweep of
+    /// the slab.
     pub fn src_weight(&self, addr_src: u64, fp_src: u32, filter: OffsetFilter) -> u64 {
+        let m = self.mapping as usize;
+        let rows = self.candidates(addr_src);
         let mut total = 0i64;
-        for i in 0..self.mapping {
-            let row = self.seq.address(addr_src % self.side, i);
-            let base = (row * self.side) as usize;
-            for bucket in &self.buckets[base..base + self.side as usize] {
-                for entry in bucket {
-                    if entry.fp_src == fp_src
-                        && entry.idx_src == i as u8
-                        && Self::offset_matches(entry, filter)
+        for (i, &row) in rows[..m].iter().enumerate() {
+            let i = i as u16;
+            let first_bucket = (row * self.side) as usize;
+            for (bucket_off, &len) in self.lens[first_bucket..first_bucket + self.side as usize]
+                .iter()
+                .enumerate()
+            {
+                let start = (first_bucket + bucket_off) * self.bucket_entries;
+                for slot in &self.slots[start..start + len as usize] {
+                    if (slot.key >> 32) as u32 == fp_src
+                        && slot.idx >> 8 == i
+                        && offset_in(slot.time_offset, filter)
                     {
-                        total += entry.weight;
+                        total += slot.weight;
                     }
                 }
             }
@@ -350,17 +445,20 @@ impl CompressedMatrix {
     /// Destination-vertex query: sums entries in the candidate columns whose
     /// destination fingerprint (and column index) match.
     pub fn dst_weight(&self, addr_dst: u64, fp_dst: u32, filter: OffsetFilter) -> u64 {
+        let m = self.mapping as usize;
+        let cols = self.candidates(addr_dst);
         let mut total = 0i64;
-        for j in 0..self.mapping {
-            let col = self.seq.address(addr_dst % self.side, j);
+        for (j, &col) in cols[..m].iter().enumerate() {
+            let j = j as u16;
             for row in 0..self.side {
-                let idx = self.bucket_index(row, col);
-                for entry in &self.buckets[idx] {
-                    if entry.fp_dst == fp_dst
-                        && entry.idx_dst == j as u8
-                        && Self::offset_matches(entry, filter)
+                let (bucket, start) = self.bucket_slots(row, col);
+                let len = self.lens[bucket] as usize;
+                for slot in &self.slots[start..start + len] {
+                    if slot.key as u32 == fp_dst
+                        && slot.idx & 0xFF == j
+                        && offset_in(slot.time_offset, filter)
                     {
-                        total += entry.weight;
+                        total += slot.weight;
                     }
                 }
             }
@@ -375,21 +473,34 @@ impl CompressedMatrix {
         total.max(0) as u64
     }
 
-    #[inline]
-    fn offset_matches(entry: &Entry, filter: OffsetFilter) -> bool {
-        match filter {
-            None => true,
-            Some((lo, hi)) => entry.time_offset >= lo && entry.time_offset <= hi,
-        }
+    /// Iterates over occupied slots together with their bucket index.
+    fn occupied_slots(&self) -> impl Iterator<Item = (usize, &Slot)> {
+        self.lens
+            .iter()
+            .enumerate()
+            .flat_map(move |(bucket, &len)| {
+                let start = bucket * self.bucket_entries;
+                self.slots[start..start + len as usize]
+                    .iter()
+                    .map(move |s| (bucket, s))
+            })
     }
 
     /// Iterates over all stored entries together with the row/column of the
     /// bucket holding them (used by aggregation).
-    pub fn entries(&self) -> impl Iterator<Item = (u64, u64, &Entry)> {
-        self.buckets.iter().enumerate().flat_map(move |(idx, bucket)| {
-            let row = idx as u64 / self.side;
-            let col = idx as u64 % self.side;
-            bucket.iter().map(move |e| (row, col, e))
+    pub fn entries(&self) -> impl Iterator<Item = (u64, u64, Entry)> + '_ {
+        self.occupied_slots().map(move |(bucket, slot)| {
+            let row = bucket as u64 / self.side;
+            let col = bucket as u64 % self.side;
+            let entry = Entry {
+                fp_src: (slot.key >> 32) as u32,
+                fp_dst: slot.key as u32,
+                idx_src: (slot.idx >> 8) as u8,
+                idx_dst: slot.idx as u8,
+                time_offset: slot.time_offset,
+                weight: slot.weight,
+            };
+            (row, col, entry)
         })
     }
 
@@ -399,17 +510,21 @@ impl CompressedMatrix {
         self.seq
     }
 
-    /// Memory footprint in bytes.
+    /// Memory footprint in bytes. The slab is allocated eagerly, so this is
+    /// independent of fill level (unlike the seed's per-bucket `Vec`s).
     pub fn space_bytes(&self) -> usize {
-        let entries: usize = self
-            .buckets
-            .iter()
-            .map(|b| b.capacity() * std::mem::size_of::<Entry>())
-            .sum();
-        entries
-            + self.buckets.capacity() * std::mem::size_of::<Vec<Entry>>()
+        self.slots.capacity() * std::mem::size_of::<Slot>()
+            + self.lens.capacity()
             + self.spill.capacity() * std::mem::size_of::<SpillEntry>()
             + std::mem::size_of::<Self>()
+    }
+}
+
+#[inline]
+fn offset_in(offset: u32, filter: OffsetFilter) -> bool {
+    match filter {
+        None => true,
+        Some((lo, hi)) => offset >= lo && offset <= hi,
     }
 }
 
@@ -568,5 +683,59 @@ mod tests {
         assert_eq!(m.side(), 8);
         assert_eq!(m.layer(), 1);
         assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn packed_key_preserves_full_fingerprint_width() {
+        // Fingerprints that agree on their low bits but differ in the top
+        // bits must stay distinct: the packed key keeps all 32 bits of each
+        // fingerprint.
+        let mut m = matrix();
+        let (lo, hi) = (0x0000_1234u32, 0xFFF0_1234u32);
+        assert!(m.try_insert(1, 2, lo, lo, Some(0), 3));
+        assert!(m.try_insert(1, 2, hi, lo, Some(0), 5));
+        assert!(m.try_insert(1, 2, lo, hi, Some(0), 7));
+        assert_eq!(m.edge_weight(1, 2, lo, lo, None), 3);
+        assert_eq!(m.edge_weight(1, 2, hi, lo, None), 5);
+        assert_eq!(m.edge_weight(1, 2, lo, hi, None), 7);
+        assert_eq!(m.stored(), 3);
+    }
+
+    #[test]
+    fn entries_round_trip_packed_fields() {
+        let mut m = matrix();
+        m.try_insert(5, 6, 0xDEAD_BEEF, 0xCAFE_F00D, Some(42), 11);
+        let (_, _, e) = m.entries().next().expect("one entry");
+        assert_eq!(e.fp_src, 0xDEAD_BEEF);
+        assert_eq!(e.fp_dst, 0xCAFE_F00D);
+        assert_eq!(e.time_offset, 42);
+        assert_eq!(e.weight, 11);
+        assert!(u32::from(e.idx_src) < 4 && u32::from(e.idx_dst) < 4);
+    }
+
+    #[test]
+    fn slab_layout_is_fixed_stride() {
+        // Filling one bucket to capacity must not affect neighbours: the
+        // slab gives every bucket exactly `b` slots.
+        let mut m = CompressedMatrix::new(4, 1, 2, 1);
+        // Same address pair → same single candidate bucket (mapping = 1).
+        assert!(m.try_insert(1, 1, 1, 1, Some(0), 1));
+        assert!(m.try_insert(1, 1, 2, 2, Some(0), 1));
+        assert!(!m.try_insert(1, 1, 3, 3, Some(0), 1), "bucket full");
+        // A different address pair still inserts fine.
+        assert!(m.try_insert(2, 2, 4, 4, Some(0), 1));
+        assert_eq!(m.stored(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "mapping must be in")]
+    fn mapping_above_max_rejected() {
+        let _ = CompressedMatrix::new(8, 1, 3, MAX_MAPPING as u32 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket_entries must be in")]
+    fn oversized_bucket_rejected() {
+        let _ = CompressedMatrix::new(8, 1, 256, 4);
     }
 }

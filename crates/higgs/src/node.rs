@@ -26,11 +26,7 @@ pub struct LeafNode {
 
 impl LeafNode {
     /// Creates an empty leaf starting at `start_time`.
-    pub fn new(
-        matrix: CompressedMatrix,
-        overflow: OverflowChain,
-        start_time: Timestamp,
-    ) -> Self {
+    pub fn new(matrix: CompressedMatrix, overflow: OverflowChain, start_time: Timestamp) -> Self {
         Self {
             matrix,
             overflow,
@@ -41,6 +37,7 @@ impl LeafNode {
     }
 
     /// The inclusive time range covered by this leaf.
+    #[inline]
     pub fn time_range(&self) -> TimeRange {
         TimeRange::new(self.start_time, self.end_time)
     }
@@ -48,12 +45,14 @@ impl LeafNode {
     /// Converts an absolute timestamp into this leaf's stored offset
     /// (clamped at `u32::MAX`; offsets are bounded by the leaf's small time
     /// span in practice).
+    #[inline]
     pub fn offset_of(&self, t: Timestamp) -> u32 {
         t.saturating_sub(self.start_time).min(u64::from(u32::MAX)) as u32
     }
 
     /// Converts an absolute query range into an offset filter for this leaf,
     /// or `None` if the range does not overlap the leaf at all.
+    #[inline]
     pub fn offset_filter(&self, range: TimeRange) -> Option<(u32, u32)> {
         let overlap = range.intersect(&self.time_range())?;
         Some((self.offset_of(overlap.start), self.offset_of(overlap.end)))

@@ -6,6 +6,12 @@
 //! same timestamp). Instead, the edge is absorbed by an overflow block — a
 //! small compressed matrix chained to the leaf — keeping the temporal
 //! partition of the stream exact and thereby improving query accuracy.
+//!
+//! Blocks share [`CompressedMatrix`]'s flat slab layout (see
+//! [`matrix`](crate::matrix)), so each block is a single allocation and
+//! chain scans stay cache-friendly; a chain insert probes blocks in creation
+//! order and allocates a new block only after every existing block rejected
+//! the edge, preserving first-block-wins attribution for deletes/queries.
 
 use crate::matrix::{CompressedMatrix, OffsetFilter};
 
@@ -53,14 +59,30 @@ impl OverflowChain {
         weight: i64,
     ) {
         for block in &mut self.blocks {
-            if block.try_insert(addr_src, addr_dst, fp_src, fp_dst, Some(time_offset), weight) {
+            if block.try_insert(
+                addr_src,
+                addr_dst,
+                fp_src,
+                fp_dst,
+                Some(time_offset),
+                weight,
+            ) {
                 return;
             }
         }
         let mut block = CompressedMatrix::new(self.side, 1, self.bucket_entries, self.mapping);
-        let inserted =
-            block.try_insert(addr_src, addr_dst, fp_src, fp_dst, Some(time_offset), weight);
-        debug_assert!(inserted, "insertion into an empty overflow block cannot fail");
+        let inserted = block.try_insert(
+            addr_src,
+            addr_dst,
+            fp_src,
+            fp_dst,
+            Some(time_offset),
+            weight,
+        );
+        debug_assert!(
+            inserted,
+            "insertion into an empty overflow block cannot fail"
+        );
         self.blocks.push(block);
     }
 
@@ -118,7 +140,10 @@ impl OverflowChain {
 
     /// Memory footprint in bytes.
     pub fn space_bytes(&self) -> usize {
-        self.blocks.iter().map(CompressedMatrix::space_bytes).sum::<usize>()
+        self.blocks
+            .iter()
+            .map(CompressedMatrix::space_bytes)
+            .sum::<usize>()
             + std::mem::size_of::<Self>()
     }
 }

@@ -21,11 +21,15 @@ use crate::matrix::CompressedMatrix;
 use crate::tree::HiggsSummary;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use higgs_common::hashing::FingerprintLayout;
-use higgs_common::{StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection, VertexId, Weight};
+use higgs_common::{
+    StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection, VertexId, Weight,
+};
 use std::thread::JoinHandle;
 
 /// An aggregation job shipped to a worker: the cloned leaf matrices (and
-/// overflow blocks) covered by the node, plus the target layer.
+/// overflow blocks) covered by the node, plus the target layer. Cloning a
+/// [`CompressedMatrix`] is a flat slab memcpy (no per-bucket allocations),
+/// so snapshotting a job's sources stays cheap on the ingest thread.
 struct Job {
     level: usize,
     index: usize,

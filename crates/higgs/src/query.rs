@@ -5,31 +5,36 @@
 
 use crate::boundary::{QueryPlan, QueryTarget};
 use crate::tree::HiggsSummary;
-use higgs_common::{StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection, VertexId, Weight};
+use higgs_common::{
+    StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection, VertexId, Weight,
+};
 
 impl HiggsSummary {
     /// Edge query evaluated over an existing plan (exposed so benchmarks can
     /// separate planning cost from matrix-access cost).
+    ///
+    /// Each endpoint is hashed once for the whole plan; per-target work is
+    /// only the layer-specific fingerprint/address re-partition of that hash.
     pub fn edge_query_with_plan(&self, src: VertexId, dst: VertexId, plan: &QueryPlan) -> Weight {
+        let hs1 = self.layout.split_vertex(src, 1);
+        let hd1 = self.layout.split_vertex(dst, 1);
         let mut total: u64 = 0;
         for target in &plan.targets {
             match *target {
                 QueryTarget::Leaf { index, filter } => {
                     let leaf = &self.leaves[index];
-                    let hs = self.layout.split_vertex(src, 1);
-                    let hd = self.layout.split_vertex(dst, 1);
                     total += leaf.matrix.edge_weight(
-                        hs.address,
-                        hd.address,
-                        hs.fingerprint as u32,
-                        hd.fingerprint as u32,
+                        hs1.address,
+                        hd1.address,
+                        hs1.fingerprint as u32,
+                        hd1.fingerprint as u32,
                         Some(filter),
                     );
                     total += leaf.overflow.edge_weight(
-                        hs.address,
-                        hd.address,
-                        hs.fingerprint as u32,
-                        hd.fingerprint as u32,
+                        hs1.address,
+                        hd1.address,
+                        hs1.fingerprint as u32,
+                        hd1.fingerprint as u32,
                         Some(filter),
                     );
                 }
@@ -40,8 +45,8 @@ impl HiggsSummary {
                         .matrix
                         .as_ref()
                         .expect("plan only references materialised aggregates");
-                    let hs = self.layout.split_vertex(src, layer);
-                    let hd = self.layout.split_vertex(dst, layer);
+                    let hs = self.layout.split(hs1.hash, layer);
+                    let hd = self.layout.split(hd1.hash, layer);
                     total += matrix.edge_weight(
                         hs.address,
                         hd.address,
@@ -62,34 +67,34 @@ impl HiggsSummary {
         direction: VertexDirection,
         plan: &QueryPlan,
     ) -> Weight {
+        let hv1 = self.layout.split_vertex(vertex, 1);
         let mut total: u64 = 0;
         for target in &plan.targets {
             match *target {
                 QueryTarget::Leaf { index, filter } => {
                     let leaf = &self.leaves[index];
-                    let hv = self.layout.split_vertex(vertex, 1);
                     let (m, o) = match direction {
                         VertexDirection::Out => (
                             leaf.matrix.src_weight(
-                                hv.address,
-                                hv.fingerprint as u32,
+                                hv1.address,
+                                hv1.fingerprint as u32,
                                 Some(filter),
                             ),
                             leaf.overflow.src_weight(
-                                hv.address,
-                                hv.fingerprint as u32,
+                                hv1.address,
+                                hv1.fingerprint as u32,
                                 Some(filter),
                             ),
                         ),
                         VertexDirection::In => (
                             leaf.matrix.dst_weight(
-                                hv.address,
-                                hv.fingerprint as u32,
+                                hv1.address,
+                                hv1.fingerprint as u32,
                                 Some(filter),
                             ),
                             leaf.overflow.dst_weight(
-                                hv.address,
-                                hv.fingerprint as u32,
+                                hv1.address,
+                                hv1.fingerprint as u32,
                                 Some(filter),
                             ),
                         ),
@@ -103,7 +108,7 @@ impl HiggsSummary {
                         .matrix
                         .as_ref()
                         .expect("plan only references materialised aggregates");
-                    let hv = self.layout.split_vertex(vertex, layer);
+                    let hv = self.layout.split(hv1.hash, layer);
                     total += match direction {
                         VertexDirection::Out => {
                             matrix.src_weight(hv.address, hv.fingerprint as u32, None)

@@ -106,7 +106,11 @@ impl HiggsSummary {
         if self.leaves.is_empty() {
             return 0.0;
         }
-        self.leaves.iter().map(|l| l.matrix.utilization()).sum::<f64>() / self.leaves.len() as f64
+        self.leaves
+            .iter()
+            .map(|l| l.matrix.utilization())
+            .sum::<f64>()
+            / self.leaves.len() as f64
     }
 
     fn new_leaf(&self, start_time: Timestamp) -> LeafNode {
@@ -193,9 +197,13 @@ impl HiggsSummary {
             if self.internals.len() <= level {
                 self.internals.push(Vec::new());
             }
-            if self.internals[level].len() > group_idx {
-                break; // node already exists (defensive; should not happen)
-            }
+            // Nodes are created exactly when their child group completes, and
+            // group completions are strictly ordered by the append-only leaf
+            // stream, so the node for `group_idx` cannot exist yet.
+            debug_assert!(
+                self.internals[level].len() <= group_idx,
+                "internal node (level {level}, group {group_idx}) created twice"
+            );
             self.create_internal(level, group_idx);
             level += 1;
         }
@@ -405,6 +413,38 @@ mod tests {
     }
 
     #[test]
+    fn internal_levels_have_exact_node_counts_past_three_layers() {
+        // Regression test for the upward-propagation loop of Algorithm 1:
+        // grow the tree well past three layers and verify after every insert
+        // that each internal level holds exactly one node per *complete*
+        // group of θ^(level+1) closed leaves — i.e. the loop creates every
+        // node exactly once and never stops early or double-creates (the
+        // condition the `debug_assert!` in `on_leaf_closed` guards).
+        let mut s = HiggsSummary::new(tiny_config());
+        let theta = s.config().theta();
+        for i in 0..30_000u64 {
+            s.insert_edge(&StreamEdge::new(i % 700, (i * 13) % 700, 1, i));
+            let closed = s.leaf_count() - 1;
+            for (level, nodes) in s.internals.iter().enumerate() {
+                let group = theta.pow(level as u32 + 1);
+                assert_eq!(
+                    nodes.len(),
+                    closed / group,
+                    "level {level} after {} leaves",
+                    s.leaf_count()
+                );
+            }
+        }
+        assert!(
+            s.height() > 4,
+            "stream too small to exercise deep propagation: height {}",
+            s.height()
+        );
+        // Every created node carries a materialised aggregate (inline mode).
+        assert!(s.internals.iter().flatten().all(|n| n.matrix.is_some()));
+    }
+
+    #[test]
     fn leaf_time_ranges_are_ordered() {
         let mut s = HiggsSummary::new(tiny_config());
         for i in 0..2_000u64 {
@@ -428,7 +468,7 @@ mod tests {
             1,
             "same-timestamp burst must not open new leaves when OB is enabled"
         );
-        assert!(s.leaves[0].overflow.len() > 0);
+        assert!(!s.leaves[0].overflow.is_empty());
         assert_eq!(s.total_items(), 500);
     }
 

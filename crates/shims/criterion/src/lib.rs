@@ -1,0 +1,395 @@
+//! Minimal stand-in for the `criterion` crate.
+//!
+//! Implements the benchmark-definition API this workspace's benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `sample_size`,
+//! `throughput`, `iter`, `iter_batched`, `criterion_group!`,
+//! `criterion_main!`) on top of plain `std::time::Instant` measurement:
+//! a short warm-up sizes the per-sample iteration count towards a target
+//! sample time, then `sample_size` samples are collected and the median,
+//! min and max per-iteration times (plus throughput, when configured) are
+//! printed. No statistical regression analysis, plots, or saved baselines —
+//! numbers are for relative comparison within one run.
+//!
+//! Command-line flags understood (matching the criterion CLI surface that
+//! CI and scripts use): `--test` runs every benchmark exactly once as a
+//! smoke test; `--bench` is accepted and ignored; any other bare argument is
+//! a substring filter on benchmark ids.
+
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box` (benches import it from
+/// `std::hint` directly, but the classic path is kept working).
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost; the shim runs every batch with
+/// batch size 1, which is exact for the `SmallInput` usage in this workspace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: setup cost is excluded from timing.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Throughput annotation: when set, per-second rates are reported.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// The measured routine processes this many logical elements.
+    Elements(u64),
+    /// The measured routine processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher<'a> {
+    mode: Mode,
+    samples: &'a mut Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Run the routine once to verify it works (`--test`).
+    Smoke,
+    /// Calibration pass: run once, record the duration.
+    Calibrate,
+    /// Measurement pass: run `iters_per_sample` times, record the total.
+    Measure,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, running it in a loop per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+            }
+            Mode::Calibrate => {
+                let start = Instant::now();
+                black_box(routine());
+                self.samples.push(start.elapsed());
+            }
+            Mode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    black_box(routine());
+                }
+                self.samples
+                    .push(start.elapsed() / self.iters_per_sample as u32);
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine(setup()));
+            }
+            Mode::Calibrate => {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                self.samples.push(start.elapsed());
+            }
+            Mode::Measure => {
+                let mut total = Duration::ZERO;
+                for _ in 0..self.iters_per_sample {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    total += start.elapsed();
+                }
+                self.samples.push(total / self.iters_per_sample as u32);
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+/// Target wall-clock spent measuring one benchmark (split across samples).
+const TARGET_MEASURE_TIME: Duration = Duration::from_millis(1_500);
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measures `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.name, &mut |b| f(b));
+        self
+    }
+
+    /// Measures `f` under `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.name, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (kept for API compatibility; output is streamed).
+    pub fn finish(&mut self) {}
+
+    fn run(&self, bench_name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full_name = format!("{}/{}", self.name, bench_name);
+        if !self.criterion.matches(&full_name) {
+            return;
+        }
+        if self.criterion.test_mode {
+            let mut samples = Vec::new();
+            let mut bencher = Bencher {
+                mode: Mode::Smoke,
+                samples: &mut samples,
+                iters_per_sample: 1,
+            };
+            f(&mut bencher);
+            println!("{full_name}: test passed");
+            return;
+        }
+
+        // Calibration: one untimed-loop run to size the measurement loop.
+        let mut calibration = Vec::new();
+        let mut bencher = Bencher {
+            mode: Mode::Calibrate,
+            samples: &mut calibration,
+            iters_per_sample: 1,
+        };
+        f(&mut bencher);
+        let per_iter = calibration.first().copied().unwrap_or(Duration::ZERO);
+        let per_sample_budget = TARGET_MEASURE_TIME / self.sample_size as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            1_000
+        } else {
+            (per_sample_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut bencher = Bencher {
+            mode: Mode::Measure,
+            samples: &mut samples,
+            iters_per_sample,
+        };
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        let mut line = format!(
+            "{full_name}: median {} (min {}, max {}, {} samples x {} iters)",
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(max),
+            samples.len(),
+            iters_per_sample,
+        );
+        if let Some(throughput) = self.throughput {
+            let secs = median.as_secs_f64();
+            if secs > 0.0 {
+                match throughput {
+                    Throughput::Elements(n) => {
+                        line.push_str(&format!(" | {:.3} Melem/s", n as f64 / secs / 1e6));
+                    }
+                    Throughput::Bytes(n) => {
+                        line.push_str(&format!(
+                            " | {:.3} MiB/s",
+                            n as f64 / secs / (1 << 20) as f64
+                        ));
+                    }
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a harness from the process's command-line arguments.
+    pub fn from_args() -> Self {
+        let mut harness = Self::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => harness.test_mode = true,
+                // Flags cargo-bench or scripts may pass; timing flags are
+                // irrelevant because the shim uses a fixed time budget.
+                "--bench" | "--noplot" | "--quiet" | "-q" => {}
+                other if other.starts_with('-') => {}
+                other => harness.filter = Some(other.to_string()),
+            }
+        }
+        harness
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_bench_once() {
+        let mut criterion = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut runs = 0;
+        let mut group = criterion.benchmark_group("g");
+        group.bench_function("one", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measurement_collects_samples() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(3);
+        // A sub-microsecond routine: the run must finish quickly despite the
+        // default time budget because iteration counts are clamped.
+        group.bench_function("fast", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut criterion = Criterion {
+            test_mode: true,
+            filter: Some("nomatch".into()),
+        };
+        let mut runs = 0;
+        let mut group = criterion.benchmark_group("g");
+        group.bench_function("one", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("edge_query", 64);
+        assert_eq!(id, BenchmarkId::from("edge_query/64"));
+    }
+
+    #[test]
+    fn iter_batched_smoke() {
+        let mut criterion = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut group = criterion.benchmark_group("g");
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

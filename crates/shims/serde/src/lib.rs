@@ -1,0 +1,23 @@
+//! No-op stand-in for the `serde` crate.
+//!
+//! The workspace annotates its data types with
+//! `#[derive(Serialize, Deserialize)]` so that a real serializer can be
+//! plugged in later, but nothing actually serialises today and the build
+//! environment has no access to crates.io. These derive macros therefore
+//! expand to nothing: the attribute positions stay valid, no code is
+//! generated, and swapping in the real `serde` later is a one-line
+//! `Cargo.toml` change.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; placeholder for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; placeholder for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -233,7 +233,10 @@ impl GraphSketch for Auxo {
             let (src_prefix, src_res) = if consumed >= self.config.fingerprint_bits {
                 (src.fingerprint, 0)
             } else {
-                (src.fingerprint >> keep, src.fingerprint & ((1u64 << keep) - 1))
+                (
+                    src.fingerprint >> keep,
+                    src.fingerprint & ((1u64 << keep) - 1),
+                )
             };
             for (&prefix, matrix) in &level.matrices {
                 // The source prefix occupies the high bits of the combined
@@ -263,7 +266,10 @@ impl GraphSketch for Auxo {
             let (dst_prefix, dst_res) = if consumed >= self.config.fingerprint_bits {
                 (dst.fingerprint, 0)
             } else {
-                (dst.fingerprint >> keep, dst.fingerprint & ((1u64 << keep) - 1))
+                (
+                    dst.fingerprint >> keep,
+                    dst.fingerprint & ((1u64 << keep) - 1),
+                )
             };
             let prefix_mask = if consumed >= 32 {
                 u64::MAX

@@ -147,7 +147,9 @@ mod tests {
 
     #[test]
     fn space_grows_with_dimensions() {
-        assert!(CountMinSketch::new(4, 1024).space_bytes() > CountMinSketch::new(2, 64).space_bytes());
+        assert!(
+            CountMinSketch::new(4, 1024).space_bytes() > CountMinSketch::new(2, 64).space_bytes()
+        );
     }
 
     #[test]

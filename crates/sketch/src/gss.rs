@@ -109,11 +109,12 @@ impl Gss {
     fn add(&mut self, src_key: u64, dst_key: u64, delta: i64) {
         let (src_addr, src_fp) = self.split(src_key);
         let (dst_addr, dst_fp) = self.split(dst_key);
-        // Square hashing: try the r×r candidate positions in a fixed order.
-        for i in 0..self.config.candidates {
-            let row = self.seq.address(src_addr, i);
-            for j in 0..self.config.candidates {
-                let col = self.seq.address(dst_addr, j);
+        let r = self.config.candidates as usize;
+        // Square hashing: try the r×r candidate positions in a fixed order,
+        // walking the LCG iteratively (one step per candidate) instead of
+        // recomputing each address from scratch.
+        for (i, row) in self.seq.iter(src_addr).take(r).enumerate() {
+            for (j, col) in self.seq.iter(dst_addr).take(r).enumerate() {
                 let idx = self.cell_index(row, col);
                 let cell = &mut self.cells[idx];
                 if cell.occupied
@@ -159,11 +160,10 @@ impl GraphSketch for Gss {
     fn edge_weight(&self, src_key: u64, dst_key: u64) -> u64 {
         let (src_addr, src_fp) = self.split(src_key);
         let (dst_addr, dst_fp) = self.split(dst_key);
+        let r = self.config.candidates as usize;
         let mut total = 0i64;
-        for i in 0..self.config.candidates {
-            let row = self.seq.address(src_addr, i);
-            for j in 0..self.config.candidates {
-                let col = self.seq.address(dst_addr, j);
+        for (i, row) in self.seq.iter(src_addr).take(r).enumerate() {
+            for (j, col) in self.seq.iter(dst_addr).take(r).enumerate() {
                 let cell = &self.cells[self.cell_index(row, col)];
                 if cell.occupied
                     && cell.fp_src == src_fp
@@ -181,9 +181,9 @@ impl GraphSketch for Gss {
 
     fn src_weight(&self, src_key: u64) -> u64 {
         let (src_addr, src_fp) = self.split(src_key);
+        let r = self.config.candidates as usize;
         let mut total = 0i64;
-        for i in 0..self.config.candidates {
-            let row = self.seq.address(src_addr, i);
+        for (i, row) in self.seq.iter(src_addr).take(r).enumerate() {
             let base = row as usize * self.config.side;
             for cell in &self.cells[base..base + self.config.side] {
                 if cell.occupied && cell.fp_src == src_fp && cell.idx_src == i as u8 {
@@ -202,9 +202,10 @@ impl GraphSketch for Gss {
 
     fn dst_weight(&self, dst_key: u64) -> u64 {
         let (dst_addr, dst_fp) = self.split(dst_key);
+        let r = self.config.candidates as usize;
         let mut total = 0i64;
-        for j in 0..self.config.candidates {
-            let col = self.seq.address(dst_addr, j) as usize;
+        for (j, col) in self.seq.iter(dst_addr).take(r).enumerate() {
+            let col = col as usize;
             for row in 0..self.config.side {
                 let cell = &self.cells[row * self.config.side + col];
                 if cell.occupied && cell.fp_dst == dst_fp && cell.idx_dst == j as u8 {

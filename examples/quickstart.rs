@@ -33,7 +33,11 @@ fn main() {
     }
 
     println!("HIGGS quickstart — {} stream items inserted", stream.len());
-    println!("tree height: {}, leaves: {}", summary.height(), summary.leaf_count());
+    println!(
+        "tree height: {}, leaves: {}",
+        summary.height(),
+        summary.leaf_count()
+    );
     println!("space: {} bytes\n", summary.space_bytes());
 
     // Edge query: aggregated weight of 2 → 3 between t5 and t10 (paper: 3).

@@ -51,11 +51,7 @@ fn main() {
     let night = TimeRange::new(0, 2 * 60);
 
     // Flow through the ten busiest intersections.
-    let mut totals: Vec<(u64, u64)> = stream
-        .out_degrees()
-        .into_iter()
-        .map(|(v, d)| (v, d))
-        .collect();
+    let mut totals: Vec<(u64, u64)> = stream.out_degrees().into_iter().collect();
     totals.sort_by_key(|&(_, d)| std::cmp::Reverse(d));
 
     println!("\nintersection   morning-est  morning-true  night-est  night-true");
@@ -75,9 +71,7 @@ fn main() {
                 .abs_diff(n_true);
         println!("{junction:>12}   {m_est:>11}  {m_true:>12}  {n_est:>9}  {n_true:>10}");
     }
-    println!(
-        "\nabsolute error over these 20 queries — HIGGS: {higgs_err}, Horae: {horae_err}"
-    );
+    println!("\nabsolute error over these 20 queries — HIGGS: {higgs_err}, Horae: {horae_err}");
 
     // Corridor (2-segment) flow comparison for a sample of observed segments.
     let sample: Vec<&StreamEdge> = stream.iter().step_by(997).take(5).collect();
@@ -85,6 +79,9 @@ fn main() {
     for e in sample {
         let est = higgs.edge_query(e.src, e.dst, morning);
         let truth = exact.edge_query(e.src, e.dst, morning);
-        println!("    {:>5} → {:<5}  est {est:>4}  true {truth:>4}", e.src, e.dst);
+        println!(
+            "    {:>5} → {:<5}  est {est:>4}  true {truth:>4}",
+            e.src, e.dst
+        );
     }
 }

@@ -8,7 +8,9 @@ use higgs::{HiggsConfig, HiggsSummary};
 use higgs_common::generator::{DatasetPreset, ExperimentScale, WorkloadBuilder};
 use higgs_common::{ErrorStats, ExactTemporalGraph, TemporalGraphSummary};
 
-fn build_pair(preset: DatasetPreset) -> (HiggsSummary, ExactTemporalGraph, higgs_common::GraphStream) {
+fn build_pair(
+    preset: DatasetPreset,
+) -> (HiggsSummary, ExactTemporalGraph, higgs_common::GraphStream) {
     let stream = preset.generate(ExperimentScale::Smoke);
     let mut summary = HiggsSummary::new(HiggsConfig::paper_default());
     summary.insert_all(stream.edges());

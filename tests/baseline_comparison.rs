@@ -27,7 +27,10 @@ fn load_all() -> (Vec<Loaded>, ExactTemporalGraph, higgs_common::GraphStream) {
         },
         Loaded {
             name: "Horae-cpt",
-            summary: Box::new(Horae::compact(HoraeConfig::for_stream(stream.len(), slices))),
+            summary: Box::new(Horae::compact(HoraeConfig::for_stream(
+                stream.len(),
+                slices,
+            ))),
         },
         Loaded {
             name: "PGSS",
@@ -41,7 +44,12 @@ fn load_all() -> (Vec<Loaded>, ExactTemporalGraph, higgs_common::GraphStream) {
     (out, exact, stream)
 }
 
-fn edge_aae(summary: &dyn TemporalGraphSummary, exact: &ExactTemporalGraph, stream: &higgs_common::GraphStream, lq: u64) -> f64 {
+fn edge_aae(
+    summary: &dyn TemporalGraphSummary,
+    exact: &ExactTemporalGraph,
+    stream: &higgs_common::GraphStream,
+    lq: u64,
+) -> f64 {
     let mut builder = WorkloadBuilder::new(stream, 21);
     let mut stats = ErrorStats::new();
     for q in builder.edge_queries(300, lq) {
@@ -86,7 +94,12 @@ fn pgss_is_least_accurate_without_fingerprints() {
     let (loaded, exact, stream) = load_all();
     let lq = stream.time_span().unwrap().len() / 4;
     let pgss_aae = edge_aae(
-        loaded.iter().find(|l| l.name == "PGSS").unwrap().summary.as_ref(),
+        loaded
+            .iter()
+            .find(|l| l.name == "PGSS")
+            .unwrap()
+            .summary
+            .as_ref(),
         &exact,
         &stream,
         lq,

@@ -33,7 +33,11 @@ fn every_summary_ingests_a_preset_and_answers_all_query_kinds() {
         for q in &workload.edge_queries {
             let est = summary.run_edge_query(q);
             let truth = exact.run_edge_query(q);
-            assert!(est >= truth, "{} underestimated an edge query", summary.name());
+            assert!(
+                est >= truth,
+                "{} underestimated an edge query",
+                summary.name()
+            );
         }
         for q in &workload.vertex_queries {
             assert!(
@@ -61,7 +65,10 @@ fn higgs_tracks_the_whole_stream_shape() {
     let covered = summary.time_span().unwrap();
     assert_eq!(covered.start, span.start);
     assert_eq!(covered.end, span.end);
-    assert!(summary.height() >= 2, "real streams should build a hierarchy");
+    assert!(
+        summary.height() >= 2,
+        "real streams should build a hierarchy"
+    );
     // Highly skewed streams repeat a few hot edges at many timestamps, which
     // caps per-leaf utilisation (each occurrence needs its own entry in the
     // same small set of candidate buckets) — so only require it to be sane.
@@ -82,5 +89,8 @@ fn workload_builder_and_exact_store_agree_on_nonzero_truths() {
         .iter()
         .filter(|q| exact.edge_query(q.src, q.dst, q.range) > 0)
         .count();
-    assert!(nonzero >= 95, "expected almost all truths non-zero, got {nonzero}");
+    assert!(
+        nonzero >= 95,
+        "expected almost all truths non-zero, got {nonzero}"
+    );
 }
