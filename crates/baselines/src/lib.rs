@@ -33,3 +33,59 @@ pub use auxotime::{AuxoTime, AuxoTimeConfig};
 pub use decompose::{granularities_for_span, RangeDecomposer};
 pub use horae::{Horae, HoraeConfig};
 pub use pgss::{Pgss, PgssConfig};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use higgs_common::{
+        Query, StreamEdge, SummaryExt, TemporalGraphSummary, TimeRange, VertexDirection,
+    };
+
+    fn baselines() -> Vec<Box<dyn TemporalGraphSummary>> {
+        let slices = 1u64 << 12;
+        vec![
+            Box::new(Pgss::new(PgssConfig::for_stream(5_000, slices))),
+            Box::new(Horae::new(HoraeConfig::for_stream(5_000, slices))),
+            Box::new(Horae::compact(HoraeConfig::for_stream(5_000, slices))),
+            Box::new(AuxoTime::new(AuxoTimeConfig::for_stream(5_000, slices))),
+            Box::new(AuxoTime::compact(AuxoTimeConfig::for_stream(5_000, slices))),
+        ]
+    }
+
+    #[test]
+    fn typed_query_surface_matches_primitives_for_every_baseline() {
+        // Baselines inherit the default `query`/`query_batch` trait methods;
+        // they must agree with the per-primitive SummaryExt composition so
+        // the harness can drive all competitors through one surface.
+        let edges: Vec<StreamEdge> = (0..2_000u64)
+            .map(|i| StreamEdge::new(i % 30, (i * 7) % 30, 1 + i % 3, i * 2))
+            .collect();
+        let windows = [
+            TimeRange::new(0, 3_999),
+            TimeRange::new(500, 1_200),
+            TimeRange::new(2_000, 2_000),
+        ];
+        for mut summary in baselines() {
+            summary.insert_all(&edges);
+            let mut batch = Vec::new();
+            for &range in &windows {
+                batch.push(Query::edge(3, 21, range));
+                batch.push(Query::vertex(5, VertexDirection::Out, range));
+                batch.push(Query::path(vec![1, 7, 19, 13], range));
+                batch.push(Query::subgraph(vec![(2, 14), (4, 28)], range));
+            }
+            let batched = summary.query_batch(&batch);
+            let looped: Vec<u64> = batch.iter().map(|q| summary.query(q)).collect();
+            assert_eq!(batched, looped, "{}", summary.name());
+            for (i, q) in batch.iter().enumerate() {
+                let primitive = match q {
+                    Query::Edge(e) => summary.run_edge_query(e),
+                    Query::Vertex(v) => summary.run_vertex_query(v),
+                    Query::Path(p) => summary.path_query(p),
+                    Query::Subgraph(s) => summary.subgraph_query(s),
+                };
+                assert_eq!(batched[i], primitive, "{} query #{i}", summary.name());
+            }
+        }
+    }
+}

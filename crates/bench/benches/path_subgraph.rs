@@ -1,9 +1,12 @@
-//! Criterion bench for Fig. 12/13: path and subgraph query latency.
+//! Criterion bench for Fig. 12/13: path and subgraph query latency, driven
+//! through the typed [`Query`] surface (HIGGS plans each query's range once
+//! and reuses the plan across its hops/edges; baselines use the default
+//! per-primitive loop).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use higgs_bench::competitors::CompetitorKind;
 use higgs_common::generator::{DatasetPreset, ExperimentScale, WorkloadBuilder};
-use higgs_common::SummaryExt;
+use higgs_common::Query;
 use std::hint::black_box;
 
 fn bench_composite_queries(c: &mut Criterion) {
@@ -22,12 +25,16 @@ fn bench_composite_queries(c: &mut Criterion) {
         summary.insert_all(stream.edges());
         for hops in [2usize, 4, 6] {
             let mut builder = WorkloadBuilder::new(&stream, 44);
-            let queries = builder.path_queries(16, hops, lq);
+            let queries: Vec<Query> = builder
+                .path_queries(16, hops, lq)
+                .into_iter()
+                .map(Query::Path)
+                .collect();
             group.bench_with_input(BenchmarkId::new(kind.label(), hops), &queries, |b, qs| {
                 b.iter(|| {
                     let mut acc = 0u64;
                     for q in qs {
-                        acc += summary.path_query(q);
+                        acc += summary.query(q);
                     }
                     black_box(acc)
                 })
@@ -47,12 +54,16 @@ fn bench_composite_queries(c: &mut Criterion) {
         summary.insert_all(stream.edges());
         for size in [50usize, 200] {
             let mut builder = WorkloadBuilder::new(&stream, 45);
-            let queries = builder.subgraph_queries(4, size, lq);
+            let queries: Vec<Query> = builder
+                .subgraph_queries(4, size, lq)
+                .into_iter()
+                .map(Query::Subgraph)
+                .collect();
             group.bench_with_input(BenchmarkId::new(kind.label(), size), &queries, |b, qs| {
                 b.iter(|| {
                     let mut acc = 0u64;
                     for q in qs {
-                        acc += summary.subgraph_query(q);
+                        acc += summary.query(q);
                     }
                     black_box(acc)
                 })

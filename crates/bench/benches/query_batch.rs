@@ -1,0 +1,138 @@
+//! Criterion bench for the plan-sharing batch executor: path and subgraph
+//! workloads evaluated three ways over the same HIGGS summary —
+//!
+//! * `per_hop_loop` — the legacy [`SummaryExt`] composition: every hop of a
+//!   path (and every edge of a subgraph) runs its own Algorithm-3 boundary
+//!   search,
+//! * `typed_single` — `summary.query(&q)` per query: one boundary search per
+//!   query, shared across its hops/edges,
+//! * `batched` — `summary.query_batch(&qs)`: one boundary search per
+//!   *distinct time range* in the whole batch.
+//!
+//! The workloads model production windows: many queries share a handful of
+//! sliding windows, which is where plan sharing pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use higgs::{HiggsConfig, HiggsSummary};
+use higgs_common::generator::{DatasetPreset, ExperimentScale, WorkloadBuilder};
+use higgs_common::{Query, SummaryExt, TemporalGraphSummary, TimeRange};
+use std::hint::black_box;
+
+/// Evenly spaced sliding windows over the stream span.
+fn windows(span: TimeRange, count: u64) -> Vec<TimeRange> {
+    let width = (span.len() / (count + 1)).max(1);
+    (0..count)
+        .map(|i| {
+            let start = span.start + i * width;
+            TimeRange::new(start, (start + width * 2 - 1).min(span.end))
+        })
+        .collect()
+}
+
+fn bench_query_batch(c: &mut Criterion) {
+    let stream = DatasetPreset::Lkml.generate(ExperimentScale::Smoke);
+    let span = stream.time_span().unwrap();
+    let mut summary = HiggsSummary::new(HiggsConfig::paper_default());
+    summary.insert_all(stream.edges());
+
+    // 48 six-hop path queries over 4 shared windows (12 per window).
+    let mut builder = WorkloadBuilder::new(&stream, 46);
+    let path_windows = windows(span, 4);
+    let paths: Vec<_> = builder
+        .path_queries(48, 6, span.len() / 4)
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut q)| {
+            q.range = path_windows[i % path_windows.len()];
+            q
+        })
+        .collect();
+    let path_batch: Vec<Query> = paths.iter().cloned().map(Query::Path).collect();
+
+    // 8 subgraph queries of 150 edges over 2 shared windows.
+    let sub_windows = windows(span, 2);
+    let subs: Vec<_> = builder
+        .subgraph_queries(8, 150, span.len() / 4)
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut q)| {
+            q.range = sub_windows[i % sub_windows.len()];
+            q
+        })
+        .collect();
+    let sub_batch: Vec<Query> = subs.iter().cloned().map(Query::Subgraph).collect();
+
+    let mut group = c.benchmark_group("query_batch");
+    group.sample_size(15);
+
+    group.bench_function("path/per_hop_loop", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for q in &paths {
+                acc += summary.path_query(q);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("path/typed_single", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for q in &path_batch {
+                acc += summary.query(q);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("path/batched", |b| {
+        b.iter(|| black_box(summary.query_batch(&path_batch)))
+    });
+
+    group.bench_function("subgraph/per_edge_loop", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for q in &subs {
+                acc += summary.subgraph_query(q);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("subgraph/typed_single", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for q in &sub_batch {
+                acc += summary.query(q);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("subgraph/batched", |b| {
+        b.iter(|| black_box(summary.query_batch(&sub_batch)))
+    });
+
+    // A mixed production-style batch: everything above in one call.
+    let mixed: Vec<Query> = path_batch.iter().chain(&sub_batch).cloned().collect();
+    group.bench_function("mixed/per_query_loop", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for q in &mixed {
+                acc += summary.query(q);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("mixed/batched", |b| {
+        b.iter(|| black_box(summary.query_batch(&mixed)))
+    });
+    group.finish();
+
+    // Sanity: batching must not change results, and the executor must build
+    // exactly one plan per distinct range.
+    summary.reset_plan_count();
+    let batched = summary.query_batch(&mixed);
+    assert_eq!(summary.plans_built(), 6, "4 path + 2 subgraph windows");
+    let looped: Vec<u64> = mixed.iter().map(|q| summary.query(q)).collect();
+    assert_eq!(batched, looped);
+}
+
+criterion_group!(benches, bench_query_batch);
+criterion_main!(benches);

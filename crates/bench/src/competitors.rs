@@ -102,7 +102,7 @@ pub fn build_parallel_higgs(workers: usize) -> ParallelHiggs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use higgs_common::{StreamEdge, TimeRange};
+    use higgs_common::{Query, StreamEdge, TimeRange, VertexDirection};
 
     #[test]
     fn all_competitors_build_and_answer_queries() {
@@ -117,6 +117,32 @@ mod tests {
             );
             assert_eq!(s.name(), kind.label());
             assert!(s.space_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn all_competitors_answer_typed_query_batches() {
+        // The typed Query surface is trait-level, so every competitor —
+        // HIGGS with its plan-sharing override, the baselines through the
+        // default loop — must answer mixed batches identically to the
+        // per-query path.
+        let range = TimeRange::new(0, 4000);
+        let batch = [
+            Query::edge(1, 2, range),
+            Query::vertex(1, VertexDirection::Out, range),
+            Query::path(vec![1, 2, 3], range),
+            Query::subgraph(vec![(1, 2), (2, 3)], range),
+        ];
+        for kind in CompetitorKind::all() {
+            let mut s = kind.build(10_000, 1 << 12);
+            s.insert(&StreamEdge::new(1, 2, 5, 100));
+            s.insert(&StreamEdge::new(2, 3, 2, 200));
+            let batched = s.query_batch(&batch);
+            let looped: Vec<u64> = batch.iter().map(|q| s.query(q)).collect();
+            assert_eq!(batched, looped, "{} batch mismatch", kind.label());
+            assert_eq!(batched[0], 5, "{}", kind.label());
+            assert_eq!(batched[2], 7, "{}", kind.label());
+            assert_eq!(batched[3], 7, "{}", kind.label());
         }
     }
 

@@ -12,8 +12,7 @@ use higgs_common::metrics::{
     arrival_histogram, arrival_variance, degree_distribution, format_mib, powerlaw_exponent,
 };
 use higgs_common::{
-    EdgeQuery, ErrorStats, ExactTemporalGraph, GraphStream, SummaryExt, TemporalGraphSummary,
-    ThroughputStats, VertexQuery,
+    ErrorStats, ExactTemporalGraph, GraphStream, Query, TemporalGraphSummary, ThroughputStats,
 };
 use std::time::Instant;
 
@@ -107,35 +106,23 @@ fn load_all(
         .collect()
 }
 
-fn error_stats_for_edges(
+/// Runs `queries` as one batch through the summary's plan-sharing
+/// [`query_batch`](TemporalGraphSummary::query_batch) executor, comparing
+/// against the exact store. Returns the error statistics plus the summary's
+/// mean per-query latency in microseconds (truth evaluation is untimed).
+fn error_stats_for_batch(
     summary: &dyn TemporalGraphSummary,
     exact: &ExactTemporalGraph,
-    queries: &[EdgeQuery],
+    queries: &[Query],
 ) -> (ErrorStats, f64) {
-    let mut stats = ErrorStats::new();
     let start = Instant::now();
-    for q in queries {
-        let est = summary.edge_query(q.src, q.dst, q.range);
-        let truth = exact.edge_query(q.src, q.dst, q.range);
+    let estimates = summary.query_batch(queries);
+    let us = start.elapsed().as_secs_f64() * 1e6 / queries.len().max(1) as f64;
+    let truths = exact.query_batch(queries);
+    let mut stats = ErrorStats::new();
+    for (truth, est) in truths.into_iter().zip(estimates) {
         stats.record(truth, est);
     }
-    let us = start.elapsed().as_secs_f64() * 1e6 / queries.len().max(1) as f64;
-    (stats, us)
-}
-
-fn error_stats_for_vertices(
-    summary: &dyn TemporalGraphSummary,
-    exact: &ExactTemporalGraph,
-    queries: &[VertexQuery],
-) -> (ErrorStats, f64) {
-    let mut stats = ErrorStats::new();
-    let start = Instant::now();
-    for q in queries {
-        let est = summary.vertex_query(q.vertex, q.direction, q.range);
-        let truth = exact.vertex_query(q.vertex, q.direction, q.range);
-        stats.record(truth, est);
-    }
-    let us = start.elapsed().as_secs_f64() * 1e6 / queries.len().max(1) as f64;
     (stats, us)
 }
 
@@ -273,16 +260,19 @@ pub fn accuracy_experiment(cfg: &ExperimentConfig, kind: QueryKind) -> Vec<Repor
             let mut lat_vals = Vec::new();
             for &lq in &cfg.lq_values {
                 let mut builder = WorkloadBuilder::new(&stream, cfg.seed ^ lq);
-                let (stats, us) = match kind {
-                    QueryKind::Edge => {
-                        let queries = builder.edge_queries(cfg.edge_queries, lq);
-                        error_stats_for_edges(summary.as_ref(), &exact, &queries)
-                    }
-                    QueryKind::Vertex => {
-                        let queries = builder.vertex_queries(cfg.vertex_queries, lq);
-                        error_stats_for_vertices(summary.as_ref(), &exact, &queries)
-                    }
+                let queries: Vec<Query> = match kind {
+                    QueryKind::Edge => builder
+                        .edge_queries(cfg.edge_queries, lq)
+                        .into_iter()
+                        .map(Query::Edge)
+                        .collect(),
+                    QueryKind::Vertex => builder
+                        .vertex_queries(cfg.vertex_queries, lq)
+                        .into_iter()
+                        .map(Query::Vertex)
+                        .collect(),
                 };
+                let (stats, us) = error_stats_for_batch(summary.as_ref(), &exact, &queries);
                 aae_vals.push(fmt_metric(stats.aae()));
                 are_vals.push(fmt_metric(stats.are()));
                 lat_vals.push(fmt_metric(us));
@@ -339,13 +329,12 @@ pub fn composite_experiment(cfg: &ExperimentConfig) -> Vec<Report> {
         let mut lat_vals = Vec::new();
         for hops in 1..=7usize {
             let mut builder = WorkloadBuilder::new(&stream, cfg.seed + hops as u64);
-            let queries = builder.path_queries(cfg.composite_queries, hops, lq);
-            let mut stats = ErrorStats::new();
-            let start = Instant::now();
-            for q in &queries {
-                stats.record(exact.path_query(q), summary.path_query(q));
-            }
-            let us = start.elapsed().as_secs_f64() * 1e6 / queries.len().max(1) as f64;
+            let queries: Vec<Query> = builder
+                .path_queries(cfg.composite_queries, hops, lq)
+                .into_iter()
+                .map(Query::Path)
+                .collect();
+            let (stats, us) = error_stats_for_batch(summary.as_ref(), &exact, &queries);
             aae_vals.push(fmt_metric(stats.aae()));
             lat_vals.push(fmt_metric(us));
         }
@@ -356,13 +345,12 @@ pub fn composite_experiment(cfg: &ExperimentConfig) -> Vec<Report> {
         let mut lat_vals = Vec::new();
         for &size in &size_values {
             let mut builder = WorkloadBuilder::new(&stream, cfg.seed + size as u64);
-            let queries = builder.subgraph_queries(cfg.composite_queries.max(3) / 3, size, lq);
-            let mut stats = ErrorStats::new();
-            let start = Instant::now();
-            for q in &queries {
-                stats.record(exact.subgraph_query(q), summary.subgraph_query(q));
-            }
-            let us = start.elapsed().as_secs_f64() * 1e6 / queries.len().max(1) as f64;
+            let queries: Vec<Query> = builder
+                .subgraph_queries(cfg.composite_queries.max(3) / 3, size, lq)
+                .into_iter()
+                .map(Query::Subgraph)
+                .collect();
+            let (stats, us) = error_stats_for_batch(summary.as_ref(), &exact, &queries);
             aae_vals.push(fmt_metric(stats.aae()));
             lat_vals.push(fmt_metric(us));
         }
@@ -418,8 +406,12 @@ pub fn irregularity_experiment(cfg: &ExperimentConfig, by_variance: bool) -> Vec
         for ((kind, summary, secs), slot) in loaded.iter().zip(per_method.iter_mut()) {
             debug_assert_eq!(*kind, slot.0);
             let mut builder = WorkloadBuilder::new(stream, cfg.seed);
-            let queries = builder.vertex_queries(cfg.vertex_queries, lq);
-            let (stats, us) = error_stats_for_vertices(summary.as_ref(), &exact, &queries);
+            let queries: Vec<Query> = builder
+                .vertex_queries(cfg.vertex_queries, lq)
+                .into_iter()
+                .map(Query::Vertex)
+                .collect();
+            let (stats, us) = error_stats_for_batch(summary.as_ref(), &exact, &queries);
             slot.1.push(fmt_metric(stats.aae()));
             slot.2.push(fmt_metric(us));
             slot.3.push(format_mib(summary.space_bytes()));
@@ -542,8 +534,12 @@ pub fn optimization_experiment(cfg: &ExperimentConfig) -> Vec<Report> {
         let mut summary = HiggsSummary::new(config);
         summary.insert_all(stream.edges());
         let mut builder = WorkloadBuilder::new(&stream, cfg.seed);
-        let queries = builder.vertex_queries(cfg.vertex_queries, lq);
-        let (stats, _) = error_stats_for_vertices(&summary, &exact, &queries);
+        let queries: Vec<Query> = builder
+            .vertex_queries(cfg.vertex_queries, lq)
+            .into_iter()
+            .map(Query::Vertex)
+            .collect();
+        let (stats, _) = error_stats_for_batch(&summary, &exact, &queries);
         ablation.push(Row::new(
             label,
             vec![
@@ -565,16 +561,22 @@ pub fn parameter_experiment(cfg: &ExperimentConfig) -> Vec<Report> {
         vec!["space", "edge-query latency µs", "leaves", "height"],
     );
     for d1 in [4u64, 8, 16, 32, 64] {
-        let mut summary = HiggsSummary::new(HiggsConfig::paper_default().with_d1(d1));
+        let mut summary = HiggsSummary::new(
+            HiggsConfig::builder()
+                .d1(d1)
+                .build()
+                .expect("d1 sweep values are valid"),
+        );
         summary.insert_all(stream.edges());
         let mut builder = WorkloadBuilder::new(&stream, cfg.seed);
-        let queries = builder.edge_queries(cfg.edge_queries, lq);
+        let queries: Vec<Query> = builder
+            .edge_queries(cfg.edge_queries, lq)
+            .into_iter()
+            .map(Query::Edge)
+            .collect();
         let start = Instant::now();
-        let mut acc = 0u64;
-        for q in &queries {
-            acc += summary.edge_query(q.src, q.dst, q.range);
-        }
-        std::hint::black_box(acc);
+        let estimates = summary.query_batch(&queries);
+        std::hint::black_box(estimates);
         let us = start.elapsed().as_secs_f64() * 1e6 / queries.len().max(1) as f64;
         report.push(Row::new(
             format!("d1={d1}"),

@@ -83,14 +83,12 @@ impl TimeSeries {
 
 /// Exact temporal graph: answers every TRQ primitive with zero error.
 ///
-/// Interior mutability is avoided by rebuilding indexes eagerly at query
-/// time through `&self`-shadowing: queries clone nothing, but the store keeps
-/// the indexes inside `parking_lot`-free plain fields and therefore exposes
-/// queries through `&self` by requiring [`Self::freeze`] (building all
-/// indexes) or by using the mutable query methods. To keep the
-/// [`TemporalGraphSummary`] trait object-safe and uniform, this type builds
-/// its indexes incrementally and the trait methods internally use
-/// `RefCell`-free lazy indexes guarded by a build step at first query.
+/// Two query paths coexist: the mutable fast path ([`Self::exact_edge`],
+/// [`Self::exact_vertex`]) builds sorted prefix-sum indexes lazily and
+/// answers in O(log n), while the [`TemporalGraphSummary`] trait methods
+/// answer through `&self` with an index-free O(k) scan of the edge's
+/// occurrence list — slower, but interior-mutability-free, which keeps the
+/// trait object-safe and `Send`. Both paths return identical results.
 #[derive(Clone, Debug, Default)]
 pub struct ExactTemporalGraph {
     per_edge: HashMap<(VertexId, VertexId), TimeSeries>,

@@ -80,11 +80,7 @@ impl WorkloadBuilder {
         (0..count)
             .map(|_| {
                 let (src, dst) = self.edges[self.rng.gen_range(0..self.edges.len())];
-                EdgeQuery {
-                    src,
-                    dst,
-                    range: self.random_range(lq),
-                }
+                EdgeQuery::new(src, dst, self.random_range(lq))
             })
             .collect()
     }
@@ -95,15 +91,12 @@ impl WorkloadBuilder {
         (0..count)
             .map(|i| {
                 let vertex = self.vertices[self.rng.gen_range(0..self.vertices.len())];
-                VertexQuery {
-                    vertex,
-                    direction: if i % 2 == 0 {
-                        VertexDirection::Out
-                    } else {
-                        VertexDirection::In
-                    },
-                    range: self.random_range(lq),
-                }
+                let direction = if i % 2 == 0 {
+                    VertexDirection::Out
+                } else {
+                    VertexDirection::In
+                };
+                VertexQuery::new(vertex, direction, self.random_range(lq))
             })
             .collect()
     }
@@ -128,10 +121,7 @@ impl WorkloadBuilder {
                     vertices.push(next);
                     current = next;
                 }
-                PathQuery {
-                    vertices,
-                    range: self.random_range(lq),
-                }
+                PathQuery::new(vertices, self.random_range(lq))
             })
             .collect()
     }
@@ -143,10 +133,7 @@ impl WorkloadBuilder {
                 let edges = (0..size)
                     .map(|_| self.edges[self.rng.gen_range(0..self.edges.len())])
                     .collect();
-                SubgraphQuery {
-                    edges,
-                    range: self.random_range(lq),
-                }
+                SubgraphQuery::new(edges, self.random_range(lq))
             })
             .collect()
     }

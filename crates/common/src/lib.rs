@@ -9,7 +9,9 @@
 //!   fingerprint/address split of Eq. (1), linear-congruential address
 //!   sequences for multiple mapping buckets),
 //! * the [`TemporalGraphSummary`] trait that HIGGS and every baseline
-//!   implement, together with composed path/subgraph queries,
+//!   implement, together with the typed [`Query`] / [`QueryBatch`] surface
+//!   (one entry point for all four TRQ kinds, batchable so implementations
+//!   can share query plans) and composed path/subgraph queries,
 //! * an exact ground-truth store ([`ExactTemporalGraph`]) for measuring
 //!   average absolute / relative error,
 //! * synthetic workload generators reproducing the skewed, bursty character
@@ -36,7 +38,7 @@ pub use exact::ExactTemporalGraph;
 pub use hashing::{lcg_sequence, vertex_hash, AddressSequence, FingerprintLayout, HashedVertex};
 pub use metrics::{ErrorStats, LatencyStats, ThroughputStats};
 pub use query::{
-    EdgeQuery, PathQuery, QueryWorkload, SubgraphQuery, SummaryExt, TemporalGraphSummary,
-    VertexDirection, VertexQuery,
+    EdgeQuery, PathQuery, Query, QueryBatch, QueryWorkload, SubgraphQuery, SummaryExt,
+    TemporalGraphSummary, VertexDirection, VertexQuery,
 };
 pub use time::{TimeRange, Timestamp};

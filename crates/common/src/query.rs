@@ -1,10 +1,29 @@
-//! Temporal Range Query (TRQ) primitives and the [`TemporalGraphSummary`]
-//! trait implemented by HIGGS and by every baseline.
+//! Temporal Range Query (TRQ) primitives, the typed [`Query`] surface, and
+//! the [`TemporalGraphSummary`] trait implemented by HIGGS and by every
+//! baseline.
 //!
 //! Definition 2 of the paper gives two primitives — edge queries and vertex
 //! queries over a temporal range — from which path and subgraph queries are
-//! composed. The composition lives in [`SummaryExt`] so that all competitors
-//! are driven by exactly the same query code in the experiments.
+//! composed. This module exposes them in two layers:
+//!
+//! * **Primitive structs** ([`EdgeQuery`], [`VertexQuery`], [`PathQuery`],
+//!   [`SubgraphQuery`]) with `new` constructors, plus the raw
+//!   `edge_query`/`vertex_query` trait methods every summary implements.
+//! * **The unified [`Query`] enum and [`QueryBatch`]** — the typed surface a
+//!   production front-end submits. [`TemporalGraphSummary::query`] evaluates
+//!   one query of any kind; [`TemporalGraphSummary::query_batch`] evaluates a
+//!   whole mixed batch. The default implementations loop over the primitives
+//!   (so every baseline supports batches unchanged), while HIGGS overrides
+//!   them with a *plan-sharing executor*: the Algorithm-3 boundary search
+//!   runs once per **distinct [`TimeRange`]** in the batch and every query
+//!   sharing that range — every hop of a path query, every edge of a
+//!   subgraph query — is evaluated against the cached plan. A 10-hop path
+//!   query therefore costs one boundary search instead of ten.
+//!
+//! The legacy per-kind composition lives in [`SummaryExt`] so that all
+//! competitors can still be driven by exactly the same query code in the
+//! experiments; it is semantically identical to the [`Query`] surface
+//! (bit-identical results, asserted by cross-crate property tests).
 
 use crate::edge::{StreamEdge, VertexId, Weight};
 use crate::time::TimeRange;
@@ -30,6 +49,17 @@ pub struct EdgeQuery {
     pub range: TimeRange,
 }
 
+impl EdgeQuery {
+    /// Creates an edge query for `src → dst` within `range`.
+    pub fn new(src: VertexId, dst: VertexId, range: impl Into<TimeRange>) -> Self {
+        Self {
+            src,
+            dst,
+            range: range.into(),
+        }
+    }
+}
+
 /// A vertex query: aggregated weight of all outgoing (or incoming) edges of
 /// `vertex` within `range`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -40,6 +70,17 @@ pub struct VertexQuery {
     pub direction: VertexDirection,
     /// Temporal range of interest.
     pub range: TimeRange,
+}
+
+impl VertexQuery {
+    /// Creates a vertex query for `vertex` in `direction` within `range`.
+    pub fn new(vertex: VertexId, direction: VertexDirection, range: impl Into<TimeRange>) -> Self {
+        Self {
+            vertex,
+            direction,
+            range: range.into(),
+        }
+    }
 }
 
 /// A path query: the sequence of vertices `v_0 → v_1 → … → v_k`; the result
@@ -55,6 +96,14 @@ pub struct PathQuery {
 }
 
 impl PathQuery {
+    /// Creates a path query over `vertices` (in order) within `range`.
+    pub fn new(vertices: Vec<VertexId>, range: impl Into<TimeRange>) -> Self {
+        Self {
+            vertices,
+            range: range.into(),
+        }
+    }
+
     /// Number of hops (edges) on the path.
     pub fn hops(&self) -> usize {
         self.vertices.len().saturating_sub(1)
@@ -69,6 +118,213 @@ pub struct SubgraphQuery {
     pub edges: Vec<(VertexId, VertexId)>,
     /// Temporal range of interest.
     pub range: TimeRange,
+}
+
+impl SubgraphQuery {
+    /// Creates a subgraph query over `edges` within `range`.
+    pub fn new(edges: Vec<(VertexId, VertexId)>, range: impl Into<TimeRange>) -> Self {
+        Self {
+            edges,
+            range: range.into(),
+        }
+    }
+}
+
+/// One typed Temporal Range Query: any of the four TRQ kinds of Definition 2
+/// and Section VI-C, submitted through a single entry point.
+///
+/// Production traffic arrives as mixed streams of all four kinds; `Query`
+/// lets callers build heterogeneous batches (see [`QueryBatch`]) and lets
+/// summaries specialise evaluation per batch rather than per primitive call.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Query {
+    /// An edge query.
+    Edge(EdgeQuery),
+    /// A vertex query.
+    Vertex(VertexQuery),
+    /// A path query (sum over the hops).
+    Path(PathQuery),
+    /// A subgraph query (sum over the edges).
+    Subgraph(SubgraphQuery),
+}
+
+impl Query {
+    /// Creates an edge query for `src → dst` within `range`.
+    pub fn edge(src: VertexId, dst: VertexId, range: impl Into<TimeRange>) -> Self {
+        Query::Edge(EdgeQuery::new(src, dst, range))
+    }
+
+    /// Creates a vertex query for `vertex` in `direction` within `range`.
+    pub fn vertex(
+        vertex: VertexId,
+        direction: VertexDirection,
+        range: impl Into<TimeRange>,
+    ) -> Self {
+        Query::Vertex(VertexQuery::new(vertex, direction, range))
+    }
+
+    /// Creates a path query over `vertices` within `range`.
+    pub fn path(vertices: Vec<VertexId>, range: impl Into<TimeRange>) -> Self {
+        Query::Path(PathQuery::new(vertices, range))
+    }
+
+    /// Creates a subgraph query over `edges` within `range`.
+    pub fn subgraph(edges: Vec<(VertexId, VertexId)>, range: impl Into<TimeRange>) -> Self {
+        Query::Subgraph(SubgraphQuery::new(edges, range))
+    }
+
+    /// The temporal range this query aggregates over — the grouping key of
+    /// the plan-sharing batch executor.
+    pub fn range(&self) -> TimeRange {
+        match self {
+            Query::Edge(q) => q.range,
+            Query::Vertex(q) => q.range,
+            Query::Path(q) => q.range,
+            Query::Subgraph(q) => q.range,
+        }
+    }
+
+    /// Number of primitive edge/vertex lookups this query expands into
+    /// (1 for edge and vertex queries, the hop count for paths, the edge
+    /// count for subgraphs).
+    pub fn primitive_count(&self) -> usize {
+        match self {
+            Query::Edge(_) | Query::Vertex(_) => 1,
+            Query::Path(q) => q.hops(),
+            Query::Subgraph(q) => q.edges.len(),
+        }
+    }
+
+    /// Short human-readable kind label ("edge", "vertex", "path",
+    /// "subgraph").
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            Query::Edge(_) => "edge",
+            Query::Vertex(_) => "vertex",
+            Query::Path(_) => "path",
+            Query::Subgraph(_) => "subgraph",
+        }
+    }
+}
+
+impl From<EdgeQuery> for Query {
+    fn from(q: EdgeQuery) -> Self {
+        Query::Edge(q)
+    }
+}
+
+impl From<VertexQuery> for Query {
+    fn from(q: VertexQuery) -> Self {
+        Query::Vertex(q)
+    }
+}
+
+impl From<PathQuery> for Query {
+    fn from(q: PathQuery) -> Self {
+        Query::Path(q)
+    }
+}
+
+impl From<SubgraphQuery> for Query {
+    fn from(q: SubgraphQuery) -> Self {
+        Query::Subgraph(q)
+    }
+}
+
+/// An ordered batch of typed queries, evaluated in one call through
+/// [`TemporalGraphSummary::query_batch`].
+///
+/// Results are returned in submission order and are bit-identical to calling
+/// [`TemporalGraphSummary::query`] per element; batching only changes *cost*
+/// (implementations may share planning work across queries), never results.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryBatch {
+    queries: Vec<Query>,
+}
+
+impl QueryBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty batch with room for `capacity` queries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            queries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one query (any of the four kinds, or a primitive struct via
+    /// its `From` impl).
+    pub fn push(&mut self, query: impl Into<Query>) {
+        self.queries.push(query.into());
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the batch holds no query.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The batched queries, in submission order.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Iterates over the batched queries in submission order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Query> {
+        self.queries.iter()
+    }
+
+    /// Number of distinct temporal ranges in the batch — the number of query
+    /// plans a plan-sharing executor builds for it.
+    pub fn distinct_ranges(&self) -> usize {
+        let mut ranges: Vec<TimeRange> = self.queries.iter().map(Query::range).collect();
+        ranges.sort_unstable_by_key(|r| (r.start, r.end));
+        ranges.dedup();
+        ranges.len()
+    }
+}
+
+impl From<Vec<Query>> for QueryBatch {
+    fn from(queries: Vec<Query>) -> Self {
+        Self { queries }
+    }
+}
+
+impl FromIterator<Query> for QueryBatch {
+    fn from_iter<I: IntoIterator<Item = Query>>(iter: I) -> Self {
+        Self {
+            queries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Query> for QueryBatch {
+    fn extend<I: IntoIterator<Item = Query>>(&mut self, iter: I) {
+        self.queries.extend(iter);
+    }
+}
+
+impl IntoIterator for QueryBatch {
+    type Item = Query;
+    type IntoIter = std::vec::IntoIter<Query>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.queries.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a QueryBatch {
+    type Item = &'a Query;
+    type IntoIter = std::slice::Iter<'a, Query>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.queries.iter()
+    }
 }
 
 /// The interface every graph-stream summary in this repository implements:
@@ -112,11 +368,51 @@ pub trait TemporalGraphSummary {
             self.insert(e);
         }
     }
+
+    /// Evaluates one typed [`Query`] of any kind.
+    ///
+    /// The default implementation expands composite queries into the
+    /// edge-query primitive (path queries sum their hops, subgraph queries
+    /// sum their edges — Section VI-C). Implementations may override this
+    /// with a faster path; overrides must return bit-identical results.
+    fn query(&self, query: &Query) -> Weight {
+        match query {
+            Query::Edge(q) => self.edge_query(q.src, q.dst, q.range),
+            Query::Vertex(q) => self.vertex_query(q.vertex, q.direction, q.range),
+            Query::Path(q) => q
+                .vertices
+                .windows(2)
+                .map(|w| self.edge_query(w[0], w[1], q.range))
+                .sum(),
+            Query::Subgraph(q) => q
+                .edges
+                .iter()
+                .map(|&(s, d)| self.edge_query(s, d, q.range))
+                .sum(),
+        }
+    }
+
+    /// Evaluates a batch of typed queries, returning one weight per query in
+    /// submission order.
+    ///
+    /// The default implementation loops [`Self::query`] over the slice, so
+    /// every summary supports batches unchanged. HIGGS overrides this with a
+    /// plan-sharing executor that runs the boundary search once per distinct
+    /// [`TimeRange`] in the batch; results stay bit-identical either way.
+    fn query_batch(&self, queries: &[Query]) -> Vec<Weight> {
+        queries.iter().map(|q| self.query(q)).collect()
+    }
 }
 
 /// Query composition shared by every summary: path and subgraph queries built
 /// from the edge-query primitive, plus convenience wrappers taking the query
 /// structs.
+///
+/// This is the *unoptimised* per-primitive composition (each hop plans its
+/// range anew); the typed [`TemporalGraphSummary::query`] /
+/// [`TemporalGraphSummary::query_batch`] surface is the batchable entry point
+/// that lets implementations amortise planning. Both produce identical
+/// results.
 pub trait SummaryExt: TemporalGraphSummary {
     /// Evaluates an [`EdgeQuery`].
     fn run_edge_query(&self, q: &EdgeQuery) -> Weight {
@@ -175,6 +471,23 @@ impl QueryWorkload {
     /// Whether the workload is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Iterates over every query in the workload as a typed [`Query`], in
+    /// kind order (edge, vertex, path, subgraph).
+    pub fn iter(&self) -> impl Iterator<Item = Query> + '_ {
+        self.edge_queries
+            .iter()
+            .copied()
+            .map(Query::Edge)
+            .chain(self.vertex_queries.iter().copied().map(Query::Vertex))
+            .chain(self.path_queries.iter().cloned().map(Query::Path))
+            .chain(self.subgraph_queries.iter().cloned().map(Query::Subgraph))
+    }
+
+    /// Collects the whole workload into a [`QueryBatch`] (kind order).
+    pub fn to_batch(&self) -> QueryBatch {
+        self.iter().collect()
     }
 }
 
@@ -256,6 +569,7 @@ mod tests {
         let t = example_fig5();
         // Edge v2→v3 from t5 to t10 has weight 3 (t6 and t9).
         assert_eq!(t.edge_query(2, 3, TimeRange::new(5, 10)), 3);
+        assert_eq!(t.query(&Query::edge(2, 3, TimeRange::new(5, 10))), 3);
     }
 
     #[test]
@@ -267,28 +581,32 @@ mod tests {
             t.vertex_query(4, VertexDirection::Out, TimeRange::new(1, 11)),
             6
         );
+        assert_eq!(
+            t.query(&Query::vertex(
+                4,
+                VertexDirection::Out,
+                TimeRange::new(1, 11)
+            )),
+            6
+        );
     }
 
     #[test]
     fn example_1_subgraph_query() {
         let t = example_fig5();
-        let q = SubgraphQuery {
-            edges: vec![(2, 3), (3, 7), (2, 4)],
-            range: TimeRange::new(4, 8),
-        };
+        let q = SubgraphQuery::new(vec![(2, 3), (3, 7), (2, 4)], TimeRange::new(4, 8));
         assert_eq!(t.subgraph_query(&q), 3);
+        assert_eq!(t.query(&Query::Subgraph(q)), 3);
     }
 
     #[test]
     fn path_query_sums_hops() {
         let t = example_fig5();
-        let q = PathQuery {
-            vertices: vec![1, 2, 3, 7],
-            range: TimeRange::new(1, 11),
-        };
+        let q = PathQuery::new(vec![1, 2, 3, 7], TimeRange::new(1, 11));
         // (1→2)=1, (2→3)=4, (3→7)=2
         assert_eq!(t.path_query(&q), 7);
         assert_eq!(q.hops(), 3);
+        assert_eq!(t.query(&Query::Path(q)), 7);
     }
 
     #[test]
@@ -316,16 +634,102 @@ mod tests {
     fn workload_len() {
         let mut w = QueryWorkload::default();
         assert!(w.is_empty());
-        w.edge_queries.push(EdgeQuery {
-            src: 1,
-            dst: 2,
-            range: TimeRange::all(),
-        });
-        w.vertex_queries.push(VertexQuery {
-            vertex: 1,
-            direction: VertexDirection::Out,
-            range: TimeRange::all(),
-        });
+        w.edge_queries.push(EdgeQuery::new(1, 2, TimeRange::all()));
+        w.vertex_queries
+            .push(VertexQuery::new(1, VertexDirection::Out, TimeRange::all()));
         assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn query_accessors() {
+        let r = TimeRange::new(3, 9);
+        let queries = [
+            Query::edge(1, 2, r),
+            Query::vertex(1, VertexDirection::In, r),
+            Query::path(vec![1, 2, 3, 4], r),
+            Query::subgraph(vec![(1, 2), (2, 3)], r),
+        ];
+        assert!(queries.iter().all(|q| q.range() == r));
+        assert_eq!(
+            queries
+                .iter()
+                .map(Query::primitive_count)
+                .collect::<Vec<_>>(),
+            vec![1, 1, 3, 2]
+        );
+        assert_eq!(
+            queries.iter().map(Query::kind_label).collect::<Vec<_>>(),
+            vec!["edge", "vertex", "path", "subgraph"]
+        );
+    }
+
+    #[test]
+    fn query_from_primitive_structs() {
+        let r = TimeRange::new(0, 5);
+        assert_eq!(Query::from(EdgeQuery::new(1, 2, r)), Query::edge(1, 2, r));
+        assert_eq!(
+            Query::from(VertexQuery::new(7, VertexDirection::Out, r)),
+            Query::vertex(7, VertexDirection::Out, r)
+        );
+        assert_eq!(
+            Query::from(PathQuery::new(vec![1, 2], r)),
+            Query::path(vec![1, 2], r)
+        );
+        assert_eq!(
+            Query::from(SubgraphQuery::new(vec![(1, 2)], r)),
+            Query::subgraph(vec![(1, 2)], r)
+        );
+    }
+
+    #[test]
+    fn batch_push_len_and_distinct_ranges() {
+        let mut batch = QueryBatch::new();
+        assert!(batch.is_empty());
+        let a = TimeRange::new(0, 10);
+        let b = TimeRange::new(5, 15);
+        batch.push(EdgeQuery::new(1, 2, a));
+        batch.push(Query::vertex(3, VertexDirection::Out, a));
+        batch.push(Query::path(vec![1, 2, 3], b));
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.distinct_ranges(), 2);
+        assert_eq!(batch.queries().len(), 3);
+        assert_eq!(batch.iter().count(), 3);
+        assert_eq!((&batch).into_iter().count(), 3);
+        assert_eq!(batch.clone().into_iter().count(), 3);
+    }
+
+    #[test]
+    fn default_query_batch_matches_per_query_loop() {
+        let t = example_fig5();
+        let batch: QueryBatch = [
+            Query::edge(2, 3, TimeRange::new(5, 10)),
+            Query::vertex(4, VertexDirection::Out, TimeRange::new(1, 11)),
+            Query::path(vec![1, 2, 3, 7], TimeRange::new(1, 11)),
+            Query::subgraph(vec![(2, 3), (3, 7), (2, 4)], TimeRange::new(4, 8)),
+        ]
+        .into_iter()
+        .collect();
+        let batched = t.query_batch(batch.queries());
+        let looped: Vec<Weight> = batch.iter().map(|q| t.query(q)).collect();
+        assert_eq!(batched, looped);
+        assert_eq!(batched, vec![3, 6, 7, 3]);
+    }
+
+    #[test]
+    fn workload_iter_yields_every_query_as_typed() {
+        let mut w = QueryWorkload::default();
+        w.edge_queries.push(EdgeQuery::new(1, 2, TimeRange::all()));
+        w.vertex_queries
+            .push(VertexQuery::new(3, VertexDirection::In, TimeRange::all()));
+        w.path_queries
+            .push(PathQuery::new(vec![1, 2, 3], TimeRange::all()));
+        w.subgraph_queries
+            .push(SubgraphQuery::new(vec![(4, 5)], TimeRange::all()));
+        let batch = w.to_batch();
+        assert_eq!(batch.len(), w.len());
+        assert_eq!(
+            w.iter().map(|q| q.kind_label()).collect::<Vec<_>>(),
+            vec!["edge", "vertex", "path", "subgraph"]
+        );
     }
 }

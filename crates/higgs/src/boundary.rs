@@ -72,7 +72,14 @@ impl QueryPlan {
 
 impl HiggsSummary {
     /// Decomposes `[range.start, range.end]` into a query plan (Algorithm 3).
+    ///
+    /// Every call runs one boundary search and bumps the
+    /// [`plans_built`](Self::plans_built) counter; the batch executor
+    /// ([`TemporalGraphSummary::query_batch`](higgs_common::TemporalGraphSummary::query_batch))
+    /// calls this once per distinct range and reuses the plan across every
+    /// query sharing it.
     pub fn plan(&self, range: TimeRange) -> QueryPlan {
+        self.plans_built.increment();
         let mut plan = QueryPlan {
             targets: Vec::new(),
             range: Some(range),

@@ -1,6 +1,74 @@
-//! Configuration of a HIGGS summary.
+//! Configuration of a HIGGS summary: the [`HiggsConfig`] parameter set, the
+//! [`HiggsConfigBuilder`] fluent constructor, and the [`ConfigError`]
+//! validation diagnostics.
 
 use higgs_common::hashing::FingerprintLayout;
+use std::fmt;
+
+/// Why a [`HiggsConfig`] was rejected by validation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `d1` must be a power of two no smaller than 2 (matrix addresses are
+    /// the low bits of the vertex hash).
+    InvalidMatrixSide {
+        /// The rejected `d1` value.
+        d1: u64,
+    },
+    /// `F1` must lie in `[R, 31]`: at least `R` bits must be available to
+    /// convert into address bits per level climbed, and fingerprints are
+    /// stored in 32-bit halves.
+    InvalidFingerprintBits {
+        /// The rejected `F1` value.
+        f1_bits: u32,
+        /// The configured `R` value it was checked against.
+        r_bits: u32,
+    },
+    /// `R` must lie in `[1, 8]` (the branching factor is `θ = 4^R`).
+    InvalidAddressBits {
+        /// The rejected `R` value.
+        r_bits: u32,
+    },
+    /// `b` must lie in `[1, 255]`: per-bucket occupancy is stored as `u8` in
+    /// the flat slab layout.
+    InvalidBucketEntries {
+        /// The rejected `b` value.
+        bucket_entries: usize,
+    },
+    /// `r` must lie in `[1, MAX_MAPPING]`: MMB index pairs are stored as two
+    /// `u8` halves of a `u16`.
+    InvalidMappingAddresses {
+        /// The rejected `r` value.
+        mapping_addresses: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::InvalidMatrixSide { d1 } => {
+                write!(f, "d1 must be a power of two >= 2, got {d1}")
+            }
+            ConfigError::InvalidFingerprintBits { f1_bits, r_bits } => {
+                write!(f, "F1 must be in [R, 31] = [{r_bits}, 31], got {f1_bits}")
+            }
+            ConfigError::InvalidAddressBits { r_bits } => {
+                write!(f, "R must be in [1, 8], got {r_bits}")
+            }
+            ConfigError::InvalidBucketEntries { bucket_entries } => {
+                write!(f, "b must be in [1, 255], got {bucket_entries}")
+            }
+            ConfigError::InvalidMappingAddresses { mapping_addresses } => {
+                write!(
+                    f,
+                    "r must be in [1, {}], got {mapping_addresses}",
+                    crate::matrix::MAX_MAPPING
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Tunable parameters of a [`HiggsSummary`](crate::HiggsSummary).
 ///
@@ -9,6 +77,11 @@ use higgs_common::hashing::FingerprintLayout;
 /// mapping addresses per vertex (so each edge has 4×4 candidate buckets and a
 /// 4-bit index pair), and `θ = 4` children per node (`R = 1` fingerprint bit
 /// converted to address bits per level).
+///
+/// Construct one with [`HiggsConfig::builder`] for validated, fallible
+/// construction (`Result<_, ConfigError>`), or start from
+/// [`HiggsConfig::paper_default`] and adjust fields / apply the ablation
+/// helpers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HiggsConfig {
     /// Leaf-layer compressed-matrix side `d1` (power of two).
@@ -51,6 +124,27 @@ impl HiggsConfig {
         }
     }
 
+    /// Starts a fluent, validated builder seeded with the paper-default
+    /// parameters.
+    ///
+    /// ```
+    /// use higgs::HiggsConfig;
+    ///
+    /// let config = HiggsConfig::builder()
+    ///     .d1(64)
+    ///     .bucket_entries(2)
+    ///     .build()
+    ///     .expect("valid configuration");
+    /// assert_eq!(config.d1, 64);
+    ///
+    /// assert!(HiggsConfig::builder().d1(12).build().is_err());
+    /// ```
+    pub fn builder() -> HiggsConfigBuilder {
+        HiggsConfigBuilder {
+            config: Self::paper_default(),
+        }
+    }
+
     /// A configuration with Multiple Mapping Buckets disabled (used by the
     /// Fig. 20b ablation).
     pub fn without_mmb(mut self) -> Self {
@@ -87,27 +181,96 @@ impl HiggsConfig {
         FingerprintLayout::new(self.f1_bits, self.d1, self.r_bits)
     }
 
-    /// Validates the configuration, panicking with a descriptive message on
-    /// invalid combinations. Called by [`HiggsSummary::new`](crate::HiggsSummary::new).
-    pub fn validate(&self) {
-        assert!(self.d1.is_power_of_two(), "d1 must be a power of two");
-        assert!(self.d1 >= 2, "d1 must be at least 2");
-        assert!(
-            self.f1_bits >= self.r_bits && self.f1_bits <= 31,
-            "F1 must be in [R, 31]"
-        );
-        assert!((1..=8).contains(&self.r_bits), "R must be in [1, 8]");
+    /// Validates the configuration, returning the first violated constraint.
+    ///
+    /// Called by [`HiggsSummary::try_new`](crate::HiggsSummary::try_new) and
+    /// [`HiggsConfigBuilder::build`]; the panicking convenience path
+    /// ([`HiggsSummary::new`](crate::HiggsSummary::new)) surfaces the same
+    /// diagnostics through `expect`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.d1.is_power_of_two() || self.d1 < 2 {
+            return Err(ConfigError::InvalidMatrixSide { d1: self.d1 });
+        }
+        if !(1..=8).contains(&self.r_bits) {
+            return Err(ConfigError::InvalidAddressBits {
+                r_bits: self.r_bits,
+            });
+        }
+        if self.f1_bits < self.r_bits || self.f1_bits > 31 {
+            return Err(ConfigError::InvalidFingerprintBits {
+                f1_bits: self.f1_bits,
+                r_bits: self.r_bits,
+            });
+        }
         // Bounds shared with CompressedMatrix::new: per-bucket occupancy is
         // stored as u8 and MMB index pairs as two u8 halves of a u16.
-        assert!(
-            (1..=u8::MAX as usize).contains(&self.bucket_entries),
-            "b must be in [1, 255]"
-        );
-        assert!(
-            (1..=crate::matrix::MAX_MAPPING as u32).contains(&self.mapping_addresses),
-            "r must be in [1, {}]",
-            crate::matrix::MAX_MAPPING
-        );
+        if !(1..=u8::MAX as usize).contains(&self.bucket_entries) {
+            return Err(ConfigError::InvalidBucketEntries {
+                bucket_entries: self.bucket_entries,
+            });
+        }
+        if !(1..=crate::matrix::MAX_MAPPING as u32).contains(&self.mapping_addresses) {
+            return Err(ConfigError::InvalidMappingAddresses {
+                mapping_addresses: self.mapping_addresses,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Fluent, validated constructor for [`HiggsConfig`], started with
+/// [`HiggsConfig::builder`]. Every knob defaults to the paper's Section VI-A
+/// value; [`build`](Self::build) returns `Err(ConfigError)` instead of
+/// panicking on invalid combinations.
+#[derive(Clone, Copy, Debug)]
+pub struct HiggsConfigBuilder {
+    config: HiggsConfig,
+}
+
+impl HiggsConfigBuilder {
+    /// Sets the leaf-layer matrix side `d1` (must be a power of two ≥ 2).
+    pub fn d1(mut self, d1: u64) -> Self {
+        self.config.d1 = d1;
+        self
+    }
+
+    /// Sets the leaf-layer fingerprint length `F1` in bits (must lie in
+    /// `[R, 31]`).
+    pub fn f1_bits(mut self, f1_bits: u32) -> Self {
+        self.config.f1_bits = f1_bits;
+        self
+    }
+
+    /// Sets `R`, the fingerprint bits converted into address bits per level
+    /// (branching factor `θ = 4^R`; must lie in `[1, 8]`).
+    pub fn r_bits(mut self, r_bits: u32) -> Self {
+        self.config.r_bits = r_bits;
+        self
+    }
+
+    /// Sets `b`, the number of entries per bucket (must lie in `[1, 255]`).
+    pub fn bucket_entries(mut self, bucket_entries: usize) -> Self {
+        self.config.bucket_entries = bucket_entries;
+        self
+    }
+
+    /// Sets `r`, the number of MMB mapping addresses per vertex (`1`
+    /// disables MMB).
+    pub fn mapping_addresses(mut self, mapping_addresses: u32) -> Self {
+        self.config.mapping_addresses = mapping_addresses;
+        self
+    }
+
+    /// Enables or disables overflow blocks (Section IV-C).
+    pub fn overflow_blocks(mut self, enabled: bool) -> Self {
+        self.config.overflow_blocks = enabled;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<HiggsConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -124,7 +287,33 @@ mod tests {
         assert_eq!(c.mapping_addresses, 4);
         assert_eq!(c.theta(), 4);
         assert_eq!(c.leaf_capacity(), 3 * 256);
-        c.validate();
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn builder_defaults_to_paper_parameters() {
+        let built = HiggsConfig::builder().build().expect("defaults are valid");
+        assert_eq!(built, HiggsConfig::paper_default());
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let c = HiggsConfig::builder()
+            .d1(64)
+            .f1_bits(21)
+            .r_bits(2)
+            .bucket_entries(4)
+            .mapping_addresses(2)
+            .overflow_blocks(false)
+            .build()
+            .expect("valid configuration");
+        assert_eq!(c.d1, 64);
+        assert_eq!(c.f1_bits, 21);
+        assert_eq!(c.r_bits, 2);
+        assert_eq!(c.theta(), 16);
+        assert_eq!(c.bucket_entries, 4);
+        assert_eq!(c.mapping_addresses, 2);
+        assert!(!c.overflow_blocks);
     }
 
     #[test]
@@ -135,7 +324,7 @@ mod tests {
         assert!(!c.overflow_blocks);
         let c = HiggsConfig::paper_default().with_d1(64);
         assert_eq!(c.d1, 64);
-        c.validate();
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]
@@ -148,34 +337,88 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
     fn invalid_d1_rejected() {
-        HiggsConfig {
-            d1: 12,
-            ..HiggsConfig::paper_default()
-        }
-        .validate();
+        assert_eq!(
+            HiggsConfig::builder().d1(12).build(),
+            Err(ConfigError::InvalidMatrixSide { d1: 12 })
+        );
+        assert_eq!(
+            HiggsConfig::builder().d1(1).build(),
+            Err(ConfigError::InvalidMatrixSide { d1: 1 })
+        );
     }
 
     #[test]
-    #[should_panic(expected = "b must be")]
+    fn invalid_fingerprint_and_address_bits_rejected() {
+        assert_eq!(
+            HiggsConfig::builder().f1_bits(32).build(),
+            Err(ConfigError::InvalidFingerprintBits {
+                f1_bits: 32,
+                r_bits: 1
+            })
+        );
+        assert_eq!(
+            HiggsConfig::builder().r_bits(3).f1_bits(2).build(),
+            Err(ConfigError::InvalidFingerprintBits {
+                f1_bits: 2,
+                r_bits: 3
+            })
+        );
+        assert_eq!(
+            HiggsConfig::builder().r_bits(0).build(),
+            Err(ConfigError::InvalidAddressBits { r_bits: 0 })
+        );
+        assert_eq!(
+            HiggsConfig::builder().r_bits(9).build(),
+            Err(ConfigError::InvalidAddressBits { r_bits: 9 })
+        );
+    }
+
+    #[test]
     fn invalid_bucket_entries_rejected() {
-        HiggsConfig {
-            bucket_entries: 0,
-            ..HiggsConfig::paper_default()
-        }
-        .validate();
+        assert_eq!(
+            HiggsConfig::builder().bucket_entries(0).build(),
+            Err(ConfigError::InvalidBucketEntries { bucket_entries: 0 })
+        );
+        // Occupancy counts are stored as u8 in the slab layout; validation
+        // must fail instead of letting leaf construction panic later.
+        assert_eq!(
+            HiggsConfig::builder().bucket_entries(256).build(),
+            Err(ConfigError::InvalidBucketEntries {
+                bucket_entries: 256
+            })
+        );
     }
 
     #[test]
-    #[should_panic(expected = "b must be")]
-    fn oversized_bucket_entries_rejected_at_validation() {
-        // Occupancy counts are stored as u8 in the slab layout; validate()
-        // must fail fast instead of letting leaf construction panic later.
-        HiggsConfig {
-            bucket_entries: 256,
-            ..HiggsConfig::paper_default()
+    fn invalid_mapping_addresses_rejected() {
+        let err = HiggsConfig::builder().mapping_addresses(0).build();
+        assert_eq!(
+            err,
+            Err(ConfigError::InvalidMappingAddresses {
+                mapping_addresses: 0
+            })
+        );
+    }
+
+    #[test]
+    fn config_error_messages_name_the_constraint() {
+        let msgs = [
+            ConfigError::InvalidMatrixSide { d1: 12 }.to_string(),
+            ConfigError::InvalidFingerprintBits {
+                f1_bits: 40,
+                r_bits: 1,
+            }
+            .to_string(),
+            ConfigError::InvalidAddressBits { r_bits: 0 }.to_string(),
+            ConfigError::InvalidBucketEntries { bucket_entries: 0 }.to_string(),
+            ConfigError::InvalidMappingAddresses {
+                mapping_addresses: 99,
+            }
+            .to_string(),
+        ];
+        for (msg, needle) in msgs.iter().zip(["d1", "F1", "R must", "b must", "r must"]) {
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
         }
-        .validate();
     }
 }

@@ -13,28 +13,50 @@
 //! * [`aggregate`] — the error-free fingerprint-shift aggregation of child
 //!   matrices into parents (Algorithm 2),
 //! * [`boundary`] — the boundary-search range decomposition (Algorithm 3),
-//! * [`query`] — TRQ evaluation (edge / vertex queries; path and subgraph
-//!   queries come from `higgs_common::SummaryExt`),
+//! * [`query`] — TRQ evaluation: the typed [`Query`](higgs_common::Query)
+//!   surface with the plan-sharing batch executor, plus the raw edge/vertex
+//!   primitives,
 //! * [`overflow`] — overflow blocks absorbing same-timestamp bursts,
 //! * [`parallel`] — the per-layer parallel insertion pipeline
 //!   ([`ParallelHiggs`]).
 //!
 //! # Quick example
 //!
+//! Build a summary (the config [builder](HiggsConfig::builder) validates
+//! parameters and returns `Result<_, ConfigError>`), insert a stream, and
+//! query it through the typed [`Query`](higgs_common::Query) surface — one
+//! entry point for all four TRQ kinds, batchable so planning is shared:
+//!
 //! ```
 //! use higgs::{HiggsConfig, HiggsSummary};
-//! use higgs_common::{StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection};
+//! use higgs_common::{
+//!     Query, StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection,
+//! };
 //!
-//! let mut summary = HiggsSummary::new(HiggsConfig::default());
+//! let config = HiggsConfig::builder().build().expect("valid parameters");
+//! let mut summary = HiggsSummary::new(config);
 //! summary.insert(&StreamEdge::new(1, 2, 5, 10));
-//! summary.insert(&StreamEdge::new(1, 3, 2, 11));
+//! summary.insert(&StreamEdge::new(2, 3, 2, 11));
 //! summary.insert(&StreamEdge::new(1, 2, 1, 20));
 //!
-//! assert_eq!(summary.edge_query(1, 2, TimeRange::new(0, 15)), 5);
+//! // Single typed queries.
+//! assert_eq!(summary.query(&Query::edge(1, 2, TimeRange::new(0, 15))), 5);
 //! assert_eq!(
-//!     summary.vertex_query(1, VertexDirection::Out, TimeRange::new(0, 30)),
-//!     8
+//!     summary.query(&Query::vertex(1, VertexDirection::Out, TimeRange::new(0, 30))),
+//!     6
 //! );
+//!
+//! // A mixed batch: HIGGS runs the Algorithm-3 boundary search once per
+//! // distinct time range and shares the plan across every query (and every
+//! // hop of the path query) using it.
+//! let window = TimeRange::new(0, 30);
+//! let results = summary.query_batch(&[
+//!     Query::edge(1, 2, window),
+//!     Query::path(vec![1, 2, 3], window),
+//!     Query::subgraph(vec![(1, 2), (2, 3)], window),
+//! ]);
+//! assert_eq!(results, vec![6, 8, 8]);
+//! assert_eq!(summary.plans_built(), 3); // 2 singles + 1 shared batch plan
 //! ```
 //!
 //! # Performance notes
@@ -78,7 +100,7 @@ pub mod query;
 pub mod tree;
 
 pub use boundary::{QueryPlan, QueryTarget};
-pub use config::HiggsConfig;
+pub use config::{ConfigError, HiggsConfig, HiggsConfigBuilder};
 pub use matrix::CompressedMatrix;
 pub use parallel::ParallelHiggs;
 pub use tree::HiggsSummary;

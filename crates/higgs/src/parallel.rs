@@ -22,7 +22,7 @@ use crate::tree::HiggsSummary;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use higgs_common::hashing::FingerprintLayout;
 use higgs_common::{
-    StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection, VertexId, Weight,
+    Query, StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection, VertexId, Weight,
 };
 use std::thread::JoinHandle;
 
@@ -210,6 +210,17 @@ impl TemporalGraphSummary for ParallelHiggs {
         range: TimeRange,
     ) -> Weight {
         self.inner.vertex_query(vertex, direction, range)
+    }
+
+    fn query(&self, query: &Query) -> Weight {
+        // Forward to the inner summary so the plan-sharing overrides apply
+        // (leaf-descent fallbacks keep results correct while aggregations
+        // are still in flight).
+        self.inner.query(query)
+    }
+
+    fn query_batch(&self, queries: &[Query]) -> Vec<Weight> {
+        self.inner.query_batch(queries)
     }
 
     fn space_bytes(&self) -> usize {

@@ -10,12 +10,13 @@
 //! identical either way.
 
 use crate::aggregate::aggregate_leaves_to_layer;
-use crate::config::HiggsConfig;
+use crate::config::{ConfigError, HiggsConfig};
 use crate::matrix::CompressedMatrix;
 use crate::node::{InternalNode, LeafNode};
 use crate::overflow::OverflowChain;
 use higgs_common::hashing::FingerprintLayout;
 use higgs_common::{StreamEdge, TimeRange, Timestamp};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A deferred aggregation job: internal level (0 = the layer right above the
 /// leaves) and node index within that level.
@@ -38,13 +39,53 @@ pub struct HiggsSummary {
     pub(crate) total_items: u64,
     pub(crate) defer_aggregation: bool,
     pub(crate) pending: Vec<PendingAggregation>,
+    /// Number of query plans built so far (Algorithm-3 boundary searches).
+    /// Interior-mutable so `&self` queries can count; used by tests and
+    /// diagnostics to assert plan sharing in the batch executor.
+    pub(crate) plans_built: PlanCounter,
+}
+
+/// Relaxed atomic plan counter: interior-mutable through `&self` without
+/// costing the summary its `Sync` auto trait (read-only queries must remain
+/// shareable across serving threads). Cloning snapshots the current value.
+#[derive(Debug, Default)]
+pub(crate) struct PlanCounter(AtomicU64);
+
+impl Clone for PlanCounter {
+    fn clone(&self) -> Self {
+        Self(AtomicU64::new(self.get()))
+    }
+}
+
+impl PlanCounter {
+    pub(crate) fn increment(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
 }
 
 impl HiggsSummary {
     /// Creates an empty summary with inline (synchronous) aggregation.
+    ///
+    /// Panics on an invalid configuration; use [`Self::try_new`] (or
+    /// [`HiggsConfig::builder`]) for fallible construction.
     pub fn new(config: HiggsConfig) -> Self {
-        config.validate();
-        Self {
+        Self::try_new(config).expect("invalid HiggsConfig")
+    }
+
+    /// Creates an empty summary with inline (synchronous) aggregation,
+    /// returning the violated constraint instead of panicking when the
+    /// configuration is invalid.
+    pub fn try_new(config: HiggsConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Self {
             layout: config.layout(),
             config,
             leaves: Vec::new(),
@@ -52,7 +93,8 @@ impl HiggsSummary {
             total_items: 0,
             defer_aggregation: false,
             pending: Vec::new(),
-        }
+            plans_built: PlanCounter::default(),
+        })
     }
 
     /// Creates an empty summary whose aggregations are deferred: completed
@@ -62,6 +104,19 @@ impl HiggsSummary {
         let mut s = Self::new(config);
         s.defer_aggregation = true;
         s
+    }
+
+    /// Number of query plans built over the summary's lifetime (each is one
+    /// Algorithm-3 boundary search). The plan-sharing batch executor builds
+    /// exactly one plan per distinct [`TimeRange`] in a batch; this hook lets
+    /// tests and monitoring assert that.
+    pub fn plans_built(&self) -> u64 {
+        self.plans_built.get()
+    }
+
+    /// Resets the plan counter to zero (diagnostic hook).
+    pub fn reset_plan_count(&self) {
+        self.plans_built.reset();
     }
 
     /// The configuration this summary was built with.
@@ -528,11 +583,44 @@ mod tests {
         let mut s = HiggsSummary::new(tiny_config());
         s.insert_edge(&StreamEdge::new(1, 2, 5, 10));
         s.insert_edge(&StreamEdge::new(2, 3, 7, 11));
-        let q = higgs_common::PathQuery {
-            vertices: vec![1, 2, 3],
-            range: TimeRange::new(0, 20),
-        };
+        let q = higgs_common::PathQuery::new(vec![1, 2, 3], TimeRange::new(0, 20));
         assert_eq!(s.path_query(&q), 12);
+        assert_eq!(s.query(&higgs_common::Query::Path(q)), 12);
         assert_eq!(s.vertex_query(1, VertexDirection::Out, TimeRange::all()), 5);
+    }
+
+    #[test]
+    fn summary_serves_concurrent_readonly_queries() {
+        // The plan counter must not cost the summary its `Sync` auto trait:
+        // a loaded summary is shared read-only across serving threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HiggsSummary>();
+
+        let mut s = HiggsSummary::new(tiny_config());
+        for i in 0..2_000u64 {
+            s.insert_edge(&StreamEdge::new(i % 100, (i * 7) % 100, 1, i));
+        }
+        let shared = &s;
+        let totals: Vec<u64> = std::thread::scope(|scope| {
+            (0..4u64)
+                .map(|t| {
+                    scope.spawn(move || {
+                        shared.edge_query(t, (t * 7) % 100, TimeRange::all())
+                            + shared.vertex_query(t, VertexDirection::Out, TimeRange::new(0, 999))
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("query thread panicked"))
+                .collect()
+        });
+        for (t, total) in totals.iter().enumerate() {
+            assert_eq!(
+                *total,
+                s.edge_query(t as u64, (t as u64 * 7) % 100, TimeRange::all())
+                    + s.vertex_query(t as u64, VertexDirection::Out, TimeRange::new(0, 999))
+            );
+        }
+        assert!(s.plans_built() > 0);
     }
 }

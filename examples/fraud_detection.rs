@@ -1,13 +1,14 @@
 //! Financial fraud-pattern screening (a motivating application from the
 //! paper's introduction): look for suspicious transaction chains — paths
 //! A → B → C whose aggregated weight inside a short time window exceeds a
-//! threshold — using edge and path queries.
+//! threshold — screening every sliding window in one plan-sharing
+//! [`query_batch`] call.
 //!
-//! Run with: `cargo run -p higgs-examples --release --bin fraud_detection`
+//! Run with: `cargo run -p higgs-examples --release --example fraud_detection`
 
 use higgs::{HiggsConfig, HiggsSummary};
 use higgs_common::generator::{generate_stream, BurstConfig, StreamConfig};
-use higgs_common::{PathQuery, StreamEdge, SummaryExt, TemporalGraphSummary, TimeRange};
+use higgs_common::{Query, StreamEdge, TemporalGraphSummary, TimeRange};
 
 fn main() {
     // Background payment traffic: many accounts, bursty arrival pattern.
@@ -41,35 +42,47 @@ fn main() {
         summary.space_bytes() / 1024
     );
 
-    // Screen 2-hop chains through the known mule accounts over sliding
-    // windows of 64 time slices.
+    // Screen 3-hop chains through the known mule accounts over sliding
+    // windows of 64 time slices — submitted as ONE batch. The plan-sharing
+    // executor builds a single query plan per window and evaluates every hop
+    // of the chain against it, instead of re-running the boundary search
+    // per hop per window.
     let chain = vec![900_001u64, 900_002, 900_003, 900_004];
     let threshold = 10_000u64;
     let span = stream.time_span().unwrap();
-    let mut alerts = 0;
+    let mut batch = Vec::new();
+    let mut ranges = Vec::new();
     let mut window_start = span.start;
     while window_start + 64 <= span.end {
         let range = TimeRange::new(window_start, window_start + 63);
-        let total = summary.path_query(&PathQuery {
-            vertices: chain.clone(),
-            range,
-        });
-        if total > threshold {
+        batch.push(Query::path(chain.clone(), range));
+        ranges.push(range);
+        window_start += 64;
+    }
+    summary.reset_plan_count();
+    let totals = summary.query_batch(&batch);
+    println!(
+        "screened {} windows with {} query plans",
+        batch.len(),
+        summary.plans_built()
+    );
+    let mut alerts = 0;
+    for (range, total) in ranges.iter().zip(&totals) {
+        if *total > threshold {
             alerts += 1;
             println!(
                 "ALERT window {range}: chain 900001→900002→900003→900004 moved ~{total} units"
             );
         }
-        window_start += 64;
     }
     println!("\n{alerts} windows exceeded the {threshold}-unit layering threshold");
 
-    // Double-check one hop with an edge query.
-    let hop = summary.edge_query(
+    // Double-check one hop with a typed edge query.
+    let hop = summary.query(&Query::edge(
         900_001,
         900_002,
         TimeRange::new(fraud_window_start, fraud_window_start + 32),
-    );
+    ));
     println!("first hop volume inside the injected window: ~{hop} units");
     assert!(hop >= 950 * 20, "injected volume must be visible");
 }

@@ -1,13 +1,11 @@
 //! Quickstart: build a HIGGS summary over a small graph stream and run the
-//! four TRQ primitives (edge, vertex, path, subgraph queries).
+//! four TRQ kinds through the unified [`Query`] API — single calls and a
+//! mixed plan-sharing batch.
 //!
-//! Run with: `cargo run -p higgs-examples --release --bin quickstart`
+//! Run with: `cargo run -p higgs-examples --release --example quickstart`
 
 use higgs::{HiggsConfig, HiggsSummary};
-use higgs_common::{
-    PathQuery, StreamEdge, SubgraphQuery, SummaryExt, TemporalGraphSummary, TimeRange,
-    VertexDirection,
-};
+use higgs_common::{Query, StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection};
 
 fn main() {
     // The graph stream of Fig. 5 in the paper: edges (src, dst, weight, time).
@@ -26,8 +24,12 @@ fn main() {
     ];
 
     // Build the summary with the paper's default parameters (d1 = 16,
-    // F1 = 19, b = 3, r = 4, θ = 4).
-    let mut summary = HiggsSummary::new(HiggsConfig::paper_default());
+    // F1 = 19, b = 3, r = 4, θ = 4). The builder validates the combination
+    // and returns Err(ConfigError) instead of panicking on bad parameters.
+    let config = HiggsConfig::builder()
+        .build()
+        .expect("paper defaults are valid");
+    let mut summary = HiggsSummary::new(config);
     for edge in &stream {
         summary.insert(edge);
     }
@@ -41,24 +43,41 @@ fn main() {
     println!("space: {} bytes\n", summary.space_bytes());
 
     // Edge query: aggregated weight of 2 → 3 between t5 and t10 (paper: 3).
-    let w = summary.edge_query(2, 3, TimeRange::new(5, 10));
+    let w = summary.query(&Query::edge(2, 3, TimeRange::new(5, 10)));
     println!("edge  query  (2 → 3) in [5, 10]      = {w}");
 
     // Vertex query: total outgoing weight of vertex 4 in [1, 11] (paper: 6).
-    let w = summary.vertex_query(4, VertexDirection::Out, TimeRange::new(1, 11));
+    let w = summary.query(&Query::vertex(
+        4,
+        VertexDirection::Out,
+        TimeRange::new(1, 11),
+    ));
     println!("vertex query (out of 4) in [1, 11]    = {w}");
 
-    // Path query: 1 → 2 → 3 → 7 over the whole stream.
-    let w = summary.path_query(&PathQuery {
-        vertices: vec![1, 2, 3, 7],
-        range: TimeRange::all(),
-    });
+    // Path query: 1 → 2 → 3 → 7 over the whole stream. The typed surface
+    // builds ONE query plan and evaluates all three hops against it.
+    let w = summary.query(&Query::path(vec![1, 2, 3, 7], TimeRange::all()));
     println!("path  query  (1→2→3→7) over all time = {w}");
 
     // Subgraph query: {(2,3), (3,7), (2,4)} between t4 and t8 (paper: 3).
-    let w = summary.subgraph_query(&SubgraphQuery {
-        edges: vec![(2, 3), (3, 7), (2, 4)],
-        range: TimeRange::new(4, 8),
-    });
-    println!("subgraph query {{(2,3),(3,7),(2,4)}} in [4, 8] = {w}");
+    let w = summary.query(&Query::subgraph(
+        vec![(2, 3), (3, 7), (2, 4)],
+        TimeRange::new(4, 8),
+    ));
+    println!("subgraph query {{(2,3),(3,7),(2,4)}} in [4, 8] = {w}\n");
+
+    // Mixed batch: queries sharing a time range also share its plan — the
+    // boundary search runs once per distinct range in the batch.
+    let window = TimeRange::new(1, 11);
+    summary.reset_plan_count();
+    let results = summary.query_batch(&[
+        Query::edge(2, 3, window),
+        Query::vertex(4, VertexDirection::Out, window),
+        Query::path(vec![1, 2, 3, 7], window),
+    ]);
+    println!(
+        "batch over one shared window = {results:?} ({} queries, {} plan built)",
+        results.len(),
+        summary.plans_built()
+    );
 }

@@ -1,15 +1,18 @@
 //! Urban traffic monitoring (a motivating application from the paper's
 //! introduction): estimate flow on road segments and corridors during peak
 //! hours versus off-peak hours, and compare HIGGS against the Horae baseline
-//! on the same stream.
+//! on the same stream. The peak/off-peak sweep is one mixed [`QueryBatch`]
+//! submitted to every store — the same typed queries drive the approximate
+//! summaries and the exact ground truth.
 //!
-//! Run with: `cargo run -p higgs-examples --release --bin traffic_monitoring`
+//! Run with: `cargo run -p higgs-examples --release --example traffic_monitoring`
 
 use higgs::{HiggsConfig, HiggsSummary};
 use higgs_baselines::{Horae, HoraeConfig};
 use higgs_common::generator::{generate_stream, BurstConfig, StreamConfig};
 use higgs_common::{
-    ExactTemporalGraph, StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection,
+    ExactTemporalGraph, Query, QueryBatch, StreamEdge, TemporalGraphSummary, TimeRange,
+    VertexDirection,
 };
 
 fn main() {
@@ -50,25 +53,37 @@ fn main() {
     let morning = TimeRange::new(7 * 60, 9 * 60);
     let night = TimeRange::new(0, 2 * 60);
 
-    // Flow through the ten busiest intersections.
+    // Flow through the ten busiest intersections: one batch of 20 vertex
+    // queries (10 junctions × 2 windows), submitted identically to HIGGS,
+    // Horae, and the exact store. Only two distinct ranges appear, so the
+    // HIGGS executor builds exactly two query plans for all 20 queries.
     let mut totals: Vec<(u64, u64)> = stream.out_degrees().into_iter().collect();
     totals.sort_by_key(|&(_, d)| std::cmp::Reverse(d));
+    let junctions: Vec<u64> = totals.iter().take(10).map(|&(j, _)| j).collect();
+
+    let mut batch = QueryBatch::with_capacity(junctions.len() * 2);
+    for &junction in &junctions {
+        batch.push(Query::vertex(junction, VertexDirection::Out, morning));
+        batch.push(Query::vertex(junction, VertexDirection::Out, night));
+    }
+    higgs.reset_plan_count();
+    let higgs_est = higgs.query_batch(batch.queries());
+    let horae_est = horae.query_batch(batch.queries());
+    let truths = exact.query_batch(batch.queries());
+    println!(
+        "\n20 queries over {} distinct windows → {} HIGGS query plans",
+        batch.distinct_ranges(),
+        higgs.plans_built()
+    );
 
     println!("\nintersection   morning-est  morning-true  night-est  night-true");
     let mut higgs_err = 0u64;
     let mut horae_err = 0u64;
-    for &(junction, _) in totals.iter().take(10) {
-        let m_est = higgs.vertex_query(junction, VertexDirection::Out, morning);
-        let m_true = exact.vertex_query(junction, VertexDirection::Out, morning);
-        let n_est = higgs.vertex_query(junction, VertexDirection::Out, night);
-        let n_true = exact.vertex_query(junction, VertexDirection::Out, night);
+    for (i, &junction) in junctions.iter().enumerate() {
+        let (m_est, n_est) = (higgs_est[2 * i], higgs_est[2 * i + 1]);
+        let (m_true, n_true) = (truths[2 * i], truths[2 * i + 1]);
         higgs_err += m_est.abs_diff(m_true) + n_est.abs_diff(n_true);
-        horae_err += horae
-            .vertex_query(junction, VertexDirection::Out, morning)
-            .abs_diff(m_true)
-            + horae
-                .vertex_query(junction, VertexDirection::Out, night)
-                .abs_diff(n_true);
+        horae_err += horae_est[2 * i].abs_diff(m_true) + horae_est[2 * i + 1].abs_diff(n_true);
         println!("{junction:>12}   {m_est:>11}  {m_true:>12}  {n_est:>9}  {n_true:>10}");
     }
     println!("\nabsolute error over these 20 queries — HIGGS: {higgs_err}, Horae: {horae_err}");
@@ -77,8 +92,9 @@ fn main() {
     let sample: Vec<&StreamEdge> = stream.iter().step_by(997).take(5).collect();
     println!("\nsegment flow during the morning peak (HIGGS estimate vs exact):");
     for e in sample {
-        let est = higgs.edge_query(e.src, e.dst, morning);
-        let truth = exact.edge_query(e.src, e.dst, morning);
+        let q = Query::edge(e.src, e.dst, morning);
+        let est = higgs.query(&q);
+        let truth = exact.query(&q);
         println!(
             "    {:>5} → {:<5}  est {est:>4}  true {truth:>4}",
             e.src, e.dst

@@ -5,7 +5,7 @@
 use higgs::{HiggsConfig, HiggsSummary};
 use higgs_baselines::{AuxoTime, AuxoTimeConfig, Horae, HoraeConfig, Pgss, PgssConfig};
 use higgs_common::generator::{DatasetPreset, ExperimentScale, WorkloadBuilder};
-use higgs_common::{ExactTemporalGraph, SummaryExt, TemporalGraphSummary};
+use higgs_common::{ExactTemporalGraph, Query, SummaryExt, TemporalGraphSummary};
 
 fn competitors(edges: usize, slices: u64) -> Vec<Box<dyn TemporalGraphSummary>> {
     vec![
@@ -26,31 +26,70 @@ fn every_summary_ingests_a_preset_and_answers_all_query_kinds() {
     let mut builder = WorkloadBuilder::new(&stream, 1);
     let workload = builder.mixed_workload(25, 10, 5, 2, 5_000);
 
+    // Every competitor is driven through BOTH surfaces: the legacy
+    // per-primitive composition (SummaryExt) and the typed batch executor.
+    // Estimates must be one-sided against the truth, and the two surfaces
+    // must agree bit-for-bit.
+    let batch = workload.to_batch();
+    let truths = exact.query_batch(batch.queries());
     for mut summary in competitors(stream.len(), slices) {
         summary.insert_all(stream.edges());
         assert!(summary.space_bytes() > 0, "{}", summary.name());
 
-        for q in &workload.edge_queries {
-            let est = summary.run_edge_query(q);
-            let truth = exact.run_edge_query(q);
+        let estimates = summary.query_batch(batch.queries());
+        for ((est, truth), q) in estimates.iter().zip(&truths).zip(batch.iter()) {
             assert!(
                 est >= truth,
-                "{} underestimated an edge query",
-                summary.name()
+                "{} underestimated a {} query",
+                summary.name(),
+                q.kind_label()
             );
         }
-        for q in &workload.vertex_queries {
-            assert!(
-                summary.run_vertex_query(q) >= exact.run_vertex_query(q),
-                "{} underestimated a vertex query",
-                summary.name()
-            );
-        }
-        for q in &workload.path_queries {
-            assert!(summary.path_query(q) >= exact.path_query(q));
-        }
-        for q in &workload.subgraph_queries {
-            assert!(summary.subgraph_query(q) >= exact.subgraph_query(q));
+
+        let legacy: Vec<u64> = workload
+            .edge_queries
+            .iter()
+            .map(|q| summary.run_edge_query(q))
+            .chain(
+                workload
+                    .vertex_queries
+                    .iter()
+                    .map(|q| summary.run_vertex_query(q)),
+            )
+            .chain(workload.path_queries.iter().map(|q| summary.path_query(q)))
+            .chain(
+                workload
+                    .subgraph_queries
+                    .iter()
+                    .map(|q| summary.subgraph_query(q)),
+            )
+            .collect();
+        assert_eq!(
+            estimates,
+            legacy,
+            "{}: batch executor diverged from the per-primitive composition",
+            summary.name()
+        );
+    }
+}
+
+#[test]
+fn typed_single_queries_match_primitive_surface_end_to_end() {
+    let stream = DatasetPreset::WikiTalk.generate(ExperimentScale::Smoke);
+    let slices = stream.time_span().unwrap().end.next_power_of_two();
+    let mut builder = WorkloadBuilder::new(&stream, 9);
+    let workload = builder.mixed_workload(10, 10, 4, 2, 20_000);
+    for mut summary in competitors(stream.len(), slices) {
+        summary.insert_all(stream.edges());
+        for q in workload.iter() {
+            let typed = summary.query(&q);
+            let primitive = match &q {
+                Query::Edge(e) => summary.run_edge_query(e),
+                Query::Vertex(v) => summary.run_vertex_query(v),
+                Query::Path(p) => summary.path_query(p),
+                Query::Subgraph(s) => summary.subgraph_query(s),
+            };
+            assert_eq!(typed, primitive, "{}", summary.name());
         }
     }
 }

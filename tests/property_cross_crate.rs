@@ -7,7 +7,7 @@
 use higgs::{CompressedMatrix, HiggsConfig, HiggsSummary};
 use higgs_baselines::{Horae, HoraeConfig, Pgss, PgssConfig};
 use higgs_common::{
-    ExactTemporalGraph, StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection,
+    ExactTemporalGraph, Query, StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection,
 };
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -27,6 +27,30 @@ fn stream_strategy(max_len: usize) -> impl Strategy<Value = Vec<StreamEdge>> {
 
 fn range_strategy() -> impl Strategy<Value = TimeRange> {
     (0u64..MAX_T, 0u64..MAX_T).prop_map(|(a, b)| TimeRange::new(a.min(b), a.max(b)))
+}
+
+/// Random typed queries of all four kinds over the 40-vertex universe.
+/// Ranges are drawn from a small set of windows so batches genuinely share
+/// plans (the case the plan-sharing executor optimises).
+fn mixed_query_strategy() -> impl Strategy<Value = Query> {
+    (0u8..4, 0u64..40, 0u64..40, 0u64..40, 0u64..8).prop_map(|(kind, a, b, c, window)| {
+        let start = window * (MAX_T / 8);
+        let range = TimeRange::new(start, start + MAX_T / 4);
+        match kind {
+            0 => Query::edge(a, b, range),
+            1 => Query::vertex(
+                a,
+                if b % 2 == 0 {
+                    VertexDirection::Out
+                } else {
+                    VertexDirection::In
+                },
+                range,
+            ),
+            2 => Query::path(vec![a, b, c, (a + b) % 40, (b + c) % 40], range),
+            _ => Query::subgraph(vec![(a, b), (b, c), (c, a), (a, c)], range),
+        }
+    })
 }
 
 proptest! {
@@ -258,6 +282,54 @@ proptest! {
             prop_assert!(m.try_delete(a_s, a_d, f_s, f_d, Some((off, off)), w));
             prop_assert_eq!(m.edge_weight(a_s, a_d, f_s, f_d, None) as i64, before - w);
         }
+    }
+
+    #[test]
+    fn query_batch_is_bit_identical_to_per_query_loop(
+        edges in stream_strategy(250),
+        queries in prop::collection::vec(mixed_query_strategy(), 1..48),
+    ) {
+        // The plan-sharing batch executor (HIGGS), the default trait loop
+        // (exact store), and the per-query `query` path must all agree
+        // bit-for-bit on random mixed workloads — batching is a cost
+        // optimisation, never a semantic change.
+        let mut summary = HiggsSummary::new(HiggsConfig::paper_default());
+        let mut tiny = HiggsSummary::new(HiggsConfig {
+            d1: 4,
+            f1_bits: 10,
+            r_bits: 1,
+            bucket_entries: 2,
+            mapping_addresses: 2,
+            overflow_blocks: true,
+        });
+        let mut exact = ExactTemporalGraph::new();
+        for e in &edges {
+            summary.insert(e);
+            tiny.insert(e);
+            exact.insert(e);
+        }
+        let batched = summary.query_batch(&queries);
+        let looped: Vec<u64> = queries.iter().map(|q| summary.query(q)).collect();
+        prop_assert_eq!(&batched, &looped, "HIGGS batch diverged from loop");
+
+        // A collision-heavy HIGGS must also stay self-consistent.
+        prop_assert_eq!(
+            tiny.query_batch(&queries),
+            queries.iter().map(|q| tiny.query(q)).collect::<Vec<u64>>()
+        );
+
+        let exact_batched = exact.query_batch(&queries);
+        let exact_looped: Vec<u64> = queries.iter().map(|q| exact.query(q)).collect();
+        prop_assert_eq!(&exact_batched, &exact_looped, "exact batch diverged");
+
+        // One-sided error carries over to the batch surface, and the
+        // executor plans at most once per distinct range.
+        for (est, truth) in batched.iter().zip(&exact_batched) {
+            prop_assert!(est >= truth);
+        }
+        summary.reset_plan_count();
+        summary.query_batch(&queries);
+        prop_assert!(summary.plans_built() <= 8, "at most one plan per window");
     }
 
     #[test]

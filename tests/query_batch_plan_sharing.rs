@@ -1,0 +1,134 @@
+//! Plan-sharing contract of the unified query API: the HIGGS batch executor
+//! must build exactly one Algorithm-3 query plan per *distinct* time range
+//! in a batch (asserted through the `plans_built` hook), composite queries
+//! must share one plan across their hops/edges, and batching must never
+//! change results.
+
+use higgs::{HiggsConfig, HiggsSummary};
+use higgs_common::generator::{DatasetPreset, ExperimentScale, WorkloadBuilder};
+use higgs_common::{
+    PathQuery, Query, QueryBatch, SubgraphQuery, SummaryExt, TemporalGraphSummary, TimeRange,
+    VertexDirection,
+};
+
+fn loaded_summary() -> HiggsSummary {
+    let config = HiggsConfig::builder()
+        .d1(4)
+        .f1_bits(12)
+        .bucket_entries(2)
+        .mapping_addresses(2)
+        .build()
+        .expect("valid test configuration");
+    let mut s = HiggsSummary::new(config);
+    for i in 0..6_000u64 {
+        s.insert_edge(&higgs_common::StreamEdge::new(i % 120, (i * 7) % 120, 1, i));
+    }
+    s
+}
+
+#[test]
+fn batched_queries_build_one_plan_per_distinct_range() {
+    let s = loaded_summary();
+    let windows = [
+        TimeRange::new(0, 1_000),
+        TimeRange::new(1_500, 3_000),
+        TimeRange::new(2_000, 5_999),
+    ];
+    // 30 mixed queries, 10 per window, in interleaved submission order.
+    let mut batch = QueryBatch::new();
+    for k in 0..10u64 {
+        for (w, &range) in windows.iter().enumerate() {
+            match (k as usize + w) % 4 {
+                0 => batch.push(Query::edge(k, (k * 7) % 120, range)),
+                1 => batch.push(Query::vertex(k, VertexDirection::In, range)),
+                2 => batch.push(Query::path(vec![k, k * 7 % 120, k * 49 % 120], range)),
+                _ => batch.push(Query::subgraph(
+                    vec![(k, k * 7 % 120), (k + 1, (k + 1) * 7 % 120)],
+                    range,
+                )),
+            }
+        }
+    }
+    assert_eq!(batch.len(), 30);
+    assert_eq!(batch.distinct_ranges(), windows.len());
+
+    s.reset_plan_count();
+    let batched = s.query_batch(batch.queries());
+    assert_eq!(
+        s.plans_built(),
+        windows.len() as u64,
+        "batch executor must plan once per distinct range"
+    );
+
+    // Per-query loop: one plan per query, identical results.
+    s.reset_plan_count();
+    let looped: Vec<u64> = batch.iter().map(|q| s.query(q)).collect();
+    assert_eq!(s.plans_built(), batch.len() as u64);
+    assert_eq!(batched, looped, "plan sharing must not change results");
+}
+
+#[test]
+fn path_query_shares_one_plan_across_hops() {
+    let s = loaded_summary();
+    let range = TimeRange::new(500, 5_000);
+    let path = PathQuery::new((0..11u64).map(|i| (i * 13) % 120).collect(), range);
+    assert_eq!(path.hops(), 10);
+
+    // Typed surface: a 10-hop path costs ONE boundary search.
+    s.reset_plan_count();
+    let typed = s.query(&Query::Path(path.clone()));
+    assert_eq!(s.plans_built(), 1);
+
+    // Legacy per-hop composition: ten boundary searches, same result.
+    s.reset_plan_count();
+    let legacy = s.path_query(&path);
+    assert_eq!(s.plans_built(), 10);
+    assert_eq!(typed, legacy);
+}
+
+#[test]
+fn subgraph_query_shares_one_plan_across_edges() {
+    let s = loaded_summary();
+    let range = TimeRange::new(100, 4_800);
+    let edges: Vec<(u64, u64)> = (0..25u64).map(|i| (i % 120, (i * 7) % 120)).collect();
+    let sub = SubgraphQuery::new(edges, range);
+
+    s.reset_plan_count();
+    let typed = s.query(&Query::Subgraph(sub.clone()));
+    assert_eq!(s.plans_built(), 1, "25-edge subgraph must plan once");
+
+    s.reset_plan_count();
+    let legacy = s.subgraph_query(&sub);
+    assert_eq!(s.plans_built(), 25);
+    assert_eq!(typed, legacy);
+}
+
+#[test]
+fn realistic_mixed_workload_batches_identically_on_real_streams() {
+    let stream = DatasetPreset::Lkml.generate(ExperimentScale::Smoke);
+    let mut summary = HiggsSummary::new(HiggsConfig::paper_default());
+    summary.insert_all(stream.edges());
+    let mut builder = WorkloadBuilder::new(&stream, 21);
+    let workload = builder.mixed_workload(30, 15, 6, 3, 10_000);
+    let batch = workload.to_batch();
+
+    let batched = summary.query_batch(batch.queries());
+    let looped: Vec<u64> = batch.iter().map(|q| summary.query(q)).collect();
+    assert_eq!(batched, looped);
+
+    // The executor never builds more plans than queries, and at least one
+    // plan per distinct range.
+    summary.reset_plan_count();
+    summary.query_batch(batch.queries());
+    let plans = summary.plans_built() as usize;
+    assert_eq!(plans, batch.distinct_ranges());
+    assert!(plans <= batch.len());
+}
+
+#[test]
+fn empty_batch_builds_no_plan() {
+    let s = loaded_summary();
+    s.reset_plan_count();
+    assert!(s.query_batch(&[]).is_empty());
+    assert_eq!(s.plans_built(), 0);
+}
