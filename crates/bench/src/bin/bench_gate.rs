@@ -1,0 +1,109 @@
+//! CI perf-regression gate over the committed `BENCH_*.json` trajectory.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p higgs-bench --release --bin bench_gate -- \
+//!     <baseline.json> <current.json> [--threshold 0.25]
+//! ```
+//!
+//! `baseline.json` is a committed trajectory file (e.g. `BENCH_sharding.json`
+//! at the repository root); `current.json` is the file a Criterion smoke run
+//! just wrote via the `BENCH_JSON` environment variable:
+//!
+//! ```text
+//! BENCH_JSON=$PWD/target/current.json \
+//!     cargo bench -p higgs-bench --bench sharding -- --test
+//! ```
+//!
+//! The gate fails (exit code 1) when any benchmark's current median exceeds
+//! its baseline median by more than the threshold (default ±25%, also
+//! settable via the `BENCH_GATE_THRESHOLD` environment variable), or when a
+//! baseline bench id vanished from the current run. Improvements beyond the
+//! threshold pass but are called out so the baseline gets refreshed — the
+//! committed trajectory should always reflect the repository's best known
+//! numbers for the machine that seeded it. Regenerate a baseline by re-running
+//! the smoke command above with `BENCH_JSON` pointed at the baseline file.
+
+use higgs_bench::report::{compare_bench, parse_bench_json, BenchRecord};
+use std::process::ExitCode;
+
+const DEFAULT_THRESHOLD: f64 = 0.25;
+
+fn load(path: &str) -> Result<Vec<BenchRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let records = parse_bench_json(&text).map_err(|e| format!("cannot parse {path:?}: {e}"))?;
+    if records.is_empty() {
+        return Err(format!("{path:?} contains no benchmark records"));
+    }
+    Ok(records)
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    // A malformed override must error, not silently gate at the default.
+    let mut threshold = match std::env::var("BENCH_GATE_THRESHOLD") {
+        Ok(value) => value.parse::<f64>().map_err(|e| {
+            format!("invalid BENCH_GATE_THRESHOLD {value:?}: {e} (use e.g. 0.25 for ±25%)")
+        })?,
+        Err(_) => DEFAULT_THRESHOLD,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--threshold requires a value".to_string())?;
+                threshold = value
+                    .parse::<f64>()
+                    .map_err(|e| format!("invalid threshold {value:?}: {e}"))?;
+                i += 2;
+            }
+            other => {
+                paths.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return Err(
+            "usage: bench_gate <baseline.json> <current.json> [--threshold 0.25]".to_string(),
+        );
+    };
+    if !(threshold.is_finite() && threshold > 0.0) {
+        return Err(format!(
+            "threshold must be a positive number, got {threshold}"
+        ));
+    }
+
+    let baseline = load(baseline_path)?;
+    let current = load(current_path)?;
+    let comparison = compare_bench(&baseline, &current, threshold);
+    print!("{}", comparison.render(threshold));
+    if comparison.failed() {
+        println!(
+            "\nFAIL: performance regressed beyond ±{:.0}% of {baseline_path} \
+             (re-seed the baseline only for understood, intended changes)",
+            threshold * 100.0
+        );
+    } else {
+        println!(
+            "\nPASS: within ±{:.0}% of {baseline_path}",
+            threshold * 100.0
+        );
+    }
+    Ok(comparison.failed())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("bench_gate: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

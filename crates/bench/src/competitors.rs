@@ -2,7 +2,7 @@
 //! the five baselines, built with comparable parameters so that hash ranges
 //! (and hence collision behaviour) are matched, as the paper does.
 
-use higgs::{HiggsConfig, HiggsSummary, ParallelHiggs};
+use higgs::{HiggsConfig, HiggsSummary, ParallelHiggs, ShardedHiggs};
 use higgs_baselines::{AuxoTime, AuxoTimeConfig, Horae, HoraeConfig, Pgss, PgssConfig};
 use higgs_common::TemporalGraphSummary;
 
@@ -99,6 +99,17 @@ pub fn build_parallel_higgs(workers: usize) -> ParallelHiggs {
     ParallelHiggs::new(HiggsConfig::paper_default(), workers)
 }
 
+/// Builds a source-sharded HIGGS service with paper-default per-shard
+/// parameters (the `sharding` bench group and scale-out experiments).
+pub fn build_sharded_higgs(shards: usize) -> ShardedHiggs {
+    ShardedHiggs::new(
+        HiggsConfig::builder()
+            .shards(shards)
+            .build()
+            .expect("paper defaults with a valid shard count"),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +168,13 @@ mod tests {
         let mut p = build_parallel_higgs(2);
         p.insert(&StreamEdge::new(3, 4, 1, 7));
         assert_eq!(p.edge_query(3, 4, TimeRange::all()), 1);
+    }
+
+    #[test]
+    fn sharded_higgs_builder_works() {
+        let mut s = build_sharded_higgs(4);
+        s.insert(&StreamEdge::new(3, 4, 1, 7));
+        assert_eq!(s.edge_query(3, 4, TimeRange::all()), 1);
+        assert_eq!(s.name(), "HIGGS-sharded");
     }
 }

@@ -46,6 +46,25 @@ pub fn edge_hash(src: u64, dst: u64, seed: u64) -> u64 {
     splitmix64(a ^ b.rotate_left(23))
 }
 
+/// Seed of the shard-routing hash function. Distinct from the canonical
+/// summary seed 0 so that the shard a vertex lands on is independent of its
+/// in-matrix fingerprint/address decomposition (otherwise every vertex of a
+/// shard would share address bits and skew its matrices).
+pub const SHARD_SEED: u64 = 0x7368_6172_645F_6869;
+
+/// The shard (in `0..num_shards`) that owns vertex `v` when a summary is
+/// partitioned by source vertex. Deterministic across platforms and runs;
+/// every component that routes by source — ingest, deletion, query serving —
+/// must use this one function so they always agree.
+#[inline]
+pub fn shard_of(v: u64, num_shards: usize) -> usize {
+    debug_assert!(num_shards > 0, "shard count must be positive");
+    if num_shards <= 1 {
+        return 0;
+    }
+    (vertex_hash(v, SHARD_SEED) % num_shards as u64) as usize
+}
+
 /// A vertex hash decomposed into fingerprint and address at a given layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HashedVertex {
@@ -315,6 +334,43 @@ mod tests {
     #[test]
     fn edge_hash_is_order_sensitive() {
         assert_ne!(edge_hash(1, 2, 0), edge_hash(2, 1, 0));
+    }
+
+    #[test]
+    fn shard_of_is_stable_in_range_and_balanced() {
+        for v in 0..1_000u64 {
+            assert_eq!(shard_of(v, 1), 0);
+            for shards in [2usize, 4, 8] {
+                let s = shard_of(v, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(v, shards), "routing must be deterministic");
+            }
+        }
+        // Rough balance over a contiguous id range: no shard may be starved.
+        let mut counts = [0usize; 4];
+        for v in 0..4_000u64 {
+            counts[shard_of(v, 4)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..=1_300).contains(&c),
+                "shard {s} holds {c} of 4000 vertices"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_routing_is_independent_of_addressing_hash() {
+        // The shard id must not be a function of the layer-1 address bits:
+        // vertices sharing an address must still spread over shards.
+        let layout = FingerprintLayout::new(19, 16, 1);
+        let mut shards_seen = std::collections::HashSet::new();
+        for v in 0..4_000u64 {
+            if layout.split_vertex(v, 1).address == 3 {
+                shards_seen.insert(shard_of(v, 4));
+            }
+        }
+        assert_eq!(shards_seen.len(), 4);
     }
 
     #[test]

@@ -35,10 +35,12 @@ pub mod time;
 
 pub use edge::{GraphStream, StreamEdge, StreamStats, VertexId, Weight};
 pub use exact::ExactTemporalGraph;
-pub use hashing::{lcg_sequence, vertex_hash, AddressSequence, FingerprintLayout, HashedVertex};
+pub use hashing::{
+    lcg_sequence, shard_of, vertex_hash, AddressSequence, FingerprintLayout, HashedVertex,
+};
 pub use metrics::{ErrorStats, LatencyStats, ThroughputStats};
 pub use query::{
-    EdgeQuery, PathQuery, Query, QueryBatch, QueryWorkload, SubgraphQuery, SummaryExt,
-    TemporalGraphSummary, VertexDirection, VertexQuery,
+    EdgeQuery, PathQuery, Query, QueryBatch, QueryWorkload, ShardPlan, ShardRoute, SubgraphQuery,
+    SummaryExt, TemporalGraphSummary, VertexDirection, VertexQuery,
 };
 pub use time::{TimeRange, Timestamp};

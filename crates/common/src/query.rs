@@ -205,6 +205,154 @@ impl Query {
             Query::Subgraph(_) => "subgraph",
         }
     }
+
+    /// Decomposes this query into independently routable parts for a summary
+    /// partitioned by **source vertex** (each shard owns every edge whose
+    /// source hashes to it, see [`crate::hashing::shard_of`]).
+    ///
+    /// The routing rules:
+    ///
+    /// * an edge query is owned by its source's shard,
+    /// * an out-direction vertex query is owned by the vertex's shard (all of
+    ///   its outgoing edges live there),
+    /// * an in-direction vertex query fans out to
+    ///   [every shard](ShardRoute::AllShards) — incoming edges may originate
+    ///   from any source — and the per-shard results are summed,
+    /// * path and subgraph queries split into one edge query per hop /
+    ///   per edge, each owned by that hop's source shard.
+    ///
+    /// The sum of the parts' results equals this query's result on an
+    /// unsharded summary (paths and subgraphs are defined as sums over their
+    /// hops/edges, Section VI-C).
+    pub fn shard_parts(&self) -> Vec<(ShardRoute, Query)> {
+        match self {
+            Query::Edge(q) => vec![(ShardRoute::Vertex(q.src), self.clone())],
+            Query::Vertex(q) => match q.direction {
+                VertexDirection::Out => vec![(ShardRoute::Vertex(q.vertex), self.clone())],
+                VertexDirection::In => vec![(ShardRoute::AllShards, self.clone())],
+            },
+            Query::Path(q) => q
+                .vertices
+                .windows(2)
+                .map(|w| (ShardRoute::Vertex(w[0]), Query::edge(w[0], w[1], q.range)))
+                .collect(),
+            Query::Subgraph(q) => q
+                .edges
+                .iter()
+                .map(|&(s, d)| (ShardRoute::Vertex(s), Query::edge(s, d, q.range)))
+                .collect(),
+        }
+    }
+}
+
+/// Where one [shard part](Query::shard_parts) of a query must execute when a
+/// summary is partitioned by source vertex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ShardRoute {
+    /// The part is answered entirely by the shard owning this vertex.
+    Vertex(VertexId),
+    /// The part must run on every shard and the results be summed
+    /// (in-direction vertex queries: incoming edges can originate anywhere).
+    AllShards,
+}
+
+/// A batch of typed queries routed onto `num_shards` source-partitioned
+/// shards: one sub-batch per shard plus the scatter map that reassembles
+/// per-shard results into one weight per original query.
+///
+/// Build one with [`ShardPlan::build`] (or [`QueryBatch::shard_plan`]); run
+/// each [`sub_batch`](Self::sub_batch) against its shard — each shard's
+/// plan-sharing executor still builds only one Algorithm-3 plan per distinct
+/// [`TimeRange`] in its sub-batch — then [`gather`](Self::gather) the
+/// per-shard result vectors.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// One sub-batch per shard, in shard order.
+    sub: Vec<Vec<Query>>,
+    /// Parallel to `sub`: the original query index each sub-query's result
+    /// accumulates into.
+    scatter: Vec<Vec<usize>>,
+    /// Number of queries in the original batch.
+    len: usize,
+}
+
+impl ShardPlan {
+    /// Routes `queries` onto `num_shards` shards following the rules of
+    /// [`Query::shard_parts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero.
+    pub fn build(queries: &[Query], num_shards: usize) -> Self {
+        assert!(num_shards > 0, "shard count must be positive");
+        let mut sub = vec![Vec::new(); num_shards];
+        let mut scatter = vec![Vec::new(); num_shards];
+        for (qi, query) in queries.iter().enumerate() {
+            for (route, part) in query.shard_parts() {
+                match route {
+                    ShardRoute::Vertex(v) => {
+                        let s = crate::hashing::shard_of(v, num_shards);
+                        sub[s].push(part);
+                        scatter[s].push(qi);
+                    }
+                    ShardRoute::AllShards => {
+                        for s in 0..num_shards {
+                            sub[s].push(part.clone());
+                            scatter[s].push(qi);
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            sub,
+            scatter,
+            len: queries.len(),
+        }
+    }
+
+    /// Number of shards this plan routes onto.
+    pub fn num_shards(&self) -> usize {
+        self.sub.len()
+    }
+
+    /// Number of queries in the original batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the original batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The sub-batch destined for `shard` (empty when nothing routes there).
+    pub fn sub_batch(&self, shard: usize) -> &[Query] {
+        &self.sub[shard]
+    }
+
+    /// Reassembles per-shard result vectors (one per shard, each parallel to
+    /// its [`sub_batch`](Self::sub_batch)) into one weight per original
+    /// query, summing the parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result vectors do not match the plan's shape.
+    pub fn gather(&self, per_shard: &[Vec<Weight>]) -> Vec<Weight> {
+        assert_eq!(per_shard.len(), self.sub.len(), "one result vec per shard");
+        let mut out = vec![0u64; self.len];
+        for (shard, results) in per_shard.iter().enumerate() {
+            assert_eq!(
+                results.len(),
+                self.scatter[shard].len(),
+                "shard {shard} returned a result count that does not match its sub-batch"
+            );
+            for (&qi, &w) in self.scatter[shard].iter().zip(results) {
+                out[qi] += w;
+            }
+        }
+        out
+    }
 }
 
 impl From<EdgeQuery> for Query {
@@ -288,6 +436,12 @@ impl QueryBatch {
         ranges.sort_unstable_by_key(|r| (r.start, r.end));
         ranges.dedup();
         ranges.len()
+    }
+
+    /// Routes the batch onto `num_shards` source-partitioned shards; see
+    /// [`ShardPlan`].
+    pub fn shard_plan(&self, num_shards: usize) -> ShardPlan {
+        ShardPlan::build(&self.queries, num_shards)
     }
 }
 
@@ -713,6 +867,102 @@ mod tests {
         let looped: Vec<Weight> = batch.iter().map(|q| t.query(q)).collect();
         assert_eq!(batched, looped);
         assert_eq!(batched, vec![3, 6, 7, 3]);
+    }
+
+    #[test]
+    fn shard_parts_follow_source_routing_rules() {
+        let r = TimeRange::new(0, 9);
+        assert_eq!(
+            Query::edge(1, 2, r).shard_parts(),
+            vec![(ShardRoute::Vertex(1), Query::edge(1, 2, r))]
+        );
+        assert_eq!(
+            Query::vertex(5, VertexDirection::Out, r).shard_parts(),
+            vec![(
+                ShardRoute::Vertex(5),
+                Query::vertex(5, VertexDirection::Out, r)
+            )]
+        );
+        assert_eq!(
+            Query::vertex(5, VertexDirection::In, r).shard_parts(),
+            vec![(
+                ShardRoute::AllShards,
+                Query::vertex(5, VertexDirection::In, r)
+            )]
+        );
+        assert_eq!(
+            Query::path(vec![1, 2, 3], r).shard_parts(),
+            vec![
+                (ShardRoute::Vertex(1), Query::edge(1, 2, r)),
+                (ShardRoute::Vertex(2), Query::edge(2, 3, r)),
+            ]
+        );
+        assert_eq!(
+            Query::subgraph(vec![(7, 8), (9, 7)], r).shard_parts(),
+            vec![
+                (ShardRoute::Vertex(7), Query::edge(7, 8, r)),
+                (ShardRoute::Vertex(9), Query::edge(9, 7, r)),
+            ]
+        );
+        // Degenerate composites decompose into zero parts (their result is
+        // the empty sum, matching the unsharded definition).
+        assert!(Query::path(vec![1], r).shard_parts().is_empty());
+        assert!(Query::subgraph(vec![], r).shard_parts().is_empty());
+    }
+
+    #[test]
+    fn shard_plan_gather_matches_unsharded_evaluation() {
+        // Evaluate a mixed batch on one exact store, and on per-shard exact
+        // stores fed only their share of the stream; the routed + gathered
+        // results must be identical.
+        let t = example_fig5();
+        let num_shards = 3;
+        let mut shards: Vec<Toy> = (0..num_shards).map(|_| Toy::default()).collect();
+        for e in &t.edges {
+            shards[crate::hashing::shard_of(e.src, num_shards)].insert(e);
+        }
+        let batch: QueryBatch = [
+            Query::edge(2, 3, TimeRange::new(5, 10)),
+            Query::vertex(4, VertexDirection::Out, TimeRange::new(1, 11)),
+            Query::vertex(7, VertexDirection::In, TimeRange::new(1, 11)),
+            Query::path(vec![1, 2, 3, 7], TimeRange::new(1, 11)),
+            Query::subgraph(vec![(2, 3), (3, 7), (2, 4)], TimeRange::new(4, 8)),
+        ]
+        .into_iter()
+        .collect();
+        let plan = batch.shard_plan(num_shards);
+        assert_eq!(plan.num_shards(), num_shards);
+        assert_eq!(plan.len(), batch.len());
+        assert!(!plan.is_empty());
+        let per_shard: Vec<Vec<Weight>> = (0..num_shards)
+            .map(|s| shards[s].query_batch(plan.sub_batch(s)))
+            .collect();
+        let gathered = plan.gather(&per_shard);
+        let direct = t.query_batch(batch.queries());
+        assert_eq!(gathered, direct);
+        assert_eq!(gathered, vec![3, 6, 5, 7, 3]);
+    }
+
+    #[test]
+    fn shard_plan_single_shard_routes_everything_to_shard_zero() {
+        let r = TimeRange::all();
+        let queries = vec![
+            Query::edge(1, 2, r),
+            Query::vertex(3, VertexDirection::In, r),
+            Query::path(vec![4, 5, 6], r),
+        ];
+        let plan = ShardPlan::build(&queries, 1);
+        // 1 edge part + 1 broadcast part + 2 path hops.
+        assert_eq!(plan.sub_batch(0).len(), 4);
+        let toy = example_fig5();
+        let results = vec![toy.query_batch(plan.sub_batch(0))];
+        assert_eq!(plan.gather(&results), toy.query_batch(&queries));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn shard_plan_rejects_zero_shards() {
+        let _ = ShardPlan::build(&[Query::edge(1, 2, TimeRange::all())], 0);
     }
 
     #[test]

@@ -131,6 +131,7 @@ mod tests {
             bucket_entries: 3,
             mapping_addresses: 4,
             overflow_blocks: true,
+            shards: 1,
         };
         (config.layout(), config)
     }

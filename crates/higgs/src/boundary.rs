@@ -181,6 +181,7 @@ mod tests {
             bucket_entries: 2,
             mapping_addresses: 2,
             overflow_blocks: true,
+            shards: 1,
         }
     }
 

@@ -40,6 +40,12 @@ pub enum ConfigError {
         /// The rejected `r` value.
         mapping_addresses: u32,
     },
+    /// `shards` must lie in `[1, MAX_SHARDS]`: every shard owns a writer
+    /// thread plus aggregation workers, so the count is bounded.
+    InvalidShardCount {
+        /// The rejected shard count.
+        shards: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -62,6 +68,13 @@ impl fmt::Display for ConfigError {
                     f,
                     "r must be in [1, {}], got {mapping_addresses}",
                     crate::matrix::MAX_MAPPING
+                )
+            }
+            ConfigError::InvalidShardCount { shards } => {
+                write!(
+                    f,
+                    "shards must be in [1, {}], got {shards}",
+                    crate::shard::MAX_SHARDS
                 )
             }
         }
@@ -102,6 +115,11 @@ pub struct HiggsConfig {
     /// into ancestor aggregates without losing address bits) but use a single
     /// entry per bucket, keeping each block small.
     pub overflow_blocks: bool,
+    /// Number of shards a [`ShardedHiggs`](crate::ShardedHiggs) built from
+    /// this configuration partitions the summary into (by hash of the source
+    /// vertex). `1` means a single unsharded summary; plain
+    /// [`HiggsSummary`](crate::HiggsSummary) construction ignores the field.
+    pub shards: usize,
 }
 
 impl Default for HiggsConfig {
@@ -121,6 +139,7 @@ impl HiggsConfig {
             bucket_entries: 3,
             mapping_addresses: 4,
             overflow_blocks: true,
+            shards: 1,
         }
     }
 
@@ -214,6 +233,11 @@ impl HiggsConfig {
                 mapping_addresses: self.mapping_addresses,
             });
         }
+        if !(1..=crate::shard::MAX_SHARDS).contains(&self.shards) {
+            return Err(ConfigError::InvalidShardCount {
+                shards: self.shards,
+            });
+        }
         Ok(())
     }
 }
@@ -267,6 +291,14 @@ impl HiggsConfigBuilder {
         self
     }
 
+    /// Sets the number of shards a [`ShardedHiggs`](crate::ShardedHiggs)
+    /// partitions the summary into (must lie in `[1, MAX_SHARDS]`; `1` keeps
+    /// a single unsharded summary).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<HiggsConfig, ConfigError> {
         self.config.validate()?;
@@ -305,6 +337,7 @@ mod tests {
             .bucket_entries(4)
             .mapping_addresses(2)
             .overflow_blocks(false)
+            .shards(4)
             .build()
             .expect("valid configuration");
         assert_eq!(c.d1, 64);
@@ -314,6 +347,7 @@ mod tests {
         assert_eq!(c.bucket_entries, 4);
         assert_eq!(c.mapping_addresses, 2);
         assert!(!c.overflow_blocks);
+        assert_eq!(c.shards, 4);
     }
 
     #[test]
@@ -402,6 +436,26 @@ mod tests {
     }
 
     #[test]
+    fn invalid_shard_count_rejected() {
+        assert_eq!(
+            HiggsConfig::builder().shards(0).build(),
+            Err(ConfigError::InvalidShardCount { shards: 0 })
+        );
+        assert_eq!(
+            HiggsConfig::builder()
+                .shards(crate::shard::MAX_SHARDS + 1)
+                .build(),
+            Err(ConfigError::InvalidShardCount {
+                shards: crate::shard::MAX_SHARDS + 1
+            })
+        );
+        assert!(HiggsConfig::builder()
+            .shards(crate::shard::MAX_SHARDS)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
     fn config_error_messages_name_the_constraint() {
         let msgs = [
             ConfigError::InvalidMatrixSide { d1: 12 }.to_string(),
@@ -416,8 +470,12 @@ mod tests {
                 mapping_addresses: 99,
             }
             .to_string(),
+            ConfigError::InvalidShardCount { shards: 0 }.to_string(),
         ];
-        for (msg, needle) in msgs.iter().zip(["d1", "F1", "R must", "b must", "r must"]) {
+        for (msg, needle) in
+            msgs.iter()
+                .zip(["d1", "F1", "R must", "b must", "r must", "shards must"])
+        {
             assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
         }
     }

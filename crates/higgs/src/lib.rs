@@ -18,7 +18,9 @@
 //!   primitives,
 //! * [`overflow`] — overflow blocks absorbing same-timestamp bursts,
 //! * [`parallel`] — the per-layer parallel insertion pipeline
-//!   ([`ParallelHiggs`]).
+//!   ([`ParallelHiggs`]),
+//! * [`shard`] — the source-sharded concurrent service layer
+//!   ([`ShardedHiggs`]).
 //!
 //! # Quick example
 //!
@@ -85,6 +87,44 @@
 //! The `matrix_layout` Criterion group in `higgs-bench` tracks the raw
 //! matrix insert/probe costs at `d ∈ {64, 256}`; `insert_throughput` and
 //! `edge_query`/`vertex_query` track the end-to-end effect.
+//!
+//! # Scaling out
+//!
+//! One process-wide summary serves one ingest thread; production traffic
+//! wants many cores ingesting and many threads serving. [`ShardedHiggs`]
+//! (module [`shard`]) is that layer: a fixed-`N` array of [`HiggsSummary`]
+//! shards partitioned by **hash of the source vertex**
+//! ([`higgs_common::hashing::shard_of`], configured via
+//! [`HiggsConfigBuilder::shards`]). The routing rules are:
+//!
+//! | query kind          | route                                            |
+//! |---------------------|--------------------------------------------------|
+//! | edge `s → d`        | the shard owning `s`                             |
+//! | vertex, out         | the shard owning the vertex                      |
+//! | vertex, in          | every shard, results summed                      |
+//! | path / subgraph     | one edge query per hop/edge, each by its source  |
+//!
+//! Because an edge is recorded exactly on its source's shard, the gathered
+//! results match an unsharded summary (bit-identical in the collision-free
+//! regime, still one-sided under collisions).
+//!
+//! Ingest routes each edge to a dedicated per-shard writer thread over a
+//! FIFO channel, and each writer feeds a [`ParallelHiggs`] pipeline — so
+//! leaf insertion and group-close aggregation both stay off the ingest
+//! thread, which only hashes and enqueues. Queries are read-your-writes
+//! (each trait query first waits for previously enqueued mutations to land)
+//! and run under per-shard read locks, so any number of threads can serve
+//! while an [`shard::IngestHandle`] streams new edges in.
+//!
+//! **Plan sharing per shard:** the batch surface of [`ShardedHiggs`] routes
+//! per-shard sub-batches through each shard's plan-sharing executor, so a
+//! batch costs at most one Algorithm-3 boundary search per distinct
+//! [`TimeRange`](higgs_common::TimeRange) *per shard it touches* — never one
+//! per query, hop, or subgraph edge.
+//!
+//! The `sharding` Criterion group in `higgs-bench` tracks ingest-path
+//! throughput, full ingest completion, and batch-serving latency at 1–8
+//! shards against the single-summary and [`ParallelHiggs`] baselines.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -97,10 +137,12 @@ pub mod node;
 pub mod overflow;
 pub mod parallel;
 pub mod query;
+pub mod shard;
 pub mod tree;
 
 pub use boundary::{QueryPlan, QueryTarget};
 pub use config::{ConfigError, HiggsConfig, HiggsConfigBuilder};
 pub use matrix::CompressedMatrix;
 pub use parallel::ParallelHiggs;
+pub use shard::{IngestHandle, ShardedHiggs};
 pub use tree::HiggsSummary;

@@ -109,6 +109,15 @@ impl ParallelHiggs {
     fn dispatch_pending(&mut self) {
         let jobs = self.inner.take_pending_aggregations();
         for job in jobs {
+            // If the worker pool is gone (the job channel was closed by
+            // `shutdown`), fall back to inline aggregation so no node is ever
+            // left unmaterialised — this keeps `flush` and late inserts safe
+            // after shutdown instead of silently dropping the job.
+            let Some(tx) = &self.job_tx else {
+                let matrix = self.inner.compute_aggregation(job.level, job.index);
+                self.inner.install_aggregation(job.level, job.index, matrix);
+                continue;
+            };
             let (first, last) = self.inner.leaf_span(job.level, job.index);
             let mut sources = Vec::new();
             for leaf in &self.inner.leaves[first..=last] {
@@ -123,41 +132,55 @@ impl ParallelHiggs {
                 layout: *self.inner.layout(),
                 config: *self.inner.config(),
             };
-            if let Some(tx) = &self.job_tx {
-                if tx.send(payload).is_ok() {
-                    self.in_flight += 1;
-                }
+            if tx.send(payload).is_ok() {
+                self.in_flight += 1;
+            } else {
+                let matrix = self.inner.compute_aggregation(job.level, job.index);
+                self.inner.install_aggregation(job.level, job.index, matrix);
             }
         }
     }
 
-    fn drain_results(&mut self, block: bool) {
-        loop {
-            let result = if block && self.in_flight > 0 {
-                match self.result_rx.recv() {
-                    Ok(r) => r,
-                    Err(_) => break,
+    /// Installs every result already queued on the result channel without
+    /// blocking.
+    fn drain_results(&mut self) {
+        while self.in_flight > 0 {
+            match self.result_rx.try_recv() {
+                Ok(result) => {
+                    self.inner
+                        .install_aggregation(result.level, result.index, result.matrix);
+                    self.in_flight -= 1;
                 }
-            } else {
-                match self.result_rx.try_recv() {
-                    Ok(r) => r,
-                    Err(_) => break,
-                }
-            };
-            self.inner
-                .install_aggregation(result.level, result.index, result.matrix);
-            self.in_flight -= 1;
-            if self.in_flight == 0 {
-                break;
+                Err(_) => break,
             }
         }
     }
 
     /// Blocks until every outstanding aggregation has been installed.
+    ///
+    /// Idempotent — flushing an already-flushed pipeline returns immediately
+    /// — and safe to call after the job channel has closed (e.g. after the
+    /// worker pool shut down with results still in flight): results that can
+    /// no longer arrive are recomputed inline, so the summary is always fully
+    /// aggregated when this returns.
     pub fn flush(&mut self) {
         self.dispatch_pending();
         while self.in_flight > 0 {
-            self.drain_results(true);
+            match self.result_rx.recv() {
+                Ok(result) => {
+                    self.inner
+                        .install_aggregation(result.level, result.index, result.matrix);
+                    self.in_flight -= 1;
+                }
+                Err(_) => {
+                    // Every worker has exited and the queue is drained; the
+                    // remaining in-flight results are unrecoverable. Rebuild
+                    // the missing aggregates from the leaves instead of
+                    // spinning forever.
+                    self.in_flight = 0;
+                    self.inner.materialize_missing_aggregations();
+                }
+            }
         }
     }
 
@@ -190,7 +213,7 @@ impl TemporalGraphSummary for ParallelHiggs {
     fn insert(&mut self, edge: &StreamEdge) {
         self.inner.insert_edge(edge);
         self.dispatch_pending();
-        self.drain_results(false);
+        self.drain_results();
     }
 
     fn delete(&mut self, edge: &StreamEdge) {
@@ -244,6 +267,7 @@ mod tests {
             bucket_entries: 2,
             mapping_addresses: 2,
             overflow_blocks: true,
+            shards: 1,
         }
     }
 
@@ -333,5 +357,97 @@ mod tests {
         assert_eq!(p.name(), "HIGGS-parallel");
         assert_eq!(p.summary().leaf_count(), 0);
         assert!(p.space_bytes() > 0);
+    }
+
+    #[test]
+    fn flush_is_idempotent_and_safe_after_channel_close() {
+        // Regression test for the drop/flush ordering bug: flushing used to
+        // spin forever once the result channel disconnected with jobs still
+        // counted in flight, and jobs dispatched after shutdown were silently
+        // dropped, leaving nodes unmaterialised.
+        let stream = edges(6_000);
+        let mut sequential = HiggsSummary::new(tiny_config());
+        let mut parallel = ParallelHiggs::new(tiny_config(), 2);
+        for e in &stream[..3_000] {
+            sequential.insert(e);
+            parallel.insert(e);
+        }
+        parallel.flush();
+        parallel.flush(); // double flush must be a no-op, not a hang
+
+        // Close the job channel with work still streaming in afterwards: the
+        // pipeline must aggregate inline instead of losing jobs or hanging.
+        parallel.shutdown();
+        for e in &stream[3_000..] {
+            sequential.insert(e);
+            parallel.insert(e);
+        }
+        parallel.flush();
+        parallel.flush();
+        assert_eq!(parallel.in_flight(), 0);
+        assert!(
+            parallel
+                .summary()
+                .internals
+                .iter()
+                .flatten()
+                .all(|n| n.matrix.is_some()),
+            "every aggregate must be materialised after flush"
+        );
+        for (lo, hi) in [(0u64, 5_999u64), (1_000, 4_500)] {
+            let r = TimeRange::new(lo, hi);
+            for v in (0..150u64).step_by(17) {
+                assert_eq!(
+                    sequential.edge_query(v, (v * 7) % 150, r),
+                    parallel.edge_query(v, (v * 7) % 150, r)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drop_mid_stream_does_not_hang() {
+        // Dropping the pipeline with aggregation jobs still in flight (no
+        // flush) must terminate: workers drain the job queue, their results
+        // go unread, and the join in `shutdown` returns.
+        let mut parallel = ParallelHiggs::new(tiny_config(), 3);
+        for e in edges(5_000) {
+            parallel.insert(&e);
+        }
+        drop(parallel);
+    }
+
+    #[test]
+    fn flush_recovers_when_results_are_unreachable() {
+        // Force the pathological interleaving directly: jobs dispatched, then
+        // the workers vanish before the results are drained. `flush` must
+        // rebuild the missing aggregates inline rather than spin.
+        let mut parallel = ParallelHiggs::new(tiny_config(), 1);
+        for e in edges(4_000) {
+            parallel.insert(&e);
+        }
+        // Close the channel and join workers while results may be queued but
+        // unread; then drop the queued results by draining the receiver dry.
+        parallel.job_tx = None;
+        for handle in parallel.workers.drain(..) {
+            handle.join().expect("worker must exit cleanly");
+        }
+        while parallel.result_rx.try_recv().is_ok() {}
+        let lost = parallel.in_flight;
+        parallel.flush();
+        assert_eq!(parallel.in_flight(), 0, "flush must converge (lost {lost})");
+        let sequential = {
+            let mut s = HiggsSummary::new(tiny_config());
+            for e in edges(4_000) {
+                s.insert(&e);
+            }
+            s
+        };
+        for v in (0..150u64).step_by(13) {
+            assert_eq!(
+                sequential.edge_query(v, (v * 7) % 150, TimeRange::all()),
+                parallel.edge_query(v, (v * 7) % 150, TimeRange::all())
+            );
+        }
     }
 }

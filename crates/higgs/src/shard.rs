@@ -1,0 +1,749 @@
+//! Sharded, concurrently-served HIGGS: the scale-out service layer.
+//!
+//! [`ShardedHiggs`] partitions one logical summary into a fixed number of
+//! [`HiggsSummary`](crate::HiggsSummary) shards by **hash of the source
+//! vertex**
+//! ([`higgs_common::hashing::shard_of`]). Every component routes with that
+//! one function, which yields the invariants the whole layer rests on:
+//!
+//! * **Ingest** — each shard owns a dedicated writer thread fed over a
+//!   `crossbeam` channel. The ingest caller only hashes and enqueues; the
+//!   writer applies the edge to its shard's [`ParallelHiggs`], so group-close
+//!   aggregation stays off the ingest path *twice removed* (first onto the
+//!   writer, then onto the shard's aggregation workers). Per-source ordering
+//!   is preserved because a source always routes to the same FIFO channel.
+//! * **Query serving** — `query`/`query_batch` decompose a batch with
+//!   [`ShardPlan`]: edge queries and out-direction vertex queries go to the
+//!   owning source shard, path/subgraph queries split into per-hop edge
+//!   queries routed by each hop's source, and in-direction vertex queries
+//!   fan out to every shard and sum. Each shard evaluates its sub-batch
+//!   through the plan-sharing executor of PR 2, so a batch still costs at
+//!   most one Algorithm-3 boundary search per distinct [`TimeRange`] *per
+//!   shard*.
+//! * **Visibility** — the service is read-your-writes: every trait query
+//!   first waits for all previously enqueued mutations (and the background
+//!   aggregations they triggered) to land, tracked by a cheap atomic clock,
+//!   so the [`TemporalGraphSummary`] contract — including one-sided error —
+//!   holds exactly as for an unsharded summary. Reads that arrive while
+//!   *other* threads are still ingesting observe a **per-shard prefix** of
+//!   the stream: each shard reflects a prefix of its own (per-source-ordered)
+//!   sub-stream, but shards progress independently, so the combined view
+//!   need not be a prefix of the global arrival order. Since counters only
+//!   grow under insertion, every mid-ingest estimate still lies between the
+//!   pre-ingest and the fully-flushed result (regression-tested).
+//!
+//! Concurrent ingest from a non-`&mut` context (a serving loop, multiple
+//! producers) goes through a cloneable [`IngestHandle`].
+//!
+//! **Limitation — no ingest backpressure yet.** The writer channels are
+//! unbounded: a producer that sustainedly enqueues faster than the writers
+//! apply (enqueue runs orders of magnitude faster, see the `sharding`
+//! bench) grows the queue without bound. Producers that can outrun the
+//! writers long-term should pace themselves on [`ShardedHiggs::flush`] /
+//! [`IngestHandle::flush`] checkpoints; bounded channels with blocking
+//! sends are a ROADMAP item.
+
+use crate::config::{ConfigError, HiggsConfig};
+use crate::parallel::ParallelHiggs;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use higgs_common::hashing::shard_of;
+use higgs_common::{
+    Query, ShardPlan, StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection, VertexId,
+    Weight,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard};
+use std::thread::JoinHandle;
+
+/// Upper bound on the shard count: each shard owns a writer thread plus
+/// aggregation workers, so the fan-out is validated by
+/// [`HiggsConfig::validate`].
+pub const MAX_SHARDS: usize = 64;
+
+/// How many queued commands a writer applies per lock acquisition before
+/// re-taking the shard lock, bounding both lock churn (ingest) and reader
+/// starvation (serving).
+const WRITER_COALESCE: usize = 64;
+
+/// Edges per routed batch sent by [`IngestHandle::insert_all`]; amortises one
+/// channel send over many edges without letting per-shard buffers grow large.
+const INGEST_CHUNK: usize = 512;
+
+/// A command processed by one shard's writer thread, in FIFO order.
+#[allow(clippy::large_enum_variant)]
+enum ShardCommand {
+    Insert(StreamEdge),
+    InsertBatch(Vec<StreamEdge>),
+    Delete(StreamEdge),
+    /// Flush the shard's aggregation pipeline, then acknowledge. Because the
+    /// channel is FIFO, the acknowledgement also proves every earlier
+    /// mutation on this shard has been applied.
+    Flush(Sender<()>),
+    /// Terminate the writer thread. Sent by `ShardedHiggs::drop` so teardown
+    /// does not depend on every [`IngestHandle`] clone being gone (a live
+    /// clone keeps the channel open, and a writer blocked in `recv` would
+    /// otherwise never join). Commands enqueued after it are dropped.
+    Shutdown,
+}
+
+/// Monotone clock tracking ingest visibility: `sent` counts mutation
+/// commands enqueued across all shards, `visible` the `sent` watermark the
+/// last completed flush is known to cover.
+#[derive(Debug, Default)]
+struct FlushClock {
+    sent: AtomicU64,
+    visible: AtomicU64,
+}
+
+/// A cloneable ingest endpoint for [`ShardedHiggs`]: routes mutations to the
+/// owning shard's writer over its channel. All methods take `&self`, so any
+/// number of producer threads can ingest while other threads serve queries
+/// from the shared [`ShardedHiggs`].
+///
+/// Mutations enqueued through a handle become visible to trait queries on
+/// the parent summary no later than the next query (read-your-writes via the
+/// shared flush clock).
+#[derive(Clone, Debug)]
+pub struct IngestHandle {
+    senders: Vec<Sender<ShardCommand>>,
+    clock: Arc<FlushClock>,
+}
+
+impl IngestHandle {
+    fn mark_sent(&self) {
+        self.clock.sent.fetch_add(1, Ordering::Release);
+    }
+
+    /// Number of shards this handle routes over.
+    pub fn num_shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Enqueues one stream item on its source's shard. Returns `false` if
+    /// the service has shut down (the writers are gone).
+    ///
+    /// The flush clock is advanced only *after* a successful send: a
+    /// concurrent flush whose target covers this mutation is then guaranteed
+    /// to find it already in the FIFO ahead of the flush marker, so
+    /// read-your-writes never marks an unsent command visible.
+    pub fn insert(&self, edge: &StreamEdge) -> bool {
+        let ok = self.senders[shard_of(edge.src, self.senders.len())]
+            .send(ShardCommand::Insert(*edge))
+            .is_ok();
+        self.mark_sent();
+        ok
+    }
+
+    /// Enqueues a slice of stream items in arrival order, batching the
+    /// routed edges per shard so a long stream costs one channel send per
+    /// `INGEST_CHUNK` (512) edges instead of one per edge. Per-source order
+    /// is preserved (routing is deterministic and channels are FIFO).
+    ///
+    /// Returns the number of edges accepted. A shortfall (`< edges.len()`)
+    /// means the service shut down mid-call and the unaccepted edges were
+    /// dropped; because batches are routed per shard, the count is **not** a
+    /// prefix length of `edges` — the slice cannot be resumed from an
+    /// offset, so treat a shortfall as "this service is gone", mirroring
+    /// [`insert`](Self::insert)'s `false`.
+    pub fn insert_all(&self, edges: &[StreamEdge]) -> usize {
+        let shards = self.senders.len();
+        let mut accepted = 0usize;
+        let mut send_batch = |shard: usize, batch: Vec<StreamEdge>| -> bool {
+            let len = batch.len();
+            let ok = self.senders[shard]
+                .send(ShardCommand::InsertBatch(batch))
+                .is_ok();
+            self.mark_sent();
+            if ok {
+                accepted += len;
+            }
+            ok
+        };
+        let mut buffers: Vec<Vec<StreamEdge>> = vec![Vec::new(); shards];
+        for edge in edges {
+            let shard = shard_of(edge.src, shards);
+            let buf = &mut buffers[shard];
+            buf.push(*edge);
+            if buf.len() >= INGEST_CHUNK {
+                let batch = std::mem::take(buf);
+                if !send_batch(shard, batch) {
+                    // The writers are being torn down; every further send
+                    // would fail too, so stop routing.
+                    return accepted;
+                }
+            }
+        }
+        for (shard, buf) in buffers.into_iter().enumerate() {
+            if !buf.is_empty() && !send_batch(shard, buf) {
+                break;
+            }
+        }
+        accepted
+    }
+
+    /// Enqueues a deletion on the owning shard; ordered after every earlier
+    /// mutation of the same source (same FIFO channel).
+    pub fn delete(&self, edge: &StreamEdge) -> bool {
+        let ok = self.senders[shard_of(edge.src, self.senders.len())]
+            .send(ShardCommand::Delete(*edge))
+            .is_ok();
+        self.mark_sent();
+        ok
+    }
+
+    /// Blocks until every mutation enqueued before this call — by any clone
+    /// of this handle — has been applied and its background aggregations
+    /// installed.
+    pub fn flush(&self) {
+        let target = self.clock.sent.load(Ordering::Acquire);
+        let (ack_tx, ack_rx) = unbounded::<()>();
+        let mut expected = 0usize;
+        for sender in &self.senders {
+            if sender.send(ShardCommand::Flush(ack_tx.clone())).is_ok() {
+                expected += 1;
+            }
+        }
+        drop(ack_tx);
+        for _ in 0..expected {
+            if ack_rx.recv().is_err() {
+                break; // a writer exited; nothing further can be flushed
+            }
+        }
+        self.clock.visible.fetch_max(target, Ordering::AcqRel);
+    }
+
+    /// Ensures every mutation enqueued so far is visible, flushing only when
+    /// the clock says some might not be.
+    fn ensure_visible(&self) {
+        if self.clock.visible.load(Ordering::Acquire) < self.clock.sent.load(Ordering::Acquire) {
+            self.flush();
+        }
+    }
+}
+
+/// A source-sharded HIGGS service: `N` independent
+/// [`HiggsSummary`](crate::HiggsSummary) trees, each fed by its own writer
+/// thread and aggregation pipeline, queried as a single
+/// [`TemporalGraphSummary`].
+///
+/// See the [module docs](self) for the routing rules and consistency model,
+/// and the crate docs' *Scaling out* section for how this layer composes
+/// with the rest of the system.
+///
+/// ```
+/// use higgs::{HiggsConfig, ShardedHiggs};
+/// use higgs_common::{Query, StreamEdge, TemporalGraphSummary, TimeRange};
+///
+/// let config = HiggsConfig::builder().shards(4).build().expect("valid");
+/// let mut service = ShardedHiggs::new(config);
+/// service.insert(&StreamEdge::new(1, 2, 5, 10));
+/// service.insert(&StreamEdge::new(2, 3, 2, 11));
+/// // Trait queries are read-your-writes: the enqueued edges are visible.
+/// assert_eq!(
+///     service.query_batch(&[
+///         Query::edge(1, 2, TimeRange::new(0, 20)),
+///         Query::path(vec![1, 2, 3], TimeRange::new(0, 20)),
+///     ]),
+///     vec![5, 7]
+/// );
+/// ```
+pub struct ShardedHiggs {
+    shards: Vec<Arc<RwLock<ParallelHiggs>>>,
+    handle: IngestHandle,
+    writers: Vec<JoinHandle<()>>,
+    /// When set, writers drop queued commands unapplied instead of applying
+    /// them; see [`Self::discard_pending`].
+    discard: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl std::fmt::Debug for ShardedHiggs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedHiggs")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn writer_loop(
+    shard: Arc<RwLock<ParallelHiggs>>,
+    rx: Receiver<ShardCommand>,
+    discard: Arc<std::sync::atomic::AtomicBool>,
+) {
+    fn apply(pipeline: &mut ParallelHiggs, command: ShardCommand) {
+        match command {
+            ShardCommand::Insert(edge) => pipeline.insert(&edge),
+            ShardCommand::InsertBatch(edges) => {
+                for edge in &edges {
+                    pipeline.insert(edge);
+                }
+            }
+            ShardCommand::Delete(edge) => pipeline.delete(&edge),
+            ShardCommand::Flush(ack) => {
+                pipeline.flush();
+                let _ = ack.send(());
+            }
+            ShardCommand::Shutdown => unreachable!("handled by the loop"),
+        }
+    }
+
+    'serve: while let Ok(command) = rx.recv() {
+        if matches!(command, ShardCommand::Shutdown) {
+            break 'serve;
+        }
+        if discard.load(Ordering::Acquire) {
+            // Shedding mode: drop the command unapplied (a Flush's pending
+            // acknowledger is dropped with it, which unblocks the flusher).
+            continue;
+        }
+        let mut pipeline = shard.write().expect("shard lock poisoned");
+        apply(&mut pipeline, command);
+        // Apply whatever else is already queued while we hold the lock,
+        // bounded so concurrent readers are not starved.
+        for _ in 0..WRITER_COALESCE {
+            match rx.try_recv() {
+                Ok(ShardCommand::Shutdown) => break 'serve,
+                Ok(next) => apply(&mut pipeline, next),
+                Err(_) => break,
+            }
+        }
+    }
+    // Either a Shutdown arrived (commands queued behind it are dropped) or
+    // every sender is gone and the queue is fully drained.
+}
+
+impl ShardedHiggs {
+    /// Creates a sharded service with `config.shards` shards, one writer
+    /// thread per shard, and one aggregation worker per shard pipeline.
+    ///
+    /// Panics on an invalid configuration; use [`Self::try_new`] for
+    /// fallible construction.
+    pub fn new(config: HiggsConfig) -> Self {
+        Self::try_new(config).expect("invalid HiggsConfig")
+    }
+
+    /// Creates a sharded service, returning the violated constraint instead
+    /// of panicking when the configuration is invalid.
+    pub fn try_new(config: HiggsConfig) -> Result<Self, ConfigError> {
+        Self::try_with_workers(config, 1)
+    }
+
+    /// Creates a sharded service with `workers_per_shard` aggregation
+    /// workers behind each shard's writer.
+    pub fn try_with_workers(
+        config: HiggsConfig,
+        workers_per_shard: usize,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let num_shards = config.shards;
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut senders = Vec::with_capacity(num_shards);
+        let mut writers = Vec::with_capacity(num_shards);
+        let discard = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        for _ in 0..num_shards {
+            let shard = Arc::new(RwLock::new(ParallelHiggs::new(config, workers_per_shard)));
+            let (tx, rx) = unbounded::<ShardCommand>();
+            let worker_shard = shard.clone();
+            let worker_discard = discard.clone();
+            writers.push(std::thread::spawn(move || {
+                writer_loop(worker_shard, rx, worker_discard)
+            }));
+            shards.push(shard);
+            senders.push(tx);
+        }
+        Ok(Self {
+            shards,
+            handle: IngestHandle {
+                senders,
+                clock: Arc::new(FlushClock::default()),
+            },
+            writers,
+            discard,
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A cloneable ingest endpoint usable from other threads while this
+    /// summary concurrently serves queries.
+    pub fn ingest_handle(&self) -> IngestHandle {
+        self.handle.clone()
+    }
+
+    /// Blocks until every mutation enqueued so far (through the trait
+    /// surface or any [`IngestHandle`]) is applied and aggregated.
+    pub fn flush(&self) {
+        self.handle.flush();
+    }
+
+    fn read_shard(&self, shard: usize) -> RwLockReadGuard<'_, ParallelHiggs> {
+        self.shards[shard].read().expect("shard lock poisoned")
+    }
+
+    /// Total number of stream items currently held (inserted minus deleted),
+    /// after making enqueued mutations visible.
+    pub fn total_items(&self) -> u64 {
+        self.handle.ensure_visible();
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(s, _)| self.read_shard(s).summary().total_items())
+            .sum()
+    }
+
+    /// Number of query plans (Algorithm-3 boundary searches) built across
+    /// all shards. The per-shard plan-sharing executor guarantees a batch
+    /// adds at most `distinct ranges × shards touched` to this counter.
+    pub fn plans_built(&self) -> u64 {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(s, _)| self.read_shard(s).summary().plans_built())
+            .sum()
+    }
+
+    /// Resets the plan counter on every shard (diagnostic hook).
+    pub fn reset_plan_count(&self) {
+        for s in 0..self.shards.len() {
+            self.read_shard(s).summary().reset_plan_count();
+        }
+    }
+
+    /// Switches the service into load-shedding teardown: every mutation
+    /// still queued (and any enqueued afterwards) is dropped unapplied, so a
+    /// subsequent drop terminates without working off the backlog.
+    ///
+    /// This exists for benchmarks and tests that measure the ingest-path
+    /// (enqueue) cost in isolation and then abandon the instance, and for
+    /// emergency shedding; it is irreversible and leaves query results
+    /// reflecting only the mutations applied before the call.
+    pub fn discard_pending(&self) {
+        self.discard.store(true, Ordering::Release);
+    }
+
+    /// Per-shard leaf counts (diagnostic: shows how evenly the stream's
+    /// sources spread over the shards).
+    pub fn shard_leaf_counts(&self) -> Vec<usize> {
+        self.handle.ensure_visible();
+        (0..self.shards.len())
+            .map(|s| self.read_shard(s).summary().leaf_count())
+            .collect()
+    }
+}
+
+impl Drop for ShardedHiggs {
+    fn drop(&mut self) {
+        // A Shutdown marker (FIFO: behind everything this service enqueued)
+        // ends each writer loop even when surviving IngestHandle clones keep
+        // the channels open — relying on channel disconnection alone would
+        // deadlock the join below in that case. Dropping the last shard
+        // reference then joins its aggregation workers.
+        for sender in &self.handle.senders {
+            let _ = sender.send(ShardCommand::Shutdown);
+        }
+        self.handle.senders.clear();
+        for writer in self.writers.drain(..) {
+            let _ = writer.join();
+        }
+    }
+}
+
+impl TemporalGraphSummary for ShardedHiggs {
+    fn insert(&mut self, edge: &StreamEdge) {
+        self.handle.insert(edge);
+    }
+
+    fn insert_all(&mut self, edges: &[StreamEdge]) {
+        // Writers cannot be gone while `self` is alive, so the whole slice
+        // is always accepted here.
+        let accepted = self.handle.insert_all(edges);
+        debug_assert_eq!(accepted, edges.len());
+    }
+
+    fn delete(&mut self, edge: &StreamEdge) {
+        self.handle.delete(edge);
+    }
+
+    fn edge_query(&self, src: VertexId, dst: VertexId, range: TimeRange) -> Weight {
+        self.handle.ensure_visible();
+        self.read_shard(shard_of(src, self.shards.len()))
+            .edge_query(src, dst, range)
+    }
+
+    fn vertex_query(
+        &self,
+        vertex: VertexId,
+        direction: VertexDirection,
+        range: TimeRange,
+    ) -> Weight {
+        self.handle.ensure_visible();
+        match direction {
+            VertexDirection::Out => self
+                .read_shard(shard_of(vertex, self.shards.len()))
+                .vertex_query(vertex, direction, range),
+            VertexDirection::In => (0..self.shards.len())
+                .map(|s| self.read_shard(s).vertex_query(vertex, direction, range))
+                .sum(),
+        }
+    }
+
+    fn query(&self, query: &Query) -> Weight {
+        self.query_batch(std::slice::from_ref(query))[0]
+    }
+
+    fn query_batch(&self, queries: &[Query]) -> Vec<Weight> {
+        self.handle.ensure_visible();
+        let plan = ShardPlan::build(queries, self.shards.len());
+        // One read lock per shard, taken and released sequentially; each
+        // shard runs its sub-batch through the plan-sharing executor, so the
+        // whole batch costs at most one boundary search per distinct range
+        // per shard.
+        let per_shard: Vec<Vec<Weight>> = (0..self.shards.len())
+            .map(|s| {
+                let sub = plan.sub_batch(s);
+                if sub.is_empty() {
+                    Vec::new()
+                } else {
+                    self.read_shard(s).query_batch(sub)
+                }
+            })
+            .collect();
+        plan.gather(&per_shard)
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.handle.ensure_visible();
+        (0..self.shards.len())
+            .map(|s| self.read_shard(s).space_bytes())
+            .sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "HIGGS-sharded"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::HiggsSummary;
+    use higgs_common::QueryBatch;
+
+    fn config(shards: usize) -> HiggsConfig {
+        HiggsConfig::builder()
+            .shards(shards)
+            .build()
+            .expect("valid test configuration")
+    }
+
+    fn edges(n: u64) -> Vec<StreamEdge> {
+        (0..n)
+            .map(|i| StreamEdge::new(i % 200, (i * 13) % 200, 1 + i % 4, i / 2))
+            .collect()
+    }
+
+    fn mixed_batch(span: u64) -> Vec<Query> {
+        let a = TimeRange::new(0, span / 2);
+        let b = TimeRange::new(span / 4, span);
+        vec![
+            Query::edge(1, 13, a),
+            Query::edge(5, 65, b),
+            Query::vertex(7, VertexDirection::Out, a),
+            Query::vertex(7, VertexDirection::In, a),
+            Query::vertex(91, VertexDirection::In, b),
+            Query::path(vec![1, 13, 169, 197], a),
+            Query::subgraph(vec![(2, 26), (3, 39), (4, 52)], b),
+        ]
+    }
+
+    #[test]
+    fn sharded_matches_single_summary_on_all_query_kinds() {
+        let stream = edges(5_000);
+        let mut single = HiggsSummary::new(config(1));
+        single.insert_all(&stream);
+        for shards in [1usize, 2, 3, 4, 8] {
+            let mut sharded = ShardedHiggs::new(config(shards));
+            sharded.insert_all(&stream);
+            let batch = mixed_batch(2_500);
+            assert_eq!(
+                sharded.query_batch(&batch),
+                single.query_batch(&batch),
+                "{shards} shards diverged on the batch surface"
+            );
+            for q in &batch {
+                assert_eq!(sharded.query(q), single.query(q), "{shards} shards, {q:?}");
+            }
+            assert_eq!(sharded.total_items(), single.total_items());
+        }
+    }
+
+    #[test]
+    fn per_edge_trait_insert_matches_batched_ingest() {
+        let stream = edges(2_000);
+        let mut a = ShardedHiggs::new(config(4));
+        let mut b = ShardedHiggs::new(config(4));
+        for e in &stream {
+            a.insert(e);
+        }
+        b.insert_all(&stream);
+        let batch = mixed_batch(1_000);
+        assert_eq!(a.query_batch(&batch), b.query_batch(&batch));
+        assert_eq!(a.total_items(), b.total_items());
+    }
+
+    #[test]
+    fn deletes_route_to_the_inserting_shard() {
+        let stream = edges(3_000);
+        let mut single = HiggsSummary::new(config(1));
+        let mut sharded = ShardedHiggs::new(config(4));
+        single.insert_all(&stream);
+        sharded.insert_all(&stream);
+        for e in stream.iter().step_by(7) {
+            single.delete(e);
+            sharded.delete(e);
+        }
+        let batch = mixed_batch(1_500);
+        assert_eq!(sharded.query_batch(&batch), single.query_batch(&batch));
+        assert_eq!(sharded.total_items(), single.total_items());
+    }
+
+    #[test]
+    fn queries_are_read_your_writes_without_explicit_flush() {
+        let mut sharded = ShardedHiggs::new(config(4));
+        sharded.insert(&StreamEdge::new(1, 2, 5, 10));
+        // No flush: the very next query must already see the edge.
+        assert_eq!(sharded.edge_query(1, 2, TimeRange::all()), 5);
+        sharded.insert(&StreamEdge::new(1, 2, 3, 11));
+        assert_eq!(
+            sharded.vertex_query(1, VertexDirection::Out, TimeRange::all()),
+            8
+        );
+        assert_eq!(
+            sharded.vertex_query(2, VertexDirection::In, TimeRange::all()),
+            8
+        );
+    }
+
+    #[test]
+    fn batch_costs_at_most_one_plan_per_range_per_shard() {
+        let mut sharded = ShardedHiggs::new(config(4));
+        sharded.insert_all(&edges(4_000));
+        let batch: QueryBatch = mixed_batch(2_000).into_iter().collect();
+        sharded.flush();
+        sharded.reset_plan_count();
+        let _ = sharded.query_batch(batch.queries());
+        let plans = sharded.plans_built();
+        assert!(
+            plans <= (batch.distinct_ranges() * sharded.num_shards()) as u64,
+            "{plans} plans for {} ranges over {} shards",
+            batch.distinct_ranges(),
+            sharded.num_shards()
+        );
+        assert!(plans > 0);
+    }
+
+    #[test]
+    fn ingest_handle_feeds_queries_from_another_thread() {
+        let sharded = ShardedHiggs::new(config(2));
+        let handle = sharded.ingest_handle();
+        let stream = edges(2_000);
+        let ingest_stream = stream.clone();
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(move || {
+                for e in &ingest_stream {
+                    assert!(handle.insert(e));
+                }
+            });
+            // Concurrent reads are allowed mid-ingest (they observe a prefix).
+            let _ = sharded.edge_query(0, 0, TimeRange::all());
+            producer.join().expect("producer panicked");
+        });
+        sharded.flush();
+        let mut single = HiggsSummary::new(config(1));
+        single.insert_all(&stream);
+        let batch = mixed_batch(1_000);
+        assert_eq!(sharded.query_batch(&batch), single.query_batch(&batch));
+    }
+
+    #[test]
+    fn stream_spreads_over_shards() {
+        let mut sharded = ShardedHiggs::new(config(4));
+        sharded.insert_all(&edges(8_000));
+        let leaves = sharded.shard_leaf_counts();
+        assert_eq!(leaves.len(), 4);
+        assert!(
+            leaves.iter().all(|&l| l > 0),
+            "every shard must own part of the stream: {leaves:?}"
+        );
+    }
+
+    #[test]
+    fn flush_is_idempotent_and_drop_mid_stream_terminates() {
+        let mut sharded = ShardedHiggs::new(config(4));
+        sharded.insert_all(&edges(4_000));
+        sharded.flush();
+        sharded.flush();
+        assert_eq!(sharded.total_items(), 4_000);
+        // Drop with freshly enqueued, unflushed work: must terminate.
+        sharded.insert_all(&edges(2_000));
+    }
+
+    #[test]
+    fn drop_terminates_while_an_ingest_handle_clone_is_still_alive() {
+        // Regression test: a surviving IngestHandle keeps the command
+        // channels open, so teardown must not rely on channel disconnection
+        // to stop the writers — the Shutdown marker has to end them, and
+        // later sends on the orphaned handle must fail gracefully.
+        let mut sharded = ShardedHiggs::new(config(2));
+        sharded.insert(&StreamEdge::new(1, 2, 5, 1));
+        let handle = sharded.ingest_handle();
+        drop(sharded); // must join writers despite `handle` being alive
+        assert!(
+            !handle.insert(&StreamEdge::new(3, 4, 1, 2)),
+            "sends on a shut-down service must report failure"
+        );
+        handle.flush(); // must not hang either
+    }
+
+    #[test]
+    fn discard_pending_sheds_backlog_and_still_terminates() {
+        let mut sharded = ShardedHiggs::new(config(4));
+        sharded.insert(&StreamEdge::new(1, 2, 5, 1));
+        sharded.flush();
+        sharded.discard_pending();
+        sharded.insert_all(&edges(2_000)); // shed, never applied
+        sharded.flush(); // must not hang: discarded flushes unblock by drop
+        assert_eq!(sharded.edge_query(1, 2, TimeRange::all()), 5);
+        // Drop must terminate without working off the discarded backlog.
+    }
+
+    #[test]
+    fn service_is_send_and_sync_for_shared_serving() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardedHiggs>();
+        assert_send_sync::<IngestHandle>();
+    }
+
+    #[test]
+    fn invalid_shard_count_is_rejected() {
+        let mut bad = HiggsConfig::paper_default();
+        bad.shards = 0;
+        assert!(matches!(
+            ShardedHiggs::try_new(bad).map(|_| ()),
+            Err(ConfigError::InvalidShardCount { shards: 0 })
+        ));
+        bad.shards = MAX_SHARDS + 1;
+        assert!(ShardedHiggs::try_new(bad).is_err());
+    }
+
+    #[test]
+    fn name_and_space() {
+        let mut s = ShardedHiggs::new(config(2));
+        assert_eq!(s.name(), "HIGGS-sharded");
+        assert_eq!(s.num_shards(), 2);
+        s.insert(&StreamEdge::new(1, 2, 1, 1));
+        assert!(s.space_bytes() > 0);
+    }
+}

@@ -336,6 +336,35 @@ impl HiggsSummary {
         }
     }
 
+    /// Recomputes and installs the aggregate of every internal node whose
+    /// matrix has not materialised, regardless of whether a pending job was
+    /// recorded for it.
+    ///
+    /// This is the recovery path of
+    /// [`ParallelHiggs::flush`](crate::ParallelHiggs::flush): if the worker
+    /// pool disappears with results still in flight, the in-flight jobs can
+    /// no longer be received, so the missing aggregates are rebuilt inline
+    /// from the leaves.
+    pub fn materialize_missing_aggregations(&mut self) {
+        let missing: Vec<(usize, usize)> = self
+            .internals
+            .iter()
+            .enumerate()
+            .flat_map(|(level, nodes)| {
+                nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| n.matrix.is_none())
+                    .map(move |(index, _)| (level, index))
+            })
+            .collect();
+        for (level, index) in missing {
+            let matrix = self.compute_aggregation(level, index);
+            self.install_aggregation(level, index, matrix);
+        }
+        self.pending.clear();
+    }
+
     /// Deletes (reverses) one previously inserted stream item: decrements the
     /// leaf entry covering the edge's timestamp and every aggregated ancestor
     /// covering that leaf.
@@ -431,6 +460,7 @@ mod tests {
             bucket_entries: 2,
             mapping_addresses: 2,
             overflow_blocks: true,
+            shards: 1,
         }
     }
 

@@ -14,7 +14,23 @@
 //! CI and scripts use): `--test` runs every benchmark exactly once as a
 //! smoke test; `--bench` is accepted and ignored; any other bare argument is
 //! a substring filter on benchmark ids.
+//!
+//! Two deliberate fidelity points with the real crate:
+//!
+//! * [`Bencher::iter_batched`] collects the routine's outputs and drops them
+//!   **outside** the timed region, like real criterion — so a routine that
+//!   returns a structure with expensive teardown (e.g. a service whose drop
+//!   joins worker threads) is timed on its own work only. Batched iteration
+//!   counts are capped because every input and output of a batch is alive at
+//!   once.
+//! * When the `BENCH_JSON` environment variable names a file, every measured
+//!   benchmark (including `--test` smoke runs, which are then timed over
+//!   [`SMOKE_TIMED_RUNS`] repetitions) appends a machine-readable record —
+//!   id, median ns/iteration, Melem/s when a throughput is configured — and
+//!   the file is rewritten as a complete JSON document. This is what the CI
+//!   perf-regression gate consumes (see `higgs-bench`'s `bench_gate` binary).
 
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Re-export mirroring `criterion::black_box` (benches import it from
@@ -84,12 +100,22 @@ enum Mode {
     Measure,
 }
 
+/// Cap on iterations per sample in [`Bencher::iter_batched`]: inputs are
+/// pre-generated and outputs deferred for the whole batch, so all of them
+/// are alive simultaneously (which is also why real criterion sizes batches
+/// instead of reusing the plain iteration count).
+const MAX_BATCHED_ITERS: u64 = 64;
+
 impl Bencher<'_> {
-    /// Times `routine`, running it in a loop per sample.
+    /// Times `routine`, running it in a loop per sample. The routine's
+    /// output is dropped inside the timed region (matching real criterion's
+    /// `iter`; use [`iter_batched`](Self::iter_batched) to exclude teardown).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         match self.mode {
             Mode::Smoke => {
+                let start = Instant::now();
                 black_box(routine());
+                self.samples.push(start.elapsed());
             }
             Mode::Calibrate => {
                 let start = Instant::now();
@@ -107,31 +133,38 @@ impl Bencher<'_> {
         }
     }
 
-    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    /// Times `routine` on fresh inputs from `setup`. Setup time is excluded,
+    /// and — like real criterion — the routine's outputs are collected and
+    /// dropped **after** the timed region, so expensive drops (joining
+    /// worker threads, draining queues) do not pollute the measurement.
     pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
     where
         S: FnMut() -> I,
         F: FnMut(I) -> O,
     {
         match self.mode {
-            Mode::Smoke => {
-                black_box(routine(setup()));
-            }
-            Mode::Calibrate => {
+            Mode::Smoke | Mode::Calibrate => {
                 let input = setup();
                 let start = Instant::now();
-                black_box(routine(input));
+                let output = routine(input);
                 self.samples.push(start.elapsed());
+                drop(black_box(output));
             }
             Mode::Measure => {
+                let iters = self.iters_per_sample.min(MAX_BATCHED_ITERS);
+                // Report the effective count in the output line.
+                self.iters_per_sample = iters;
+                let mut outputs: Vec<O> = Vec::with_capacity(iters as usize);
                 let mut total = Duration::ZERO;
-                for _ in 0..self.iters_per_sample {
+                for _ in 0..iters {
                     let input = setup();
                     let start = Instant::now();
-                    black_box(routine(input));
+                    let output = routine(input);
                     total += start.elapsed();
+                    outputs.push(output);
                 }
-                self.samples.push(total / self.iters_per_sample as u32);
+                self.samples.push(total / iters as u32);
+                drop(black_box(outputs));
             }
         }
     }
@@ -195,12 +228,26 @@ impl BenchmarkGroup<'_> {
         }
         if self.criterion.test_mode {
             let mut samples = Vec::new();
-            let mut bencher = Bencher {
-                mode: Mode::Smoke,
-                samples: &mut samples,
-                iters_per_sample: 1,
+            let runs = if json_sink_enabled() {
+                SMOKE_TIMED_RUNS
+            } else {
+                1
             };
-            f(&mut bencher);
+            for _ in 0..runs {
+                let mut bencher = Bencher {
+                    mode: Mode::Smoke,
+                    samples: &mut samples,
+                    iters_per_sample: 1,
+                };
+                f(&mut bencher);
+            }
+            // Best-of-N: single-run smoke timings carry additive scheduling
+            // noise (a preemption can span several consecutive runs), and the
+            // minimum is the robust location estimator a regression gate
+            // needs — the true cost is the floor, never the spikes.
+            if let Some(&best) = samples.iter().min() {
+                record_json(&full_name, best, self.throughput);
+            }
             println!("{full_name}: test passed");
             return;
         }
@@ -230,10 +277,13 @@ impl BenchmarkGroup<'_> {
         for _ in 0..self.sample_size {
             f(&mut bencher);
         }
+        // iter_batched may cap the per-sample count; report the effective one.
+        let iters_per_sample = bencher.iters_per_sample;
         samples.sort_unstable();
         let median = samples[samples.len() / 2];
         let min = samples[0];
         let max = samples[samples.len() - 1];
+        record_json(&full_name, median, self.throughput);
         let mut line = format!(
             "{full_name}: median {} (min {}, max {}, {} samples x {} iters)",
             fmt_duration(median),
@@ -298,6 +348,82 @@ impl Criterion {
 
     fn matches(&self, full_name: &str) -> bool {
         self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+}
+
+/// Timed repetitions per benchmark in `--test` mode when `BENCH_JSON` is
+/// set: the best (minimum) of these runs is what the CI perf gate compares —
+/// a single smoke run is too noisy for a ±25% threshold.
+pub const SMOKE_TIMED_RUNS: usize = 15;
+
+/// One emitted benchmark record: id, representative per-iteration time
+/// (`median_ns` holds the sample median for full measure runs and the
+/// best-of-[`SMOKE_TIMED_RUNS`] for `--test` smoke runs), and the element
+/// throughput implied by the group's [`Throughput`] (if any).
+#[derive(Clone, Debug, PartialEq)]
+struct JsonRecord {
+    id: String,
+    median_ns: f64,
+    melem_per_s: Option<f64>,
+}
+
+fn json_records() -> &'static Mutex<Vec<JsonRecord>> {
+    static RECORDS: OnceLock<Mutex<Vec<JsonRecord>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn json_sink_enabled() -> bool {
+    std::env::var_os("BENCH_JSON").is_some()
+}
+
+/// Renders the accumulated records as the JSON document the bench gate
+/// parses: `{"records": [{"id": …, "median_ns": …, "melem_per_s": …}]}`.
+/// `higgs-bench`'s `report` module mirrors this format exactly.
+fn render_json(records: &[JsonRecord]) -> String {
+    let mut out = String::from("{\n  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let melem = match r.melem_per_s {
+            Some(v) => format!("{v:.6}"),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {:.3}, \"melem_per_s\": {}}}{}\n",
+            r.id,
+            r.median_ns,
+            melem,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Records one benchmark result and rewrites the `BENCH_JSON` file (no-op
+/// when the variable is unset). Benchmark ids contain only `[A-Za-z0-9_/-]`
+/// in this workspace, so no JSON string escaping is required.
+fn record_json(id: &str, median: Duration, throughput: Option<Throughput>) {
+    let Some(path) = std::env::var_os("BENCH_JSON") else {
+        return;
+    };
+    let median_ns = median.as_secs_f64() * 1e9;
+    let melem_per_s = match throughput {
+        Some(Throughput::Elements(n)) if median_ns > 0.0 => {
+            Some(n as f64 / median.as_secs_f64() / 1e6)
+        }
+        _ => None,
+    };
+    let mut records = json_records().lock().expect("bench record lock poisoned");
+    let record = JsonRecord {
+        id: id.to_string(),
+        median_ns,
+        melem_per_s,
+    };
+    match records.iter_mut().find(|r| r.id == id) {
+        Some(existing) => *existing = record,
+        None => records.push(record),
+    }
+    if let Err(err) = std::fs::write(&path, render_json(&records)) {
+        eprintln!("warning: could not write BENCH_JSON file {path:?}: {err}");
     }
 }
 
@@ -391,5 +517,91 @@ mod tests {
         group.bench_function("batched", |b| {
             b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
         });
+    }
+
+    #[test]
+    fn iter_batched_defers_output_drops_out_of_the_timed_region() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Tracked;
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            mode: Mode::Measure,
+            samples: &mut samples,
+            iters_per_sample: 10,
+        };
+        let mut live_at_routine_end = Vec::new();
+        bencher.iter_batched(
+            || (),
+            |()| {
+                // While the routine runs, no output of an earlier iteration
+                // in this batch may have been dropped yet.
+                live_at_routine_end.push(DROPS.load(Ordering::SeqCst));
+                Tracked
+            },
+            BatchSize::SmallInput,
+        );
+        assert_eq!(samples.len(), 1);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 10, "all outputs dropped");
+        assert!(
+            live_at_routine_end.iter().all(|&d| d == 0),
+            "outputs must outlive the timed batch: {live_at_routine_end:?}"
+        );
+    }
+
+    #[test]
+    fn iter_batched_caps_iterations_per_sample() {
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            mode: Mode::Measure,
+            samples: &mut samples,
+            iters_per_sample: 1_000_000,
+        };
+        let mut runs = 0u64;
+        bencher.iter_batched(|| (), |()| runs += 1, BatchSize::SmallInput);
+        assert_eq!(runs, MAX_BATCHED_ITERS);
+    }
+
+    #[test]
+    fn smoke_mode_records_a_timing_sample() {
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            mode: Mode::Smoke,
+            samples: &mut samples,
+            iters_per_sample: 1,
+        };
+        bencher.iter(|| std::hint::black_box(3 * 7));
+        assert_eq!(samples.len(), 1);
+    }
+
+    #[test]
+    fn render_json_matches_the_gate_format() {
+        let records = vec![
+            JsonRecord {
+                id: "sharding/ingest/sharded/4".into(),
+                median_ns: 123_456.789,
+                melem_per_s: Some(48.6),
+            },
+            JsonRecord {
+                id: "matrix_layout/insert/64".into(),
+                median_ns: 250.0,
+                melem_per_s: None,
+            },
+        ];
+        let json = render_json(&records);
+        assert!(json.starts_with("{\n  \"records\": [\n"));
+        assert!(json.contains(
+            "{\"id\": \"sharding/ingest/sharded/4\", \"median_ns\": 123456.789, \"melem_per_s\": 48.600000},"
+        ));
+        assert!(json.contains(
+            "{\"id\": \"matrix_layout/insert/64\", \"median_ns\": 250.000, \"melem_per_s\": null}"
+        ));
+        assert!(json.ends_with("  ]\n}\n"));
     }
 }

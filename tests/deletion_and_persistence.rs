@@ -42,6 +42,7 @@ fn higgs_partial_deletion_updates_all_layers() {
         bucket_entries: 2,
         mapping_addresses: 2,
         overflow_blocks: true,
+        shards: 1,
     });
     let edges: Vec<StreamEdge> = (0..3_000u64)
         .map(|i| StreamEdge::new(i % 120, (i * 7) % 120, 2, i))

@@ -68,6 +68,7 @@ proptest! {
             bucket_entries: 2,
             mapping_addresses: 2,
             overflow_blocks: true,
+            shards: 1,
         });
         let mut exact = ExactTemporalGraph::new();
         for e in &edges {
@@ -169,6 +170,7 @@ proptest! {
             bucket_entries: 2,
             mapping_addresses: 2,
             overflow_blocks: true,
+            shards: 1,
         });
         let mut exact = ExactTemporalGraph::new();
         for e in &edges {
@@ -301,6 +303,7 @@ proptest! {
             bucket_entries: 2,
             mapping_addresses: 2,
             overflow_blocks: true,
+            shards: 1,
         });
         let mut exact = ExactTemporalGraph::new();
         for e in &edges {
