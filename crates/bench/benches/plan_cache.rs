@@ -1,0 +1,200 @@
+//! Criterion bench for the cross-batch plan cache and the columnar batch
+//! evaluator, plus the batch-grouping micro-benchmark.
+//!
+//! Four sub-groups, all under the `plan_cache` group id (every id feeds
+//! `BENCH_plan_cache.json` for the CI perf-regression gate):
+//!
+//! * `repeated_windows/{cold,warm}` — the serving pattern the cache targets:
+//!   a sliding-window screen (one 3-hop path query per window, many windows)
+//!   re-submitted batch after batch. `cold` runs on a summary with
+//!   `plan_cache_capacity(0)`, so every batch re-runs one Algorithm-3
+//!   boundary search per window; `warm` runs on a cache-enabled summary
+//!   after one priming submission, so **zero** boundary searches happen in
+//!   the timed region (asserted). The gap between the two ids is the pure
+//!   planning cost the cache removes.
+//! * `shared_window/{per_query,columnar}` — columnar vs per-query
+//!   evaluation at *equal* planning cost (both sides fully warm): many
+//!   queries sharing one window, evaluated once through the per-query typed
+//!   loop (`summary.query` per query: each walks the plan's targets
+//!   independently) and once through `query_batch` (targets swept once over
+//!   the deduplicated, address-sorted probe set).
+//! * `grouping/{linear,hashmap}` — the per-batch range-grouping primitive:
+//!   the linear small-vec grouping (`higgs_common::group_by_range`) against
+//!   the `HashMap` grouping it replaced, on a production-shaped batch with
+//!   a handful of distinct ranges.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use higgs::{HiggsConfig, HiggsSummary};
+use higgs_common::generator::{DatasetPreset, ExperimentScale};
+use higgs_common::{group_by_range, Query, TemporalGraphSummary, TimeRange};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+/// Stream passes concatenated back to back (time-shifted) so the tree is
+/// deep enough for planning cost to be realistic.
+const STREAM_PASSES: u64 = 8;
+
+fn long_stream() -> Vec<higgs_common::StreamEdge> {
+    let stream = DatasetPreset::Lkml.generate(ExperimentScale::Smoke);
+    let span = stream.time_span().expect("non-empty stream").end + 1;
+    let mut edges = Vec::with_capacity(stream.len() * STREAM_PASSES as usize);
+    for pass in 0..STREAM_PASSES {
+        edges.extend(stream.iter().map(|e| {
+            let mut shifted = *e;
+            shifted.timestamp += pass * span;
+            shifted
+        }));
+    }
+    edges
+}
+
+/// The repeated-window screen: `windows` narrow sliding windows over the
+/// stream span, one edge query per window. Narrow windows decompose into a
+/// couple of boundary leaves, so the Algorithm-3 search *is* the dominant
+/// per-window cost — exactly the fixed cost the cross-batch cache removes.
+fn repeated_window_batch(span: TimeRange, windows: u64) -> Vec<Query> {
+    let width = (span.len() / (2 * windows + 1)).max(1);
+    (0..windows)
+        .map(|w| {
+            let start = span.start + 2 * w * width;
+            let range = TimeRange::new(start, (start + width - 1).min(span.end));
+            Query::edge(w % 500, (w * 13) % 500, range)
+        })
+        .collect()
+}
+
+/// Many overlapping queries sharing one window: 64 sliding 6-hop chains over
+/// a 48-vertex ring, so consecutive chains share 5 of their 6 hops. The
+/// per-query loop walks 384 hop probes; the columnar evaluator deduplicates
+/// them to the ring's 48 distinct edges and sweeps each plan target once.
+fn shared_window_batch(span: TimeRange) -> Vec<Query> {
+    let window = TimeRange::new(span.start + span.len() / 4, span.end - span.len() / 4);
+    (0..64u64)
+        .map(|k| {
+            let chain: Vec<u64> = (0..7u64).map(|hop| (k + hop) % 48).collect();
+            Query::path(chain, window)
+        })
+        .collect()
+}
+
+fn bench_plan_cache(c: &mut Criterion) {
+    let edges = long_stream();
+    let mut cold = HiggsSummary::new(
+        HiggsConfig::builder()
+            .plan_cache_capacity(0)
+            .build()
+            .expect("cache-disabled configuration is valid"),
+    );
+    cold.insert_all(&edges);
+    let mut warm = HiggsSummary::new(HiggsConfig::paper_default());
+    warm.insert_all(&edges);
+
+    let span = warm.time_span().expect("non-empty summary");
+    let repeated = repeated_window_batch(span, 64);
+    let shared = shared_window_batch(span);
+
+    // Prime the cache, and pin down the contract before timing anything:
+    // identical results cold vs warm, zero boundary searches once warm.
+    let expected = cold.query_batch(&repeated);
+    assert_eq!(warm.query_batch(&repeated), expected);
+    warm.reset_plan_count();
+    assert_eq!(warm.query_batch(&repeated), expected);
+    assert_eq!(
+        warm.plans_built(),
+        0,
+        "fully warm repeated-window batch must build zero plans"
+    );
+    let shared_expected = cold.query_batch(&shared);
+    assert_eq!(warm.query_batch(&shared), shared_expected);
+
+    let mut group = c.benchmark_group("plan_cache");
+    group.sample_size(15);
+
+    // Every timed routine repeats its batch `TICKS` times: a single
+    // repeated-window batch answers in tens of microseconds, far too short
+    // for the ±25% CI gate's best-of-N smoke timings on a busy runner (a
+    // preemption would swamp the signal). The reported per-element
+    // throughput accounts for the repetition.
+    const TICKS: usize = 8;
+
+    group.throughput(Throughput::Elements((TICKS * repeated.len()) as u64));
+    group.bench_function("repeated_windows/cold", |b| {
+        b.iter(|| {
+            for _ in 0..TICKS {
+                black_box(cold.query_batch(&repeated));
+            }
+        })
+    });
+    group.bench_function("repeated_windows/warm", |b| {
+        b.iter(|| {
+            for _ in 0..TICKS {
+                black_box(warm.query_batch(&repeated));
+            }
+        })
+    });
+
+    group.throughput(Throughput::Elements((TICKS * shared.len()) as u64));
+    group.bench_function("shared_window/per_query", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..TICKS {
+                for q in &shared {
+                    acc += warm.query(q);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("shared_window/columnar", |b| {
+        b.iter(|| {
+            for _ in 0..TICKS {
+                black_box(warm.query_batch(&shared));
+            }
+        })
+    });
+
+    // Grouping micro-bench: the linear small-vec grouping vs the HashMap
+    // grouping it replaced. Collapse the 64 windows onto 6 ranges so the
+    // batch has the few-distinct-ranges shape production batches have.
+    let six_ranges: Vec<TimeRange> = repeated[..6].iter().map(Query::range).collect();
+    let mixed: Vec<Query> = repeated
+        .iter()
+        .enumerate()
+        .map(|(i, q)| match q {
+            Query::Edge(e) => Query::edge(e.src, e.dst, six_ranges[i % 6]),
+            _ => unreachable!("repeated batch is all edge queries"),
+        })
+        .collect();
+    // The grouping primitive runs in hundreds of nanoseconds; repeat it
+    // enough for the smoke timings to rise above timer granularity.
+    const GROUP_REPEATS: usize = 256;
+    group.throughput(Throughput::Elements((GROUP_REPEATS * mixed.len()) as u64));
+    group.bench_function("grouping/linear", |b| {
+        b.iter(|| {
+            for _ in 0..GROUP_REPEATS {
+                black_box(group_by_range(black_box(&mixed)));
+            }
+        })
+    });
+    group.bench_function("grouping/hashmap", |b| {
+        b.iter(|| {
+            for _ in 0..GROUP_REPEATS {
+                let mut groups: HashMap<TimeRange, Vec<u32>> = HashMap::new();
+                for (i, q) in black_box(&mixed).iter().enumerate() {
+                    groups.entry(q.range()).or_default().push(i as u32);
+                }
+                black_box(groups);
+            }
+        })
+    });
+    group.finish();
+
+    // Post-bench sanity: the warm summary still answers identically and
+    // never re-planned during the timed runs (no mutations happened).
+    warm.reset_plan_count();
+    assert_eq!(warm.query_batch(&repeated), expected);
+    assert_eq!(warm.plans_built(), 0);
+}
+
+criterion_group!(benches, bench_plan_cache);
+criterion_main!(benches);

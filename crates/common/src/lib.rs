@@ -40,7 +40,7 @@ pub use hashing::{
 };
 pub use metrics::{ErrorStats, LatencyStats, ThroughputStats};
 pub use query::{
-    EdgeQuery, PathQuery, Query, QueryBatch, QueryWorkload, ShardPlan, ShardRoute, SubgraphQuery,
-    SummaryExt, TemporalGraphSummary, VertexDirection, VertexQuery,
+    group_by_range, EdgeQuery, PathQuery, Query, QueryBatch, QueryWorkload, ShardPlan, ShardRoute,
+    SubgraphQuery, SummaryExt, TemporalGraphSummary, VertexDirection, VertexQuery,
 };
 pub use time::{TimeRange, Timestamp};

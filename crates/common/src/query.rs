@@ -30,7 +30,7 @@ use crate::time::TimeRange;
 use serde::{Deserialize, Serialize};
 
 /// Direction of a vertex query: aggregate over outgoing or incoming edges.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum VertexDirection {
     /// Aggregate the weights of all outgoing edges of the vertex.
     Out,
@@ -353,6 +353,56 @@ impl ShardPlan {
         }
         out
     }
+}
+
+/// Distinct-range count up to which [`group_by_range`] stays on the linear
+/// small-vec probe; beyond it, an index map takes over so pathological
+/// batches (every query its own range) group in O(N) instead of O(N·G).
+const LINEAR_GROUPING_LIMIT: usize = 32;
+
+/// Groups a batch's query indices by distinct [`TimeRange`], preserving the
+/// first-appearance order of the ranges. This is the grouping surface the
+/// plan-sharing batch executors key their per-range work on.
+///
+/// Deliberately a linear probe over a small `Vec` rather than a `HashMap`:
+/// serving batches rarely contain more than a handful of distinct windows
+/// (sliding-window screens re-use the same few ranges), and for those sizes
+/// scanning a contiguous vector of 16-byte ranges is cheaper than hashing
+/// every query's range and paying a per-batch table allocation — see the
+/// `plan_cache/grouping/*` micro-benchmarks in `higgs-bench`. Once a batch
+/// exceeds `LINEAR_GROUPING_LIMIT` (32) distinct ranges, a `HashMap` index over
+/// the already-collected groups takes over, so a batch of N mostly-distinct
+/// ranges costs O(N), not O(N²).
+pub fn group_by_range(queries: &[Query]) -> Vec<(TimeRange, Vec<u32>)> {
+    let mut groups: Vec<(TimeRange, Vec<u32>)> = Vec::new();
+    let mut index: Option<std::collections::HashMap<TimeRange, usize>> = None;
+    for (qi, query) in queries.iter().enumerate() {
+        let range = query.range();
+        let position = match &index {
+            Some(map) => map.get(&range).copied(),
+            None => groups.iter().position(|(r, _)| *r == range),
+        };
+        match position {
+            Some(g) => groups[g].1.push(qi as u32),
+            None => {
+                if let Some(map) = &mut index {
+                    map.insert(range, groups.len());
+                } else if groups.len() == LINEAR_GROUPING_LIMIT {
+                    // The batch turned out range-heavy: switch to hashing,
+                    // seeding the index with everything grouped so far.
+                    let mut map: std::collections::HashMap<TimeRange, usize> = groups
+                        .iter()
+                        .enumerate()
+                        .map(|(g, (r, _))| (*r, g))
+                        .collect();
+                    map.insert(range, groups.len());
+                    index = Some(map);
+                }
+                groups.push((range, vec![qi as u32]));
+            }
+        }
+    }
+    groups
 }
 
 impl From<EdgeQuery> for Query {
@@ -833,6 +883,47 @@ mod tests {
             Query::from(SubgraphQuery::new(vec![(1, 2)], r)),
             Query::subgraph(vec![(1, 2)], r)
         );
+    }
+
+    #[test]
+    fn group_by_range_preserves_first_appearance_order_and_indices() {
+        let a = TimeRange::new(0, 10);
+        let b = TimeRange::new(5, 15);
+        let queries = vec![
+            Query::edge(1, 2, b),
+            Query::vertex(3, VertexDirection::Out, a),
+            Query::path(vec![1, 2, 3], b),
+            Query::subgraph(vec![(1, 2)], a),
+            Query::edge(4, 5, b),
+        ];
+        let groups = group_by_range(&queries);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], (b, vec![0, 2, 4]));
+        assert_eq!(groups[1], (a, vec![1, 3]));
+        // Every query index appears exactly once across all groups.
+        let mut seen: Vec<u32> = groups.iter().flat_map(|(_, m)| m.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..queries.len() as u32).collect::<Vec<_>>());
+        assert!(group_by_range(&[]).is_empty());
+    }
+
+    #[test]
+    fn group_by_range_hashing_fallback_matches_linear_semantics() {
+        // Far more distinct ranges than LINEAR_GROUPING_LIMIT, with repeats
+        // landing on both sides of the linear→hashing switch: grouping must
+        // stay first-appearance-ordered and complete.
+        let queries: Vec<Query> = (0..500u64)
+            .map(|i| Query::edge(i, i + 1, TimeRange::new(i % 100, i % 100 + 10)))
+            .collect();
+        let groups = group_by_range(&queries);
+        assert_eq!(groups.len(), 100);
+        for (g, (range, members)) in groups.iter().enumerate() {
+            assert_eq!(*range, TimeRange::new(g as u64, g as u64 + 10));
+            assert_eq!(
+                members,
+                &(0..5).map(|k| (g + 100 * k) as u32).collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

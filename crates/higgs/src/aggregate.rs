@@ -132,6 +132,8 @@ mod tests {
             mapping_addresses: 4,
             overflow_blocks: true,
             shards: 1,
+            plan_cache_capacity: 8,
+            ingest_queue_cap: None,
         };
         (config.layout(), config)
     }

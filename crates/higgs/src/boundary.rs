@@ -182,6 +182,8 @@ mod tests {
             mapping_addresses: 2,
             overflow_blocks: true,
             shards: 1,
+            plan_cache_capacity: 8,
+            ingest_queue_cap: None,
         }
     }
 

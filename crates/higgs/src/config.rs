@@ -46,6 +46,10 @@ pub enum ConfigError {
         /// The rejected shard count.
         shards: usize,
     },
+    /// `ingest_queue_cap` must be at least 1 when set: a zero-capacity
+    /// writer queue could never accept a command, deadlocking the first
+    /// producer. Use `None` (the default) for unbounded queues.
+    InvalidIngestQueueCap,
 }
 
 impl fmt::Display for ConfigError {
@@ -75,6 +79,13 @@ impl fmt::Display for ConfigError {
                     f,
                     "shards must be in [1, {}], got {shards}",
                     crate::shard::MAX_SHARDS
+                )
+            }
+            ConfigError::InvalidIngestQueueCap => {
+                write!(
+                    f,
+                    "ingest_queue_cap must be at least 1 when set \
+                     (use None for unbounded ingest queues)"
                 )
             }
         }
@@ -120,6 +131,23 @@ pub struct HiggsConfig {
     /// vertex). `1` means a single unsharded summary; plain
     /// [`HiggsSummary`](crate::HiggsSummary) construction ignores the field.
     pub shards: usize,
+    /// Number of query plans the cross-batch [`PlanCache`](crate::PlanCache)
+    /// retains per summary (LRU, epoch-invalidated; see the
+    /// [`plan_cache`](crate::plan_cache) module docs). `0` disables plan
+    /// caching entirely — every typed query then rebuilds its plan, which is
+    /// the reference behaviour the cache is tested against. In a
+    /// [`ShardedHiggs`](crate::ShardedHiggs) **each shard** owns a cache of
+    /// this capacity.
+    pub plan_cache_capacity: usize,
+    /// Capacity (in commands) of each shard's ingest queue in a
+    /// [`ShardedHiggs`](crate::ShardedHiggs). `None` (the default) keeps the
+    /// writer channels unbounded; `Some(n)` makes producers **block** once a
+    /// shard's writer is `n` commands behind, turning sustained overload into
+    /// backpressure instead of unbounded memory growth. One command is one
+    /// edge, one deletion, or one routed batch of up to 512 edges, so the
+    /// worst-case buffered footprint per shard is `n × 512` edges. Plain
+    /// [`HiggsSummary`](crate::HiggsSummary) construction ignores the field.
+    pub ingest_queue_cap: Option<usize>,
 }
 
 impl Default for HiggsConfig {
@@ -140,6 +168,8 @@ impl HiggsConfig {
             mapping_addresses: 4,
             overflow_blocks: true,
             shards: 1,
+            plan_cache_capacity: crate::plan_cache::DEFAULT_PLAN_CACHE_CAPACITY,
+            ingest_queue_cap: None,
         }
     }
 
@@ -238,6 +268,9 @@ impl HiggsConfig {
                 shards: self.shards,
             });
         }
+        if self.ingest_queue_cap == Some(0) {
+            return Err(ConfigError::InvalidIngestQueueCap);
+        }
         Ok(())
     }
 }
@@ -299,6 +332,22 @@ impl HiggsConfigBuilder {
         self
     }
 
+    /// Sets how many query plans the cross-batch plan cache retains per
+    /// summary (LRU; `0` disables caching). Defaults to
+    /// [`DEFAULT_PLAN_CACHE_CAPACITY`](crate::plan_cache::DEFAULT_PLAN_CACHE_CAPACITY).
+    pub fn plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.plan_cache_capacity = capacity;
+        self
+    }
+
+    /// Bounds each shard's ingest queue at `cap` commands (must be ≥ 1):
+    /// producers that outrun a shard's writer block instead of growing the
+    /// queue without bound. The default keeps the queues unbounded.
+    pub fn ingest_queue_cap(mut self, cap: usize) -> Self {
+        self.config.ingest_queue_cap = Some(cap);
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<HiggsConfig, ConfigError> {
         self.config.validate()?;
@@ -338,6 +387,8 @@ mod tests {
             .mapping_addresses(2)
             .overflow_blocks(false)
             .shards(4)
+            .plan_cache_capacity(16)
+            .ingest_queue_cap(1_024)
             .build()
             .expect("valid configuration");
         assert_eq!(c.d1, 64);
@@ -348,6 +399,32 @@ mod tests {
         assert_eq!(c.mapping_addresses, 2);
         assert!(!c.overflow_blocks);
         assert_eq!(c.shards, 4);
+        assert_eq!(c.plan_cache_capacity, 16);
+        assert_eq!(c.ingest_queue_cap, Some(1_024));
+    }
+
+    #[test]
+    fn plan_cache_defaults_and_disabling() {
+        let c = HiggsConfig::paper_default();
+        assert_eq!(
+            c.plan_cache_capacity,
+            crate::plan_cache::DEFAULT_PLAN_CACHE_CAPACITY
+        );
+        assert_eq!(c.ingest_queue_cap, None);
+        // Capacity 0 is a valid configuration: it disables caching.
+        assert!(HiggsConfig::builder()
+            .plan_cache_capacity(0)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn zero_ingest_queue_cap_rejected() {
+        assert_eq!(
+            HiggsConfig::builder().ingest_queue_cap(0).build(),
+            Err(ConfigError::InvalidIngestQueueCap)
+        );
+        assert!(HiggsConfig::builder().ingest_queue_cap(1).build().is_ok());
     }
 
     #[test]
@@ -471,11 +548,17 @@ mod tests {
             }
             .to_string(),
             ConfigError::InvalidShardCount { shards: 0 }.to_string(),
+            ConfigError::InvalidIngestQueueCap.to_string(),
         ];
-        for (msg, needle) in
-            msgs.iter()
-                .zip(["d1", "F1", "R must", "b must", "r must", "shards must"])
-        {
+        for (msg, needle) in msgs.iter().zip([
+            "d1",
+            "F1",
+            "R must",
+            "b must",
+            "r must",
+            "shards must",
+            "ingest_queue_cap",
+        ]) {
             assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
         }
     }

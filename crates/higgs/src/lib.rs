@@ -13,9 +13,10 @@
 //! * [`aggregate`] — the error-free fingerprint-shift aggregation of child
 //!   matrices into parents (Algorithm 2),
 //! * [`boundary`] — the boundary-search range decomposition (Algorithm 3),
+//! * [`plan_cache`] — the cross-batch, epoch-invalidated query-plan cache,
 //! * [`query`] — TRQ evaluation: the typed [`Query`](higgs_common::Query)
-//!   surface with the plan-sharing batch executor, plus the raw edge/vertex
-//!   primitives,
+//!   surface with the plan-sharing columnar batch executor, plus the raw
+//!   edge/vertex primitives,
 //! * [`overflow`] — overflow blocks absorbing same-timestamp bursts,
 //! * [`parallel`] — the per-layer parallel insertion pipeline
 //!   ([`ParallelHiggs`]),
@@ -48,17 +49,25 @@
 //!     6
 //! );
 //!
-//! // A mixed batch: HIGGS runs the Algorithm-3 boundary search once per
-//! // distinct time range and shares the plan across every query (and every
-//! // hop of the path query) using it.
+//! // A mixed batch: HIGGS runs the Algorithm-3 boundary search at most once
+//! // per distinct time range and shares the plan across every query (and
+//! // every hop of the path query) using it.
 //! let window = TimeRange::new(0, 30);
-//! let results = summary.query_batch(&[
+//! let batch = vec![
 //!     Query::edge(1, 2, window),
 //!     Query::path(vec![1, 2, 3], window),
 //!     Query::subgraph(vec![(1, 2), (2, 3)], window),
-//! ]);
-//! assert_eq!(results, vec![6, 8, 8]);
-//! assert_eq!(summary.plans_built(), 3); // 2 singles + 1 shared batch plan
+//! ];
+//! assert_eq!(summary.query_batch(&batch), vec![6, 8, 8]);
+//! // 2 plans so far: the (0, 15) edge query and the first (0, 30) lookup —
+//! // the vertex query warmed the plan cache, so the whole batch reused its
+//! // (0, 30) plan without another boundary search.
+//! assert_eq!(summary.plans_built(), 2);
+//!
+//! // Re-submitting the same windows (a sliding-window screen re-running
+//! // every tick) skips planning entirely until the summary mutates.
+//! assert_eq!(summary.query_batch(&batch), vec![6, 8, 8]);
+//! assert_eq!(summary.plans_built(), 2); // still: served from the plan cache
 //! ```
 //!
 //! # Performance notes
@@ -84,9 +93,52 @@
 //!   vertex once and re-partitions the hash per visited layer, instead of
 //!   re-hashing per plan target.
 //!
+//! * **Columnar batch evaluation.** The batch executor inverts the classic
+//!   per-query loop: each range group's queries are decomposed into
+//!   primitive probes, deduplicated, their endpoints hashed once, and the
+//!   probe set sorted by bucket address — then every plan target's slab is
+//!   swept **once**, answering all probes against it. N queries × T targets
+//!   of scattered walks become T cache-friendly passes.
+//!
 //! The `matrix_layout` Criterion group in `higgs-bench` tracks the raw
 //! matrix insert/probe costs at `d ∈ {64, 256}`; `insert_throughput` and
-//! `edge_query`/`vertex_query` track the end-to-end effect.
+//! `edge_query`/`vertex_query` track the end-to-end effect, and the
+//! `plan_cache` group tracks cold-vs-warm repeated-window batches and
+//! columnar-vs-per-query evaluation.
+//!
+//! # Plan caching & invalidation
+//!
+//! The Algorithm-3 boundary search depends only on the queried
+//! [`TimeRange`](higgs_common::TimeRange) and the tree shape — not on the
+//! queried vertices — which makes it perfectly reusable *across* batches: a
+//! sliding-window screen re-submits the same windows every tick. Each
+//! [`HiggsSummary`] therefore owns a bounded LRU [`PlanCache`]
+//! (capacity via [`HiggsConfigBuilder::plan_cache_capacity`], default
+//! [`plan_cache::DEFAULT_PLAN_CACHE_CAPACITY`]; `0` disables it) consulted
+//! by the typed surface ([`TemporalGraphSummary::query`](higgs_common::TemporalGraphSummary::query)
+//! / [`query_batch`](higgs_common::TemporalGraphSummary::query_batch)).
+//!
+//! **Epoch semantics.** Every summary carries a monotonically increasing
+//! *mutation epoch* ([`HiggsSummary::mutation_epoch`]), bumped by each
+//! insert, delete, and aggregate materialisation (including deferred
+//! aggregations installed later by [`ParallelHiggs`] workers). Cached plans
+//! record the epoch they were built at; a lookup whose entry is stale evicts
+//! it and rebuilds. A cached plan is thus always bit-identical to what
+//! [`HiggsSummary::plan`] would build at that instant, so caching can never
+//! change results — only remove boundary searches.
+//! [`HiggsSummary::plans_built`] counts only real boundary searches (cache
+//! misses); [`HiggsSummary::plan_cache_hits`] counts lookups served from the
+//! cache, and a fully warm batch builds **zero** plans.
+//!
+//! **Sharded interaction with the flush clock.** In a [`ShardedHiggs`] every
+//! shard's summary owns its own cache under the shard `RwLock`. Writers bump
+//! the shard's epoch while applying mutations under the write lock, and the
+//! service's read-your-writes flush clock makes every trait query wait for
+//! previously enqueued mutations before taking read locks — so a query is
+//! never served a plan predating a mutation it is entitled to observe. The
+//! raw `edge_query`/`vertex_query` primitives deliberately bypass the cache;
+//! they are the reference path the cached surface is property-tested
+//! against.
 //!
 //! # Scaling out
 //!
@@ -117,10 +169,17 @@
 //! while an [`shard::IngestHandle`] streams new edges in.
 //!
 //! **Plan sharing per shard:** the batch surface of [`ShardedHiggs`] routes
-//! per-shard sub-batches through each shard's plan-sharing executor, so a
-//! batch costs at most one Algorithm-3 boundary search per distinct
-//! [`TimeRange`](higgs_common::TimeRange) *per shard it touches* — never one
-//! per query, hop, or subgraph edge.
+//! per-shard sub-batches through each shard's plan-sharing columnar
+//! executor, so a batch costs at most one Algorithm-3 boundary search per
+//! distinct [`TimeRange`](higgs_common::TimeRange) *per shard it touches* —
+//! never one per query, hop, or subgraph edge — and, thanks to each shard's
+//! cross-batch [`PlanCache`], **zero** boundary searches when the same
+//! windows are re-submitted with no intervening mutation.
+//!
+//! **Ingest backpressure:** [`HiggsConfigBuilder::ingest_queue_cap`] bounds
+//! each shard's writer queue; producers that outrun a writer then block
+//! (bounded channels with blocking sends) instead of growing memory without
+//! bound. The default stays unbounded.
 //!
 //! The `sharding` Criterion group in `higgs-bench` tracks ingest-path
 //! throughput, full ingest completion, and batch-serving latency at 1–8
@@ -136,6 +195,7 @@ pub mod matrix;
 pub mod node;
 pub mod overflow;
 pub mod parallel;
+pub mod plan_cache;
 pub mod query;
 pub mod shard;
 pub mod tree;
@@ -144,5 +204,6 @@ pub use boundary::{QueryPlan, QueryTarget};
 pub use config::{ConfigError, HiggsConfig, HiggsConfigBuilder};
 pub use matrix::CompressedMatrix;
 pub use parallel::ParallelHiggs;
+pub use plan_cache::PlanCache;
 pub use shard::{IngestHandle, ShardedHiggs};
 pub use tree::HiggsSummary;

@@ -1,0 +1,316 @@
+//! Cross-batch query-plan caching: a bounded, epoch-versioned LRU of
+//! [`QueryPlan`]s keyed by [`TimeRange`].
+//!
+//! The Algorithm-3 boundary search is the dominant *fixed* cost of a HIGGS
+//! query: it depends only on the queried range and the tree shape, not on the
+//! queried vertices. The batch executor of the typed query surface already
+//! shares one plan across every query of a batch that uses the same range —
+//! but a serving workload of sliding windows re-submits the *same ranges*
+//! batch after batch, rebuilding identical plans every tick. [`PlanCache`]
+//! closes that gap: plans built by
+//! [`HiggsSummary::cached_plan`] are retained across batches and returned
+//! without a boundary search as long as the summary has not mutated since.
+//!
+//! # Invalidation
+//!
+//! Every cached plan records the summary's **mutation epoch**
+//! ([`HiggsSummary::mutation_epoch`]) at build time. The epoch is a
+//! monotonically increasing counter bumped by every mutation that can change
+//! what a fresh boundary search would produce:
+//!
+//! * inserting an edge (may open leaves, complete groups, shift leaf spans),
+//! * deleting an edge (changes stored weights),
+//! * materialising an aggregate (a fresh plan would target the aggregate
+//!   matrix where the stale plan descended to the leaves).
+//!
+//! A lookup whose entry carries a stale epoch drops the entry and reports a
+//! miss, so a cached plan is only ever served when it is *bit-identical* to
+//! what [`HiggsSummary::plan`] would build right now. Results through the
+//! cache are therefore exactly the results of the uncached path.
+//!
+//! # Concurrency
+//!
+//! The cache is interior-mutable behind a [`Mutex`] so read-only queries
+//! (`&self`) can populate it from any number of serving threads; plans are
+//! handed out as [`Arc`] clones, so a hit is one short critical section plus
+//! a reference-count bump. Mutations take `&mut self` and bump the epoch
+//! outside the lock. In a [`ShardedHiggs`](crate::ShardedHiggs) each shard's
+//! summary owns its own cache under the shard's `RwLock`: writers bump the
+//! epoch while applying mutations under the write lock, and the service's
+//! read-your-writes flush clock guarantees queries only run after previously
+//! enqueued mutations (and their epoch bumps) have landed.
+
+use crate::boundary::QueryPlan;
+use crate::tree::HiggsSummary;
+use higgs_common::TimeRange;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default number of plans a summary retains
+/// ([`HiggsConfigBuilder::plan_cache_capacity`](crate::HiggsConfigBuilder::plan_cache_capacity)
+/// overrides it). Sized to hold every window of a few-hundred-window sliding
+/// screen (e.g. the fraud-detection example's 255 windows) without LRU
+/// thrash; a plan is a handful of targets, so the worst-case footprint is a
+/// few KiB.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+/// One cached plan: the range it decomposes, the mutation epoch it was built
+/// at, and the shared plan itself.
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    range: TimeRange,
+    epoch: u64,
+    plan: Arc<QueryPlan>,
+}
+
+/// A bounded LRU cache of query plans, epoch-checked on every lookup. Owned
+/// by each [`HiggsSummary`]; see the [module docs](self) for semantics.
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    hits: AtomicU64,
+    /// Most-recently-used first. Linear scans are fine: capacities are small
+    /// (hundreds) and a scan over a contiguous `Vec` of small entries is
+    /// cheaper than hashing for the hit path this cache serves.
+    entries: Mutex<Vec<CacheEntry>>,
+}
+
+impl Clone for PlanCache {
+    fn clone(&self) -> Self {
+        Self {
+            capacity: self.capacity,
+            hits: AtomicU64::new(self.hits()),
+            entries: Mutex::new(self.entries.lock().expect("plan cache poisoned").clone()),
+        }
+    }
+}
+
+impl PlanCache {
+    /// Creates an empty cache retaining up to `capacity` plans (`0` disables
+    /// caching entirely: every lookup misses and nothing is stored).
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            hits: AtomicU64::new(0),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Maximum number of plans retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of plans currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("plan cache poisoned").len()
+    }
+
+    /// Whether the cache currently holds no plan.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of lookups served from the cache over the summary's lifetime.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Drops every cached plan (diagnostic hook; epoch checking makes manual
+    /// invalidation unnecessary in normal operation).
+    pub(crate) fn clear(&self) {
+        self.entries.lock().expect("plan cache poisoned").clear();
+    }
+
+    /// Returns the cached plan for `range` if one exists *and* was built at
+    /// `epoch`; a stale entry is evicted on sight.
+    fn lookup(&self, range: TimeRange, epoch: u64) -> Option<Arc<QueryPlan>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut entries = self.entries.lock().expect("plan cache poisoned");
+        let pos = entries.iter().position(|e| e.range == range)?;
+        if entries[pos].epoch != epoch {
+            entries.remove(pos);
+            return None;
+        }
+        // Move to front (MRU) and hand out a shared reference.
+        let entry = entries.remove(pos);
+        let plan = entry.plan.clone();
+        entries.insert(0, entry);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(plan)
+    }
+
+    /// Stores `plan` for `range` at `epoch`, evicting the least-recently-used
+    /// entry beyond capacity. A concurrent store for the same range (two
+    /// threads missing simultaneously) replaces rather than duplicates.
+    fn store(&self, range: TimeRange, epoch: u64, plan: Arc<QueryPlan>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut entries = self.entries.lock().expect("plan cache poisoned");
+        entries.retain(|e| e.range != range);
+        entries.insert(0, CacheEntry { range, epoch, plan });
+        entries.truncate(self.capacity);
+    }
+}
+
+impl HiggsSummary {
+    /// The plan for `range`, served from the cross-batch [`PlanCache`] when a
+    /// fresh entry exists and built (then cached) otherwise.
+    ///
+    /// The returned plan is always bit-identical to what [`plan`](Self::plan)
+    /// would build right now: cached entries are validated against the
+    /// summary's [`mutation_epoch`](Self::mutation_epoch), so any intervening
+    /// insert, delete, or aggregate materialisation forces a rebuild. Only
+    /// rebuilds count towards [`plans_built`](Self::plans_built); hits are
+    /// tallied by [`plan_cache_hits`](Self::plan_cache_hits).
+    pub fn cached_plan(&self, range: TimeRange) -> Arc<QueryPlan> {
+        let epoch = self.mutation_epoch();
+        if let Some(plan) = self.plan_cache.lookup(range, epoch) {
+            return plan;
+        }
+        let plan = Arc::new(self.plan(range));
+        self.plan_cache.store(range, epoch, plan.clone());
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HiggsConfig;
+    use higgs_common::{StreamEdge, TemporalGraphSummary};
+
+    fn tiny_config(cache: usize) -> HiggsConfig {
+        HiggsConfig::builder()
+            .d1(4)
+            .f1_bits(12)
+            .bucket_entries(2)
+            .mapping_addresses(2)
+            .plan_cache_capacity(cache)
+            .build()
+            .expect("valid test configuration")
+    }
+
+    fn loaded(cache: usize) -> HiggsSummary {
+        let mut s = HiggsSummary::new(tiny_config(cache));
+        for i in 0..3_000u64 {
+            s.insert(&StreamEdge::new(i % 60, (i * 7) % 60, 1, i));
+        }
+        s
+    }
+
+    #[test]
+    fn cached_plan_skips_the_boundary_search_on_repeat() {
+        let s = loaded(8);
+        let range = TimeRange::new(200, 2_500);
+        s.reset_plan_count();
+        let first = s.cached_plan(range);
+        assert_eq!(s.plans_built(), 1);
+        let second = s.cached_plan(range);
+        assert_eq!(s.plans_built(), 1, "second lookup must hit the cache");
+        assert!(Arc::ptr_eq(&first, &second), "hit must share the same plan");
+        assert_eq!(s.plan_cache_hits(), 1);
+        assert_eq!(s.plan_cache_len(), 1);
+    }
+
+    #[test]
+    fn mutation_epoch_invalidates_cached_plans() {
+        let mut s = loaded(8);
+        let range = TimeRange::new(0, 2_999);
+        let stale = s.cached_plan(range);
+        let epoch_before = s.mutation_epoch();
+        s.insert(&StreamEdge::new(7, 49, 3, 2_999));
+        assert!(s.mutation_epoch() > epoch_before, "insert must bump epoch");
+        s.reset_plan_count();
+        let fresh = s.cached_plan(range);
+        assert_eq!(s.plans_built(), 1, "stale entry must be rebuilt");
+        assert!(!Arc::ptr_eq(&stale, &fresh));
+        // The rebuilt plan is re-cached at the new epoch.
+        let again = s.cached_plan(range);
+        assert!(Arc::ptr_eq(&fresh, &again));
+    }
+
+    #[test]
+    fn delete_invalidates_cached_plans() {
+        let mut s = loaded(8);
+        let range = TimeRange::new(0, 2_999);
+        let _ = s.cached_plan(range);
+        s.delete(&StreamEdge::new(0, 0, 1, 0));
+        s.reset_plan_count();
+        let _ = s.cached_plan(range);
+        assert_eq!(s.plans_built(), 1, "deletion must invalidate the cache");
+    }
+
+    #[test]
+    fn lru_eviction_is_bounded_and_keeps_hot_ranges() {
+        let s = loaded(2);
+        let a = TimeRange::new(0, 500);
+        let b = TimeRange::new(600, 1_200);
+        let c = TimeRange::new(1_300, 2_000);
+        let _ = s.cached_plan(a);
+        let _ = s.cached_plan(b);
+        let _ = s.cached_plan(a); // refresh a: now MRU order [a, b]
+        let _ = s.cached_plan(c); // evicts b (LRU)
+        assert_eq!(s.plan_cache_len(), 2);
+        s.reset_plan_count();
+        let _ = s.cached_plan(a);
+        let _ = s.cached_plan(c);
+        assert_eq!(s.plans_built(), 0, "a and c must have survived");
+        let _ = s.cached_plan(b);
+        assert_eq!(s.plans_built(), 1, "b was evicted");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let s = loaded(0);
+        let range = TimeRange::new(100, 2_000);
+        s.reset_plan_count();
+        let _ = s.cached_plan(range);
+        let _ = s.cached_plan(range);
+        assert_eq!(s.plans_built(), 2, "capacity 0 must never cache");
+        assert_eq!(s.plan_cache_hits(), 0);
+        assert_eq!(s.plan_cache_len(), 0);
+    }
+
+    #[test]
+    fn cloning_a_summary_snapshots_its_cache() {
+        let s = loaded(4);
+        let range = TimeRange::new(0, 1_000);
+        let _ = s.cached_plan(range);
+        let clone = s.clone();
+        clone.reset_plan_count();
+        let _ = clone.cached_plan(range);
+        assert_eq!(clone.plans_built(), 0, "clone inherits cached plans");
+    }
+
+    #[test]
+    fn aggregate_materialisation_invalidates_cached_plans() {
+        // A plan cached while aggregation is deferred descends to the
+        // leaves; once the aggregates materialise, a fresh plan targets the
+        // aggregate matrices, which under collisions need not be bit-identical
+        // to leaf descent — so materialisation must bump the epoch.
+        let mut s = HiggsSummary::with_deferred_aggregation(tiny_config(8));
+        for i in 0..3_000u64 {
+            s.insert(&StreamEdge::new(i % 60, (i * 7) % 60, 1, i));
+        }
+        let range = TimeRange::new(0, 2_999);
+        let stale = s.cached_plan(range);
+        assert_eq!(stale.aggregate_count(), 0, "nothing materialised yet");
+        let epoch_before = s.mutation_epoch();
+        s.finalize_aggregations();
+        assert!(
+            s.mutation_epoch() > epoch_before,
+            "materialisation must bump the epoch"
+        );
+        s.reset_plan_count();
+        let fresh = s.cached_plan(range);
+        assert_eq!(s.plans_built(), 1, "materialisation must invalidate");
+        assert!(
+            fresh.aggregate_count() > 0,
+            "fresh plan must use the aggregates"
+        );
+    }
+}

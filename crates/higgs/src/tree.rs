@@ -14,6 +14,7 @@ use crate::config::{ConfigError, HiggsConfig};
 use crate::matrix::CompressedMatrix;
 use crate::node::{InternalNode, LeafNode};
 use crate::overflow::OverflowChain;
+use crate::plan_cache::PlanCache;
 use higgs_common::hashing::FingerprintLayout;
 use higgs_common::{StreamEdge, TimeRange, Timestamp};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,8 +42,16 @@ pub struct HiggsSummary {
     pub(crate) pending: Vec<PendingAggregation>,
     /// Number of query plans built so far (Algorithm-3 boundary searches).
     /// Interior-mutable so `&self` queries can count; used by tests and
-    /// diagnostics to assert plan sharing in the batch executor.
+    /// diagnostics to assert plan sharing in the batch executor. Plans served
+    /// from the [`PlanCache`] do not count — only actual boundary searches.
     pub(crate) plans_built: PlanCounter,
+    /// Monotonically increasing mutation counter: bumped by every insert,
+    /// delete, and aggregate materialisation. Cached query plans record the
+    /// epoch they were built at and are invalidated on mismatch (see
+    /// [`plan_cache`](crate::plan_cache)).
+    pub(crate) epoch: u64,
+    /// Cross-batch query-plan cache consulted by the typed query surface.
+    pub(crate) plan_cache: PlanCache,
 }
 
 /// Relaxed atomic plan counter: interior-mutable through `&self` without
@@ -85,6 +94,7 @@ impl HiggsSummary {
     /// configuration is invalid.
     pub fn try_new(config: HiggsConfig) -> Result<Self, ConfigError> {
         config.validate()?;
+        let plan_cache = PlanCache::new(config.plan_cache_capacity);
         Ok(Self {
             layout: config.layout(),
             config,
@@ -94,6 +104,8 @@ impl HiggsSummary {
             defer_aggregation: false,
             pending: Vec::new(),
             plans_built: PlanCounter::default(),
+            epoch: 0,
+            plan_cache,
         })
     }
 
@@ -108,8 +120,10 @@ impl HiggsSummary {
 
     /// Number of query plans built over the summary's lifetime (each is one
     /// Algorithm-3 boundary search). The plan-sharing batch executor builds
-    /// exactly one plan per distinct [`TimeRange`] in a batch; this hook lets
-    /// tests and monitoring assert that.
+    /// at most one plan per distinct [`TimeRange`] in a batch — and, through
+    /// the cross-batch [`plan_cache`](crate::plan_cache), **zero** for ranges
+    /// whose cached plan is still fresh. This hook lets tests and monitoring
+    /// assert both properties.
     pub fn plans_built(&self) -> u64 {
         self.plans_built.get()
     }
@@ -117,6 +131,37 @@ impl HiggsSummary {
     /// Resets the plan counter to zero (diagnostic hook).
     pub fn reset_plan_count(&self) {
         self.plans_built.reset();
+    }
+
+    /// The summary's mutation epoch: a monotonically increasing counter
+    /// bumped by every insert, delete, and aggregate materialisation. Cached
+    /// query plans are validated against it (see
+    /// [`cached_plan`](Self::cached_plan)).
+    pub fn mutation_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of typed-surface plan lookups served from the cross-batch plan
+    /// cache over the summary's lifetime.
+    pub fn plan_cache_hits(&self) -> u64 {
+        self.plan_cache.hits()
+    }
+
+    /// Number of plans currently held by the cross-batch plan cache.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.len()
+    }
+
+    /// Drops every cached plan (diagnostic hook; epoch validation already
+    /// prevents stale plans from being served).
+    pub fn clear_plan_cache(&self) {
+        self.plan_cache.clear();
+    }
+
+    /// Records one mutation: bumps the epoch so cached plans built against
+    /// the previous state can no longer be served.
+    fn bump_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
     }
 
     /// The configuration this summary was built with.
@@ -186,6 +231,7 @@ impl HiggsSummary {
 
     /// Inserts one stream item (Algorithm 1).
     pub fn insert_edge(&mut self, edge: &StreamEdge) {
+        self.bump_epoch();
         let hs = self.layout.split_vertex(edge.src, 1);
         let hd = self.layout.split_vertex(edge.dst, 1);
         let (fs, fd) = (hs.fingerprint as u32, hd.fingerprint as u32);
@@ -315,6 +361,10 @@ impl HiggsSummary {
     }
 
     /// Installs an externally computed aggregate for node `(level, index)`.
+    ///
+    /// Bumps the mutation epoch: a fresh boundary search now targets the
+    /// aggregate matrix where a plan built earlier descended to the leaves,
+    /// so cached plans from before the installation must not be served.
     pub fn install_aggregation(&mut self, level: usize, index: usize, matrix: CompressedMatrix) {
         if let Some(node) = self
             .internals
@@ -322,6 +372,7 @@ impl HiggsSummary {
             .and_then(|nodes| nodes.get_mut(index))
         {
             node.matrix = Some(matrix);
+            self.bump_epoch();
         }
     }
 
@@ -369,6 +420,7 @@ impl HiggsSummary {
     /// leaf entry covering the edge's timestamp and every aggregated ancestor
     /// covering that leaf.
     pub fn delete_edge(&mut self, edge: &StreamEdge) {
+        self.bump_epoch();
         if self.leaves.is_empty() {
             return;
         }
@@ -461,6 +513,8 @@ mod tests {
             mapping_addresses: 2,
             overflow_blocks: true,
             shards: 1,
+            plan_cache_capacity: 8,
+            ingest_queue_cap: None,
         }
     }
 

@@ -1,13 +1,15 @@
 //! Minimal stand-in for the `crossbeam` crate.
 //!
-//! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` — the only
-//! pieces this workspace uses — as an unbounded multi-producer/multi-consumer
-//! channel built on `Mutex<VecDeque>` + `Condvar`. Semantics match crossbeam
-//! for the operations exposed: cloneable endpoints, `recv` blocks until a
-//! message arrives or every sender is dropped, `send` fails once every
-//! receiver is dropped. Lock-based rather than lock-free, which is irrelevant
-//! at the message rates of the aggregation pipeline (a handful of jobs per
-//! leaf-group close).
+//! Provides `crossbeam::channel::{unbounded, bounded, Sender, Receiver}` —
+//! the only pieces this workspace uses — as a multi-producer/multi-consumer
+//! channel built on `Mutex<VecDeque>` + two `Condvar`s. Semantics match
+//! crossbeam for the operations exposed: cloneable endpoints, `recv` blocks
+//! until a message arrives or every sender is dropped, `send` fails once
+//! every receiver is dropped, and on a [`bounded`](channel::bounded) channel
+//! `send` **blocks** while the queue is at capacity — the backpressure
+//! primitive the sharded ingest path builds on. Lock-based rather than
+//! lock-free, which is irrelevant at the message rates of the aggregation
+//! pipeline (a handful of jobs per leaf-group close).
 
 /// Multi-producer multi-consumer FIFO channels.
 pub mod channel {
@@ -19,24 +21,52 @@ pub mod channel {
         queue: VecDeque<T>,
         senders: usize,
         receivers: usize,
+        /// `Some(n)` bounds the queue at `n` messages (blocking sends);
+        /// `None` is unbounded.
+        capacity: Option<usize>,
     }
 
     struct Chan<T> {
         state: Mutex<State<T>>,
+        /// Signalled when a message is enqueued (wakes blocked receivers) or
+        /// the last sender leaves.
         ready: Condvar,
+        /// Signalled when a message is dequeued (wakes senders blocked on a
+        /// full bounded queue) or the last receiver leaves.
+        space: Condvar,
     }
 
-    /// Creates an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let chan = Arc::new(Chan {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 senders: 1,
                 receivers: 1,
+                capacity,
             }),
             ready: Condvar::new(),
+            space: Condvar::new(),
         });
         (Sender(chan.clone()), Receiver(chan))
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// Creates a bounded MPMC channel holding at most `capacity` messages:
+    /// once full, [`Sender::send`] blocks until a receiver makes room (or
+    /// every receiver is gone, which fails the send).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero. Real crossbeam gives `bounded(0)`
+    /// rendezvous semantics; nothing in this workspace uses them, and a
+    /// zero-capacity queue here would simply deadlock, so it is rejected.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity >= 1, "bounded channel capacity must be at least 1");
+        channel(Some(capacity))
     }
 
     /// The sending half of a channel.
@@ -66,10 +96,21 @@ pub mod channel {
 
     impl<T> Sender<T> {
         /// Enqueues `value`, failing only if every receiver has been dropped.
+        /// On a [`bounded`] channel this blocks while the queue is full, so a
+        /// producer outrunning the consumer experiences backpressure instead
+        /// of unbounded queue growth.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut state = self.0.state.lock().expect("channel poisoned");
-            if state.receivers == 0 {
-                return Err(SendError(value));
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match state.capacity {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = self.0.space.wait(state).expect("channel poisoned");
+                    }
+                    _ => break,
+                }
             }
             state.queue.push_back(value);
             drop(state);
@@ -84,6 +125,8 @@ pub mod channel {
             let mut state = self.0.state.lock().expect("channel poisoned");
             loop {
                 if let Some(value) = state.queue.pop_front() {
+                    drop(state);
+                    self.0.space.notify_one();
                     return Ok(value);
                 }
                 if state.senders == 0 {
@@ -97,7 +140,11 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut state = self.0.state.lock().expect("channel poisoned");
             match state.queue.pop_front() {
-                Some(value) => Ok(value),
+                Some(value) => {
+                    drop(state);
+                    self.0.space.notify_one();
+                    Ok(value)
+                }
                 None if state.senders == 0 => Err(TryRecvError::Disconnected),
                 None => Err(TryRecvError::Empty),
             }
@@ -132,7 +179,14 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.0.state.lock().expect("channel poisoned").receivers -= 1;
+            let mut state = self.0.state.lock().expect("channel poisoned");
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                // Wake senders blocked on a full bounded queue so they
+                // observe the disconnect instead of waiting forever.
+                self.0.space.notify_all();
+            }
         }
     }
 
@@ -219,5 +273,68 @@ mod tests {
         let (tx, rx) = unbounded::<u32>();
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_capacity_frees() {
+        let (tx, rx) = super::channel::bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let blocked = std::thread::spawn(move || {
+            tx.send(3).unwrap(); // queue is full: must block here
+            tx
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(
+            !blocked.is_finished(),
+            "send on a full bounded channel must block"
+        );
+        assert_eq!(rx.recv(), Ok(1)); // frees a slot, unblocking the sender
+        let tx = blocked.join().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_blocked_send_fails_when_receivers_vanish() {
+        let (tx, rx) = super::channel::bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let blocked = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        drop(rx); // must wake the blocked sender with an error
+        assert!(blocked.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn bounded_mpmc_delivers_everything_under_backpressure() {
+        let (tx, rx) = super::channel::bounded::<u64>(4);
+        let producers: Vec<_> = (0..3)
+            .map(|p| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        tx.send(p * 500 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut all: Vec<u64> = Vec::new();
+        while let Ok(v) = rx.recv() {
+            all.push(v);
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..1_500).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_is_rejected() {
+        let _ = super::channel::bounded::<u32>(0);
     }
 }

@@ -67,7 +67,9 @@ fn main() {
     println!("subgraph query {{(2,3),(3,7),(2,4)}} in [4, 8] = {w}\n");
 
     // Mixed batch: queries sharing a time range also share its plan — the
-    // boundary search runs once per distinct range in the batch.
+    // boundary search runs at most once per distinct range in the batch,
+    // and the [1, 11] window was already planned (and cached) by the vertex
+    // query above, so this whole batch re-plans nothing.
     let window = TimeRange::new(1, 11);
     summary.reset_plan_count();
     let results = summary.query_batch(&[
@@ -76,7 +78,8 @@ fn main() {
         Query::path(vec![1, 2, 3, 7], window),
     ]);
     println!(
-        "batch over one shared window = {results:?} ({} queries, {} plan built)",
+        "batch over one shared window = {results:?} ({} queries, {} plans built: \
+         the window's plan was already in the cross-batch cache)",
         results.len(),
         summary.plans_built()
     );

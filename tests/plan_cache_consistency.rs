@@ -1,0 +1,258 @@
+//! Cross-batch plan-cache consistency: cached-plan query results must be
+//! **bit-identical** to fresh-plan results across randomly interleaved
+//! inserts, deletes, and queries — on a single [`HiggsSummary`] and on
+//! [`ShardedHiggs`] at 1/2/4 shards — and an epoch bump after deferred
+//! aggregation materialises must invalidate the affected cache entries.
+//!
+//! The reference ("fresh-plan") executor is the same code with
+//! `plan_cache_capacity(0)`: every typed query then rebuilds its plan, which
+//! is exactly the pre-cache behaviour. Both sides share decomposition and
+//! evaluation, so equality must hold bit-for-bit even under heavy fingerprint
+//! collisions.
+
+use higgs::{HiggsConfig, HiggsSummary, ShardedHiggs};
+use higgs_common::{
+    Query, StreamEdge, SummaryExt, TemporalGraphSummary, TimeRange, VertexDirection,
+};
+use proptest::prelude::*;
+
+const MAX_T: u64 = 2_000;
+
+fn collision_heavy_config(plan_cache_capacity: usize) -> HiggsConfig {
+    HiggsConfig::builder()
+        .d1(4)
+        .f1_bits(10)
+        .bucket_entries(2)
+        .mapping_addresses(2)
+        .plan_cache_capacity(plan_cache_capacity)
+        .build()
+        .expect("valid test configuration")
+}
+
+fn sharded_config(shards: usize, plan_cache_capacity: usize) -> HiggsConfig {
+    HiggsConfig::builder()
+        .shards(shards)
+        .plan_cache_capacity(plan_cache_capacity)
+        .build()
+        .expect("valid sharded configuration")
+}
+
+fn edge_strategy() -> impl Strategy<Value = StreamEdge> {
+    (0u64..40, 0u64..40, 1u64..5, 0u64..MAX_T).prop_map(|(s, d, w, t)| StreamEdge::new(s, d, w, t))
+}
+
+fn stream_strategy(max_len: usize) -> impl Strategy<Value = Vec<StreamEdge>> {
+    prop::collection::vec(edge_strategy(), 8..max_len).prop_map(|mut edges| {
+        edges.sort_by_key(|e| e.timestamp);
+        edges
+    })
+}
+
+/// Random typed queries over a small set of shared windows, so repeated
+/// batches genuinely exercise the cache's hit path.
+fn query_strategy() -> impl Strategy<Value = Query> {
+    (0u8..4, 0u64..40, 0u64..40, 0u64..40, 0u64..6).prop_map(|(kind, a, b, c, window)| {
+        let start = window * (MAX_T / 6);
+        let range = TimeRange::new(start, start + MAX_T / 3);
+        match kind {
+            0 => Query::edge(a, b, range),
+            1 => Query::vertex(
+                a,
+                if b % 2 == 0 {
+                    VertexDirection::Out
+                } else {
+                    VertexDirection::In
+                },
+                range,
+            ),
+            2 => Query::path(vec![a, b, c, (a + c) % 40], range),
+            _ => Query::subgraph(vec![(a, b), (b, c), (c, a)], range),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Single summary, collision-heavy parameters: interleave inserts,
+    /// deletes, and repeated query batches; the cached executor must stay
+    /// bit-identical to the cache-disabled executor *and* to the uncached
+    /// per-primitive composition at every step.
+    #[test]
+    fn cached_plans_bit_identical_on_single_summary(
+        edges in stream_strategy(240),
+        queries in prop::collection::vec(query_strategy(), 4..16),
+    ) {
+        let mut cached = HiggsSummary::new(collision_heavy_config(16));
+        let mut fresh = HiggsSummary::new(collision_heavy_config(0));
+        let segments = edges.chunks(edges.len().div_ceil(3)).collect::<Vec<_>>();
+        for (round, segment) in segments.iter().enumerate() {
+            for e in *segment {
+                cached.insert(e);
+                fresh.insert(e);
+            }
+            // Delete a deterministic sprinkling of this segment's edges.
+            for e in segment.iter().step_by(7) {
+                cached.delete(e);
+                fresh.delete(e);
+            }
+            // Submit the batch twice: the second submission runs fully warm
+            // on the cached side (zero boundary searches) yet must match the
+            // always-fresh side bit for bit.
+            let cold = cached.query_batch(&queries);
+            cached.reset_plan_count();
+            let warm = cached.query_batch(&queries);
+            prop_assert_eq!(
+                cached.plans_built(), 0,
+                "round {}: warm batch must build zero plans", round
+            );
+            prop_assert_eq!(&cold, &warm, "cache hit changed results");
+            let reference = fresh.query_batch(&queries);
+            prop_assert_eq!(&warm, &reference, "cached diverged from fresh");
+            // The per-primitive composition (which never touches the cache)
+            // must agree as well.
+            let primitive: Vec<u64> = queries
+                .iter()
+                .map(|q| match q {
+                    Query::Edge(q) => cached.run_edge_query(q),
+                    Query::Vertex(q) => cached.run_vertex_query(q),
+                    Query::Path(q) => cached.path_query(q),
+                    Query::Subgraph(q) => cached.subgraph_query(q),
+                })
+                .collect();
+            prop_assert_eq!(&warm, &primitive, "cached diverged from primitives");
+        }
+        prop_assert!(cached.plan_cache_hits() > 0, "cache never hit");
+    }
+
+    /// ShardedHiggs at 1/2/4 shards: identical interleaved workloads on a
+    /// cached and a cache-disabled service must agree bit-for-bit at every
+    /// step (per-shard decomposition is identical on both sides, so this
+    /// holds regardless of collisions).
+    #[test]
+    fn cached_plans_bit_identical_on_sharded_service(
+        edges in stream_strategy(160),
+        queries in prop::collection::vec(query_strategy(), 4..12),
+    ) {
+        for shards in [1usize, 2, 4] {
+            let mut cached = ShardedHiggs::new(sharded_config(shards, 16));
+            let mut fresh = ShardedHiggs::new(sharded_config(shards, 0));
+            let segments = edges.chunks(edges.len().div_ceil(2)).collect::<Vec<_>>();
+            for segment in &segments {
+                cached.insert_all(segment);
+                fresh.insert_all(segment);
+                for e in segment.iter().step_by(5) {
+                    cached.delete(e);
+                    fresh.delete(e);
+                }
+                let first = cached.query_batch(&queries);
+                prop_assert_eq!(
+                    &first,
+                    &fresh.query_batch(&queries),
+                    "{} shards: cached diverged from fresh", shards
+                );
+                // Warm re-submission: zero boundary searches anywhere.
+                cached.reset_plan_count();
+                prop_assert_eq!(&cached.query_batch(&queries), &first);
+                prop_assert_eq!(
+                    cached.plans_built(), 0,
+                    "{} shards: warm batch must build zero plans", shards
+                );
+            }
+        }
+    }
+}
+
+/// Regression test for the epoch/aggregation interaction: a plan cached
+/// while aggregation is deferred descends to the leaves; materialising the
+/// aggregates must bump the epoch and invalidate it, because a fresh plan
+/// targets the aggregate matrices (whose coarser fingerprints need not be
+/// bit-identical to leaf descent under collisions).
+#[test]
+fn epoch_bump_after_deferred_aggregation_invalidates_cache() {
+    let mut summary = HiggsSummary::with_deferred_aggregation(collision_heavy_config(8));
+    for i in 0..4_000u64 {
+        summary.insert(&StreamEdge::new(i % 40, (i * 7) % 40, 1, i % MAX_T));
+    }
+    let windows = [
+        TimeRange::new(0, MAX_T - 1),
+        TimeRange::new(100, 1_200),
+        TimeRange::new(500, 1_900),
+    ];
+    let batch: Vec<Query> = windows
+        .iter()
+        .flat_map(|&r| {
+            [
+                Query::edge(3, 21, r),
+                Query::vertex(5, VertexDirection::In, r),
+                Query::path(vec![1, 7, 9, 23], r),
+            ]
+        })
+        .collect();
+
+    // Cache plans while every aggregate is still unmaterialised.
+    let before = summary.query_batch(&batch);
+    summary.reset_plan_count();
+    assert_eq!(summary.query_batch(&batch), before, "warm pre-materialise");
+    assert_eq!(summary.plans_built(), 0);
+
+    let epoch_before = summary.mutation_epoch();
+    summary.finalize_aggregations();
+    assert!(
+        summary.mutation_epoch() > epoch_before,
+        "materialisation must bump the mutation epoch"
+    );
+
+    // Every affected entry must have been invalidated: the next batch plans
+    // afresh, and its results match the uncached primitives (which always
+    // plan against the current, fully aggregated tree).
+    summary.reset_plan_count();
+    let after = summary.query_batch(&batch);
+    assert_eq!(
+        summary.plans_built(),
+        windows.len() as u64,
+        "stale plans must be rebuilt after materialisation"
+    );
+    let primitive: Vec<u64> = batch
+        .iter()
+        .map(|q| match q {
+            Query::Edge(q) => summary.run_edge_query(q),
+            Query::Vertex(q) => summary.run_vertex_query(q),
+            Query::Path(q) => summary.path_query(q),
+            _ => unreachable!("batch holds no subgraph queries"),
+        })
+        .collect();
+    assert_eq!(
+        after, primitive,
+        "post-materialisation results must be fresh"
+    );
+}
+
+/// The acceptance-criterion assertion in its purest form: a fully warm
+/// repeated-window batch runs zero Algorithm-3 boundary searches.
+#[test]
+fn fully_warm_batch_builds_zero_plans() {
+    let mut summary = HiggsSummary::new(HiggsConfig::paper_default());
+    for i in 0..5_000u64 {
+        summary.insert(&StreamEdge::new(i % 200, (i * 13) % 200, 1, i));
+    }
+    // A sliding-window screen: 40 windows, one 3-hop path each.
+    let batch: Vec<Query> = (0..40u64)
+        .map(|w| {
+            Query::path(
+                vec![w, (w * 13) % 200, (w * 169) % 200, (w + 1) % 200],
+                TimeRange::new(w * 100, w * 100 + 499),
+            )
+        })
+        .collect();
+    let cold = summary.query_batch(&batch);
+    summary.reset_plan_count();
+    let warm = summary.query_batch(&batch);
+    assert_eq!(
+        summary.plans_built(),
+        0,
+        "warm batch must skip all planning"
+    );
+    assert_eq!(cold, warm);
+    assert!(summary.plan_cache_hits() >= 40);
+}

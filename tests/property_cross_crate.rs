@@ -69,6 +69,8 @@ proptest! {
             mapping_addresses: 2,
             overflow_blocks: true,
             shards: 1,
+            plan_cache_capacity: 8,
+            ingest_queue_cap: None,
         });
         let mut exact = ExactTemporalGraph::new();
         for e in &edges {
@@ -171,6 +173,8 @@ proptest! {
             mapping_addresses: 2,
             overflow_blocks: true,
             shards: 1,
+            plan_cache_capacity: 8,
+            ingest_queue_cap: None,
         });
         let mut exact = ExactTemporalGraph::new();
         for e in &edges {
@@ -304,6 +308,8 @@ proptest! {
             mapping_addresses: 2,
             overflow_blocks: true,
             shards: 1,
+            plan_cache_capacity: 8,
+            ingest_queue_cap: None,
         });
         let mut exact = ExactTemporalGraph::new();
         for e in &edges {

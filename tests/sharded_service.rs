@@ -57,6 +57,8 @@ fn collision_heavy_config(shards: usize) -> HiggsConfig {
         mapping_addresses: 2,
         overflow_blocks: true,
         shards,
+        plan_cache_capacity: 8,
+        ingest_queue_cap: None,
     }
 }
 
