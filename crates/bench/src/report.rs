@@ -249,6 +249,30 @@ impl BenchComparison {
         })
     }
 
+    /// The worst (highest) current/baseline ratio in this comparison,
+    /// together with the id carrying it — the one number a multi-group
+    /// summary reports per group. `None` when no baseline id was matched by
+    /// the current run (every row `Missing`), which is itself a failure.
+    pub fn worst_ratio(&self) -> Option<(&str, f64)> {
+        self.rows
+            .iter()
+            .filter_map(|(id, _, _, verdict)| match verdict {
+                BenchVerdict::Ok { ratio }
+                | BenchVerdict::Regression { ratio }
+                | BenchVerdict::Improvement { ratio } => Some((id.as_str(), *ratio)),
+                BenchVerdict::Missing => None,
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Number of baseline ids that vanished from the current run.
+    pub fn missing_count(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|(_, _, _, v)| matches!(v, BenchVerdict::Missing))
+            .count()
+    }
+
     /// Renders an aligned human-readable verdict table.
     pub fn render(&self, threshold: f64) -> String {
         let mut report = Report::new(
@@ -462,6 +486,33 @@ mod tests {
         assert!(rendered.contains("MISSING"));
         assert!(rendered.contains("improvement"));
         assert!(rendered.contains("fresh"));
+    }
+
+    #[test]
+    fn worst_ratio_reports_the_highest_current_over_baseline() {
+        let baseline = sample_records();
+        let mut current = sample_records();
+        current[0].median_ns *= 1.18; // worst offender, inside threshold
+        current[1].median_ns *= 0.95;
+        let cmp = compare_bench(&baseline, &current, 0.25);
+        let (id, ratio) = cmp.worst_ratio().expect("ratios exist");
+        assert_eq!(id, "sharding/ingest/sharded/4");
+        assert!((ratio - 1.18).abs() < 1e-9);
+        assert_eq!(cmp.missing_count(), 0);
+    }
+
+    #[test]
+    fn worst_ratio_is_none_when_everything_vanished() {
+        let baseline = sample_records();
+        let other = vec![BenchRecord {
+            id: "unrelated".into(),
+            median_ns: 1.0,
+            melem_per_s: None,
+        }];
+        let cmp = compare_bench(&baseline, &other, 0.25);
+        assert!(cmp.worst_ratio().is_none());
+        assert_eq!(cmp.missing_count(), baseline.len());
+        assert!(cmp.failed());
     }
 
     #[test]

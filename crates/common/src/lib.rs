@@ -14,6 +14,9 @@
 //!   can share query plans) and composed path/subgraph queries,
 //! * an exact ground-truth store ([`ExactTemporalGraph`]) for measuring
 //!   average absolute / relative error,
+//! * the binary persistence codec ([`codec`]): checksummed little-endian
+//!   encode/decode with length-prefixed sections, the substrate of the
+//!   `higgs` crate's snapshot format,
 //! * synthetic workload generators reproducing the skewed, bursty character
 //!   of the paper's datasets (Lkml, Wikipedia-talk, Stackoverflow), and
 //! * the error / throughput / latency / space metrics of Section VI.
@@ -25,6 +28,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod codec;
 pub mod edge;
 pub mod exact;
 pub mod generator;
@@ -33,6 +37,7 @@ pub mod metrics;
 pub mod query;
 pub mod time;
 
+pub use codec::{CodecError, Decoder, Encoder};
 pub use edge::{GraphStream, StreamEdge, StreamStats, VertexId, Weight};
 pub use exact::ExactTemporalGraph;
 pub use hashing::{

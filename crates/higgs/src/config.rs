@@ -106,6 +106,12 @@ impl std::error::Error for ConfigError {}
 /// construction (`Result<_, ConfigError>`), or start from
 /// [`HiggsConfig::paper_default`] and adjust fields / apply the ablation
 /// helpers.
+///
+/// The full parameter set is persisted in snapshots (see
+/// [`snapshot`](crate::snapshot)) and re-validated on restore — a restored
+/// summary or service is always built from a configuration that passes
+/// [`validate`](Self::validate), and corrupt persisted parameters surface as
+/// [`SnapshotError::Config`](crate::SnapshotError::Config).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HiggsConfig {
     /// Leaf-layer compressed-matrix side `d1` (power of two).

@@ -21,7 +21,9 @@
 //! * [`parallel`] — the per-layer parallel insertion pipeline
 //!   ([`ParallelHiggs`]),
 //! * [`shard`] — the source-sharded concurrent service layer
-//!   ([`ShardedHiggs`]).
+//!   ([`ShardedHiggs`]),
+//! * [`snapshot`] — versioned, checksummed snapshot / restore persistence
+//!   for summaries and the sharded service (warm restarts).
 //!
 //! # Quick example
 //!
@@ -184,6 +186,46 @@
 //! The `sharding` Criterion group in `higgs-bench` tracks ingest-path
 //! throughput, full ingest completion, and batch-serving latency at 1–8
 //! shards against the single-summary and [`ParallelHiggs`] baselines.
+//!
+//! # Persistence & warm restart
+//!
+//! A service serving heavy traffic cannot re-ingest its stream after every
+//! restart; the summary itself — orders of magnitude smaller than the raw
+//! temporal graph — is the state worth persisting. Module [`snapshot`]
+//! provides that as a versioned, checksummed binary format built on
+//! [`higgs_common::codec`]:
+//!
+//! * [`HiggsSummary::write_snapshot`] / [`HiggsSummary::read_snapshot`]
+//!   persist one summary to any `Write`/`Read` stream. Slab matrices are
+//!   written raw (occupancy array + occupied slots + spill list), so restore
+//!   rebuilds byte-identical slabs and every query answers bit-identically.
+//! * [`ShardedHiggs::snapshot_to_dir`] writes one file per shard plus a
+//!   manifest (format version, full config — the shard count is the only
+//!   routing state, since [`higgs_common::hashing::shard_of`] is a pure
+//!   function — and per-shard checksums);
+//!   [`ShardedHiggs::restore_from_dir`] rebuilds a warm service with fresh
+//!   writer threads and empty queues.
+//!
+//! **Consistency.** `snapshot_to_dir` drives the same acked-`Flush` clock
+//! queries use, so a snapshot is read-your-writes consistent: it covers
+//! every mutation enqueued before the call, background aggregations
+//! included. Producers still ingesting *during* the snapshot land per shard
+//! or not at all (the per-shard-prefix semantics concurrent readers
+//! already get).
+//!
+//! **Verification.** Every file closes with an FNV-1a checksum; restore
+//! verifies magic, format version, section framing, structural invariants,
+//! per-file checksums, and the manifest's shard census before any state is
+//! served — each failure is a typed [`SnapshotError`], never a panic or a
+//! silently wrong answer. The format version is bumped on layout changes
+//! and newer-than-supported files are refused (see the [`snapshot`] module
+//! docs for the full layout and versioning policy).
+//!
+//! Runtime state (plan cache, plan counters) is not persisted: a restored
+//! summary starts with a cold plan cache but the persisted mutation epoch,
+//! so epoch monotonicity — and with it cache-invalidation correctness —
+//! carries across restarts. Snapshotting the plan cache alongside the
+//! summary is a named ROADMAP follow-on.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -198,6 +240,7 @@ pub mod parallel;
 pub mod plan_cache;
 pub mod query;
 pub mod shard;
+pub mod snapshot;
 pub mod tree;
 
 pub use boundary::{QueryPlan, QueryTarget};
@@ -206,4 +249,5 @@ pub use matrix::CompressedMatrix;
 pub use parallel::ParallelHiggs;
 pub use plan_cache::PlanCache;
 pub use shard::{IngestHandle, ShardedHiggs};
+pub use snapshot::{SnapshotError, SnapshotManifest};
 pub use tree::HiggsSummary;

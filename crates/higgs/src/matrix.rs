@@ -75,16 +75,17 @@ pub struct Entry {
 pub type OffsetFilter = Option<(u32, u32)>;
 
 /// One occupied slot of the slab: the packed match key plus payload.
+/// Crate-visible so the snapshot codec can persist the slab verbatim.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct Slot {
+pub(crate) struct Slot {
     /// `fp_src` in the high 32 bits, `fp_dst` in the low 32 bits.
-    key: u64,
+    pub(crate) key: u64,
     /// `idx_src` in the high byte, `idx_dst` in the low byte.
-    idx: u16,
+    pub(crate) idx: u16,
     /// Timestamp offset relative to the matrix's start time (leaf layer only).
-    time_offset: u32,
+    pub(crate) time_offset: u32,
     /// Accumulated weight.
-    weight: i64,
+    pub(crate) weight: i64,
 }
 
 const EMPTY_SLOT: Slot = Slot {
@@ -108,13 +109,14 @@ fn pack_idx(i: usize, j: usize) -> u16 {
 /// candidate bucket of an aggregation insert is full. Spills are rare (the
 /// parent has the same total capacity as its children) but must preserve
 /// exact attribution so that aggregation never loses weight for any edge.
+/// Crate-visible so the snapshot codec can persist spills verbatim.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct SpillEntry {
-    addr_src: u64,
-    addr_dst: u64,
-    fp_src: u32,
-    fp_dst: u32,
-    weight: i64,
+pub(crate) struct SpillEntry {
+    pub(crate) addr_src: u64,
+    pub(crate) addr_dst: u64,
+    pub(crate) fp_src: u32,
+    pub(crate) fp_dst: u32,
+    pub(crate) weight: i64,
 }
 
 /// The HIGGS compressed matrix.
@@ -517,6 +519,86 @@ impl CompressedMatrix {
             + self.lens.capacity()
             + self.spill.capacity() * std::mem::size_of::<SpillEntry>()
             + std::mem::size_of::<Self>()
+    }
+
+    // --- snapshot support (crate-internal) --------------------------------
+    //
+    // The snapshot codec (`crate::snapshot`) persists the slab verbatim: the
+    // per-bucket occupancy array plus only the occupied slots (empty slots
+    // are always `EMPTY_SLOT`, so they carry no information), and the spill
+    // list. These accessors expose exactly that state.
+
+    /// Number of MMB mapping addresses per vertex (`r`).
+    pub(crate) fn mapping(&self) -> u32 {
+        self.mapping
+    }
+
+    /// Number of entry slots per bucket (`b`).
+    pub(crate) fn bucket_entries(&self) -> usize {
+        self.bucket_entries
+    }
+
+    /// The per-bucket occupancy array, indexed by `row · d + col`.
+    pub(crate) fn raw_lens(&self) -> &[u8] {
+        &self.lens
+    }
+
+    /// The occupied slots of bucket `bucket`, in slab order.
+    pub(crate) fn bucket_occupied_slots(&self, bucket: usize) -> &[Slot] {
+        let start = bucket * self.bucket_entries;
+        &self.slots[start..start + self.lens[bucket] as usize]
+    }
+
+    /// The spill list, in insertion order.
+    pub(crate) fn spill_entries(&self) -> &[SpillEntry] {
+        &self.spill
+    }
+
+    /// Rebuilds the slab from persisted state: per-bucket occupancy plus the
+    /// occupied slots in slab order (`occupied.len()` must equal the sum of
+    /// `lens`), and the spill list. The geometry (`self`) must have been
+    /// constructed with [`CompressedMatrix::new`] using the persisted
+    /// parameters; occupancy counts exceeding `bucket_entries` or a slot
+    /// count mismatch are rejected so a corrupt snapshot can never build a
+    /// structurally inconsistent matrix.
+    pub(crate) fn restore_slab(
+        &mut self,
+        lens: Vec<u8>,
+        occupied: Vec<Slot>,
+        spill: Vec<SpillEntry>,
+    ) -> Result<(), String> {
+        if lens.len() != self.lens.len() {
+            return Err(format!(
+                "bucket count mismatch: expected {}, got {}",
+                self.lens.len(),
+                lens.len()
+            ));
+        }
+        if let Some(bad) = lens.iter().find(|&&l| l as usize > self.bucket_entries) {
+            return Err(format!(
+                "bucket occupancy {bad} exceeds bucket_entries {}",
+                self.bucket_entries
+            ));
+        }
+        let total: usize = lens.iter().map(|&l| l as usize).sum();
+        if total != occupied.len() {
+            return Err(format!(
+                "occupied slot count mismatch: lens sum to {total}, got {} slots",
+                occupied.len()
+            ));
+        }
+        self.slots.fill(EMPTY_SLOT);
+        let mut next = 0usize;
+        for (bucket, &len) in lens.iter().enumerate() {
+            let start = bucket * self.bucket_entries;
+            let len = len as usize;
+            self.slots[start..start + len].copy_from_slice(&occupied[next..next + len]);
+            next += len;
+        }
+        self.lens = lens;
+        self.spill = spill;
+        self.stored = total;
+        Ok(())
     }
 }
 

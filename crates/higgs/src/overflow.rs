@@ -138,6 +138,29 @@ impl OverflowChain {
         &self.blocks
     }
 
+    /// The chain's block geometry `(side, bucket_entries, mapping)` — what
+    /// [`OverflowChain::new`] was called with (used by the snapshot codec).
+    pub(crate) fn geometry(&self) -> (u64, usize, u32) {
+        (self.side, self.bucket_entries, self.mapping)
+    }
+
+    /// Rebuilds a chain from persisted geometry and blocks (snapshot
+    /// restore); block order is preserved because chain inserts probe blocks
+    /// in creation order and earlier blocks win attribution.
+    pub(crate) fn from_restored_parts(
+        side: u64,
+        bucket_entries: usize,
+        mapping: u32,
+        blocks: Vec<CompressedMatrix>,
+    ) -> Self {
+        Self {
+            blocks,
+            side,
+            bucket_entries,
+            mapping,
+        }
+    }
+
     /// Memory footprint in bytes.
     pub fn space_bytes(&self) -> usize {
         self.blocks

@@ -59,6 +59,16 @@ impl ParallelHiggs {
     /// Creates a parallel summary with `workers` aggregation threads
     /// (the paper uses one per layer; 2–4 is plenty for laptop-scale runs).
     pub fn new(config: HiggsConfig, workers: usize) -> Self {
+        Self::from_summary(HiggsSummary::with_deferred_aggregation(config), workers)
+    }
+
+    /// Wraps an existing summary (typically one restored from a snapshot,
+    /// see [`snapshot`](crate::snapshot)) in a fresh aggregation pipeline
+    /// with `workers` worker threads. The summary is switched to deferred
+    /// aggregation; any pending jobs it carries are dispatched on the next
+    /// insert or flush.
+    pub fn from_summary(mut summary: HiggsSummary, workers: usize) -> Self {
+        summary.defer_aggregation = true;
         let workers = workers.max(1);
         let (job_tx, job_rx) = unbounded::<Job>();
         let (result_tx, result_rx) = unbounded::<JobResult>();
@@ -87,7 +97,7 @@ impl ParallelHiggs {
             })
             .collect();
         Self {
-            inner: HiggsSummary::with_deferred_aggregation(config),
+            inner: summary,
             job_tx: Some(job_tx),
             result_rx,
             workers: handles,

@@ -66,7 +66,7 @@ use higgs_common::{
     Query, ShardPlan, StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection, VertexId,
     Weight,
 };
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
 
@@ -83,6 +83,38 @@ const WRITER_COALESCE: usize = 64;
 /// Edges per routed batch sent by [`IngestHandle::insert_all`]; amortises one
 /// channel send over many edges without letting per-shard buffers grow large.
 const INGEST_CHUNK: usize = 512;
+
+/// Process-wide count of live shard writer threads.
+static LIVE_WRITERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of shard writer threads currently alive in this process, across
+/// every [`ShardedHiggs`] instance. Drop joins a service's writers, so after
+/// the last service is gone this returns to zero — the regression hook the
+/// snapshot/restore tests use to prove repeated restore cycles never leak
+/// writer threads.
+pub fn live_writer_threads() -> usize {
+    LIVE_WRITERS.load(Ordering::SeqCst)
+}
+
+/// RAII increment of [`LIVE_WRITERS`]. Created on the **spawning** side
+/// (before the thread runs) and moved into the writer thread, so the count
+/// covers the writer's whole lifetime deterministically: it reads `shards`
+/// the instant construction returns and `0` the instant drop's join
+/// returns. Decrements on any exit path, panic included.
+struct WriterGuard;
+
+impl WriterGuard {
+    fn enter() -> Self {
+        LIVE_WRITERS.fetch_add(1, Ordering::SeqCst);
+        WriterGuard
+    }
+}
+
+impl Drop for WriterGuard {
+    fn drop(&mut self) {
+        LIVE_WRITERS.fetch_sub(1, Ordering::SeqCst);
+    }
+}
 
 /// A command processed by one shard's writer thread, in FIFO order.
 #[allow(clippy::large_enum_variant)]
@@ -283,7 +315,10 @@ fn writer_loop(
     shard: Arc<RwLock<ParallelHiggs>>,
     rx: Receiver<ShardCommand>,
     discard: Arc<std::sync::atomic::AtomicBool>,
+    guard: WriterGuard,
 ) {
+    let _guard = guard;
+
     fn apply(pipeline: &mut ParallelHiggs, command: ShardCommand) {
         match command {
             ShardCommand::Insert(edge) => pipeline.insert(&edge),
@@ -349,21 +384,41 @@ impl ShardedHiggs {
         workers_per_shard: usize,
     ) -> Result<Self, ConfigError> {
         config.validate()?;
-        let num_shards = config.shards;
+        let pipelines = (0..config.shards)
+            .map(|_| ParallelHiggs::new(config, workers_per_shard))
+            .collect();
+        Self::from_pipelines(config, pipelines)
+    }
+
+    /// Assembles a service around pre-built per-shard pipelines (fresh ones
+    /// for [`try_with_workers`], restored ones for snapshot restore),
+    /// spawning one writer thread per shard with an empty queue.
+    pub(crate) fn from_pipelines(
+        config: HiggsConfig,
+        pipelines: Vec<ParallelHiggs>,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        if pipelines.len() != config.shards {
+            return Err(ConfigError::InvalidShardCount {
+                shards: pipelines.len(),
+            });
+        }
+        let num_shards = pipelines.len();
         let mut shards = Vec::with_capacity(num_shards);
         let mut senders = Vec::with_capacity(num_shards);
         let mut writers = Vec::with_capacity(num_shards);
         let discard = Arc::new(std::sync::atomic::AtomicBool::new(false));
-        for _ in 0..num_shards {
-            let shard = Arc::new(RwLock::new(ParallelHiggs::new(config, workers_per_shard)));
+        for pipeline in pipelines {
+            let shard = Arc::new(RwLock::new(pipeline));
             let (tx, rx) = match config.ingest_queue_cap {
                 Some(cap) => bounded::<ShardCommand>(cap),
                 None => unbounded::<ShardCommand>(),
             };
             let worker_shard = shard.clone();
             let worker_discard = discard.clone();
+            let guard = WriterGuard::enter();
             writers.push(std::thread::spawn(move || {
-                writer_loop(worker_shard, rx, worker_discard)
+                writer_loop(worker_shard, rx, worker_discard, guard)
             }));
             shards.push(shard);
             senders.push(tx);
@@ -377,6 +432,12 @@ impl ShardedHiggs {
             writers,
             discard,
         })
+    }
+
+    /// The per-shard pipelines (crate-internal; the snapshot codec reads
+    /// each shard's summary under its lock).
+    pub(crate) fn shard_pipelines(&self) -> &[Arc<RwLock<ParallelHiggs>>] {
+        &self.shards
     }
 
     /// Number of shards.

@@ -1,0 +1,1117 @@
+//! Snapshot / restore persistence for HIGGS summaries and the sharded
+//! service (the *warm restart* subsystem).
+//!
+//! A production service cannot re-ingest its whole stream after every
+//! restart; the HIGGS summary **is** the state worth persisting — orders of
+//! magnitude smaller than the raw temporal graph. This module defines a
+//! versioned binary snapshot format on top of
+//! [`higgs_common::codec`] (checksummed little-endian primitives with
+//! length-prefixed sections) and two persistence surfaces:
+//!
+//! * [`HiggsSummary::write_snapshot`] / [`HiggsSummary::read_snapshot`] —
+//!   one summary to/from any `Write`/`Read` stream, and
+//! * [`ShardedHiggs::snapshot_to_dir`] / [`ShardedHiggs::restore_from_dir`]
+//!   — the whole sharded service to/from a directory: one file per shard
+//!   plus a [`SnapshotManifest`].
+//!
+//! # File format (version 1)
+//!
+//! Every file opens with an 8-byte magic and a `u32` format version,
+//! continues with length-prefixed sections (`tag: u16 | len: u64 |
+//! payload`), and closes with a `u64` FNV-1a checksum over every preceding
+//! byte. A summary file carries four sections:
+//!
+//! | tag | section   | contents                                            |
+//! |-----|-----------|-----------------------------------------------------|
+//! | 1   | config    | every [`HiggsConfig`] knob                          |
+//! | 2   | meta      | `total_items`, mutation epoch, deferred-aggregation flag, pending jobs |
+//! | 3   | leaves    | per leaf: time range, item count, slab matrix, overflow chain |
+//! | 4   | internals | per level, per node: time range, optional aggregate matrix |
+//!
+//! Slab matrices are persisted **raw**: the per-bucket occupancy array
+//! followed by only the occupied slots in slab order (empty slots carry no
+//! information), then the spill list — so a snapshot's size tracks the
+//! stored entries, and restore rebuilds the exact same slab bytes. Runtime
+//! state (plan cache, plan counter) is deliberately *not* persisted: it is
+//! re-derivable and epoch-guarded, so a restored summary starts with a cold
+//! plan cache but the **persisted mutation epoch**, keeping epoch
+//! monotonicity across restarts.
+//!
+//! The manifest file (tag 5) records the format version, the full service
+//! config (including the shard count — routing is the pure function
+//! [`higgs_common::hashing::shard_of`] of `(vertex, shards)`, so no routing
+//! seed beyond the count exists), and each shard file's checksum and item
+//! count. Restore verifies, in order: manifest magic/version/checksum, that
+//! no extra shard file exists beyond the manifest's count
+//! ([`SnapshotError::ShardCountMismatch`]), then each shard file's own
+//! checksum **and** its manifest-recorded checksum
+//! ([`SnapshotError::ShardChecksumMismatch`]) before any shard state is
+//! served.
+//!
+//! # Consistency guarantee
+//!
+//! [`ShardedHiggs::snapshot_to_dir`] first drives the acked-`Flush` clock
+//! (the same mechanism that makes queries read-your-writes), so the snapshot
+//! covers every mutation enqueued before the call — by the caller or any
+//! [`IngestHandle`](crate::IngestHandle) clone — including background
+//! aggregations. Mutations enqueued concurrently *during* the snapshot may
+//! or may not be included per shard (the same per-shard-prefix semantics
+//! concurrent readers get); quiesce producers first if a global cut is
+//! required.
+//!
+//! # Versioning policy
+//!
+//! `FORMAT_VERSION` is bumped on any layout change. Readers reject files
+//! with a newer version than they understand
+//! ([`SnapshotError::UnsupportedVersion`]) instead of guessing; older
+//! versions remain readable for as long as the changelog documents them
+//! (version 1 is the initial format). Unknown *trailing* sections are a
+//! forward-compatible extension point — the section length lets a reader
+//! skip what it does not understand.
+
+use crate::config::{ConfigError, HiggsConfig};
+use crate::matrix::{CompressedMatrix, Slot, SpillEntry};
+use crate::node::{InternalNode, LeafNode};
+use crate::overflow::OverflowChain;
+use crate::parallel::ParallelHiggs;
+use crate::shard::ShardedHiggs;
+use crate::tree::{HiggsSummary, PendingAggregation};
+use higgs_common::codec::{CodecError, Decoder, Encoder};
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic opening a single-summary snapshot file (`HIGGSSUM`).
+pub const SUMMARY_MAGIC: u64 = u64::from_le_bytes(*b"HIGGSSUM");
+/// Magic opening a sharded-service manifest file (`HIGGSMAN`).
+pub const MANIFEST_MAGIC: u64 = u64::from_le_bytes(*b"HIGGSMAN");
+/// Current snapshot format version (see the module docs for the policy).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Manifest file name inside a snapshot directory.
+pub const MANIFEST_FILE: &str = "manifest.higgs";
+
+const TAG_CONFIG: u16 = 1;
+const TAG_META: u16 = 2;
+const TAG_LEAVES: u16 = 3;
+const TAG_INTERNALS: u16 = 4;
+const TAG_MANIFEST: u16 = 5;
+
+// Decode-side sanity limits: far above anything a real summary holds, low
+// enough that a corrupt length can never drive a huge allocation.
+const MAX_LEAVES: u64 = 1 << 32;
+const MAX_LEVELS: u64 = 64;
+const MAX_NODES: u64 = 1 << 32;
+const MAX_BLOCKS: u64 = 1 << 24;
+const MAX_SPILL: u64 = 1 << 32;
+const MAX_PENDING: u64 = 1 << 32;
+const MAX_MATRIX_SIDE: u64 = 1 << 20;
+
+/// Upper bound on any single up-front allocation during decode (in
+/// elements). Counts and geometry fields are read **before** the checksum
+/// can be verified (it trails the file), so a corrupt length must never be
+/// trusted with a large `Vec::with_capacity`: buffers start at most this
+/// big and grow only as bytes actually arrive from the source, which means
+/// a truncated or bit-flipped file fails with a typed error after a small,
+/// bounded allocation instead of aborting on OOM.
+const MAX_PREALLOC: usize = 1 << 16;
+
+/// Reads exactly `total` bytes in bounded chunks, growing the buffer as the
+/// data actually arrives (see [`MAX_PREALLOC`]).
+fn read_chunked_bytes<R: Read>(dec: &mut Decoder<R>, total: usize) -> Result<Vec<u8>, CodecError> {
+    let mut bytes = Vec::with_capacity(total.min(MAX_PREALLOC));
+    while bytes.len() < total {
+        let take = (total - bytes.len()).min(MAX_PREALLOC);
+        let start = bytes.len();
+        bytes.resize(start + take, 0);
+        dec.get_bytes(&mut bytes[start..])?;
+    }
+    Ok(bytes)
+}
+
+/// Why a snapshot write or restore failed. Every failure mode is typed —
+/// corruption is reported, never a panic or a silently wrong summary.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem / stream I/O failed.
+    Io(std::io::Error),
+    /// The byte stream violated the codec layer: truncated input, a
+    /// checksum mismatch, or a malformed primitive.
+    Codec(CodecError),
+    /// The file does not open with the expected magic (not a snapshot, or
+    /// the wrong kind of snapshot file).
+    BadMagic {
+        /// The magic the reader expected.
+        expected: u64,
+        /// The bytes actually found.
+        found: u64,
+    },
+    /// The file was written by a newer format version than this build
+    /// understands.
+    UnsupportedVersion {
+        /// Version recorded in the file.
+        found: u32,
+        /// Newest version this build reads.
+        supported: u32,
+    },
+    /// The persisted configuration failed [`HiggsConfig::validate`].
+    Config(ConfigError),
+    /// A structural invariant was violated after the bytes decoded cleanly
+    /// (e.g. occupancy exceeding the bucket capacity); the message names the
+    /// violation.
+    Corrupt(String),
+    /// The snapshot directory holds a different number of shard files than
+    /// the manifest declares.
+    ShardCountMismatch {
+        /// Shard count recorded in the manifest.
+        manifest: usize,
+        /// Shard files actually present.
+        found: usize,
+    },
+    /// A shard file's content checksum does not match what the manifest
+    /// recorded for it (the file was swapped or modified after the
+    /// snapshot).
+    ShardChecksumMismatch {
+        /// Index of the offending shard.
+        shard: usize,
+        /// Checksum recorded in the manifest.
+        manifest: u64,
+        /// Checksum computed from the shard file.
+        file: u64,
+    },
+    /// A shard file named by the manifest is missing.
+    MissingShard {
+        /// Index of the missing shard.
+        shard: usize,
+        /// The path that was expected to exist.
+        path: PathBuf,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::Codec(e) => write!(f, "snapshot encoding error: {e}"),
+            SnapshotError::BadMagic { expected, found } => write!(
+                f,
+                "bad snapshot magic: expected {expected:#018x}, found {found:#018x}"
+            ),
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is newer than the supported version {supported}"
+            ),
+            SnapshotError::Config(e) => write!(f, "persisted configuration is invalid: {e}"),
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            SnapshotError::ShardCountMismatch { manifest, found } => write!(
+                f,
+                "manifest declares {manifest} shard(s) but the directory holds {found}"
+            ),
+            SnapshotError::ShardChecksumMismatch {
+                shard,
+                manifest,
+                file,
+            } => write!(
+                f,
+                "shard {shard} checksum {file:#018x} does not match the manifest's {manifest:#018x}"
+            ),
+            SnapshotError::MissingShard { shard, path } => {
+                write!(f, "shard {shard} file missing: {}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Codec(e) => Some(e),
+            SnapshotError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<CodecError> for SnapshotError {
+    fn from(e: CodecError) -> Self {
+        SnapshotError::Codec(e)
+    }
+}
+
+impl From<ConfigError> for SnapshotError {
+    fn from(e: ConfigError) -> Self {
+        SnapshotError::Config(e)
+    }
+}
+
+// --- primitive encoders ----------------------------------------------------
+
+fn encode_config<W: Write>(
+    enc: &mut Encoder<W>,
+    config: &HiggsConfig,
+) -> Result<(), SnapshotError> {
+    enc.put_u64(config.d1)?;
+    enc.put_u32(config.f1_bits)?;
+    enc.put_u32(config.r_bits)?;
+    enc.put_u64(config.bucket_entries as u64)?;
+    enc.put_u32(config.mapping_addresses)?;
+    enc.put_bool(config.overflow_blocks)?;
+    enc.put_u64(config.shards as u64)?;
+    enc.put_u64(config.plan_cache_capacity as u64)?;
+    match config.ingest_queue_cap {
+        Some(cap) => {
+            enc.put_bool(true)?;
+            enc.put_u64(cap as u64)?;
+        }
+        None => enc.put_bool(false)?,
+    }
+    Ok(())
+}
+
+fn decode_config<R: Read>(dec: &mut Decoder<R>) -> Result<HiggsConfig, SnapshotError> {
+    let d1 = dec.get_u64()?;
+    let f1_bits = dec.get_u32()?;
+    let r_bits = dec.get_u32()?;
+    let bucket_entries = dec.get_len(u8::MAX as u64, "bucket_entries")?;
+    let mapping_addresses = dec.get_u32()?;
+    let overflow_blocks = dec.get_bool()?;
+    let shards = dec.get_len(crate::shard::MAX_SHARDS as u64, "shards")?;
+    let plan_cache_capacity = dec.get_len(u32::MAX as u64, "plan_cache_capacity")?;
+    let ingest_queue_cap = if dec.get_bool()? {
+        Some(dec.get_len(u64::MAX >> 1, "ingest_queue_cap")?)
+    } else {
+        None
+    };
+    let config = HiggsConfig {
+        d1,
+        f1_bits,
+        r_bits,
+        bucket_entries,
+        mapping_addresses,
+        overflow_blocks,
+        shards,
+        plan_cache_capacity,
+        ingest_queue_cap,
+    };
+    config.validate()?;
+    Ok(config)
+}
+
+fn encode_matrix<W: Write>(
+    enc: &mut Encoder<W>,
+    matrix: &CompressedMatrix,
+) -> Result<(), SnapshotError> {
+    enc.put_u64(matrix.side())?;
+    enc.put_u32(matrix.layer())?;
+    enc.put_u64(matrix.bucket_entries() as u64)?;
+    enc.put_u32(matrix.mapping())?;
+    let lens = matrix.raw_lens();
+    enc.put_bytes(lens)?;
+    for bucket in 0..lens.len() {
+        for slot in matrix.bucket_occupied_slots(bucket) {
+            enc.put_u64(slot.key)?;
+            enc.put_u16(slot.idx)?;
+            enc.put_u32(slot.time_offset)?;
+            enc.put_i64(slot.weight)?;
+        }
+    }
+    enc.put_u64(matrix.spill_entries().len() as u64)?;
+    for spill in matrix.spill_entries() {
+        enc.put_u64(spill.addr_src)?;
+        enc.put_u64(spill.addr_dst)?;
+        enc.put_u32(spill.fp_src)?;
+        enc.put_u32(spill.fp_dst)?;
+        enc.put_i64(spill.weight)?;
+    }
+    Ok(())
+}
+
+fn decode_matrix<R: Read>(dec: &mut Decoder<R>) -> Result<CompressedMatrix, SnapshotError> {
+    let side = dec.get_u64()?;
+    let layer = dec.get_u32()?;
+    let bucket_entries = dec.get_len(u8::MAX as u64, "matrix bucket_entries")?;
+    let mapping = dec.get_u32()?;
+    // Pre-validate what CompressedMatrix::new would otherwise assert on, so
+    // a corrupt snapshot reports a typed error instead of panicking.
+    if !side.is_power_of_two() || !(2..=MAX_MATRIX_SIDE).contains(&side) {
+        return Err(SnapshotError::Corrupt(format!(
+            "matrix side {side} is not a power of two in [2, {MAX_MATRIX_SIDE}]"
+        )));
+    }
+    if bucket_entries == 0 {
+        return Err(SnapshotError::Corrupt(
+            "matrix bucket_entries must be at least 1".into(),
+        ));
+    }
+    if mapping == 0 || mapping as usize > crate::matrix::MAX_MAPPING {
+        return Err(SnapshotError::Corrupt(format!(
+            "matrix mapping {mapping} outside [1, {}]",
+            crate::matrix::MAX_MAPPING
+        )));
+    }
+    // Read everything BEFORE constructing the matrix: `CompressedMatrix::new`
+    // eagerly allocates `b · d²` slots, so a corrupt `side` field must first
+    // have to prove itself by actually delivering `d²` occupancy bytes —
+    // a bit-flipped geometry on a small file dies with UnexpectedEof after a
+    // bounded chunked read, never with an OOM abort.
+    let buckets = (side * side) as usize;
+    let lens = read_chunked_bytes(dec, buckets)?;
+    let occupied_count: usize = lens.iter().map(|&l| l as usize).sum();
+    let mut occupied = Vec::with_capacity(occupied_count.min(MAX_PREALLOC));
+    for _ in 0..occupied_count {
+        occupied.push(Slot {
+            key: dec.get_u64()?,
+            idx: dec.get_u16()?,
+            time_offset: dec.get_u32()?,
+            weight: dec.get_i64()?,
+        });
+    }
+    let spill_count = dec.get_len(MAX_SPILL, "matrix spill count")?;
+    let mut spill = Vec::with_capacity(spill_count.min(MAX_PREALLOC));
+    for _ in 0..spill_count {
+        spill.push(SpillEntry {
+            addr_src: dec.get_u64()?,
+            addr_dst: dec.get_u64()?,
+            fp_src: dec.get_u32()?,
+            fp_dst: dec.get_u32()?,
+            weight: dec.get_i64()?,
+        });
+    }
+    let mut matrix = CompressedMatrix::new(side, layer, bucket_entries, mapping);
+    matrix
+        .restore_slab(lens, occupied, spill)
+        .map_err(SnapshotError::Corrupt)?;
+    Ok(matrix)
+}
+
+fn encode_chain<W: Write>(
+    enc: &mut Encoder<W>,
+    chain: &OverflowChain,
+) -> Result<(), SnapshotError> {
+    let (side, bucket_entries, mapping) = chain.geometry();
+    enc.put_u64(side)?;
+    enc.put_u64(bucket_entries as u64)?;
+    enc.put_u32(mapping)?;
+    enc.put_u64(chain.blocks().len() as u64)?;
+    for block in chain.blocks() {
+        encode_matrix(enc, block)?;
+    }
+    Ok(())
+}
+
+fn decode_chain<R: Read>(dec: &mut Decoder<R>) -> Result<OverflowChain, SnapshotError> {
+    let side = dec.get_u64()?;
+    let bucket_entries = dec.get_len(u8::MAX as u64, "overflow bucket_entries")?;
+    let mapping = dec.get_u32()?;
+    // The chain geometry seeds `CompressedMatrix::new` for every FUTURE
+    // overflow block (the first post-restore same-timestamp burst), whose
+    // asserts would then panic inside a live service — validate it now, with
+    // the same bounds decode_matrix applies, so corrupt geometry is a typed
+    // error at restore time.
+    if !side.is_power_of_two() || !(2..=MAX_MATRIX_SIDE).contains(&side) {
+        return Err(SnapshotError::Corrupt(format!(
+            "overflow chain side {side} is not a power of two in [2, {MAX_MATRIX_SIDE}]"
+        )));
+    }
+    if bucket_entries == 0 {
+        return Err(SnapshotError::Corrupt(
+            "overflow chain bucket_entries must be at least 1".into(),
+        ));
+    }
+    if mapping == 0 || mapping as usize > crate::matrix::MAX_MAPPING {
+        return Err(SnapshotError::Corrupt(format!(
+            "overflow chain mapping {mapping} outside [1, {}]",
+            crate::matrix::MAX_MAPPING
+        )));
+    }
+    let blocks_len = dec.get_len(MAX_BLOCKS, "overflow block count")?;
+    let mut blocks = Vec::with_capacity(blocks_len.min(MAX_PREALLOC));
+    for _ in 0..blocks_len {
+        blocks.push(decode_matrix(dec)?);
+    }
+    Ok(OverflowChain::from_restored_parts(
+        side,
+        bucket_entries,
+        mapping,
+        blocks,
+    ))
+}
+
+fn encode_leaf<W: Write>(enc: &mut Encoder<W>, leaf: &LeafNode) -> Result<(), SnapshotError> {
+    enc.put_u64(leaf.start_time)?;
+    enc.put_u64(leaf.end_time)?;
+    enc.put_u64(leaf.items)?;
+    encode_matrix(enc, &leaf.matrix)?;
+    encode_chain(enc, &leaf.overflow)
+}
+
+fn decode_leaf<R: Read>(dec: &mut Decoder<R>) -> Result<LeafNode, SnapshotError> {
+    let start_time = dec.get_u64()?;
+    let end_time = dec.get_u64()?;
+    let items = dec.get_u64()?;
+    if end_time < start_time {
+        return Err(SnapshotError::Corrupt(format!(
+            "leaf time range [{start_time}, {end_time}] is inverted"
+        )));
+    }
+    let matrix = decode_matrix(dec)?;
+    let overflow = decode_chain(dec)?;
+    let mut leaf = LeafNode::new(matrix, overflow, start_time);
+    leaf.end_time = end_time;
+    leaf.items = items;
+    Ok(leaf)
+}
+
+/// Builds a section payload with an in-memory encoder.
+fn section_payload(
+    build: impl FnOnce(&mut Encoder<&mut Vec<u8>>) -> Result<(), SnapshotError>,
+) -> Result<Vec<u8>, SnapshotError> {
+    let mut payload = Vec::new();
+    let mut enc = Encoder::new(&mut payload);
+    build(&mut enc)?;
+    Ok(payload)
+}
+
+fn read_header<R: Read>(dec: &mut Decoder<R>, expected_magic: u64) -> Result<(), SnapshotError> {
+    let magic = dec.get_u64()?;
+    if magic != expected_magic {
+        return Err(SnapshotError::BadMagic {
+            expected: expected_magic,
+            found: magic,
+        });
+    }
+    let version = dec.get_u32()?;
+    if version > FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    Ok(())
+}
+
+/// Reads a section header and checks the tag is the expected one (sections
+/// are written in a fixed order in version 1).
+fn expect_section<R: Read>(
+    dec: &mut Decoder<R>,
+    expected: u16,
+) -> Result<(u64, u64), SnapshotError> {
+    let (tag, len) = dec.section_header()?;
+    if tag != expected {
+        return Err(SnapshotError::Corrupt(format!(
+            "expected section {expected}, found {tag}"
+        )));
+    }
+    Ok((len, dec.bytes_read()))
+}
+
+impl HiggsSummary {
+    /// Serialises this summary into `sink` as one self-contained snapshot
+    /// document (magic, version, config / meta / leaves / internals
+    /// sections, trailing checksum). Returns the document checksum — the
+    /// value [`ShardedHiggs::snapshot_to_dir`] records per shard in its
+    /// manifest.
+    ///
+    /// Deferred-aggregation state is persisted faithfully: unmaterialised
+    /// internal nodes are written without a matrix and the pending-job list
+    /// rides along, so snapshotting a [`ParallelHiggs`]-driven summary
+    /// mid-aggregation restores to exactly the same (still correct,
+    /// leaf-descending) query behaviour. Snapshot after a flush for fully
+    /// materialised files.
+    pub fn write_snapshot<W: Write>(&self, sink: &mut W) -> Result<u64, SnapshotError> {
+        let mut enc = Encoder::new(sink);
+        enc.put_u64(SUMMARY_MAGIC)?;
+        enc.put_u32(FORMAT_VERSION)?;
+
+        let config_payload = section_payload(|enc| encode_config(enc, &self.config))?;
+        enc.section(TAG_CONFIG, &config_payload)?;
+
+        let meta_payload = section_payload(|enc| {
+            enc.put_u64(self.total_items)?;
+            enc.put_u64(self.epoch)?;
+            enc.put_bool(self.defer_aggregation)?;
+            enc.put_u64(self.pending.len() as u64)?;
+            for job in &self.pending {
+                enc.put_u64(job.level as u64)?;
+                enc.put_u64(job.index as u64)?;
+            }
+            Ok(())
+        })?;
+        enc.section(TAG_META, &meta_payload)?;
+
+        let leaves_payload = section_payload(|enc| {
+            enc.put_u64(self.leaves.len() as u64)?;
+            for leaf in &self.leaves {
+                encode_leaf(enc, leaf)?;
+            }
+            Ok(())
+        })?;
+        enc.section(TAG_LEAVES, &leaves_payload)?;
+
+        let internals_payload = section_payload(|enc| {
+            enc.put_u64(self.internals.len() as u64)?;
+            for level in &self.internals {
+                enc.put_u64(level.len() as u64)?;
+                for node in level {
+                    enc.put_u64(node.start_time)?;
+                    enc.put_u64(node.end_time)?;
+                    match &node.matrix {
+                        Some(matrix) => {
+                            enc.put_bool(true)?;
+                            encode_matrix(enc, matrix)?;
+                        }
+                        None => enc.put_bool(false)?,
+                    }
+                }
+            }
+            Ok(())
+        })?;
+        enc.section(TAG_INTERNALS, &internals_payload)?;
+
+        Ok(enc.finish_with_checksum()?)
+    }
+
+    /// Reads a snapshot written by [`write_snapshot`](Self::write_snapshot)
+    /// back into a summary, verifying magic, format version, section
+    /// framing, structural invariants, and the trailing checksum. On success
+    /// the returned summary answers every query bit-identically to the one
+    /// that was snapshotted (with a cold plan cache); every failure mode is
+    /// a typed [`SnapshotError`].
+    pub fn read_snapshot<R: Read>(source: &mut R) -> Result<Self, SnapshotError> {
+        let (summary, _) = Self::read_snapshot_with_checksum(source)?;
+        Ok(summary)
+    }
+
+    /// [`read_snapshot`](Self::read_snapshot), additionally returning the
+    /// verified document checksum (compared against the manifest during
+    /// sharded restore).
+    pub fn read_snapshot_with_checksum<R: Read>(
+        source: &mut R,
+    ) -> Result<(Self, u64), SnapshotError> {
+        let mut dec = Decoder::new(source);
+        read_header(&mut dec, SUMMARY_MAGIC)?;
+
+        let (len, start) = expect_section(&mut dec, TAG_CONFIG)?;
+        let config = decode_config(&mut dec)?;
+        dec.expect_section_end(start, len, TAG_CONFIG)?;
+
+        let (len, start) = expect_section(&mut dec, TAG_META)?;
+        let total_items = dec.get_u64()?;
+        let epoch = dec.get_u64()?;
+        let defer_aggregation = dec.get_bool()?;
+        let pending_len = dec.get_len(MAX_PENDING, "pending job count")?;
+        let mut pending = Vec::with_capacity(pending_len.min(MAX_PREALLOC));
+        for _ in 0..pending_len {
+            pending.push(PendingAggregation {
+                level: dec.get_len(MAX_LEVELS, "pending job level")?,
+                index: dec.get_len(MAX_NODES, "pending job index")?,
+            });
+        }
+        dec.expect_section_end(start, len, TAG_META)?;
+
+        let (len, start) = expect_section(&mut dec, TAG_LEAVES)?;
+        let leaf_count = dec.get_len(MAX_LEAVES, "leaf count")?;
+        let mut leaves = Vec::with_capacity(leaf_count.min(MAX_PREALLOC));
+        for _ in 0..leaf_count {
+            leaves.push(decode_leaf(&mut dec)?);
+        }
+        dec.expect_section_end(start, len, TAG_LEAVES)?;
+
+        let (len, start) = expect_section(&mut dec, TAG_INTERNALS)?;
+        let level_count = dec.get_len(MAX_LEVELS, "internal level count")?;
+        let mut internals = Vec::with_capacity(level_count);
+        for _ in 0..level_count {
+            let node_count = dec.get_len(MAX_NODES, "internal node count")?;
+            let mut nodes = Vec::with_capacity(node_count.min(MAX_PREALLOC));
+            for _ in 0..node_count {
+                let start_time = dec.get_u64()?;
+                let end_time = dec.get_u64()?;
+                let matrix = if dec.get_bool()? {
+                    Some(decode_matrix(&mut dec)?)
+                } else {
+                    None
+                };
+                nodes.push(InternalNode {
+                    matrix,
+                    start_time,
+                    end_time,
+                });
+            }
+            internals.push(nodes);
+        }
+        dec.expect_section_end(start, len, TAG_INTERNALS)?;
+
+        let checksum = dec.verify_checksum()?;
+
+        // Cross-section validation: every pending aggregation job must name
+        // an existing, unmaterialised internal node — a job pointing past
+        // the restored tree would panic in `leaf_span` on the first insert
+        // or flush, long after restore reported success. (The checksum does
+        // not protect against this: it is trivially recomputable, so a
+        // crafted or version-skewed file can be checksum-valid yet
+        // structurally inconsistent.)
+        for job in &pending {
+            let node_exists = internals
+                .get(job.level)
+                .is_some_and(|nodes| job.index < nodes.len());
+            if !node_exists {
+                return Err(SnapshotError::Corrupt(format!(
+                    "pending aggregation job (level {}, index {}) does not name an \
+                     internal node of the restored tree",
+                    job.level, job.index
+                )));
+            }
+        }
+
+        let summary = HiggsSummary::from_restored_parts(
+            config,
+            leaves,
+            internals,
+            total_items,
+            defer_aggregation,
+            pending,
+            epoch,
+        )?;
+        Ok((summary, checksum))
+    }
+}
+
+/// The manifest of a sharded snapshot directory: format version, the full
+/// service configuration (shard count included — routing needs nothing
+/// else, `shard_of` is a pure function of `(vertex, shards)`), and one
+/// checksum + item count per shard file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotManifest {
+    /// Snapshot format version the directory was written with.
+    pub format_version: u32,
+    /// The service configuration, `shards` field included.
+    pub config: HiggsConfig,
+    /// Per-shard document checksums, indexed by shard.
+    pub shard_checksums: Vec<u64>,
+    /// Per-shard stored item counts at snapshot time (diagnostic).
+    pub shard_items: Vec<u64>,
+}
+
+impl SnapshotManifest {
+    /// Number of shards the snapshot holds.
+    pub fn shard_count(&self) -> usize {
+        self.shard_checksums.len()
+    }
+
+    /// Total items across all shards at snapshot time.
+    pub fn total_items(&self) -> u64 {
+        self.shard_items.iter().sum()
+    }
+
+    fn write_to(&self, sink: &mut impl Write) -> Result<u64, SnapshotError> {
+        let mut enc = Encoder::new(sink);
+        enc.put_u64(MANIFEST_MAGIC)?;
+        enc.put_u32(self.format_version)?;
+        let payload = section_payload(|enc| {
+            encode_config(enc, &self.config)?;
+            enc.put_u64(self.shard_checksums.len() as u64)?;
+            for (&checksum, &items) in self.shard_checksums.iter().zip(&self.shard_items) {
+                enc.put_u64(checksum)?;
+                enc.put_u64(items)?;
+            }
+            Ok(())
+        })?;
+        enc.section(TAG_MANIFEST, &payload)?;
+        Ok(enc.finish_with_checksum()?)
+    }
+
+    fn read_from(source: &mut impl Read) -> Result<Self, SnapshotError> {
+        let mut dec = Decoder::new(source);
+        let magic = dec.get_u64()?;
+        if magic != MANIFEST_MAGIC {
+            return Err(SnapshotError::BadMagic {
+                expected: MANIFEST_MAGIC,
+                found: magic,
+            });
+        }
+        let format_version = dec.get_u32()?;
+        if format_version > FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: format_version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let (len, start) = expect_section(&mut dec, TAG_MANIFEST)?;
+        let config = decode_config(&mut dec)?;
+        let shard_count = dec.get_len(crate::shard::MAX_SHARDS as u64, "manifest shard count")?;
+        let mut shard_checksums = Vec::with_capacity(shard_count);
+        let mut shard_items = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            shard_checksums.push(dec.get_u64()?);
+            shard_items.push(dec.get_u64()?);
+        }
+        dec.expect_section_end(start, len, TAG_MANIFEST)?;
+        dec.verify_checksum()?;
+        if shard_count != config.shards {
+            return Err(SnapshotError::Corrupt(format!(
+                "manifest shard table holds {shard_count} entries but the config declares {} shards",
+                config.shards
+            )));
+        }
+        Ok(Self {
+            format_version,
+            config,
+            shard_checksums,
+            shard_items,
+        })
+    }
+
+    /// Reads and verifies the manifest of a snapshot directory without
+    /// touching the shard files (a cheap pre-flight / inspection hook).
+    pub fn read_from_dir(dir: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        let path = dir.as_ref().join(MANIFEST_FILE);
+        let mut file = std::fs::File::open(&path)?;
+        Self::read_from(&mut file)
+    }
+}
+
+/// File name of shard `index` inside a snapshot directory.
+pub fn shard_file_name(index: usize) -> String {
+    format!("shard-{index:03}.higgs")
+}
+
+impl ShardedHiggs {
+    /// Snapshots the whole service into `dir` (created if absent): one
+    /// summary snapshot file per shard plus a [`SnapshotManifest`]
+    /// (`manifest.higgs`, written last so a crashed snapshot never leaves a
+    /// directory that passes restore validation).
+    ///
+    /// The snapshot is **read-your-writes consistent**: the acked-`Flush`
+    /// clock is driven first, exactly as for queries, so every mutation
+    /// enqueued before this call — through the trait surface or any
+    /// [`IngestHandle`](crate::IngestHandle) clone — is included, background
+    /// aggregations materialised. See the [module docs](self) for the
+    /// concurrent-ingest caveat.
+    pub fn snapshot_to_dir(
+        &self,
+        dir: impl AsRef<Path>,
+    ) -> Result<SnapshotManifest, SnapshotError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        self.flush();
+        let shards = self.shard_pipelines();
+        let mut shard_checksums = Vec::with_capacity(shards.len());
+        let mut shard_items = Vec::with_capacity(shards.len());
+        let mut config = None;
+        for (index, shard) in shards.iter().enumerate() {
+            let pipeline = shard.read().expect("shard lock poisoned");
+            let summary = pipeline.summary();
+            let path = dir.join(shard_file_name(index));
+            let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+            let checksum = summary.write_snapshot(&mut file)?;
+            file.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+            shard_checksums.push(checksum);
+            shard_items.push(summary.total_items());
+            config.get_or_insert(*summary.config());
+        }
+        // Remove stale shard files left by an earlier, larger snapshot into
+        // the same directory — restore's census would otherwise reject the
+        // whole directory (ShardCountMismatch) even though this snapshot
+        // succeeded.
+        let mut stale = shards.len();
+        loop {
+            let path = dir.join(shard_file_name(stale));
+            if !path.exists() {
+                break;
+            }
+            std::fs::remove_file(&path)?;
+            stale += 1;
+        }
+        let mut config = config.expect("a service holds at least one shard");
+        // Shard summaries carry the per-summary view of the config; the
+        // manifest records the *service* shard count so restore rebuilds the
+        // same partitioning.
+        config.shards = shards.len();
+        let manifest = SnapshotManifest {
+            format_version: FORMAT_VERSION,
+            config,
+            shard_checksums,
+            shard_items,
+        };
+        let path = dir.join(MANIFEST_FILE);
+        let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        manifest.write_to(&mut file)?;
+        file.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        Ok(manifest)
+    }
+
+    /// Rebuilds a warm service from a directory written by
+    /// [`snapshot_to_dir`](Self::snapshot_to_dir), with one aggregation
+    /// worker per shard. Writer threads restart with empty queues; the
+    /// restored service immediately serves queries bit-identically to the
+    /// snapshotted one and keeps accepting inserts/deletes.
+    pub fn restore_from_dir(dir: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        Self::restore_from_dir_with_workers(dir, 1)
+    }
+
+    /// [`restore_from_dir`](Self::restore_from_dir) with `workers_per_shard`
+    /// aggregation workers behind each shard's writer.
+    ///
+    /// Validation order: manifest (magic, version, checksum, internal
+    /// consistency), directory shard-file census against the manifest's
+    /// count, then each shard file's own checksum and its manifest-recorded
+    /// checksum. Nothing is spawned until every shard decoded cleanly, so a
+    /// failed restore never leaks writer threads.
+    pub fn restore_from_dir_with_workers(
+        dir: impl AsRef<Path>,
+        workers_per_shard: usize,
+    ) -> Result<Self, SnapshotError> {
+        let dir = dir.as_ref();
+        let manifest = SnapshotManifest::read_from_dir(dir)?;
+        let declared = manifest.shard_count();
+        // An extra shard file beyond the declared count means the manifest
+        // and the directory disagree (e.g. a manifest from a smaller
+        // service was copied in): refuse rather than silently drop data.
+        let mut present = 0usize;
+        while dir.join(shard_file_name(present)).exists() {
+            present += 1;
+        }
+        if present != declared {
+            return Err(SnapshotError::ShardCountMismatch {
+                manifest: declared,
+                found: present,
+            });
+        }
+        let mut summaries = Vec::with_capacity(declared);
+        for index in 0..declared {
+            let path = dir.join(shard_file_name(index));
+            let mut file = match std::fs::File::open(&path) {
+                Ok(f) => std::io::BufReader::new(f),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    return Err(SnapshotError::MissingShard { shard: index, path });
+                }
+                Err(e) => return Err(e.into()),
+            };
+            let (summary, checksum) = HiggsSummary::read_snapshot_with_checksum(&mut file)?;
+            if checksum != manifest.shard_checksums[index] {
+                return Err(SnapshotError::ShardChecksumMismatch {
+                    shard: index,
+                    manifest: manifest.shard_checksums[index],
+                    file: checksum,
+                });
+            }
+            summaries.push(summary);
+        }
+        let pipelines: Vec<ParallelHiggs> = summaries
+            .into_iter()
+            .map(|s| ParallelHiggs::from_summary(s, workers_per_shard))
+            .collect();
+        Ok(Self::from_pipelines(manifest.config, pipelines)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use higgs_common::{StreamEdge, TemporalGraphSummary, TimeRange};
+
+    #[test]
+    fn empty_summary_round_trips() {
+        let live = HiggsSummary::new(HiggsConfig::paper_default());
+        let mut bytes = Vec::new();
+        live.write_snapshot(&mut bytes).expect("snapshot empty");
+        let restored = HiggsSummary::read_snapshot(&mut bytes.as_slice()).expect("restore empty");
+        assert_eq!(restored.leaf_count(), 0);
+        assert_eq!(restored.total_items(), 0);
+        assert_eq!(restored.config(), live.config());
+        assert_eq!(restored.edge_query(1, 2, TimeRange::all()), 0);
+    }
+
+    #[test]
+    fn snapshot_preserves_epoch_and_counters_but_not_runtime_state() {
+        let mut live = HiggsSummary::new(HiggsConfig::paper_default());
+        for i in 0..500u64 {
+            live.insert(&StreamEdge::new(i % 30, (i * 7) % 30, 1, i));
+        }
+        live.delete(&StreamEdge::new(1, 7, 1, 1));
+        // Warm the plan cache and counter — runtime state that must NOT
+        // survive a snapshot.
+        let _ = live.query(&higgs_common::Query::edge(1, 7, TimeRange::all()));
+        assert!(live.plans_built() > 0);
+
+        let mut bytes = Vec::new();
+        live.write_snapshot(&mut bytes).expect("snapshot");
+        let restored = HiggsSummary::read_snapshot(&mut bytes.as_slice()).expect("restore");
+        assert_eq!(restored.mutation_epoch(), live.mutation_epoch());
+        assert_eq!(restored.total_items(), live.total_items());
+        assert_eq!(restored.plans_built(), 0, "plan counter starts fresh");
+        assert_eq!(restored.plan_cache_len(), 0, "plan cache starts cold");
+    }
+
+    #[test]
+    fn shard_file_names_are_stable() {
+        assert_eq!(shard_file_name(0), "shard-000.higgs");
+        assert_eq!(shard_file_name(63), "shard-063.higgs");
+    }
+
+    #[test]
+    fn snapshot_error_messages_name_the_failure() {
+        let cases = [
+            (
+                SnapshotError::BadMagic {
+                    expected: SUMMARY_MAGIC,
+                    found: 7,
+                }
+                .to_string(),
+                "bad snapshot magic",
+            ),
+            (
+                SnapshotError::UnsupportedVersion {
+                    found: 9,
+                    supported: FORMAT_VERSION,
+                }
+                .to_string(),
+                "newer than the supported",
+            ),
+            (
+                SnapshotError::ShardCountMismatch {
+                    manifest: 2,
+                    found: 4,
+                }
+                .to_string(),
+                "2 shard(s)",
+            ),
+            (
+                SnapshotError::ShardChecksumMismatch {
+                    shard: 1,
+                    manifest: 1,
+                    file: 2,
+                }
+                .to_string(),
+                "does not match the manifest",
+            ),
+            (
+                SnapshotError::Corrupt("broken".into()).to_string(),
+                "corrupt snapshot",
+            ),
+        ];
+        for (message, needle) in cases {
+            assert!(message.contains(needle), "{message:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_pending_job_is_rejected_not_deferred_to_a_panic() {
+        // A checksum-valid snapshot whose pending job points past the tree
+        // must fail at restore time with a typed error — not restore
+        // "successfully" and panic inside leaf_span on the first flush.
+        let mut live = HiggsSummary::with_deferred_aggregation(HiggsConfig {
+            d1: 4,
+            f1_bits: 12,
+            r_bits: 1,
+            bucket_entries: 2,
+            mapping_addresses: 2,
+            overflow_blocks: true,
+            shards: 1,
+            plan_cache_capacity: 8,
+            ingest_queue_cap: None,
+        });
+        for i in 0..2_000u64 {
+            live.insert(&StreamEdge::new(i % 60, (i * 7) % 60, 1, i));
+        }
+        assert!(
+            !live.pending.is_empty(),
+            "deferred summary must carry pending jobs for this test"
+        );
+        live.pending[0].index = 1_000_000; // structurally impossible
+        let mut bytes = Vec::new();
+        live.write_snapshot(&mut bytes).expect("snapshot");
+        match HiggsSummary::read_snapshot(&mut bytes.as_slice()) {
+            Err(SnapshotError::Corrupt(msg)) => {
+                assert!(msg.contains("pending aggregation job"), "{msg}");
+            }
+            other => panic!("out-of-range pending job must be Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_matrix_geometry_fails_typed_without_huge_allocation() {
+        // Blow the matrix side field up to the maximum the format allows: a
+        // small file must die with UnexpectedEof from the bounded chunked
+        // read — not abort on a terabyte allocation.
+        let mut live = HiggsSummary::new(HiggsConfig::paper_default());
+        for i in 0..200u64 {
+            live.insert(&StreamEdge::new(i % 20, (i * 3) % 20, 1, i));
+        }
+        let mut bytes = Vec::new();
+        live.write_snapshot(&mut bytes).expect("snapshot");
+        // The first leaf matrix's side u64 sits right after the leaves
+        // section header + leaf count + (start, end, items): locate the
+        // leaves section by scanning for its tag at a section boundary is
+        // brittle; instead patch every occurrence of the little-endian d1
+        // (16) that is followed by the layer field (1u32) — the matrix
+        // geometry prefix is the only place that byte pattern occurs.
+        let needle = [16u8, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0];
+        let pos = bytes
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .expect("leaf matrix geometry present");
+        bytes[pos..pos + 8].copy_from_slice(&MAX_MATRIX_SIDE.to_le_bytes());
+        match HiggsSummary::read_snapshot(&mut bytes.as_slice()) {
+            Err(SnapshotError::Codec(CodecError::UnexpectedEof)) => {}
+            // Depending on surrounding bytes the huge lens read may also be
+            // caught by a later structural check; any typed error is fine —
+            // the test's real assertion is "no OOM abort, no panic".
+            Err(SnapshotError::Corrupt(_) | SnapshotError::Codec(_)) => {}
+            other => panic!("corrupt geometry must be a typed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_overflow_chain_geometry_is_rejected_at_restore_time() {
+        // Chain geometry seeds future overflow blocks; a zero side would
+        // panic in CompressedMatrix::new on the first post-restore burst.
+        let mut live = HiggsSummary::new(HiggsConfig::paper_default());
+        for i in 0..50u64 {
+            live.insert(&StreamEdge::new(i % 10, (i * 3) % 10, 1, i));
+        }
+        let mut bytes = Vec::new();
+        live.write_snapshot(&mut bytes).expect("snapshot");
+        // The chain geometry prefix of the paper config is the unique byte
+        // run side=16u64, bucket_entries=1u64, mapping=4u32.
+        let mut needle = Vec::new();
+        needle.extend_from_slice(&16u64.to_le_bytes());
+        needle.extend_from_slice(&1u64.to_le_bytes());
+        needle.extend_from_slice(&4u32.to_le_bytes());
+        let pos = bytes
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .expect("chain geometry present");
+        bytes[pos..pos + 8].copy_from_slice(&0u64.to_le_bytes());
+        match HiggsSummary::read_snapshot(&mut bytes.as_slice()) {
+            Err(SnapshotError::Corrupt(msg)) => {
+                assert!(msg.contains("overflow chain side"), "{msg}");
+            }
+            other => panic!("zero chain side must be Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbled_section_order_is_a_typed_error() {
+        let mut summary = HiggsSummary::new(HiggsConfig::paper_default());
+        summary.insert(&StreamEdge::new(1, 2, 3, 4));
+        let mut bytes = Vec::new();
+        summary.write_snapshot(&mut bytes).expect("snapshot");
+        // Overwrite the first section tag (directly after magic + version)
+        // with a bogus tag: the reader must refuse with a typed error.
+        bytes[12] = 0xAA;
+        match HiggsSummary::read_snapshot(&mut bytes.as_slice()) {
+            Err(SnapshotError::Corrupt(msg)) => {
+                assert!(msg.contains("expected section"), "{msg}");
+            }
+            other => panic!("bogus section tag must be Corrupt, got {other:?}"),
+        }
+    }
+}

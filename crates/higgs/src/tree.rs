@@ -118,6 +118,45 @@ impl HiggsSummary {
         s
     }
 
+    /// Rebuilds a summary from persisted state (snapshot restore, see
+    /// [`snapshot`](crate::snapshot)): the validated configuration plus the
+    /// exact tree structure, stream counters, and mutation epoch the snapshot
+    /// recorded. Runtime-only state — the plan cache and the plan counter —
+    /// starts fresh; the restored epoch keeps monotonically increasing from
+    /// the persisted value, so any plan cached before the snapshot could
+    /// never be confused with a post-restore one anyway.
+    pub(crate) fn from_restored_parts(
+        config: HiggsConfig,
+        leaves: Vec<LeafNode>,
+        internals: Vec<Vec<InternalNode>>,
+        total_items: u64,
+        defer_aggregation: bool,
+        pending: Vec<PendingAggregation>,
+        epoch: u64,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let plan_cache = PlanCache::new(config.plan_cache_capacity);
+        Ok(Self {
+            layout: config.layout(),
+            config,
+            leaves,
+            internals,
+            total_items,
+            defer_aggregation,
+            pending,
+            plans_built: PlanCounter::default(),
+            epoch,
+            plan_cache,
+        })
+    }
+
+    /// Whether this summary records completed groups as pending jobs instead
+    /// of aggregating inline (see
+    /// [`with_deferred_aggregation`](Self::with_deferred_aggregation)).
+    pub fn defers_aggregation(&self) -> bool {
+        self.defer_aggregation
+    }
+
     /// Number of query plans built over the summary's lifetime (each is one
     /// Algorithm-3 boundary search). The plan-sharing batch executor builds
     /// at most one plan per distinct [`TimeRange`] in a batch — and, through

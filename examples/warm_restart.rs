@@ -1,0 +1,122 @@
+//! Warm restart: snapshot a live 4-shard HIGGS service to disk, restore it
+//! into a fresh process-like service, and prove the restored service answers
+//! a large mixed query batch **bit-identically** — then keep ingesting into
+//! it, because a restored service is a live service.
+//!
+//! This is also the CI snapshot round-trip gate: any divergence between the
+//! pre-snapshot and post-restore answers panics, failing the build.
+//!
+//! Run with: `cargo run -p higgs-examples --release --example warm_restart`
+
+use higgs::{HiggsConfig, ShardedHiggs};
+use higgs_common::generator::{DatasetPreset, ExperimentScale};
+use higgs_common::{Query, StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection};
+
+/// A mixed batch of 152 queries (all four TRQ kinds) over a handful of
+/// shared sliding windows, mirroring a monitoring tick. Endpoints are
+/// sampled from the live stream so the batch hits real mass.
+fn screening_batch(edges: &[StreamEdge], span: u64) -> Vec<Query> {
+    let pick = |k: u64| &edges[(k as usize * 131) % edges.len()];
+    let mut batch = Vec::new();
+    for k in 0..38u64 {
+        let start = (k % 8) * span / 10;
+        let window = TimeRange::new(start, start + span / 3);
+        let (a, b) = (pick(k), pick(k + 7));
+        batch.push(Query::edge(a.src, a.dst, window));
+        batch.push(Query::vertex(
+            b.src,
+            if k % 2 == 0 {
+                VertexDirection::Out
+            } else {
+                VertexDirection::In
+            },
+            window,
+        ));
+        batch.push(Query::path(vec![a.src, a.dst, b.dst], window));
+        batch.push(Query::subgraph(
+            vec![(a.src, a.dst), (b.src, b.dst)],
+            window,
+        ));
+    }
+    batch
+}
+
+fn main() {
+    let stream = DatasetPreset::Lkml.generate(ExperimentScale::Smoke);
+    let span = stream.time_span().expect("non-empty stream").end;
+
+    // A live 4-shard service under load.
+    let config = HiggsConfig::builder()
+        .shards(4)
+        .build()
+        .expect("valid configuration");
+    let mut service = ShardedHiggs::new(config);
+    service.insert_all(stream.edges());
+    for e in stream.edges().iter().step_by(9) {
+        service.delete(e);
+    }
+
+    let batch = screening_batch(stream.edges(), span);
+    let before = service.query_batch(&batch);
+    println!(
+        "warm restart demo — {} items live, {} queries in the screening batch",
+        service.total_items(),
+        batch.len()
+    );
+
+    // Snapshot to disk: one checksummed file per shard plus a manifest. The
+    // snapshot is read-your-writes consistent (the flush clock is driven
+    // first), so it covers every mutation above.
+    let dir = std::env::temp_dir().join(format!("higgs-warm-restart-{}", std::process::id()));
+    let manifest = service
+        .snapshot_to_dir(&dir)
+        .expect("snapshot must succeed");
+    let bytes: u64 = std::fs::read_dir(&dir)
+        .expect("snapshot dir readable")
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum();
+    println!(
+        "snapshot: format v{}, {} shards, {} items, {} KiB on disk at {}",
+        manifest.format_version,
+        manifest.shard_count(),
+        manifest.total_items(),
+        bytes / 1024,
+        dir.display()
+    );
+
+    // Simulate the restart: tear the service down completely (writers join),
+    // then rebuild it warm from the directory.
+    drop(service);
+    let mut restored = ShardedHiggs::restore_from_dir(&dir).expect("restore must succeed");
+    let after = restored.query_batch(&batch);
+
+    // The CI gate: a restored service must answer bit-identically.
+    assert_eq!(
+        before, after,
+        "restored service diverged from the live service"
+    );
+    println!(
+        "restored service answered all {} queries bit-identically ✔",
+        batch.len()
+    );
+
+    // A restored service is fully live: keep ingesting and re-screen.
+    let more: Vec<StreamEdge> = (0..5_000u64)
+        .map(|i| StreamEdge::new(i % 200, (i * 23) % 200, 1 + i % 3, span + i / 4))
+        .collect();
+    restored.insert_all(&more);
+    restored.delete(&more[100]);
+    let items = restored.total_items();
+    let rescreen = restored.query_batch(&batch);
+    println!(
+        "after 5k more inserts: {} items, full-window query sum {} (was {})",
+        items,
+        rescreen.iter().sum::<u64>(),
+        after.iter().sum::<u64>()
+    );
+
+    std::fs::remove_dir_all(&dir).expect("snapshot dir cleanup");
+    println!("warm restart round-trip complete");
+}

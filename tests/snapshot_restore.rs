@@ -1,0 +1,398 @@
+//! Snapshot / restore correctness: property tests that a
+//! snapshot→restore→query cycle is **bit-identical** to the live summary
+//! across random insert/delete workloads — for a single `HiggsSummary`
+//! (paper-default and collision-heavy configurations) and for `ShardedHiggs`
+//! at 1/2/4 shards — plus corruption tests proving every damaged input maps
+//! to a typed `SnapshotError` (never a panic, never a silently wrong
+//! answer), and a restored-service liveness check.
+
+use higgs::snapshot::{shard_file_name, MANIFEST_FILE};
+use higgs::{HiggsConfig, HiggsSummary, ShardedHiggs, SnapshotError, SnapshotManifest};
+use higgs_common::codec::CodecError;
+use higgs_common::{Query, StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+const MAX_T: u64 = 2_000;
+
+/// A unique temp directory removed on drop (the workspace has no `tempfile`
+/// dependency).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(label: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "higgs-snap-test-{label}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        Self(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn edge_strategy() -> impl Strategy<Value = StreamEdge> {
+    (0u64..40, 0u64..40, 1u64..5, 0u64..MAX_T).prop_map(|(s, d, w, t)| StreamEdge::new(s, d, w, t))
+}
+
+fn stream_strategy(max_len: usize) -> impl Strategy<Value = Vec<StreamEdge>> {
+    prop::collection::vec(edge_strategy(), 1..max_len).prop_map(|mut edges| {
+        edges.sort_by_key(|e| e.timestamp);
+        edges
+    })
+}
+
+fn mixed_query_strategy() -> impl Strategy<Value = Query> {
+    (0u8..4, 0u64..40, 0u64..40, 0u64..40, 0u64..8).prop_map(|(kind, a, b, c, window)| {
+        let start = window * (MAX_T / 8);
+        let range = TimeRange::new(start, start + MAX_T / 4);
+        match kind {
+            0 => Query::edge(a, b, range),
+            1 => Query::vertex(
+                a,
+                if b % 2 == 0 {
+                    VertexDirection::Out
+                } else {
+                    VertexDirection::In
+                },
+                range,
+            ),
+            2 => Query::path(vec![a, b, c, (a + b) % 40], range),
+            _ => Query::subgraph(vec![(a, b), (b, c), (c, a)], range),
+        }
+    })
+}
+
+/// Deliberately under-sized parameters: heavy fingerprint collisions and
+/// overflow-block usage, so the snapshot codec has to preserve collision
+/// state (shared slots, spills, chains) exactly — not just the easy regime.
+fn collision_heavy_config(shards: usize) -> HiggsConfig {
+    HiggsConfig {
+        d1: 4,
+        f1_bits: 10,
+        r_bits: 1,
+        bucket_entries: 2,
+        mapping_addresses: 2,
+        overflow_blocks: true,
+        shards,
+        plan_cache_capacity: 8,
+        ingest_queue_cap: None,
+    }
+}
+
+fn apply_workload(
+    summary: &mut dyn TemporalGraphSummary,
+    edges: &[StreamEdge],
+    delete_mask: &[u8],
+) {
+    summary.insert_all(edges);
+    for (e, m) in edges.iter().zip(delete_mask.iter().cycle()) {
+        if *m == 0 {
+            summary.delete(e);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn single_summary_round_trips_bit_identically(
+        edges in stream_strategy(250),
+        delete_mask in prop::collection::vec(0u8..4, 1..64),
+        queries in prop::collection::vec(mixed_query_strategy(), 1..40),
+    ) {
+        for config in [HiggsConfig::paper_default(), collision_heavy_config(1)] {
+            let mut live = HiggsSummary::new(config);
+            apply_workload(&mut live, &edges, &delete_mask);
+
+            let mut bytes = Vec::new();
+            let checksum = live.write_snapshot(&mut bytes).expect("snapshot to memory");
+            let restored = HiggsSummary::read_snapshot(&mut bytes.as_slice())
+                .expect("restore from memory");
+
+            prop_assert_eq!(restored.total_items(), live.total_items());
+            prop_assert_eq!(restored.mutation_epoch(), live.mutation_epoch());
+            prop_assert_eq!(restored.leaf_count(), live.leaf_count());
+            prop_assert_eq!(restored.query_batch(&queries), live.query_batch(&queries));
+            // Raw primitives (the cache-bypassing reference path) agree too.
+            for e in edges.iter().step_by(7) {
+                prop_assert_eq!(
+                    restored.edge_query(e.src, e.dst, TimeRange::all()),
+                    live.edge_query(e.src, e.dst, TimeRange::all())
+                );
+            }
+
+            // Determinism: re-snapshotting the restored summary reproduces
+            // the document bit for bit (same checksum, same bytes).
+            let mut again = Vec::new();
+            let checksum_again = restored.write_snapshot(&mut again).expect("re-snapshot");
+            prop_assert_eq!(checksum, checksum_again);
+            prop_assert_eq!(bytes, again);
+        }
+    }
+
+    #[test]
+    fn sharded_service_round_trips_bit_identically(
+        edges in stream_strategy(220),
+        delete_mask in prop::collection::vec(0u8..4, 1..64),
+        queries in prop::collection::vec(mixed_query_strategy(), 1..32),
+    ) {
+        for shards in [1usize, 2, 4] {
+            let mut config = collision_heavy_config(shards);
+            config.plan_cache_capacity = 16;
+            let mut live = ShardedHiggs::new(config);
+            apply_workload(&mut live, &edges, &delete_mask);
+            let expected = live.query_batch(&queries);
+
+            let dir = TempDir::new("roundtrip");
+            let manifest = live.snapshot_to_dir(dir.path()).expect("snapshot to dir");
+            prop_assert_eq!(manifest.shard_count(), shards);
+            prop_assert_eq!(manifest.total_items(), live.total_items());
+            drop(live);
+
+            let restored = ShardedHiggs::restore_from_dir(dir.path()).expect("restore");
+            prop_assert_eq!(restored.num_shards(), shards);
+            prop_assert_eq!(restored.query_batch(&queries), expected.clone());
+
+            // The restored service stays live: more mutations land and the
+            // result matches a never-snapshotted control.
+            let mut restored = restored;
+            let mut control = ShardedHiggs::new(config);
+            apply_workload(&mut control, &edges, &delete_mask);
+            for e in edges.iter().step_by(3) {
+                let bumped = StreamEdge::new(e.src, e.dst, e.weight, e.timestamp + MAX_T);
+                restored.insert(&bumped);
+                control.insert(&bumped);
+            }
+            for e in edges.iter().step_by(11) {
+                restored.delete(e);
+                control.delete(e);
+            }
+            prop_assert_eq!(
+                restored.query_batch(&queries),
+                control.query_batch(&queries)
+            );
+            prop_assert_eq!(restored.total_items(), control.total_items());
+        }
+    }
+}
+
+/// Builds a small 4-shard service with enough mass for multi-layer trees.
+fn loaded_service(shards: usize) -> ShardedHiggs {
+    let config = HiggsConfig::builder()
+        .shards(shards)
+        .build()
+        .expect("valid configuration");
+    let mut service = ShardedHiggs::new(config);
+    let edges: Vec<StreamEdge> = (0..4_000u64)
+        .map(|i| StreamEdge::new(i % 150, (i * 13) % 150, 1 + i % 4, i / 2))
+        .collect();
+    service.insert_all(&edges);
+    service
+}
+
+#[test]
+fn truncated_shard_file_is_a_typed_error() {
+    let dir = TempDir::new("truncate");
+    let service = loaded_service(2);
+    service.snapshot_to_dir(dir.path()).expect("snapshot");
+    drop(service);
+
+    let shard0 = dir.path().join(shard_file_name(0));
+    let bytes = std::fs::read(&shard0).expect("read shard file");
+    std::fs::write(&shard0, &bytes[..bytes.len() / 2]).expect("truncate shard file");
+
+    match ShardedHiggs::restore_from_dir(dir.path()) {
+        Err(SnapshotError::Codec(CodecError::UnexpectedEof)) => {}
+        other => panic!("truncated shard must fail with UnexpectedEof, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupted_shard_byte_fails_the_checksum() {
+    let dir = TempDir::new("bitflip");
+    let service = loaded_service(2);
+    service.snapshot_to_dir(dir.path()).expect("snapshot");
+    drop(service);
+
+    let shard1 = dir.path().join(shard_file_name(1));
+    let mut bytes = std::fs::read(&shard1).expect("read shard file");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&shard1, &bytes).expect("write corrupted shard");
+
+    match ShardedHiggs::restore_from_dir(dir.path()) {
+        // A flipped byte is caught by the file's own checksum (or, if it
+        // lands in a length or structural field, by an earlier structural
+        // check) — either way a typed error, never a panic.
+        Err(
+            SnapshotError::Codec(_)
+            | SnapshotError::Corrupt(_)
+            | SnapshotError::ShardChecksumMismatch { .. },
+        ) => {}
+        other => panic!("corrupted shard must fail with a typed error, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_manifest_shard_count_is_rejected() {
+    // A manifest from a 2-shard snapshot copied over a 4-shard directory:
+    // the directory census must catch the disagreement before any shard
+    // state is served.
+    let dir4 = TempDir::new("count4");
+    let dir2 = TempDir::new("count2");
+    let service4 = loaded_service(4);
+    let service2 = loaded_service(2);
+    service4.snapshot_to_dir(dir4.path()).expect("snapshot 4");
+    service2.snapshot_to_dir(dir2.path()).expect("snapshot 2");
+    drop(service4);
+    drop(service2);
+
+    std::fs::copy(
+        dir2.path().join(MANIFEST_FILE),
+        dir4.path().join(MANIFEST_FILE),
+    )
+    .expect("swap manifests");
+
+    match ShardedHiggs::restore_from_dir(dir4.path()) {
+        Err(SnapshotError::ShardCountMismatch {
+            manifest: 2,
+            found: 4,
+        }) => {}
+        other => panic!("shard-count mismatch must be typed, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_shard_file_is_rejected() {
+    let dir = TempDir::new("missing");
+    let service = loaded_service(4);
+    service.snapshot_to_dir(dir.path()).expect("snapshot");
+    drop(service);
+    std::fs::remove_file(dir.path().join(shard_file_name(2))).expect("remove shard 2");
+
+    match ShardedHiggs::restore_from_dir(dir.path()) {
+        Err(SnapshotError::ShardCountMismatch { manifest: 4, found }) => {
+            assert!(found < 4, "census must see fewer shard files");
+        }
+        Err(SnapshotError::MissingShard { shard: 2, .. }) => {}
+        other => panic!("missing shard must be typed, got {other:?}"),
+    }
+}
+
+#[test]
+fn resnapshotting_a_smaller_service_into_the_same_dir_stays_restorable() {
+    // Regression test: shard files from an earlier, larger snapshot must be
+    // removed — otherwise the directory census at restore time rejects a
+    // perfectly good (smaller) snapshot with ShardCountMismatch forever.
+    let dir = TempDir::new("shrink");
+    let big = loaded_service(4);
+    big.snapshot_to_dir(dir.path()).expect("snapshot 4 shards");
+    drop(big);
+
+    let small = loaded_service(2);
+    let expected = small.query_batch(&[Query::edge(3, 39, TimeRange::all())]);
+    small
+        .snapshot_to_dir(dir.path())
+        .expect("re-snapshot 2 shards into the same directory");
+    drop(small);
+
+    assert!(
+        !dir.path().join(shard_file_name(2)).exists()
+            && !dir.path().join(shard_file_name(3)).exists(),
+        "stale shard files must be removed"
+    );
+    let restored = ShardedHiggs::restore_from_dir(dir.path())
+        .expect("shrunken snapshot directory must restore");
+    assert_eq!(restored.num_shards(), 2);
+    assert_eq!(
+        restored.query_batch(&[Query::edge(3, 39, TimeRange::all())]),
+        expected
+    );
+}
+
+#[test]
+fn non_snapshot_files_report_bad_magic() {
+    let dir = TempDir::new("magic");
+    std::fs::create_dir_all(dir.path()).expect("create dir");
+    std::fs::write(dir.path().join(MANIFEST_FILE), b"definitely not a manifest")
+        .expect("write junk manifest");
+    match ShardedHiggs::restore_from_dir(dir.path()) {
+        Err(SnapshotError::BadMagic { .. }) => {}
+        other => panic!("junk manifest must fail with BadMagic, got {other:?}"),
+    }
+
+    let mut junk = std::io::Cursor::new(b"short".to_vec());
+    match HiggsSummary::read_snapshot(&mut junk) {
+        Err(SnapshotError::Codec(CodecError::UnexpectedEof)) => {}
+        other => panic!("undersized snapshot must be typed, got {other:?}"),
+    }
+}
+
+#[test]
+fn newer_format_versions_are_refused() {
+    let mut summary = HiggsSummary::new(HiggsConfig::paper_default());
+    summary.insert(&StreamEdge::new(1, 2, 3, 4));
+    let mut bytes = Vec::new();
+    summary.write_snapshot(&mut bytes).expect("snapshot");
+    // Patch the version field (bytes 8..12, after the u64 magic): the
+    // version check runs before the checksum, so a future-format file is
+    // refused outright rather than misparsed.
+    bytes[8] = 0xEE;
+    match HiggsSummary::read_snapshot(&mut bytes.as_slice()) {
+        Err(SnapshotError::UnsupportedVersion { found, supported }) => {
+            assert!(found > supported);
+        }
+        other => panic!("future version must be refused, got {other:?}"),
+    }
+}
+
+#[test]
+fn manifest_is_readable_without_touching_shards() {
+    let dir = TempDir::new("manifest");
+    let service = loaded_service(3);
+    let written = service.snapshot_to_dir(dir.path()).expect("snapshot");
+    let read = SnapshotManifest::read_from_dir(dir.path()).expect("read manifest");
+    assert_eq!(read, written);
+    assert_eq!(read.shard_count(), 3);
+    assert_eq!(read.total_items(), service.total_items());
+    assert_eq!(read.config.shards, 3);
+}
+
+#[test]
+fn deferred_aggregation_state_round_trips() {
+    // Snapshot a summary whose aggregates have not materialised (deferred
+    // mode, no finalize): unmaterialised nodes and the pending-job list must
+    // survive, queries stay correct via leaf descent, and finalizing the
+    // restored summary must materialise everything.
+    let mut live = HiggsSummary::with_deferred_aggregation(collision_heavy_config(1));
+    for i in 0..3_000u64 {
+        live.insert(&StreamEdge::new(i % 60, (i * 7) % 60, 1, i));
+    }
+    let mut bytes = Vec::new();
+    live.write_snapshot(&mut bytes).expect("snapshot deferred");
+    let mut restored = HiggsSummary::read_snapshot(&mut bytes.as_slice()).expect("restore");
+    assert!(restored.defers_aggregation());
+    let probe = |s: &HiggsSummary| {
+        (0..60u64)
+            .map(|v| s.edge_query(v, (v * 7) % 60, TimeRange::new(100, 2_500)))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(probe(&restored), probe(&live));
+    restored.finalize_aggregations();
+    live.finalize_aggregations();
+    assert_eq!(probe(&restored), probe(&live));
+}

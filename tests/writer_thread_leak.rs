@@ -1,0 +1,85 @@
+//! Writer-thread accounting across shutdown/restore cycles.
+//!
+//! Restoring a snapshot into a dropped-then-rebuilt service must not leak
+//! writer threads: every `ShardedHiggs` teardown joins its writers, and
+//! every restore spawns exactly one fresh writer per shard. This test lives
+//! in its **own integration-test binary** so the process-wide
+//! [`higgs::shard::live_writer_threads`] counter is not perturbed by
+//! unrelated tests creating services concurrently — keep it the only test
+//! here.
+
+use higgs::shard::live_writer_threads;
+use higgs::{HiggsConfig, ShardedHiggs, SnapshotError};
+use higgs_common::{Query, StreamEdge, TemporalGraphSummary, TimeRange};
+use std::path::PathBuf;
+
+#[test]
+fn restore_cycles_never_leak_writer_threads() {
+    assert_eq!(live_writer_threads(), 0, "test binary must start quiescent");
+
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("higgs-writer-leak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    const SHARDS: usize = 4;
+    let config = HiggsConfig::builder()
+        .shards(SHARDS)
+        .build()
+        .expect("valid configuration");
+    let mut service = ShardedHiggs::new(config);
+    assert_eq!(live_writer_threads(), SHARDS, "one writer per shard");
+
+    let edges: Vec<StreamEdge> = (0..3_000u64)
+        .map(|i| StreamEdge::new(i % 100, (i * 11) % 100, 1 + i % 3, i))
+        .collect();
+    service.insert_all(&edges);
+    let queries: Vec<Query> = (0..20u64)
+        .map(|k| Query::edge(k, (k * 11) % 100, TimeRange::all()))
+        .collect();
+    let expected = service.query_batch(&queries);
+    service.snapshot_to_dir(&dir).expect("snapshot");
+
+    // Drop joins the writers: the count returns to zero *synchronously*
+    // (each writer's counter guard drops before the thread exits, and drop
+    // joins every thread).
+    drop(service);
+    assert_eq!(live_writer_threads(), 0, "drop must join all writers");
+
+    // Repeated restore-then-drop cycles: every cycle spawns exactly SHARDS
+    // writers and joins exactly SHARDS writers — no drift in either
+    // direction, and the restored state keeps answering identically.
+    for cycle in 0..5 {
+        let restored = ShardedHiggs::restore_from_dir(&dir).expect("restore");
+        assert_eq!(
+            live_writer_threads(),
+            SHARDS,
+            "cycle {cycle}: restore must spawn exactly one writer per shard"
+        );
+        assert_eq!(restored.query_batch(&queries), expected, "cycle {cycle}");
+        drop(restored);
+        assert_eq!(
+            live_writer_threads(),
+            0,
+            "cycle {cycle}: drop after restore must join all writers"
+        );
+    }
+
+    // A *failed* restore must not leak either: corrupt one shard file and
+    // verify the error path spawns nothing.
+    let shard0 = dir.join(higgs::snapshot::shard_file_name(0));
+    let mut bytes = std::fs::read(&shard0).expect("read shard file");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x04;
+    std::fs::write(&shard0, &bytes).expect("corrupt shard file");
+    match ShardedHiggs::restore_from_dir(&dir) {
+        Err(SnapshotError::Codec(_) | SnapshotError::Corrupt(_)) => {}
+        other => panic!("corrupted restore must fail, got {other:?}"),
+    }
+    assert_eq!(
+        live_writer_threads(),
+        0,
+        "a failed restore must not spawn (let alone leak) writer threads"
+    );
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
