@@ -124,6 +124,34 @@ fn bench_query_batch(c: &mut Criterion) {
         b.iter(|| black_box(summary.query_batch(&sub_batch)))
     });
 
+    // Probe-dominated columnar sweep: a large edge+vertex batch over a
+    // handful of shared windows. Plans are shared and cheap; nearly all the
+    // time is the sorted, software-prefetched probe sweep over leaf and
+    // aggregate slabs — the path the `columnar_prefetch` gate id tracks.
+    let probe_windows = windows(span, 4);
+    let mut probe_batch: Vec<Query> = builder
+        .edge_queries(1024, span.len() / 4)
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut q)| {
+            q.range = probe_windows[i % probe_windows.len()];
+            Query::Edge(q)
+        })
+        .collect();
+    probe_batch.extend(
+        builder
+            .vertex_queries(512, span.len() / 4)
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut q)| {
+                q.range = probe_windows[i % probe_windows.len()];
+                Query::Vertex(q)
+            }),
+    );
+    group.bench_function("columnar_prefetch/edge_vertex_1536", |b| {
+        b.iter(|| black_box(summary.query_batch(&probe_batch)))
+    });
+
     // A mixed production-style batch: everything above in one call.
     let mixed: Vec<Query> = path_batch.iter().chain(&sub_batch).cloned().collect();
     group.bench_function("mixed/per_query_loop", |b| {

@@ -1,0 +1,178 @@
+//! Thread-to-core pinning for shard workers.
+//!
+//! A sharded HIGGS service owns one writer thread plus a few aggregation
+//! workers per shard, and each shard's compressed-matrix slabs are touched
+//! only by those threads. Pinning the whole per-shard thread group to one
+//! core keeps the shard's slabs resident in that core's private cache
+//! instead of bouncing between cores as the scheduler migrates threads —
+//! see `HiggsConfigBuilder::pin_workers` in the `higgs` crate.
+//!
+//! Consistent with the repository's no-external-crates rule, the Linux
+//! implementation invokes the raw `sched_setaffinity` / `sched_getaffinity`
+//! syscalls directly through `core::arch::asm!` on x86_64; every other
+//! platform gets explicit no-ops ([`pin_to_core`] returns `false`,
+//! [`available_cores`] returns 1), so pinning degrades to a hint rather
+//! than a portability hazard. The CPU mask covers [`MAX_CPUS`] logical
+//! CPUs, far beyond any machine this reproduction targets.
+//!
+//! Pinning is **runtime placement state, not data**: it is never persisted
+//! in snapshots, and a restored service re-derives its pinning from the
+//! restored configuration's `pin_workers` flag on the machine it restores
+//! onto (which may have a different core count).
+
+/// Largest logical CPU index the affinity mask can express (1024 CPUs,
+/// 16 × 64-bit mask words — the kernel's default `CONFIG_NR_CPUS` ceiling).
+pub const MAX_CPUS: usize = MASK_WORDS * 64;
+
+const MASK_WORDS: usize = 16;
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod imp {
+    use super::{MASK_WORDS, MAX_CPUS};
+
+    const SYS_SCHED_SETAFFINITY: u64 = 203;
+    const SYS_SCHED_GETAFFINITY: u64 = 204;
+    /// `pid == 0` addresses the calling thread for both affinity syscalls.
+    const SELF: u64 = 0;
+
+    /// Raw three-argument syscall. Returns the kernel's result register
+    /// (negative errno on failure).
+    ///
+    /// # Safety
+    ///
+    /// `a3` must be a valid pointer for the syscall's access mode covering
+    /// `a2` bytes, per the syscall's contract.
+    #[allow(unsafe_code)]
+    unsafe fn syscall3(nr: u64, a1: u64, a2: u64, a3: u64) -> i64 {
+        let ret: i64;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") nr => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    pub(super) fn pin_to_core(core: usize) -> bool {
+        if core >= MAX_CPUS {
+            return false;
+        }
+        let mut mask = [0u64; MASK_WORDS];
+        mask[core / 64] = 1u64 << (core % 64);
+        // SAFETY: the mask pointer is valid for `size_of_val(&mask)` bytes
+        // of reads for the duration of the call.
+        #[allow(unsafe_code)]
+        let ret = unsafe {
+            syscall3(
+                SYS_SCHED_SETAFFINITY,
+                SELF,
+                core::mem::size_of_val(&mask) as u64,
+                mask.as_ptr() as u64,
+            )
+        };
+        ret == 0
+    }
+
+    pub(super) fn available_cores() -> usize {
+        let mut mask = [0u64; MASK_WORDS];
+        // SAFETY: the mask pointer is valid for `size_of_val(&mask)` bytes
+        // of writes for the duration of the call.
+        #[allow(unsafe_code)]
+        let ret = unsafe {
+            syscall3(
+                SYS_SCHED_GETAFFINITY,
+                SELF,
+                core::mem::size_of_val(&mask) as u64,
+                mask.as_mut_ptr() as u64,
+            )
+        };
+        if ret <= 0 {
+            return 1;
+        }
+        let cores: usize = mask.iter().map(|w| w.count_ones() as usize).sum();
+        cores.max(1)
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod imp {
+    pub(super) fn pin_to_core(_core: usize) -> bool {
+        false
+    }
+
+    pub(super) fn available_cores() -> usize {
+        1
+    }
+}
+
+/// Pins the **calling thread** to logical CPU `core`. Returns `true` on
+/// success; `false` when the core index is out of range, the kernel rejects
+/// the mask (e.g. the core is excluded by the process's cpuset), or the
+/// platform has no affinity support (non-Linux / non-x86_64 builds).
+///
+/// Failure is always benign — the thread simply stays schedulable anywhere,
+/// so callers treat the return value as diagnostic.
+pub fn pin_to_core(core: usize) -> bool {
+    imp::pin_to_core(core)
+}
+
+/// Number of logical CPUs the calling thread may currently run on (the
+/// popcount of its affinity mask), at least 1. Used to wrap per-shard core
+/// assignments (`shard_index % available_cores()`) so pinning works on any
+/// machine size. Returns 1 on platforms without affinity support.
+pub fn available_cores() -> usize {
+    imp::available_cores()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn available_cores_is_positive_and_stable() {
+        let n = available_cores();
+        assert!(n >= 1);
+        assert!(n <= MAX_CPUS);
+        assert_eq!(n, available_cores());
+    }
+
+    #[test]
+    fn out_of_range_core_is_rejected() {
+        assert!(!pin_to_core(MAX_CPUS));
+        assert!(!pin_to_core(usize::MAX));
+    }
+
+    #[test]
+    fn pin_to_first_available_core_succeeds_on_linux() {
+        // Pin a scratch thread (not the test harness thread) to core 0 —
+        // core 0 is allowed whenever the process's cpuset contains it, which
+        // holds on every CI and dev machine this repo targets.
+        let pinned = std::thread::spawn(|| pin_to_core(0))
+            .join()
+            .expect("pin thread must not panic");
+        if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+            assert!(pinned, "pinning to core 0 must succeed on linux-x86_64");
+        } else {
+            assert!(!pinned, "non-linux builds report pinning as unavailable");
+        }
+    }
+
+    #[test]
+    fn pinned_thread_reports_single_core_affinity() {
+        if !cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+            return;
+        }
+        let cores = std::thread::spawn(|| {
+            assert!(pin_to_core(0));
+            available_cores()
+        })
+        .join()
+        .expect("pin thread must not panic");
+        assert_eq!(cores, 1, "after pinning, the affinity mask is one core");
+    }
+}

@@ -134,6 +134,7 @@ mod tests {
             shards: 1,
             plan_cache_capacity: 8,
             ingest_queue_cap: None,
+            pin_workers: false,
         };
         (config.layout(), config)
     }

@@ -154,6 +154,16 @@ pub struct HiggsConfig {
     /// worst-case buffered footprint per shard is `n × 512` edges. Plain
     /// [`HiggsSummary`](crate::HiggsSummary) construction ignores the field.
     pub ingest_queue_cap: Option<usize>,
+    /// Whether a [`ShardedHiggs`](crate::ShardedHiggs) pins each shard's
+    /// worker threads (the writer thread plus that shard's aggregation
+    /// workers) to one core (`shard_index % available_cores`), keeping each
+    /// shard's matrix slabs resident in a single core's private cache. A
+    /// standalone [`ParallelHiggs`](crate::ParallelHiggs) pins its workers
+    /// to core 0 when set. Pinning is best-effort (a no-op on platforms
+    /// without affinity syscalls — see [`higgs_common::affinity`]) and is
+    /// **runtime placement state**: it is never persisted in snapshots, and
+    /// restored services default to unpinned. Defaults to `false`.
+    pub pin_workers: bool,
 }
 
 impl Default for HiggsConfig {
@@ -176,6 +186,7 @@ impl HiggsConfig {
             shards: 1,
             plan_cache_capacity: crate::plan_cache::DEFAULT_PLAN_CACHE_CAPACITY,
             ingest_queue_cap: None,
+            pin_workers: false,
         }
     }
 
@@ -354,6 +365,14 @@ impl HiggsConfigBuilder {
         self
     }
 
+    /// Pins each shard's worker threads (writer plus aggregation workers) to
+    /// one core; see [`HiggsConfig::pin_workers`]. Best-effort, defaults to
+    /// off, and never persisted in snapshots.
+    pub fn pin_workers(mut self, pin: bool) -> Self {
+        self.config.pin_workers = pin;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<HiggsConfig, ConfigError> {
         self.config.validate()?;
@@ -395,6 +414,7 @@ mod tests {
             .shards(4)
             .plan_cache_capacity(16)
             .ingest_queue_cap(1_024)
+            .pin_workers(true)
             .build()
             .expect("valid configuration");
         assert_eq!(c.d1, 64);
@@ -407,6 +427,14 @@ mod tests {
         assert_eq!(c.shards, 4);
         assert_eq!(c.plan_cache_capacity, 16);
         assert_eq!(c.ingest_queue_cap, Some(1_024));
+        assert!(c.pin_workers);
+    }
+
+    #[test]
+    fn pin_workers_defaults_off() {
+        assert!(!HiggsConfig::paper_default().pin_workers);
+        let built = HiggsConfig::builder().build().expect("valid");
+        assert!(!built.pin_workers);
     }
 
     #[test]

@@ -78,14 +78,25 @@
 //! compressed matrix, so [`matrix`] is written for the cache, not the
 //! allocator:
 //!
-//! * **Flat slab storage.** A `d × d` matrix with `b`-entry buckets is one
-//!   contiguous `Vec` of `b · d²` fixed-stride slots plus a `Vec<u8>` of
-//!   per-bucket lengths — no per-bucket heap allocations, no pointer chases.
-//!   A source-vertex query sweeps each candidate row as a single contiguous
-//!   range; cloning a matrix (parallel aggregation snapshots) is a memcpy.
+//! * **Flat columnar slab storage.** A `d × d` matrix with `b`-entry
+//!   buckets is one contiguous structure-of-arrays slab of `b · d²`
+//!   fixed-stride slots — parallel columns of packed keys, packed tags, and
+//!   weights, plus a `Vec<u8>` of per-bucket lengths — no per-bucket heap
+//!   allocations, no pointer chases. A source-vertex query sweeps each
+//!   candidate row as a single contiguous range; cloning a matrix (parallel
+//!   aggregation snapshots) is three memcpys.
 //! * **Packed match keys.** The fingerprint pair is packed into one `u64`
-//!   and the MMB index pair into one `u16` per slot, so candidate scans are
-//!   two integer compares per entry instead of four field compares.
+//!   and the MMB index pair plus time offset into one tag `u64` per slot, so
+//!   candidate scans are two masked integer compares per entry instead of
+//!   four field compares.
+//! * **Key-first sweeps with adaptive granularity.** Entries are never
+//!   physically removed and never-occupied slots stay all-zero (weight 0),
+//!   so a fixed-length sweep over whole slot ranges is bit-identical to an
+//!   occupancy-bounded scan — granularity is purely a performance choice.
+//!   Probes funnel through [`higgs_common::sum_matching`], which streams the
+//!   keys column and touches tags/weights only on (rare) key hits; wide
+//!   contiguous row sweeps are used when a vector kernel is active,
+//!   occupancy-guided scans otherwise.
 //! * **Single-pass probing.** The `r` candidate rows and columns of an
 //!   operation are computed once per operation with an iterative LCG walk
 //!   ([`higgs_common::hashing::AddressSequence::fill_sequence`]) into stack
@@ -103,10 +114,47 @@
 //!   of scattered walks become T cache-friendly passes.
 //!
 //! The `matrix_layout` Criterion group in `higgs-bench` tracks the raw
-//! matrix insert/probe costs at `d ∈ {64, 256}`; `insert_throughput` and
-//! `edge_query`/`vertex_query` track the end-to-end effect, and the
+//! matrix insert/probe costs at `d ∈ {64, 256}` (including the
+//! `probe_sweep` ids covering the fixed-length SoA sweeps); `insert_throughput`
+//! and `edge_query`/`vertex_query` track the end-to-end effect, the
 //! `plan_cache` group tracks cold-vs-warm repeated-window batches and
-//! columnar-vs-per-query evaluation.
+//! columnar-vs-per-query evaluation, and `query_batch/columnar_prefetch`
+//! tracks the prefetched columnar executor.
+//!
+//! # Hardware acceleration
+//!
+//! The slab sweep kernels and worker placement push the hot paths toward
+//! the machine's limits; everything below is std-only (no new crates) and
+//! degrades gracefully off x86-64 Linux:
+//!
+//! * **SIMD candidate scans.** The sweeps above funnel through
+//!   [`higgs_common::sum_matching`], a key-first kernel: only the keys
+//!   column is streamed unconditionally, and tag/weight columns load on the
+//!   rare key hits. Building with the **`simd` cargo feature** (forwarded
+//!   to `higgs-common`; `cargo build --features simd`) additionally compiles
+//!   explicit SSE2/AVX2 kernels — vectorised masked key compares reduced to
+//!   a movemask — and picks the widest one at **runtime** via
+//!   `is_x86_feature_detected!` — one cached dispatch decision per process,
+//!   scalar fallback everywhere else (non-x86, short slices, unsupported
+//!   CPUs). All kernels resolve hits through the identical slot check in
+//!   the identical ascending order, so they are **bit-identical** to the
+//!   scalar reference; the property suite asserts this across random
+//!   insert/delete/query workloads under both feature configurations, so the
+//!   feature can never change an answer, only its speed.
+//! * **Software-prefetched columnar sweeps.** The columnar batch executor
+//!   knows its whole (address-sorted, deduplicated) probe set in advance, so
+//!   while answering probe `k` it issues [`higgs_common::prefetch_read_data`]
+//!   hints for probe `k + 8`'s slab lines, and the strided
+//!   destination-column sweep prefetches a few row-strides ahead. Prefetch
+//!   is a pure hint: bounds-checked, no-op off x86-64, never affects
+//!   results.
+//! * **Core-pinned shard workers.** [`HiggsConfigBuilder::pin_workers`]
+//!   pins each shard's thread group (writer + aggregation workers) to core
+//!   `shard_index % available_cores` via raw `sched_setaffinity` syscalls
+//!   ([`higgs_common::affinity`]), keeping every shard's slabs resident in
+//!   one core's private cache. Pinning is best-effort (no-op off Linux
+//!   x86-64), and is runtime placement state — never persisted in
+//!   snapshots; a restored service starts unpinned.
 //!
 //! # Plan caching & invalidation
 //!

@@ -4,34 +4,49 @@
 //!
 //! # Storage layout
 //!
-//! Bucket storage is a single contiguous slab: one `Vec` of `b · d²`
-//! fixed-stride slots (bucket `(row, col)` owns slots
-//! `[(row·d + col)·b, (row·d + col + 1)·b)`) plus one `Vec<u8>` of per-bucket
-//! occupancy counts. Compared to the obvious `Vec<Vec<Entry>>` this removes
-//! one heap allocation and one pointer chase per bucket: probing a bucket is
-//! an index computation into an array that is already warm in cache, and a
-//! source-vertex query sweeps a row as one contiguous `d · b`-slot range
-//! instead of `d` separate heap objects.
+//! Bucket storage is a single contiguous slab of `b · d²` fixed-stride slots
+//! (bucket `(row, col)` owns slots `[(row·d + col)·b, (row·d + col + 1)·b)`)
+//! plus one `Vec<u8>` of per-bucket occupancy counts. The slab is stored
+//! **structure-of-arrays**: three parallel columns — packed match keys
+//! (`u64`), packed tags (`u64`), and weights (`i64`) — instead of one array
+//! of structs. A probe compares keys and tags and accumulates weights; SoA
+//! lets each of those streams load as dense, lane-aligned runs, which is
+//! what the SIMD sweep kernels ([`higgs_common::simd`]) need.
 //!
-//! Each slot stores the match key packed into two integers: the fingerprint
-//! pair as one `u64` (`fp_src` in the high half, `fp_dst` in the low half —
-//! exact, since fingerprints are at most 32 bits each) and the MMB index pair
-//! as one `u16`. A candidate scan therefore compares one `u64` and one `u16`
-//! per slot instead of four separate fields. The index pair cannot be folded
-//! into the key `u64` without truncating fingerprints (32 + 32 + 4 + 4 bits
-//! exceeds 64), and truncation would change query semantics, so it stays a
-//! separate — still single-compare — field.
+//! Per slot, the match key packs the fingerprint pair into one `u64`
+//! (`fp_src` in the high half, `fp_dst` in the low half — exact, since
+//! fingerprints are at most 32 bits each), and the tag packs the MMB index
+//! pair into bits 32..48 with the time offset in the low 32 bits. A
+//! candidate scan therefore compares one `u64` and one masked `u64` per
+//! slot.
+//!
+//! # The empty-slots-are-zero invariant
+//!
+//! Never-occupied slots hold all-zero key, tag, and **weight**. Entries are
+//! never physically removed (deletion only decrements weights), so every
+//! slot outside a bucket's occupancy count is all-zero forever. An empty
+//! slot can at worst match an all-zero pattern and then contributes zero
+//! weight, so a *fixed-length* sweep over a whole `b`-slot bucket or a whole
+//! `d · b`-slot row is bit-identical to an occupancy-bounded scan — sweep
+//! granularity is purely a performance choice. Query paths pick per shape:
+//! bucket-granular probes (edge, destination-column strides) bound each scan
+//! by the occupancy count, while the source-row sweep asks
+//! [`wide_kernel_active`] whether an explicit vector kernel will dispatch
+//! and chooses one contiguous fixed-length row sweep (the kernel streams
+//! only the keys column) or a fused occupancy-guided scan accordingly.
+//! Mutating scans (insert, delete) still honour the counts semantically:
+//! they must find *real* entries, not zero-weight ghosts.
 //!
 //! # Probing
 //!
 //! Every operation precomputes its `r` candidate rows and columns once with
 //! an iterative LCG walk ([`AddressSequence::fill_sequence`]) into small
-//! stack arrays; the `r × r` candidate loops then index those arrays. The
-//! seed implementation recomputed each address from scratch per probe
-//! (`address(base, i)` is O(i)), making the candidate loops effectively
-//! cubic in `r`. Insertion additionally fuses the seed's two passes
-//! (match-scan, then free-slot-scan) into a single sweep that records the
-//! first free slot while searching for a match.
+//! stack arrays; the `r × r` candidate loops then index those arrays.
+//! Query paths accept a reusable `ProbeScratch` that memoises the last
+//! `(side, base address)` candidate fill — the columnar batch evaluator
+//! sweeps address-sorted probe sets where consecutive probes share
+//! endpoints, so most fills are skipped entirely. Insertion fuses the
+//! match-scan and the free-slot scan into a single sweep.
 //!
 //! Leaf matrices store a per-entry time offset relative to the matrix's start
 //! time; aggregated (non-leaf) matrices store no temporal information
@@ -40,6 +55,7 @@
 //! it to the correct base address.
 
 use higgs_common::hashing::AddressSequence;
+use higgs_common::simd::{prefetch_read_data, sum_matching, wide_kernel_active, TAG_OFFSET_MASK};
 
 /// Maximum number of MMB mapping addresses per vertex: index pairs are
 /// stored as two 8-bit halves of a `u16` and candidate addresses live in
@@ -51,9 +67,9 @@ pub const MAX_MAPPING: usize = 16;
 /// time offset (leaf matrices only; 0 in aggregated matrices), and the
 /// accumulated weight.
 ///
-/// This is the public *view* of a slot; internally the fingerprint and index
-/// pairs are packed (see the module docs), and [`CompressedMatrix::entries`]
-/// materialises `Entry` values on the fly.
+/// This is the public *view* of a slot; internally the slab is
+/// structure-of-arrays with packed keys and tags (see the module docs), and
+/// [`CompressedMatrix::entries`] materialises `Entry` values on the fly.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Entry {
     /// Source fingerprint at this matrix's layer.
@@ -74,8 +90,9 @@ pub struct Entry {
 /// disables temporal filtering (non-leaf matrices).
 pub type OffsetFilter = Option<(u32, u32)>;
 
-/// One occupied slot of the slab: the packed match key plus payload.
-/// Crate-visible so the snapshot codec can persist the slab verbatim.
+/// One occupied slot of the slab, materialised from the three SoA columns:
+/// the packed match key plus payload. Crate-visible so the snapshot codec
+/// can persist the slab in the same on-disk shape as before the SoA split.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) struct Slot {
     /// `fp_src` in the high 32 bits, `fp_dst` in the low 32 bits.
@@ -88,13 +105,6 @@ pub(crate) struct Slot {
     pub(crate) weight: i64,
 }
 
-const EMPTY_SLOT: Slot = Slot {
-    key: 0,
-    idx: 0,
-    time_offset: 0,
-    weight: 0,
-};
-
 #[inline]
 fn pack_key(fp_src: u32, fp_dst: u32) -> u64 {
     (u64::from(fp_src) << 32) | u64::from(fp_dst)
@@ -103,6 +113,31 @@ fn pack_key(fp_src: u32, fp_dst: u32) -> u64 {
 #[inline]
 fn pack_idx(i: usize, j: usize) -> u16 {
     ((i as u16) << 8) | j as u16
+}
+
+/// Packs the MMB index pair and time offset into a tag word: index pair in
+/// bits 32..48, offset in the low 32 bits (the layout
+/// [`higgs_common::sum_matching`] range-checks offsets against).
+#[inline]
+fn pack_tag(idx: u16, time_offset: u32) -> u64 {
+    (u64::from(idx) << 32) | u64::from(time_offset)
+}
+
+/// Tag bits holding the full index pair.
+const TAG_IDX_MASK: u64 = 0xFFFF_0000_0000;
+/// Tag bits holding the source half of the index pair.
+const TAG_SRC_MASK: u64 = 0xFF00_0000_0000;
+/// Tag bits holding the destination half of the index pair.
+const TAG_DST_MASK: u64 = 0x00FF_0000_0000;
+/// Key bits holding the source fingerprint.
+const KEY_SRC_MASK: u64 = 0xFFFF_FFFF_0000_0000;
+/// Key bits holding the destination fingerprint.
+const KEY_DST_MASK: u64 = 0x0000_0000_FFFF_FFFF;
+
+/// Inclusive offset bounds of a filter; `None` admits every offset.
+#[inline]
+fn filter_bounds(filter: OffsetFilter) -> (u32, u32) {
+    filter.unwrap_or((0, u32::MAX))
 }
 
 /// A spilled aggregation entry: kept outside the bucket grid when every
@@ -119,6 +154,74 @@ pub(crate) struct SpillEntry {
     pub(crate) weight: i64,
 }
 
+/// Memoised candidate-address fill for one probe endpoint: caches the last
+/// `(side, mapping, base)` LCG sequence so that consecutive probes sharing
+/// an endpoint skip the refill entirely.
+#[derive(Clone, Copy, Debug)]
+struct CachedSeq {
+    side: u64,
+    mapping: u32,
+    base: u64,
+    valid: bool,
+    cands: [u64; MAX_MAPPING],
+}
+
+impl CachedSeq {
+    const fn new() -> Self {
+        Self {
+            side: 0,
+            mapping: 0,
+            base: 0,
+            valid: false,
+            cands: [0; MAX_MAPPING],
+        }
+    }
+
+    /// The first `mapping` candidate addresses for `base`, refilled only on
+    /// a cache miss. The LCG constants are global, so a `(side, mapping,
+    /// base mod side)` key identifies the sequence across matrices — one
+    /// scratch serves a leaf matrix *and* its overflow blocks *and* every
+    /// other same-side matrix in a sweep.
+    #[inline]
+    fn candidates(&mut self, seq: &AddressSequence, side: u64, mapping: u32, base: u64) -> &[u64] {
+        let base = base % side;
+        if !(self.valid && self.side == side && self.mapping == mapping && self.base == base) {
+            seq.fill_sequence(base, &mut self.cands[..mapping as usize]);
+            self.side = side;
+            self.mapping = mapping;
+            self.base = base;
+            self.valid = true;
+        }
+        &self.cands[..self.mapping as usize]
+    }
+}
+
+/// Reusable candidate-address scratch for probe sweeps: one cached LCG fill
+/// per endpoint role (row / column). The columnar batch evaluator allocates
+/// one per group and threads it through every probe of every target, so the
+/// per-probe `fill_sequence` of the row-wise path amortises away whenever
+/// consecutive (address-sorted) probes share endpoints.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ProbeScratch {
+    rows: CachedSeq,
+    cols: CachedSeq,
+}
+
+impl ProbeScratch {
+    pub(crate) const fn new() -> Self {
+        Self {
+            rows: CachedSeq::new(),
+            cols: CachedSeq::new(),
+        }
+    }
+}
+
+impl Default for ProbeScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// The HIGGS compressed matrix.
 #[derive(Clone, Debug)]
 pub struct CompressedMatrix {
@@ -127,10 +230,15 @@ pub struct CompressedMatrix {
     bucket_entries: usize,
     mapping: u32,
     seq: AddressSequence,
-    /// `b · d²` fixed-stride slots; bucket `(r, c)` owns
-    /// `slots[(r·d + c)·b ..][..b]`, of which the first `lens[r·d + c]` are
-    /// occupied.
-    slots: Vec<Slot>,
+    /// Packed fingerprint pairs, one per slot; bucket `(r, c)` owns
+    /// `keys[(r·d + c)·b ..][..b]`, of which the first `lens[r·d + c]` are
+    /// occupied. Parallel to `tags` and `weights`.
+    keys: Vec<u64>,
+    /// Packed index pair (bits 32..48) and time offset (low 32 bits).
+    tags: Vec<u64>,
+    /// Accumulated signed weights. Zero for every never-occupied slot — the
+    /// invariant that lets query sweeps ignore occupancy counts.
+    weights: Vec<i64>,
     /// Per-bucket occupancy, indexed by `r·d + c`.
     lens: Vec<u8>,
     spill: Vec<SpillEntry>,
@@ -152,13 +260,16 @@ impl CompressedMatrix {
             "mapping must be in [1, {MAX_MAPPING}]"
         );
         let buckets = (side * side) as usize;
+        let slots = buckets * bucket_entries;
         Self {
             side,
             layer,
             bucket_entries,
             mapping,
             seq: AddressSequence::new(side),
-            slots: vec![EMPTY_SLOT; buckets * bucket_entries],
+            keys: vec![0u64; slots],
+            tags: vec![0u64; slots],
+            weights: vec![0i64; slots],
             lens: vec![0u8; buckets],
             spill: Vec::new(),
             stored: 0,
@@ -182,7 +293,7 @@ impl CompressedMatrix {
 
     /// Maximum number of entries (`b · d²`).
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.keys.len()
     }
 
     /// Fraction of entry slots in use (the utilisation rate of Section V-A).
@@ -204,12 +315,15 @@ impl CompressedMatrix {
 
     /// Total stored weight (bucket entries plus spilled entries).
     pub fn total_weight(&self) -> i64 {
-        self.occupied_slots().map(|(_, s)| s.weight).sum::<i64>()
-            + self.spill.iter().map(|e| e.weight).sum::<i64>()
+        // Occupied slots only would do, but the zero-empty-slot invariant
+        // makes the full columns equivalent.
+        self.weights.iter().sum::<i64>() + self.spill.iter().map(|e| e.weight).sum::<i64>()
     }
 
     /// The candidate rows/columns of `addr`: the first `mapping` LCG
-    /// addresses, computed iteratively in one pass.
+    /// addresses, computed iteratively in one pass. Mutating scans use this
+    /// direct fill; query paths go through [`ProbeScratch`] so repeated
+    /// probes of the same endpoint skip it.
     #[inline]
     fn candidates(&self, addr: u64) -> [u64; MAX_MAPPING] {
         let mut out = [0u64; MAX_MAPPING];
@@ -223,6 +337,25 @@ impl CompressedMatrix {
     fn bucket_slots(&self, row: u64, col: u64) -> (usize, usize) {
         let bucket = (row * self.side + col) as usize;
         (bucket, bucket * self.bucket_entries)
+    }
+
+    /// Materialises the slot view of position `p`.
+    #[inline]
+    fn slot_at(&self, p: usize) -> Slot {
+        Slot {
+            key: self.keys[p],
+            idx: (self.tags[p] >> 32) as u16,
+            time_offset: self.tags[p] as u32,
+            weight: self.weights[p],
+        }
+    }
+
+    /// Scatters a slot view into the three columns at position `p`.
+    #[inline]
+    fn write_slot(&mut self, p: usize, slot: Slot) {
+        self.keys[p] = slot.key;
+        self.tags[p] = pack_tag(slot.idx, slot.time_offset);
+        self.weights[p] = slot.weight;
     }
 
     /// Tries to insert (or accumulate) an entry. Returns `false` if every
@@ -247,8 +380,15 @@ impl CompressedMatrix {
         weight: i64,
     ) -> bool {
         let offset = time_offset.unwrap_or(0);
-        let match_any_offset = time_offset.is_none();
         let key = pack_key(fp_src, fp_dst);
+        // Aggregated matrices match on the index pair alone; leaves also
+        // require the exact offset. Tags only use bits below 48, so `!0`
+        // compares the offset half exactly.
+        let tag_mask = if time_offset.is_none() {
+            TAG_IDX_MASK
+        } else {
+            !0
+        };
         let m = self.mapping as usize;
         let rows = self.candidates(addr_src);
         let cols = self.candidates(addr_dst);
@@ -258,14 +398,12 @@ impl CompressedMatrix {
         for (i, &row) in rows[..m].iter().enumerate() {
             for (j, &col) in cols[..m].iter().enumerate() {
                 let idx = pack_idx(i, j);
+                let tag_pat = pack_tag(idx, offset) & tag_mask;
                 let (bucket, start) = self.bucket_slots(row, col);
                 let len = self.lens[bucket] as usize;
-                for slot in &mut self.slots[start..start + len] {
-                    if slot.key == key
-                        && slot.idx == idx
-                        && (match_any_offset || slot.time_offset == offset)
-                    {
-                        slot.weight += weight;
+                for p in start..start + len {
+                    if self.keys[p] == key && self.tags[p] & tag_mask == tag_pat {
+                        self.weights[p] += weight;
                         return true;
                     }
                 }
@@ -275,12 +413,9 @@ impl CompressedMatrix {
             }
         }
         if let Some((bucket, pos, idx)) = free {
-            self.slots[pos] = Slot {
-                key,
-                idx,
-                time_offset: offset,
-                weight,
-            };
+            self.keys[pos] = key;
+            self.tags[pos] = pack_tag(idx, offset);
+            self.weights[pos] = weight;
             self.lens[bucket] += 1;
             self.stored += 1;
             return true;
@@ -342,12 +477,15 @@ impl CompressedMatrix {
         let cols = self.candidates(addr_dst);
         for (i, &row) in rows[..m].iter().enumerate() {
             for (j, &col) in cols[..m].iter().enumerate() {
-                let idx = pack_idx(i, j);
+                let idx_pat = u64::from(pack_idx(i, j)) << 32;
                 let (bucket, start) = self.bucket_slots(row, col);
                 let len = self.lens[bucket] as usize;
-                for slot in &mut self.slots[start..start + len] {
-                    if slot.key == key && slot.idx == idx && offset_in(slot.time_offset, filter) {
-                        slot.weight -= weight;
+                for p in start..start + len {
+                    if self.keys[p] == key
+                        && self.tags[p] & TAG_IDX_MASK == idx_pat
+                        && offset_in(self.tags[p] as u32, filter)
+                    {
+                        self.weights[p] -= weight;
                         return true;
                     }
                 }
@@ -376,21 +514,52 @@ impl CompressedMatrix {
         fp_dst: u32,
         filter: OffsetFilter,
     ) -> u64 {
+        let mut scratch = ProbeScratch::new();
+        self.edge_weight_scratch(&mut scratch, addr_src, addr_dst, fp_src, fp_dst, filter)
+    }
+
+    /// [`edge_weight`](Self::edge_weight) with a caller-provided
+    /// [`ProbeScratch`], so repeated probes (columnar batch sweeps) reuse
+    /// cached candidate addresses.
+    pub(crate) fn edge_weight_scratch(
+        &self,
+        scratch: &mut ProbeScratch,
+        addr_src: u64,
+        addr_dst: u64,
+        fp_src: u32,
+        fp_dst: u32,
+        filter: OffsetFilter,
+    ) -> u64 {
         let key = pack_key(fp_src, fp_dst);
-        let m = self.mapping as usize;
-        let rows = self.candidates(addr_src);
-        let cols = self.candidates(addr_dst);
+        let (lo, hi) = filter_bounds(filter);
+        let b = self.bucket_entries;
+        let rows = scratch
+            .rows
+            .candidates(&self.seq, self.side, self.mapping, addr_src);
+        let cols = scratch
+            .cols
+            .candidates(&self.seq, self.side, self.mapping, addr_dst);
         let mut total = 0i64;
-        for (i, &row) in rows[..m].iter().enumerate() {
-            for (j, &col) in cols[..m].iter().enumerate() {
-                let idx = pack_idx(i, j);
-                let (bucket, start) = self.bucket_slots(row, col);
+        for (i, &row) in rows.iter().enumerate() {
+            for (j, &col) in cols.iter().enumerate() {
+                // Bucket-granular probe: bound the scan by the occupied
+                // prefix. Slots past `lens` were never written, so this is
+                // exactly the full fixed-length sweep minus guaranteed-zero
+                // contributions — identical sums, a third of the loads.
+                let bucket = (row * self.side + col) as usize;
+                let start = bucket * b;
                 let len = self.lens[bucket] as usize;
-                for slot in &self.slots[start..start + len] {
-                    if slot.key == key && slot.idx == idx && offset_in(slot.time_offset, filter) {
-                        total += slot.weight;
-                    }
-                }
+                total = total.wrapping_add(sum_matching(
+                    &self.keys[start..start + len],
+                    &self.tags[start..start + len],
+                    &self.weights[start..start + len],
+                    !0,
+                    key,
+                    TAG_IDX_MASK,
+                    u64::from(pack_idx(i, j)) << 32,
+                    lo,
+                    hi,
+                ));
             }
         }
         let (addr_src, addr_dst) = (addr_src % self.side, addr_dst % self.side);
@@ -410,27 +579,76 @@ impl CompressedMatrix {
 
     /// Source-vertex query: sums entries in the candidate rows whose source
     /// fingerprint (and row index) match (Eq. (2) of the paper, extended to
-    /// MMB rows). Each candidate row is one contiguous `d · b`-slot sweep of
-    /// the slab.
+    /// MMB rows). When a vector kernel is active each candidate row is one
+    /// contiguous `d · b`-slot [`sum_matching`] sweep of the slab with no
+    /// per-bucket occupancy lookups; otherwise a fused occupancy-guided scan
+    /// covers the row (identical sums, fewer loads).
     pub fn src_weight(&self, addr_src: u64, fp_src: u32, filter: OffsetFilter) -> u64 {
-        let m = self.mapping as usize;
-        let rows = self.candidates(addr_src);
+        let mut scratch = ProbeScratch::new();
+        self.src_weight_scratch(&mut scratch, addr_src, fp_src, filter)
+    }
+
+    /// [`src_weight`](Self::src_weight) with a caller-provided
+    /// [`ProbeScratch`].
+    pub(crate) fn src_weight_scratch(
+        &self,
+        scratch: &mut ProbeScratch,
+        addr_src: u64,
+        fp_src: u32,
+        filter: OffsetFilter,
+    ) -> u64 {
+        let (lo, hi) = filter_bounds(filter);
+        let rows = scratch
+            .rows
+            .candidates(&self.seq, self.side, self.mapping, addr_src);
+        let b = self.bucket_entries;
+        let row_slots = self.side as usize * b;
+        let key_pat = u64::from(fp_src) << 32;
         let mut total = 0i64;
-        for (i, &row) in rows[..m].iter().enumerate() {
-            let i = i as u16;
-            let first_bucket = (row * self.side) as usize;
-            for (bucket_off, &len) in self.lens[first_bucket..first_bucket + self.side as usize]
-                .iter()
-                .enumerate()
-            {
-                let start = (first_bucket + bucket_off) * self.bucket_entries;
-                for slot in &self.slots[start..start + len as usize] {
-                    if (slot.key >> 32) as u32 == fp_src
-                        && slot.idx >> 8 == i
-                        && offset_in(slot.time_offset, filter)
-                    {
-                        total += slot.weight;
+        for (i, &row) in rows.iter().enumerate() {
+            let tag_pat = (i as u64) << 40;
+            let start = row as usize * row_slots;
+            if wide_kernel_active() {
+                // One contiguous `d · b`-slot sweep: the vector kernel
+                // streams only the keys column, so the wide fixed-length
+                // shape wins despite scanning never-occupied slots.
+                let end = start + row_slots;
+                total = total.wrapping_add(sum_matching(
+                    &self.keys[start..end],
+                    &self.tags[start..end],
+                    &self.weights[start..end],
+                    KEY_SRC_MASK,
+                    key_pat,
+                    TAG_SRC_MASK,
+                    tag_pat,
+                    lo,
+                    hi,
+                ));
+            } else {
+                // Scalar dispatch: a fused occupancy-guided scan reads only
+                // occupied prefixes — fewer loads than the wide sweep when
+                // no vector kernel is there to amortise them. Identical sums
+                // either way: skipped slots contribute exactly zero, and the
+                // per-slot predicate below is exactly [`sum_matching`]'s,
+                // applied in the same ascending slot order.
+                let keys = &self.keys[start..start + row_slots];
+                let tags = &self.tags[start..start + row_slots];
+                let weights = &self.weights[start..start + row_slots];
+                let first_bucket = (row * self.side) as usize;
+                let lens = &self.lens[first_bucket..first_bucket + self.side as usize];
+                let mut s = 0usize;
+                for &len in lens {
+                    for p in s..s + len as usize {
+                        if keys[p] & KEY_SRC_MASK == key_pat {
+                            let t = tags[p];
+                            let tag_eq = (t & TAG_SRC_MASK) == tag_pat;
+                            let off = t & TAG_OFFSET_MASK;
+                            let off_in = (off >= u64::from(lo)) & (off <= u64::from(hi));
+                            let lane = ((tag_eq & off_in) as i64).wrapping_neg();
+                            total = total.wrapping_add(weights[p] & lane);
+                        }
                     }
+                    s += b;
                 }
             }
         }
@@ -445,24 +663,53 @@ impl CompressedMatrix {
     }
 
     /// Destination-vertex query: sums entries in the candidate columns whose
-    /// destination fingerprint (and column index) match.
+    /// destination fingerprint (and column index) match. The column sweep is
+    /// strided (one `b`-slot bucket per row), so each bucket is a short
+    /// fixed-length scan with the next stride software-prefetched.
     pub fn dst_weight(&self, addr_dst: u64, fp_dst: u32, filter: OffsetFilter) -> u64 {
-        let m = self.mapping as usize;
-        let cols = self.candidates(addr_dst);
+        let mut scratch = ProbeScratch::new();
+        self.dst_weight_scratch(&mut scratch, addr_dst, fp_dst, filter)
+    }
+
+    /// [`dst_weight`](Self::dst_weight) with a caller-provided
+    /// [`ProbeScratch`].
+    pub(crate) fn dst_weight_scratch(
+        &self,
+        scratch: &mut ProbeScratch,
+        addr_dst: u64,
+        fp_dst: u32,
+        filter: OffsetFilter,
+    ) -> u64 {
+        let (lo, hi) = filter_bounds(filter);
+        let b = self.bucket_entries;
+        let stride = self.side as usize * b;
+        let cols = scratch
+            .cols
+            .candidates(&self.seq, self.side, self.mapping, addr_dst);
         let mut total = 0i64;
-        for (j, &col) in cols[..m].iter().enumerate() {
-            let j = j as u16;
-            for row in 0..self.side {
-                let (bucket, start) = self.bucket_slots(row, col);
+        for (j, &col) in cols.iter().enumerate() {
+            let tag_pat = (j as u64) << 32;
+            let mut bucket = col as usize;
+            let mut start = col as usize * b;
+            for _row in 0..self.side {
+                // Hide the strided-miss latency of the next few buckets.
+                prefetch_read_data(&self.keys, start + 4 * stride);
+                // Occupied-prefix bound: identical sums (never-written slots
+                // are all-zero), a third of the loads per bucket.
                 let len = self.lens[bucket] as usize;
-                for slot in &self.slots[start..start + len] {
-                    if slot.key as u32 == fp_dst
-                        && slot.idx & 0xFF == j
-                        && offset_in(slot.time_offset, filter)
-                    {
-                        total += slot.weight;
-                    }
-                }
+                total = total.wrapping_add(sum_matching(
+                    &self.keys[start..start + len],
+                    &self.tags[start..start + len],
+                    &self.weights[start..start + len],
+                    KEY_DST_MASK,
+                    u64::from(fp_dst),
+                    TAG_DST_MASK,
+                    tag_pat,
+                    lo,
+                    hi,
+                ));
+                bucket += self.side as usize;
+                start += stride;
             }
         }
         let addr_dst = addr_dst % self.side;
@@ -475,16 +722,47 @@ impl CompressedMatrix {
         total.max(0) as u64
     }
 
+    /// Software-prefetches the first candidate bucket an edge probe for
+    /// `(addr_src, addr_dst)` will touch (the LCG sequence starts at the
+    /// base address itself). Used by the columnar batch evaluator to issue
+    /// probes a few positions ahead of the sweep.
+    #[inline]
+    pub(crate) fn prefetch_edge_probe(&self, addr_src: u64, addr_dst: u64) {
+        let row = addr_src % self.side;
+        let col = addr_dst % self.side;
+        let start = (row * self.side + col) as usize * self.bucket_entries;
+        prefetch_read_data(&self.keys, start);
+        prefetch_read_data(&self.weights, start);
+    }
+
+    /// Software-prefetches the start of the first candidate row a
+    /// source-vertex probe for `addr_src` will sweep.
+    #[inline]
+    pub(crate) fn prefetch_row_probe(&self, addr_src: u64) {
+        let row = addr_src % self.side;
+        let start = (row * self.side) as usize * self.bucket_entries;
+        prefetch_read_data(&self.keys, start);
+        prefetch_read_data(&self.weights, start);
+    }
+
+    /// Software-prefetches the first bucket of the first candidate column a
+    /// destination-vertex probe for `addr_dst` will sweep.
+    #[inline]
+    pub(crate) fn prefetch_col_probe(&self, addr_dst: u64) {
+        let col = addr_dst % self.side;
+        let start = col as usize * self.bucket_entries;
+        prefetch_read_data(&self.keys, start);
+        prefetch_read_data(&self.weights, start);
+    }
+
     /// Iterates over occupied slots together with their bucket index.
-    fn occupied_slots(&self) -> impl Iterator<Item = (usize, &Slot)> {
+    fn occupied_slots(&self) -> impl Iterator<Item = (usize, Slot)> + '_ {
         self.lens
             .iter()
             .enumerate()
             .flat_map(move |(bucket, &len)| {
                 let start = bucket * self.bucket_entries;
-                self.slots[start..start + len as usize]
-                    .iter()
-                    .map(move |s| (bucket, s))
+                (start..start + len as usize).map(move |p| (bucket, self.slot_at(p)))
             })
     }
 
@@ -515,7 +793,9 @@ impl CompressedMatrix {
     /// Memory footprint in bytes. The slab is allocated eagerly, so this is
     /// independent of fill level (unlike the seed's per-bucket `Vec`s).
     pub fn space_bytes(&self) -> usize {
-        self.slots.capacity() * std::mem::size_of::<Slot>()
+        self.keys.capacity() * std::mem::size_of::<u64>()
+            + self.tags.capacity() * std::mem::size_of::<u64>()
+            + self.weights.capacity() * std::mem::size_of::<i64>()
             + self.lens.capacity()
             + self.spill.capacity() * std::mem::size_of::<SpillEntry>()
             + std::mem::size_of::<Self>()
@@ -523,10 +803,12 @@ impl CompressedMatrix {
 
     // --- snapshot support (crate-internal) --------------------------------
     //
-    // The snapshot codec (`crate::snapshot`) persists the slab verbatim: the
-    // per-bucket occupancy array plus only the occupied slots (empty slots
-    // are always `EMPTY_SLOT`, so they carry no information), and the spill
-    // list. These accessors expose exactly that state.
+    // The snapshot codec (`crate::snapshot`) persists the slab in its
+    // pre-SoA on-disk shape: the per-bucket occupancy array plus only the
+    // occupied slots as materialised `Slot` records (empty slots are always
+    // all-zero, so they carry no information), and the spill list. The
+    // format is unchanged by the SoA split; slots are gathered on encode and
+    // scattered on restore.
 
     /// Number of MMB mapping addresses per vertex (`r`).
     pub(crate) fn mapping(&self) -> u32 {
@@ -543,10 +825,11 @@ impl CompressedMatrix {
         &self.lens
     }
 
-    /// The occupied slots of bucket `bucket`, in slab order.
-    pub(crate) fn bucket_occupied_slots(&self, bucket: usize) -> &[Slot] {
+    /// The occupied slots of bucket `bucket`, in slab order, materialised
+    /// from the SoA columns.
+    pub(crate) fn bucket_occupied_slots(&self, bucket: usize) -> impl Iterator<Item = Slot> + '_ {
         let start = bucket * self.bucket_entries;
-        &self.slots[start..start + self.lens[bucket] as usize]
+        (start..start + self.lens[bucket] as usize).map(move |p| self.slot_at(p))
     }
 
     /// The spill list, in insertion order.
@@ -587,13 +870,16 @@ impl CompressedMatrix {
                 occupied.len()
             ));
         }
-        self.slots.fill(EMPTY_SLOT);
+        self.keys.fill(0);
+        self.tags.fill(0);
+        self.weights.fill(0);
         let mut next = 0usize;
         for (bucket, &len) in lens.iter().enumerate() {
             let start = bucket * self.bucket_entries;
-            let len = len as usize;
-            self.slots[start..start + len].copy_from_slice(&occupied[next..next + len]);
-            next += len;
+            for (k, &slot) in occupied[next..next + len as usize].iter().enumerate() {
+                self.write_slot(start + k, slot);
+            }
+            next += len as usize;
         }
         self.lens = lens;
         self.spill = spill;
@@ -807,6 +1093,63 @@ mod tests {
         // A different address pair still inserts fine.
         assert!(m.try_insert(2, 2, 4, 4, Some(0), 1));
         assert_eq!(m.stored(), 3);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        // One scratch threaded through many probes (the columnar pattern)
+        // must answer identically to a fresh candidate fill per probe.
+        let mut m = matrix();
+        for k in 0..200u32 {
+            m.try_insert(
+                u64::from(k % 8),
+                u64::from((k * 3) % 8),
+                k,
+                k.wrapping_mul(7),
+                Some(k % 50),
+                1 + i64::from(k % 5),
+            );
+        }
+        let mut scratch = ProbeScratch::new();
+        for k in 0..200u32 {
+            let (a_s, a_d) = (u64::from(k % 8), u64::from((k * 3) % 8));
+            let (f_s, f_d) = (k, k.wrapping_mul(7));
+            assert_eq!(
+                m.edge_weight_scratch(&mut scratch, a_s, a_d, f_s, f_d, Some((0, 30))),
+                m.edge_weight(a_s, a_d, f_s, f_d, Some((0, 30))),
+            );
+            assert_eq!(
+                m.src_weight_scratch(&mut scratch, a_s, f_s, None),
+                m.src_weight(a_s, f_s, None),
+            );
+            assert_eq!(
+                m.dst_weight_scratch(&mut scratch, a_d, f_d, None),
+                m.dst_weight(a_d, f_d, None),
+            );
+        }
+    }
+
+    #[test]
+    fn negative_net_weight_entries_still_clamp_at_zero() {
+        // Over-deletion drives a slot's weight negative; queries clamp the
+        // *total* at zero exactly as the row-wise reference did.
+        let mut m = matrix();
+        m.try_insert(1, 2, 100, 200, Some(5), 3);
+        assert!(m.try_delete(1, 2, 100, 200, None, 10));
+        assert_eq!(m.edge_weight(1, 2, 100, 200, None), 0);
+        assert_eq!(m.src_weight(1, 100, None), 0);
+        assert_eq!(m.dst_weight(2, 200, None), 0);
+    }
+
+    #[test]
+    fn prefetch_helpers_are_callable_at_any_address() {
+        // Prefetch is a hint: helpers must be safe for any address value,
+        // in-range or not (they reduce modulo the side).
+        let m = matrix();
+        m.prefetch_edge_probe(0, 0);
+        m.prefetch_edge_probe(u64::MAX, u64::MAX);
+        m.prefetch_row_probe(7);
+        m.prefetch_col_probe(u64::MAX - 1);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! order and allocates a new block only after every existing block rejected
 //! the edge, preserving first-block-wins attribution for deletes/queries.
 
-use crate::matrix::{CompressedMatrix, OffsetFilter};
+use crate::matrix::{CompressedMatrix, OffsetFilter, ProbeScratch};
 
 /// A chain of small overflow matrices attached to one leaf node.
 #[derive(Clone, Debug, Default)]
@@ -110,25 +110,67 @@ impl OverflowChain {
         fp_dst: u32,
         filter: OffsetFilter,
     ) -> u64 {
+        let mut scratch = ProbeScratch::new();
+        self.edge_weight_scratch(&mut scratch, addr_src, addr_dst, fp_src, fp_dst, filter)
+    }
+
+    /// [`edge_weight`](Self::edge_weight) with a caller-provided
+    /// [`ProbeScratch`]. Every block shares the chain's geometry, so the
+    /// candidate fill is computed once for the whole chain.
+    pub(crate) fn edge_weight_scratch(
+        &self,
+        scratch: &mut ProbeScratch,
+        addr_src: u64,
+        addr_dst: u64,
+        fp_src: u32,
+        fp_dst: u32,
+        filter: OffsetFilter,
+    ) -> u64 {
         self.blocks
             .iter()
-            .map(|b| b.edge_weight(addr_src, addr_dst, fp_src, fp_dst, filter))
+            .map(|b| b.edge_weight_scratch(scratch, addr_src, addr_dst, fp_src, fp_dst, filter))
             .sum()
     }
 
     /// Source-vertex query over every block in the chain.
     pub fn src_weight(&self, addr_src: u64, fp_src: u32, filter: OffsetFilter) -> u64 {
+        let mut scratch = ProbeScratch::new();
+        self.src_weight_scratch(&mut scratch, addr_src, fp_src, filter)
+    }
+
+    /// [`src_weight`](Self::src_weight) with a caller-provided
+    /// [`ProbeScratch`].
+    pub(crate) fn src_weight_scratch(
+        &self,
+        scratch: &mut ProbeScratch,
+        addr_src: u64,
+        fp_src: u32,
+        filter: OffsetFilter,
+    ) -> u64 {
         self.blocks
             .iter()
-            .map(|b| b.src_weight(addr_src, fp_src, filter))
+            .map(|b| b.src_weight_scratch(scratch, addr_src, fp_src, filter))
             .sum()
     }
 
     /// Destination-vertex query over every block in the chain.
     pub fn dst_weight(&self, addr_dst: u64, fp_dst: u32, filter: OffsetFilter) -> u64 {
+        let mut scratch = ProbeScratch::new();
+        self.dst_weight_scratch(&mut scratch, addr_dst, fp_dst, filter)
+    }
+
+    /// [`dst_weight`](Self::dst_weight) with a caller-provided
+    /// [`ProbeScratch`].
+    pub(crate) fn dst_weight_scratch(
+        &self,
+        scratch: &mut ProbeScratch,
+        addr_dst: u64,
+        fp_dst: u32,
+        filter: OffsetFilter,
+    ) -> u64 {
         self.blocks
             .iter()
-            .map(|b| b.dst_weight(addr_dst, fp_dst, filter))
+            .map(|b| b.dst_weight_scratch(scratch, addr_dst, fp_dst, filter))
             .sum()
     }
 

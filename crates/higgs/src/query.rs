@@ -23,6 +23,7 @@
 //! composition would.
 
 use crate::boundary::{QueryPlan, QueryTarget};
+use crate::matrix::ProbeScratch;
 use crate::tree::HiggsSummary;
 use higgs_common::hashing::HashedVertex;
 use higgs_common::{
@@ -40,14 +41,32 @@ impl HiggsSummary {
         hd1: &HashedVertex,
         filter: (u32, u32),
     ) -> u64 {
+        let mut scratch = ProbeScratch::new();
+        self.leaf_edge_weight_scratch(&mut scratch, index, hs1, hd1, filter)
+    }
+
+    /// [`leaf_edge_weight`](Self::leaf_edge_weight) with a caller-provided
+    /// probe scratch (the columnar executor threads one scratch through a
+    /// whole probe sweep; leaf matrix and overflow blocks share geometry, so
+    /// the candidate fill is reused across all of them).
+    fn leaf_edge_weight_scratch(
+        &self,
+        scratch: &mut ProbeScratch,
+        index: usize,
+        hs1: &HashedVertex,
+        hd1: &HashedVertex,
+        filter: (u32, u32),
+    ) -> u64 {
         let leaf = &self.leaves[index];
-        leaf.matrix.edge_weight(
+        leaf.matrix.edge_weight_scratch(
+            scratch,
             hs1.address,
             hd1.address,
             hs1.fingerprint as u32,
             hd1.fingerprint as u32,
             Some(filter),
-        ) + leaf.overflow.edge_weight(
+        ) + leaf.overflow.edge_weight_scratch(
+            scratch,
             hs1.address,
             hd1.address,
             hs1.fingerprint as u32,
@@ -65,21 +84,47 @@ impl HiggsSummary {
         direction: VertexDirection,
         filter: (u32, u32),
     ) -> u64 {
+        let mut scratch = ProbeScratch::new();
+        self.leaf_vertex_weight_scratch(&mut scratch, index, hv1, direction, filter)
+    }
+
+    /// [`leaf_vertex_weight`](Self::leaf_vertex_weight) with a
+    /// caller-provided probe scratch.
+    fn leaf_vertex_weight_scratch(
+        &self,
+        scratch: &mut ProbeScratch,
+        index: usize,
+        hv1: &HashedVertex,
+        direction: VertexDirection,
+        filter: (u32, u32),
+    ) -> u64 {
         let leaf = &self.leaves[index];
         match direction {
             VertexDirection::Out => {
-                leaf.matrix
-                    .src_weight(hv1.address, hv1.fingerprint as u32, Some(filter))
-                    + leaf
-                        .overflow
-                        .src_weight(hv1.address, hv1.fingerprint as u32, Some(filter))
+                leaf.matrix.src_weight_scratch(
+                    scratch,
+                    hv1.address,
+                    hv1.fingerprint as u32,
+                    Some(filter),
+                ) + leaf.overflow.src_weight_scratch(
+                    scratch,
+                    hv1.address,
+                    hv1.fingerprint as u32,
+                    Some(filter),
+                )
             }
             VertexDirection::In => {
-                leaf.matrix
-                    .dst_weight(hv1.address, hv1.fingerprint as u32, Some(filter))
-                    + leaf
-                        .overflow
-                        .dst_weight(hv1.address, hv1.fingerprint as u32, Some(filter))
+                leaf.matrix.dst_weight_scratch(
+                    scratch,
+                    hv1.address,
+                    hv1.fingerprint as u32,
+                    Some(filter),
+                ) + leaf.overflow.dst_weight_scratch(
+                    scratch,
+                    hv1.address,
+                    hv1.fingerprint as u32,
+                    Some(filter),
+                )
             }
         }
     }
@@ -288,29 +333,57 @@ impl HiggsSummary {
         // Sweep orders sorted by bucket address, so each target pass walks
         // its slab in (mostly) ascending row order. Higher layers re-derive
         // their address as `(address << R) | fp_top`, which preserves this
-        // ordering as a prefix order, so one sort serves every layer.
+        // ordering as a prefix order, so one sort serves every layer. The
+        // key packs both addresses into one `u128` (one scalar compare per
+        // element; tie order is irrelevant because probe contributions only
+        // accumulate).
         let mut edge_sweep: Vec<u32> = (0..edge_probes.len() as u32).collect();
         edge_sweep.sort_unstable_by_key(|&p| {
             let (hs, hd) = &edge_probes[p as usize];
-            (hs.address, hd.address)
+            (u128::from(hs.address) << 64) | u128::from(hd.address)
         });
         let mut vertex_sweep: Vec<u32> = (0..vertex_probes.len() as u32).collect();
         vertex_sweep.sort_unstable_by_key(|&p| vertex_probes[p as usize].0.address);
 
-        // One pass per plan target over the whole probe set.
+        // One pass per plan target over the whole probe set. A single probe
+        // scratch serves the entire group: the sweeps are address-sorted, so
+        // consecutive probes often share endpoints and skip their candidate
+        // refill. While answering probe `k`, the slab lines of probe
+        // `k + PREFETCH_AHEAD` are software-prefetched — the probe set is
+        // known in advance, so the sweep never waits on a cold first bucket.
+        const PREFETCH_AHEAD: usize = 8;
+        let mut scratch = ProbeScratch::new();
         let mut edge_totals = vec![0u64; edge_probes.len()];
         let mut vertex_totals = vec![0u64; vertex_probes.len()];
         for target in &plan.targets {
             match *target {
                 QueryTarget::Leaf { index, filter } => {
-                    for &p in &edge_sweep {
+                    let leaf = &self.leaves[index];
+                    for (k, &p) in edge_sweep.iter().enumerate() {
+                        if let Some(&ahead) = edge_sweep.get(k + PREFETCH_AHEAD) {
+                            let (hs, hd) = &edge_probes[ahead as usize];
+                            leaf.matrix.prefetch_edge_probe(hs.address, hd.address);
+                        }
                         let (hs1, hd1) = &edge_probes[p as usize];
-                        edge_totals[p as usize] += self.leaf_edge_weight(index, hs1, hd1, filter);
+                        edge_totals[p as usize] +=
+                            self.leaf_edge_weight_scratch(&mut scratch, index, hs1, hd1, filter);
                     }
-                    for &p in &vertex_sweep {
+                    for (k, &p) in vertex_sweep.iter().enumerate() {
+                        if let Some(&ahead) = vertex_sweep.get(k + PREFETCH_AHEAD) {
+                            let (hv, direction) = &vertex_probes[ahead as usize];
+                            match direction {
+                                VertexDirection::Out => leaf.matrix.prefetch_row_probe(hv.address),
+                                VertexDirection::In => leaf.matrix.prefetch_col_probe(hv.address),
+                            }
+                        }
                         let (hv1, direction) = &vertex_probes[p as usize];
-                        vertex_totals[p as usize] +=
-                            self.leaf_vertex_weight(index, hv1, *direction, filter);
+                        vertex_totals[p as usize] += self.leaf_vertex_weight_scratch(
+                            &mut scratch,
+                            index,
+                            hv1,
+                            *direction,
+                            filter,
+                        );
                     }
                 }
                 QueryTarget::Aggregate { level, index } => {
@@ -318,11 +391,19 @@ impl HiggsSummary {
                     match node.matrix.as_ref() {
                         Some(matrix) => {
                             let layer = level as u32 + 2;
-                            for &p in &edge_sweep {
+                            for (k, &p) in edge_sweep.iter().enumerate() {
+                                if let Some(&ahead) = edge_sweep.get(k + PREFETCH_AHEAD) {
+                                    let (hs, hd) = &edge_probes[ahead as usize];
+                                    matrix.prefetch_edge_probe(
+                                        self.layout.split(hs.hash, layer).address,
+                                        self.layout.split(hd.hash, layer).address,
+                                    );
+                                }
                                 let (hs1, hd1) = &edge_probes[p as usize];
                                 let hs = self.layout.split(hs1.hash, layer);
                                 let hd = self.layout.split(hd1.hash, layer);
-                                edge_totals[p as usize] += matrix.edge_weight(
+                                edge_totals[p as usize] += matrix.edge_weight_scratch(
+                                    &mut scratch,
                                     hs.address,
                                     hd.address,
                                     hs.fingerprint as u32,
@@ -330,16 +411,30 @@ impl HiggsSummary {
                                     None,
                                 );
                             }
-                            for &p in &vertex_sweep {
+                            for (k, &p) in vertex_sweep.iter().enumerate() {
+                                if let Some(&ahead) = vertex_sweep.get(k + PREFETCH_AHEAD) {
+                                    let (hv, direction) = &vertex_probes[ahead as usize];
+                                    let addr = self.layout.split(hv.hash, layer).address;
+                                    match direction {
+                                        VertexDirection::Out => matrix.prefetch_row_probe(addr),
+                                        VertexDirection::In => matrix.prefetch_col_probe(addr),
+                                    }
+                                }
                                 let (hv1, direction) = &vertex_probes[p as usize];
                                 let hv = self.layout.split(hv1.hash, layer);
                                 vertex_totals[p as usize] += match direction {
-                                    VertexDirection::Out => {
-                                        matrix.src_weight(hv.address, hv.fingerprint as u32, None)
-                                    }
-                                    VertexDirection::In => {
-                                        matrix.dst_weight(hv.address, hv.fingerprint as u32, None)
-                                    }
+                                    VertexDirection::Out => matrix.src_weight_scratch(
+                                        &mut scratch,
+                                        hv.address,
+                                        hv.fingerprint as u32,
+                                        None,
+                                    ),
+                                    VertexDirection::In => matrix.dst_weight_scratch(
+                                        &mut scratch,
+                                        hv.address,
+                                        hv.fingerprint as u32,
+                                        None,
+                                    ),
                                 };
                             }
                         }

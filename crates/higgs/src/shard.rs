@@ -379,13 +379,24 @@ impl ShardedHiggs {
 
     /// Creates a sharded service with `workers_per_shard` aggregation
     /// workers behind each shard's writer.
+    ///
+    /// When [`HiggsConfig::pin_workers`] is set, shard `s`'s whole thread
+    /// group — its writer plus its aggregation workers — pins to core
+    /// `s % available_cores`, keeping each shard's slabs resident in one
+    /// core's private cache.
     pub fn try_with_workers(
         config: HiggsConfig,
         workers_per_shard: usize,
     ) -> Result<Self, ConfigError> {
         config.validate()?;
         let pipelines = (0..config.shards)
-            .map(|_| ParallelHiggs::new(config, workers_per_shard))
+            .map(|s| {
+                ParallelHiggs::new_on_core(
+                    config,
+                    workers_per_shard,
+                    ParallelHiggs::pin_core_for(&config, s),
+                )
+            })
             .collect();
         Self::from_pipelines(config, pipelines)
     }
@@ -408,7 +419,7 @@ impl ShardedHiggs {
         let mut senders = Vec::with_capacity(num_shards);
         let mut writers = Vec::with_capacity(num_shards);
         let discard = Arc::new(std::sync::atomic::AtomicBool::new(false));
-        for pipeline in pipelines {
+        for (shard_index, pipeline) in pipelines.into_iter().enumerate() {
             let shard = Arc::new(RwLock::new(pipeline));
             let (tx, rx) = match config.ingest_queue_cap {
                 Some(cap) => bounded::<ShardCommand>(cap),
@@ -417,7 +428,13 @@ impl ShardedHiggs {
             let worker_shard = shard.clone();
             let worker_discard = discard.clone();
             let guard = WriterGuard::enter();
+            // Same core as this shard's aggregation workers (None when
+            // pinning is off); pinning is best-effort.
+            let pin_core = ParallelHiggs::pin_core_for(&config, shard_index);
             writers.push(std::thread::spawn(move || {
+                if let Some(core) = pin_core {
+                    let _ = higgs_common::affinity::pin_to_core(core);
+                }
                 writer_loop(worker_shard, rx, worker_discard, guard)
             }));
             shards.push(shard);

@@ -299,6 +299,10 @@ fn decode_config<R: Read>(dec: &mut Decoder<R>) -> Result<HiggsConfig, SnapshotE
         shards,
         plan_cache_capacity,
         ingest_queue_cap,
+        // Worker pinning is runtime placement state, not data: the snapshot
+        // format does not carry it, and a restored service starts unpinned
+        // (the restoring caller may opt back in on its own machine).
+        pin_workers: false,
     };
     config.validate()?;
     Ok(config)
@@ -832,8 +836,11 @@ impl ShardedHiggs {
         let mut config = config.expect("a service holds at least one shard");
         // Shard summaries carry the per-summary view of the config; the
         // manifest records the *service* shard count so restore rebuilds the
-        // same partitioning.
+        // same partitioning. Worker pinning is runtime placement state, not
+        // data: it is never encoded, so the returned manifest reports it
+        // cleared exactly as a re-read of the written file would.
         config.shards = shards.len();
+        config.pin_workers = false;
         let manifest = SnapshotManifest {
             format_version: FORMAT_VERSION,
             config,
@@ -1017,6 +1024,7 @@ mod tests {
             shards: 1,
             plan_cache_capacity: 8,
             ingest_queue_cap: None,
+            pin_workers: false,
         });
         for i in 0..2_000u64 {
             live.insert(&StreamEdge::new(i % 60, (i * 7) % 60, 1, i));

@@ -9,22 +9,43 @@
 //! adjacency-list buffer keyed by the exact fingerprint pair. Queries check
 //! the candidate cells and the buffer, so GSS only errs when two distinct
 //! edges share both the address *and* the fingerprint pair.
+//!
+//! # Storage layout
+//!
+//! Like the HIGGS compressed matrix, the cell grid is stored
+//! structure-of-arrays: parallel columns of packed fingerprint keys
+//! (`fp_src` high half, `fp_dst` low half), packed index tags (index pair in
+//! bits 32..48, mirroring the HIGGS tag layout with a zero offset half), and
+//! signed weights, plus an occupancy bitmap consulted only by insertion.
+//! Cells are never vacated once occupied and unoccupied cells stay all-zero,
+//! so the vertex-query row and column sweeps run over *fixed-length* cell
+//! ranges with [`higgs_common::sum_matching`] — empty cells can at worst
+//! match an all-zero pattern and then contribute zero weight, which keeps
+//! the key-first sweep (scalar or vector kernel alike) bit-identical to an
+//! occupancy-checked scan.
 
 use crate::GraphSketch;
 use higgs_common::hashing::{vertex_hash, AddressSequence};
+use higgs_common::simd::{prefetch_read_data, sum_matching};
 use std::collections::HashMap;
 
-/// One cell of the GSS matrix: a stored fingerprint pair and its weight,
-/// plus the square-hashing index pair identifying which candidate position
-/// the edge occupies.
-#[derive(Clone, Copy, Debug, Default)]
-struct Cell {
-    occupied: bool,
-    fp_src: u32,
-    fp_dst: u32,
-    idx_src: u8,
-    idx_dst: u8,
-    weight: i64,
+/// Key bits holding the source fingerprint.
+const KEY_SRC_MASK: u64 = 0xFFFF_FFFF_0000_0000;
+/// Key bits holding the destination fingerprint.
+const KEY_DST_MASK: u64 = 0x0000_0000_FFFF_FFFF;
+/// Tag bits holding the source half of the index pair.
+const TAG_SRC_MASK: u64 = 0xFF00_0000_0000;
+/// Tag bits holding the destination half of the index pair.
+const TAG_DST_MASK: u64 = 0x00FF_0000_0000;
+
+#[inline]
+fn pack_key(fp_src: u32, fp_dst: u32) -> u64 {
+    (u64::from(fp_src) << 32) | u64::from(fp_dst)
+}
+
+#[inline]
+fn pack_tag(idx_src: u8, idx_dst: u8) -> u64 {
+    (u64::from(idx_src) << 40) | (u64::from(idx_dst) << 32)
 }
 
 /// Configuration of a [`Gss`] sketch.
@@ -52,7 +73,16 @@ impl Default for GssConfig {
 #[derive(Clone, Debug)]
 pub struct Gss {
     config: GssConfig,
-    cells: Vec<Cell>,
+    /// Packed fingerprint pairs, one per cell, row-major. Parallel to
+    /// `tags`, `weights`, and `occupied`.
+    keys: Vec<u64>,
+    /// Packed square-hashing index pairs (bits 32..48; low half always 0).
+    tags: Vec<u64>,
+    /// Signed cell weights; zero for every unoccupied cell.
+    weights: Vec<i64>,
+    /// Occupancy bitmap: consulted only by insertion (queries rely on the
+    /// all-zero-when-empty invariant instead).
+    occupied: Vec<bool>,
     seq: AddressSequence,
     /// Spill buffer: exact fingerprint-pair keyed adjacency list.
     buffer: HashMap<(u64, u64), i64>,
@@ -64,9 +94,13 @@ impl Gss {
         assert!(config.side.is_power_of_two(), "side must be a power of two");
         assert!(config.fingerprint_bits >= 1 && config.fingerprint_bits <= 32);
         assert!(config.candidates >= 1);
+        let cells = config.side * config.side;
         Self {
             config,
-            cells: vec![Cell::default(); config.side * config.side],
+            keys: vec![0u64; cells],
+            tags: vec![0u64; cells],
+            weights: vec![0i64; cells],
+            occupied: vec![false; cells],
             seq: AddressSequence::new(config.side as u64),
             buffer: HashMap::new(),
         }
@@ -88,8 +122,8 @@ impl Gss {
 
     /// Fraction of matrix cells that are occupied.
     pub fn utilization(&self) -> f64 {
-        let used = self.cells.iter().filter(|c| c.occupied).count();
-        used as f64 / self.cells.len() as f64
+        let used = self.occupied.iter().filter(|&&o| o).count();
+        used as f64 / self.occupied.len() as f64
     }
 
     #[inline]
@@ -110,31 +144,23 @@ impl Gss {
         let (src_addr, src_fp) = self.split(src_key);
         let (dst_addr, dst_fp) = self.split(dst_key);
         let r = self.config.candidates as usize;
+        let key = pack_key(src_fp, dst_fp);
         // Square hashing: try the r×r candidate positions in a fixed order,
         // walking the LCG iteratively (one step per candidate) instead of
         // recomputing each address from scratch.
         for (i, row) in self.seq.iter(src_addr).take(r).enumerate() {
             for (j, col) in self.seq.iter(dst_addr).take(r).enumerate() {
+                let tag = pack_tag(i as u8, j as u8);
                 let idx = self.cell_index(row, col);
-                let cell = &mut self.cells[idx];
-                if cell.occupied
-                    && cell.fp_src == src_fp
-                    && cell.fp_dst == dst_fp
-                    && cell.idx_src == i as u8
-                    && cell.idx_dst == j as u8
-                {
-                    cell.weight += delta;
+                if self.occupied[idx] && self.keys[idx] == key && self.tags[idx] == tag {
+                    self.weights[idx] += delta;
                     return;
                 }
-                if !cell.occupied && delta > 0 {
-                    *cell = Cell {
-                        occupied: true,
-                        fp_src: src_fp,
-                        fp_dst: dst_fp,
-                        idx_src: i as u8,
-                        idx_dst: j as u8,
-                        weight: delta,
-                    };
+                if !self.occupied[idx] && delta > 0 {
+                    self.occupied[idx] = true;
+                    self.keys[idx] = key;
+                    self.tags[idx] = tag;
+                    self.weights[idx] = delta;
                     return;
                 }
             }
@@ -161,18 +187,15 @@ impl GraphSketch for Gss {
         let (src_addr, src_fp) = self.split(src_key);
         let (dst_addr, dst_fp) = self.split(dst_key);
         let r = self.config.candidates as usize;
+        let key = pack_key(src_fp, dst_fp);
         let mut total = 0i64;
+        // r×r scattered single-cell probes: a scalar masked compare per cell
+        // (empty cells hold zero weight, so no occupancy check is needed).
         for (i, row) in self.seq.iter(src_addr).take(r).enumerate() {
             for (j, col) in self.seq.iter(dst_addr).take(r).enumerate() {
-                let cell = &self.cells[self.cell_index(row, col)];
-                if cell.occupied
-                    && cell.fp_src == src_fp
-                    && cell.fp_dst == dst_fp
-                    && cell.idx_src == i as u8
-                    && cell.idx_dst == j as u8
-                {
-                    total += cell.weight;
-                }
+                let idx = self.cell_index(row, col);
+                let matches = self.keys[idx] == key && self.tags[idx] == pack_tag(i as u8, j as u8);
+                total += self.weights[idx] & (matches as i64).wrapping_neg();
             }
         }
         total += self.buffer.get(&(src_key, dst_key)).copied().unwrap_or(0);
@@ -182,14 +205,22 @@ impl GraphSketch for Gss {
     fn src_weight(&self, src_key: u64) -> u64 {
         let (src_addr, src_fp) = self.split(src_key);
         let r = self.config.candidates as usize;
+        let side = self.config.side;
         let mut total = 0i64;
+        // Each candidate row is one contiguous fixed-length sweep.
         for (i, row) in self.seq.iter(src_addr).take(r).enumerate() {
-            let base = row as usize * self.config.side;
-            for cell in &self.cells[base..base + self.config.side] {
-                if cell.occupied && cell.fp_src == src_fp && cell.idx_src == i as u8 {
-                    total += cell.weight;
-                }
-            }
+            let base = row as usize * side;
+            total = total.wrapping_add(sum_matching(
+                &self.keys[base..base + side],
+                &self.tags[base..base + side],
+                &self.weights[base..base + side],
+                KEY_SRC_MASK,
+                u64::from(src_fp) << 32,
+                TAG_SRC_MASK,
+                (i as u64) << 40,
+                0,
+                u32::MAX,
+            ));
         }
         total += self
             .buffer
@@ -203,14 +234,22 @@ impl GraphSketch for Gss {
     fn dst_weight(&self, dst_key: u64) -> u64 {
         let (dst_addr, dst_fp) = self.split(dst_key);
         let r = self.config.candidates as usize;
+        let side = self.config.side;
         let mut total = 0i64;
+        // Strided column sweep: one cell per row. Prefetch a few strides
+        // ahead to hide the per-row cache miss, and fold each cell with a
+        // branchless masked compare.
         for (j, col) in self.seq.iter(dst_addr).take(r).enumerate() {
-            let col = col as usize;
-            for row in 0..self.config.side {
-                let cell = &self.cells[row * self.config.side + col];
-                if cell.occupied && cell.fp_dst == dst_fp && cell.idx_dst == j as u8 {
-                    total += cell.weight;
-                }
+            let key_pat = u64::from(dst_fp);
+            let tag_pat = (j as u64) << 32;
+            let mut idx = col as usize;
+            for _row in 0..side {
+                prefetch_read_data(&self.keys, idx + 4 * side);
+                prefetch_read_data(&self.weights, idx + 4 * side);
+                let matches = self.keys[idx] & KEY_DST_MASK == key_pat
+                    && self.tags[idx] & TAG_DST_MASK == tag_pat;
+                total += self.weights[idx] & (matches as i64).wrapping_neg();
+                idx += side;
             }
         }
         total += self
@@ -223,7 +262,10 @@ impl GraphSketch for Gss {
     }
 
     fn space_bytes(&self) -> usize {
-        self.cells.capacity() * std::mem::size_of::<Cell>()
+        self.keys.capacity() * std::mem::size_of::<u64>()
+            + self.tags.capacity() * std::mem::size_of::<u64>()
+            + self.weights.capacity() * std::mem::size_of::<i64>()
+            + self.occupied.capacity()
             + self.buffer.capacity() * std::mem::size_of::<((u64, u64), i64)>()
             + std::mem::size_of::<Self>()
     }
@@ -332,7 +374,68 @@ mod tests {
     #[test]
     fn space_accounts_for_buffer() {
         let g = Gss::with_side(64);
-        assert!(g.space_bytes() >= 64 * 64 * std::mem::size_of::<Cell>());
+        assert!(g.space_bytes() >= 64 * 64 * 17);
+    }
+
+    #[test]
+    fn vertex_sweeps_match_per_cell_reference() {
+        // The fixed-length SoA sweeps must agree exactly with a scalar
+        // occupancy-checked walk over the same grid — including negative
+        // cell weights left behind by over-deletion.
+        let mut g = Gss::new(GssConfig {
+            side: 16,
+            fingerprint_bits: 12,
+            candidates: 3,
+        });
+        for i in 0..400u64 {
+            g.insert(i % 37, (i * 11) % 37, 1 + i % 4);
+        }
+        for i in 0..40u64 {
+            g.delete(i % 37, (i * 11) % 37, 3);
+        }
+        for v in 0..37u64 {
+            let (addr, fp) = g.split(v);
+            let r = g.config.candidates as usize;
+            let mut src_ref = 0i64;
+            for (i, row) in g.seq.iter(addr).take(r).enumerate() {
+                let base = row as usize * g.config.side;
+                for idx in base..base + g.config.side {
+                    if g.occupied[idx]
+                        && (g.keys[idx] >> 32) as u32 == fp
+                        && g.tags[idx] >> 40 == i as u64
+                    {
+                        src_ref += g.weights[idx];
+                    }
+                }
+            }
+            src_ref += g
+                .buffer
+                .iter()
+                .filter(|&(&(s, _), _)| s == v)
+                .map(|(_, &w)| w)
+                .sum::<i64>();
+            assert_eq!(g.src_weight(v), src_ref.max(0) as u64, "src v={v}");
+
+            let mut dst_ref = 0i64;
+            for (j, col) in g.seq.iter(addr).take(r).enumerate() {
+                for row in 0..g.config.side {
+                    let idx = row * g.config.side + col as usize;
+                    if g.occupied[idx]
+                        && g.keys[idx] as u32 == fp
+                        && (g.tags[idx] >> 32) & 0xFF == j as u64
+                    {
+                        dst_ref += g.weights[idx];
+                    }
+                }
+            }
+            dst_ref += g
+                .buffer
+                .iter()
+                .filter(|&(&(_, d), _)| d == v)
+                .map(|(_, &w)| w)
+                .sum::<i64>();
+            assert_eq!(g.dst_weight(v), dst_ref.max(0) as u64, "dst v={v}");
+        }
     }
 
     #[test]

@@ -45,6 +45,7 @@ fn higgs_partial_deletion_updates_all_layers() {
         shards: 1,
         plan_cache_capacity: 8,
         ingest_queue_cap: None,
+        pin_workers: false,
     });
     let edges: Vec<StreamEdge> = (0..3_000u64)
         .map(|i| StreamEdge::new(i % 120, (i * 7) % 120, 2, i))

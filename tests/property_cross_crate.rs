@@ -71,6 +71,7 @@ proptest! {
             shards: 1,
             plan_cache_capacity: 8,
             ingest_queue_cap: None,
+            pin_workers: false,
         });
         let mut exact = ExactTemporalGraph::new();
         for e in &edges {
@@ -175,6 +176,7 @@ proptest! {
             shards: 1,
             plan_cache_capacity: 8,
             ingest_queue_cap: None,
+            pin_workers: false,
         });
         let mut exact = ExactTemporalGraph::new();
         for e in &edges {
@@ -310,6 +312,7 @@ proptest! {
             shards: 1,
             plan_cache_capacity: 8,
             ingest_queue_cap: None,
+            pin_workers: false,
         });
         let mut exact = ExactTemporalGraph::new();
         for e in &edges {

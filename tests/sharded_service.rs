@@ -59,6 +59,7 @@ fn collision_heavy_config(shards: usize) -> HiggsConfig {
         shards,
         plan_cache_capacity: 8,
         ingest_queue_cap: None,
+        pin_workers: false,
     }
 }
 
