@@ -45,16 +45,23 @@ mod imp {
     #[allow(unsafe_code)]
     unsafe fn syscall3(nr: u64, a1: u64, a2: u64, a3: u64) -> i64 {
         let ret: i64;
-        core::arch::asm!(
-            "syscall",
-            inlateout("rax") nr => ret,
-            in("rdi") a1,
-            in("rsi") a2,
-            in("rdx") a3,
-            lateout("rcx") _,
-            lateout("r11") _,
-            options(nostack),
-        );
+        // SAFETY: the caller upholds the pointer/length contract for `a3`
+        // (see the fn-level `# Safety` section); the asm block itself only
+        // clobbers the registers the x86-64 syscall ABI declares (rcx, r11)
+        // and writes the result to rax.
+        #[allow(unsafe_code)]
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") nr => ret,
+                in("rdi") a1,
+                in("rsi") a2,
+                in("rdx") a3,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
         ret
     }
 

@@ -29,11 +29,15 @@
 //! used, matching the "build every substrate" requirement of the
 //! reproduction.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // `deny` rather than `forbid`: the SIMD kernels, the prefetch intrinsic,
 // and the affinity syscalls carry narrowly scoped `#[allow(unsafe_code)]`
 // blocks with safety comments; everything else stays safe Rust.
 #![deny(unsafe_code)]
+// Every unsafe operation inside an `unsafe fn` must sit in its own explicit
+// `unsafe {}` block, so each one carries its own `// SAFETY:` rationale —
+// which `cargo run -p xtask -- lint` then enforces mechanically.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod affinity;
 pub mod codec;

@@ -95,6 +95,9 @@ pub fn sum_matching(
 /// slot's weight if the remaining conjuncts hold, else zero (branchless
 /// select, so every kernel resolves a key hit identically).
 #[inline(always)]
+// LINT-ALLOW(hot-path-panic): every caller derives `i` from a loop bounded by
+// `n = min(keys.len(), tags.len(), weights.len())`, so both accesses are in
+// range; a bounds branch here would sit on the rare-hit path of every kernel.
 fn slot_contrib(
     tags: &[u64],
     weights: &[i64],
@@ -139,6 +142,7 @@ fn sum_matching_scalar(
     let (off_lo, off_hi) = (u64::from(off_lo), u64::from(off_hi));
     let n = keys.len().min(tags.len()).min(weights.len());
     let mut acc = 0i64;
+    // LINT-ALLOW(hot-path-panic): `n <= keys.len()` by construction.
     for (i, &k) in keys[..n].iter().enumerate() {
         if k & key_mask == key_pat {
             acc = acc.wrapping_add(slot_contrib(
@@ -161,6 +165,11 @@ static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
 /// (the scalar path is the only one compiled).
 #[doc(hidden)]
 pub fn force_scalar(on: bool) {
+    // ORDERING: Release pairs with the Acquire load in `kernel_name`, so a
+    // thread that observes the toggle also observes everything the toggling
+    // test did before it. Dispatch itself only needs the flag value (all
+    // kernels are bit-identical), but the stronger pair keeps the test
+    // hook's happens-before story simple.
     FORCE_SCALAR.store(on, Ordering::Release);
 }
 
@@ -208,6 +217,9 @@ mod dispatch {
     static KERNEL: AtomicU8 = AtomicU8::new(KERNEL_UNKNOWN);
 
     fn detect() -> u8 {
+        // ORDERING: Relaxed — the cache holds an idempotent CPUID verdict;
+        // racing threads recompute the same value and publish no other data,
+        // so only the value itself (not ordering) matters.
         let k = KERNEL.load(Ordering::Relaxed);
         if k != KERNEL_UNKNOWN {
             return k;
@@ -219,11 +231,15 @@ mod dispatch {
         } else {
             KERNEL_SCALAR
         };
+        // ORDERING: Relaxed — same reasoning as the load above: the store
+        // only memoises a value every thread derives identically.
         KERNEL.store(k, Ordering::Relaxed);
         k
     }
 
     pub(super) fn kernel_name() -> &'static str {
+        // ORDERING: Acquire pairs with the Release store in `force_scalar`
+        // (see the rationale there).
         if FORCE_SCALAR.load(Ordering::Acquire) {
             return "scalar";
         }
@@ -236,6 +252,8 @@ mod dispatch {
 
     #[inline]
     pub(super) fn wide_kernel_active() -> bool {
+        // ORDERING: Relaxed — purely a performance hint; a stale read at
+        // worst picks a differently shaped (but bit-identical) sweep.
         !FORCE_SCALAR.load(Ordering::Relaxed) && matches!(detect(), KERNEL_AVX2 | KERNEL_SSE2)
     }
 
@@ -252,16 +270,20 @@ mod dispatch {
         off_lo: u32,
         off_hi: u32,
     ) -> i64 {
+        // ORDERING: Relaxed — dispatch hint only; every kernel computes the
+        // same bits, so observing a stale flag value cannot change results.
         if keys.len() >= SIMD_MIN_LEN && !FORCE_SCALAR.load(Ordering::Relaxed) {
             match detect() {
-                // SAFETY: `detect` verified the corresponding CPU feature at
-                // runtime before selecting the kernel.
+                // SAFETY: `detect` verified AVX2 support at runtime before
+                // selecting this arm.
                 #[allow(unsafe_code)]
                 KERNEL_AVX2 => unsafe {
                     return sum_matching_avx2(
                         keys, tags, weights, key_mask, key_pat, tag_mask, tag_pat, off_lo, off_hi,
                     );
                 },
+                // SAFETY: `detect` verified SSE2 support at runtime before
+                // selecting this arm.
                 #[allow(unsafe_code)]
                 KERNEL_SSE2 => unsafe {
                     return sum_matching_sse2(
@@ -287,6 +309,9 @@ mod dispatch {
     /// # Safety
     ///
     /// Caller must have verified AVX2 support at runtime.
+    // LINT-ALLOW(hot-path-panic): the remainder slices use `i..n` with
+    // `i <= n <= len` of every column (loop guards), and hit lanes satisfy
+    // `i + lane < n` by the movemask width, so no access can be out of range.
     #[allow(unsafe_code)]
     #[allow(clippy::too_many_arguments)]
     #[target_feature(enable = "avx2")]
@@ -313,8 +338,13 @@ mod dispatch {
         // fast path, which is where wide sweeps spend essentially all steps.
         while i + 8 <= n {
             // SAFETY: `i + 8 <= n` bounds both unaligned 32-byte loads.
-            let k0 = _mm256_loadu_si256(keys.as_ptr().add(i).cast());
-            let k1 = _mm256_loadu_si256(keys.as_ptr().add(i + 4).cast());
+            #[allow(unsafe_code)]
+            let (k0, k1) = unsafe {
+                (
+                    _mm256_loadu_si256(keys.as_ptr().add(i).cast()),
+                    _mm256_loadu_si256(keys.as_ptr().add(i + 4).cast()),
+                )
+            };
             let eq0 = _mm256_cmpeq_epi64(_mm256_and_si256(k0, vkey_mask), vkey_pat);
             let eq1 = _mm256_cmpeq_epi64(_mm256_and_si256(k1, vkey_mask), vkey_pat);
             // One sign bit per 64-bit lane (compare masks are all-ones or
@@ -340,7 +370,8 @@ mod dispatch {
         }
         while i + 4 <= n {
             // SAFETY: `i + 4 <= n` bounds the unaligned 32-byte load.
-            let k = _mm256_loadu_si256(keys.as_ptr().add(i).cast());
+            #[allow(unsafe_code)]
+            let k = unsafe { _mm256_loadu_si256(keys.as_ptr().add(i).cast()) };
             let key_eq = _mm256_cmpeq_epi64(_mm256_and_si256(k, vkey_mask), vkey_pat);
             let mut hits = _mm256_movemask_pd(_mm256_castsi256_pd(key_eq)) as u32;
             while hits != 0 {
@@ -380,6 +411,9 @@ mod dispatch {
     ///
     /// Caller must have verified SSE2 support at runtime (guaranteed on
     /// every x86_64 CPU, but dispatch checks anyway).
+    // LINT-ALLOW(hot-path-panic): the remainder slice uses `i..n` with
+    // `i <= n <= len` of every column (loop guard), and hit lanes satisfy
+    // `i + lane < n` by the movemask width, so no access can be out of range.
     #[allow(unsafe_code)]
     #[allow(clippy::too_many_arguments)]
     #[target_feature(enable = "sse2")]
@@ -403,7 +437,8 @@ mod dispatch {
         let mut i = 0usize;
         while i + 2 <= n {
             // SAFETY: `i + 2 <= n` bounds the unaligned 16-byte load.
-            let k = _mm_loadu_si128(keys.as_ptr().add(i).cast());
+            #[allow(unsafe_code)]
+            let k = unsafe { _mm_loadu_si128(keys.as_ptr().add(i).cast()) };
             let eq32 = _mm_cmpeq_epi32(_mm_and_si128(k, vkey_mask), vkey_pat);
             // Per-64-bit-lane equality out of 32-bit compares: both dword
             // halves must agree.

@@ -1,3 +1,5 @@
 //! Anchor crate that exposes the repository-level `examples/` directory as
 //! runnable cargo binaries. See the `examples/` directory for the actual
 //! example sources.
+
+#![forbid(unsafe_code)]

@@ -275,7 +275,7 @@
 //! carries across restarts. Snapshotting the plan cache alongside the
 //! summary is a named ROADMAP follow-on.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod aggregate;

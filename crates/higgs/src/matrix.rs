@@ -182,6 +182,8 @@ impl CachedSeq {
     /// base mod side)` key identifies the sequence across matrices — one
     /// scratch serves a leaf matrix *and* its overflow blocks *and* every
     /// other same-side matrix in a sweep.
+    // LINT-ALLOW(hot-path-panic): `mapping <= MAX_MAPPING` is asserted at
+    // matrix construction, so `cands[..mapping]` is always in bounds.
     #[inline]
     fn candidates(&mut self, seq: &AddressSequence, side: u64, mapping: u32, base: u64) -> &[u64] {
         let base = base % side;
@@ -324,6 +326,8 @@ impl CompressedMatrix {
     /// addresses, computed iteratively in one pass. Mutating scans use this
     /// direct fill; query paths go through [`ProbeScratch`] so repeated
     /// probes of the same endpoint skip it.
+    // LINT-ALLOW(hot-path-panic): `mapping <= MAX_MAPPING` is asserted in
+    // `new`, so `out[..mapping]` is always in bounds.
     #[inline]
     fn candidates(&self, addr: u64) -> [u64; MAX_MAPPING] {
         let mut out = [0u64; MAX_MAPPING];
@@ -340,6 +344,9 @@ impl CompressedMatrix {
     }
 
     /// Materialises the slot view of position `p`.
+    // LINT-ALLOW(hot-path-panic): callers derive `p` from a bucket's
+    // occupied prefix (`start..start + lens[bucket]`), which lies inside the
+    // eagerly allocated `b * d * d` slab.
     #[inline]
     fn slot_at(&self, p: usize) -> Slot {
         Slot {
@@ -351,6 +358,8 @@ impl CompressedMatrix {
     }
 
     /// Scatters a slot view into the three columns at position `p`.
+    // LINT-ALLOW(hot-path-panic): callers derive `p` from a validated
+    // bucket occupancy prefix inside the eagerly allocated slab.
     #[inline]
     fn write_slot(&mut self, p: usize, slot: Slot) {
         self.keys[p] = slot.key;
@@ -370,6 +379,10 @@ impl CompressedMatrix {
     /// for a matching entry (which may live in any candidate bucket because
     /// earlier ones were full when it first arrived), the first free slot is
     /// recorded; if the scan finds no match, the entry is placed there.
+    // LINT-ALLOW(hot-path-panic): `m <= MAX_MAPPING` bounds the candidate
+    // arrays; every slot position comes from `bucket_slots` of a
+    // `seq`-generated `(row, col) < (side, side)` pair, offset by
+    // `lens[bucket] <= bucket_entries`, all inside the slab.
     pub fn try_insert(
         &mut self,
         addr_src: u64,
@@ -462,6 +475,9 @@ impl CompressedMatrix {
     /// across all candidate buckets; if `filter` is given, only entries whose
     /// offset lies inside it are decremented. Returns `true` if any entry was
     /// found.
+    // LINT-ALLOW(hot-path-panic): same slab invariants as `try_insert` —
+    // candidate arrays bounded by `m <= MAX_MAPPING`, slot ranges bounded by
+    // `lens[bucket] <= bucket_entries` within the slab.
     pub fn try_delete(
         &mut self,
         addr_src: u64,
@@ -521,6 +537,9 @@ impl CompressedMatrix {
     /// [`edge_weight`](Self::edge_weight) with a caller-provided
     /// [`ProbeScratch`], so repeated probes (columnar batch sweeps) reuse
     /// cached candidate addresses.
+    // LINT-ALLOW(hot-path-panic): `(row, col) < (side, side)` from the LCG
+    // sequence and `lens[bucket] <= bucket_entries` keep every probed range
+    // inside the slab.
     pub(crate) fn edge_weight_scratch(
         &self,
         scratch: &mut ProbeScratch,
@@ -590,6 +609,9 @@ impl CompressedMatrix {
 
     /// [`src_weight`](Self::src_weight) with a caller-provided
     /// [`ProbeScratch`].
+    // LINT-ALLOW(hot-path-panic): `row < side` from the LCG sequence bounds
+    // the row slices (`row * d * b + d * b <= slab len`); the inner
+    // occupancy scan stays below each bucket's `len <= bucket_entries`.
     pub(crate) fn src_weight_scratch(
         &self,
         scratch: &mut ProbeScratch,
@@ -673,6 +695,10 @@ impl CompressedMatrix {
 
     /// [`dst_weight`](Self::dst_weight) with a caller-provided
     /// [`ProbeScratch`].
+    // LINT-ALLOW(hot-path-panic): the strided walk starts at `col < side`
+    // and takes `side` steps of `side * b` slots, so every bucket range
+    // (bounded by `lens[bucket] <= b`) stays inside the slab;
+    // `prefetch_read_data` bounds-checks its own hint index internally.
     pub(crate) fn dst_weight_scratch(
         &self,
         scratch: &mut ProbeScratch,
@@ -827,6 +853,9 @@ impl CompressedMatrix {
 
     /// The occupied slots of bucket `bucket`, in slab order, materialised
     /// from the SoA columns.
+    // LINT-ALLOW(hot-path-panic): the snapshot codec enumerates `bucket`
+    // from `raw_lens()`, so `lens[bucket]` exists and the occupied prefix
+    // lies inside the slab.
     pub(crate) fn bucket_occupied_slots(&self, bucket: usize) -> impl Iterator<Item = Slot> + '_ {
         let start = bucket * self.bucket_entries;
         (start..start + self.lens[bucket] as usize).map(move |p| self.slot_at(p))
@@ -844,6 +873,9 @@ impl CompressedMatrix {
     /// parameters; occupancy counts exceeding `bucket_entries` or a slot
     /// count mismatch are rejected so a corrupt snapshot can never build a
     /// structurally inconsistent matrix.
+    // LINT-ALLOW(hot-path-panic): the validation above guarantees
+    // `sum(lens) == occupied.len()`, so each bucket's
+    // `occupied[next..next + len]` window is in range.
     pub(crate) fn restore_slab(
         &mut self,
         lens: Vec<u8>,

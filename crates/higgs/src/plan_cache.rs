@@ -113,6 +113,8 @@ impl PlanCache {
 
     /// Number of lookups served from the cache over the summary's lifetime.
     pub fn hits(&self) -> u64 {
+        // ORDERING: Relaxed — diagnostic counter; the cache's correctness is
+        // carried by the entries mutex, not by this statistic.
         self.hits.load(Ordering::Relaxed)
     }
 
@@ -138,6 +140,8 @@ impl PlanCache {
         let entry = entries.remove(pos);
         let plan = entry.plan.clone();
         entries.insert(0, entry);
+        // ORDERING: Relaxed — hit tally only; the plan handout itself is
+        // synchronised by the entries mutex held above.
         self.hits.fetch_add(1, Ordering::Relaxed);
         Some(plan)
     }

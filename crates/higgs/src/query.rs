@@ -49,6 +49,8 @@ impl HiggsSummary {
     /// probe scratch (the columnar executor threads one scratch through a
     /// whole probe sweep; leaf matrix and overflow blocks share geometry, so
     /// the candidate fill is reused across all of them).
+    // LINT-ALLOW(hot-path-panic): `index` comes from a plan target or a
+    // clamped leaf span, both of which only reference existing leaves.
     fn leaf_edge_weight_scratch(
         &self,
         scratch: &mut ProbeScratch,
@@ -90,6 +92,8 @@ impl HiggsSummary {
 
     /// [`leaf_vertex_weight`](Self::leaf_vertex_weight) with a
     /// caller-provided probe scratch.
+    // LINT-ALLOW(hot-path-panic): `index` comes from a plan target or a
+    // clamped leaf span, both of which only reference existing leaves.
     fn leaf_vertex_weight_scratch(
         &self,
         scratch: &mut ProbeScratch,
@@ -134,6 +138,9 @@ impl HiggsSummary {
     /// built against a different materialisation state): descend to the
     /// leaves the node covers and evaluate them with the plan's range filter,
     /// exactly as the boundary search would have.
+    // LINT-ALLOW(hot-path-panic): `leaf_span` clamps `last` to the final
+    // existing leaf (and the empty-leaves case returns early above), so
+    // `leaves[leaf_idx]` is always in range.
     fn unaggregated_leaves(
         &self,
         level: usize,
@@ -165,6 +172,9 @@ impl HiggsSummary {
     ///
     /// Each endpoint is hashed once for the whole plan; per-target work is
     /// only the layer-specific fingerprint/address re-partition of that hash.
+    // LINT-ALLOW(hot-path-panic): plan targets are built by the boundary
+    // search against this summary's own tree, so `internals[level][index]`
+    // always addresses an existing node.
     pub fn edge_query_with_plan(&self, src: VertexId, dst: VertexId, plan: &QueryPlan) -> Weight {
         let hs1 = self.layout.split_vertex(src, 1);
         let hd1 = self.layout.split_vertex(dst, 1);
@@ -203,6 +213,9 @@ impl HiggsSummary {
     }
 
     /// Vertex query evaluated over an existing plan.
+    // LINT-ALLOW(hot-path-panic): plan targets are built by the boundary
+    // search against this summary's own tree, so `internals[level][index]`
+    // always addresses an existing node.
     pub fn vertex_query_with_plan(
         &self,
         vertex: VertexId,
@@ -249,6 +262,8 @@ impl HiggsSummary {
     /// The plan must have been built for `query.range()`; every hop of a
     /// path query and every edge of a subgraph query reuses it, which is
     /// what makes a k-hop path cost one boundary search instead of k.
+    // LINT-ALLOW(hot-path-panic): `windows(2)` yields exactly-2-element
+    // slices, so `w[0]`/`w[1]` cannot be out of range.
     pub fn query_with_plan(&self, query: &Query, plan: &QueryPlan) -> Weight {
         match query {
             Query::Edge(q) => self.edge_query_with_plan(q.src, q.dst, plan),
@@ -278,6 +293,12 @@ impl HiggsSummary {
     /// [`vertex_query_with_plan`](Self::vertex_query_with_plan) would
     /// produce, and composite queries sum their probe totals in hop/edge
     /// order exactly like [`query_with_plan`](Self::query_with_plan).
+    // LINT-ALLOW(hot-path-panic): all indexing in this sweep is closed over
+    // vectors built a few lines earlier with matching lengths — `probes`
+    // parallels the sorted probe keys, `edge_totals`/`vertex_totals`
+    // parallel `edge_keys`/`vertex_keys`, `results`/`queries` are indexed by
+    // member ids collected from `queries` itself, and `windows(2)` yields
+    // exactly-2-element slices.
     fn evaluate_group_columnar(
         &self,
         queries: &[Query],
@@ -318,7 +339,19 @@ impl HiggsSummary {
             .map(|&v| self.layout.split_vertex(v, 1))
             .collect();
         let hash_of = |v: VertexId| -> HashedVertex {
-            hashed[endpoints.binary_search(&v).expect("endpoint hashed above")]
+            // Every probe endpoint was collected into `endpoints` above, so
+            // the search can only miss on a logic error; fall through to
+            // recomputing the hash (bit-identical to the table entry) rather
+            // than panicking on the hot path.
+            match endpoints.binary_search(&v) {
+                // LINT-ALLOW(hot-path-panic): index returned by
+                // binary_search over this very slice is in bounds.
+                Ok(pos) => hashed[pos],
+                Err(_) => {
+                    debug_assert!(false, "endpoint {v} not hashed above");
+                    self.layout.split_vertex(v, 1)
+                }
+            }
         };
 
         let edge_probes: Vec<(HashedVertex, HashedVertex)> = edge_keys
@@ -459,21 +492,35 @@ impl HiggsSummary {
             }
         }
 
-        // Re-assemble per-query results from the probe totals.
+        // Re-assemble per-query results from the probe totals. Every query
+        // key was collected into `edge_keys`/`vertex_keys` during probe
+        // planning, so the searches can only miss on a logic error; report 0
+        // (the empty-summary answer) under a debug assertion instead of
+        // panicking on the hot path.
         let edge_total = |src: VertexId, dst: VertexId| -> u64 {
-            edge_totals[edge_keys
-                .binary_search(&(src, dst))
-                .expect("edge probe collected above")]
+            match edge_keys.binary_search(&(src, dst)) {
+                // LINT-ALLOW(hot-path-panic): `edge_totals` is built with
+                // one entry per `edge_keys` element, so the index holds.
+                Ok(pos) => edge_totals[pos],
+                Err(_) => {
+                    debug_assert!(false, "edge probe ({src}, {dst}) not collected above");
+                    0
+                }
+            }
         };
         for &qi in members {
             let qi = qi as usize;
             results[qi] = match &queries[qi] {
                 Query::Edge(q) => edge_total(q.src, q.dst),
-                Query::Vertex(q) => {
-                    vertex_totals[vertex_keys
-                        .binary_search(&(q.vertex, q.direction))
-                        .expect("vertex probe collected above")]
-                }
+                Query::Vertex(q) => match vertex_keys.binary_search(&(q.vertex, q.direction)) {
+                    // LINT-ALLOW(hot-path-panic): `vertex_totals` is built
+                    // with one entry per `vertex_keys` element.
+                    Ok(pos) => vertex_totals[pos],
+                    Err(_) => {
+                        debug_assert!(false, "vertex probe not collected above");
+                        0
+                    }
+                },
                 Query::Path(q) => q.vertices.windows(2).map(|w| edge_total(w[0], w[1])).sum(),
                 Query::Subgraph(q) => q.edges.iter().map(|&(s, d)| edge_total(s, d)).sum(),
             };
@@ -529,6 +576,8 @@ impl TemporalGraphSummary for HiggsSummary {
                 // the columnar machinery (query_with_plan is the row-wise
                 // reference the columnar path is bit-identical to).
                 let qi = *only as usize;
+                // LINT-ALLOW(hot-path-panic): `members` holds indices into
+                // `queries`, and `results` was sized to `queries.len()`.
                 results[qi] = self.query_with_plan(&queries[qi], &plan);
             } else {
                 self.evaluate_group_columnar(queries, &members, &plan, &mut results);

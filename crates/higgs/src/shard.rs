@@ -158,6 +158,10 @@ pub struct IngestHandle {
 
 impl IngestHandle {
     fn mark_sent(&self) {
+        // ORDERING: Release — orders the enqueue onto the channel before the
+        // clock tick, pairing with the Acquire loads in `flush` /
+        // `ensure_visible`: a reader that sees tick N also sees the N
+        // enqueues, so read-your-writes cannot miss a mutation.
         self.clock.sent.fetch_add(1, Ordering::Release);
     }
 
@@ -242,6 +246,9 @@ impl IngestHandle {
     /// of this handle — has been applied and its background aggregations
     /// installed.
     pub fn flush(&self) {
+        // ORDERING: Acquire pairs with the Release fetch_add in `mark_sent`:
+        // reading tick `target` guarantees the `target` enqueues that
+        // preceded it are visible to the writers we are about to flush.
         let target = self.clock.sent.load(Ordering::Acquire);
         let (ack_tx, ack_rx) = unbounded::<()>();
         let mut expected = 0usize;
@@ -256,12 +263,20 @@ impl IngestHandle {
                 break; // a writer exited; nothing further can be flushed
             }
         }
+        // ORDERING: AcqRel — Release publishes "everything up to `target` is
+        // applied" to later Acquire readers of `visible` (`ensure_visible`);
+        // Acquire keeps concurrent flushers' max-updates ordered so the
+        // clock never appears to run backwards.
         self.clock.visible.fetch_max(target, Ordering::AcqRel);
     }
 
     /// Ensures every mutation enqueued so far is visible, flushing only when
     /// the clock says some might not be.
     fn ensure_visible(&self) {
+        // ORDERING: both Acquire — `visible` pairs with the AcqRel fetch_max
+        // in `flush`, `sent` with the Release fetch_add in `mark_sent`; a
+        // stale read of either can only under-report, which at worst takes
+        // the (idempotent) flush path once too often, never skips it.
         if self.clock.visible.load(Ordering::Acquire) < self.clock.sent.load(Ordering::Acquire) {
             self.flush();
         }
@@ -340,6 +355,9 @@ fn writer_loop(
         if matches!(command, ShardCommand::Shutdown) {
             break 'serve;
         }
+        // ORDERING: Acquire pairs with the Release store in
+        // `discard_pending`, so a writer that observes shedding mode also
+        // observes everything the shedder did before flipping the flag.
         if discard.load(Ordering::Acquire) {
             // Shedding mode: drop the command unapplied (a Flush's pending
             // acknowledger is dropped with it, which unblocks the flusher).
@@ -516,6 +534,9 @@ impl ShardedHiggs {
     /// emergency shedding; it is irreversible and leaves query results
     /// reflecting only the mutations applied before the call.
     pub fn discard_pending(&self) {
+        // ORDERING: Release pairs with the writers' Acquire load of the
+        // flag (see the serve loop), publishing the caller's state before
+        // shedding becomes observable.
         self.discard.store(true, Ordering::Release);
     }
 

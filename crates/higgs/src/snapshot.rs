@@ -1010,6 +1010,39 @@ mod tests {
     }
 
     #[test]
+    fn missing_snapshot_directory_is_an_io_error() {
+        // The filesystem failure mode must surface as the typed Io variant
+        // (carrying the underlying error), not as Corrupt or a panic.
+        let dir = std::env::temp_dir().join("higgs-snapshot-test-definitely-absent");
+        match SnapshotManifest::read_from_dir(&dir) {
+            Err(SnapshotError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::NotFound);
+            }
+            other => panic!("missing directory must be Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_persisted_config_is_a_config_error() {
+        // A snapshot whose persisted d1 fails HiggsConfig::validate must be
+        // rejected with the typed Config variant before any state is built.
+        let live = HiggsSummary::new(HiggsConfig::paper_default());
+        let mut bytes = Vec::new();
+        live.write_snapshot(&mut bytes).expect("snapshot");
+        // The config payload opens right after magic (8) + version (4) +
+        // section tag (2) + payload length (8); its first field is d1 as a
+        // little-endian u64. Zero is rejected by validate (not a power of
+        // two >= 2).
+        bytes[22..30].copy_from_slice(&0u64.to_le_bytes());
+        match HiggsSummary::read_snapshot(&mut bytes.as_slice()) {
+            Err(SnapshotError::Config(e)) => {
+                assert_eq!(e, ConfigError::InvalidMatrixSide { d1: 0 });
+            }
+            other => panic!("invalid persisted config must be Config, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn out_of_range_pending_job_is_rejected_not_deferred_to_a_panic() {
         // A checksum-valid snapshot whose pending job points past the tree
         // must fail at restore time with a typed error — not restore

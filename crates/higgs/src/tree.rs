@@ -68,14 +68,19 @@ impl Clone for PlanCounter {
 
 impl PlanCounter {
     pub(crate) fn increment(&self) {
+        // ORDERING: Relaxed throughout this impl — a monotone diagnostic
+        // counter (plan-build tallies for tests and stats); no other data is
+        // published through it, so only the count itself matters.
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn get(&self) -> u64 {
+        // ORDERING: Relaxed — see `increment`.
         self.0.load(Ordering::Relaxed)
     }
 
     pub(crate) fn reset(&self) {
+        // ORDERING: Relaxed — see `increment`.
         self.0.store(0, Ordering::Relaxed);
     }
 }

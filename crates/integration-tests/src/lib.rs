@@ -1,2 +1,4 @@
 //! Anchor crate that exposes the repository-level `tests/` directory as cargo
 //! integration tests spanning every crate in the workspace.
+
+#![forbid(unsafe_code)]

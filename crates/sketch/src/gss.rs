@@ -140,6 +140,9 @@ impl Gss {
         row as usize * self.config.side + col as usize
     }
 
+    // LINT-ALLOW(hot-path-panic): `cell_index` maps (row, col) pairs drawn
+    // from `seq.iter` (always `< side`) into the `side * side` slabs, so
+    // every `idx` is in bounds by construction.
     fn add(&mut self, src_key: u64, dst_key: u64, delta: i64) {
         let (src_addr, src_fp) = self.split(src_key);
         let (dst_addr, dst_fp) = self.split(dst_key);
@@ -183,6 +186,9 @@ impl GraphSketch for Gss {
         self.add(src_key, dst_key, -(weight as i64));
     }
 
+    // LINT-ALLOW(hot-path-panic): `cell_index` maps (row, col) pairs drawn
+    // from `seq.iter` (always `< side`) into the `side * side` slabs, so
+    // every `idx` is in bounds by construction.
     fn edge_weight(&self, src_key: u64, dst_key: u64) -> u64 {
         let (src_addr, src_fp) = self.split(src_key);
         let (dst_addr, dst_fp) = self.split(dst_key);
@@ -202,6 +208,8 @@ impl GraphSketch for Gss {
         total.max(0) as u64
     }
 
+    // LINT-ALLOW(hot-path-panic): `row < side` from `seq.iter`, so the row
+    // slice `base..base + side` stays within the `side * side` slabs.
     fn src_weight(&self, src_key: u64) -> u64 {
         let (src_addr, src_fp) = self.split(src_key);
         let r = self.config.candidates as usize;
@@ -231,6 +239,9 @@ impl GraphSketch for Gss {
         total.max(0) as u64
     }
 
+    // LINT-ALLOW(hot-path-panic): the strided walk starts at `col < side`
+    // and takes exactly `side` steps of `side`, ending below `side * side`;
+    // `prefetch_read_data` bounds-checks its own hint index internally.
     fn dst_weight(&self, dst_key: u64) -> u64 {
         let (dst_addr, dst_fp) = self.split(dst_key);
         let r = self.config.candidates as usize;

@@ -1,0 +1,10 @@
+//! Fixture bench with two drift defects: `extra_unseeded` is registered but
+//! missing from the baseline, and the baseline's `demo/stale_gone` and
+//! `other/mystery` ids are no longer registered anywhere.
+
+fn run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("demo");
+    g.bench_function("probe_small", |b| b.iter(|| 1));
+    g.bench_function("extra_unseeded", |b| b.iter(|| 2));
+    g.finish();
+}

@@ -1,0 +1,13 @@
+//! Fixture bench: every literal id matching the CI filter (`probe`) is in
+//! the committed baseline; `setup_only` falls outside the filter, so it is
+//! legitimately absent from the baseline.
+
+fn run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("demo");
+    g.bench_function("probe_small", |b| b.iter(|| 1));
+    for n in [8usize, 64] {
+        g.bench_function(BenchmarkId::new("probe_sweep", n), |b| b.iter(|| n));
+    }
+    g.bench_function("setup_only", |b| b.iter(|| 0));
+    g.finish();
+}

@@ -1,0 +1,31 @@
+//! Fixture: `Missing` is only named by the `Display` impl (formatting does
+//! not count as construction) and never appears in a test; the rule must
+//! report it twice (never constructed, never tested).
+
+pub enum DemoError {
+    Broken(String),
+    Missing,
+}
+
+impl std::fmt::Display for DemoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DemoError::Broken(m) => write!(f, "broken: {m}"),
+            DemoError::Missing => write!(f, "missing"),
+        }
+    }
+}
+
+pub fn fail() -> DemoError {
+    DemoError::Broken("x".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_broken_only() {
+        assert!(matches!(fail(), DemoError::Broken(_)));
+    }
+}

@@ -1,0 +1,38 @@
+//! Fixture: both variants are constructed outside the definition (a plain
+//! constructor and a `From` impl) and named in tests; the rule must stay
+//! silent.
+
+pub enum DemoError {
+    Broken(String),
+    Missing,
+}
+
+impl std::fmt::Display for DemoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DemoError::Broken(m) => write!(f, "broken: {m}"),
+            DemoError::Missing => write!(f, "missing"),
+        }
+    }
+}
+
+impl From<()> for DemoError {
+    fn from(_: ()) -> Self {
+        DemoError::Missing
+    }
+}
+
+pub fn fail() -> DemoError {
+    DemoError::Broken("x".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_both_variants() {
+        assert!(matches!(fail(), DemoError::Broken(_)));
+        assert!(matches!(DemoError::from(()), DemoError::Missing));
+    }
+}

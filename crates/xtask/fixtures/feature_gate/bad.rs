@@ -1,0 +1,7 @@
+//! Fixture: a `feature = "simd"` positive gate with no `not(...)` twin and
+//! no runtime dispatch; `feature-gate-pairing` must flag this file.
+
+#[cfg(feature = "simd")]
+pub fn kernel() -> u32 {
+    1
+}

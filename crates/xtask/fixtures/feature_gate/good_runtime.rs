@@ -1,0 +1,15 @@
+//! Fixture: positive gate resolved through `cfg!(...)` runtime dispatch
+//! instead of a `not(...)` twin; the rule must stay silent.
+
+#[cfg(feature = "simd")]
+fn wide() -> u32 {
+    1
+}
+
+pub fn kernel() -> u32 {
+    if cfg!(feature = "simd") {
+        wide()
+    } else {
+        0
+    }
+}

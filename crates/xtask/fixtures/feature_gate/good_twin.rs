@@ -1,0 +1,12 @@
+//! Fixture: positive gate paired with its `not(...)` twin; the rule must
+//! stay silent.
+
+#[cfg(feature = "simd")]
+pub fn kernel() -> u32 {
+    1
+}
+
+#[cfg(not(feature = "simd"))]
+pub fn kernel() -> u32 {
+    0
+}

@@ -1,0 +1,10 @@
+//! Fixture: an `Ordering::` use with no comment — clean only when the test
+//! config carries an allowlist entry matching this file and line.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub static LIVE_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+pub fn bump() -> usize {
+    LIVE_COUNT.fetch_add(1, Ordering::SeqCst)
+}

@@ -1,0 +1,17 @@
+//! Fixture: `Ordering::` uses with no attached justification; both sites
+//! below must be flagged by `atomic-ordering-comment`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub static COUNT: AtomicUsize = AtomicUsize::new(0);
+
+// A comment that is not the marker does not satisfy the rule.
+pub fn bump() -> usize {
+    COUNT.fetch_add(1, Ordering::SeqCst)
+}
+
+// ORDERING: too far away — this sits above the fn, not the `Ordering::` use,
+// so it must NOT satisfy the rule for the load inside the body.
+pub fn read() -> usize {
+    COUNT.load(Ordering::Acquire)
+}

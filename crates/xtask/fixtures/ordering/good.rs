@@ -1,0 +1,22 @@
+//! Fixture: every `Ordering::` use carries an attached `ORDERING:`
+//! justification (preceding block or trailing); the rule must stay silent.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub static COUNT: AtomicUsize = AtomicUsize::new(0);
+
+pub fn bump() -> usize {
+    // ORDERING: Relaxed — a monotone diagnostic counter with no dependent
+    // loads; no other memory is published through it.
+    COUNT.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn read() -> usize {
+    COUNT.load(Ordering::Acquire) // ORDERING: pairs with the Release store in `publish`.
+}
+
+pub fn publish() {
+    // ORDERING: Release — makes the writes above visible to `read`'s
+    // Acquire load.
+    COUNT.store(1, Ordering::Release);
+}

@@ -1,0 +1,18 @@
+//! Fixture: hot-path panic sources outside test code; all four functions
+//! below must be flagged by `hot-path-panic`.
+
+pub fn first(v: &[u64]) -> u64 {
+    v[0]
+}
+
+pub fn pick(v: &[u64], i: usize) -> u64 {
+    *v.get(i).unwrap()
+}
+
+pub fn must(v: Option<u64>) -> u64 {
+    v.expect("present")
+}
+
+pub fn never() -> u64 {
+    panic!("boom")
+}

@@ -1,0 +1,30 @@
+//! Fixture: panic-free hot-path idioms — checked accessors, documented
+//! `debug_assert!` guards, and test-only panics; the rule must stay silent.
+
+pub fn first(v: &[u64]) -> Option<u64> {
+    v.first().copied()
+}
+
+pub fn checked(v: &[u64], i: usize) -> u64 {
+    debug_assert!(i < v.len(), "caller upholds the length invariant");
+    v.get(i).copied().unwrap_or(0)
+}
+
+pub fn guarded(v: &[u64]) -> u64 {
+    debug_assert!(
+        v[0] > 0,
+        "indexing inside a debug_assert! span is exempt by design"
+    );
+    v.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let v = [1u64, 2];
+        assert_eq!(v[0], 1);
+        let _ = Some(3u64).unwrap();
+        let _ = Some(4u64).expect("present");
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: every `unsafe` below is missing its rationale and must be
+//! flagged by `unsafe-safety-comment`.
+
+pub fn deref(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}
+
+pub unsafe fn deref_raw(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}
+
+pub unsafe trait Zeroable {}
+
+unsafe impl Zeroable for u64 {}

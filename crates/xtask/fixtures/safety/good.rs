@@ -1,0 +1,27 @@
+//! Fixture: every `unsafe` below carries a rationale; the rule must stay
+//! silent.
+
+pub fn deref(ptr: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `ptr` is valid for reads.
+    unsafe { *ptr }
+}
+
+/// Reads one byte from `ptr`.
+///
+/// # Safety
+///
+/// `ptr` must be valid for reads of one byte.
+pub unsafe fn deref_raw(ptr: *const u8) -> u8 {
+    // SAFETY: validity is the caller's contract (see `# Safety` above).
+    unsafe { *ptr }
+}
+
+/// Marker for types whose all-zero bit pattern is a valid value.
+///
+/// # Safety
+///
+/// Implementors must be valid when zero-initialised.
+pub unsafe trait Zeroable {}
+
+// SAFETY: the all-zero bit pattern is a valid `u64`.
+unsafe impl Zeroable for u64 {}

@@ -1,0 +1,19 @@
+//! Fixture: malformed suppression tags — unknown rule, missing reason, and
+//! a dangling tag — each must surface as a `lint-allow` diagnostic, and the
+//! underlying findings must NOT be suppressed.
+
+pub fn unknown_rule(v: &[u64]) -> u64 {
+    // LINT-ALLOW(not-a-rule): this rule name does not exist.
+    v[0]
+}
+
+pub fn missing_reason(v: &[u64]) -> u64 {
+    // LINT-ALLOW(hot-path-panic)
+    v[0]
+}
+
+pub fn dangling() -> u64 {
+    // LINT-ALLOW(hot-path-panic): nothing beneath this tag.
+
+    0
+}

@@ -1,0 +1,20 @@
+//! Fixture: all three suppression shapes — trailing, standalone statement,
+//! and fn-level — each with a reason; the hot-path rule must stay silent.
+
+pub fn trailing(v: &[u64]) -> u64 {
+    v[0] // LINT-ALLOW(hot-path-panic): caller guarantees non-empty input.
+}
+
+pub fn standalone(v: &[u64]) -> u64 {
+    // LINT-ALLOW(hot-path-panic): caller guarantees non-empty input.
+    v[0]
+}
+
+// LINT-ALLOW(hot-path-panic): every index below is bounded by `v.len()`.
+pub fn fn_level(v: &[u64]) -> u64 {
+    let mut total = 0;
+    for i in 0..v.len() {
+        total += v[i];
+    }
+    total
+}

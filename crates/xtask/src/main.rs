@@ -1,0 +1,94 @@
+//! CLI entry point for workspace automation tasks. Currently one subcommand:
+//!
+//! ```text
+//! cargo run -p xtask -- lint [--json <path>]
+//! ```
+//!
+//! Exits non-zero when the lint pass reports any diagnostic; `--json` writes
+//! a machine-readable report (also on success, with an empty list) for CI
+//! annotation. See the `xtask` library docs for the rule suite and the
+//! suppression policy.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`; available: lint [--json <path>]");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint [--json <path>]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut json_path: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("--json requires a path argument");
+                    return ExitCode::from(2);
+                };
+                json_path = Some(PathBuf::from(p));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown lint option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = workspace_root();
+    let cfg = xtask::LintConfig::workspace_default(&root);
+    let diags = match xtask::run_lint(&cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("higgs-lint: I/O error while scanning: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &json_path {
+        if let Some(parent) = path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        if let Err(e) = fs::write(path, xtask::diagnostics_to_json(&diags)) {
+            eprintln!("higgs-lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if diags.is_empty() {
+        println!("higgs-lint: clean ({} rules)", xtask::KNOWN_RULES.len() - 1);
+        ExitCode::SUCCESS
+    } else {
+        for d in &diags {
+            println!("{}", d.render());
+        }
+        println!("higgs-lint: {} diagnostic(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR/../..` (this crate lives at
+/// `crates/xtask/`), falling back to the current directory.
+fn workspace_root() -> PathBuf {
+    if let Ok(dir) = env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(dir);
+        if let Some(root) = p.parent().and_then(|p| p.parent()) {
+            return root.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}

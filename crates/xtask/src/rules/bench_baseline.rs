@@ -1,0 +1,354 @@
+//! Rule 5: bench-baseline hygiene. The CI perf gate compares smoke-run
+//! timings against committed `BENCH_*.json` baselines; an id registered in a
+//! bench but absent from its baseline (or vice versa) surfaces only as a
+//! confusing gate failure at bench time. This rule cross-checks, statically:
+//!
+//! * every committed `BENCH_*.json` is wired into the CI workflow;
+//! * for every `(BENCH_JSON=..., --bench <name> [-- --test <filter>])` pair in
+//!   CI, every *literal* bench id registered in the bench source and matching
+//!   the filter appears in the baseline;
+//! * every baseline id is explained by a literal registration, a literal
+//!   `BenchmarkId::new("prefix", param)` family, or a dynamically-named
+//!   registration in the same group.
+//!
+//! Registrations whose id expression is not a string literal (e.g.
+//! `kind.label()`) mark their group *dynamic*: the rule cannot enumerate the
+//! ids, so it only checks group membership for those baselines.
+
+use crate::scan::SourceFile;
+use crate::{Diagnostic, LintConfig};
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+
+/// Rule identifier.
+pub const RULE: &str = "bench-baseline-sync";
+
+/// Cross-check CI gate mappings, bench registrations and baselines.
+pub fn check(cfg: &LintConfig, out: &mut Vec<Diagnostic>) -> io::Result<()> {
+    let Some(ci_rel) = &cfg.ci_file else {
+        return Ok(());
+    };
+    let ci_path = cfg.root.join(ci_rel);
+    if !ci_path.is_file() {
+        out.push(file_diag(
+            ci_rel,
+            format!("CI workflow `{ci_rel}` not found"),
+        ));
+        return Ok(());
+    }
+    let ci_text = fs::read_to_string(&ci_path)?;
+    let joined = join_continuations(&ci_text);
+    let mappings = parse_mappings(&joined);
+
+    // (a) every committed baseline is referenced by CI.
+    let baseline_dir = if cfg.baseline_dir.is_empty() {
+        cfg.root.clone()
+    } else {
+        cfg.root.join(&cfg.baseline_dir)
+    };
+    let mut baseline_names = BTreeSet::new();
+    for entry in fs::read_dir(&baseline_dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("BENCH_") && name.ends_with(".json") && entry.path().is_file() {
+            let stem = name["BENCH_".len()..name.len() - ".json".len()].to_string();
+            if !ci_text.contains(&name) {
+                out.push(file_diag(
+                    &name,
+                    format!("baseline `{name}` is not referenced by {ci_rel}"),
+                ));
+            }
+            if !mappings.iter().any(|m| m.name == stem) {
+                out.push(file_diag(
+                    &name,
+                    format!("baseline `{name}` has no BENCH_JSON smoke-run mapping in {ci_rel}"),
+                ));
+            }
+            baseline_names.insert(stem);
+        }
+    }
+
+    // (b)+(c) per CI mapping: registrations vs baseline ids.
+    for m in &mappings {
+        let baseline_file = format!("BENCH_{}.json", m.name);
+        let baseline_path = baseline_dir.join(&baseline_file);
+        if !baseline_path.is_file() {
+            out.push(file_diag(
+                ci_rel,
+                format!(
+                    "CI maps BENCH_JSON to `{baseline_file}` but no such baseline is committed"
+                ),
+            ));
+            continue;
+        }
+        let ids = parse_baseline_ids(&fs::read_to_string(&baseline_path)?);
+        let bench_rel = format!("{}/{}.rs", cfg.bench_dir, m.bench);
+        let bench_path = cfg.root.join(&bench_rel);
+        if !bench_path.is_file() {
+            out.push(file_diag(
+                ci_rel,
+                format!(
+                    "CI runs `--bench {}` but `{bench_rel}` does not exist",
+                    m.bench
+                ),
+            ));
+            continue;
+        }
+        let sf = SourceFile::parse(&bench_rel, &fs::read_to_string(&bench_path)?);
+        let regs = parse_registrations(&sf);
+
+        let filter_ok = |full: &str| m.filter.as_deref().is_none_or(|f| full.contains(f));
+        for reg in &regs.literals {
+            let full = format!("{}/{}", reg.group, reg.lit);
+            if filter_ok(&full) && !ids.contains(&full) {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    file: bench_rel.clone(),
+                    line: reg.line + 1,
+                    message: format!(
+                        "bench id `{full}` is registered here but missing from {baseline_file}; \
+                         re-seed the baseline per the drift procedure in {ci_rel}"
+                    ),
+                });
+            }
+        }
+        for reg in &regs.prefixes {
+            let prefix = format!("{}/{}/", reg.group, reg.lit);
+            let covered_by_filter = m.filter.as_deref().is_none_or(|f| prefix.contains(f));
+            if covered_by_filter && !ids.iter().any(|id| id.starts_with(&prefix)) {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    file: bench_rel.clone(),
+                    line: reg.line + 1,
+                    message: format!(
+                        "bench id family `{prefix}*` is registered here but has no entry \
+                         in {baseline_file}; re-seed the baseline per the drift procedure"
+                    ),
+                });
+            }
+        }
+        for id in &ids {
+            let group = id.split('/').next().unwrap_or(id);
+            if !regs.groups.contains(group) {
+                out.push(file_diag(
+                    &baseline_file,
+                    format!("baseline id `{id}` names group `{group}` which `{bench_rel}` does not register"),
+                ));
+                continue;
+            }
+            let explained = regs
+                .literals
+                .iter()
+                .any(|r| format!("{}/{}", r.group, r.lit) == *id)
+                || regs
+                    .prefixes
+                    .iter()
+                    .any(|r| id.starts_with(&format!("{}/{}/", r.group, r.lit)))
+                || regs.dynamic_groups.contains(group);
+            if !explained {
+                out.push(file_diag(
+                    &baseline_file,
+                    format!("stale baseline id `{id}`: `{bench_rel}` no longer registers it"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn file_diag(file: &str, message: String) -> Diagnostic {
+    Diagnostic {
+        rule: RULE,
+        file: file.to_string(),
+        line: 0,
+        message,
+    }
+}
+
+/// Join shell `\`-continued lines so each BENCH_JSON mapping is one line.
+fn join_continuations(text: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let mut cont = false;
+    for line in text.lines() {
+        let (body, continues) = match line.trim_end().strip_suffix('\\') {
+            Some(b) => (b.trim_end(), true),
+            None => (line.trim_end(), false),
+        };
+        if cont {
+            let last = out.last_mut().expect("continuation follows a line");
+            last.push(' ');
+            last.push_str(body.trim_start());
+        } else {
+            out.push(body.to_string());
+        }
+        cont = continues;
+    }
+    out
+}
+
+/// One `BENCH_JSON=... cargo bench --bench <bench> [-- --test <filter>]` pair.
+struct Mapping {
+    name: String,
+    bench: String,
+    filter: Option<String>,
+}
+
+fn parse_mappings(joined: &[String]) -> Vec<Mapping> {
+    let mut out = Vec::new();
+    for line in joined {
+        let Some(jpos) = line.find("BENCH_JSON=") else {
+            continue;
+        };
+        let path_tok: String = line[jpos + "BENCH_JSON=".len()..]
+            .chars()
+            .take_while(|c| !c.is_whitespace())
+            .collect();
+        let base = path_tok
+            .trim_matches('"')
+            .rsplit('/')
+            .next()
+            .unwrap_or("")
+            .to_string();
+        let Some(stem) = base
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        // Strip shell-variable run suffixes like `_$run` / `_${run}`.
+        let name = match stem.find('$') {
+            Some(dpos) => stem[..dpos].trim_end_matches('_').to_string(),
+            None => stem.to_string(),
+        };
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let Some(bpos) = toks.iter().position(|t| *t == "--bench") else {
+            continue;
+        };
+        let Some(bench) = toks.get(bpos + 1) else {
+            continue;
+        };
+        let filter = toks
+            .iter()
+            .position(|t| *t == "--test")
+            .and_then(|p| toks.get(p + 1))
+            .filter(|t| !t.starts_with('-'))
+            .map(|t| t.to_string());
+        out.push(Mapping {
+            name,
+            bench: bench.to_string(),
+            filter,
+        });
+    }
+    out
+}
+
+/// Extract all `"id": "..."` values from a baseline JSON document.
+fn parse_baseline_ids(text: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"id\"") {
+        rest = &rest[pos + 4..];
+        let after = rest.trim_start();
+        let Some(after) = after.strip_prefix(':') else {
+            continue;
+        };
+        let after = after.trim_start();
+        let Some(after) = after.strip_prefix('"') else {
+            continue;
+        };
+        if let Some(end) = after.find('"') {
+            out.insert(after[..end].to_string());
+            rest = &after[end..];
+        }
+    }
+    out
+}
+
+/// A literal registration (`bench_function("lit")` or
+/// `BenchmarkId::new("lit", param)`), attributed to its Criterion group.
+struct Reg {
+    group: String,
+    lit: String,
+    line: usize,
+}
+
+#[derive(Default)]
+struct Registrations {
+    groups: BTreeSet<String>,
+    literals: Vec<Reg>,
+    prefixes: Vec<Reg>,
+    dynamic_groups: BTreeSet<String>,
+}
+
+/// Scan a bench source for Criterion groups and bench-id registrations.
+fn parse_registrations(sf: &SourceFile) -> Registrations {
+    // Concatenate comment-stripped source (strings preserved) with a map
+    // from byte offset back to line index.
+    let mut text = String::new();
+    let mut line_of = Vec::new();
+    for (i, l) in sf.lines.iter().enumerate() {
+        for _ in l.code_raw.chars() {
+            line_of.push(i);
+        }
+        text.push_str(&l.code_raw);
+        text.push('\n');
+        line_of.push(i);
+    }
+    let mut regs = Registrations::default();
+    let mut group_at: Vec<(usize, String)> = Vec::new(); // (offset, group name)
+    for (pos, _) in text.match_indices("benchmark_group(") {
+        if let Some(lit) = literal_after(&text[pos + "benchmark_group(".len()..]) {
+            group_at.push((pos, lit));
+        }
+    }
+    regs.groups.extend(group_at.iter().map(|(_, g)| g.clone()));
+    let group_for = |pos: usize| -> Option<String> {
+        group_at
+            .iter()
+            .rev()
+            .find(|(p, _)| *p < pos)
+            .map(|(_, g)| g.clone())
+    };
+
+    for (pos, _) in text.match_indices(".bench_function(") {
+        let after = &text[pos + ".bench_function(".len()..];
+        let Some(group) = group_for(pos) else {
+            continue;
+        };
+        let line = line_of[pos.min(line_of.len() - 1)];
+        match literal_after(after) {
+            Some(lit) => regs.literals.push(Reg { group, lit, line }),
+            None => {
+                // `bench_function(BenchmarkId::new(...))` is handled by the
+                // BenchmarkId scan below; anything else is dynamic.
+                if !after.trim_start().starts_with("BenchmarkId") {
+                    regs.dynamic_groups.insert(group);
+                }
+            }
+        }
+    }
+    for (pos, _) in text.match_indices("BenchmarkId::new(") {
+        let after = &text[pos + "BenchmarkId::new(".len()..];
+        let Some(group) = group_for(pos) else {
+            continue;
+        };
+        let line = line_of[pos.min(line_of.len() - 1)];
+        match literal_after(after) {
+            Some(lit) => regs.prefixes.push(Reg { group, lit, line }),
+            None => {
+                regs.dynamic_groups.insert(group);
+            }
+        }
+    }
+    regs
+}
+
+/// If `text` (just past an opening paren) starts with a string literal,
+/// return its contents.
+fn literal_after(text: &str) -> Option<String> {
+    let t = text.trim_start();
+    let t = t.strip_prefix('"')?;
+    let end = t.find('"')?;
+    Some(t[..end].to_string())
+}

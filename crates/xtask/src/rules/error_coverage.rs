@@ -1,0 +1,182 @@
+//! Rule 6: error-enum construction coverage. Every variant of the configured
+//! error enums must be (a) constructed/named somewhere outside its own
+//! definition — excluding the enum's `impl ... for` blocks (`Display`,
+//! `Error`), which merely format it — and (b) named in at least one test.
+//! A variant nothing produces is dead API; a variant no test names is an
+//! error path that has never been exercised.
+
+use crate::scan::{word_positions, SourceFile};
+use crate::{Diagnostic, LintConfig};
+
+/// Rule identifier.
+pub const RULE: &str = "error-variant-coverage";
+
+/// Check each configured `(file, enum)` pair against the whole tree.
+pub fn check(cfg: &LintConfig, files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    for (rel, name) in &cfg.error_enums {
+        let Some(def) = files.iter().find(|f| &f.rel == rel) else {
+            out.push(Diagnostic {
+                rule: RULE,
+                file: rel.clone(),
+                line: 0,
+                message: format!("configured error enum `{name}` file `{rel}` not found"),
+            });
+            continue;
+        };
+        let Some((enum_line, def_end)) = find_enum_span(def, name) else {
+            out.push(Diagnostic {
+                rule: RULE,
+                file: rel.clone(),
+                line: 0,
+                message: format!("enum `{name}` not found in `{rel}`"),
+            });
+            continue;
+        };
+        let variants = extract_variants(def, enum_line, def_end);
+        let trait_impls = trait_impl_spans(def, name);
+
+        for (vline, variant) in &variants {
+            let needle = format!("{name}::{variant}");
+            let mut constructed = false;
+            let mut tested = false;
+            for sf in files {
+                let in_def_file = &sf.rel == rel;
+                let file_is_test = sf.rel.starts_with("tests/") || sf.rel.contains("/tests/");
+                for i in 0..sf.len() {
+                    if !occurrence_on_line(&sf.lines[i].code, &needle) {
+                        continue;
+                    }
+                    if in_def_file
+                        && ((enum_line <= i && i <= def_end)
+                            || trait_impls.iter().any(|&(s, e)| s <= i && i <= e))
+                    {
+                        continue;
+                    }
+                    if file_is_test || sf.in_test[i] {
+                        tested = true;
+                    } else {
+                        constructed = true;
+                    }
+                }
+            }
+            if !constructed {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    file: rel.clone(),
+                    line: vline + 1,
+                    message: format!(
+                        "`{name}::{variant}` is never constructed outside its definition \
+                         (Display/Error impls excluded)"
+                    ),
+                });
+            }
+            if !tested {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    file: rel.clone(),
+                    line: vline + 1,
+                    message: format!("`{name}::{variant}` is not named in any test"),
+                });
+            }
+        }
+    }
+}
+
+/// Locate `enum <name>` and the line of its closing brace.
+fn find_enum_span(sf: &SourceFile, name: &str) -> Option<(usize, usize)> {
+    for i in 0..sf.len() {
+        let code = &sf.lines[i].code;
+        for pos in word_positions(code, "enum") {
+            let rest = code[pos + "enum".len()..].trim_start();
+            if rest.starts_with(name)
+                && !matches!(
+                    rest[name.len()..].chars().next(),
+                    Some(c) if c.is_alphanumeric() || c == '_'
+                )
+            {
+                let end = sf.matching_close(i, pos)?;
+                return Some((i, end));
+            }
+        }
+    }
+    None
+}
+
+/// Variant names: lines inside the enum body at body depth starting with an
+/// uppercase identifier (attributes and nested field lines are skipped).
+fn extract_variants(sf: &SourceFile, enum_line: usize, def_end: usize) -> Vec<(usize, String)> {
+    let body_depth = sf.depth[enum_line] + 1;
+    let mut out = Vec::new();
+    for i in (enum_line + 1)..def_end {
+        if sf.depth[i] != body_depth {
+            continue;
+        }
+        let code = sf.lines[i].code.trim();
+        if code.is_empty() || code.starts_with("#[") {
+            continue;
+        }
+        let first = code.chars().next().unwrap_or(' ');
+        if !first.is_uppercase() {
+            continue;
+        }
+        let ident: String = code
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !ident.is_empty() {
+            out.push((i, ident));
+        }
+    }
+    out
+}
+
+/// Spans of `impl Display/Error for <name>` blocks in the defining file.
+/// These merely *format* the enum, so naming a variant there does not count
+/// as construction; other trait impls (notably `From`) are constructors and
+/// are not excluded.
+fn trait_impl_spans(sf: &SourceFile, name: &str) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..sf.len() {
+        let code = &sf.lines[i].code;
+        let Some(&impl_pos) = word_positions(code, "impl").first() else {
+            continue;
+        };
+        let mut is_fmt_impl = false;
+        for pos in word_positions(code, "for") {
+            if pos < impl_pos {
+                continue;
+            }
+            let rest = code[pos + "for".len()..].trim_start();
+            if !rest.starts_with(name) {
+                continue;
+            }
+            // Last path segment of the trait, generics stripped.
+            let trait_text = code[impl_pos + "impl".len()..pos].trim();
+            let last = trait_text.rsplit("::").next().unwrap_or(trait_text);
+            let last = last.split('<').next().unwrap_or(last).trim();
+            if last == "Display" || last == "Debug" || last == "Error" {
+                is_fmt_impl = true;
+            }
+        }
+        if is_fmt_impl {
+            if let Some(end) = sf.matching_close(i, 0) {
+                out.push((i, end));
+            }
+        }
+    }
+    out
+}
+
+/// Word-boundary occurrence of `needle` (a `Path::Variant` string) in `code`.
+fn occurrence_on_line(code: &str, needle: &str) -> bool {
+    for (pos, _) in code.match_indices(needle) {
+        let before = code[..pos].chars().next_back();
+        let after = code[pos + needle.len()..].chars().next();
+        let ws = !matches!(before, Some(c) if c.is_alphanumeric() || c == '_' || c == ':');
+        let we = !matches!(after, Some(c) if c.is_alphanumeric() || c == '_');
+        if ws && we {
+            return true;
+        }
+    }
+    false
+}

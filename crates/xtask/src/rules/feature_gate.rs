@@ -1,0 +1,111 @@
+//! Rule 4: feature-gate pairing. Every `#[cfg(feature = "X")]`-gated item in
+//! library code must have a `not(feature = "X")` twin — or a
+//! `cfg!(feature = "X")` runtime-dispatch site — in the same file, so that a
+//! default (feature-less) build can never lose a symbol and silently fall off
+//! the API surface the rest of the workspace compiles against.
+
+use crate::scan::{in_not_scope, SourceFile};
+use crate::Diagnostic;
+use std::collections::BTreeMap;
+
+/// Rule identifier.
+pub const RULE: &str = "feature-gate-pairing";
+
+/// Scan `sf` for positively feature-gated items lacking a negative twin.
+pub fn check(sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+    // Only library code: crate sources, not benches/tests/examples.
+    let lib = sf.rel.starts_with("crates/") && sf.rel.contains("/src/");
+    if !lib {
+        return;
+    }
+    // feature name -> (first positive line, has negative, has runtime use)
+    let mut feats: BTreeMap<String, (usize, bool, bool)> = BTreeMap::new();
+    for i in 0..sf.len() {
+        let code = sf.lines[i].code.trim();
+        if code.starts_with("#[") || code.starts_with("#![") {
+            let (attr, _end) = collect_attr(sf, i);
+            if !attr.contains("cfg") {
+                continue;
+            }
+            for (name, pos) in feature_names(&attr) {
+                let negative = in_not_scope(&attr, pos);
+                let entry = feats.entry(name).or_insert((i, false, false));
+                if negative {
+                    entry.1 = true;
+                } else if !entry.1 && entry.0 > i {
+                    entry.0 = i;
+                }
+            }
+        }
+        // Runtime dispatch: cfg!(feature = "X") compiles both branches.
+        if let Some(p) = sf.lines[i].code_raw.find("cfg!(") {
+            for (name, _) in feature_names(&sf.lines[i].code_raw[p..]) {
+                feats.entry(name).or_insert((i, false, false)).2 = true;
+            }
+        }
+    }
+    for (name, (line, has_neg, has_runtime)) in feats {
+        // `positive` tracking: entry exists because a cfg named the feature;
+        // an entry that only ever saw negatives reports has_neg = true.
+        if has_neg || has_runtime {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: RULE,
+            file: sf.rel.clone(),
+            line: line + 1,
+            message: format!(
+                "#[cfg(feature = \"{name}\")] item has no `not(feature = \"{name}\")` twin \
+                 or `cfg!(feature = \"{name}\")` dispatch in this file; a default build \
+                 would lose the symbol"
+            ),
+        });
+    }
+}
+
+/// Collect a (possibly multi-line) attribute starting at `i`. Returns the
+/// raw text (strings preserved) and the last line consumed.
+fn collect_attr(sf: &SourceFile, i: usize) -> (String, usize) {
+    let mut attr = String::new();
+    let mut bal = 0i64;
+    for (j, l) in sf.lines.iter().enumerate().skip(i) {
+        for ch in l.code_raw.chars() {
+            attr.push(ch);
+            match ch {
+                '[' => bal += 1,
+                ']' => {
+                    bal -= 1;
+                    if bal == 0 {
+                        return (attr, j);
+                    }
+                }
+                _ => {}
+            }
+        }
+        attr.push('\n');
+    }
+    (attr, sf.len().saturating_sub(1))
+}
+
+/// Extract `feature = "name"` occurrences from attribute/macro text,
+/// returning `(name, byte offset of the occurrence)`.
+fn feature_names(text: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (pos, _) in text.match_indices("feature") {
+        let before = text[..pos].chars().next_back();
+        if matches!(before, Some(c) if c.is_alphanumeric() || c == '_') {
+            continue;
+        }
+        let rest = text[pos + "feature".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix('=') else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('"') else {
+            continue;
+        };
+        let Some(end) = rest.find('"') else { continue };
+        out.push((rest[..end].to_string(), pos));
+    }
+    out
+}

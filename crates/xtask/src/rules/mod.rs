@@ -1,0 +1,9 @@
+//! The individual lint rules. Each module exposes a `RULE` identifier and a
+//! `check` entry point; see the crate docs for what each rule enforces.
+
+pub mod bench_baseline;
+pub mod error_coverage;
+pub mod feature_gate;
+pub mod ordering;
+pub mod panic_free;
+pub mod safety;

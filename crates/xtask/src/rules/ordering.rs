@@ -1,0 +1,67 @@
+//! Rule 2: every `Ordering::{Relaxed,Acquire,Release,AcqRel,SeqCst}` use
+//! outside the shims carries an `// ORDERING:` justification on or directly
+//! above the line, or matches a configured allowlist entry. The flush clock,
+//! writer counters and SIMD-dispatch cache are exactly the places where a
+//! silent downgrade to `Relaxed` would corrupt read-your-writes, so the
+//! choice must be written down where it is made.
+
+use crate::scan::SourceFile;
+use crate::{Diagnostic, LintConfig};
+
+/// Rule identifier.
+pub const RULE: &str = "atomic-ordering-comment";
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Scan `sf` for unjustified atomic-ordering uses.
+pub fn check(cfg: &LintConfig, sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if cfg
+        .ordering_exempt
+        .iter()
+        .any(|p| sf.rel.starts_with(p.as_str()))
+    {
+        return;
+    }
+    for i in 0..sf.len() {
+        let code = &sf.lines[i].code;
+        let trimmed = code.trim_start();
+        if trimmed.starts_with("use ") || trimmed.starts_with("pub use ") {
+            continue; // imports name orderings without choosing one
+        }
+        let mut named = Vec::new();
+        for (pos, _) in code.match_indices("Ordering::") {
+            let rest = &code[pos + "Ordering::".len()..];
+            for ord in ORDERINGS {
+                if let Some(tail) = rest.strip_prefix(ord) {
+                    let after = tail.chars().next();
+                    if !matches!(after, Some(c) if c.is_alphanumeric() || c == '_') {
+                        named.push(*ord);
+                    }
+                }
+            }
+        }
+        if named.is_empty() {
+            continue;
+        }
+        let justified = sf.attached_comment(i).is_some_and(|c| {
+            c.find("ORDERING:")
+                .is_some_and(|p| !c[p + 9..].trim().is_empty())
+        });
+        let allowlisted = cfg.ordering_allowlist.iter().any(|(suffix, substr)| {
+            sf.rel.ends_with(suffix.as_str()) && code.contains(substr.as_str())
+        });
+        if justified || allowlisted {
+            continue;
+        }
+        named.dedup();
+        out.push(Diagnostic {
+            rule: RULE,
+            file: sf.rel.clone(),
+            line: i + 1,
+            message: format!(
+                "`Ordering::{}` without an `// ORDERING:` justification on or above the line",
+                named.join("`/`Ordering::")
+            ),
+        });
+    }
+}

@@ -1,0 +1,71 @@
+//! Rule 3: panic-freedom in the hot-path modules. `unwrap()`, `expect(`,
+//! panicking macros, and slice/array indexing `x[..]` are forbidden outside
+//! `#[cfg(test)]` code and `debug_assert!` spans — a hot-path panic poisons
+//! shard locks and kills writer threads, and a bounds check the optimizer
+//! cannot elide costs throughput. Invariant-protected indexing is allowed
+//! only under an explicit `LINT-ALLOW(hot-path-panic): <invariant>` tag.
+
+use crate::scan::{word_positions, SourceFile};
+use crate::{Diagnostic, LintConfig};
+
+/// Rule identifier.
+pub const RULE: &str = "hot-path-panic";
+
+const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Scan `sf` (when configured as hot) for panic-capable constructs.
+pub fn check(cfg: &LintConfig, sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !cfg.hot_paths.iter().any(|h| sf.rel.ends_with(h.as_str())) {
+        return;
+    }
+    for i in 0..sf.len() {
+        if sf.in_test[i] || sf.in_debug_assert[i] {
+            continue;
+        }
+        let code = &sf.lines[i].code;
+        let mut hits: Vec<String> = Vec::new();
+        if code.contains(".unwrap()") {
+            hits.push("`.unwrap()`".into());
+        }
+        if code.contains(".expect(") {
+            hits.push("`.expect(...)`".into());
+        }
+        for m in MACROS {
+            if word_positions(code, m)
+                .iter()
+                .any(|&p| code[p + m.len()..].starts_with('!'))
+            {
+                hits.push(format!("`{m}!`"));
+            }
+        }
+        if has_indexing(code) {
+            hits.push("slice indexing `[...]`".into());
+        }
+        for h in hits {
+            out.push(Diagnostic {
+                rule: RULE,
+                file: sf.rel.clone(),
+                line: i + 1,
+                message: format!(
+                    "{h} in hot-path module (outside #[cfg(test)]/debug_assert!); \
+                     return a typed error, use a checked accessor, or document the \
+                     invariant with LINT-ALLOW({RULE})"
+                ),
+            });
+        }
+    }
+}
+
+/// Postfix indexing: `[` immediately preceded by an identifier character,
+/// `)` or `]`. This excludes attributes (`#[`), macro invocations (`vec![`
+/// has `!` before `[`), slice types (`&[u64]`) and array literals (`[0; N]`).
+fn has_indexing(code: &str) -> bool {
+    let mut prev = ' ';
+    for c in code.chars() {
+        if c == '[' && (prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']') {
+            return true;
+        }
+        prev = c;
+    }
+    false
+}

@@ -1,0 +1,112 @@
+//! Rule 1: every `unsafe` block/fn/impl is immediately preceded by a
+//! non-empty `// SAFETY:` rationale. For `unsafe fn` items (and unsafe trait
+//! impls), a doc-comment `# Safety` section with content also satisfies the
+//! rule — that is where rustdoc renders the caller contract.
+
+use crate::scan::{word_positions, SourceFile};
+use crate::Diagnostic;
+
+/// Rule identifier.
+pub const RULE: &str = "unsafe-safety-comment";
+
+/// Scan `sf` for `unsafe` keywords lacking an attached safety rationale.
+pub fn check(sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for i in 0..sf.len() {
+        let code = &sf.lines[i].code;
+        for pos in word_positions(code, "unsafe") {
+            let kind = classify(sf, i, pos + "unsafe".len());
+            let attached = sf.attached_comment(i);
+            if satisfied(attached.as_deref(), kind) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: RULE,
+                file: sf.rel.clone(),
+                line: i + 1,
+                message: format!(
+                    "`unsafe` {} without an immediately preceding `// SAFETY:` rationale{}",
+                    kind.describe(),
+                    if matches!(kind, Kind::Fn) {
+                        " (a doc `# Safety` section with content also counts)"
+                    } else {
+                        ""
+                    }
+                ),
+            });
+        }
+    }
+}
+
+/// What the `unsafe` keyword introduces.
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    Block,
+    Fn,
+    ImplOrTrait,
+}
+
+impl Kind {
+    fn describe(self) -> &'static str {
+        match self {
+            Kind::Block => "block",
+            Kind::Fn => "fn",
+            Kind::ImplOrTrait => "impl/trait",
+        }
+    }
+}
+
+/// Look at the tokens following the `unsafe` keyword (possibly on later
+/// lines) to decide what it introduces.
+fn classify(sf: &SourceFile, line: usize, col: usize) -> Kind {
+    let mut tokens = Vec::new();
+    'outer: for (j, l) in sf.lines.iter().enumerate().skip(line) {
+        let text = if j == line {
+            &l.code[col.min(l.code.len())..]
+        } else {
+            &l.code[..]
+        };
+        for tok in text.split(|c: char| c.is_whitespace()) {
+            if tok.is_empty() {
+                continue;
+            }
+            tokens.push(tok.to_string());
+            if tokens.len() >= 3 || tok.contains('{') {
+                break 'outer;
+            }
+        }
+    }
+    for tok in &tokens {
+        let head: String = tok
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        match head.as_str() {
+            "fn" => return Kind::Fn,
+            "impl" | "trait" => return Kind::ImplOrTrait,
+            "extern" => continue, // `unsafe extern "C" fn ...`
+            _ => {}
+        }
+        if tok.starts_with('{') {
+            return Kind::Block;
+        }
+    }
+    Kind::Block
+}
+
+/// Does the attached comment text justify the unsafe site?
+fn satisfied(comment: Option<&str>, kind: Kind) -> bool {
+    let Some(text) = comment else { return false };
+    if let Some(pos) = text.find("SAFETY:") {
+        if !text[pos + "SAFETY:".len()..].trim().is_empty() {
+            return true;
+        }
+    }
+    if matches!(kind, Kind::Fn | Kind::ImplOrTrait) {
+        if let Some(pos) = text.find("# Safety") {
+            if !text[pos + "# Safety".len()..].trim().is_empty() {
+                return true;
+            }
+        }
+    }
+    false
+}

@@ -1,0 +1,595 @@
+//! Lightweight line-oriented Rust source model for the lint pass.
+//!
+//! This is deliberately *not* a parser. It is a character-level state machine
+//! that, per line, produces:
+//!
+//! * `code` — the source text with comments removed and the *contents* of
+//!   string/char literals blanked out (quotes kept), so that braces, brackets
+//!   and keywords inside literals or comments can never confuse a rule;
+//! * `code_raw` — the source text with comments removed but string literals
+//!   kept verbatim, for rules that need literal values (bench ids);
+//! * `comment` — the text of any `//` comment on the line (doc or plain);
+//! * `depth` — the brace depth at the *start* of the line;
+//! * `in_test` / `in_debug_assert` — whether the line falls inside a
+//!   `#[cfg(test)]`-gated item / `#[test]` function, or inside the argument
+//!   span of a `debug_assert*!` invocation.
+//!
+//! The model is an approximation of real Rust syntax; the approximations are
+//! chosen so that they fail *loud* (a spurious diagnostic that gets a
+//! `LINT-ALLOW` with a reason) rather than silent (a missed finding).
+
+/// One analysed source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Code with comments stripped and literal contents blanked.
+    pub code: String,
+    /// Code with comments stripped but string literals preserved.
+    pub code_raw: String,
+    /// Text of a `//`-style comment on this line (slashes stripped), if any.
+    pub comment: Option<String>,
+    /// True when the comment is a doc comment (`///` or `//!`).
+    pub is_doc: bool,
+}
+
+/// A fully analysed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the lint root, with `/` separators.
+    pub rel: String,
+    /// Per-line analysis results.
+    pub lines: Vec<Line>,
+    /// Brace depth at the start of each line.
+    pub depth: Vec<u32>,
+    /// Whether each line is inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: Vec<bool>,
+    /// Whether each line is inside a `debug_assert*!(...)` argument span.
+    pub in_debug_assert: Vec<bool>,
+}
+
+/// Lexer state carried across characters.
+enum State {
+    Normal,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+impl SourceFile {
+    /// Analyse `text` (the contents of the file at `rel`).
+    pub fn parse(rel: &str, text: &str) -> SourceFile {
+        let mut lines = Vec::new();
+        let mut state = State::Normal;
+        for raw in text.lines() {
+            lines.push(lex_line(raw, &mut state));
+        }
+        let depth = compute_depths(&lines);
+        let in_test = mark_test_regions(&lines, &depth);
+        let in_debug_assert = mark_macro_spans(&lines, "debug_assert");
+        SourceFile {
+            rel: rel.to_string(),
+            lines,
+            depth,
+            in_test,
+            in_debug_assert,
+        }
+    }
+
+    /// Number of lines in the file.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when the file has no lines.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Walk upward from `line` (exclusive), skipping attribute lines, and
+    /// collect the contiguous block of `//` comment lines immediately above.
+    /// Returns the concatenated comment text (top to bottom), or `None` if a
+    /// code or blank line intervenes before any comment is found.
+    pub fn preceding_comment_block(&self, line: usize) -> Option<String> {
+        let mut i = line;
+        // Skip attribute lines (and their continuation lines) directly above.
+        while i > 0 {
+            let prev = &self.lines[i - 1];
+            let code = prev.code.trim();
+            if code.starts_with("#[") || code.starts_with("#![") {
+                i -= 1;
+                continue;
+            }
+            break;
+        }
+        let mut block: Vec<&str> = Vec::new();
+        while i > 0 {
+            let prev = &self.lines[i - 1];
+            if prev.code.trim().is_empty() {
+                if let Some(c) = &prev.comment {
+                    block.push(c);
+                    i -= 1;
+                    continue;
+                }
+            }
+            break;
+        }
+        if block.is_empty() {
+            None
+        } else {
+            block.reverse();
+            Some(block.join("\n"))
+        }
+    }
+
+    /// The comment attached to `line`: its trailing comment, if any, else the
+    /// comment block immediately above (skipping attributes).
+    pub fn attached_comment(&self, line: usize) -> Option<String> {
+        match &self.lines[line].comment {
+            Some(c) => Some(c.clone()),
+            None => self.preceding_comment_block(line),
+        }
+    }
+
+    /// Find the line of the closing brace that matches the first `{` at or
+    /// after `(line, col)`. Returns `None` when no opening brace is found or
+    /// the file ends first.
+    pub fn matching_close(&self, line: usize, col: usize) -> Option<usize> {
+        let mut depth = 0u32;
+        let mut seen_open = false;
+        // Bracket/paren nesting, so a `;` inside `[u64; N]` or a default
+        // argument never terminates the item early.
+        let mut nest = 0u32;
+        for (i, l) in self.lines.iter().enumerate().skip(line) {
+            let code = if i == line {
+                &l.code[col.min(l.code.len())..]
+            } else {
+                &l.code[..]
+            };
+            for ch in code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        seen_open = true;
+                    }
+                    '}' if seen_open => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            return Some(i);
+                        }
+                    }
+                    '(' | '[' => nest += 1,
+                    ')' | ']' => nest = nest.saturating_sub(1),
+                    // A top-level `;` before any `{` terminates the item
+                    // (it was a declaration, not a definition).
+                    ';' if !seen_open && nest == 0 => return Some(i),
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Lex one line, updating the cross-line `state`.
+fn lex_line(raw: &str, state: &mut State) -> Line {
+    let mut code = String::with_capacity(raw.len());
+    let mut code_raw = String::with_capacity(raw.len());
+    let mut comment: Option<String> = None;
+    let mut is_doc = false;
+    let chars: Vec<char> = raw.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match state {
+            State::BlockComment(n) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    if *n == 1 {
+                        *state = State::Normal;
+                    } else {
+                        *state = State::BlockComment(*n - 1);
+                    }
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    *state = State::BlockComment(*n + 1);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            State::Str => {
+                code_raw.push(c);
+                match c {
+                    '\\' => {
+                        // Keep escapes opaque; blank both chars.
+                        code.push(' ');
+                        if let Some(&n) = chars.get(i + 1) {
+                            code.push(' ');
+                            code_raw.push(n);
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    '"' => {
+                        code.push('"');
+                        *state = State::Normal;
+                        i += 1;
+                    }
+                    _ => {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            State::RawStr(hashes) => {
+                code_raw.push(c);
+                if c == '"' {
+                    let h = *hashes as usize;
+                    let closes = (1..=h).all(|k| chars.get(i + k) == Some(&'#'));
+                    if closes {
+                        code.push('"');
+                        for _ in 0..h {
+                            code.push('#');
+                        }
+                        for k in 1..=h {
+                            code_raw.push(chars[i + k]);
+                        }
+                        *state = State::Normal;
+                        i += 1 + h;
+                        continue;
+                    }
+                }
+                code.push(' ');
+                i += 1;
+                continue;
+            }
+            State::Normal => {}
+        }
+        // Normal state.
+        match c {
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                // Line comment to EOL.
+                let mut j = i + 2;
+                is_doc = matches!(chars.get(j), Some('/') | Some('!'));
+                if is_doc {
+                    j += 1;
+                }
+                let text: String = chars[j..].iter().collect();
+                comment = Some(text.trim().to_string());
+                break;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                *state = State::BlockComment(1);
+                i += 2;
+            }
+            '"' => {
+                code.push('"');
+                code_raw.push('"');
+                *state = State::Str;
+                i += 1;
+            }
+            'r' | 'b' => {
+                // Possible raw string r", r#", br", b".
+                let mut j = i + 1;
+                if c == 'b' && chars.get(j) == Some(&'r') {
+                    j += 1;
+                }
+                let mut hashes = 0u32;
+                while chars.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                let prev_ident = i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+                if !prev_ident && chars.get(j) == Some(&'"') && (c == 'r' || j > i + 1) {
+                    for &ch in &chars[i..=j] {
+                        code.push(ch);
+                        code_raw.push(ch);
+                    }
+                    *state = if hashes == 0 {
+                        State::Str
+                    } else {
+                        State::RawStr(hashes)
+                    };
+                    // `r"` with zero hashes behaves like a plain string for
+                    // our purposes (no escapes matter once blanked).
+                    if hashes == 0 {
+                        *state = State::Str;
+                    }
+                    i = j + 1;
+                } else if !prev_ident && c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                    // Byte char literal b'x'.
+                    code.push('b');
+                    code_raw.push('b');
+                    i += 1;
+                    consume_char_literal(&chars, &mut i, &mut code, &mut code_raw);
+                } else {
+                    code.push(c);
+                    code_raw.push(c);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                consume_char_literal(&chars, &mut i, &mut code, &mut code_raw);
+            }
+            _ => {
+                code.push(c);
+                code_raw.push(c);
+                i += 1;
+            }
+        }
+    }
+    Line {
+        code,
+        code_raw,
+        comment,
+        is_doc,
+    }
+}
+
+/// Consume a `'` at `chars[*i]`: either a char literal (blank its contents)
+/// or a lifetime (copy through).
+fn consume_char_literal(chars: &[char], i: &mut usize, code: &mut String, code_raw: &mut String) {
+    // Lifetime heuristic: 'ident not followed by a closing quote.
+    let a = chars.get(*i + 1).copied();
+    let b = chars.get(*i + 2).copied();
+    let is_lifetime = match a {
+        Some(ch) if ch.is_alphabetic() || ch == '_' => b != Some('\''),
+        _ => false,
+    };
+    if is_lifetime {
+        code.push('\'');
+        code_raw.push('\'');
+        *i += 1;
+        return;
+    }
+    // Char literal: copy quotes, blank the contents.
+    code.push('\'');
+    code_raw.push('\'');
+    *i += 1;
+    if chars.get(*i) == Some(&'\\') {
+        code.push(' ');
+        code.push(' ');
+        code_raw.push(' ');
+        code_raw.push(' ');
+        *i += 2;
+        // Skip to closing quote (covers \u{..} forms).
+        while let Some(&ch) = chars.get(*i) {
+            if ch == '\'' {
+                break;
+            }
+            code.push(' ');
+            code_raw.push(' ');
+            *i += 1;
+        }
+    } else if chars.get(*i).is_some() {
+        code.push(' ');
+        code_raw.push(' ');
+        *i += 1;
+    }
+    if chars.get(*i) == Some(&'\'') {
+        code.push('\'');
+        code_raw.push('\'');
+        *i += 1;
+    }
+}
+
+/// Brace depth at the start of each line.
+fn compute_depths(lines: &[Line]) -> Vec<u32> {
+    let mut depth = 0i64;
+    let mut out = Vec::with_capacity(lines.len());
+    for line in lines {
+        out.push(depth.max(0) as u32);
+        for ch in line.code.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Mark lines covered by `#[cfg(test)]` / `#[cfg(all(test, ...))]` / `#[test]`
+/// gated items: from the attribute through the end of the following item.
+fn mark_test_regions(lines: &[Line], _depth: &[u32]) -> Vec<bool> {
+    let mut marked = vec![false; lines.len()];
+    for (i, line) in lines.iter().enumerate() {
+        let code = line.code.trim();
+        if !(code.starts_with("#[")) {
+            continue;
+        }
+        // Collect the attribute text (may span lines until brackets balance).
+        let mut attr = String::new();
+        let mut bal = 0i64;
+        let mut end = i;
+        'outer: for (j, l) in lines.iter().enumerate().skip(i) {
+            for ch in l.code.chars() {
+                attr.push(ch);
+                match ch {
+                    '[' => bal += 1,
+                    ']' => {
+                        bal -= 1;
+                        if bal == 0 {
+                            end = j;
+                            break 'outer;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            attr.push('\n');
+        }
+        if !attr_is_test(&attr) {
+            continue;
+        }
+        // Find where the gated item ends: scan forward from the attribute end
+        // for the first `{` (or `;`), then its matching close.
+        let mut brace = 0i64;
+        let mut seen_open = false;
+        let mut region_end = end;
+        'scan: for (j, l) in lines.iter().enumerate().skip(end) {
+            let code = if j == end {
+                // Skip past the attribute's closing bracket on its own line.
+                l.code.as_str()
+            } else {
+                l.code.as_str()
+            };
+            for ch in code.chars() {
+                match ch {
+                    '{' => {
+                        brace += 1;
+                        seen_open = true;
+                    }
+                    '}' => {
+                        brace -= 1;
+                        if seen_open && brace <= 0 {
+                            region_end = j;
+                            break 'scan;
+                        }
+                    }
+                    ';' if !seen_open && j > end => {
+                        region_end = j;
+                        break 'scan;
+                    }
+                    _ => {}
+                }
+            }
+            region_end = j;
+        }
+        for m in marked.iter_mut().take(region_end + 1).skip(i) {
+            *m = true;
+        }
+    }
+    marked
+}
+
+/// Does an attribute text like `#[cfg(all(test, feature = "x"))]` gate on the
+/// `test` cfg predicate?
+fn attr_is_test(attr: &str) -> bool {
+    if !attr.starts_with("#[") {
+        return false;
+    }
+    let inner = &attr[2..];
+    if inner.trim_end().trim_end_matches(']').trim() == "test" {
+        return true; // #[test]
+    }
+    if !inner.trim_start().starts_with("cfg") {
+        return false;
+    }
+    // Word-boundary search for `test` inside the cfg predicate, ignoring a
+    // leading `not(` scope (cfg(not(test)) does NOT gate test code).
+    for (pos, _) in inner.match_indices("test") {
+        let before = inner[..pos].chars().next_back();
+        let after = inner[pos + 4..].chars().next();
+        let word_start = !matches!(before, Some(c) if c.is_alphanumeric() || c == '_');
+        let word_end = !matches!(after, Some(c) if c.is_alphanumeric() || c == '_');
+        if word_start && word_end && !in_not_scope(inner, pos) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Is byte offset `pos` inside a `not(...)` scope of `text`?
+pub fn in_not_scope(text: &str, pos: usize) -> bool {
+    let mut stack: Vec<bool> = Vec::new();
+    let bytes = text.as_bytes();
+    let mut word_start = 0usize;
+    let mut last_word = String::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if i >= pos {
+            break;
+        }
+        let c = b as char;
+        if c.is_alphanumeric() || c == '_' {
+            if last_word.is_empty() {
+                word_start = i;
+            }
+            let _ = word_start;
+            last_word.push(c);
+        } else {
+            match c {
+                '(' => {
+                    stack.push(last_word == "not");
+                    last_word.clear();
+                }
+                ')' => {
+                    stack.pop();
+                    last_word.clear();
+                }
+                _ => last_word.clear(),
+            }
+        }
+    }
+    stack.iter().any(|&n| n)
+}
+
+/// Mark the argument spans of `name*!(...)` macro invocations (used for
+/// `debug_assert`, `debug_assert_eq`, `debug_assert_ne`).
+fn mark_macro_spans(lines: &[Line], name: &str) -> Vec<bool> {
+    let mut marked = vec![false; lines.len()];
+    for i in 0..lines.len() {
+        let code = &lines[i].code;
+        for (pos, _) in code.match_indices(name) {
+            let before = code[..pos].chars().next_back();
+            if matches!(before, Some(c) if c.is_alphanumeric() || c == '_') {
+                continue;
+            }
+            // Require `name[ident-chars]*!` shape.
+            let rest = &code[pos + name.len()..];
+            let bang = rest.find('!');
+            let Some(bpos) = bang else { continue };
+            if !rest[..bpos]
+                .chars()
+                .all(|c| c.is_alphanumeric() || c == '_')
+            {
+                continue;
+            }
+            // Walk to the closing delimiter of the macro invocation.
+            let mut depth = 0i64;
+            let mut seen_open = false;
+            let mut end = i;
+            'walk: for (j, l) in lines.iter().enumerate().skip(i) {
+                let text = if j == i { &l.code[pos..] } else { &l.code[..] };
+                for ch in text.chars() {
+                    match ch {
+                        '(' | '[' | '{' => {
+                            depth += 1;
+                            seen_open = true;
+                        }
+                        ')' | ']' | '}' if seen_open => {
+                            depth -= 1;
+                            if depth <= 0 {
+                                end = j;
+                                break 'walk;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                end = j;
+            }
+            for m in marked.iter_mut().take(end + 1).skip(i) {
+                *m = true;
+            }
+        }
+    }
+    marked
+}
+
+/// Find word-boundary occurrences of `word` in `code`; returns byte offsets.
+pub fn word_positions(code: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (pos, _) in code.match_indices(word) {
+        let before = code[..pos].chars().next_back();
+        let after = code[pos + word.len()..].chars().next();
+        let ws = !matches!(before, Some(c) if c.is_alphanumeric() || c == '_');
+        let we = !matches!(after, Some(c) if c.is_alphanumeric() || c == '_');
+        if ws && we {
+            out.push(pos);
+        }
+    }
+    out
+}

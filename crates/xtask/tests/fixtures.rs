@@ -1,0 +1,304 @@
+//! Fixture-driven positive/negative tests for every lint rule and for the
+//! suppression-tag machinery. Each rule has at least one committed fixture
+//! that fails it and one that passes it, so a regression in either direction
+//! (rule goes blind / rule over-fires) breaks this suite.
+
+use std::path::{Path, PathBuf};
+use xtask::{lint_single, run_lint, Diagnostic, LintConfig};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn fixture(rel: &str) -> String {
+    let path = fixture_dir().join(rel);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// A config with everything disabled; tests opt into the pieces they need.
+fn base_cfg() -> LintConfig {
+    LintConfig {
+        root: PathBuf::new(),
+        hot_paths: Vec::new(),
+        ordering_allowlist: Vec::new(),
+        ordering_exempt: Vec::new(),
+        error_enums: Vec::new(),
+        ci_file: None,
+        bench_dir: String::new(),
+        baseline_dir: String::new(),
+        skip: Vec::new(),
+    }
+}
+
+fn rule_count(diags: &[Diagnostic], rule: &str) -> usize {
+    diags.iter().filter(|d| d.rule == rule).count()
+}
+
+fn render_all(diags: &[Diagnostic]) -> String {
+    diags
+        .iter()
+        .map(|d| d.render())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+// --- rule 1: unsafe-safety-comment -----------------------------------------
+
+#[test]
+fn safety_rule_flags_each_unjustified_unsafe() {
+    let diags = lint_single(&base_cfg(), "src/lib.rs", &fixture("safety/bad.rs"));
+    // unsafe block in `deref`, `unsafe fn deref_raw` + its inner block,
+    // `unsafe trait`, `unsafe impl` — five sites, all bare.
+    assert_eq!(
+        rule_count(&diags, "unsafe-safety-comment"),
+        5,
+        "{}",
+        render_all(&diags)
+    );
+}
+
+#[test]
+fn safety_rule_accepts_safety_comments_and_doc_sections() {
+    let diags = lint_single(&base_cfg(), "src/lib.rs", &fixture("safety/good.rs"));
+    assert!(diags.is_empty(), "{}", render_all(&diags));
+}
+
+// --- rule 2: atomic-ordering-comment ----------------------------------------
+
+#[test]
+fn ordering_rule_flags_unjustified_and_detached_sites() {
+    let diags = lint_single(&base_cfg(), "src/lib.rs", &fixture("ordering/bad.rs"));
+    // The bare SeqCst site and the site whose ORDERING comment sits above
+    // the fn instead of the use; the `use ...::Ordering` import is exempt.
+    assert_eq!(
+        rule_count(&diags, "atomic-ordering-comment"),
+        2,
+        "{}",
+        render_all(&diags)
+    );
+}
+
+#[test]
+fn ordering_rule_accepts_preceding_and_trailing_justifications() {
+    let diags = lint_single(&base_cfg(), "src/lib.rs", &fixture("ordering/good.rs"));
+    assert!(diags.is_empty(), "{}", render_all(&diags));
+}
+
+#[test]
+fn ordering_allowlist_exempts_only_matching_sites() {
+    let text = fixture("ordering/allowlisted.rs");
+    let rel = "crates/demo/src/lib.rs";
+    let without = lint_single(&base_cfg(), rel, &text);
+    assert_eq!(rule_count(&without, "atomic-ordering-comment"), 1);
+
+    let mut cfg = base_cfg();
+    cfg.ordering_allowlist = vec![("src/lib.rs".into(), "LIVE_COUNT".into())];
+    let with = lint_single(&cfg, rel, &text);
+    assert!(with.is_empty(), "{}", render_all(&with));
+}
+
+#[test]
+fn ordering_exempt_prefix_silences_whole_subtree() {
+    let mut cfg = base_cfg();
+    cfg.ordering_exempt = vec!["crates/shims/".into()];
+    let diags = lint_single(&cfg, "crates/shims/src/lib.rs", &fixture("ordering/bad.rs"));
+    assert!(diags.is_empty(), "{}", render_all(&diags));
+}
+
+// --- rule 3: hot-path-panic --------------------------------------------------
+
+fn hot_cfg(rel: &str) -> LintConfig {
+    let mut cfg = base_cfg();
+    cfg.hot_paths = vec![rel.to_string()];
+    cfg
+}
+
+#[test]
+fn panic_rule_flags_unwrap_expect_panic_and_indexing() {
+    let rel = "crates/demo/src/hot.rs";
+    let diags = lint_single(&hot_cfg(rel), rel, &fixture("panic/bad.rs"));
+    assert_eq!(
+        rule_count(&diags, "hot-path-panic"),
+        4,
+        "{}",
+        render_all(&diags)
+    );
+}
+
+#[test]
+fn panic_rule_ignores_tests_debug_asserts_and_checked_accessors() {
+    let rel = "crates/demo/src/hot.rs";
+    let diags = lint_single(&hot_cfg(rel), rel, &fixture("panic/good.rs"));
+    assert!(diags.is_empty(), "{}", render_all(&diags));
+}
+
+#[test]
+fn panic_rule_only_applies_to_declared_hot_paths() {
+    // The same panicky file is clean when it is not a declared hot path.
+    let diags = lint_single(
+        &base_cfg(),
+        "crates/demo/src/cold.rs",
+        &fixture("panic/bad.rs"),
+    );
+    assert!(diags.is_empty(), "{}", render_all(&diags));
+}
+
+// --- rule 4: feature-gate-pairing --------------------------------------------
+
+#[test]
+fn feature_gate_rule_flags_unpaired_positive_gate() {
+    let diags = lint_single(
+        &base_cfg(),
+        "crates/demo/src/lib.rs",
+        &fixture("feature_gate/bad.rs"),
+    );
+    assert_eq!(
+        rule_count(&diags, "feature-gate-pairing"),
+        1,
+        "{}",
+        render_all(&diags)
+    );
+}
+
+#[test]
+fn feature_gate_rule_accepts_not_twin() {
+    let diags = lint_single(
+        &base_cfg(),
+        "crates/demo/src/lib.rs",
+        &fixture("feature_gate/good_twin.rs"),
+    );
+    assert!(diags.is_empty(), "{}", render_all(&diags));
+}
+
+#[test]
+fn feature_gate_rule_accepts_runtime_dispatch() {
+    let diags = lint_single(
+        &base_cfg(),
+        "crates/demo/src/lib.rs",
+        &fixture("feature_gate/good_runtime.rs"),
+    );
+    assert!(diags.is_empty(), "{}", render_all(&diags));
+}
+
+#[test]
+fn feature_gate_rule_skips_non_library_files() {
+    // Bench/test/fixture sources may be one-sided by design.
+    let diags = lint_single(
+        &base_cfg(),
+        "benches/demo.rs",
+        &fixture("feature_gate/bad.rs"),
+    );
+    assert!(diags.is_empty(), "{}", render_all(&diags));
+}
+
+// --- suppression tags --------------------------------------------------------
+
+#[test]
+fn suppression_tags_with_reasons_cover_line_statement_and_fn() {
+    let rel = "crates/demo/src/hot.rs";
+    let diags = lint_single(&hot_cfg(rel), rel, &fixture("suppression/good.rs"));
+    assert!(diags.is_empty(), "{}", render_all(&diags));
+}
+
+#[test]
+fn malformed_suppression_tags_are_diagnostics_and_do_not_suppress() {
+    let rel = "crates/demo/src/hot.rs";
+    let diags = lint_single(&hot_cfg(rel), rel, &fixture("suppression/bad.rs"));
+    // Unknown rule, missing reason, dangling tag.
+    assert_eq!(
+        rule_count(&diags, "lint-allow"),
+        3,
+        "{}",
+        render_all(&diags)
+    );
+    // The two `v[0]` sites under the broken tags must still be reported.
+    assert_eq!(
+        rule_count(&diags, "hot-path-panic"),
+        2,
+        "{}",
+        render_all(&diags)
+    );
+}
+
+// --- rule 5: bench-baseline-sync ---------------------------------------------
+
+fn bench_cfg(tree: &str) -> LintConfig {
+    let mut cfg = base_cfg();
+    cfg.root = fixture_dir().join("bench_sync").join(tree);
+    cfg.ci_file = Some("ci.yml".into());
+    cfg.bench_dir = "benches".into();
+    cfg
+}
+
+#[test]
+fn bench_rule_accepts_synced_tree_and_honours_ci_filter() {
+    // `setup_only` is registered but outside the CI `--test probe` filter,
+    // so its absence from the baseline is legitimate.
+    let diags = run_lint(&bench_cfg("good")).expect("walk good tree");
+    assert!(diags.is_empty(), "{}", render_all(&diags));
+}
+
+#[test]
+fn bench_rule_reports_orphan_missing_stale_and_unknown_ids() {
+    let diags = run_lint(&bench_cfg("bad")).expect("walk bad tree");
+    let msgs = render_all(&diags);
+    assert_eq!(rule_count(&diags, "bench-baseline-sync"), 5, "{msgs}");
+    for needle in [
+        "BENCH_orphan.json` is not referenced",
+        "BENCH_orphan.json` has no BENCH_JSON smoke-run mapping",
+        "demo/extra_unseeded` is registered here but missing",
+        "stale baseline id `demo/stale_gone`",
+        "names group `other` which",
+    ] {
+        assert!(msgs.contains(needle), "missing {needle:?} in:\n{msgs}");
+    }
+}
+
+// --- rule 6: error-variant-coverage ------------------------------------------
+
+fn error_cfg(tree: &str) -> LintConfig {
+    let mut cfg = base_cfg();
+    cfg.root = fixture_dir().join("error_cov").join(tree);
+    cfg.error_enums = vec![("err.rs".into(), "DemoError".into())];
+    cfg
+}
+
+#[test]
+fn error_rule_accepts_constructed_and_tested_variants() {
+    // `Broken` via a plain constructor, `Missing` via a `From` impl — both
+    // count as construction; the `Display` arms do not.
+    let diags = run_lint(&error_cfg("good")).expect("walk good tree");
+    assert!(diags.is_empty(), "{}", render_all(&diags));
+}
+
+#[test]
+fn error_rule_reports_unconstructed_and_untested_variant() {
+    let diags = run_lint(&error_cfg("bad")).expect("walk bad tree");
+    let msgs = render_all(&diags);
+    assert_eq!(rule_count(&diags, "error-variant-coverage"), 2, "{msgs}");
+    assert!(
+        msgs.contains("`DemoError::Missing` is never constructed"),
+        "{msgs}"
+    );
+    assert!(
+        msgs.contains("`DemoError::Missing` is not named in any test"),
+        "{msgs}"
+    );
+}
+
+// --- JSON output -------------------------------------------------------------
+
+#[test]
+fn json_report_escapes_and_counts() {
+    let diags = vec![Diagnostic {
+        rule: "hot-path-panic",
+        file: "crates/demo/src/hot.rs".into(),
+        line: 7,
+        message: "slice indexing `[...]` with a \"quote\"".into(),
+    }];
+    let json = xtask::diagnostics_to_json(&diags);
+    assert!(json.contains("\"count\":1"), "{json}");
+    assert!(json.contains("\\\"quote\\\""), "{json}");
+    assert!(json.contains("\"line\":7"), "{json}");
+}

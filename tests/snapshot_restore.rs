@@ -26,6 +26,9 @@ impl TempDir {
         let path = std::env::temp_dir().join(format!(
             "higgs-snap-test-{label}-{}-{}",
             std::process::id(),
+            // ORDERING: Relaxed — uniqueness counter; any interleaving of
+            // increments yields distinct directory names, which is all that
+            // matters here.
             NEXT.fetch_add(1, Ordering::Relaxed)
         ));
         let _ = std::fs::remove_dir_all(&path);
