@@ -1,0 +1,164 @@
+//! Criterion bench for the serving front-end: 128 simulated clients sharing
+//! 16 distinct sliding windows, submitted through one [`HiggsService`]
+//! admission loop versus 128 independent `query()` calls on a bare
+//! [`ShardedHiggs`].
+//!
+//! Four ids, all at 4 shards on a Smoke-scale Lkml stream:
+//!
+//! * `independent/128` — the pre-serving baseline: every simulated client
+//!   runs its own `query()` call against the sharded summary, so each call
+//!   pays its own flush check and per-shard dispatch.
+//! * `coalesced/128` — the same 128 queries submitted as tickets through
+//!   [`ServiceClient`]s and admitted in ticks: the admission loop shares
+//!   one coalesced plan per (window, shard) across all clients and runs one
+//!   columnar `query_batch` per shard per tick.
+//! * `client_p50/128` / `client_p99/128` — client-observed latency
+//!   percentiles inside one coalesced wave (time from wave start until each
+//!   ticket's result is in hand), recorded via `iter_custom`. The p99 id is
+//!   the latency gate: coalesced admission must keep the tail under control
+//!   precisely where 128 independent calls pile up.
+//!
+//! Every wave's results are asserted bit-identical to the unserved summary
+//! before any number is trusted. All ids feed `BENCH_serving.json` for the
+//! CI perf-regression gate (see the `bench_gate` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use higgs::{HiggsConfig, HiggsService, ShardedHiggs};
+use higgs_common::generator::{DatasetPreset, ExperimentScale};
+use higgs_common::{Query, TemporalGraphSummary, TimeRange};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 128;
+const WINDOWS: u64 = 16;
+const SHARDS: usize = 4;
+
+/// The 128 simulated client queries: the replicated-dashboard shape. The
+/// fleet watches 16 distinct (window, chain) screens — a 6-vertex path
+/// query per sliding window — and every screen is open on 8 replicas, so
+/// the 128 submissions contain only 16 distinct queries. Independent
+/// `query()` calls re-evaluate every duplicate; the coalesced admission
+/// path dedups them into one columnar probe set per shard.
+fn client_queries(stream: &higgs_common::GraphStream) -> Vec<Query> {
+    let span = stream.time_span().expect("non-empty stream");
+    let window = (span.len() / (WINDOWS + 2)).max(1);
+    let hot: Vec<&higgs_common::StreamEdge> = stream.iter().step_by(97).take(CLIENTS).collect();
+    let screens: Vec<Query> = (0..WINDOWS)
+        .map(|w| {
+            let start = span.start + w * window;
+            let range = TimeRange::new(start, (start + 3 * window).min(span.end));
+            let e = hot[w as usize % hot.len()];
+            let f = hot[(w as usize + 7) % hot.len()];
+            let g = hot[(w as usize + 19) % hot.len()];
+            Query::path(vec![e.src, e.dst, f.src, f.dst, g.src, g.dst], range)
+        })
+        .collect();
+    (0..CLIENTS)
+        .map(|i| screens[i % screens.len()].clone())
+        .collect()
+}
+
+/// Submits every query as its own ticket (one per simulated client) and
+/// waits for all of them, returning per-client latencies from wave start.
+fn coalesced_wave(
+    clients: &[higgs::ServiceClient],
+    queries: &[Query],
+) -> (Vec<u64>, Vec<Duration>) {
+    let wave_start = Instant::now();
+    let tickets: Vec<_> = clients
+        .iter()
+        .zip(queries)
+        .map(|(client, q)| client.submit(q.clone()))
+        .collect();
+    let mut results = Vec::with_capacity(tickets.len());
+    let mut latencies = Vec::with_capacity(tickets.len());
+    for ticket in tickets {
+        results.push(ticket.wait().expect("live service"));
+        latencies.push(wave_start.elapsed());
+    }
+    (results, latencies)
+}
+
+fn percentile(latencies: &mut [Duration], p: f64) -> Duration {
+    latencies.sort_unstable();
+    let rank = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+    latencies[rank]
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let stream = DatasetPreset::Lkml.generate(ExperimentScale::Smoke);
+    let queries = client_queries(&stream);
+
+    let mut direct = ShardedHiggs::new(
+        HiggsConfig::builder()
+            .shards(SHARDS)
+            .build()
+            .expect("valid configuration"),
+    );
+    direct.insert_all(stream.edges());
+    direct.flush();
+    let expected: Vec<u64> = queries.iter().map(|q| direct.query(q)).collect();
+
+    // A short tick lets a whole submission wave land in one coalesced
+    // admission; the clients live across waves, as real replicas would.
+    let config = HiggsConfig::builder()
+        .shards(SHARDS)
+        .admission_tick(Duration::from_micros(20))
+        .build()
+        .expect("valid configuration");
+    let service = HiggsService::new(config);
+    let clients: Vec<higgs::ServiceClient> = (0..CLIENTS).map(|_| service.client()).collect();
+    clients[0].insert_all(stream.edges()).expect("live service");
+    clients[0].flush();
+
+    // Coalescing must never change answers: verify one wave bit-for-bit
+    // against the unserved summary before trusting any latency number.
+    let (served, _) = coalesced_wave(&clients, &queries);
+    assert_eq!(
+        served, expected,
+        "served wave diverged from the unserved summary"
+    );
+
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(CLIENTS as u64));
+
+    // 128 independent query() calls: the old per-caller surface, each call
+    // paying its own flush check and dispatch.
+    group.bench_with_input(
+        BenchmarkId::new("independent", CLIENTS),
+        &queries,
+        |b, queries| {
+            b.iter(|| {
+                let results: Vec<u64> = queries.iter().map(|q| direct.query(q)).collect();
+                black_box(results)
+            })
+        },
+    );
+
+    // The same 128 clients through the admission loop.
+    group.bench_with_input(
+        BenchmarkId::new("coalesced", CLIENTS),
+        &queries,
+        |b, queries| b.iter(|| black_box(coalesced_wave(&clients, queries).0)),
+    );
+
+    // Client-observed latency percentiles within a coalesced wave.
+    for (name, p) in [("client_p50", 0.50), ("client_p99", 0.99)] {
+        group.bench_with_input(BenchmarkId::new(name, CLIENTS), &queries, |b, queries| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let (results, mut latencies) = coalesced_wave(&clients, queries);
+                    black_box(results);
+                    total += percentile(&mut latencies, p);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

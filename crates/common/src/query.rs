@@ -695,6 +695,114 @@ impl QueryWorkload {
     }
 }
 
+/// Scheduling class of a submitted query, consumed by the serving layer's
+/// admission loop. Within one admission tick, classes are evaluated
+/// strictly in the order `Interactive`, `Normal`, `Bulk` — a latency-
+/// sensitive query never waits behind a bulk scan admitted in the same
+/// tick. Plain (unserved) `query_batch` calls ignore priority entirely.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-sensitive: evaluated first within its admission tick and,
+    /// when combined with [`Consistency::Relaxed`], without waiting for
+    /// pending ingest flushes.
+    Interactive,
+    /// Default class: today's semantics — evaluated after interactive
+    /// traffic, with read-your-writes visibility.
+    #[default]
+    Normal,
+    /// Throughput-oriented: evaluated last within its tick; suited to
+    /// analytical sweeps that tolerate extra queueing delay.
+    Bulk,
+}
+
+/// Visibility guarantee a submitted query requires from the serving layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Consistency {
+    /// Every edge the submitting process ingested before the submission is
+    /// visible to the query (the serving layer flushes pending shard queues
+    /// first when needed). This is the behaviour of direct
+    /// `ShardedHiggs::query*` calls today, and the default.
+    #[default]
+    ReadYourWrites,
+    /// The query may run against a slightly stale summary: the serving
+    /// layer skips the pre-query flush, trading bounded staleness (at most
+    /// the writer queues' backlog) for lower latency.
+    Relaxed,
+}
+
+/// Per-submission options for the serving layer: deadline, scheduling
+/// [`Priority`], and [`Consistency`] mode. The default value reproduces
+/// today's semantics exactly (no deadline, `Normal` priority,
+/// read-your-writes), so existing call sites that never mention options are
+/// unaffected — and the primitive query structs stay untouched.
+///
+/// Built fluently:
+///
+/// ```
+/// use higgs_common::{Consistency, Priority, QueryOptions};
+/// use std::time::Duration;
+///
+/// let opts = QueryOptions::new()
+///     .deadline(Duration::from_millis(5))
+///     .priority(Priority::Interactive)
+///     .consistency(Consistency::Relaxed);
+/// assert_eq!(opts.priority, Priority::Interactive);
+/// assert_eq!(QueryOptions::default().consistency, Consistency::ReadYourWrites);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// Maximum time the submission may wait before evaluation starts,
+    /// measured from the moment of submission. A submission that is still
+    /// queued when its deadline elapses completes with a typed
+    /// deadline-exceeded error instead of a result. `None` (the default)
+    /// never expires.
+    pub deadline: Option<std::time::Duration>,
+    /// Scheduling class within an admission tick.
+    pub priority: Priority,
+    /// Visibility guarantee relative to the submitter's own writes.
+    pub consistency: Consistency,
+}
+
+impl QueryOptions {
+    /// Options reproducing today's semantics (alias for `Default`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Convenience preset for latency-sensitive traffic: `Interactive`
+    /// priority with relaxed consistency, so the query neither queues
+    /// behind bulk work nor waits for ingest flushes.
+    pub fn interactive() -> Self {
+        Self::new()
+            .priority(Priority::Interactive)
+            .consistency(Consistency::Relaxed)
+    }
+
+    /// Convenience preset for throughput-oriented traffic: `Bulk` priority
+    /// with the default read-your-writes visibility.
+    pub fn bulk() -> Self {
+        Self::new().priority(Priority::Bulk)
+    }
+
+    /// Sets the submission deadline (measured from submission time).
+    pub fn deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the scheduling class.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the visibility guarantee.
+    pub fn consistency(mut self, consistency: Consistency) -> Self {
+        self.consistency = consistency;
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1072,5 +1180,42 @@ mod tests {
             w.iter().map(|q| q.kind_label()).collect::<Vec<_>>(),
             vec!["edge", "vertex", "path", "subgraph"]
         );
+    }
+
+    #[test]
+    fn query_options_default_matches_todays_semantics() {
+        let opts = QueryOptions::default();
+        assert_eq!(opts.deadline, None);
+        assert_eq!(opts.priority, Priority::Normal);
+        assert_eq!(opts.consistency, Consistency::ReadYourWrites);
+        assert_eq!(opts, QueryOptions::new());
+    }
+
+    #[test]
+    fn query_options_builder_sets_every_field() {
+        let opts = QueryOptions::new()
+            .deadline(std::time::Duration::from_millis(7))
+            .priority(Priority::Bulk)
+            .consistency(Consistency::Relaxed);
+        assert_eq!(opts.deadline, Some(std::time::Duration::from_millis(7)));
+        assert_eq!(opts.priority, Priority::Bulk);
+        assert_eq!(opts.consistency, Consistency::Relaxed);
+    }
+
+    #[test]
+    fn query_options_presets_pick_sensible_classes() {
+        let fast = QueryOptions::interactive();
+        assert_eq!(fast.priority, Priority::Interactive);
+        assert_eq!(fast.consistency, Consistency::Relaxed);
+        let slow = QueryOptions::bulk();
+        assert_eq!(slow.priority, Priority::Bulk);
+        assert_eq!(slow.consistency, Consistency::ReadYourWrites);
+    }
+
+    #[test]
+    fn priority_order_ranks_interactive_ahead_of_bulk() {
+        // The admission loop relies on the derived `Ord` for class order.
+        assert!(Priority::Interactive < Priority::Normal);
+        assert!(Priority::Normal < Priority::Bulk);
     }
 }

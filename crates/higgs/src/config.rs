@@ -4,6 +4,13 @@
 
 use higgs_common::hashing::FingerprintLayout;
 use std::fmt;
+use std::time::Duration;
+
+/// Upper bound on [`HiggsConfig::admission_tick`]: a tick longer than this
+/// adds more queueing delay than any plausible coalescing win (the serving
+/// layer's whole point is sub-tick latency), so validation rejects it as a
+/// likely units mistake (seconds where milliseconds were meant).
+pub const MAX_ADMISSION_TICK: Duration = Duration::from_millis(100);
 
 /// Why a [`HiggsConfig`] was rejected by validation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,6 +57,18 @@ pub enum ConfigError {
     /// writer queue could never accept a command, deadlocking the first
     /// producer. Use `None` (the default) for unbounded queues.
     InvalidIngestQueueCap,
+    /// `admission_tick` must not exceed [`MAX_ADMISSION_TICK`]: longer ticks
+    /// add pure queueing delay without any additional coalescing benefit and
+    /// almost always indicate a units mistake.
+    InvalidAdmissionTick {
+        /// The rejected tick duration.
+        admission_tick: Duration,
+    },
+    /// `service_queue_depth` must be at least 1 when set: a zero-capacity
+    /// submission queue could never admit a request, so every submission
+    /// would fail with backpressure. Use `None` (the default) for an
+    /// unbounded submission queue.
+    InvalidServiceQueueDepth,
 }
 
 impl fmt::Display for ConfigError {
@@ -86,6 +105,20 @@ impl fmt::Display for ConfigError {
                     f,
                     "ingest_queue_cap must be at least 1 when set \
                      (use None for unbounded ingest queues)"
+                )
+            }
+            ConfigError::InvalidAdmissionTick { admission_tick } => {
+                write!(
+                    f,
+                    "admission_tick must be at most {:?}, got {admission_tick:?}",
+                    MAX_ADMISSION_TICK
+                )
+            }
+            ConfigError::InvalidServiceQueueDepth => {
+                write!(
+                    f,
+                    "service_queue_depth must be at least 1 when set \
+                     (use None for an unbounded submission queue)"
                 )
             }
         }
@@ -164,6 +197,25 @@ pub struct HiggsConfig {
     /// **runtime placement state**: it is never persisted in snapshots, and
     /// restored services default to unpinned. Defaults to `false`.
     pub pin_workers: bool,
+    /// How long a [`HiggsService`](crate::HiggsService) admission loop waits
+    /// after the first queued submission before closing the tick, so that
+    /// concurrent clients' queries land in the same coalesced per-shard
+    /// batch. `Duration::ZERO` (the default) closes a tick as soon as the
+    /// queue momentarily drains — maximum responsiveness, coalescing only
+    /// what is already queued; larger values trade per-request latency for
+    /// wider cross-client plan/probe sharing. Must not exceed
+    /// [`MAX_ADMISSION_TICK`]. Like `pin_workers` this is **runtime serving
+    /// state**: never persisted in snapshots, and restored services default
+    /// to a zero tick. Plain summary construction ignores the field.
+    pub admission_tick: Duration,
+    /// Capacity (in submissions) of a [`HiggsService`](crate::HiggsService)
+    /// submission queue. `None` (the default) keeps the queue unbounded;
+    /// `Some(n)` makes `submit` fail fast with a typed overload error once
+    /// `n` submissions are waiting for admission, turning sustained query
+    /// overload into explicit backpressure the client can act on. Runtime
+    /// serving state: never persisted in snapshots. Plain summary
+    /// construction ignores the field.
+    pub service_queue_depth: Option<usize>,
 }
 
 impl Default for HiggsConfig {
@@ -187,6 +239,8 @@ impl HiggsConfig {
             plan_cache_capacity: crate::plan_cache::DEFAULT_PLAN_CACHE_CAPACITY,
             ingest_queue_cap: None,
             pin_workers: false,
+            admission_tick: Duration::ZERO,
+            service_queue_depth: None,
         }
     }
 
@@ -288,6 +342,14 @@ impl HiggsConfig {
         if self.ingest_queue_cap == Some(0) {
             return Err(ConfigError::InvalidIngestQueueCap);
         }
+        if self.admission_tick > MAX_ADMISSION_TICK {
+            return Err(ConfigError::InvalidAdmissionTick {
+                admission_tick: self.admission_tick,
+            });
+        }
+        if self.service_queue_depth == Some(0) {
+            return Err(ConfigError::InvalidServiceQueueDepth);
+        }
         Ok(())
     }
 }
@@ -373,6 +435,24 @@ impl HiggsConfigBuilder {
         self
     }
 
+    /// Sets how long a [`HiggsService`](crate::HiggsService) admission loop
+    /// holds a tick open to coalesce concurrent clients' queries (must not
+    /// exceed [`MAX_ADMISSION_TICK`]; `Duration::ZERO`, the default, closes
+    /// the tick as soon as the submission queue momentarily drains).
+    pub fn admission_tick(mut self, tick: Duration) -> Self {
+        self.config.admission_tick = tick;
+        self
+    }
+
+    /// Bounds a [`HiggsService`](crate::HiggsService) submission queue at
+    /// `depth` waiting submissions (must be ≥ 1): further `submit` calls
+    /// fail fast with a typed overload error instead of queueing without
+    /// bound. The default keeps the submission queue unbounded.
+    pub fn service_queue_depth(mut self, depth: usize) -> Self {
+        self.config.service_queue_depth = Some(depth);
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<HiggsConfig, ConfigError> {
         self.config.validate()?;
@@ -415,6 +495,8 @@ mod tests {
             .plan_cache_capacity(16)
             .ingest_queue_cap(1_024)
             .pin_workers(true)
+            .admission_tick(Duration::from_micros(250))
+            .service_queue_depth(4_096)
             .build()
             .expect("valid configuration");
         assert_eq!(c.d1, 64);
@@ -428,6 +510,8 @@ mod tests {
         assert_eq!(c.plan_cache_capacity, 16);
         assert_eq!(c.ingest_queue_cap, Some(1_024));
         assert!(c.pin_workers);
+        assert_eq!(c.admission_tick, Duration::from_micros(250));
+        assert_eq!(c.service_queue_depth, Some(4_096));
     }
 
     #[test]
@@ -459,6 +543,41 @@ mod tests {
             Err(ConfigError::InvalidIngestQueueCap)
         );
         assert!(HiggsConfig::builder().ingest_queue_cap(1).build().is_ok());
+    }
+
+    #[test]
+    fn serving_knobs_default_to_inert_values() {
+        let c = HiggsConfig::paper_default();
+        assert_eq!(c.admission_tick, Duration::ZERO);
+        assert_eq!(c.service_queue_depth, None);
+    }
+
+    #[test]
+    fn oversized_admission_tick_rejected() {
+        let too_long = MAX_ADMISSION_TICK + Duration::from_millis(1);
+        assert_eq!(
+            HiggsConfig::builder().admission_tick(too_long).build(),
+            Err(ConfigError::InvalidAdmissionTick {
+                admission_tick: too_long
+            })
+        );
+        // The bound itself is accepted.
+        assert!(HiggsConfig::builder()
+            .admission_tick(MAX_ADMISSION_TICK)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn zero_service_queue_depth_rejected() {
+        assert_eq!(
+            HiggsConfig::builder().service_queue_depth(0).build(),
+            Err(ConfigError::InvalidServiceQueueDepth)
+        );
+        assert!(HiggsConfig::builder()
+            .service_queue_depth(1)
+            .build()
+            .is_ok());
     }
 
     #[test]
@@ -583,6 +702,11 @@ mod tests {
             .to_string(),
             ConfigError::InvalidShardCount { shards: 0 }.to_string(),
             ConfigError::InvalidIngestQueueCap.to_string(),
+            ConfigError::InvalidAdmissionTick {
+                admission_tick: Duration::from_secs(2),
+            }
+            .to_string(),
+            ConfigError::InvalidServiceQueueDepth.to_string(),
         ];
         for (msg, needle) in msgs.iter().zip([
             "d1",
@@ -592,6 +716,8 @@ mod tests {
             "r must",
             "shards must",
             "ingest_queue_cap",
+            "admission_tick",
+            "service_queue_depth",
         ]) {
             assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
         }

@@ -235,6 +235,72 @@
 //! throughput, full ingest completion, and batch-serving latency at 1–8
 //! shards against the single-summary and [`ParallelHiggs`] baselines.
 //!
+//! # Serving & admission control
+//!
+//! [`ShardedHiggs`] shares plans *within* one batch; [`HiggsService`]
+//! (module [`serving`]) extends that sharing *across clients*. It wraps a
+//! [`ShardedHiggs`] with a submission queue, an admission thread, and one
+//! evaluation worker per shard, and hands out cloneable [`ServiceClient`]
+//! handles — one typed surface for query submission, fallible ingest, and
+//! flush.
+//!
+//! **The tick model.** The admission thread blocks for the first queued
+//! submission, optionally holds the tick open for
+//! [`HiggsConfigBuilder::admission_tick`] (default `Duration::ZERO`), then
+//! drains everything else already queued. One tick becomes one coalesced
+//! batch.
+//!
+//! **The coalescing guarantee.** Per priority class, a tick's queries are
+//! concatenated, planned once ([`higgs_common::ShardPlan`]), and evaluated
+//! as a single columnar `query_batch` per shard — so N clients submitting
+//! the same window in one tick cost at most one Algorithm-3 boundary search
+//! per (window, shard) pair, and zero with a warm plan cache, exactly as if
+//! one caller had submitted them as a single batch. Per-shard sub-batches
+//! run concurrently on the per-shard workers.
+//!
+//! **Deadlines & priorities.** [`QueryOptions`](higgs_common::QueryOptions)
+//! carries an optional deadline, a [`Priority`](higgs_common::Priority)
+//! class, and a [`Consistency`](higgs_common::Consistency) mode. Within a
+//! tick, classes evaluate strictly `Interactive` → `Normal` → `Bulk`;
+//! submissions whose deadline elapsed while queueing complete with
+//! [`ServiceError::DeadlineExceeded`] instead of being evaluated.
+//!
+//! **Consistency modes.** `ReadYourWrites` (the default, matching the
+//! previous trait-query semantics) flushes enqueued ingest once per class
+//! per tick before evaluating; `Relaxed` skips the flush, so an interactive
+//! class of relaxed queries jumps ahead of pending ingest flushes entirely.
+//!
+//! **Backpressure & shutdown.** [`HiggsConfigBuilder::service_queue_depth`]
+//! bounds the submission queue; a full queue fails the ticket immediately
+//! with [`ServiceError::Overloaded`]. Dropping the service resolves every
+//! in-flight ticket (result or [`ServiceError::Shutdown`]), joins the
+//! serving threads, then joins the shard writers; surviving clients fail
+//! fast with typed errors.
+//!
+//! **Migrating from the old three-handle surface.** Previously a serving
+//! deployment juggled `&ShardedHiggs` for queries, an [`IngestHandle`] for
+//! writes (with `bool` returns), and `flush()`:
+//!
+//! | before (v0 surface)              | after ([`ServiceClient`])                        |
+//! |----------------------------------|--------------------------------------------------|
+//! | `sharded.query(&q)`              | `client.query(&q)?` / `client.submit(q).wait()`  |
+//! | `sharded.query_batch(&qs)`       | `client.query_batch(&qs)?` / `submit_batch`      |
+//! | `handle.insert(&e)` → `bool`     | `client.insert(&e)` → `Result<(), IngestError>`  |
+//! | `handle.insert_all(&es)` → count | `client.insert_all(&es)` → `Result<(), IngestError>` |
+//! | `handle.delete(&e)` → `bool`     | `client.delete(&e)` → `Result<(), IngestError>`  |
+//! | `sharded.flush()`                | `client.flush()`                                 |
+//! | per-query flush, no classes      | [`QueryOptions`](higgs_common::QueryOptions) (deadline / priority / consistency) |
+//!
+//! The deprecated `insert_bool` / `insert_all_count` / `delete_bool` shims
+//! keep the old `bool`/count signatures callable for one release. Direct
+//! [`ShardedHiggs`] use (and [`HiggsService::summary`]) remains fully
+//! supported for embedded, single-owner deployments — the service layer is
+//! additive.
+//!
+//! The `serving` Criterion group in `higgs-bench` tracks coalesced-vs-
+//! independent evaluation and client-observed p50/p99 latency under 128
+//! simulated clients.
+//!
 //! # Persistence & warm restart
 //!
 //! A service serving heavy traffic cannot re-ingest its stream after every
@@ -287,6 +353,7 @@ pub mod overflow;
 pub mod parallel;
 pub mod plan_cache;
 pub mod query;
+pub mod serving;
 pub mod shard;
 pub mod snapshot;
 pub mod tree;
@@ -296,6 +363,7 @@ pub use config::{ConfigError, HiggsConfig, HiggsConfigBuilder};
 pub use matrix::CompressedMatrix;
 pub use parallel::ParallelHiggs;
 pub use plan_cache::PlanCache;
-pub use shard::{IngestHandle, ShardedHiggs};
+pub use serving::{BatchTicket, HiggsService, ServiceClient, ServiceError, Ticket};
+pub use shard::{IngestError, IngestHandle, ShardedHiggs};
 pub use snapshot::{SnapshotError, SnapshotManifest};
 pub use tree::HiggsSummary;

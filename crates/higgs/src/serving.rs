@@ -1,0 +1,945 @@
+//! Multi-client serving front-end: [`HiggsService`] and the [`ServiceClient`]
+//! API.
+//!
+//! [`ShardedHiggs`] amortises plans and probes across one *batch*, but every
+//! caller that holds its own handle still submits its own batches — two
+//! clients asking for the same window in the same instant pay for two
+//! boundary searches per shard. This module closes that gap with a classic
+//! batch-admission design:
+//!
+//! * **Submission queue.** Every [`ServiceClient`] clone pushes submissions
+//!   into one shared queue (bounded by
+//!   [`service_queue_depth`](crate::HiggsConfigBuilder::service_queue_depth),
+//!   unbounded by default). Submission is non-blocking: when the queue is
+//!   full the ticket completes immediately with
+//!   [`ServiceError::Overloaded`] — explicit backpressure, never a silent
+//!   stall.
+//! * **Admission ticks.** A dedicated admission thread blocks for the first
+//!   queued submission, optionally holds the tick open for
+//!   [`admission_tick`](crate::HiggsConfigBuilder::admission_tick) so
+//!   concurrent clients can land in the same tick, then drains whatever else
+//!   is queued. Everything admitted in one tick forms one coalesced batch.
+//! * **Coalesced evaluation.** Per priority class, the tick's queries are
+//!   concatenated into a single [`ShardPlan`] and evaluated as **one**
+//!   columnar `query_batch` per shard on a per-shard worker (the per-shard
+//!   request queues), so cross-client duplicate windows cost one boundary
+//!   search per shard — and zero when the shard's plan cache is warm. The
+//!   workers run concurrently, unlike the sequential per-shard loop of a
+//!   direct [`ShardedHiggs::query_batch`] call.
+//! * **Reply futures.** Each submission carries a oneshot completion channel
+//!   (`reactor::oneshot`); the returned [`Ticket`] / [`BatchTicket`] blocks
+//!   on it. Every ticket resolves — with a result or a typed
+//!   [`ServiceError`] — even when the service shuts down mid-flight.
+//!
+//! **Deadlines and priorities.** Within a tick, submissions are grouped by
+//! [`Priority`] and the classes are evaluated strictly in order
+//! `Interactive`, `Normal`, `Bulk`. A submission whose
+//! [`QueryOptions::deadline`] elapsed while it queued completes with
+//! [`ServiceError::DeadlineExceeded`] instead of being evaluated.
+//! [`Consistency::ReadYourWrites`] submissions trigger at most one ingest
+//! flush per class per tick; an interactive class consisting solely of
+//! [`Consistency::Relaxed`] submissions skips the flush entirely — that is
+//! how latency-sensitive queries jump ahead of ingest flushes.
+//!
+//! See the crate docs' *Serving & admission control* section for the client
+//! migration table from the old three-handle surface.
+
+use crate::config::{ConfigError, HiggsConfig};
+use crate::shard::{IngestError, IngestHandle, ShardedHiggs};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use higgs_common::{
+    Consistency, Priority, Query, QueryOptions, ShardPlan, StreamEdge, TemporalGraphSummary, Weight,
+};
+use reactor::oneshot::{completion, Completer, Waiter};
+use std::time::{Duration, Instant};
+
+/// Why a submitted query completed without a result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The service shut down before the submission was evaluated (or the
+    /// submission was sent to an already-dropped service). Terminal.
+    Shutdown,
+    /// The submission's [`QueryOptions::deadline`] elapsed while it was
+    /// queued for admission; it was never evaluated.
+    DeadlineExceeded,
+    /// Backpressure: the bounded submission queue (see
+    /// [`service_queue_depth`](crate::HiggsConfigBuilder::service_queue_depth))
+    /// was full at submission time. Retrying later can succeed.
+    Overloaded,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Shutdown => write!(f, "service shut down before the query completed"),
+            ServiceError::DeadlineExceeded => {
+                write!(
+                    f,
+                    "deadline exceeded while the query was queued for admission"
+                )
+            }
+            ServiceError::Overloaded => {
+                write!(
+                    f,
+                    "service overloaded: submission queue is full (backpressure)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Outcome type carried by reply futures.
+type Reply = Result<Vec<Weight>, ServiceError>;
+
+/// One admitted unit of work: the client's queries plus everything the
+/// admission loop needs to schedule and answer them.
+struct Submission {
+    queries: Vec<Query>,
+    options: QueryOptions,
+    /// Stamped at submission time; deadlines are measured from here.
+    submitted: Instant,
+    reply: Completer<Reply>,
+}
+
+/// What clients push into the submission queue.
+enum Request {
+    Run(Submission),
+    /// Posted by [`HiggsService`]'s drop: evaluate nothing further, fail
+    /// everything still queued with [`ServiceError::Shutdown`], and exit.
+    Shutdown,
+}
+
+/// One coalesced per-shard evaluation request (the per-shard request queue
+/// element): a sub-batch routed to this shard and the channel to send its
+/// column of results back on.
+struct ShardJob {
+    sub: Vec<Query>,
+    reply: Completer<Vec<Weight>>,
+}
+
+/// A reply future for a single submitted [`Query`].
+///
+/// Obtained from [`ServiceClient::submit`]. [`wait`](Self::wait) blocks
+/// until the admission loop evaluates the query (or fails it with a typed
+/// error); tickets always resolve, even across a service shutdown.
+#[must_use = "a ticket does nothing until waited on"]
+pub struct Ticket {
+    waiter: Waiter<Reply>,
+}
+
+impl Ticket {
+    /// Blocks until the query completes, returning its estimated aggregate
+    /// weight or the typed reason it was not evaluated.
+    pub fn wait(self) -> Result<Weight, ServiceError> {
+        match self.waiter.wait() {
+            // An admission loop that dies without answering (service drop
+            // racing the submission) reads as shutdown, never a hang.
+            Err(_) => Err(ServiceError::Shutdown),
+            Ok(Err(e)) => Err(e),
+            Ok(Ok(results)) => Ok(results
+                .first()
+                .copied()
+                .expect("a single-query submission yields one result")),
+        }
+    }
+
+    /// Returns the result if the query already completed, `None` while it is
+    /// still in flight.
+    pub fn try_wait(&self) -> Option<Result<Weight, ServiceError>> {
+        match self.waiter.try_wait() {
+            Err(_) => Some(Err(ServiceError::Shutdown)),
+            Ok(None) => None,
+            Ok(Some(Err(e))) => Some(Err(e)),
+            Ok(Some(Ok(results))) => Some(Ok(results
+                .first()
+                .copied()
+                .expect("a single-query submission yields one result"))),
+        }
+    }
+}
+
+/// A reply future for a batch submission ([`ServiceClient::submit_batch`]):
+/// resolves to one weight per submitted query, in submission order.
+#[must_use = "a ticket does nothing until waited on"]
+pub struct BatchTicket {
+    waiter: Waiter<Reply>,
+}
+
+impl BatchTicket {
+    /// Blocks until the whole batch completes. The batch is answered
+    /// atomically: all queries succeed together or the batch fails with one
+    /// typed error.
+    pub fn wait(self) -> Result<Vec<Weight>, ServiceError> {
+        match self.waiter.wait() {
+            Err(_) => Err(ServiceError::Shutdown),
+            Ok(reply) => reply,
+        }
+    }
+
+    /// Returns the results if the batch already completed, `None` while it
+    /// is still in flight.
+    pub fn try_wait(&self) -> Option<Result<Vec<Weight>, ServiceError>> {
+        match self.waiter.try_wait() {
+            Err(_) => Some(Err(ServiceError::Shutdown)),
+            Ok(None) => None,
+            Ok(Some(reply)) => Some(reply),
+        }
+    }
+}
+
+/// A ticket that was answered at submission time (overload / shutdown
+/// fail-fast paths): builds the completed oneshot pair inline.
+fn settled(reply: Reply) -> Waiter<Reply> {
+    let (tx, rx) = completion();
+    tx.complete(reply);
+    rx
+}
+
+/// The single, cloneable client surface of a [`HiggsService`]: typed query
+/// submission with options, fallible ingest, and flush — one handle instead
+/// of the old `&ShardedHiggs` / [`IngestHandle`] / `flush()` trio.
+///
+/// Clones share the service's submission queue and ingest routing; handing
+/// one clone to each producer/consumer thread is the intended usage. Clients
+/// remain valid after the service drops: every operation then reports the
+/// typed shutdown error instead of hanging.
+#[derive(Clone)]
+pub struct ServiceClient {
+    submit_tx: Sender<Request>,
+    ingest: IngestHandle,
+}
+
+impl std::fmt::Debug for ServiceClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceClient")
+            .field("shards", &self.ingest.num_shards())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServiceClient {
+    /// Submits one query with default [`QueryOptions`] (no deadline,
+    /// [`Priority::Normal`], read-your-writes).
+    pub fn submit(&self, query: Query) -> Ticket {
+        self.submit_with(query, QueryOptions::default())
+    }
+
+    /// Submits one query with explicit options.
+    pub fn submit_with(&self, query: Query, options: QueryOptions) -> Ticket {
+        Ticket {
+            waiter: self.enqueue(vec![query], options),
+        }
+    }
+
+    /// Submits a batch of queries with default options. The batch stays
+    /// together: it is answered in one piece, in submission order.
+    pub fn submit_batch(&self, queries: &[Query]) -> BatchTicket {
+        self.submit_batch_with(queries, QueryOptions::default())
+    }
+
+    /// Submits a batch of queries with explicit options.
+    pub fn submit_batch_with(&self, queries: &[Query], options: QueryOptions) -> BatchTicket {
+        BatchTicket {
+            waiter: self.enqueue(queries.to_vec(), options),
+        }
+    }
+
+    /// Submits and enqueues, resolving the overload/shutdown fail-fast paths
+    /// inline so every returned waiter is guaranteed to resolve.
+    fn enqueue(&self, queries: Vec<Query>, options: QueryOptions) -> Waiter<Reply> {
+        let (tx, rx) = completion();
+        let submission = Submission {
+            queries,
+            options,
+            submitted: Instant::now(),
+            reply: tx,
+        };
+        match self.submit_tx.try_send(Request::Run(submission)) {
+            Ok(()) => rx,
+            Err(TrySendError::Full(_)) => settled(Err(ServiceError::Overloaded)),
+            Err(TrySendError::Disconnected(_)) => settled(Err(ServiceError::Shutdown)),
+        }
+    }
+
+    /// Convenience: submits one query and blocks for its result.
+    pub fn query(&self, query: &Query) -> Result<Weight, ServiceError> {
+        self.submit(query.clone()).wait()
+    }
+
+    /// Convenience: submits a batch and blocks for its results.
+    pub fn query_batch(&self, queries: &[Query]) -> Result<Vec<Weight>, ServiceError> {
+        self.submit_batch(queries).wait()
+    }
+
+    /// Enqueues one stream item (blocking for queue space when the ingest
+    /// queues are bounded); see [`IngestHandle::insert`].
+    pub fn insert(&self, edge: &StreamEdge) -> Result<(), IngestError> {
+        self.ingest.insert(edge)
+    }
+
+    /// Enqueues a slice of stream items in arrival order; see
+    /// [`IngestHandle::insert_all`].
+    pub fn insert_all(&self, edges: &[StreamEdge]) -> Result<(), IngestError> {
+        self.ingest.insert_all(edges)
+    }
+
+    /// Enqueues a deletion; see [`IngestHandle::delete`].
+    pub fn delete(&self, edge: &StreamEdge) -> Result<(), IngestError> {
+        self.ingest.delete(edge)
+    }
+
+    /// Non-blocking insert, reporting [`IngestError::QueueFull`] instead of
+    /// waiting; see [`IngestHandle::try_insert`].
+    pub fn try_insert(&self, edge: &StreamEdge) -> Result<(), IngestError> {
+        self.ingest.try_insert(edge)
+    }
+
+    /// Non-blocking delete; see [`IngestHandle::try_delete`].
+    pub fn try_delete(&self, edge: &StreamEdge) -> Result<(), IngestError> {
+        self.ingest.try_delete(edge)
+    }
+
+    /// Blocks until every mutation enqueued before this call (by any client
+    /// clone) is applied and aggregated; see [`IngestHandle::flush`].
+    pub fn flush(&self) {
+        self.ingest.flush();
+    }
+
+    /// Number of shards behind this client.
+    pub fn num_shards(&self) -> usize {
+        self.ingest.num_shards()
+    }
+}
+
+/// The serving front-end: owns a [`ShardedHiggs`], its admission thread and
+/// its per-shard evaluation workers, and hands out [`ServiceClient`]s.
+///
+/// ```
+/// use higgs::{HiggsConfig, HiggsService};
+/// use higgs_common::{Query, StreamEdge, TimeRange};
+///
+/// let config = HiggsConfig::builder().shards(2).build().expect("valid");
+/// let service = HiggsService::new(config);
+/// let client = service.client();
+/// client.insert(&StreamEdge::new(1, 2, 5, 10)).expect("live service");
+/// // Read-your-writes: the submitted query sees the enqueued edge.
+/// let ticket = client.submit(Query::edge(1, 2, TimeRange::new(0, 20)));
+/// assert_eq!(ticket.wait(), Ok(5));
+/// ```
+///
+/// Dropping the service shuts it down: queued submissions complete with
+/// [`ServiceError::Shutdown`], the admission and worker threads join, and
+/// the inner [`ShardedHiggs`]'s writer threads join after them (so
+/// [`live_writer_threads`](crate::shard::live_writer_threads) returns to zero).
+/// Surviving [`ServiceClient`] clones stay safe to use and report typed
+/// shutdown errors.
+pub struct HiggsService {
+    /// Held only for its drop: declared before `inner` so the
+    /// admission/worker threads (which hold pipeline references and an
+    /// ingest handle) are joined before the shard writers are.
+    _executor: reactor::Executor,
+    submit_tx: Sender<Request>,
+    inner: ShardedHiggs,
+}
+
+impl std::fmt::Debug for HiggsService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HiggsService")
+            .field("shards", &self.inner.num_shards())
+            .finish_non_exhaustive()
+    }
+}
+
+impl HiggsService {
+    /// Creates a serving front-end over a fresh [`ShardedHiggs`] built from
+    /// `config`. Panics on an invalid configuration; use
+    /// [`try_new`](Self::try_new) for fallible construction.
+    pub fn new(config: HiggsConfig) -> Self {
+        Self::try_new(config).expect("invalid HiggsConfig")
+    }
+
+    /// Creates a serving front-end, returning the violated constraint
+    /// instead of panicking when the configuration is invalid.
+    pub fn try_new(config: HiggsConfig) -> Result<Self, ConfigError> {
+        let inner = ShardedHiggs::try_new(config)?;
+        Self::wrap(inner, &config)
+    }
+
+    /// Wraps an existing [`ShardedHiggs`] (e.g. one restored from a
+    /// snapshot) in a serving front-end, taking the admission-tick and
+    /// queue-depth knobs from `config`.
+    pub fn wrap(inner: ShardedHiggs, config: &HiggsConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let (submit_tx, submit_rx) = match config.service_queue_depth {
+            Some(depth) => bounded::<Request>(depth),
+            None => unbounded::<Request>(),
+        };
+        let mut executor = reactor::Executor::new("higgs-serve");
+        let mut job_txs = Vec::with_capacity(inner.num_shards());
+        for (s, pipeline) in inner.shard_pipelines().iter().enumerate() {
+            let (tx, rx) = unbounded::<ShardJob>();
+            let pipeline = pipeline.clone();
+            executor.spawn(&format!("shard{s}"), move || {
+                shard_worker_loop(pipeline, rx)
+            });
+            job_txs.push(tx);
+        }
+        let admission = AdmissionLoop {
+            submit_rx,
+            job_txs,
+            ingest: inner.ingest_handle(),
+            tick: config.admission_tick,
+        };
+        executor.spawn("admission", move || admission.run());
+        Ok(Self {
+            _executor: executor,
+            submit_tx,
+            inner,
+        })
+    }
+
+    /// A new cloneable client handle onto this service.
+    pub fn client(&self) -> ServiceClient {
+        ServiceClient {
+            submit_tx: self.submit_tx.clone(),
+            ingest: self.inner.ingest_handle(),
+        }
+    }
+
+    /// The wrapped summary, for surfaces the client API does not cover
+    /// (snapshotting, diagnostics, direct batch evaluation).
+    pub fn summary(&self) -> &ShardedHiggs {
+        &self.inner
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.inner.num_shards()
+    }
+
+    /// Number of query plans (boundary searches) built across all shards;
+    /// see [`ShardedHiggs::plans_built`].
+    pub fn plans_built(&self) -> u64 {
+        self.inner.plans_built()
+    }
+
+    /// Resets the plan counter on every shard (diagnostic hook).
+    pub fn reset_plan_count(&self) {
+        self.inner.reset_plan_count();
+    }
+
+    /// Total number of stream items currently held; see
+    /// [`ShardedHiggs::total_items`].
+    pub fn total_items(&self) -> u64 {
+        self.inner.total_items()
+    }
+
+    /// Blocks until every enqueued mutation is applied and aggregated.
+    pub fn flush(&self) {
+        self.inner.flush();
+    }
+}
+
+impl Drop for HiggsService {
+    fn drop(&mut self) {
+        // The Shutdown marker makes the admission loop fail everything still
+        // queued and exit; its exit drops the per-shard job senders, ending
+        // the workers; the executor (field order) joins all of them before
+        // `inner` joins the shard writers.
+        let _ = self.submit_tx.send(Request::Shutdown);
+    }
+}
+
+/// State owned by the admission thread.
+struct AdmissionLoop {
+    submit_rx: Receiver<Request>,
+    job_txs: Vec<Sender<ShardJob>>,
+    ingest: IngestHandle,
+    tick: Duration,
+}
+
+impl AdmissionLoop {
+    fn run(self) {
+        loop {
+            // Block for the first submission of the tick.
+            let first = match self.submit_rx.recv() {
+                Ok(request) => request,
+                // Every sender (service + clients) is gone: nothing can
+                // ever arrive again.
+                Err(_) => return,
+            };
+            let mut admitted = Vec::new();
+            let mut shutdown = false;
+            match first {
+                Request::Shutdown => shutdown = true,
+                Request::Run(submission) => admitted.push(submission),
+            }
+            // Hold the tick open so concurrent clients coalesce, then drain
+            // whatever else is already queued.
+            if !shutdown && !self.tick.is_zero() {
+                shutdown = self.hold_tick_open(&mut admitted);
+            }
+            if !shutdown {
+                shutdown = self.drain_queued(&mut admitted);
+            }
+            // Evaluate everything admitted before the shutdown marker (their
+            // tickets are owed an answer), then fail the rest and exit.
+            self.evaluate_tick(admitted);
+            if shutdown {
+                self.fail_remaining();
+                return;
+            }
+        }
+    }
+
+    /// Waits out the admission tick, admitting everything that arrives.
+    /// Returns `true` if a shutdown marker arrived.
+    fn hold_tick_open(&self, admitted: &mut Vec<Submission>) -> bool {
+        let tick_ends = Instant::now() + self.tick;
+        loop {
+            let Some(remaining) = tick_ends.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            match self.submit_rx.recv_timeout(remaining) {
+                Ok(Request::Run(submission)) => admitted.push(submission),
+                Ok(Request::Shutdown) => return true,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => return false,
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return false,
+            }
+        }
+    }
+
+    /// Drains submissions already sitting in the queue without waiting.
+    /// Returns `true` if a shutdown marker arrived.
+    fn drain_queued(&self, admitted: &mut Vec<Submission>) -> bool {
+        while let Ok(request) = self.submit_rx.try_recv() {
+            match request {
+                Request::Run(submission) => admitted.push(submission),
+                Request::Shutdown => return true,
+            }
+        }
+        false
+    }
+
+    /// Fails everything still queued with [`ServiceError::Shutdown`].
+    /// Dropping each completer would resolve the tickets identically, but
+    /// completing explicitly keeps the typed error on the normal path.
+    fn fail_remaining(&self) {
+        while let Ok(request) = self.submit_rx.try_recv() {
+            if let Request::Run(submission) = request {
+                submission.reply.complete(Err(ServiceError::Shutdown));
+            }
+        }
+    }
+
+    /// Evaluates one admitted tick: group by priority class, then per class
+    /// expire deadlines, honour consistency, and run one coalesced
+    /// [`ShardPlan`] over the per-shard workers.
+    fn evaluate_tick(&self, admitted: Vec<Submission>) {
+        if admitted.is_empty() {
+            return;
+        }
+        let mut classes: [Vec<Submission>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for submission in admitted {
+            let class = match submission.options.priority {
+                Priority::Interactive => 0,
+                Priority::Normal => 1,
+                Priority::Bulk => 2,
+            };
+            classes[class].push(submission);
+        }
+        for class in classes {
+            self.evaluate_class(class);
+        }
+    }
+
+    /// Evaluates one priority class of a tick as a single coalesced plan.
+    fn evaluate_class(&self, submissions: Vec<Submission>) {
+        // Deadline expiry: measured against admission start, i.e. the moment
+        // evaluation could begin.
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(submissions.len());
+        for submission in submissions {
+            let expired = submission
+                .options
+                .deadline
+                .is_some_and(|d| now.duration_since(submission.submitted) >= d);
+            if expired {
+                submission
+                    .reply
+                    .complete(Err(ServiceError::DeadlineExceeded));
+            } else {
+                live.push(submission);
+            }
+        }
+        if live.is_empty() {
+            return;
+        }
+        // One flush covers the whole class; an all-Relaxed class skips it —
+        // this is the "jump ahead of ingest flushes" path for interactive
+        // traffic.
+        if live
+            .iter()
+            .any(|s| s.options.consistency == Consistency::ReadYourWrites)
+        {
+            self.ingest.ensure_visible();
+        }
+        // Coalesce: one concatenated batch, one plan, one columnar
+        // sub-batch per shard. Cross-client duplicate windows now share
+        // boundary searches exactly like duplicates within one batch.
+        let mut offsets = Vec::with_capacity(live.len() + 1);
+        offsets.push(0);
+        let mut coalesced: Vec<Query> = Vec::new();
+        for submission in &live {
+            coalesced.extend(submission.queries.iter().cloned());
+            offsets.push(coalesced.len());
+        }
+        let shards = self.job_txs.len();
+        let plan = ShardPlan::build(&coalesced, shards);
+        let mut pending = Vec::with_capacity(shards);
+        for (s, job_tx) in self.job_txs.iter().enumerate() {
+            let sub = plan.sub_batch(s);
+            if sub.is_empty() {
+                pending.push(None);
+                continue;
+            }
+            let (tx, rx) = completion();
+            if job_tx
+                .send(ShardJob {
+                    sub: sub.to_vec(),
+                    reply: tx,
+                })
+                .is_err()
+            {
+                // A worker vanished (only possible mid-teardown): every
+                // submission of the class still gets a typed answer.
+                for submission in live {
+                    submission.reply.complete(Err(ServiceError::Shutdown));
+                }
+                return;
+            }
+            pending.push(Some(rx));
+        }
+        let mut per_shard = Vec::with_capacity(shards);
+        for waiter in pending {
+            match waiter {
+                None => per_shard.push(Vec::new()),
+                Some(waiter) => match waiter.wait() {
+                    Ok(results) => per_shard.push(results),
+                    Err(_) => {
+                        for submission in live {
+                            submission.reply.complete(Err(ServiceError::Shutdown));
+                        }
+                        return;
+                    }
+                },
+            }
+        }
+        let gathered = plan.gather(&per_shard);
+        for (i, submission) in live.into_iter().enumerate() {
+            let slice = gathered[offsets[i]..offsets[i + 1]].to_vec();
+            submission.reply.complete(Ok(slice));
+        }
+    }
+}
+
+/// One shard's evaluation worker: drains its request queue, evaluating each
+/// coalesced sub-batch through the shard's plan-sharing executor under the
+/// shard read lock. Exits when the admission loop (the only sender) drops
+/// the queue.
+fn shard_worker_loop(
+    pipeline: std::sync::Arc<std::sync::RwLock<crate::parallel::ParallelHiggs>>,
+    rx: Receiver<ShardJob>,
+) {
+    while let Ok(job) = rx.recv() {
+        let results = pipeline
+            .read()
+            .expect("shard lock poisoned")
+            .query_batch(&job.sub);
+        job.reply.complete(results);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::live_writer_threads;
+    use higgs_common::{TemporalGraphSummary, TimeRange};
+
+    fn service(shards: usize) -> HiggsService {
+        HiggsService::new(
+            HiggsConfig::builder()
+                .shards(shards)
+                .build()
+                .expect("valid test configuration"),
+        )
+    }
+
+    fn edges(n: u64) -> Vec<StreamEdge> {
+        (0..n)
+            .map(|i| StreamEdge::new(i % 100, (i * 7) % 100, 1 + i % 3, i / 2))
+            .collect()
+    }
+
+    #[test]
+    fn single_query_round_trip_is_read_your_writes() {
+        let service = service(2);
+        let client = service.client();
+        client.insert(&StreamEdge::new(1, 2, 5, 10)).expect("live");
+        assert_eq!(
+            client.query(&Query::edge(1, 2, TimeRange::new(0, 20))),
+            Ok(5)
+        );
+        client.insert(&StreamEdge::new(1, 2, 3, 11)).expect("live");
+        assert_eq!(
+            client.query(&Query::edge(1, 2, TimeRange::new(0, 20))),
+            Ok(8)
+        );
+    }
+
+    #[test]
+    fn served_batch_matches_direct_query_batch() {
+        let stream = edges(3_000);
+        let service = service(4);
+        let client = service.client();
+        client.insert_all(&stream).expect("live service");
+        let mut direct = ShardedHiggs::new(
+            HiggsConfig::builder()
+                .shards(4)
+                .build()
+                .expect("valid configuration"),
+        );
+        direct.insert_all(&stream);
+        let batch: Vec<Query> = vec![
+            Query::edge(1, 7, TimeRange::new(0, 800)),
+            Query::vertex(
+                3,
+                higgs_common::VertexDirection::Out,
+                TimeRange::new(0, 400),
+            ),
+            Query::vertex(3, higgs_common::VertexDirection::In, TimeRange::new(0, 400)),
+            Query::path(vec![1, 7, 49], TimeRange::new(0, 800)),
+            Query::subgraph(vec![(2, 14), (3, 21)], TimeRange::new(100, 900)),
+        ];
+        assert_eq!(
+            client.query_batch(&batch),
+            Ok(direct.query_batch(&batch)),
+            "served results must be bit-identical to the unserved service"
+        );
+    }
+
+    #[test]
+    fn concurrent_clients_coalesce_into_shared_plans() {
+        let service = service(4);
+        let seed = service.client();
+        seed.insert_all(&edges(4_000)).expect("live service");
+        seed.flush();
+        let windows: Vec<TimeRange> = (0..16)
+            .map(|w| TimeRange::new(w * 50, w * 50 + 400))
+            .collect();
+        // Warm every (shard, window) plan once.
+        let warmup: Vec<Query> = windows.iter().map(|&w| Query::edge(1, 7, w)).collect();
+        seed.query_batch(&warmup).expect("warm-up batch");
+        service.reset_plan_count();
+        // 128 concurrent clients, each submitting one query over one of the
+        // 16 shared windows: a warm tick must not build more plans than
+        // there are distinct windows (the acceptance bound), and with warm
+        // caches it builds none at all.
+        let tickets: Vec<Ticket> = (0..128)
+            .map(|i| {
+                let client = service.client();
+                client.submit(Query::edge(1, 7, windows[i % windows.len()]))
+            })
+            .collect();
+        for ticket in tickets {
+            ticket.wait().expect("live service");
+        }
+        let plans = service.plans_built();
+        assert!(
+            plans <= windows.len() as u64,
+            "{plans} plans built for {} shared windows across 128 clients",
+            windows.len()
+        );
+    }
+
+    #[test]
+    fn zero_deadline_expires_deterministically() {
+        let service = service(2);
+        let client = service.client();
+        client.insert(&StreamEdge::new(1, 2, 5, 10)).expect("live");
+        let ticket = client.submit_with(
+            Query::edge(1, 2, TimeRange::all()),
+            QueryOptions::new().deadline(Duration::ZERO),
+        );
+        assert_eq!(ticket.wait(), Err(ServiceError::DeadlineExceeded));
+        // A generous deadline passes untouched.
+        let ticket = client.submit_with(
+            Query::edge(1, 2, TimeRange::all()),
+            QueryOptions::new().deadline(Duration::from_secs(3600)),
+        );
+        assert_eq!(ticket.wait(), Ok(5));
+    }
+
+    #[test]
+    fn priority_classes_and_relaxed_consistency_are_accepted() {
+        let service = service(2);
+        let client = service.client();
+        client.insert_all(&edges(500)).expect("live service");
+        let interactive = client.submit_with(
+            Query::edge(1, 8, TimeRange::all()),
+            QueryOptions::interactive(),
+        );
+        let bulk =
+            client.submit_batch_with(&[Query::edge(1, 8, TimeRange::all())], QueryOptions::bulk());
+        let normal = client.submit(Query::edge(1, 8, TimeRange::all()));
+        let expected = normal.wait().expect("live service");
+        // Relaxed interactive reads may lag ingest but here everything is
+        // flushed by the normal read, so all classes agree.
+        assert_eq!(interactive.wait(), Ok(expected));
+        assert_eq!(bulk.wait(), Ok(vec![expected]));
+    }
+
+    #[test]
+    fn bounded_submission_queue_reports_overload() {
+        let config = HiggsConfig::builder()
+            .shards(1)
+            .service_queue_depth(1)
+            .build()
+            .expect("valid configuration");
+        let service = HiggsService::new(config);
+        let client = service.client();
+        client.insert_all(&edges(20_000)).expect("live service");
+        // Stall admission behind heavy read-your-writes batches, then spam
+        // the depth-1 queue faster than ticks can close: at least one
+        // submission must fail fast with Overloaded.
+        let heavy: Vec<Query> = (0..256)
+            .map(|i| Query::edge(i % 100, (i * 7) % 100, TimeRange::new(i, i + 5_000)))
+            .collect();
+        let mut tickets = Vec::new();
+        let mut overloaded = 0usize;
+        for _ in 0..512 {
+            let ticket = client.submit_batch(&heavy);
+            match ticket.try_wait() {
+                Some(Err(ServiceError::Overloaded)) => overloaded += 1,
+                _ => tickets.push(ticket),
+            }
+        }
+        assert!(
+            overloaded > 0,
+            "a depth-1 queue under a tight submission loop must shed load"
+        );
+        // Everything that was admitted still resolves with a result.
+        for ticket in tickets {
+            ticket.wait().expect("admitted batches must complete");
+        }
+    }
+
+    #[test]
+    fn shutdown_resolves_in_flight_tickets_and_joins_writers() {
+        let before = live_writer_threads();
+        let service = service(2);
+        let client = service.client();
+        client.insert_all(&edges(2_000)).expect("live service");
+        let in_flight: Vec<BatchTicket> = (0..64)
+            .map(|i| {
+                client.submit_batch(&[Query::edge(i % 50, (i * 7) % 100, TimeRange::new(0, 900))])
+            })
+            .collect();
+        drop(service);
+        // Every ticket resolves: a result (admitted before the shutdown
+        // marker) or the typed shutdown error — never a hang.
+        for ticket in in_flight {
+            match ticket.wait() {
+                Ok(results) => assert_eq!(results.len(), 1),
+                Err(e) => assert_eq!(e, ServiceError::Shutdown),
+            }
+        }
+        assert_eq!(
+            live_writer_threads(),
+            before,
+            "service teardown must join the shard writer threads"
+        );
+        // Orphaned clients fail fast with typed errors on every surface.
+        assert_eq!(
+            client.query(&Query::edge(1, 2, TimeRange::all())),
+            Err(ServiceError::Shutdown)
+        );
+        assert_eq!(
+            client.insert(&StreamEdge::new(1, 2, 1, 1)),
+            Err(IngestError::Shutdown)
+        );
+    }
+
+    #[test]
+    fn admission_tick_coalesces_without_changing_results() {
+        let config = HiggsConfig::builder()
+            .shards(2)
+            .admission_tick(Duration::from_millis(2))
+            .build()
+            .expect("valid configuration");
+        let service = HiggsService::new(config);
+        let client = service.client();
+        client.insert_all(&edges(1_000)).expect("live service");
+        let tickets: Vec<Ticket> = (0..32)
+            .map(|i| client.submit(Query::edge(i % 50, (i * 7) % 100, TimeRange::all())))
+            .collect();
+        let served: Vec<Weight> = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("live service"))
+            .collect();
+        let direct: Vec<Weight> = (0..32)
+            .map(|i| {
+                service
+                    .summary()
+                    .query(&Query::edge(i % 50, (i * 7) % 100, TimeRange::all()))
+            })
+            .collect();
+        assert_eq!(served, direct);
+    }
+
+    #[test]
+    fn empty_batch_resolves_immediately() {
+        let service = service(2);
+        let client = service.client();
+        assert_eq!(client.query_batch(&[]), Ok(Vec::new()));
+    }
+
+    #[test]
+    fn service_error_messages_name_the_cause() {
+        for (err, needle) in [
+            (ServiceError::Shutdown, "shut down"),
+            (ServiceError::DeadlineExceeded, "deadline"),
+            (ServiceError::Overloaded, "overloaded"),
+        ] {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+        }
+        let boxed: Box<dyn std::error::Error> = Box::new(ServiceError::Overloaded);
+        assert!(boxed.to_string().contains("backpressure"));
+    }
+
+    #[test]
+    fn client_handles_are_send_sync_and_clone() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HiggsService>();
+        assert_send_sync::<ServiceClient>();
+        assert_send_sync::<Ticket>();
+        assert_send_sync::<BatchTicket>();
+        let service = service(1);
+        let a = service.client();
+        let b = a.clone();
+        a.insert(&StreamEdge::new(1, 2, 4, 1)).expect("live");
+        assert_eq!(b.query(&Query::edge(1, 2, TimeRange::all())), Ok(4));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_any_thread_spawns() {
+        let mut bad = HiggsConfig::paper_default();
+        bad.shards = 0;
+        assert!(HiggsService::try_new(bad).is_err());
+        let before = live_writer_threads();
+        assert_eq!(live_writer_threads(), before);
+    }
+}

@@ -46,7 +46,13 @@
 //! rather than memory growth. (One command is one edge, one deletion, or
 //! one routed `insert_all` batch of up to 512 edges.) Unbounded producers
 //! that prefer pacing to blocking can instead checkpoint on
-//! [`ShardedHiggs::flush`] / [`IngestHandle::flush`].
+//! [`ShardedHiggs::flush`] / [`IngestHandle::flush`], and producers that
+//! prefer failing fast to blocking can use [`IngestHandle::try_insert`] /
+//! [`IngestHandle::try_delete`]. Every ingest outcome is typed: mutation
+//! methods return `Result<(), IngestError>` distinguishing backpressure
+//! ([`IngestError::QueueFull`]), a torn-down service
+//! ([`IngestError::Shutdown`]) and load-shedding rejection
+//! ([`IngestError::Rejected`]).
 //!
 //! **Plan caching.** Each shard's summary owns a cross-batch
 //! [`PlanCache`](crate::PlanCache) (see [`plan_cache`](crate::plan_cache)):
@@ -142,6 +148,48 @@ struct FlushClock {
     visible: AtomicU64,
 }
 
+/// Why an ingest operation was not enqueued. Returned by the fallible
+/// [`IngestHandle`] surface (`insert` / `insert_all` / `delete` /
+/// `try_insert` / `try_delete`), replacing the old untyped `bool` returns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestError {
+    /// Backpressure: the owning shard's bounded ingest queue is at capacity
+    /// (see
+    /// [`HiggsConfigBuilder::ingest_queue_cap`](crate::HiggsConfigBuilder::ingest_queue_cap)).
+    /// Only the non-blocking `try_*` methods report this — the blocking
+    /// methods wait for space instead. Retrying later can succeed.
+    QueueFull,
+    /// The service has shut down: the shard writer threads are gone, so no
+    /// mutation can ever be applied again. Terminal for this handle.
+    Shutdown,
+    /// The service is in load-shedding teardown
+    /// ([`ShardedHiggs::discard_pending`]): writers drop queued commands
+    /// unapplied, so the mutation is rejected instead of silently shed.
+    /// Terminal for this handle (shedding is irreversible).
+    Rejected,
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::QueueFull => {
+                write!(
+                    f,
+                    "ingest queue full: shard writer is at capacity (backpressure)"
+                )
+            }
+            IngestError::Shutdown => {
+                write!(f, "service shut down: shard writers are gone")
+            }
+            IngestError::Rejected => {
+                write!(f, "mutation rejected: service is in load-shedding teardown")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
 /// A cloneable ingest endpoint for [`ShardedHiggs`]: routes mutations to the
 /// owning shard's writer over its channel. All methods take `&self`, so any
 /// number of producer threads can ingest while other threads serve queries
@@ -154,9 +202,22 @@ struct FlushClock {
 pub struct IngestHandle {
     senders: Vec<Sender<ShardCommand>>,
     clock: Arc<FlushClock>,
+    /// Shared with the service and its writers: set once the service enters
+    /// load-shedding teardown, after which enqueuing is pointless and every
+    /// mutation method reports [`IngestError::Rejected`].
+    discard: Arc<std::sync::atomic::AtomicBool>,
 }
 
 impl IngestHandle {
+    /// Whether the service has entered irreversible load-shedding teardown.
+    fn shedding(&self) -> bool {
+        // ORDERING: Acquire pairs with the Release store in
+        // `ShardedHiggs::discard_pending`, matching the writers' view of the
+        // flag: once a producer observes shedding it also observes the state
+        // the shedder published before flipping it.
+        self.discard.load(Ordering::Acquire)
+    }
+
     fn mark_sent(&self) {
         // ORDERING: Release — orders the enqueue onto the channel before the
         // clock tick, pairing with the Acquire loads in `flush` /
@@ -170,19 +231,48 @@ impl IngestHandle {
         self.senders.len()
     }
 
-    /// Enqueues one stream item on its source's shard. Returns `false` if
-    /// the service has shut down (the writers are gone).
+    /// Enqueues one stream item on its source's shard, blocking for queue
+    /// space when the ingest queues are bounded.
+    ///
+    /// Errors are typed: [`IngestError::Shutdown`] if the service has been
+    /// dropped (the writers are gone), [`IngestError::Rejected`] if it
+    /// entered load-shedding teardown. The blocking path never reports
+    /// [`IngestError::QueueFull`] — use [`try_insert`](Self::try_insert) to
+    /// fail fast instead of blocking.
     ///
     /// The flush clock is advanced only *after* a successful send: a
     /// concurrent flush whose target covers this mutation is then guaranteed
     /// to find it already in the FIFO ahead of the flush marker, so
     /// read-your-writes never marks an unsent command visible.
-    pub fn insert(&self, edge: &StreamEdge) -> bool {
-        let ok = self.senders[shard_of(edge.src, self.senders.len())]
+    pub fn insert(&self, edge: &StreamEdge) -> Result<(), IngestError> {
+        if self.shedding() {
+            return Err(IngestError::Rejected);
+        }
+        let result = self.senders[shard_of(edge.src, self.senders.len())]
             .send(ShardCommand::Insert(*edge))
-            .is_ok();
+            .map_err(|_| IngestError::Shutdown);
         self.mark_sent();
-        ok
+        result
+    }
+
+    /// Enqueues one stream item without blocking: where
+    /// [`insert`](Self::insert) would wait for queue space, this returns
+    /// [`IngestError::QueueFull`] immediately and the caller decides whether
+    /// to retry, shed, or back off.
+    pub fn try_insert(&self, edge: &StreamEdge) -> Result<(), IngestError> {
+        if self.shedding() {
+            return Err(IngestError::Rejected);
+        }
+        match self.senders[shard_of(edge.src, self.senders.len())]
+            .try_send(ShardCommand::Insert(*edge))
+        {
+            Ok(()) => {
+                self.mark_sent();
+                Ok(())
+            }
+            Err(crossbeam::channel::TrySendError::Full(_)) => Err(IngestError::QueueFull),
+            Err(crossbeam::channel::TrySendError::Disconnected(_)) => Err(IngestError::Shutdown),
+        }
     }
 
     /// Enqueues a slice of stream items in arrival order, batching the
@@ -190,13 +280,24 @@ impl IngestHandle {
     /// `INGEST_CHUNK` (512) edges instead of one per edge. Per-source order
     /// is preserved (routing is deterministic and channels are FIFO).
     ///
-    /// Returns the number of edges accepted. A shortfall (`< edges.len()`)
-    /// means the service shut down mid-call and the unaccepted edges were
-    /// dropped; because batches are routed per shard, the count is **not** a
-    /// prefix length of `edges` — the slice cannot be resumed from an
-    /// offset, so treat a shortfall as "this service is gone", mirroring
-    /// [`insert`](Self::insert)'s `false`.
-    pub fn insert_all(&self, edges: &[StreamEdge]) -> usize {
+    /// An `Err` means part of the slice was **not** enqueued: the service
+    /// shut down mid-call ([`IngestError::Shutdown`]) or was shedding load
+    /// ([`IngestError::Rejected`]). Because batches are routed per shard,
+    /// the enqueued part is not a prefix of `edges` — the slice cannot be
+    /// resumed from an offset, so treat any error as "this service is
+    /// gone", exactly like an `Err` from [`insert`](Self::insert).
+    pub fn insert_all(&self, edges: &[StreamEdge]) -> Result<(), IngestError> {
+        self.route_all(edges).1
+    }
+
+    /// Shared routing core of [`insert_all`](Self::insert_all) and the
+    /// deprecated count-returning shim: routes and enqueues per-shard
+    /// batches, reporting how many edges were accepted alongside the typed
+    /// outcome.
+    fn route_all(&self, edges: &[StreamEdge]) -> (usize, Result<(), IngestError>) {
+        if self.shedding() {
+            return (0, Err(IngestError::Rejected));
+        }
         let shards = self.senders.len();
         let mut accepted = 0usize;
         let mut send_batch = |shard: usize, batch: Vec<StreamEdge>| -> bool {
@@ -220,26 +321,81 @@ impl IngestHandle {
                 if !send_batch(shard, batch) {
                     // The writers are being torn down; every further send
                     // would fail too, so stop routing.
-                    return accepted;
+                    return (accepted, Err(IngestError::Shutdown));
                 }
             }
         }
         for (shard, buf) in buffers.into_iter().enumerate() {
             if !buf.is_empty() && !send_batch(shard, buf) {
-                break;
+                return (accepted, Err(IngestError::Shutdown));
             }
         }
-        accepted
+        (accepted, Ok(()))
     }
 
     /// Enqueues a deletion on the owning shard; ordered after every earlier
-    /// mutation of the same source (same FIFO channel).
-    pub fn delete(&self, edge: &StreamEdge) -> bool {
-        let ok = self.senders[shard_of(edge.src, self.senders.len())]
+    /// mutation of the same source (same FIFO channel). Blocks for queue
+    /// space like [`insert`](Self::insert) and reports the same typed
+    /// errors.
+    pub fn delete(&self, edge: &StreamEdge) -> Result<(), IngestError> {
+        if self.shedding() {
+            return Err(IngestError::Rejected);
+        }
+        let result = self.senders[shard_of(edge.src, self.senders.len())]
             .send(ShardCommand::Delete(*edge))
-            .is_ok();
+            .map_err(|_| IngestError::Shutdown);
         self.mark_sent();
-        ok
+        result
+    }
+
+    /// Enqueues a deletion without blocking; the non-blocking counterpart of
+    /// [`delete`](Self::delete), reporting [`IngestError::QueueFull`] where
+    /// the blocking path would wait.
+    pub fn try_delete(&self, edge: &StreamEdge) -> Result<(), IngestError> {
+        if self.shedding() {
+            return Err(IngestError::Rejected);
+        }
+        match self.senders[shard_of(edge.src, self.senders.len())]
+            .try_send(ShardCommand::Delete(*edge))
+        {
+            Ok(()) => {
+                self.mark_sent();
+                Ok(())
+            }
+            Err(crossbeam::channel::TrySendError::Full(_)) => Err(IngestError::QueueFull),
+            Err(crossbeam::channel::TrySendError::Disconnected(_)) => Err(IngestError::Shutdown),
+        }
+    }
+
+    /// Old `bool`-returning insert, kept for one release.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `insert`, which returns `Result<(), IngestError>` and \
+                distinguishes shutdown from load-shedding rejection"
+    )]
+    pub fn insert_bool(&self, edge: &StreamEdge) -> bool {
+        self.insert(edge).is_ok()
+    }
+
+    /// Old count-returning bulk insert, kept for one release.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `insert_all`, which returns `Result<(), IngestError>`; \
+                any error means the un-enqueued remainder is not a resumable \
+                suffix, so the count was never actionable"
+    )]
+    pub fn insert_all_count(&self, edges: &[StreamEdge]) -> usize {
+        self.route_all(edges).0
+    }
+
+    /// Old `bool`-returning delete, kept for one release.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `delete`, which returns `Result<(), IngestError>` and \
+                distinguishes shutdown from load-shedding rejection"
+    )]
+    pub fn delete_bool(&self, edge: &StreamEdge) -> bool {
+        self.delete(edge).is_ok()
     }
 
     /// Blocks until every mutation enqueued before this call — by any clone
@@ -271,8 +427,9 @@ impl IngestHandle {
     }
 
     /// Ensures every mutation enqueued so far is visible, flushing only when
-    /// the clock says some might not be.
-    fn ensure_visible(&self) {
+    /// the clock says some might not be (crate-internal: the serving layer's
+    /// admission loop uses it to honour read-your-writes once per tick).
+    pub(crate) fn ensure_visible(&self) {
         // ORDERING: both Acquire — `visible` pairs with the AcqRel fetch_max
         // in `flush`, `sent` with the Release fetch_add in `mark_sent`; a
         // stale read of either can only under-report, which at worst takes
@@ -463,6 +620,7 @@ impl ShardedHiggs {
             handle: IngestHandle {
                 senders,
                 clock: Arc::new(FlushClock::default()),
+                discard: discard.clone(),
             },
             writers,
             discard,
@@ -569,18 +727,18 @@ impl Drop for ShardedHiggs {
 
 impl TemporalGraphSummary for ShardedHiggs {
     fn insert(&mut self, edge: &StreamEdge) {
-        self.handle.insert(edge);
+        // Writers cannot be gone while `self` is alive; the only possible
+        // error is Rejected after `discard_pending`, where dropping the
+        // mutation is exactly the contract.
+        let _ = self.handle.insert(edge);
     }
 
     fn insert_all(&mut self, edges: &[StreamEdge]) {
-        // Writers cannot be gone while `self` is alive, so the whole slice
-        // is always accepted here.
-        let accepted = self.handle.insert_all(edges);
-        debug_assert_eq!(accepted, edges.len());
+        let _ = self.handle.insert_all(edges);
     }
 
     fn delete(&mut self, edge: &StreamEdge) {
-        self.handle.delete(edge);
+        let _ = self.handle.delete(edge);
     }
 
     fn edge_query(&self, src: VertexId, dst: VertexId, range: TimeRange) -> Weight {
@@ -770,7 +928,7 @@ mod tests {
         std::thread::scope(|scope| {
             let producer = scope.spawn(move || {
                 for e in &ingest_stream {
-                    assert!(handle.insert(e));
+                    assert!(handle.insert(e).is_ok());
                 }
             });
             // Concurrent reads are allowed mid-ingest (they observe a prefix).
@@ -817,9 +975,23 @@ mod tests {
         sharded.insert(&StreamEdge::new(1, 2, 5, 1));
         let handle = sharded.ingest_handle();
         drop(sharded); // must join writers despite `handle` being alive
-        assert!(
-            !handle.insert(&StreamEdge::new(3, 4, 1, 2)),
-            "sends on a shut-down service must report failure"
+        assert_eq!(
+            handle.insert(&StreamEdge::new(3, 4, 1, 2)),
+            Err(IngestError::Shutdown),
+            "sends on a shut-down service must report the typed failure"
+        );
+        assert_eq!(
+            handle.delete(&StreamEdge::new(3, 4, 1, 2)),
+            Err(IngestError::Shutdown)
+        );
+        assert_eq!(
+            handle.insert_all(&edges(600)),
+            Err(IngestError::Shutdown),
+            "bulk routing must stop at the first dead shard"
+        );
+        assert_eq!(
+            handle.try_insert(&StreamEdge::new(3, 4, 1, 2)),
+            Err(IngestError::Shutdown)
         );
         handle.flush(); // must not hang either
     }
@@ -833,7 +1005,88 @@ mod tests {
         sharded.insert_all(&edges(2_000)); // shed, never applied
         sharded.flush(); // must not hang: discarded flushes unblock by drop
         assert_eq!(sharded.edge_query(1, 2, TimeRange::all()), 5);
+        // The fallible handle surface reports shedding as a typed rejection
+        // instead of silently dropping.
+        let handle = sharded.ingest_handle();
+        let e = StreamEdge::new(9, 9, 1, 9);
+        assert_eq!(handle.insert(&e), Err(IngestError::Rejected));
+        assert_eq!(handle.try_insert(&e), Err(IngestError::Rejected));
+        assert_eq!(handle.delete(&e), Err(IngestError::Rejected));
+        assert_eq!(handle.try_delete(&e), Err(IngestError::Rejected));
+        assert_eq!(handle.insert_all(&edges(10)), Err(IngestError::Rejected));
         // Drop must terminate without working off the discarded backlog.
+    }
+
+    #[test]
+    fn try_insert_reports_queue_full_under_a_stalled_writer() {
+        let bounded_config = HiggsConfig::builder()
+            .shards(1)
+            .ingest_queue_cap(1)
+            .build()
+            .expect("valid bounded configuration");
+        let sharded = ShardedHiggs::new(bounded_config);
+        let handle = sharded.ingest_handle();
+        let e = StreamEdge::new(1, 2, 1, 1);
+        // Stall the single shard's writer by holding its write lock: the
+        // writer can dequeue at most one in-flight command before blocking
+        // on the lock, so the 1-slot queue must fill within a few sends.
+        let stall = sharded.shards[0].write().expect("shard lock poisoned");
+        let mut accepted = 0usize;
+        let mut saw_full = false;
+        for _ in 0..64 {
+            match handle.try_insert(&e) {
+                Ok(()) => accepted += 1,
+                Err(IngestError::QueueFull) => {
+                    saw_full = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected ingest error: {other}"),
+            }
+        }
+        assert!(saw_full, "a stalled 1-slot queue must report QueueFull");
+        assert!(accepted >= 1, "the free slot must accept a send first");
+        drop(stall);
+        // Backpressure is transient: once the writer drains, sends succeed
+        // again and everything accepted lands.
+        handle.flush();
+        assert!(handle.try_insert(&e).is_ok());
+        sharded.flush();
+        assert_eq!(sharded.total_items(), accepted as u64 + 1);
+        // try_delete shares the same non-blocking path; on the drained
+        // queue it must enqueue rather than report backpressure.
+        assert_eq!(handle.try_delete(&e), Ok(()));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_bool_shims_mirror_the_typed_surface() {
+        let sharded = ShardedHiggs::new(config(2));
+        let handle = sharded.ingest_handle();
+        let e = StreamEdge::new(1, 2, 5, 1);
+        assert!(handle.insert_bool(&e));
+        assert_eq!(handle.insert_all_count(&edges(700)), 700);
+        assert!(handle.delete_bool(&e));
+        sharded.flush();
+        assert_eq!(sharded.total_items(), 700);
+        sharded.discard_pending();
+        assert!(!handle.insert_bool(&e), "rejection maps to false");
+        assert_eq!(handle.insert_all_count(&edges(10)), 0);
+        assert!(!handle.delete_bool(&e));
+    }
+
+    #[test]
+    fn ingest_error_messages_name_the_cause() {
+        for (err, needle) in [
+            (IngestError::QueueFull, "queue full"),
+            (IngestError::Shutdown, "shut down"),
+            (IngestError::Rejected, "rejected"),
+        ] {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+        }
+        // The enum is a std error so callers can box and propagate it.
+        let boxed: Box<dyn std::error::Error> = Box::new(IngestError::QueueFull);
+        assert!(boxed.to_string().contains("backpressure"));
     }
 
     #[test]
@@ -912,7 +1165,7 @@ mod tests {
         std::thread::scope(|scope| {
             let producer = scope.spawn(move || {
                 for e in &ingest_stream {
-                    assert!(handle.insert(e), "send must block, never fail");
+                    assert!(handle.insert(e).is_ok(), "send must block, never fail");
                 }
             });
             // Concurrent reads are allowed mid-ingest (they observe a

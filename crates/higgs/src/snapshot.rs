@@ -299,10 +299,14 @@ fn decode_config<R: Read>(dec: &mut Decoder<R>) -> Result<HiggsConfig, SnapshotE
         shards,
         plan_cache_capacity,
         ingest_queue_cap,
-        // Worker pinning is runtime placement state, not data: the snapshot
-        // format does not carry it, and a restored service starts unpinned
-        // (the restoring caller may opt back in on its own machine).
+        // Worker pinning, admission tick and submission-queue depth are
+        // runtime state of the serving process, not data: the snapshot
+        // format does not carry them, and a restored service starts with
+        // the inert defaults (the restoring caller may opt back in on its
+        // own machine).
         pin_workers: false,
+        admission_tick: std::time::Duration::ZERO,
+        service_queue_depth: None,
     };
     config.validate()?;
     Ok(config)
@@ -841,6 +845,10 @@ impl ShardedHiggs {
         // cleared exactly as a re-read of the written file would.
         config.shards = shards.len();
         config.pin_workers = false;
+        // Likewise for the serving knobs: admission tick and submission
+        // queue depth describe the front-end process, not the summary.
+        config.admission_tick = std::time::Duration::ZERO;
+        config.service_queue_depth = None;
         let manifest = SnapshotManifest {
             format_version: FORMAT_VERSION,
             config,
@@ -1058,6 +1066,8 @@ mod tests {
             plan_cache_capacity: 8,
             ingest_queue_cap: None,
             pin_workers: false,
+            admission_tick: std::time::Duration::ZERO,
+            service_queue_depth: None,
         });
         for i in 0..2_000u64 {
             live.insert(&StreamEdge::new(i % 60, (i * 7) % 60, 1, i));

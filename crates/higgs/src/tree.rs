@@ -560,6 +560,8 @@ mod tests {
             plan_cache_capacity: 8,
             ingest_queue_cap: None,
             pin_workers: false,
+            admission_tick: std::time::Duration::ZERO,
+            service_queue_depth: None,
         }
     }
 

@@ -2,7 +2,7 @@
 //!
 //! Implements the benchmark-definition API this workspace's benches use
 //! (`benchmark_group`, `bench_function`, `bench_with_input`, `sample_size`,
-//! `throughput`, `iter`, `iter_batched`, `criterion_group!`,
+//! `throughput`, `iter`, `iter_batched`, `iter_custom`, `criterion_group!`,
 //! `criterion_main!`) on top of plain `std::time::Instant` measurement:
 //! a short warm-up sizes the per-sample iteration count towards a target
 //! sample time, then `sample_size` samples are collected and the median,
@@ -165,6 +165,24 @@ impl Bencher<'_> {
                 }
                 self.samples.push(total / iters as u32);
                 drop(black_box(outputs));
+            }
+        }
+    }
+
+    /// Hands full control of timing to the routine, matching real
+    /// criterion's `iter_custom`: the closure receives an iteration count
+    /// and returns the total elapsed [`Duration`] for exactly that many
+    /// iterations. This is the escape hatch for measurements the harness
+    /// cannot time from outside — per-client latency percentiles across a
+    /// concurrent wave, time spent inside a lock, and so on.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::Smoke | Mode::Calibrate => {
+                self.samples.push(routine(1));
+            }
+            Mode::Measure => {
+                let total = routine(self.iters_per_sample);
+                self.samples.push(total / self.iters_per_sample as u32);
             }
         }
     }

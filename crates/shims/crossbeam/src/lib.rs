@@ -7,9 +7,13 @@
 //! until a message arrives or every sender is dropped, `send` fails once
 //! every receiver is dropped, and on a [`bounded`](channel::bounded) channel
 //! `send` **blocks** while the queue is at capacity — the backpressure
-//! primitive the sharded ingest path builds on. Lock-based rather than
-//! lock-free, which is irrelevant at the message rates of the aggregation
-//! pipeline (a handful of jobs per leaf-group close).
+//! primitive the sharded ingest path builds on. The non-blocking /
+//! time-bounded variants ([`Sender::try_send`](channel::Sender::try_send),
+//! [`Receiver::recv_timeout`](channel::Receiver::recv_timeout)) mirror real
+//! crossbeam's signatures; the serving front-end's admission loop is built
+//! on them. Lock-based rather than lock-free, which is irrelevant at the
+//! message rates of the aggregation pipeline (a handful of jobs per
+//! leaf-group close).
 
 /// Multi-producer multi-consumer FIFO channels.
 pub mod channel {
@@ -94,6 +98,25 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Sender::try_send`]; the unsent message is handed
+    /// back in either case, matching real crossbeam.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded queue is at capacity right now.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
     impl<T> Sender<T> {
         /// Enqueues `value`, failing only if every receiver has been dropped.
         /// On a [`bounded`] channel this blocks while the queue is full, so a
@@ -117,6 +140,27 @@ pub mod channel {
             self.0.ready.notify_one();
             Ok(())
         }
+
+        /// Enqueues `value` without blocking: a full bounded queue hands the
+        /// message back as [`TrySendError::Full`] instead of waiting for
+        /// room, and a channel with no receivers hands it back as
+        /// [`TrySendError::Disconnected`]. On an unbounded channel this never
+        /// reports `Full`.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.0.state.lock().expect("channel poisoned");
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = state.capacity {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.0.ready.notify_one();
+            Ok(())
+        }
     }
 
     impl<T> Receiver<T> {
@@ -133,6 +177,41 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 state = self.0.ready.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// Blocks until a message arrives, every sender is dropped, or
+        /// `timeout` elapses — whichever happens first. Spurious condvar
+        /// wakeups re-check the remaining budget, so the total wait never
+        /// exceeds `timeout` by more than scheduling noise.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut state = self.0.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    drop(state);
+                    self.0.space.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, result) = self
+                    .0
+                    .ready
+                    .wait_timeout(state, remaining)
+                    .expect("channel poisoned");
+                state = guard;
+                if result.timed_out() && state.queue.is_empty() {
+                    if state.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
             }
         }
 
@@ -336,5 +415,58 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_capacity_is_rejected() {
         let _ = super::channel::bounded::<u32>(0);
+    }
+
+    #[test]
+    fn try_send_reports_full_and_recovers() {
+        let (tx, rx) = super::channel::bounded::<u32>(2);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Ok(()));
+        assert_eq!(tx.try_send(3), Err(super::channel::TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1)); // frees a slot
+        assert_eq!(tx.try_send(3), Ok(()));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn try_send_reports_disconnected_and_returns_the_value() {
+        let (tx, rx) = super::channel::unbounded::<String>();
+        drop(rx);
+        assert_eq!(
+            tx.try_send("orphan".to_string()),
+            Err(super::channel::TrySendError::Disconnected(
+                "orphan".to_string()
+            ))
+        );
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(20)),
+            Err(super::channel::RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(20));
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(20)), Ok(7));
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_late_arrival_and_disconnect() {
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        let feeder = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(15));
+            tx.send(42).unwrap();
+            // dropping tx here disconnects the channel
+        });
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)), Ok(42));
+        feeder.join().unwrap();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(5)),
+            Err(super::channel::RecvTimeoutError::Disconnected)
+        );
     }
 }

@@ -1,0 +1,250 @@
+//! Minimal executor/reactor primitives for building blocking "reply future"
+//! pipelines without an async runtime.
+//!
+//! The serving front-end in the `higgs` crate hands every admitted request a
+//! completion channel and evaluates it on a small pool of long-lived worker
+//! threads. This crate provides exactly those two building blocks, in the
+//! same self-contained style as the other `crates/shims/` stand-ins:
+//!
+//! * [`oneshot`] — single-value completion channels ([`oneshot::completion`])
+//!   built on `Mutex` + `Condvar`. The [`oneshot::Completer`] is consumed by
+//!   delivering the value; dropping it unfulfilled wakes the paired
+//!   [`oneshot::Waiter`] with [`oneshot::Canceled`], so a waiter can never
+//!   hang on a producer that died or shut down.
+//! * [`Executor`] — a joinable set of named worker threads. Spawning is just
+//!   `std::thread::spawn` with a name; the value added is deterministic
+//!   teardown: [`Executor::join_all`] (also run on drop) joins every thread,
+//!   so an owner that closes its work channels first gets a guaranteed-quiet
+//!   pool afterwards.
+//!
+//! No futures, no polling, no registry access — everything blocks on OS
+//! primitives, which matches the synchronous-ingest design of the rest of
+//! the workspace.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Single-value completion channels ("reply futures" for blocking code).
+pub mod oneshot {
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// The waited-on producer vanished without delivering a value (its
+    /// [`Completer`] was dropped unfulfilled).
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Canceled;
+
+    impl std::fmt::Display for Canceled {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "oneshot completer dropped without delivering a value")
+        }
+    }
+
+    impl std::error::Error for Canceled {}
+
+    enum Slot<T> {
+        Pending,
+        Value(T),
+        Canceled,
+    }
+
+    struct Inner<T> {
+        slot: Mutex<Slot<T>>,
+        ready: Condvar,
+    }
+
+    /// Creates a completion pair: the [`Completer`] delivers exactly one
+    /// value, the [`Waiter`] blocks until it arrives (or the completer is
+    /// dropped).
+    pub fn completion<T>() -> (Completer<T>, Waiter<T>) {
+        let inner = Arc::new(Inner {
+            slot: Mutex::new(Slot::Pending),
+            ready: Condvar::new(),
+        });
+        (Completer(Some(inner.clone())), Waiter(inner))
+    }
+
+    /// The producing half: consumed by [`complete`](Self::complete).
+    /// Dropping it unfulfilled cancels the paired [`Waiter`].
+    pub struct Completer<T>(Option<Arc<Inner<T>>>);
+
+    impl<T> Completer<T> {
+        /// Delivers the value, waking the paired waiter.
+        pub fn complete(mut self, value: T) {
+            let inner = self.0.take().expect("completer used exactly once");
+            *inner.slot.lock().expect("oneshot poisoned") = Slot::Value(value);
+            inner.ready.notify_all();
+        }
+    }
+
+    impl<T> Drop for Completer<T> {
+        fn drop(&mut self) {
+            if let Some(inner) = self.0.take() {
+                let mut slot = inner.slot.lock().expect("oneshot poisoned");
+                if matches!(*slot, Slot::Pending) {
+                    *slot = Slot::Canceled;
+                    inner.ready.notify_all();
+                }
+            }
+        }
+    }
+
+    /// The consuming half: blocks until the value (or cancellation) arrives.
+    pub struct Waiter<T>(Arc<Inner<T>>);
+
+    impl<T> Waiter<T> {
+        /// Blocks until the paired completer delivers a value or is dropped.
+        pub fn wait(self) -> Result<T, Canceled> {
+            let mut slot = self.0.slot.lock().expect("oneshot poisoned");
+            loop {
+                match std::mem::replace(&mut *slot, Slot::Pending) {
+                    Slot::Value(value) => return Ok(value),
+                    Slot::Canceled => return Err(Canceled),
+                    Slot::Pending => {
+                        slot = self.0.ready.wait(slot).expect("oneshot poisoned");
+                    }
+                }
+            }
+        }
+
+        /// Returns the value if it already arrived, without blocking:
+        /// `Ok(None)` while the completer is still pending.
+        pub fn try_wait(&self) -> Result<Option<T>, Canceled> {
+            let mut slot = self.0.slot.lock().expect("oneshot poisoned");
+            match std::mem::replace(&mut *slot, Slot::Pending) {
+                Slot::Value(value) => Ok(Some(value)),
+                Slot::Canceled => {
+                    *slot = Slot::Canceled;
+                    Err(Canceled)
+                }
+                Slot::Pending => Ok(None),
+            }
+        }
+    }
+}
+
+/// A joinable set of named worker threads with deterministic teardown.
+///
+/// The owner spawns long-lived loops (each typically draining a channel),
+/// later closes those channels, and then calls [`join_all`](Self::join_all)
+/// — or simply drops the executor — to wait for every loop to exit. A
+/// panicking worker does not poison the executor; the panic is surfaced by
+/// the join as a labelled panic of its own.
+pub struct Executor {
+    label: String,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Creates an empty executor; `label` prefixes every thread name.
+    pub fn new(label: &str) -> Self {
+        Executor {
+            label: label.to_string(),
+            threads: Vec::new(),
+        }
+    }
+
+    /// Spawns a named worker thread running `f` to completion.
+    pub fn spawn<F: FnOnce() + Send + 'static>(&mut self, name: &str, f: F) {
+        let thread = std::thread::Builder::new()
+            .name(format!("{}-{name}", self.label))
+            .spawn(f)
+            .expect("failed to spawn executor thread");
+        self.threads.push(thread);
+    }
+
+    /// Number of worker threads not yet joined.
+    pub fn len(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Whether every worker has been joined (or none was spawned).
+    pub fn is_empty(&self) -> bool {
+        self.threads.is_empty()
+    }
+
+    /// Joins every spawned thread, propagating the first worker panic.
+    pub fn join_all(&mut self) {
+        for thread in self.threads.drain(..) {
+            if thread.join().is_err() {
+                panic!("executor `{}` worker panicked", self.label);
+            }
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        // Avoid a double panic (abort) when dropped during unwinding; the
+        // worker panic has already been reported in that case.
+        if std::thread::panicking() {
+            for thread in self.threads.drain(..) {
+                let _ = thread.join();
+            }
+        } else {
+            self.join_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_delivers_across_threads() {
+        let (tx, rx) = oneshot::completion::<u64>();
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            tx.complete(42);
+        });
+        assert_eq!(rx.wait(), Ok(42));
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn dropping_the_completer_cancels_the_waiter() {
+        let (tx, rx) = oneshot::completion::<u64>();
+        drop(tx);
+        assert_eq!(rx.wait(), Err(oneshot::Canceled));
+    }
+
+    #[test]
+    fn try_wait_observes_pending_then_value() {
+        let (tx, rx) = oneshot::completion::<&'static str>();
+        assert_eq!(rx.try_wait(), Ok(None));
+        tx.complete("done");
+        assert_eq!(rx.try_wait(), Ok(Some("done")));
+    }
+
+    #[test]
+    fn try_wait_reports_cancellation_repeatedly() {
+        let (tx, rx) = oneshot::completion::<u64>();
+        drop(tx);
+        assert_eq!(rx.try_wait(), Err(oneshot::Canceled));
+        assert_eq!(rx.try_wait(), Err(oneshot::Canceled));
+    }
+
+    #[test]
+    fn executor_runs_and_joins_every_worker() {
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut pool = Executor::new("test");
+        for i in 0..4 {
+            let counter = counter.clone();
+            pool.spawn(&format!("w{i}"), move || {
+                counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+        }
+        assert_eq!(pool.len(), 4);
+        pool.join_all();
+        assert!(pool.is_empty());
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn executor_surfaces_worker_panics_on_join() {
+        let mut pool = Executor::new("boom");
+        pool.spawn("bad", || panic!("inner failure"));
+        pool.join_all();
+    }
+}

@@ -148,6 +148,8 @@ impl LintConfig {
                     "SnapshotError".into(),
                 ),
                 ("crates/higgs/src/config.rs".into(), "ConfigError".into()),
+                ("crates/higgs/src/shard.rs".into(), "IngestError".into()),
+                ("crates/higgs/src/serving.rs".into(), "ServiceError".into()),
             ],
             ci_file: Some(".github/workflows/ci.yml".into()),
             bench_dir: "crates/bench/benches".into(),

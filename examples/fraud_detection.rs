@@ -1,15 +1,17 @@
 //! Financial fraud-pattern screening (a motivating application from the
 //! paper's introduction): look for suspicious transaction chains — paths
 //! A → B → C whose aggregated weight inside a short time window exceeds a
-//! threshold — screening every sliding window in one plan-sharing
-//! [`query_batch`] call, served from a 4-shard [`ShardedHiggs`] so payment
-//! ingest scales across writer cores while the screener queries.
+//! threshold — with TWO concurrent screener clients submitting the same
+//! sliding windows through one [`HiggsService`]. The admission loop
+//! coalesces both clients' queries into shared per-shard plans, asserted
+//! via `plans_built()`.
 //!
 //! Run with: `cargo run -p higgs-examples --release --example fraud_detection`
 
-use higgs::{HiggsConfig, ShardedHiggs};
+use higgs::{HiggsConfig, HiggsService};
 use higgs_common::generator::{generate_stream, BurstConfig, StreamConfig};
 use higgs_common::{Query, StreamEdge, TemporalGraphSummary, TimeRange};
+use std::time::Duration;
 
 fn main() {
     // Background payment traffic: many accounts, bursty arrival pattern.
@@ -35,27 +37,31 @@ fn main() {
     }
     stream.sort_by_time();
 
-    // Shard the summary 4 ways by sending account: each shard owns a writer
-    // thread and aggregation pipeline, so the payment feed is accepted at
-    // routing speed, and the screener below queries while ingest completes.
+    // Shard the summary 4 ways by sending account and serve it: the
+    // admission tick holds each batch open briefly so concurrently-submitted
+    // screens land in the same coalesced tick.
     let config = HiggsConfig::builder()
         .shards(4)
+        .admission_tick(Duration::from_millis(2))
         .build()
         .expect("paper defaults with 4 shards are valid");
-    let mut summary = ShardedHiggs::new(config);
-    summary.insert_all(stream.edges());
+    let service = HiggsService::new(config);
+    let ingest = service.client();
+    ingest
+        .insert_all(stream.edges())
+        .expect("a live service accepts the payment feed");
     println!(
         "fraud_detection — {} transfers summarised into {} KiB over {} shards",
         stream.len(),
-        summary.space_bytes() / 1024,
-        summary.num_shards()
+        service.summary().space_bytes() / 1024,
+        service.num_shards()
     );
 
     // Screen 3-hop chains through the known mule accounts over sliding
-    // windows of 64 time slices — submitted as ONE batch. The plan-sharing
-    // executor builds a single query plan per window and evaluates every hop
-    // of the chain against it, instead of re-running the boundary search
-    // per hop per window.
+    // windows of 64 time slices. Each screener submits its whole sweep as
+    // ONE batch; the plan-sharing executor builds a single query plan per
+    // window per shard touched and evaluates every hop of the chain against
+    // it.
     let chain = vec![900_001u64, 900_002, 900_003, 900_004];
     let threshold = 10_000u64;
     let span = stream.time_span().unwrap();
@@ -68,26 +74,51 @@ fn main() {
         ranges.push(range);
         window_start += 64;
     }
-    summary.reset_plan_count();
-    let totals = summary.query_batch(&batch);
-    println!(
-        "screened {} windows with {} query plans (≤ one per window per shard \
-         touched: the chain's hops route to the shards owning the 3 sending \
-         accounts, and each shard plans each window once)",
-        batch.len(),
-        summary.plans_built()
+
+    // TWO independent screeners (compliance and risk) run the identical
+    // sweep concurrently, each through its own cloned client. Both sweeps
+    // funnel through the shared admission loop, so duplicated windows cost
+    // one boundary search per (window, shard) — never one per client.
+    service.reset_plan_count();
+    let compliance = service.client();
+    let risk = service.client();
+    let sweep = batch.clone();
+    let compliance_screen =
+        std::thread::spawn(move || compliance.query_batch(&sweep).expect("service is live"));
+    let risk_totals = risk.query_batch(&batch).expect("service is live");
+    let totals = compliance_screen.join().expect("screener thread panicked");
+    assert_eq!(totals, risk_totals, "both screeners must agree");
+
+    let cold_plans = service.plans_built();
+    let plan_bound = (ranges.len() * service.num_shards()) as u64;
+    assert!(
+        cold_plans <= plan_bound,
+        "{cold_plans} plans for two concurrent screeners must stay within the \
+         one-per-(window, shard) bound of {plan_bound}"
     );
-    // A real screener re-submits the same sliding windows every tick. With
-    // no payments landing in between, every window's plan is served from the
-    // cross-batch plan cache: zero boundary searches on the warm tick.
-    summary.reset_plan_count();
-    let warm = summary.query_batch(&batch);
-    assert_eq!(warm, totals, "the warm tick must report identical volumes");
     println!(
-        "re-screened the same {} windows with {} query plans \
+        "two concurrent screeners covered {} windows with {cold_plans} query \
+         plans (bound: one per window per shard touched = {plan_bound}; a lone \
+         screener would need the same — the second rides along for free)",
+        ranges.len(),
+    );
+
+    // Real screeners re-submit the same sliding windows every tick. With no
+    // payments landing in between, every window's plan is served from the
+    // cross-batch plan cache: zero boundary searches on the warm tick, for
+    // any number of clients.
+    service.reset_plan_count();
+    let warm = risk.query_batch(&batch).expect("service is live");
+    assert_eq!(warm, totals, "the warm tick must report identical volumes");
+    assert_eq!(
+        service.plans_built(),
+        0,
+        "a warm re-screen must be served entirely from the plan cache"
+    );
+    println!(
+        "re-screened the same {} windows with 0 query plans \
          (cross-batch plan cache; invalidated automatically when ingest resumes)",
         batch.len(),
-        summary.plans_built()
     );
 
     let mut alerts = 0;
@@ -102,11 +133,13 @@ fn main() {
     println!("\n{alerts} windows exceeded the {threshold}-unit layering threshold");
 
     // Double-check one hop with a typed edge query.
-    let hop = summary.query(&Query::edge(
-        900_001,
-        900_002,
-        TimeRange::new(fraud_window_start, fraud_window_start + 32),
-    ));
+    let hop = risk
+        .query(&Query::edge(
+            900_001,
+            900_002,
+            TimeRange::new(fraud_window_start, fraud_window_start + 32),
+        ))
+        .expect("service is live");
     println!("first hop volume inside the injected window: ~{hop} units");
     assert!(hop >= 950 * 20, "injected volume must be visible");
 }

@@ -1,11 +1,13 @@
-//! Quickstart: build a HIGGS summary over a small graph stream and run the
-//! four TRQ kinds through the unified [`Query`] API — single calls and a
-//! mixed plan-sharing batch.
+//! Quickstart: serve a HIGGS summary behind the [`HiggsService`] front-end
+//! and run the four TRQ kinds through one cloneable [`ServiceClient`] —
+//! fallible ingest, single queries, and a mixed plan-sharing batch.
 //!
 //! Run with: `cargo run -p higgs-examples --release --example quickstart`
 
-use higgs::{HiggsConfig, HiggsSummary};
-use higgs_common::{Query, StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection};
+use higgs::{HiggsConfig, HiggsService};
+use higgs_common::{
+    Query, QueryOptions, StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection,
+};
 
 fn main() {
     // The graph stream of Fig. 5 in the paper: edges (src, dst, weight, time).
@@ -23,64 +25,86 @@ fn main() {
         StreamEdge::new(6, 7, 1, 11),
     ];
 
-    // Build the summary with the paper's default parameters (d1 = 16,
-    // F1 = 19, b = 3, r = 4, θ = 4). The builder validates the combination
-    // and returns Err(ConfigError) instead of panicking on bad parameters.
+    // Build the service with the paper's default parameters (d1 = 16,
+    // F1 = 19, b = 3, r = 4, θ = 4) over two shards. The builder validates
+    // the combination and returns Err(ConfigError) instead of panicking on
+    // bad parameters; the service wraps a ShardedHiggs with an admission
+    // loop and hands out cloneable clients.
     let config = HiggsConfig::builder()
+        .shards(2)
         .build()
         .expect("paper defaults are valid");
-    let mut summary = HiggsSummary::new(config);
-    for edge in &stream {
-        summary.insert(edge);
-    }
+    let service = HiggsService::new(config);
+    let client = service.client();
+
+    // Ingest is fallible now: Err(IngestError) distinguishes backpressure,
+    // shutdown, and load-shedding rejection instead of a bare bool.
+    client
+        .insert_all(&stream)
+        .expect("a live service accepts ingest");
 
     println!("HIGGS quickstart — {} stream items inserted", stream.len());
     println!(
-        "tree height: {}, leaves: {}",
-        summary.height(),
-        summary.leaf_count()
+        "service: {} shards holding {:?} leaves",
+        service.num_shards(),
+        service.summary().shard_leaf_counts()
     );
-    println!("space: {} bytes\n", summary.space_bytes());
+    println!("space: {} bytes\n", service.summary().space_bytes());
 
     // Edge query: aggregated weight of 2 → 3 between t5 and t10 (paper: 3).
-    let w = summary.query(&Query::edge(2, 3, TimeRange::new(5, 10)));
+    // Queries are read-your-writes by default — the ingest above is visible.
+    let w = client
+        .query(&Query::edge(2, 3, TimeRange::new(5, 10)))
+        .expect("service is live");
     println!("edge  query  (2 → 3) in [5, 10]      = {w}");
 
     // Vertex query: total outgoing weight of vertex 4 in [1, 11] (paper: 6).
-    let w = summary.query(&Query::vertex(
-        4,
-        VertexDirection::Out,
-        TimeRange::new(1, 11),
-    ));
+    let w = client
+        .query(&Query::vertex(
+            4,
+            VertexDirection::Out,
+            TimeRange::new(1, 11),
+        ))
+        .expect("service is live");
     println!("vertex query (out of 4) in [1, 11]    = {w}");
 
     // Path query: 1 → 2 → 3 → 7 over the whole stream. The typed surface
-    // builds ONE query plan and evaluates all three hops against it.
-    let w = summary.query(&Query::path(vec![1, 2, 3, 7], TimeRange::all()));
+    // builds ONE query plan per shard touched and evaluates every hop
+    // against it.
+    let w = client
+        .query(&Query::path(vec![1, 2, 3, 7], TimeRange::all()))
+        .expect("service is live");
     println!("path  query  (1→2→3→7) over all time = {w}");
 
     // Subgraph query: {(2,3), (3,7), (2,4)} between t4 and t8 (paper: 3).
-    let w = summary.query(&Query::subgraph(
-        vec![(2, 3), (3, 7), (2, 4)],
-        TimeRange::new(4, 8),
-    ));
+    // Per-query options ride along: this one is latency-sensitive, so it is
+    // admitted ahead of Normal/Bulk traffic in its tick.
+    let w = client
+        .submit_with(
+            Query::subgraph(vec![(2, 3), (3, 7), (2, 4)], TimeRange::new(4, 8)),
+            QueryOptions::new().priority(higgs_common::Priority::Interactive),
+        )
+        .wait()
+        .expect("service is live");
     println!("subgraph query {{(2,3),(3,7),(2,4)}} in [4, 8] = {w}\n");
 
     // Mixed batch: queries sharing a time range also share its plan — the
-    // boundary search runs at most once per distinct range in the batch,
-    // and the [1, 11] window was already planned (and cached) by the vertex
+    // boundary search runs at most once per distinct range per shard, and
+    // the [1, 11] window was already planned (and cached) by the vertex
     // query above, so this whole batch re-plans nothing.
     let window = TimeRange::new(1, 11);
-    summary.reset_plan_count();
-    let results = summary.query_batch(&[
-        Query::edge(2, 3, window),
-        Query::vertex(4, VertexDirection::Out, window),
-        Query::path(vec![1, 2, 3, 7], window),
-    ]);
+    service.reset_plan_count();
+    let results = client
+        .query_batch(&[
+            Query::edge(2, 3, window),
+            Query::vertex(4, VertexDirection::Out, window),
+            Query::path(vec![1, 2, 3, 7], window),
+        ])
+        .expect("service is live");
     println!(
         "batch over one shared window = {results:?} ({} queries, {} plans built: \
          the window's plan was already in the cross-batch cache)",
         results.len(),
-        summary.plans_built()
+        service.plans_built()
     );
 }

@@ -3,11 +3,13 @@
 //! hours versus off-peak hours, and compare HIGGS against the Horae baseline
 //! on the same stream. The peak/off-peak sweep is one mixed [`QueryBatch`]
 //! submitted to every store — the same typed queries drive the approximate
-//! summaries and the exact ground truth.
+//! summaries and the exact ground truth. The HIGGS side is served through a
+//! [`ServiceClient`]; the baselines stay embedded for a like-for-like
+//! accuracy comparison.
 //!
 //! Run with: `cargo run -p higgs-examples --release --example traffic_monitoring`
 
-use higgs::{HiggsConfig, HiggsSummary};
+use higgs::{HiggsConfig, HiggsService};
 use higgs_baselines::{Horae, HoraeConfig};
 use higgs_common::generator::{generate_stream, BurstConfig, StreamConfig};
 use higgs_common::{
@@ -34,18 +36,21 @@ fn main() {
         seed: 99,
     });
 
-    let mut higgs = HiggsSummary::new(HiggsConfig::paper_default());
+    let service = HiggsService::new(HiggsConfig::paper_default());
+    let higgs = service.client();
     let mut horae = Horae::new(HoraeConfig::for_stream(stream.len(), 24 * 60));
     let mut exact = ExactTemporalGraph::new();
     for e in stream.iter() {
-        higgs.insert(e);
+        higgs
+            .insert(e)
+            .expect("a live service accepts observations");
         horae.insert(e);
         exact.insert(e);
     }
     println!(
         "traffic_monitoring — {} vehicle observations; HIGGS {} KiB vs Horae {} KiB",
         stream.len(),
-        higgs.space_bytes() / 1024,
+        service.summary().space_bytes() / 1024,
         horae.space_bytes() / 1024
     );
 
@@ -66,14 +71,14 @@ fn main() {
         batch.push(Query::vertex(junction, VertexDirection::Out, morning));
         batch.push(Query::vertex(junction, VertexDirection::Out, night));
     }
-    higgs.reset_plan_count();
-    let higgs_est = higgs.query_batch(batch.queries());
+    service.reset_plan_count();
+    let higgs_est = higgs.query_batch(batch.queries()).expect("service is live");
     let horae_est = horae.query_batch(batch.queries());
     let truths = exact.query_batch(batch.queries());
     println!(
         "\n20 queries over {} distinct windows → {} HIGGS query plans",
         batch.distinct_ranges(),
-        higgs.plans_built()
+        service.plans_built()
     );
 
     println!("\nintersection   morning-est  morning-true  night-est  night-true");
@@ -93,7 +98,7 @@ fn main() {
     println!("\nsegment flow during the morning peak (HIGGS estimate vs exact):");
     for e in sample {
         let q = Query::edge(e.src, e.dst, morning);
-        let est = higgs.query(&q);
+        let est = higgs.query(&q).expect("service is live");
         let truth = exact.query(&q);
         println!(
             "    {:>5} → {:<5}  est {est:>4}  true {truth:>4}",

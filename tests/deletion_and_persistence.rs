@@ -46,6 +46,8 @@ fn higgs_partial_deletion_updates_all_layers() {
         plan_cache_capacity: 8,
         ingest_queue_cap: None,
         pin_workers: false,
+        admission_tick: std::time::Duration::ZERO,
+        service_queue_depth: None,
     });
     let edges: Vec<StreamEdge> = (0..3_000u64)
         .map(|i| StreamEdge::new(i % 120, (i * 7) % 120, 2, i))

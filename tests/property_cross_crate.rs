@@ -72,6 +72,8 @@ proptest! {
             plan_cache_capacity: 8,
             ingest_queue_cap: None,
             pin_workers: false,
+            admission_tick: std::time::Duration::ZERO,
+            service_queue_depth: None,
         });
         let mut exact = ExactTemporalGraph::new();
         for e in &edges {
@@ -177,6 +179,8 @@ proptest! {
             plan_cache_capacity: 8,
             ingest_queue_cap: None,
             pin_workers: false,
+            admission_tick: std::time::Duration::ZERO,
+            service_queue_depth: None,
         });
         let mut exact = ExactTemporalGraph::new();
         for e in &edges {
@@ -313,6 +317,8 @@ proptest! {
             plan_cache_capacity: 8,
             ingest_queue_cap: None,
             pin_workers: false,
+            admission_tick: std::time::Duration::ZERO,
+            service_queue_depth: None,
         });
         let mut exact = ExactTemporalGraph::new();
         for e in &edges {

@@ -60,6 +60,8 @@ fn collision_heavy_config(shards: usize) -> HiggsConfig {
         plan_cache_capacity: 8,
         ingest_queue_cap: None,
         pin_workers: false,
+        admission_tick: std::time::Duration::ZERO,
+        service_queue_depth: None,
     }
 }
 
@@ -177,7 +179,10 @@ fn serving_threads_observe_bounded_results_during_ingest() {
         let producer = scope.spawn(move || {
             for chunk in second_half.chunks(64) {
                 for e in chunk {
-                    assert!(handle.insert(e), "service must accept mid-stream inserts");
+                    assert!(
+                        handle.insert(e).is_ok(),
+                        "service must accept mid-stream inserts"
+                    );
                 }
             }
         });

@@ -150,6 +150,8 @@ fn simd_and_scalar_probe_paths_are_bit_identical() {
                 plan_cache_capacity: 8,
                 ingest_queue_cap: None,
                 pin_workers: false,
+                admission_tick: std::time::Duration::ZERO,
+                service_queue_depth: None,
             },
         ),
         // side 2 × 9 slots: a contiguous row sweep is 18 slots — past
@@ -168,6 +170,8 @@ fn simd_and_scalar_probe_paths_are_bit_identical() {
                 plan_cache_capacity: 8,
                 ingest_queue_cap: None,
                 pin_workers: false,
+                admission_tick: std::time::Duration::ZERO,
+                service_queue_depth: None,
             },
         ),
     ];

@@ -93,6 +93,8 @@ fn collision_heavy_config(shards: usize) -> HiggsConfig {
         plan_cache_capacity: 8,
         ingest_queue_cap: None,
         pin_workers: false,
+        admission_tick: std::time::Duration::ZERO,
+        service_queue_depth: None,
     }
 }
 
