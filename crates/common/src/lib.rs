@@ -59,8 +59,8 @@ pub use hashing::{
 pub use metrics::{ErrorStats, LatencyStats, ThroughputStats};
 pub use query::{
     group_by_range, Consistency, EdgeQuery, PathQuery, Priority, Query, QueryBatch, QueryOptions,
-    QueryWorkload, ShardPlan, ShardRoute, SubgraphQuery, SummaryExt, TemporalGraphSummary,
-    VertexDirection, VertexQuery,
+    QueryWorkload, RetryPolicy, ShardPlan, ShardRoute, SubgraphQuery, SummaryExt,
+    TemporalGraphSummary, VertexDirection, VertexQuery,
 };
 pub use simd::{prefetch_read_data, sum_matching};
 pub use time::{TimeRange, Timestamp};

@@ -730,11 +730,70 @@ pub enum Consistency {
     Relaxed,
 }
 
+/// Bounded exponential-backoff retry for transient serving failures
+/// (overload backpressure and degraded-shard fast-fails). Attached to a
+/// submission via [`QueryOptions::retry`]; interpreted by the serving
+/// layer's blocking client calls, never by the admission loop itself —
+/// each retry is a fresh submission.
+///
+/// The `n`-th retry (1-based) sleeps `base_backoff * 2^(n-1)` first, so
+/// `RetryPolicy::retries(3)` with the default 1 ms base waits 1 ms, 2 ms,
+/// then 4 ms. The default policy performs no retries, reproducing the
+/// fail-fast semantics existing callers rely on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of *re*-submissions after the initial attempt; `0`
+    /// (the default) disables retrying entirely.
+    pub max_retries: u32,
+    /// Sleep before the first retry; doubles on each subsequent one.
+    pub base_backoff: std::time::Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 0,
+            base_backoff: std::time::Duration::from_millis(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Policy retrying up to `max_retries` times with the default 1 ms
+    /// base backoff.
+    pub fn retries(max_retries: u32) -> Self {
+        Self {
+            max_retries,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the sleep before the first retry (doubles each retry after).
+    pub fn base_backoff(mut self, base_backoff: std::time::Duration) -> Self {
+        self.base_backoff = base_backoff;
+        self
+    }
+
+    /// The sleep before 1-based retry `attempt`, saturating instead of
+    /// overflowing for absurd attempt counts.
+    pub fn backoff_before(&self, attempt: u32) -> std::time::Duration {
+        let factor = 1u32.checked_shl(attempt.saturating_sub(1)).unwrap_or(0);
+        if factor == 0 {
+            // 2^(attempt-1) overflowed u32: saturate to the largest
+            // representable doubling rather than wrapping to zero sleep.
+            self.base_backoff.saturating_mul(u32::MAX)
+        } else {
+            self.base_backoff.saturating_mul(factor)
+        }
+    }
+}
+
 /// Per-submission options for the serving layer: deadline, scheduling
-/// [`Priority`], and [`Consistency`] mode. The default value reproduces
-/// today's semantics exactly (no deadline, `Normal` priority,
-/// read-your-writes), so existing call sites that never mention options are
-/// unaffected — and the primitive query structs stay untouched.
+/// [`Priority`], [`Consistency`] mode, and transient-failure
+/// [`RetryPolicy`]. The default value reproduces today's semantics exactly
+/// (no deadline, `Normal` priority, read-your-writes, no retries), so
+/// existing call sites that never mention options are unaffected — and the
+/// primitive query structs stay untouched.
 ///
 /// Built fluently:
 ///
@@ -761,6 +820,11 @@ pub struct QueryOptions {
     pub priority: Priority,
     /// Visibility guarantee relative to the submitter's own writes.
     pub consistency: Consistency,
+    /// Bounded exponential-backoff retry for transient failures
+    /// (overload, degraded shard). Only the serving layer's *blocking*
+    /// client calls honour it; ticket-based submission returns the first
+    /// attempt's outcome. Default: no retries.
+    pub retry: RetryPolicy,
 }
 
 impl QueryOptions {
@@ -799,6 +863,12 @@ impl QueryOptions {
     /// Sets the visibility guarantee.
     pub fn consistency(mut self, consistency: Consistency) -> Self {
         self.consistency = consistency;
+        self
+    }
+
+    /// Sets the transient-failure retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -1188,6 +1258,7 @@ mod tests {
         assert_eq!(opts.deadline, None);
         assert_eq!(opts.priority, Priority::Normal);
         assert_eq!(opts.consistency, Consistency::ReadYourWrites);
+        assert_eq!(opts.retry.max_retries, 0, "default must never retry");
         assert_eq!(opts, QueryOptions::new());
     }
 
@@ -1196,10 +1267,32 @@ mod tests {
         let opts = QueryOptions::new()
             .deadline(std::time::Duration::from_millis(7))
             .priority(Priority::Bulk)
-            .consistency(Consistency::Relaxed);
+            .consistency(Consistency::Relaxed)
+            .retry(RetryPolicy::retries(3));
         assert_eq!(opts.deadline, Some(std::time::Duration::from_millis(7)));
         assert_eq!(opts.priority, Priority::Bulk);
         assert_eq!(opts.consistency, Consistency::Relaxed);
+        assert_eq!(opts.retry, RetryPolicy::retries(3));
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_saturates() {
+        let policy = RetryPolicy::retries(4).base_backoff(std::time::Duration::from_millis(2));
+        assert_eq!(
+            policy.backoff_before(1),
+            std::time::Duration::from_millis(2)
+        );
+        assert_eq!(
+            policy.backoff_before(2),
+            std::time::Duration::from_millis(4)
+        );
+        assert_eq!(
+            policy.backoff_before(3),
+            std::time::Duration::from_millis(8)
+        );
+        // Way past any sane retry count: saturate, never wrap to a zero
+        // sleep (which would turn backoff into a busy loop).
+        assert!(policy.backoff_before(200) >= policy.backoff_before(3));
     }
 
     #[test]

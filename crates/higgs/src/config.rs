@@ -12,6 +12,31 @@ use std::time::Duration;
 /// likely units mistake (seconds where milliseconds were meant).
 pub const MAX_ADMISSION_TICK: Duration = Duration::from_millis(100);
 
+/// Durability policy of the per-shard write-ahead journal (see the
+/// [`journal`](crate::journal) module). Selected via
+/// [`HiggsConfigBuilder::journal_mode`]; the default is [`Off`](Self::Off),
+/// so existing deployments pay nothing until they opt in.
+///
+/// Like `pin_workers` and the serving knobs, the journal mode is **runtime
+/// durability state** of the serving process: it is never persisted in
+/// snapshots, and a restored service defaults to `Off` unless the caller
+/// re-arms journaling through the durable restore path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum JournalMode {
+    /// No journal: mutations exist only in memory between snapshots (the
+    /// pre-journal behaviour, and the default).
+    #[default]
+    Off,
+    /// Append every record through a buffered writer, flushing to the OS on
+    /// every append but never forcing the disk (`fsync`). Survives process
+    /// crashes; an OS crash may lose the buffered tail.
+    Buffered,
+    /// Like [`Buffered`](Self::Buffered), plus an `fsync` every `n` records
+    /// (`n ≥ 1`; `SyncEveryN(1)` syncs every append). Bounds loss on OS
+    /// crash or power failure to the last `n - 1` records per shard.
+    SyncEveryN(u32),
+}
+
 /// Why a [`HiggsConfig`] was rejected by validation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ConfigError {
@@ -69,6 +94,10 @@ pub enum ConfigError {
     /// would fail with backpressure. Use `None` (the default) for an
     /// unbounded submission queue.
     InvalidServiceQueueDepth,
+    /// `journal_mode` was `SyncEveryN(0)`: a zero sync interval is
+    /// meaningless (use `SyncEveryN(1)` to sync every record, or `Buffered`
+    /// to never force the disk).
+    InvalidJournalSyncInterval,
 }
 
 impl fmt::Display for ConfigError {
@@ -119,6 +148,13 @@ impl fmt::Display for ConfigError {
                     f,
                     "service_queue_depth must be at least 1 when set \
                      (use None for an unbounded submission queue)"
+                )
+            }
+            ConfigError::InvalidJournalSyncInterval => {
+                write!(
+                    f,
+                    "journal_mode sync interval must be at least 1 \
+                     (SyncEveryN(1) syncs every record; use Buffered to never fsync)"
                 )
             }
         }
@@ -216,6 +252,15 @@ pub struct HiggsConfig {
     /// serving state: never persisted in snapshots. Plain summary
     /// construction ignores the field.
     pub service_queue_depth: Option<usize>,
+    /// Durability policy of the per-shard write-ahead journal a *durable*
+    /// [`ShardedHiggs`](crate::ShardedHiggs) keeps alongside its snapshot
+    /// directory (see the [`journal`](crate::journal) module and
+    /// [`ShardedHiggs::new_durable`](crate::ShardedHiggs::new_durable)).
+    /// [`JournalMode::Off`] (the default) disables journaling entirely.
+    /// Runtime durability state: never persisted in snapshots — a restored
+    /// service journals only when restored through the durable path. Plain
+    /// summary construction ignores the field.
+    pub journal_mode: JournalMode,
 }
 
 impl Default for HiggsConfig {
@@ -241,6 +286,7 @@ impl HiggsConfig {
             pin_workers: false,
             admission_tick: Duration::ZERO,
             service_queue_depth: None,
+            journal_mode: JournalMode::Off,
         }
     }
 
@@ -350,6 +396,9 @@ impl HiggsConfig {
         if self.service_queue_depth == Some(0) {
             return Err(ConfigError::InvalidServiceQueueDepth);
         }
+        if self.journal_mode == JournalMode::SyncEveryN(0) {
+            return Err(ConfigError::InvalidJournalSyncInterval);
+        }
         Ok(())
     }
 }
@@ -453,6 +502,15 @@ impl HiggsConfigBuilder {
         self
     }
 
+    /// Sets the write-ahead journal durability policy a durable
+    /// [`ShardedHiggs`](crate::ShardedHiggs) uses (see [`JournalMode`];
+    /// `SyncEveryN` requires an interval ≥ 1). Defaults to
+    /// [`JournalMode::Off`] and is never persisted in snapshots.
+    pub fn journal_mode(mut self, mode: JournalMode) -> Self {
+        self.config.journal_mode = mode;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<HiggsConfig, ConfigError> {
         self.config.validate()?;
@@ -497,6 +555,7 @@ mod tests {
             .pin_workers(true)
             .admission_tick(Duration::from_micros(250))
             .service_queue_depth(4_096)
+            .journal_mode(JournalMode::SyncEveryN(64))
             .build()
             .expect("valid configuration");
         assert_eq!(c.d1, 64);
@@ -512,6 +571,7 @@ mod tests {
         assert!(c.pin_workers);
         assert_eq!(c.admission_tick, Duration::from_micros(250));
         assert_eq!(c.service_queue_depth, Some(4_096));
+        assert_eq!(c.journal_mode, JournalMode::SyncEveryN(64));
     }
 
     #[test]
@@ -550,6 +610,26 @@ mod tests {
         let c = HiggsConfig::paper_default();
         assert_eq!(c.admission_tick, Duration::ZERO);
         assert_eq!(c.service_queue_depth, None);
+        assert_eq!(c.journal_mode, JournalMode::Off);
+        assert_eq!(JournalMode::default(), JournalMode::Off);
+    }
+
+    #[test]
+    fn zero_journal_sync_interval_rejected() {
+        assert_eq!(
+            HiggsConfig::builder()
+                .journal_mode(JournalMode::SyncEveryN(0))
+                .build(),
+            Err(ConfigError::InvalidJournalSyncInterval)
+        );
+        // Every-record sync and the non-syncing modes are all valid.
+        for mode in [
+            JournalMode::SyncEveryN(1),
+            JournalMode::Buffered,
+            JournalMode::Off,
+        ] {
+            assert!(HiggsConfig::builder().journal_mode(mode).build().is_ok());
+        }
     }
 
     #[test]
@@ -707,6 +787,7 @@ mod tests {
             }
             .to_string(),
             ConfigError::InvalidServiceQueueDepth.to_string(),
+            ConfigError::InvalidJournalSyncInterval.to_string(),
         ];
         for (msg, needle) in msgs.iter().zip([
             "d1",
@@ -718,6 +799,7 @@ mod tests {
             "ingest_queue_cap",
             "admission_tick",
             "service_queue_depth",
+            "journal_mode",
         ]) {
             assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
         }

@@ -23,7 +23,9 @@
 //! * [`shard`] — the source-sharded concurrent service layer
 //!   ([`ShardedHiggs`]),
 //! * [`snapshot`] — versioned, checksummed snapshot / restore persistence
-//!   for summaries and the sharded service (warm restarts).
+//!   for summaries and the sharded service (warm restarts),
+//! * [`journal`] — the per-shard write-ahead journal closing the
+//!   crash-durability window between snapshots.
 //!
 //! # Quick example
 //!
@@ -291,9 +293,7 @@
 //! | `sharded.flush()`                | `client.flush()`                                 |
 //! | per-query flush, no classes      | [`QueryOptions`](higgs_common::QueryOptions) (deadline / priority / consistency) |
 //!
-//! The deprecated `insert_bool` / `insert_all_count` / `delete_bool` shims
-//! keep the old `bool`/count signatures callable for one release. Direct
-//! [`ShardedHiggs`] use (and [`HiggsService::summary`]) remains fully
+//! Direct [`ShardedHiggs`] use (and [`HiggsService::summary`]) remains fully
 //! supported for embedded, single-owner deployments — the service layer is
 //! additive.
 //!
@@ -340,6 +340,46 @@
 //! so epoch monotonicity — and with it cache-invalidation correctness —
 //! carries across restarts. Snapshotting the plan cache alongside the
 //! summary is a named ROADMAP follow-on.
+//!
+//! # Durability & crash recovery
+//!
+//! Snapshots bound data loss to "everything since the last snapshot"; the
+//! write-ahead journal (module [`journal`]) closes that window. A *durable*
+//! service ([`ShardedHiggs::new_durable`]) keeps one append-only,
+//! per-record-checksummed journal file per shard next to the snapshot
+//! files, and each shard's writer thread appends every mutation **before**
+//! applying it. After a crash, [`ShardedHiggs::new_durable`] reconstructs
+//! the state as `snapshot + journal tail replay` — a torn final record
+//! (the expected crash artifact) stops replay cleanly, while interior
+//! corruption fails with a typed [`JournalError`].
+//!
+//! **Sync policy.** [`HiggsConfigBuilder::journal_mode`] picks the
+//! durability/throughput point: [`JournalMode::Off`] (no journal — the
+//! previous behaviour, and the default), [`JournalMode::Buffered`] (every
+//! record leaves process buffers before the mutation applies; an OS crash
+//! can lose the tail), or [`JournalMode::SyncEveryN`] (additionally
+//! `fsync`s every `n` records, bounding loss to `n` acknowledged
+//! mutations even across power failure).
+//!
+//! **Rotation.** A successful [`ShardedHiggs::snapshot_to_dir`] into the
+//! durable directory truncates each shard's journal under a writer fence,
+//! so every mutation lives in exactly one of {snapshot, journal}. A failed
+//! snapshot leaves every journal intact.
+//!
+//! **Writer supervision.** A panic while applying a mutation (a poisoned
+//! apply) no longer takes the shard down silently: the shard is marked
+//! [`ShardHealth::Degraded`], queries against it through a [`HiggsService`]
+//! fail fast with [`ServiceError::ShardUnavailable`] (never a hang), and a
+//! durable service respawns the writer from `snapshot + journal replay`,
+//! returning the shard to [`ShardHealth::Healthy`] —
+//! [`ShardedHiggs::shard_health`] exposes the board. Clients opt into
+//! bounded exponential-backoff retry of the transient errors
+//! (`Overloaded`, `ShardUnavailable`) via
+//! [`QueryOptions::retry`](higgs_common::QueryOptions::retry).
+//!
+//! The fault-injection harness behind the recovery tests lives in
+//! `crates/shims/failpoint` and compiles in only under the `failpoints`
+//! cargo feature; production builds carry zero overhead.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -347,6 +387,7 @@
 pub mod aggregate;
 pub mod boundary;
 pub mod config;
+pub mod journal;
 pub mod matrix;
 pub mod node;
 pub mod overflow;
@@ -359,11 +400,12 @@ pub mod snapshot;
 pub mod tree;
 
 pub use boundary::{QueryPlan, QueryTarget};
-pub use config::{ConfigError, HiggsConfig, HiggsConfigBuilder};
+pub use config::{ConfigError, HiggsConfig, HiggsConfigBuilder, JournalMode};
+pub use journal::{Journal, JournalError, JournalRecord};
 pub use matrix::CompressedMatrix;
 pub use parallel::ParallelHiggs;
 pub use plan_cache::PlanCache;
 pub use serving::{BatchTicket, HiggsService, ServiceClient, ServiceError, Ticket};
-pub use shard::{IngestError, IngestHandle, ShardedHiggs};
+pub use shard::{IngestError, IngestHandle, ShardHealth, ShardedHiggs};
 pub use snapshot::{SnapshotError, SnapshotManifest};
 pub use tree::HiggsSummary;

@@ -41,14 +41,23 @@
 //! [`Consistency::Relaxed`] submissions skips the flush entirely — that is
 //! how latency-sensitive queries jump ahead of ingest flushes.
 //!
+//! **Fault tolerance.** A class routed at a shard whose writer is
+//! [`Degraded`](crate::ShardHealth) fails fast with
+//! [`ServiceError::ShardUnavailable`] instead of hanging on the dead
+//! writer's flush. The blocking client calls
+//! ([`ServiceClient::query_with`], [`ServiceClient::query_batch_with`])
+//! retry transient failures — overload and degraded shards — under the
+//! submission's [`QueryOptions::retry`] policy with exponential backoff.
+//!
 //! See the crate docs' *Serving & admission control* section for the client
 //! migration table from the old three-handle surface.
 
 use crate::config::{ConfigError, HiggsConfig};
-use crate::shard::{IngestError, IngestHandle, ShardedHiggs};
+use crate::shard::{HealthBoard, IngestError, IngestHandle, ShardedHiggs};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use higgs_common::{
-    Consistency, Priority, Query, QueryOptions, ShardPlan, StreamEdge, TemporalGraphSummary, Weight,
+    Consistency, Priority, Query, QueryOptions, RetryPolicy, ShardPlan, StreamEdge,
+    TemporalGraphSummary, Weight,
 };
 use reactor::oneshot::{completion, Completer, Waiter};
 use std::time::{Duration, Instant};
@@ -66,6 +75,13 @@ pub enum ServiceError {
     /// [`service_queue_depth`](crate::HiggsConfigBuilder::service_queue_depth))
     /// was full at submission time. Retrying later can succeed.
     Overloaded,
+    /// A shard this query routes to is [`Degraded`](crate::ShardHealth):
+    /// its writer crashed and has not been recovered yet. The class fails
+    /// fast instead of reading a shard whose state may be behind its
+    /// acknowledged writes. Durable services respawn the writer from
+    /// snapshot + journal replay, so retrying (see [`QueryOptions::retry`])
+    /// usually succeeds once recovery completes.
+    ShardUnavailable,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -82,6 +98,13 @@ impl std::fmt::Display for ServiceError {
                 write!(
                     f,
                     "service overloaded: submission queue is full (backpressure)"
+                )
+            }
+            ServiceError::ShardUnavailable => {
+                write!(
+                    f,
+                    "shard unavailable: a shard this query routes to is degraded \
+                     pending writer recovery"
                 )
             }
         }
@@ -189,6 +212,28 @@ impl BatchTicket {
     }
 }
 
+/// Runs `attempt_fn` under a [`RetryPolicy`]: transient outcomes
+/// (overload backpressure, degraded shards) sleep the policy's backoff and
+/// retry; everything else — success or a terminal error — returns as-is.
+/// With the default (zero-retry) policy this is exactly one attempt.
+fn retry_transient<T>(
+    policy: RetryPolicy,
+    mut attempt_fn: impl FnMut() -> Result<T, ServiceError>,
+) -> Result<T, ServiceError> {
+    let mut attempt = 0u32;
+    loop {
+        match attempt_fn() {
+            Err(ServiceError::Overloaded | ServiceError::ShardUnavailable)
+                if attempt < policy.max_retries =>
+            {
+                attempt += 1;
+                std::thread::sleep(policy.backoff_before(attempt));
+            }
+            outcome => return outcome,
+        }
+    }
+}
+
 /// A ticket that was answered at submission time (overload / shutdown
 /// fail-fast paths): builds the completed oneshot pair inline.
 fn settled(reply: Reply) -> Waiter<Reply> {
@@ -265,12 +310,37 @@ impl ServiceClient {
 
     /// Convenience: submits one query and blocks for its result.
     pub fn query(&self, query: &Query) -> Result<Weight, ServiceError> {
-        self.submit(query.clone()).wait()
+        self.query_with(query, QueryOptions::default())
     }
 
     /// Convenience: submits a batch and blocks for its results.
     pub fn query_batch(&self, queries: &[Query]) -> Result<Vec<Weight>, ServiceError> {
-        self.submit_batch(queries).wait()
+        self.query_batch_with(queries, QueryOptions::default())
+    }
+
+    /// Submits one query with options and blocks, honouring
+    /// [`QueryOptions::retry`]: transient failures
+    /// ([`Overloaded`](ServiceError::Overloaded),
+    /// [`ShardUnavailable`](ServiceError::ShardUnavailable)) are
+    /// resubmitted with exponential backoff until the policy is exhausted.
+    /// Terminal errors (shutdown, deadline) return immediately.
+    pub fn query_with(&self, query: &Query, options: QueryOptions) -> Result<Weight, ServiceError> {
+        retry_transient(options.retry, || {
+            self.submit_with(query.clone(), options).wait()
+        })
+    }
+
+    /// Batch counterpart of [`query_with`](Self::query_with): each retry
+    /// resubmits the whole batch (batches are answered atomically, so no
+    /// partial results survive a failed attempt).
+    pub fn query_batch_with(
+        &self,
+        queries: &[Query],
+        options: QueryOptions,
+    ) -> Result<Vec<Weight>, ServiceError> {
+        retry_transient(options.retry, || {
+            self.submit_batch_with(queries, options).wait()
+        })
     }
 
     /// Enqueues one stream item (blocking for queue space when the ingest
@@ -391,6 +461,7 @@ impl HiggsService {
             job_txs,
             ingest: inner.ingest_handle(),
             tick: config.admission_tick,
+            health: inner.health_board(),
         };
         executor.spawn("admission", move || admission.run());
         Ok(Self {
@@ -458,6 +529,10 @@ struct AdmissionLoop {
     job_txs: Vec<Sender<ShardJob>>,
     ingest: IngestHandle,
     tick: Duration,
+    /// Shared writer-health board: classes routed at a degraded shard fail
+    /// fast with [`ServiceError::ShardUnavailable`] instead of hanging on a
+    /// shard whose writer died.
+    health: HealthBoard,
 }
 
 impl AdmissionLoop {
@@ -577,15 +652,6 @@ impl AdmissionLoop {
         if live.is_empty() {
             return;
         }
-        // One flush covers the whole class; an all-Relaxed class skips it —
-        // this is the "jump ahead of ingest flushes" path for interactive
-        // traffic.
-        if live
-            .iter()
-            .any(|s| s.options.consistency == Consistency::ReadYourWrites)
-        {
-            self.ingest.ensure_visible();
-        }
         // Coalesce: one concatenated batch, one plan, one columnar
         // sub-batch per shard. Cross-client duplicate windows now share
         // boundary searches exactly like duplicates within one batch.
@@ -598,6 +664,29 @@ impl AdmissionLoop {
         }
         let shards = self.job_txs.len();
         let plan = ShardPlan::build(&coalesced, shards);
+        // Degraded fast-fail, checked *before* the consistency flush: a
+        // flush would block on the dead writer's queue, and a degraded
+        // shard's state may be behind its acknowledged writes anyway. The
+        // whole class fails together — it coalesced into one plan, and
+        // answering only the healthy shards' slice would silently violate
+        // the batch-is-atomic contract of [`BatchTicket::wait`].
+        if (0..shards).any(|s| !plan.sub_batch(s).is_empty() && self.health.is_degraded(s)) {
+            for submission in live {
+                submission
+                    .reply
+                    .complete(Err(ServiceError::ShardUnavailable));
+            }
+            return;
+        }
+        // One flush covers the whole class; an all-Relaxed class skips it —
+        // this is the "jump ahead of ingest flushes" path for interactive
+        // traffic.
+        if live
+            .iter()
+            .any(|s| s.options.consistency == Consistency::ReadYourWrites)
+        {
+            self.ingest.ensure_visible();
+        }
         let mut pending = Vec::with_capacity(shards);
         for (s, job_tx) in self.job_txs.iter().enumerate() {
             let sub = plan.sub_batch(s);
@@ -912,12 +1001,70 @@ mod tests {
             (ServiceError::Shutdown, "shut down"),
             (ServiceError::DeadlineExceeded, "deadline"),
             (ServiceError::Overloaded, "overloaded"),
+            (ServiceError::ShardUnavailable, "unavailable"),
         ] {
             let msg = err.to_string();
             assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
         }
         let boxed: Box<dyn std::error::Error> = Box::new(ServiceError::Overloaded);
         assert!(boxed.to_string().contains("backpressure"));
+    }
+
+    #[test]
+    fn retry_transient_resubmits_until_success_or_exhaustion() {
+        use std::cell::Cell;
+        let zero = RetryPolicy::retries(5).base_backoff(Duration::ZERO);
+        // Transient failures burn retries, then the first success wins.
+        let attempts = Cell::new(0u32);
+        let outcome = retry_transient(zero, || {
+            attempts.set(attempts.get() + 1);
+            if attempts.get() < 3 {
+                Err(ServiceError::ShardUnavailable)
+            } else {
+                Ok(42u32)
+            }
+        });
+        assert_eq!(outcome, Ok(42));
+        assert_eq!(attempts.get(), 3);
+        // An exhausted policy surfaces the transient error.
+        let attempts = Cell::new(0u32);
+        let outcome = retry_transient(RetryPolicy::retries(2).base_backoff(Duration::ZERO), || {
+            attempts.set(attempts.get() + 1);
+            Err::<(), _>(ServiceError::Overloaded)
+        });
+        assert_eq!(outcome, Err(ServiceError::Overloaded));
+        assert_eq!(attempts.get(), 3, "initial attempt + 2 retries");
+        // Terminal errors never retry.
+        let attempts = Cell::new(0u32);
+        let outcome = retry_transient(zero, || {
+            attempts.set(attempts.get() + 1);
+            Err::<(), _>(ServiceError::Shutdown)
+        });
+        assert_eq!(outcome, Err(ServiceError::Shutdown));
+        assert_eq!(attempts.get(), 1);
+    }
+
+    #[test]
+    fn query_with_retry_options_round_trips_and_stays_fail_fast_on_shutdown() {
+        let service = service(2);
+        let client = service.client();
+        client.insert(&StreamEdge::new(1, 2, 5, 10)).expect("live");
+        let opts = QueryOptions::new().retry(RetryPolicy::retries(3));
+        assert_eq!(
+            client.query_with(&Query::edge(1, 2, TimeRange::new(0, 20)), opts),
+            Ok(5)
+        );
+        assert_eq!(
+            client.query_batch_with(&[Query::edge(1, 2, TimeRange::new(0, 20))], opts),
+            Ok(vec![5])
+        );
+        // Shutdown is terminal: an orphaned client with retries enabled
+        // still fails fast instead of burning the whole backoff schedule.
+        drop(service);
+        assert_eq!(
+            client.query_with(&Query::edge(1, 2, TimeRange::all()), opts),
+            Err(ServiceError::Shutdown)
+        );
     }
 
     #[test]

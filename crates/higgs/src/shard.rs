@@ -64,16 +64,20 @@
 //! a mutation it is entitled to observe — read-your-writes holds through
 //! the cache exactly as without it.
 
-use crate::config::{ConfigError, HiggsConfig};
+use crate::config::{ConfigError, HiggsConfig, JournalMode};
+use crate::journal::{failpoint, Journal, JournalError};
 use crate::parallel::ParallelHiggs;
+use crate::snapshot::SnapshotError;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use higgs_common::hashing::shard_of;
 use higgs_common::{
     Query, ShardPlan, StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection, VertexId,
     Weight,
 };
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
 
 /// Upper bound on the shard count: each shard owns a writer thread plus
@@ -137,6 +141,84 @@ enum ShardCommand {
     /// clone keeps the channel open, and a writer blocked in `recv` would
     /// otherwise never join). Commands enqueued after it are dropped.
     Shutdown,
+    /// Park the writer at a snapshot fence: flush the shard pipeline, sync
+    /// the journal, acknowledge on `ready`, then block until `resume`
+    /// delivers the verdict. `Some(checksum)` means the snapshot that
+    /// motivated the fence covers every journaled mutation: the journal is
+    /// truncated and stamped with the new manifest's checksum.
+    /// `None` (or a dropped sender) resumes without touching it. After
+    /// acting on the verdict the writer acknowledges on `ready` a second
+    /// time, making the rotation synchronous for the fence holder.
+    Fence {
+        ready: Sender<()>,
+        resume: Receiver<Option<u64>>,
+    },
+}
+
+/// Health of one shard's writer, reported by [`ShardedHiggs::shard_health`].
+///
+/// A shard degrades when its writer fails — an apply panic, a journal append
+/// error, or a failed journal rotation. Durable services
+/// ([`ShardedHiggs::new_durable`]) respawn the writer from snapshot + journal
+/// replay and return to `Healthy`; non-durable services have no recovery
+/// source, so the shard stays `Degraded` (its writer keeps draining commands
+/// to acknowledge flushes and honour shutdown, but mutations are dropped).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// The writer is live and applying mutations.
+    Healthy,
+    /// The writer failed; queries routed at this shard should fail fast.
+    Degraded,
+}
+
+/// `AtomicU8` encodings of [`ShardHealth`] on the shared health board.
+const HEALTH_HEALTHY: u8 = 0;
+const HEALTH_DEGRADED: u8 = 1;
+
+/// Cheap cloneable read view of the per-shard health board, handed to the
+/// serving layer so its admission loop can fail queries routed at degraded
+/// shards fast without holding a reference to the whole [`ShardedHiggs`].
+#[derive(Clone)]
+pub(crate) struct HealthBoard {
+    slots: Arc<Vec<AtomicU8>>,
+}
+
+impl HealthBoard {
+    /// Whether `shard`'s writer is currently degraded.
+    pub(crate) fn is_degraded(&self, shard: usize) -> bool {
+        // ORDERING: Acquire pairs with the Release stores in
+        // `mark_degraded` / `recover_and_serve`: observing a health
+        // transition also observes the pipeline state it published.
+        self.slots[shard].load(Ordering::Acquire) == HEALTH_DEGRADED
+    }
+}
+
+/// Durable-mode state shared by the service, its writers, and respawned
+/// recovery writers: where the journals live and how they sync.
+#[derive(Debug)]
+struct DurableState {
+    dir: PathBuf,
+    mode: JournalMode,
+    /// Aggregation workers per shard, needed to rebuild a pipeline during
+    /// writer recovery.
+    workers_per_shard: usize,
+}
+
+/// Everything a writer thread needs, bundled so a supervisor can hand an
+/// identical context to a respawned replacement. Cloning is cheap: the
+/// receiver and the shared state are reference-counted, the config is `Copy`.
+#[derive(Clone)]
+struct WriterContext {
+    shard_index: usize,
+    config: HiggsConfig,
+    shard: Arc<RwLock<ParallelHiggs>>,
+    rx: Receiver<ShardCommand>,
+    discard: Arc<std::sync::atomic::AtomicBool>,
+    health: Arc<Vec<AtomicU8>>,
+    durable: Option<Arc<DurableState>>,
+    /// Join handles of respawned recovery writers; drained by
+    /// `ShardedHiggs::drop` after the original writers are joined.
+    respawned: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 /// Monotone clock tracking ingest visibility: `sent` counts mutation
@@ -287,28 +369,15 @@ impl IngestHandle {
     /// resumed from an offset, so treat any error as "this service is
     /// gone", exactly like an `Err` from [`insert`](Self::insert).
     pub fn insert_all(&self, edges: &[StreamEdge]) -> Result<(), IngestError> {
-        self.route_all(edges).1
-    }
-
-    /// Shared routing core of [`insert_all`](Self::insert_all) and the
-    /// deprecated count-returning shim: routes and enqueues per-shard
-    /// batches, reporting how many edges were accepted alongside the typed
-    /// outcome.
-    fn route_all(&self, edges: &[StreamEdge]) -> (usize, Result<(), IngestError>) {
         if self.shedding() {
-            return (0, Err(IngestError::Rejected));
+            return Err(IngestError::Rejected);
         }
         let shards = self.senders.len();
-        let mut accepted = 0usize;
-        let mut send_batch = |shard: usize, batch: Vec<StreamEdge>| -> bool {
-            let len = batch.len();
+        let send_batch = |shard: usize, batch: Vec<StreamEdge>| -> bool {
             let ok = self.senders[shard]
                 .send(ShardCommand::InsertBatch(batch))
                 .is_ok();
             self.mark_sent();
-            if ok {
-                accepted += len;
-            }
             ok
         };
         let mut buffers: Vec<Vec<StreamEdge>> = vec![Vec::new(); shards];
@@ -321,16 +390,16 @@ impl IngestHandle {
                 if !send_batch(shard, batch) {
                     // The writers are being torn down; every further send
                     // would fail too, so stop routing.
-                    return (accepted, Err(IngestError::Shutdown));
+                    return Err(IngestError::Shutdown);
                 }
             }
         }
         for (shard, buf) in buffers.into_iter().enumerate() {
             if !buf.is_empty() && !send_batch(shard, buf) {
-                return (accepted, Err(IngestError::Shutdown));
+                return Err(IngestError::Shutdown);
             }
         }
-        (accepted, Ok(()))
+        Ok(())
     }
 
     /// Enqueues a deletion on the owning shard; ordered after every earlier
@@ -365,37 +434,6 @@ impl IngestHandle {
             Err(crossbeam::channel::TrySendError::Full(_)) => Err(IngestError::QueueFull),
             Err(crossbeam::channel::TrySendError::Disconnected(_)) => Err(IngestError::Shutdown),
         }
-    }
-
-    /// Old `bool`-returning insert, kept for one release.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `insert`, which returns `Result<(), IngestError>` and \
-                distinguishes shutdown from load-shedding rejection"
-    )]
-    pub fn insert_bool(&self, edge: &StreamEdge) -> bool {
-        self.insert(edge).is_ok()
-    }
-
-    /// Old count-returning bulk insert, kept for one release.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `insert_all`, which returns `Result<(), IngestError>`; \
-                any error means the un-enqueued remainder is not a resumable \
-                suffix, so the count was never actionable"
-    )]
-    pub fn insert_all_count(&self, edges: &[StreamEdge]) -> usize {
-        self.route_all(edges).0
-    }
-
-    /// Old `bool`-returning delete, kept for one release.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `delete`, which returns `Result<(), IngestError>` and \
-                distinguishes shutdown from load-shedding rejection"
-    )]
-    pub fn delete_bool(&self, edge: &StreamEdge) -> bool {
-        self.delete(edge).is_ok()
     }
 
     /// Blocks until every mutation enqueued before this call — by any clone
@@ -473,6 +511,15 @@ pub struct ShardedHiggs {
     /// When set, writers drop queued commands unapplied instead of applying
     /// them; see [`Self::discard_pending`].
     discard: Arc<std::sync::atomic::AtomicBool>,
+    /// Per-shard health board shared with the writers and the serving layer;
+    /// see [`ShardHealth`].
+    health: Arc<Vec<AtomicU8>>,
+    /// Join handles of writers respawned after a failure (see
+    /// `supervise_failure`); joined by drop after the original writers.
+    respawned: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// `Some` when this service journals mutations (durable mode).
+    durable: Option<Arc<DurableState>>,
+    config: HiggsConfig,
 }
 
 impl std::fmt::Debug for ShardedHiggs {
@@ -483,52 +530,254 @@ impl std::fmt::Debug for ShardedHiggs {
     }
 }
 
-fn writer_loop(
-    shard: Arc<RwLock<ParallelHiggs>>,
-    rx: Receiver<ShardCommand>,
-    discard: Arc<std::sync::atomic::AtomicBool>,
-    guard: WriterGuard,
-) {
-    let _guard = guard;
-
-    fn apply(pipeline: &mut ParallelHiggs, command: ShardCommand) {
-        match command {
-            ShardCommand::Insert(edge) => pipeline.insert(&edge),
-            ShardCommand::InsertBatch(edges) => {
-                for edge in &edges {
-                    pipeline.insert(edge);
-                }
+/// Applies one mutation or flush to the shard pipeline. Runs under the shard
+/// write lock, wrapped in `catch_unwind` by the caller so a panic degrades
+/// the shard instead of tearing down the process (or poisoning the lock —
+/// the lock guard lives outside the unwind boundary).
+fn apply(pipeline: &mut ParallelHiggs, command: ShardCommand) {
+    failpoint!("shard::apply");
+    match command {
+        ShardCommand::Insert(edge) => pipeline.insert(&edge),
+        ShardCommand::InsertBatch(edges) => {
+            for edge in &edges {
+                pipeline.insert(edge);
             }
-            ShardCommand::Delete(edge) => pipeline.delete(&edge),
-            ShardCommand::Flush(ack) => {
-                pipeline.flush();
-                let _ = ack.send(());
-            }
-            ShardCommand::Shutdown => unreachable!("handled by the loop"),
+        }
+        ShardCommand::Delete(edge) => pipeline.delete(&edge),
+        ShardCommand::Flush(ack) => {
+            pipeline.flush();
+            let _ = ack.send(());
+        }
+        ShardCommand::Shutdown | ShardCommand::Fence { .. } => {
+            unreachable!("handled by the loop")
         }
     }
+}
 
-    'serve: while let Ok(command) = rx.recv() {
-        if matches!(command, ShardCommand::Shutdown) {
-            break 'serve;
+/// Write-ahead journals one command. Flushes are not journaled (no durable
+/// effect); mutations are appended **before** they are applied, so a crash
+/// between the two replays the mutation instead of losing it.
+fn journal_command(journal: &mut Journal, command: &ShardCommand) -> Result<(), JournalError> {
+    match command {
+        ShardCommand::Insert(edge) => journal.append_insert(edge),
+        ShardCommand::InsertBatch(edges) => journal.append_insert_batch(edges),
+        ShardCommand::Delete(edge) => journal.append_delete(edge),
+        _ => Ok(()),
+    }
+}
+
+/// Parks the writer at a snapshot fence (see [`ShardCommand::Fence`]).
+/// Returns `false` when the post-snapshot journal rotation failed, in which
+/// case the journal still holds records the snapshot already covers and the
+/// shard can no longer be recovered without double-applying them — the
+/// caller must degrade.
+fn fence_writer(
+    ctx: &WriterContext,
+    journal: &mut Option<Journal>,
+    ready: Sender<()>,
+    resume: Receiver<Option<u64>>,
+) -> bool {
+    {
+        let mut pipeline = ctx.shard.write().expect("shard lock poisoned");
+        pipeline.flush();
+    }
+    if let Some(j) = journal.as_mut() {
+        // Best-effort: durability of the fenced prefix comes from the
+        // snapshot the fence guards, not from this sync.
+        let _ = j.sync();
+    }
+    let _ = ready.send(());
+    let ok = match resume.recv() {
+        Ok(Some(covering)) => match journal.as_mut() {
+            Some(j) => j.truncate(covering).is_ok(),
+            None => true,
+        },
+        // Snapshot failed or the fence holder is gone: keep the journal.
+        _ => true,
+    };
+    // Completion ack: the fence holder blocks until every writer has
+    // committed (or declined) its rotation.
+    let _ = ready.send(());
+    ok
+}
+
+/// Marks the context's shard degraded on the shared health board.
+fn mark_degraded(ctx: &WriterContext) {
+    // ORDERING: Release pairs with the Acquire loads in `shard_health` and
+    // the serving admission loop: an observer that sees the shard degraded
+    // also sees everything the writer published before failing.
+    ctx.health[ctx.shard_index].store(HEALTH_DEGRADED, Ordering::Release);
+}
+
+/// Supervisor for a failed writer: degrades the shard and hands the queue to
+/// a replacement thread. `carryover` is a command that was dequeued but
+/// neither journaled nor applied (a journal append failure) — the
+/// replacement re-drives it first so no acknowledged mutation is lost.
+///
+/// The replacement's census guard is created *before* the failing writer's
+/// guard drops, so [`live_writer_threads`] never dips below baseline during
+/// the handoff.
+fn supervise_failure(ctx: &WriterContext, carryover: Option<ShardCommand>) {
+    mark_degraded(ctx);
+    let replacement_guard = WriterGuard::enter();
+    let replacement_ctx = ctx.clone();
+    let pin_core = ParallelHiggs::pin_core_for(&ctx.config, ctx.shard_index);
+    let handle = std::thread::spawn(move || {
+        if let Some(core) = pin_core {
+            let _ = higgs_common::affinity::pin_to_core(core);
         }
-        // ORDERING: Acquire pairs with the Release store in
-        // `discard_pending`, so a writer that observes shedding mode also
-        // observes everything the shedder did before flipping the flag.
-        if discard.load(Ordering::Acquire) {
-            // Shedding mode: drop the command unapplied (a Flush's pending
-            // acknowledger is dropped with it, which unblocks the flusher).
-            continue;
+        recover_and_serve(replacement_ctx, carryover, replacement_guard);
+    });
+    ctx.respawned
+        .lock()
+        .expect("respawn registry poisoned")
+        .push(handle);
+}
+
+/// Entry point of a respawned writer: rebuild the shard from its durable
+/// record (snapshot, if any, plus full journal replay), swap the rebuilt
+/// pipeline in, report `Healthy`, and resume serving the same command queue.
+/// Without a durable record (or when recovery itself fails) the shard stays
+/// degraded and the writer drains commands so nothing blocks on it.
+fn recover_and_serve(ctx: WriterContext, carryover: Option<ShardCommand>, guard: WriterGuard) {
+    let _guard = guard;
+    if let Some(durable) = ctx.durable.clone() {
+        if let Ok(journal) = rebuild_shard(&durable, &ctx) {
+            // ORDERING: Release publishes the rebuilt pipeline (already
+            // swapped in under the write lock) before readers that Acquire
+            // the Healthy flag can route queries here again.
+            ctx.health[ctx.shard_index].store(HEALTH_HEALTHY, Ordering::Release);
+            writer_loop(ctx, Some(journal), carryover);
+            return;
         }
-        let mut pipeline = shard.write().expect("shard lock poisoned");
-        apply(&mut pipeline, command);
-        // Apply whatever else is already queued while we hold the lock,
-        // bounded so concurrent readers are not starved.
-        for _ in 0..WRITER_COALESCE {
-            match rx.try_recv() {
-                Ok(ShardCommand::Shutdown) => break 'serve,
-                Ok(next) => apply(&mut pipeline, next),
-                Err(_) => break,
+    }
+    degraded_drain(&ctx);
+}
+
+/// Rebuilds one shard's pipeline from snapshot + journal replay and reopens
+/// its journal for appending. The rebuilt pipeline replaces the (possibly
+/// partially-mutated) live one, so a half-applied batch from the failed
+/// writer is wiped and re-applied exactly once via the journal.
+fn rebuild_shard(durable: &DurableState, ctx: &WriterContext) -> Result<Journal, ()> {
+    let mut pipeline = crate::snapshot::load_shard_pipeline(
+        &durable.dir,
+        ctx.shard_index,
+        &ctx.config,
+        durable.workers_per_shard,
+    )
+    .map_err(|_| ())?;
+    let covering = crate::snapshot::manifest_tail_checksum(&durable.dir).map_err(|_| ())?;
+    let records =
+        crate::journal::replay(&durable.dir, ctx.shard_index, covering).map_err(|_| ())?;
+    crate::journal::apply_records(&mut pipeline, records);
+    pipeline.flush();
+    let journal =
+        Journal::open(&durable.dir, ctx.shard_index, durable.mode, covering).map_err(|_| ())?;
+    *ctx.shard.write().expect("shard lock poisoned") = pipeline;
+    Ok(journal)
+}
+
+/// Serve loop of a permanently degraded shard: mutations are dropped (there
+/// is no recovery source), but flushes are acknowledged, fences answered,
+/// and shutdown honoured so no other thread ever blocks on this shard.
+fn degraded_drain(ctx: &WriterContext) {
+    while let Ok(command) = ctx.rx.recv() {
+        match command {
+            ShardCommand::Shutdown => break,
+            ShardCommand::Flush(ack) => {
+                // Vacuously true: every mutation this shard would have
+                // applied has been shed.
+                let _ = ack.send(());
+            }
+            ShardCommand::Fence { ready, resume } => {
+                let _ = ready.send(());
+                // Never truncate a degraded shard's journal: it is the only
+                // surviving record of the shard's mutations. (Unreachable
+                // through `snapshot_to_dir`, which refuses degraded shards,
+                // but the protocol stays total.)
+                let _ = resume.recv();
+                let _ = ready.send(());
+            }
+            _ => {}
+        }
+    }
+}
+
+fn writer_loop(ctx: WriterContext, mut journal: Option<Journal>, initial: Option<ShardCommand>) {
+    let mut next = initial;
+    'serve: loop {
+        let command = match next.take() {
+            Some(command) => command,
+            None => match ctx.rx.recv() {
+                Ok(command) => command,
+                Err(_) => break 'serve,
+            },
+        };
+        match command {
+            ShardCommand::Shutdown => break 'serve,
+            ShardCommand::Fence { ready, resume } => {
+                if !fence_writer(&ctx, &mut journal, ready, resume) {
+                    mark_degraded(&ctx);
+                    degraded_drain(&ctx);
+                    return;
+                }
+            }
+            command => {
+                // ORDERING: Acquire pairs with the Release store in
+                // `discard_pending`, so a writer that observes shedding mode
+                // also observes everything the shedder did before flipping
+                // the flag.
+                if ctx.discard.load(Ordering::Acquire) {
+                    // Shedding mode: drop the command unapplied (a Flush's
+                    // pending acknowledger is dropped with it, which
+                    // unblocks the flusher).
+                    continue 'serve;
+                }
+                if let Some(j) = journal.as_mut() {
+                    if journal_command(j, &command).is_err() {
+                        // Not journaled, not applied: hand the command to
+                        // the replacement so it is re-driven in order.
+                        supervise_failure(&ctx, Some(command));
+                        return;
+                    }
+                }
+                let mut pipeline = ctx.shard.write().expect("shard lock poisoned");
+                if catch_unwind(AssertUnwindSafe(|| apply(&mut pipeline, command))).is_err() {
+                    // Already journaled: recovery replay re-applies it onto
+                    // a rebuilt pipeline, so no carryover.
+                    drop(pipeline);
+                    supervise_failure(&ctx, None);
+                    return;
+                }
+                // Apply whatever else is already queued while we hold the
+                // lock, bounded so concurrent readers are not starved.
+                for _ in 0..WRITER_COALESCE {
+                    match ctx.rx.try_recv() {
+                        Ok(ShardCommand::Shutdown) => break 'serve,
+                        Ok(fence @ ShardCommand::Fence { .. }) => {
+                            // Handle at the loop top, outside the lock.
+                            next = Some(fence);
+                            break;
+                        }
+                        Ok(coalesced) => {
+                            if let Some(j) = journal.as_mut() {
+                                if journal_command(j, &coalesced).is_err() {
+                                    drop(pipeline);
+                                    supervise_failure(&ctx, Some(coalesced));
+                                    return;
+                                }
+                            }
+                            if catch_unwind(AssertUnwindSafe(|| apply(&mut pipeline, coalesced)))
+                                .is_err()
+                            {
+                                drop(pipeline);
+                                supervise_failure(&ctx, None);
+                                return;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
             }
         }
     }
@@ -576,12 +825,111 @@ impl ShardedHiggs {
         Self::from_pipelines(config, pipelines)
     }
 
-    /// Assembles a service around pre-built per-shard pipelines (fresh ones
-    /// for [`try_with_workers`], restored ones for snapshot restore),
-    /// spawning one writer thread per shard with an empty queue.
+    /// Creates a **durable** sharded service: every mutation is appended to
+    /// a per-shard write-ahead journal in `dir` before it is applied, per
+    /// the configured [`JournalMode`]
+    /// ([`HiggsConfigBuilder::journal_mode`](crate::HiggsConfigBuilder::journal_mode)).
+    ///
+    /// `dir` is created if missing. When it already holds a snapshot
+    /// (written by [`snapshot_to_dir`](Self::snapshot_to_dir)) and/or
+    /// journals from an earlier — possibly crashed — instance, the service
+    /// recovers: pipelines are restored from the snapshot, each shard's
+    /// journal tail is replayed on top (tolerating a torn final record), and
+    /// journaling resumes in append mode. The caller's `config` stays
+    /// authoritative for runtime behaviour but must agree with a recovered
+    /// snapshot on the shard count (journals are per-shard).
+    ///
+    /// With [`JournalMode::Off`] this behaves like [`try_new`](Self::try_new)
+    /// plus recovery: existing state in `dir` is loaded, but no journal is
+    /// written.
+    pub fn new_durable(config: HiggsConfig, dir: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        Self::new_durable_with_workers(config, dir, 1)
+    }
+
+    /// [`new_durable`](Self::new_durable) with `workers_per_shard`
+    /// aggregation workers behind each shard's writer.
+    pub fn new_durable_with_workers(
+        config: HiggsConfig,
+        dir: impl AsRef<Path>,
+        workers_per_shard: usize,
+    ) -> Result<Self, SnapshotError> {
+        config.validate().map_err(SnapshotError::Config)?;
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let pipelines = if crate::snapshot::manifest_exists(dir) {
+            let (stored, pipelines) = crate::snapshot::restore_pipelines(dir, workers_per_shard)?;
+            if stored.shards != config.shards {
+                return Err(SnapshotError::Corrupt(format!(
+                    "shard count mismatch: directory holds {} shards, config asks for {}",
+                    stored.shards, config.shards
+                )));
+            }
+            pipelines
+        } else {
+            // No snapshot yet (fresh directory, or a crash before the first
+            // snapshot): fresh pipelines, then journal tails on top.
+            let mut pipelines: Vec<ParallelHiggs> = (0..config.shards)
+                .map(|s| {
+                    ParallelHiggs::new_on_core(
+                        config,
+                        workers_per_shard,
+                        ParallelHiggs::pin_core_for(&config, s),
+                    )
+                })
+                .collect();
+            // No manifest, so journals (if any) must carry the zero stamp.
+            for (s, pipeline) in pipelines.iter_mut().enumerate() {
+                let records = crate::journal::replay(dir, s, 0).map_err(SnapshotError::Journal)?;
+                if !records.is_empty() {
+                    crate::journal::apply_records(pipeline, records);
+                    pipeline.flush();
+                }
+            }
+            pipelines
+        };
+        let durable = (config.journal_mode != JournalMode::Off).then(|| {
+            Arc::new(DurableState {
+                dir: dir.to_path_buf(),
+                mode: config.journal_mode,
+                workers_per_shard,
+            })
+        });
+        let journals = match &durable {
+            Some(state) => {
+                // Stamp (or validate) each journal against the manifest
+                // currently in the directory; a journal left stale by an
+                // interrupted rotation is reset here, right after the replay
+                // above discarded its records.
+                let covering = crate::snapshot::manifest_tail_checksum(dir)?;
+                (0..config.shards)
+                    .map(|s| Journal::open(dir, s, state.mode, covering).map(Some))
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(SnapshotError::Journal)?
+            }
+            None => (0..config.shards).map(|_| None).collect(),
+        };
+        Self::from_pipelines_with(config, pipelines, durable, journals)
+            .map_err(SnapshotError::Config)
+    }
+
+    /// Assembles a non-durable service around pre-built per-shard pipelines
+    /// (fresh ones for [`try_with_workers`], restored ones for snapshot
+    /// restore).
     pub(crate) fn from_pipelines(
         config: HiggsConfig,
         pipelines: Vec<ParallelHiggs>,
+    ) -> Result<Self, ConfigError> {
+        let journals = (0..pipelines.len()).map(|_| None).collect();
+        Self::from_pipelines_with(config, pipelines, None, journals)
+    }
+
+    /// Shared assembly core: spawns one writer thread per shard with an
+    /// empty queue, arming each writer with its journal in durable mode.
+    fn from_pipelines_with(
+        config: HiggsConfig,
+        pipelines: Vec<ParallelHiggs>,
+        durable: Option<Arc<DurableState>>,
+        journals: Vec<Option<Journal>>,
     ) -> Result<Self, ConfigError> {
         config.validate()?;
         if pipelines.len() != config.shards {
@@ -594,23 +942,38 @@ impl ShardedHiggs {
         let mut senders = Vec::with_capacity(num_shards);
         let mut writers = Vec::with_capacity(num_shards);
         let discard = Arc::new(std::sync::atomic::AtomicBool::new(false));
-        for (shard_index, pipeline) in pipelines.into_iter().enumerate() {
+        let health: Arc<Vec<AtomicU8>> = Arc::new(
+            (0..num_shards)
+                .map(|_| AtomicU8::new(HEALTH_HEALTHY))
+                .collect(),
+        );
+        let respawned: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        for (shard_index, (pipeline, journal)) in pipelines.into_iter().zip(journals).enumerate() {
             let shard = Arc::new(RwLock::new(pipeline));
             let (tx, rx) = match config.ingest_queue_cap {
                 Some(cap) => bounded::<ShardCommand>(cap),
                 None => unbounded::<ShardCommand>(),
             };
-            let worker_shard = shard.clone();
-            let worker_discard = discard.clone();
+            let ctx = WriterContext {
+                shard_index,
+                config,
+                shard: shard.clone(),
+                rx,
+                discard: discard.clone(),
+                health: health.clone(),
+                durable: durable.clone(),
+                respawned: respawned.clone(),
+            };
             let guard = WriterGuard::enter();
             // Same core as this shard's aggregation workers (None when
             // pinning is off); pinning is best-effort.
             let pin_core = ParallelHiggs::pin_core_for(&config, shard_index);
             writers.push(std::thread::spawn(move || {
+                let _guard = guard;
                 if let Some(core) = pin_core {
                     let _ = higgs_common::affinity::pin_to_core(core);
                 }
-                writer_loop(worker_shard, rx, worker_discard, guard)
+                writer_loop(ctx, journal, None)
             }));
             shards.push(shard);
             senders.push(tx);
@@ -624,6 +987,10 @@ impl ShardedHiggs {
             },
             writers,
             discard,
+            health,
+            respawned,
+            durable,
+            config,
         })
     }
 
@@ -633,9 +1000,94 @@ impl ShardedHiggs {
         &self.shards
     }
 
+    /// Per-shard writer health (diagnostic). A `Degraded` entry means the
+    /// shard's writer failed and was not (or could not be) recovered yet;
+    /// the serving layer fails queries routed at such shards fast with
+    /// `ServiceError::ShardUnavailable` instead of letting them hang. See
+    /// [`ShardHealth`] for how shards degrade and recover.
+    pub fn shard_health(&self) -> Vec<ShardHealth> {
+        self.health
+            .iter()
+            .map(|h| {
+                // ORDERING: Acquire pairs with the Release stores in
+                // `mark_degraded` / `recover_and_serve`: observing a health
+                // transition also observes the pipeline state it published.
+                if h.load(Ordering::Acquire) == HEALTH_DEGRADED {
+                    ShardHealth::Degraded
+                } else {
+                    ShardHealth::Healthy
+                }
+            })
+            .collect()
+    }
+
+    /// Index of the first degraded shard, if any (crate-internal shorthand
+    /// for the snapshot and serving layers).
+    pub(crate) fn first_degraded_shard(&self) -> Option<usize> {
+        self.shard_health()
+            .iter()
+            .position(|h| *h == ShardHealth::Degraded)
+    }
+
+    /// A shared read view of the health board for the serving layer.
+    pub(crate) fn health_board(&self) -> HealthBoard {
+        HealthBoard {
+            slots: self.health.clone(),
+        }
+    }
+
+    /// The journal directory when this service is durable.
+    pub(crate) fn durable_dir(&self) -> Option<&Path> {
+        self.durable.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Parks every writer at a snapshot fence and returns once all have
+    /// acknowledged: each writer has flushed its pipeline, synced its
+    /// journal, and blocks until [`WriterFence::release`] delivers the
+    /// snapshot verdict. Used by `snapshot_to_dir` to make journal rotation
+    /// atomic with the snapshot (see the `journal` module docs).
+    pub(crate) fn fence_writers(&self) -> WriterFence {
+        let (ready_tx, ready_rx) = unbounded::<()>();
+        let mut resume_txs = Vec::with_capacity(self.handle.senders.len());
+        let mut expected = 0usize;
+        for sender in &self.handle.senders {
+            let (resume_tx, resume_rx) = bounded::<Option<u64>>(1);
+            if sender
+                .send(ShardCommand::Fence {
+                    ready: ready_tx.clone(),
+                    resume: resume_rx,
+                })
+                .is_ok()
+            {
+                expected += 1;
+                resume_txs.push(resume_tx);
+            }
+        }
+        drop(ready_tx);
+        for _ in 0..expected {
+            if ready_rx.recv().is_err() {
+                break; // a writer exited; it cannot hold a lock either
+            }
+        }
+        WriterFence {
+            resume_txs,
+            ready_rx,
+            expected,
+            released: false,
+        }
+    }
+
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The configuration this service was built (or restored) with — handy
+    /// for wrapping a restored or durable service in a
+    /// [`HiggsService`](crate::HiggsService) without re-threading the config
+    /// through the call site.
+    pub fn config(&self) -> &HiggsConfig {
+        &self.config
     }
 
     /// A cloneable ingest endpoint usable from other threads while this
@@ -708,6 +1160,51 @@ impl ShardedHiggs {
     }
 }
 
+/// RAII handle over writers parked at a snapshot fence (see
+/// [`ShardedHiggs::fence_writers`]). Dropping without
+/// [`release`](Self::release) resumes the writers with a `false` verdict
+/// (journals kept), so an early-error path in the snapshot code can never
+/// leave writers parked forever.
+pub(crate) struct WriterFence {
+    resume_txs: Vec<Sender<Option<u64>>>,
+    ready_rx: Receiver<()>,
+    expected: usize,
+    released: bool,
+}
+
+impl WriterFence {
+    /// Resumes every fenced writer and blocks until each has acted on the
+    /// verdict. `Some(checksum)` reports a successful snapshot: each shard's
+    /// journal is truncated and stamped with the new manifest's checksum
+    /// before this returns. `None` keeps every journal intact.
+    pub(crate) fn release(mut self, covering: Option<u64>) {
+        for tx in &self.resume_txs {
+            let _ = tx.send(covering);
+        }
+        // Synchronous rotation: wait for every writer's completion ack. A
+        // writer that died mid-fence drops its sender, which surfaces here
+        // as a disconnect once the live acks are drained — never a hang.
+        for _ in 0..self.expected {
+            if self.ready_rx.recv().is_err() {
+                break;
+            }
+        }
+        self.released = true;
+    }
+}
+
+impl Drop for WriterFence {
+    fn drop(&mut self) {
+        if !self.released {
+            // Resume with "keep the journals" and do not wait: this is the
+            // early-error path; writers unpark on their own.
+            for tx in &self.resume_txs {
+                let _ = tx.send(None);
+            }
+        }
+    }
+}
+
 impl Drop for ShardedHiggs {
     fn drop(&mut self) {
         // A Shutdown marker (FIFO: behind everything this service enqueued)
@@ -721,6 +1218,22 @@ impl Drop for ShardedHiggs {
         self.handle.senders.clear();
         for writer in self.writers.drain(..) {
             let _ = writer.join();
+        }
+        // Respawned recovery writers consume the same queues, so the
+        // Shutdown markers end them too; a respawning writer registers its
+        // replacement before exiting, so once a generation is joined any
+        // successor is already visible here.
+        loop {
+            let drained: Vec<JoinHandle<()>> = {
+                let mut registry = self.respawned.lock().expect("respawn registry poisoned");
+                registry.drain(..).collect()
+            };
+            if drained.is_empty() {
+                break;
+            }
+            for writer in drained {
+                let _ = writer.join();
+            }
         }
     }
 }
@@ -1057,21 +1570,98 @@ mod tests {
         assert_eq!(handle.try_delete(&e), Ok(()));
     }
 
+    fn durable_config(shards: usize, mode: JournalMode) -> HiggsConfig {
+        HiggsConfig::builder()
+            .shards(shards)
+            .journal_mode(mode)
+            .build()
+            .expect("valid durable test configuration")
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "higgs-shard-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_bool_shims_mirror_the_typed_surface() {
-        let sharded = ShardedHiggs::new(config(2));
-        let handle = sharded.ingest_handle();
-        let e = StreamEdge::new(1, 2, 5, 1);
-        assert!(handle.insert_bool(&e));
-        assert_eq!(handle.insert_all_count(&edges(700)), 700);
-        assert!(handle.delete_bool(&e));
-        sharded.flush();
-        assert_eq!(sharded.total_items(), 700);
-        sharded.discard_pending();
-        assert!(!handle.insert_bool(&e), "rejection maps to false");
-        assert_eq!(handle.insert_all_count(&edges(10)), 0);
-        assert!(!handle.delete_bool(&e));
+    fn every_shard_starts_healthy() {
+        let sharded = ShardedHiggs::new(config(4));
+        assert_eq!(sharded.shard_health(), vec![ShardHealth::Healthy; 4]);
+        assert!(sharded.first_degraded_shard().is_none());
+        assert!(
+            sharded.durable_dir().is_none(),
+            "plain services never journal"
+        );
+    }
+
+    #[test]
+    fn durable_service_replays_its_journal_after_an_unclean_stop() {
+        let dir = temp_dir("replay");
+        let stream = edges(2_000);
+        let cfg = durable_config(3, JournalMode::Buffered);
+        {
+            let mut sharded = ShardedHiggs::new_durable(cfg, &dir).expect("durable service");
+            assert_eq!(sharded.durable_dir(), Some(dir.as_path()));
+            sharded.insert_all(&stream);
+            for e in stream.iter().step_by(9) {
+                sharded.delete(e);
+            }
+            sharded.flush();
+            // Drop without ever snapshotting: the journal is the only record.
+        }
+        let recovered = ShardedHiggs::new_durable(cfg, &dir).expect("recovery");
+        let mut control = HiggsSummary::new(config(1));
+        control.insert_all(&stream);
+        for e in stream.iter().step_by(9) {
+            control.delete(e);
+        }
+        let batch = mixed_batch(1_000);
+        assert_eq!(recovered.query_batch(&batch), control.query_batch(&batch));
+        assert_eq!(recovered.total_items(), control.total_items());
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_mode_off_keeps_the_directory_empty_of_journals() {
+        let dir = temp_dir("off");
+        let cfg = durable_config(2, JournalMode::Off);
+        {
+            let mut sharded = ShardedHiggs::new_durable(cfg, &dir).expect("durable service");
+            assert!(sharded.durable_dir().is_none(), "Off mode arms no journal");
+            sharded.insert(&StreamEdge::new(1, 2, 5, 10));
+            sharded.flush();
+        }
+        // Nothing was journaled, so a restart starts empty.
+        let recovered = ShardedHiggs::new_durable(cfg, &dir).expect("recovery");
+        assert_eq!(recovered.total_items(), 0);
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_recovery_rejects_a_mismatched_shard_count() {
+        let dir = temp_dir("mismatch");
+        {
+            let sharded = ShardedHiggs::new_durable(durable_config(2, JournalMode::Buffered), &dir)
+                .expect("durable service");
+            sharded
+                .snapshot_to_dir(&dir)
+                .expect("snapshot of an empty durable service");
+        }
+        let err = ShardedHiggs::new_durable(durable_config(4, JournalMode::Buffered), &dir)
+            .map(|_| ())
+            .expect_err("shard count mismatch must be rejected");
+        assert!(
+            err.to_string().contains("shard count mismatch"),
+            "unexpected error: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -69,7 +69,8 @@
 //! forward-compatible extension point — the section length lets a reader
 //! skip what it does not understand.
 
-use crate::config::{ConfigError, HiggsConfig};
+use crate::config::{ConfigError, HiggsConfig, JournalMode};
+use crate::journal::{failpoint, JournalError};
 use crate::matrix::{CompressedMatrix, Slot, SpillEntry};
 use crate::node::{InternalNode, LeafNode};
 use crate::overflow::OverflowChain;
@@ -186,6 +187,17 @@ pub enum SnapshotError {
         /// The path that was expected to exist.
         path: PathBuf,
     },
+    /// Reading or replaying a shard's write-ahead journal failed during a
+    /// durable restore (see [`crate::journal`]).
+    Journal(JournalError),
+    /// The service has a degraded shard (its writer failed and has not
+    /// recovered), so a snapshot would capture partial state — and, for a
+    /// durable service, truncating the journal afterwards would discard the
+    /// shard's only intact record. Recover or rebuild the service first.
+    DegradedShard {
+        /// Index of the degraded shard.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -218,6 +230,12 @@ impl fmt::Display for SnapshotError {
             SnapshotError::MissingShard { shard, path } => {
                 write!(f, "shard {shard} file missing: {}", path.display())
             }
+            SnapshotError::Journal(e) => write!(f, "journal replay failed: {e}"),
+            SnapshotError::DegradedShard { shard } => write!(
+                f,
+                "shard {shard} is degraded: its writer failed and has not recovered, \
+                 so a snapshot would capture partial state"
+            ),
         }
     }
 }
@@ -228,6 +246,7 @@ impl std::error::Error for SnapshotError {
             SnapshotError::Io(e) => Some(e),
             SnapshotError::Codec(e) => Some(e),
             SnapshotError::Config(e) => Some(e),
+            SnapshotError::Journal(e) => Some(e),
             _ => None,
         }
     }
@@ -299,14 +318,16 @@ fn decode_config<R: Read>(dec: &mut Decoder<R>) -> Result<HiggsConfig, SnapshotE
         shards,
         plan_cache_capacity,
         ingest_queue_cap,
-        // Worker pinning, admission tick and submission-queue depth are
-        // runtime state of the serving process, not data: the snapshot
-        // format does not carry them, and a restored service starts with
-        // the inert defaults (the restoring caller may opt back in on its
-        // own machine).
+        // Worker pinning, admission tick, submission-queue depth and the
+        // journal sync policy are runtime state of the serving process, not
+        // data: the snapshot format does not carry them, and a restored
+        // service starts with the inert defaults (the restoring caller may
+        // opt back in on its own machine — `ShardedHiggs::new_durable`
+        // re-arms journaling from its caller's config).
         pin_workers: false,
         admission_tick: std::time::Duration::ZERO,
         service_queue_depth: None,
+        journal_mode: JournalMode::Off,
     };
     config.validate()?;
     Ok(config)
@@ -790,6 +811,127 @@ pub fn shard_file_name(index: usize) -> String {
     format!("shard-{index:03}.higgs")
 }
 
+/// Whether `dir` already holds a snapshot manifest (crate-internal: decides
+/// between fresh start and recovery in `ShardedHiggs::new_durable`).
+pub(crate) fn manifest_exists(dir: &Path) -> bool {
+    dir.join(MANIFEST_FILE).exists()
+}
+
+/// The trailing document checksum of the manifest in `dir`, or `0` when the
+/// directory holds no (or a torn, sub-checksum-length) manifest. This is the
+/// journal *covering stamp*: each shard journal records which manifest its
+/// records extend, so recovery can tell a live journal tail from a stale
+/// journal whose rotation was interrupted (see the [`crate::journal`] module
+/// docs).
+pub(crate) fn manifest_tail_checksum(dir: &Path) -> Result<u64, SnapshotError> {
+    let path = dir.join(MANIFEST_FILE);
+    let mut file = match std::fs::File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e.into()),
+    };
+    let len = file.metadata()?.len();
+    if len < 8 {
+        return Ok(0);
+    }
+    use std::io::{Read as _, Seek as _, SeekFrom};
+    file.seek(SeekFrom::End(-8))?;
+    let mut tail = [0u8; 8];
+    file.read_exact(&mut tail)?;
+    Ok(u64::from_le_bytes(tail))
+}
+
+/// Loads one shard's pipeline for writer recovery: the shard's snapshot file
+/// when present (its own checksum verified), a fresh pipeline otherwise.
+/// Unlike full restore this deliberately skips the manifest cross-checks —
+/// recovery must work from whatever intact state survives.
+pub(crate) fn load_shard_pipeline(
+    dir: &Path,
+    shard: usize,
+    config: &HiggsConfig,
+    workers: usize,
+) -> Result<ParallelHiggs, SnapshotError> {
+    let path = dir.join(shard_file_name(shard));
+    match std::fs::File::open(&path) {
+        Ok(f) => {
+            let mut file = std::io::BufReader::new(f);
+            let summary = HiggsSummary::read_snapshot(&mut file)?;
+            Ok(ParallelHiggs::from_summary(summary, workers))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(ParallelHiggs::new_on_core(
+            *config,
+            workers,
+            ParallelHiggs::pin_core_for(config, shard),
+        )),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Restores per-shard pipelines from a snapshot directory and replays each
+/// shard's journal tail on top (the recovery half of the rotation fence: a
+/// mutation lives in exactly one of snapshot or journal, so snapshot +
+/// replay reconstructs the full history). Returns the manifest's config
+/// alongside the pipelines; nothing is spawned here.
+pub(crate) fn restore_pipelines(
+    dir: &Path,
+    workers_per_shard: usize,
+) -> Result<(HiggsConfig, Vec<ParallelHiggs>), SnapshotError> {
+    let manifest = SnapshotManifest::read_from_dir(dir)?;
+    let declared = manifest.shard_count();
+    // An extra shard file beyond the declared count means the manifest
+    // and the directory disagree (e.g. a manifest from a smaller
+    // service was copied in): refuse rather than silently drop data.
+    let mut present = 0usize;
+    while dir.join(shard_file_name(present)).exists() {
+        present += 1;
+    }
+    if present != declared {
+        return Err(SnapshotError::ShardCountMismatch {
+            manifest: declared,
+            found: present,
+        });
+    }
+    let mut summaries = Vec::with_capacity(declared);
+    for index in 0..declared {
+        let path = dir.join(shard_file_name(index));
+        let mut file = match std::fs::File::open(&path) {
+            Ok(f) => std::io::BufReader::new(f),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(SnapshotError::MissingShard { shard: index, path });
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let (summary, checksum) = HiggsSummary::read_snapshot_with_checksum(&mut file)?;
+        if checksum != manifest.shard_checksums[index] {
+            return Err(SnapshotError::ShardChecksumMismatch {
+                shard: index,
+                manifest: manifest.shard_checksums[index],
+                file: checksum,
+            });
+        }
+        summaries.push(summary);
+    }
+    let mut pipelines: Vec<ParallelHiggs> = summaries
+        .into_iter()
+        .map(|s| ParallelHiggs::from_summary(s, workers_per_shard))
+        .collect();
+    // Journal tail replay: mutations that were journaled after the snapshot
+    // the directory holds (e.g. the process crashed before the next
+    // rotation). A directory without journals replays nothing, and a
+    // journal stamped for an older manifest (interrupted rotation) is
+    // discarded rather than double-applied.
+    let covering = manifest_tail_checksum(dir)?;
+    for (index, pipeline) in pipelines.iter_mut().enumerate() {
+        let records =
+            crate::journal::replay(dir, index, covering).map_err(SnapshotError::Journal)?;
+        if !records.is_empty() {
+            crate::journal::apply_records(pipeline, records);
+            pipeline.flush();
+        }
+    }
+    Ok((manifest.config, pipelines))
+}
+
 impl ShardedHiggs {
     /// Snapshots the whole service into `dir` (created if absent): one
     /// summary snapshot file per shard plus a [`SnapshotManifest`]
@@ -802,18 +944,65 @@ impl ShardedHiggs {
     /// [`IngestHandle`](crate::IngestHandle) clone — is included, background
     /// aggregations materialised. See the [module docs](self) for the
     /// concurrent-ingest caveat.
+    ///
+    /// For a **durable** service ([`ShardedHiggs::new_durable`]) snapshotting
+    /// into its own journal directory additionally **rotates the journals**:
+    /// every writer parks at a fence while the files are written, and a
+    /// *successful* snapshot truncates each shard's journal (the snapshot now
+    /// covers those mutations); a failed one leaves the journals untouched.
+    /// Either way every mutation remains recorded in exactly one of
+    /// {snapshot, journal}. A service with a degraded shard refuses to
+    /// snapshot ([`SnapshotError::DegradedShard`]) — the shard's state is
+    /// partial and its journal must not be rotated away.
     pub fn snapshot_to_dir(
         &self,
         dir: impl AsRef<Path>,
     ) -> Result<SnapshotManifest, SnapshotError> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
+        if let Some(shard) = self.first_degraded_shard() {
+            return Err(SnapshotError::DegradedShard { shard });
+        }
         self.flush();
+        let rotating = self
+            .durable_dir()
+            .is_some_and(|journal_dir| same_dir(journal_dir, dir));
+        if rotating {
+            // Park every writer for the duration of the file writes, then
+            // deliver the verdict: rotation (journal truncation, stamped
+            // with the new manifest's checksum) only on success. The fence
+            // also re-flushes each pipeline, covering mutations that slipped
+            // in between `flush()` above and the fence commands landing, and
+            // release blocks until every writer has committed its rotation —
+            // when this returns, the journals really are rotated.
+            let fence = self.fence_writers();
+            match self.write_snapshot_files(dir) {
+                Ok((manifest, checksum)) => {
+                    fence.release(Some(checksum));
+                    Ok(manifest)
+                }
+                Err(e) => {
+                    fence.release(None);
+                    Err(e)
+                }
+            }
+        } else {
+            self.write_snapshot_files(dir).map(|(manifest, _)| manifest)
+        }
+    }
+
+    /// Writes the per-shard snapshot files and the manifest, returning the
+    /// manifest together with its document checksum (the journal covering
+    /// stamp).
+    fn write_snapshot_files(&self, dir: &Path) -> Result<(SnapshotManifest, u64), SnapshotError> {
         let shards = self.shard_pipelines();
         let mut shard_checksums = Vec::with_capacity(shards.len());
         let mut shard_items = Vec::with_capacity(shards.len());
         let mut config = None;
         for (index, shard) in shards.iter().enumerate() {
+            failpoint!("snapshot::write_shard", |msg: String| SnapshotError::Io(
+                std::io::Error::other(msg)
+            ));
             let pipeline = shard.read().expect("shard lock poisoned");
             let summary = pipeline.summary();
             let path = dir.join(shard_file_name(index));
@@ -837,6 +1026,8 @@ impl ShardedHiggs {
             std::fs::remove_file(&path)?;
             stale += 1;
         }
+        // LINT-ALLOW(durability-io-panic): config validation rejects zero
+        // shards, so the shard loop above ran at least once.
         let mut config = config.expect("a service holds at least one shard");
         // Shard summaries carry the per-summary view of the config; the
         // manifest records the *service* shard count so restore rebuilds the
@@ -845,10 +1036,12 @@ impl ShardedHiggs {
         // cleared exactly as a re-read of the written file would.
         config.shards = shards.len();
         config.pin_workers = false;
-        // Likewise for the serving knobs: admission tick and submission
-        // queue depth describe the front-end process, not the summary.
+        // Likewise for the serving knobs: admission tick, submission queue
+        // depth and journal sync policy describe the front-end process, not
+        // the summary.
         config.admission_tick = std::time::Duration::ZERO;
         config.service_queue_depth = None;
+        config.journal_mode = JournalMode::Off;
         let manifest = SnapshotManifest {
             format_version: FORMAT_VERSION,
             config,
@@ -857,9 +1050,9 @@ impl ShardedHiggs {
         };
         let path = dir.join(MANIFEST_FILE);
         let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
-        manifest.write_to(&mut file)?;
+        let checksum = manifest.write_to(&mut file)?;
         file.into_inner().map_err(|e| e.into_error())?.sync_all()?;
-        Ok(manifest)
+        Ok((manifest, checksum))
     }
 
     /// Rebuilds a warm service from a directory written by
@@ -867,6 +1060,17 @@ impl ShardedHiggs {
     /// worker per shard. Writer threads restart with empty queues; the
     /// restored service immediately serves queries bit-identically to the
     /// snapshotted one and keeps accepting inserts/deletes.
+    ///
+    /// When the directory also holds per-shard write-ahead journals (it was
+    /// the live directory of a durable service, see
+    /// [`ShardedHiggs::new_durable`]), each journal's tail is replayed on
+    /// top of the restored shard — this is the crash-recovery path: snapshot
+    /// plus journal reconstructs every acknowledged mutation. A torn final
+    /// record (the crash hit mid-append) is tolerated as a clean end of the
+    /// journal; interior corruption is a typed
+    /// [`JournalError`]. The restored service is
+    /// **not** durable itself — use `new_durable` to both recover and keep
+    /// journaling.
     pub fn restore_from_dir(dir: impl AsRef<Path>) -> Result<Self, SnapshotError> {
         Self::restore_from_dir_with_workers(dir, 1)
     }
@@ -877,53 +1081,24 @@ impl ShardedHiggs {
     /// Validation order: manifest (magic, version, checksum, internal
     /// consistency), directory shard-file census against the manifest's
     /// count, then each shard file's own checksum and its manifest-recorded
-    /// checksum. Nothing is spawned until every shard decoded cleanly, so a
-    /// failed restore never leaks writer threads.
+    /// checksum, then journal tail replay. Nothing is spawned until every
+    /// shard decoded cleanly, so a failed restore never leaks writer
+    /// threads.
     pub fn restore_from_dir_with_workers(
         dir: impl AsRef<Path>,
         workers_per_shard: usize,
     ) -> Result<Self, SnapshotError> {
-        let dir = dir.as_ref();
-        let manifest = SnapshotManifest::read_from_dir(dir)?;
-        let declared = manifest.shard_count();
-        // An extra shard file beyond the declared count means the manifest
-        // and the directory disagree (e.g. a manifest from a smaller
-        // service was copied in): refuse rather than silently drop data.
-        let mut present = 0usize;
-        while dir.join(shard_file_name(present)).exists() {
-            present += 1;
-        }
-        if present != declared {
-            return Err(SnapshotError::ShardCountMismatch {
-                manifest: declared,
-                found: present,
-            });
-        }
-        let mut summaries = Vec::with_capacity(declared);
-        for index in 0..declared {
-            let path = dir.join(shard_file_name(index));
-            let mut file = match std::fs::File::open(&path) {
-                Ok(f) => std::io::BufReader::new(f),
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                    return Err(SnapshotError::MissingShard { shard: index, path });
-                }
-                Err(e) => return Err(e.into()),
-            };
-            let (summary, checksum) = HiggsSummary::read_snapshot_with_checksum(&mut file)?;
-            if checksum != manifest.shard_checksums[index] {
-                return Err(SnapshotError::ShardChecksumMismatch {
-                    shard: index,
-                    manifest: manifest.shard_checksums[index],
-                    file: checksum,
-                });
-            }
-            summaries.push(summary);
-        }
-        let pipelines: Vec<ParallelHiggs> = summaries
-            .into_iter()
-            .map(|s| ParallelHiggs::from_summary(s, workers_per_shard))
-            .collect();
-        Ok(Self::from_pipelines(manifest.config, pipelines)?)
+        let (config, pipelines) = restore_pipelines(dir.as_ref(), workers_per_shard)?;
+        Ok(Self::from_pipelines(config, pipelines)?)
+    }
+}
+
+/// Whether two paths name the same directory (canonicalised when possible,
+/// literal comparison as the fallback for paths that cannot be resolved).
+fn same_dir(a: &Path, b: &Path) -> bool {
+    match (std::fs::canonicalize(a), std::fs::canonicalize(b)) {
+        (Ok(ca), Ok(cb)) => ca == cb,
+        _ => a == b,
     }
 }
 
@@ -1011,10 +1186,131 @@ mod tests {
                 SnapshotError::Corrupt("broken".into()).to_string(),
                 "corrupt snapshot",
             ),
+            (
+                SnapshotError::Journal(JournalError::Corrupt {
+                    shard: 1,
+                    record: 2,
+                    detail: "checksum".into(),
+                })
+                .to_string(),
+                "journal replay failed",
+            ),
+            (
+                SnapshotError::DegradedShard { shard: 3 }.to_string(),
+                "shard 3 is degraded",
+            ),
         ];
         for (message, needle) in cases {
             assert!(message.contains(needle), "{message:?} missing {needle:?}");
         }
+    }
+
+    #[test]
+    fn rotating_snapshot_truncates_journals_and_restore_is_exact() {
+        use crate::journal::journal_file_name;
+
+        // The rotation fence: after a successful snapshot into the durable
+        // directory the journals must be empty (a mutation lives in exactly
+        // one of snapshot or journal), so restore-plus-replay must equal the
+        // snapshot — and must NOT double-apply the journaled mutations,
+        // which would inflate weights (inserts are additive, not
+        // idempotent).
+        let dir = std::env::temp_dir().join(format!(
+            "higgs-rotation-fence-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = HiggsConfig::builder()
+            .shards(2)
+            .journal_mode(JournalMode::SyncEveryN(8))
+            .build()
+            .expect("valid durable configuration");
+        let service = ShardedHiggs::new_durable(config, &dir).expect("durable service");
+        let handle = service.ingest_handle();
+        let edges: Vec<StreamEdge> = (0..1_000u64)
+            .map(|i| StreamEdge::new(i % 50, (i * 7) % 50, 1 + i % 3, i))
+            .collect();
+        for e in &edges {
+            handle.insert(e).expect("ingest");
+        }
+        // Journal appends happen on the writer threads; wait for them before
+        // measuring the pre-rotation journal size.
+        service.flush();
+        let pre_rotation = std::fs::metadata(dir.join(journal_file_name(0)))
+            .expect("journal exists")
+            .len();
+        let manifest = service.snapshot_to_dir(&dir).expect("rotating snapshot");
+        assert_eq!(manifest.total_items(), 1_000);
+        let covering = manifest_tail_checksum(&dir).expect("manifest checksum");
+        assert_ne!(covering, 0, "a written manifest has a real checksum");
+        for shard in 0..2 {
+            let len = std::fs::metadata(dir.join(journal_file_name(shard)))
+                .expect("journal exists")
+                .len();
+            assert!(
+                len < pre_rotation,
+                "rotation must truncate shard {shard}'s journal ({len} bytes left)"
+            );
+            assert!(
+                crate::journal::replay(&dir, shard, covering)
+                    .expect("truncated journal replays")
+                    .is_empty(),
+                "a rotated journal must replay to nothing"
+            );
+        }
+        // Post-rotation mutations land in the fresh journal only.
+        let extra = StreamEdge::new(1, 7, 5, 2_000);
+        handle.insert(&extra).expect("ingest after rotation");
+        service.flush();
+        let expected_batch = [
+            higgs_common::Query::edge(1, 7, TimeRange::all()),
+            higgs_common::Query::vertex(1, higgs_common::VertexDirection::Out, TimeRange::all()),
+        ];
+        let expected = service.query_batch(&expected_batch);
+        drop(service);
+        let recovered = ShardedHiggs::new_durable(config, &dir).expect("recovery");
+        assert_eq!(
+            recovered.query_batch(&expected_batch),
+            expected,
+            "snapshot + journal tail must reconstruct the exact state"
+        );
+        assert_eq!(recovered.total_items(), 1_001);
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_into_a_foreign_directory_does_not_rotate_journals() {
+        use crate::journal::journal_file_name;
+
+        let dir = std::env::temp_dir().join(format!(
+            "higgs-foreign-snap-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let other = dir.join("elsewhere");
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = HiggsConfig::builder()
+            .shards(1)
+            .journal_mode(JournalMode::Buffered)
+            .build()
+            .expect("valid durable configuration");
+        let mut service = ShardedHiggs::new_durable(config, &dir).expect("durable service");
+        service.insert(&StreamEdge::new(1, 2, 5, 10));
+        service.flush();
+        let before = std::fs::metadata(dir.join(journal_file_name(0)))
+            .expect("journal exists")
+            .len();
+        service.snapshot_to_dir(&other).expect("snapshot elsewhere");
+        let after = std::fs::metadata(dir.join(journal_file_name(0)))
+            .expect("journal exists")
+            .len();
+        assert_eq!(
+            before, after,
+            "a snapshot outside the journal directory must not rotate"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -1068,6 +1364,7 @@ mod tests {
             pin_workers: false,
             admission_tick: std::time::Duration::ZERO,
             service_queue_depth: None,
+            journal_mode: JournalMode::Off,
         });
         for i in 0..2_000u64 {
             live.insert(&StreamEdge::new(i % 60, (i * 7) % 60, 1, i));

@@ -562,6 +562,7 @@ mod tests {
             pin_workers: false,
             admission_tick: std::time::Duration::ZERO,
             service_queue_depth: None,
+            journal_mode: crate::config::JournalMode::Off,
         }
     }
 

@@ -1,0 +1,229 @@
+//! Deterministic fault-injection failpoints (workspace shim for the `fail`
+//! crate's core idea, self-contained — the build environment has no registry
+//! access).
+//!
+//! A *failpoint* is a named hook compiled into production code paths
+//! (journal appends, snapshot writes, writer applies). In a normal build the
+//! hooks are compiled out entirely; under the consumer's fault-injection
+//! feature each hook calls [`eval`] with its name, and a test can
+//! [`configure`] that name to trigger an [`Action`] on the **Nth** hit:
+//! return an error message, panic, or delay. Because triggering is counted
+//! and single-shot, a crash-recovery test can kill a writer at exactly the
+//! third append, recover, and replay the same workload deterministically —
+//! no timing races, no flaky kills.
+//!
+//! ```
+//! use std::time::Duration;
+//!
+//! fail::reset();
+//! fail::configure("demo::step", 2, fail::Action::Error("injected".into()));
+//! assert_eq!(fail::eval("demo::step"), None); // first hit: pass through
+//! assert_eq!(fail::eval("demo::step"), Some("injected".into())); // second: fire
+//! assert_eq!(fail::eval("demo::step"), None); // single-shot: disarmed
+//! fail::reset();
+//! # let _ = Duration::ZERO;
+//! ```
+//!
+//! The registry is process-global and mutex-guarded; tests that program
+//! failpoints must serialise on their own (the consumers here run chaos
+//! tests in dedicated integration binaries).
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// What a triggered failpoint does.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Panic with a message naming the failpoint (simulates a crash of the
+    /// thread executing the instrumented path).
+    Panic,
+    /// Make the instrumented operation fail with this message (the consumer
+    /// maps it into its typed error).
+    Error(String),
+    /// Stall the instrumented path for the given duration, then continue
+    /// normally (simulates a slow disk or a scheduling hiccup).
+    Delay(Duration),
+}
+
+/// One armed failpoint: fires its action on the `on_hit`-th evaluation,
+/// exactly once.
+#[derive(Debug)]
+struct FailPoint {
+    on_hit: u64,
+    action: Action,
+    hits: u64,
+    fired: bool,
+}
+
+fn registry() -> &'static Mutex<HashMap<String, FailPoint>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, FailPoint>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Arms failpoint `name` to fire `action` on its `on_hit`-th evaluation
+/// (1-based; `1` fires on the next hit). Re-configuring a name replaces the
+/// previous arming and resets its hit counter. Firing is **single-shot**:
+/// after triggering once the failpoint counts hits but stays silent until
+/// re-configured, so a recovery replay passing the same code path does not
+/// re-trigger the same fault.
+///
+/// # Panics
+///
+/// Panics if `on_hit` is zero (a failpoint that never fires is a test bug).
+pub fn configure(name: &str, on_hit: u64, action: Action) {
+    assert!(on_hit > 0, "failpoint {name:?}: on_hit is 1-based");
+    let mut map = registry().lock().expect("failpoint registry poisoned");
+    map.insert(
+        name.to_string(),
+        FailPoint {
+            on_hit,
+            action,
+            hits: 0,
+            fired: false,
+        },
+    );
+}
+
+/// Disarms failpoint `name` (no-op when not configured).
+pub fn remove(name: &str) {
+    let mut map = registry().lock().expect("failpoint registry poisoned");
+    map.remove(name);
+}
+
+/// Disarms every failpoint and clears all hit counters.
+pub fn reset() {
+    let mut map = registry().lock().expect("failpoint registry poisoned");
+    map.clear();
+}
+
+/// Number of times failpoint `name` has been evaluated since it was last
+/// configured (zero when not configured). Lets tests assert an instrumented
+/// path was actually reached.
+pub fn hits(name: &str) -> u64 {
+    let map = registry().lock().expect("failpoint registry poisoned");
+    map.get(name).map_or(0, |fp| fp.hits)
+}
+
+/// Evaluates failpoint `name`: counts the hit and, when the armed threshold
+/// is reached for the first time, performs the configured [`Action`] —
+/// panicking for [`Action::Panic`], sleeping for [`Action::Delay`] (then
+/// returning `None`), or returning `Some(message)` for [`Action::Error`] so
+/// the caller can surface its typed error. Unconfigured names return `None`
+/// without any bookkeeping beyond one map lookup.
+pub fn eval(name: &str) -> Option<String> {
+    let action = {
+        let mut map = registry().lock().expect("failpoint registry poisoned");
+        let fp = map.get_mut(name)?;
+        fp.hits += 1;
+        if fp.fired || fp.hits != fp.on_hit {
+            return None;
+        }
+        fp.fired = true;
+        fp.action.clone()
+        // Lock released here: a panic or delay must not hold the registry.
+    };
+    match action {
+        Action::Panic => panic!("failpoint {name:?} triggered panic"),
+        Action::Delay(d) => {
+            std::thread::sleep(d);
+            None
+        }
+        Action::Error(msg) => Some(msg),
+    }
+}
+
+/// Macro form mirroring the upstream `fail` crate's idiom: evaluates the
+/// named failpoint, mapping an injected error message through `$map` into an
+/// early `return Err(..)` — or, in the unit form, ignoring error injections
+/// (only `Panic`/`Delay` actions are meaningful there).
+#[macro_export]
+macro_rules! point {
+    ($name:expr) => {
+        let _ = $crate::eval($name);
+    };
+    ($name:expr, $map:expr) => {
+        if let Some(msg) = $crate::eval($name) {
+            #[allow(clippy::redundant_closure_call)]
+            return Err(($map)(msg));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    // The registry is process-global, so every test uses its own names and
+    // cleans up after itself; `cargo test` threads never share a name.
+
+    #[test]
+    fn unconfigured_points_are_silent() {
+        assert_eq!(eval("tests::never_configured"), None);
+        assert_eq!(hits("tests::never_configured"), 0);
+    }
+
+    #[test]
+    fn error_fires_on_nth_hit_exactly_once() {
+        configure("tests::nth", 3, Action::Error("boom".into()));
+        assert_eq!(eval("tests::nth"), None);
+        assert_eq!(eval("tests::nth"), None);
+        assert_eq!(eval("tests::nth"), Some("boom".into()));
+        // Single-shot: later hits (including a recovery replay crossing the
+        // same path) pass through.
+        assert_eq!(eval("tests::nth"), None);
+        assert_eq!(hits("tests::nth"), 4);
+        remove("tests::nth");
+    }
+
+    #[test]
+    fn reconfigure_resets_the_counter() {
+        configure("tests::reconf", 1, Action::Error("first".into()));
+        assert_eq!(eval("tests::reconf"), Some("first".into()));
+        configure("tests::reconf", 2, Action::Error("second".into()));
+        assert_eq!(hits("tests::reconf"), 0);
+        assert_eq!(eval("tests::reconf"), None);
+        assert_eq!(eval("tests::reconf"), Some("second".into()));
+        remove("tests::reconf");
+    }
+
+    #[test]
+    fn panic_action_panics_with_the_point_name() {
+        configure("tests::boom", 1, Action::Panic);
+        let caught = std::panic::catch_unwind(|| eval("tests::boom"));
+        let err = caught.expect_err("panic action must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("tests::boom"), "panic names the point: {msg}");
+        // The registry lock is released before panicking: still usable.
+        assert_eq!(eval("tests::boom"), None);
+        remove("tests::boom");
+    }
+
+    #[test]
+    fn delay_action_stalls_then_continues() {
+        configure("tests::slow", 1, Action::Delay(Duration::from_millis(30)));
+        let start = Instant::now();
+        assert_eq!(eval("tests::slow"), None);
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        remove("tests::slow");
+    }
+
+    #[test]
+    fn point_macro_maps_injected_errors() {
+        fn guarded() -> Result<u32, String> {
+            crate::point!("tests::macro", |msg: String| format!("mapped: {msg}"));
+            Ok(7)
+        }
+        configure("tests::macro", 1, Action::Error("inj".into()));
+        assert_eq!(guarded(), Err("mapped: inj".into()));
+        assert_eq!(guarded(), Ok(7));
+        remove("tests::macro");
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn configure_rejects_zero_threshold() {
+        configure("tests::zero", 0, Action::Panic);
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: durability I/O code that panics instead of propagating errors.
+
+use std::fs::File;
+use std::io::Write;
+
+pub fn append(path: &str, body: &[u8]) {
+    // Both sites are flagged: I/O faults must surface as typed errors.
+    let mut file = File::create(path).expect("create journal");
+    file.write_all(body).unwrap();
+}

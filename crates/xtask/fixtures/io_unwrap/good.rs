@@ -1,0 +1,32 @@
+//! Fixture: durability I/O code on its best behaviour — typed errors on
+//! I/O paths, poisoned-lock expects and test code exempt.
+
+use std::fs::File;
+use std::io::Write;
+use std::sync::RwLock;
+
+pub fn append(path: &str, body: &[u8]) -> std::io::Result<()> {
+    let mut file = File::create(path)?;
+    file.write_all(body)?;
+    Ok(())
+}
+
+pub fn snapshot(lock: &RwLock<Vec<u8>>) -> usize {
+    // Lock acquisition: a poisoned lock means a writer already panicked,
+    // and propagating that panic is the workspace convention.
+    let guard = lock.read().expect("shard lock poisoned");
+    let held = lock.write().expect("shard lock poisoned").len();
+    held + guard.len()
+}
+
+pub fn invariant(first: Option<u64>) -> u64 {
+    first.expect("at least one shard") // LINT-ALLOW(durability-io-panic): config validation rejects zero shards
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        std::fs::read("missing").unwrap_err();
+    }
+}

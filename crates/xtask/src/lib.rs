@@ -12,7 +12,7 @@
 //! # Static analysis
 //!
 //! The `lint` subcommand walks every `.rs` file in the workspace (excluding
-//! `target/` and the lint's own fixture corpus) and enforces six rules:
+//! `target/` and the lint's own fixture corpus) and enforces seven rules:
 //!
 //! | rule | meaning |
 //! |------|---------|
@@ -22,6 +22,7 @@
 //! | `feature-gate-pairing` | every `#[cfg(feature = "X")]`-gated item in library code has a `not(feature = "X")` twin (or `cfg!(feature = "X")` runtime dispatch) in the same file, so a default build never loses a symbol |
 //! | `bench-baseline-sync` | every Criterion bench id covered by the CI perf gate appears in its committed `BENCH_*.json` baseline and vice versa, and every committed baseline is wired into CI |
 //! | `error-variant-coverage` | every variant of the configured error enums is constructed somewhere outside its definition (and outside its `impl ... for` blocks) and named in at least one test |
+//! | `durability-io-panic` | `unwrap()` / `expect(` on non-lock calls are forbidden in the declared durability modules (journal/snapshot I/O) outside `#[cfg(test)]` code — a disk fault must surface as a typed error, not a dead writer thread |
 //!
 //! Diagnostics are reported as `file:line: [rule] message`, and `--json`
 //! additionally writes a machine-readable report for CI annotation.
@@ -68,6 +69,7 @@ pub const KNOWN_RULES: &[&str] = &[
     rules::feature_gate::RULE,
     rules::bench_baseline::RULE,
     rules::error_coverage::RULE,
+    rules::io_unwrap::RULE,
     RULE_LINT_ALLOW,
 ];
 
@@ -113,6 +115,8 @@ pub struct LintConfig {
     pub ordering_exempt: Vec<String>,
     /// `(rel file, enum name)` pairs for `error-variant-coverage`.
     pub error_enums: Vec<(String, String)>,
+    /// Rel-path suffixes of the durability modules for `durability-io-panic`.
+    pub durability_paths: Vec<String>,
     /// Rel path of the CI workflow for `bench-baseline-sync` (None disables).
     pub ci_file: Option<String>,
     /// Rel dir containing Criterion bench sources.
@@ -150,6 +154,11 @@ impl LintConfig {
                 ("crates/higgs/src/config.rs".into(), "ConfigError".into()),
                 ("crates/higgs/src/shard.rs".into(), "IngestError".into()),
                 ("crates/higgs/src/serving.rs".into(), "ServiceError".into()),
+                ("crates/higgs/src/journal.rs".into(), "JournalError".into()),
+            ],
+            durability_paths: vec![
+                "crates/higgs/src/journal.rs".into(),
+                "crates/higgs/src/snapshot.rs".into(),
             ],
             ci_file: Some(".github/workflows/ci.yml".into()),
             bench_dir: "crates/bench/benches".into(),
@@ -325,6 +334,7 @@ pub fn run_lint(cfg: &LintConfig) -> io::Result<Vec<Diagnostic>> {
         rules::ordering::check(cfg, sf, &mut raw);
         rules::panic_free::check(cfg, sf, &mut raw);
         rules::feature_gate::check(sf, &mut raw);
+        rules::io_unwrap::check(cfg, sf, &mut raw);
     }
     rules::bench_baseline::check(cfg, &mut raw)?;
     rules::error_coverage::check(cfg, &files, &mut raw);
@@ -349,8 +359,8 @@ pub fn run_lint(cfg: &LintConfig) -> io::Result<Vec<Diagnostic>> {
     Ok(out)
 }
 
-/// Run only the per-file rules (1–4) plus suppression handling on one file.
-/// Fixture tests use this to exercise a rule in isolation.
+/// Run only the per-file rules (1–4 and 7) plus suppression handling on one
+/// file. Fixture tests use this to exercise a rule in isolation.
 pub fn lint_single(cfg: &LintConfig, rel: &str, text: &str) -> Vec<Diagnostic> {
     let sf = SourceFile::parse(rel, text);
     let mut tag_diags = Vec::new();
@@ -360,6 +370,7 @@ pub fn lint_single(cfg: &LintConfig, rel: &str, text: &str) -> Vec<Diagnostic> {
     rules::ordering::check(cfg, &sf, &mut raw);
     rules::panic_free::check(cfg, &sf, &mut raw);
     rules::feature_gate::check(&sf, &mut raw);
+    rules::io_unwrap::check(cfg, &sf, &mut raw);
     let mut out = tag_diags;
     for d in raw {
         if d.line == 0 || !sup.allows(d.rule, d.line - 1) {

@@ -1,0 +1,62 @@
+//! Rule 7: panic-free durability I/O. In the configured durability modules
+//! (the journal and snapshot code), `.unwrap()` / `.expect(` on anything
+//! other than a lock acquisition are forbidden outside `#[cfg(test)]` code:
+//! a panic on an I/O path turns a reportable disk fault (typed
+//! `JournalError` / `SnapshotError`) into a dead writer thread and a
+//! degraded shard. Poisoned-lock `expect`s — chains ending in `.read()`,
+//! `.write()` or `.lock()` — are exempt: a poisoned shard lock means a
+//! writer already panicked, and propagating that panic is the convention
+//! throughout the workspace. Genuinely unreachable cases carry a
+//! `LINT-ALLOW(durability-io-panic): <invariant>` tag instead.
+
+use crate::scan::SourceFile;
+use crate::{Diagnostic, LintConfig};
+
+/// Rule identifier.
+pub const RULE: &str = "durability-io-panic";
+
+/// Scan `sf` (when configured as a durability module) for panicking
+/// `unwrap`/`expect` calls that are not lock acquisitions.
+pub fn check(cfg: &LintConfig, sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !cfg
+        .durability_paths
+        .iter()
+        .any(|p| sf.rel.ends_with(p.as_str()))
+    {
+        return;
+    }
+    for i in 0..sf.len() {
+        if sf.in_test[i] {
+            continue;
+        }
+        let code = &sf.lines[i].code;
+        for needle in [".unwrap()", ".expect("] {
+            for (pos, _) in code.match_indices(needle) {
+                if follows_lock_acquisition(&code[..pos]) {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    rule: RULE,
+                    file: sf.rel.clone(),
+                    line: i + 1,
+                    message: format!(
+                        "`{needle}` on a durability I/O path (outside #[cfg(test)]); \
+                         propagate a typed JournalError/SnapshotError instead, or \
+                         document the invariant with LINT-ALLOW({RULE})",
+                        needle = needle.trim_end_matches('('),
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Does the code before the `.unwrap()`/`.expect(` end in a lock
+/// acquisition? Only the zero-argument forms count: `.read()` / `.write()`
+/// with arguments are `std::io` calls, not `RwLock` ones.
+fn follows_lock_acquisition(before: &str) -> bool {
+    let trimmed = before.trim_end();
+    [".read()", ".write()", ".lock()"]
+        .iter()
+        .any(|lock| trimmed.ends_with(lock))
+}

@@ -4,6 +4,7 @@
 pub mod bench_baseline;
 pub mod error_coverage;
 pub mod feature_gate;
+pub mod io_unwrap;
 pub mod ordering;
 pub mod panic_free;
 pub mod safety;

@@ -24,6 +24,7 @@ fn base_cfg() -> LintConfig {
         ordering_allowlist: Vec::new(),
         ordering_exempt: Vec::new(),
         error_enums: Vec::new(),
+        durability_paths: Vec::new(),
         ci_file: None,
         bench_dir: String::new(),
         baseline_dir: String::new(),
@@ -285,6 +286,43 @@ fn error_rule_reports_unconstructed_and_untested_variant() {
         msgs.contains("`DemoError::Missing` is not named in any test"),
         "{msgs}"
     );
+}
+
+// --- rule 7: durability-io-panic ----------------------------------------------
+
+fn durability_cfg(rel: &str) -> LintConfig {
+    let mut cfg = base_cfg();
+    cfg.durability_paths = vec![rel.to_string()];
+    cfg
+}
+
+#[test]
+fn io_unwrap_rule_flags_panicking_io_paths() {
+    let rel = "crates/demo/src/journal.rs";
+    let diags = lint_single(&durability_cfg(rel), rel, &fixture("io_unwrap/bad.rs"));
+    assert_eq!(
+        rule_count(&diags, "durability-io-panic"),
+        2,
+        "{}",
+        render_all(&diags)
+    );
+}
+
+#[test]
+fn io_unwrap_rule_exempts_locks_tests_and_tagged_invariants() {
+    let rel = "crates/demo/src/journal.rs";
+    let diags = lint_single(&durability_cfg(rel), rel, &fixture("io_unwrap/good.rs"));
+    assert!(diags.is_empty(), "{}", render_all(&diags));
+}
+
+#[test]
+fn io_unwrap_rule_only_applies_to_declared_durability_modules() {
+    let diags = lint_single(
+        &base_cfg(),
+        "crates/demo/src/other.rs",
+        &fixture("io_unwrap/bad.rs"),
+    );
+    assert!(diags.is_empty(), "{}", render_all(&diags));
 }
 
 // --- JSON output -------------------------------------------------------------

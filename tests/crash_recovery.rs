@@ -1,0 +1,332 @@
+//! Deterministic crash-recovery chaos tests, driven by the `fail` failpoint
+//! shim. Compiled only under the `failpoints` feature (CI runs
+//! `cargo test -p higgs-integration-tests --features failpoints`); a default
+//! build contains no fault-injection hooks at all.
+//!
+//! Every scenario follows the same shape: build a *control* service that
+//! never faults, run a workload through a *faulty* service with one armed
+//! failpoint (journal append error, snapshot write error, or an apply
+//! panic), let supervision recover the writer, and require the faulty
+//! service — and a cold restart from its durable directory — to answer
+//! **bit-identically** to the control. Failpoints are counted and
+//! single-shot, so each run kills the writer at exactly the same point:
+//! no timing races, no flaky kills.
+//!
+//! The failpoint registry and the writer census are process-global, so
+//! every test serialises on [`CHAOS_LOCK`] and resets the registry on both
+//! sides of its run.
+
+#![cfg(feature = "failpoints")]
+
+use higgs::shard::live_writer_threads;
+use higgs::{HiggsConfig, HiggsService, JournalMode, ServiceError, ShardHealth, ShardedHiggs};
+use higgs_common::{Query, QueryOptions, RetryPolicy, StreamEdge, TemporalGraphSummary, TimeRange};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Serialises chaos tests: the failpoint registry and the writer census are
+/// both process-wide, and a stray armed failpoint would fire in an
+/// unrelated test's writer.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Locks the chaos mutex (surviving a poisoned lock from an earlier failed
+/// test) and clears any stale failpoint arming.
+fn chaos_guard() -> std::sync::MutexGuard<'static, ()> {
+    let guard = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    fail::reset();
+    guard
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("higgs-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_config(shards: usize) -> HiggsConfig {
+    HiggsConfig::builder()
+        .shards(shards)
+        .journal_mode(JournalMode::Buffered)
+        .build()
+        .expect("valid durable configuration")
+}
+
+fn workload(n: u64) -> Vec<StreamEdge> {
+    (0..n)
+        .map(|i| StreamEdge::new(i % 50, (i * 13) % 50, 1 + i % 4, i))
+        .collect()
+}
+
+fn probes() -> Vec<Query> {
+    (0..25u64)
+        .map(|k| Query::edge(k % 50, (k * 13) % 50, TimeRange::all()))
+        .collect()
+}
+
+/// Reference answers from a service that never faults. Built *before* any
+/// failpoint is armed, so the control can never absorb an injected fault.
+fn control_answers(shards: usize, edges: &[StreamEdge]) -> Vec<higgs_common::Weight> {
+    let mut control = ShardedHiggs::new(
+        HiggsConfig::builder()
+            .shards(shards)
+            .build()
+            .expect("valid configuration"),
+    );
+    for e in edges {
+        higgs_common::TemporalGraphSummary::insert(&mut control, e);
+    }
+    control.query_batch(&probes())
+}
+
+/// Polls until every shard reports `Healthy` (recovery finished) or the
+/// deadline passes.
+fn await_all_healthy(service: &ShardedHiggs) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if service
+            .shard_health()
+            .iter()
+            .all(|h| *h == ShardHealth::Healthy)
+        {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "shards still degraded after 10s: {:?}",
+            service.shard_health()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Polls until the writer census settles at `expected` (the dying writer's
+/// counter guard drops shortly after its replacement is registered).
+fn await_census(expected: usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while live_writer_threads() != expected {
+        assert!(
+            Instant::now() < deadline,
+            "writer census stuck at {} (expected {expected})",
+            live_writer_threads()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// An apply panic kills the writer mid-command; the record was journaled
+/// first, so the respawned writer rebuilds the shard and replays it —
+/// the faulty service, and a cold restart from its directory, answer
+/// bit-identically to a never-crashed control at every shard count.
+#[test]
+fn apply_panic_recovers_bit_identical_to_control() {
+    let _guard = chaos_guard();
+    let edges = workload(600);
+    for shards in [1usize, 2, 4] {
+        let expected = control_answers(shards, &edges);
+        let dir = temp_dir(&format!("apply-panic-{shards}"));
+
+        let service =
+            ShardedHiggs::new_durable(durable_config(shards), &dir).expect("durable service");
+        let handle = service.ingest_handle();
+        fail::configure("shard::apply", 3, fail::Action::Panic);
+        for e in &edges {
+            handle.insert(e).expect("live ingest");
+        }
+        service.flush();
+        assert!(
+            fail::hits("shard::apply") >= 3,
+            "the instrumented apply path was never reached"
+        );
+        await_all_healthy(&service);
+        await_census(shards);
+        assert_eq!(
+            service.query_batch(&probes()),
+            expected,
+            "{shards}-shard recovery after an apply panic must be bit-identical"
+        );
+
+        // Cold restart from the same directory: the journal alone (no
+        // snapshot was ever taken) rebuilds the identical state.
+        drop(service);
+        assert_eq!(live_writer_threads(), 0, "drop joins respawned writers");
+        let reborn = ShardedHiggs::new_durable(durable_config(shards), &dir).expect("cold restart");
+        assert_eq!(
+            reborn.query_batch(&probes()),
+            expected,
+            "{shards}-shard restart"
+        );
+        drop(reborn);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+        fail::reset();
+    }
+}
+
+/// A journal append failure degrades the writer *before* the command was
+/// journaled or applied; the command is carried over to the replacement
+/// writer, so no acknowledged mutation is lost.
+#[test]
+fn journal_append_failure_loses_no_acknowledged_mutation() {
+    let _guard = chaos_guard();
+    let edges = workload(400);
+    for shards in [1usize, 2, 4] {
+        let expected = control_answers(shards, &edges);
+        let dir = temp_dir(&format!("append-fail-{shards}"));
+
+        let service =
+            ShardedHiggs::new_durable(durable_config(shards), &dir).expect("durable service");
+        let handle = service.ingest_handle();
+        fail::configure(
+            "journal::append",
+            5,
+            fail::Action::Error("injected disk fault".into()),
+        );
+        for e in &edges {
+            handle.insert(e).expect("live ingest");
+        }
+        service.flush();
+        assert!(
+            fail::hits("journal::append") >= 5,
+            "the instrumented append path was never reached"
+        );
+        await_all_healthy(&service);
+        assert_eq!(
+            service.query_batch(&probes()),
+            expected,
+            "{shards}-shard recovery after an append fault must be bit-identical"
+        );
+
+        drop(service);
+        let reborn = ShardedHiggs::new_durable(durable_config(shards), &dir).expect("cold restart");
+        assert_eq!(
+            reborn.query_batch(&probes()),
+            expected,
+            "{shards}-shard restart"
+        );
+        drop(reborn);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+        fail::reset();
+    }
+}
+
+/// A failed snapshot must leave the journals untouched (the rotation fence
+/// releases with "keep"), keep serving identical results, and a retried
+/// snapshot afterwards rotates normally.
+#[test]
+fn failed_snapshot_keeps_journals_and_state() {
+    let _guard = chaos_guard();
+    let edges = workload(500);
+    for shards in [1usize, 2, 4] {
+        let expected = control_answers(shards, &edges);
+        let dir = temp_dir(&format!("snap-fail-{shards}"));
+
+        let service =
+            ShardedHiggs::new_durable(durable_config(shards), &dir).expect("durable service");
+        let handle = service.ingest_handle();
+        for e in &edges {
+            handle.insert(e).expect("live ingest");
+        }
+        service.flush();
+        let journal_len = |s: usize| {
+            std::fs::metadata(dir.join(higgs::journal::journal_file_name(s)))
+                .expect("journal exists")
+                .len()
+        };
+        let before: Vec<u64> = (0..shards).map(journal_len).collect();
+        assert!(
+            before.iter().all(|&len| len > 0),
+            "buffered journals must hold the workload"
+        );
+
+        fail::configure(
+            "snapshot::write_shard",
+            1,
+            fail::Action::Error("injected snapshot fault".into()),
+        );
+        service
+            .snapshot_to_dir(&dir)
+            .expect_err("armed snapshot must fail");
+        let after: Vec<u64> = (0..shards).map(journal_len).collect();
+        assert_eq!(
+            before, after,
+            "a failed snapshot must not rotate (truncate) any journal"
+        );
+        assert_eq!(
+            service.query_batch(&probes()),
+            expected,
+            "{shards}-shard service must keep serving after a failed snapshot"
+        );
+
+        // The failpoint is single-shot and already spent: the retry rotates.
+        service.snapshot_to_dir(&dir).expect("retried snapshot");
+        let rotated: Vec<u64> = (0..shards).map(journal_len).collect();
+        assert!(
+            rotated.iter().zip(&before).all(|(r, b)| r < b),
+            "a successful snapshot truncates every journal ({before:?} -> {rotated:?})"
+        );
+
+        drop(service);
+        let reborn = ShardedHiggs::new_durable(durable_config(shards), &dir).expect("cold restart");
+        assert_eq!(
+            reborn.query_batch(&probes()),
+            expected,
+            "{shards}-shard restart from snapshot + empty journal tail"
+        );
+        drop(reborn);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+        fail::reset();
+    }
+}
+
+/// Without a durable record there is nothing to recover from: the shard
+/// stays degraded, queries routed at it fail fast with the typed
+/// `ShardUnavailable` error (never a hang), ingest and flush stay
+/// non-blocking, and retry policies exhaust cleanly.
+#[test]
+fn degraded_shard_without_recovery_fails_queries_fast() {
+    let _guard = chaos_guard();
+    let service = HiggsService::new(
+        HiggsConfig::builder()
+            .shards(1)
+            .build()
+            .expect("valid configuration"),
+    );
+    let client = service.client();
+    client.insert(&StreamEdge::new(1, 2, 5, 10)).expect("live");
+    assert_eq!(client.query(&Query::edge(1, 2, TimeRange::all())), Ok(5));
+
+    // Kill the only writer; journaling is off, so recovery is impossible.
+    fail::configure("shard::apply", 1, fail::Action::Panic);
+    client
+        .insert(&StreamEdge::new(3, 4, 7, 11))
+        .expect("queued");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while service.summary().shard_health() != vec![ShardHealth::Degraded] {
+        assert!(Instant::now() < deadline, "shard never degraded");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Tickets resolve with the typed error instead of hanging on the dead
+    // writer's flush.
+    let ticket = client.submit(Query::edge(1, 2, TimeRange::all()));
+    assert_eq!(ticket.wait(), Err(ServiceError::ShardUnavailable));
+    // Batches fail atomically with the same error.
+    assert_eq!(
+        client.query_batch(&[Query::edge(1, 2, TimeRange::all())]),
+        Err(ServiceError::ShardUnavailable)
+    );
+    // A retry policy burns its bounded backoff schedule, then surfaces the
+    // same transient error — bounded time, no hang.
+    let opts =
+        QueryOptions::new().retry(RetryPolicy::retries(2).base_backoff(Duration::from_millis(1)));
+    assert_eq!(
+        client.query_with(&Query::edge(1, 2, TimeRange::all()), opts),
+        Err(ServiceError::ShardUnavailable)
+    );
+    // Ingest surfaces stay non-blocking while degraded.
+    client
+        .insert(&StreamEdge::new(5, 6, 1, 12))
+        .expect("queued");
+    client.flush();
+    fail::reset();
+}

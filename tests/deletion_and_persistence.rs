@@ -48,6 +48,7 @@ fn higgs_partial_deletion_updates_all_layers() {
         pin_workers: false,
         admission_tick: std::time::Duration::ZERO,
         service_queue_depth: None,
+        journal_mode: higgs::JournalMode::Off,
     });
     let edges: Vec<StreamEdge> = (0..3_000u64)
         .map(|i| StreamEdge::new(i % 120, (i * 7) % 120, 2, i))

@@ -74,6 +74,7 @@ proptest! {
             pin_workers: false,
             admission_tick: std::time::Duration::ZERO,
             service_queue_depth: None,
+        journal_mode: higgs::JournalMode::Off,
         });
         let mut exact = ExactTemporalGraph::new();
         for e in &edges {
@@ -181,6 +182,7 @@ proptest! {
             pin_workers: false,
             admission_tick: std::time::Duration::ZERO,
             service_queue_depth: None,
+        journal_mode: higgs::JournalMode::Off,
         });
         let mut exact = ExactTemporalGraph::new();
         for e in &edges {
@@ -319,6 +321,7 @@ proptest! {
             pin_workers: false,
             admission_tick: std::time::Duration::ZERO,
             service_queue_depth: None,
+        journal_mode: higgs::JournalMode::Off,
         });
         let mut exact = ExactTemporalGraph::new();
         for e in &edges {

@@ -62,6 +62,7 @@ fn collision_heavy_config(shards: usize) -> HiggsConfig {
         pin_workers: false,
         admission_tick: std::time::Duration::ZERO,
         service_queue_depth: None,
+        journal_mode: higgs::JournalMode::Off,
     }
 }
 

@@ -152,6 +152,7 @@ fn simd_and_scalar_probe_paths_are_bit_identical() {
                 pin_workers: false,
                 admission_tick: std::time::Duration::ZERO,
                 service_queue_depth: None,
+                journal_mode: higgs::JournalMode::Off,
             },
         ),
         // side 2 × 9 slots: a contiguous row sweep is 18 slots — past
@@ -172,6 +173,7 @@ fn simd_and_scalar_probe_paths_are_bit_identical() {
                 pin_workers: false,
                 admission_tick: std::time::Duration::ZERO,
                 service_queue_depth: None,
+                journal_mode: higgs::JournalMode::Off,
             },
         ),
     ];

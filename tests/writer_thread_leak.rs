@@ -64,6 +64,51 @@ fn restore_cycles_never_leak_writer_threads() {
         );
     }
 
+    // Durable services follow the same accounting: journaled writers are
+    // plain writers to the census, and crash-recovery (`new_durable` over a
+    // directory with live journal tails) spawns exactly one per shard.
+    let durable_dir: PathBuf =
+        std::env::temp_dir().join(format!("higgs-writer-leak-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&durable_dir);
+    let durable_config = HiggsConfig::builder()
+        .shards(SHARDS)
+        .journal_mode(higgs::JournalMode::Buffered)
+        .build()
+        .expect("valid durable configuration");
+    let durable = ShardedHiggs::new_durable(durable_config, &durable_dir).expect("durable service");
+    assert_eq!(
+        live_writer_threads(),
+        SHARDS,
+        "durable service: one journaled writer per shard"
+    );
+    let handle = durable.ingest_handle();
+    for e in &edges {
+        handle.insert(e).expect("live ingest");
+    }
+    durable.flush();
+    let durable_expected = durable.query_batch(&queries);
+    drop(durable);
+    assert_eq!(
+        live_writer_threads(),
+        0,
+        "durable drop must join all journaled writers"
+    );
+    let recovered =
+        ShardedHiggs::new_durable(durable_config, &durable_dir).expect("journal recovery");
+    assert_eq!(
+        live_writer_threads(),
+        SHARDS,
+        "journal-replay recovery must spawn exactly one writer per shard"
+    );
+    assert_eq!(recovered.query_batch(&queries), durable_expected);
+    drop(recovered);
+    assert_eq!(
+        live_writer_threads(),
+        0,
+        "drop after recovery must join all writers"
+    );
+    std::fs::remove_dir_all(&durable_dir).expect("durable cleanup");
+
     // A *failed* restore must not leak either: corrupt one shard file and
     // verify the error path spawns nothing.
     let shard0 = dir.join(higgs::snapshot::shard_file_name(0));
