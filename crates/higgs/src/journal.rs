@@ -331,7 +331,9 @@ impl Journal {
     /// footer). A fresh or empty file
     /// gets the header written and synced; an existing journal — the
     /// post-crash re-arm path — is extended in place after its header is
-    /// validated. An existing journal stamped with a *different* covering
+    /// validated and any torn trailing record (a crash mid-append) is
+    /// trimmed, so new records always start at a clean record boundary.
+    /// An existing journal stamped with a *different* covering
     /// checksum is stale (its records live in the snapshot already — the
     /// crash hit between manifest sync and rotation) and is reset to empty.
     ///
@@ -370,6 +372,18 @@ impl Journal {
                 file.write_all(&covering.to_le_bytes())?;
                 file.sync_all()?;
             } else {
+                // Post-crash re-arm: trim any torn tail before appending.
+                // Appending after torn partial bytes would make the *next*
+                // replay stop at (or report Corrupt for) the tear, silently
+                // discarding every record this session journals after it.
+                let (_, clean_end) = {
+                    let mut source = BufReader::new(&mut file);
+                    scan_records(&mut source, shard)?
+                };
+                if clean_end < len {
+                    file.set_len(clean_end)?;
+                    file.sync_all()?;
+                }
                 file.seek(SeekFrom::End(0))?;
             }
         }
@@ -530,12 +544,27 @@ pub fn replay(dir: &Path, shard: usize, covering: u64) -> Result<Vec<JournalReco
         return Ok(Vec::new());
     }
     let mut source = BufReader::new(file);
+    let (records, _) = scan_records(&mut source, shard)?;
+    Ok(records)
+}
+
+/// Scans a journal's record region (the reader positioned just past the
+/// header), returning every complete, checksum-verified record in append
+/// order together with the **clean-end byte offset**: the file offset one
+/// past the last complete record, beyond which only a torn tail (if
+/// anything) remains. [`replay`] uses the records; [`Journal::open`] uses
+/// the offset to trim a torn tail before re-arming the journal for appends.
+fn scan_records<R: Read>(
+    source: &mut R,
+    shard: usize,
+) -> Result<(Vec<JournalRecord>, u64), JournalError> {
     let mut records = Vec::new();
+    let mut clean_end = HEADER_LEN;
     loop {
         // Length prefix. Clean EOF at a record boundary ends the journal;
-        // a partial prefix is a torn tail (stop replaying, keep the prefix).
+        // a partial prefix is a torn tail (stop scanning, keep the prefix).
         let mut len_buf = [0u8; 4];
-        match read_exact_or_eof(&mut source, &mut len_buf) {
+        match read_exact_or_eof(source, &mut len_buf) {
             Ok(true) => {}
             Ok(false) => break,
             Err(e) => return Err(JournalError::Io(e)),
@@ -563,8 +592,9 @@ pub fn replay(dir: &Path, shard: usize, covering: u64) -> Result<Vec<JournalReco
             detail: e.to_string(),
         })?;
         records.push(record);
+        clean_end += 4 + u64::from(len);
     }
-    Ok(records)
+    Ok((records, clean_end))
 }
 
 /// Reads exactly `buf.len()` bytes, returning `Ok(false)` on clean EOF at
@@ -800,6 +830,42 @@ mod tests {
             replay(&dir, 0, 0).expect("replay"),
             vec![first[0].clone(), second]
         );
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn rearming_over_a_torn_tail_trims_before_appending() {
+        // The crash-then-recover-then-crash shape: a journal with a torn
+        // final record is re-armed by Journal::open, which must trim the
+        // partial bytes first — appending after them would make the *next*
+        // replay stop at the tear and silently discard the new records.
+        let dir = temp_dir("rearm-torn");
+        let records = sample_records();
+        write_records(&dir, 0, &records);
+        let path = dir.join(journal_file_name(0));
+        let full = std::fs::read(&path).expect("read journal");
+        let last_body_len = encode_record_body(records[3].shape())
+            .expect("encode")
+            .len();
+        let last_record_len = 4 + last_body_len;
+        let prefix_end = full.len() - last_record_len;
+        // Every tear point inside the final record, including a bare partial
+        // length prefix and a zero-extra-bytes boundary just past it.
+        for cut in prefix_end + 1..full.len() {
+            std::fs::write(&path, &full[..cut]).expect("tear");
+            let mut journal = Journal::open(&dir, 0, JournalMode::Buffered, 0).expect("re-arm");
+            let tail = JournalRecord::Insert(edge(1000 + cut as u64));
+            journal.append(&tail).expect("append after trim");
+            drop(journal);
+            let mut expected: Vec<JournalRecord> = records[..3].to_vec();
+            expected.push(tail);
+            assert_eq!(
+                replay(&dir, 0, 0).expect("replay after re-arm"),
+                expected,
+                "cut at byte {cut}: the trimmed journal must replay the \
+                 complete prefix plus every post-recovery append"
+            );
+        }
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 

@@ -351,7 +351,9 @@
 //! applying it. After a crash, [`ShardedHiggs::new_durable`] reconstructs
 //! the state as `snapshot + journal tail replay` — a torn final record
 //! (the expected crash artifact) stops replay cleanly, while interior
-//! corruption fails with a typed [`JournalError`].
+//! corruption fails with a typed [`JournalError`]. Re-arming a surviving
+//! journal for appends first trims any torn tail back to the last complete
+//! record, so post-recovery appends always extend a clean record boundary.
 //!
 //! **Sync policy.** [`HiggsConfigBuilder::journal_mode`] picks the
 //! durability/throughput point: [`JournalMode::Off`] (no journal — the
@@ -364,17 +366,29 @@
 //! **Rotation.** A successful [`ShardedHiggs::snapshot_to_dir`] into the
 //! durable directory truncates each shard's journal under a writer fence,
 //! so every mutation lives in exactly one of {snapshot, journal}. A failed
-//! snapshot leaves every journal intact.
+//! snapshot leaves every journal intact, and shard health is re-checked
+//! *after* the fence parks every writer: a shard that degraded while the
+//! fence was forming aborts the snapshot
+//! ([`SnapshotError::DegradedShard`]) instead of stamping a manifest over
+//! its partial state.
 //!
-//! **Writer supervision.** A panic while applying a mutation (a poisoned
-//! apply) no longer takes the shard down silently: the shard is marked
-//! [`ShardHealth::Degraded`], queries against it through a [`HiggsService`]
-//! fail fast with [`ServiceError::ShardUnavailable`] (never a hang), and a
-//! durable service respawns the writer from `snapshot + journal replay`,
-//! returning the shard to [`ShardHealth::Healthy`] —
-//! [`ShardedHiggs::shard_health`] exposes the board. Clients opt into
-//! bounded exponential-backoff retry of the transient errors
-//! (`Overloaded`, `ShardUnavailable`) via
+//! **Writer supervision.** A panic while applying a mutation (or flushing
+//! at the snapshot fence) no longer takes the shard down silently: the
+//! shard is marked [`ShardHealth::Degraded`], queries against it through a
+//! [`HiggsService`] fail fast with [`ServiceError::ShardUnavailable`]
+//! (never a hang), and a durable service respawns the writer from
+//! `snapshot + journal replay`, returning the shard to
+//! [`ShardHealth::Healthy`] — [`ShardedHiggs::shard_health`] exposes the
+//! board. Respawns beyond the first back off exponentially and are
+//! budgeted ([`shard::MAX_WRITER_RESPAWNS`] per shard): a persistent fault
+//! parks the shard in a degraded drain instead of spinning
+//! rebuild → fail → respawn. Why a recovery failed — journal corruption,
+//! transient I/O, a missing manifest, an exhausted budget — is recorded
+//! per shard and exposed via [`ShardedHiggs::shard_recovery_errors`]
+//! (cleared on success), alongside
+//! [`ShardedHiggs::shard_respawn_counts`]. Clients opt into bounded
+//! exponential-backoff retry of the transient errors (`Overloaded`,
+//! `ShardUnavailable`) via
 //! [`QueryOptions::retry`](higgs_common::QueryOptions::retry).
 //!
 //! The fault-injection harness behind the recovery tests lives in

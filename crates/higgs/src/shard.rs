@@ -76,9 +76,10 @@ use higgs_common::{
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Upper bound on the shard count: each shard owns a writer thread plus
 /// aggregation workers, so the fan-out is validated by
@@ -93,6 +94,21 @@ const WRITER_COALESCE: usize = 64;
 /// Edges per routed batch sent by [`IngestHandle::insert_all`]; amortises one
 /// channel send over many edges without letting per-shard buffers grow large.
 const INGEST_CHUNK: usize = 512;
+
+/// Writer respawns allowed per shard over a service's lifetime. A persistent
+/// fault (e.g. ENOSPC on every journal append) would otherwise loop
+/// rebuild → fail → respawn forever, burning CPU on repeated snapshot+replay;
+/// once the budget is spent the shard degrades permanently and its writer
+/// drains in place.
+pub const MAX_WRITER_RESPAWNS: u32 = 8;
+
+/// Base backoff a respawned writer sleeps before retrying recovery; doubles
+/// per attempt up to [`RESPAWN_BACKOFF_CAP_MS`]. The first respawn is
+/// immediate — a one-off panic recovers with no added latency.
+const RESPAWN_BACKOFF_BASE_MS: u64 = 10;
+
+/// Ceiling on the per-respawn recovery backoff.
+const RESPAWN_BACKOFF_CAP_MS: u64 = 640;
 
 /// Process-wide count of live shard writer threads.
 static LIVE_WRITERS: AtomicUsize = AtomicUsize::new(0);
@@ -216,9 +232,20 @@ struct WriterContext {
     discard: Arc<std::sync::atomic::AtomicBool>,
     health: Arc<Vec<AtomicU8>>,
     durable: Option<Arc<DurableState>>,
-    /// Join handles of respawned recovery writers; drained by
-    /// `ShardedHiggs::drop` after the original writers are joined.
+    /// Join handles of respawned recovery writers; finished generations are
+    /// drained on each respawn, the rest by `ShardedHiggs::drop` after the
+    /// original writers are joined.
     respawned: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// Per-shard count of writer respawns over the service's lifetime:
+    /// drives the exponential recovery backoff and the
+    /// [`MAX_WRITER_RESPAWNS`] failure budget. Never reset — a fault that
+    /// keeps recurring must eventually park the shard instead of looping.
+    respawn_attempts: Arc<Vec<AtomicU32>>,
+    /// Per-shard record of why the most recent recovery attempt failed
+    /// (cleared on success), surfaced through
+    /// [`ShardedHiggs::shard_recovery_errors`] so operators can tell journal
+    /// corruption from transient I/O or a missing manifest.
+    recovery_errors: Arc<Vec<Mutex<Option<String>>>>,
 }
 
 /// Monotone clock tracking ingest visibility: `sent` counts mutation
@@ -517,6 +544,12 @@ pub struct ShardedHiggs {
     /// Join handles of writers respawned after a failure (see
     /// `supervise_failure`); joined by drop after the original writers.
     respawned: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// Per-shard respawn counters (shared with the writers' supervision
+    /// path); see [`MAX_WRITER_RESPAWNS`].
+    respawn_attempts: Arc<Vec<AtomicU32>>,
+    /// Per-shard last recovery failure, exposed via
+    /// [`Self::shard_recovery_errors`].
+    recovery_errors: Arc<Vec<Mutex<Option<String>>>>,
     /// `Some` when this service journals mutations (durable mode).
     durable: Option<Arc<DurableState>>,
     config: HiggsConfig,
@@ -566,20 +599,53 @@ fn journal_command(journal: &mut Journal, command: &ShardCommand) -> Result<(), 
     }
 }
 
+/// How a writer came out of a snapshot fence (see [`ShardCommand::Fence`]).
+enum FenceOutcome {
+    /// The fence completed; the writer keeps serving.
+    Resumed,
+    /// The post-snapshot journal rotation failed: the journal still holds
+    /// records the snapshot already covers and the shard can no longer be
+    /// recovered without double-applying them — the caller must degrade
+    /// permanently.
+    RotationFailed,
+    /// The pipeline flush at the fence panicked. The shard was marked
+    /// degraded *before* the ready ack (so the fence holder's post-fence
+    /// health re-check aborts the snapshot) and the caller must route
+    /// through supervision like an apply panic: every fenced mutation is
+    /// already journaled, so a rebuild re-applies them.
+    FlushPanicked,
+}
+
 /// Parks the writer at a snapshot fence (see [`ShardCommand::Fence`]).
-/// Returns `false` when the post-snapshot journal rotation failed, in which
-/// case the journal still holds records the snapshot already covers and the
-/// shard can no longer be recovered without double-applying them — the
-/// caller must degrade.
+/// Every exit path completes the two-ack fence protocol, so the fence
+/// holder never hangs on a failing writer.
 fn fence_writer(
     ctx: &WriterContext,
     journal: &mut Option<Journal>,
     ready: Sender<()>,
     resume: Receiver<Option<u64>>,
-) -> bool {
-    {
+) -> FenceOutcome {
+    let flushed = {
+        // The lock guard lives outside the unwind boundary, exactly like the
+        // apply path: a panicking flush degrades the shard instead of
+        // poisoning the lock and cascading into every later lock user.
         let mut pipeline = ctx.shard.write().expect("shard lock poisoned");
-        pipeline.flush();
+        catch_unwind(AssertUnwindSafe(|| {
+            failpoint!("shard::fence_flush");
+            pipeline.flush()
+        }))
+        .is_ok()
+    };
+    if !flushed {
+        // Degrade before acking so the fence holder's re-check (writers all
+        // parked, health stable) observes it and releases with "keep".
+        mark_degraded(ctx);
+        let _ = ready.send(());
+        // Ignore the verdict: this shard's pipeline is partial, so its
+        // journal must never rotate here (the fence holder aborts anyway).
+        let _ = resume.recv();
+        let _ = ready.send(());
+        return FenceOutcome::FlushPanicked;
     }
     if let Some(j) = journal.as_mut() {
         // Best-effort: durability of the fenced prefix comes from the
@@ -598,7 +664,11 @@ fn fence_writer(
     // Completion ack: the fence holder blocks until every writer has
     // committed (or declined) its rotation.
     let _ = ready.send(());
-    ok
+    if ok {
+        FenceOutcome::Resumed
+    } else {
+        FenceOutcome::RotationFailed
+    }
 }
 
 /// Marks the context's shard degraded on the shared health board.
@@ -609,16 +679,54 @@ fn mark_degraded(ctx: &WriterContext) {
     ctx.health[ctx.shard_index].store(HEALTH_DEGRADED, Ordering::Release);
 }
 
+/// Records why the most recent recovery attempt for the context's shard
+/// failed (`None` clears the slot after a successful recovery).
+fn record_recovery_error(ctx: &WriterContext, error: Option<String>) {
+    *ctx.recovery_errors[ctx.shard_index]
+        .lock()
+        .expect("recovery error slot poisoned") = error;
+}
+
 /// Supervisor for a failed writer: degrades the shard and hands the queue to
 /// a replacement thread. `carryover` is a command that was dequeued but
 /// neither journaled nor applied (a journal append failure) — the
 /// replacement re-drives it first so no acknowledged mutation is lost.
+///
+/// Respawns are budgeted and backed off: each respawn beyond the first
+/// sleeps exponentially longer before retrying recovery, and once the
+/// shard's [`MAX_WRITER_RESPAWNS`] budget is spent the failing writer drains
+/// in place permanently — a persistent fault must not spin
+/// rebuild → fail → respawn forever. Finished replacement generations are
+/// joined here on each respawn, so the registry stays bounded however many
+/// times a shard fails.
 ///
 /// The replacement's census guard is created *before* the failing writer's
 /// guard drops, so [`live_writer_threads`] never dips below baseline during
 /// the handoff.
 fn supervise_failure(ctx: &WriterContext, carryover: Option<ShardCommand>) {
     mark_degraded(ctx);
+    // ORDERING: Relaxed — only this shard's writer generations touch the
+    // counter, and they are sequential (each respawn happens-before its
+    // successor via thread spawn); the count gates nothing another thread
+    // synchronises on.
+    let attempt = ctx.respawn_attempts[ctx.shard_index].fetch_add(1, Ordering::Relaxed);
+    if attempt >= MAX_WRITER_RESPAWNS {
+        record_recovery_error(
+            ctx,
+            Some(format!(
+                "respawn budget exhausted after {MAX_WRITER_RESPAWNS} writer failures; \
+                 shard parked in degraded drain"
+            )),
+        );
+        degraded_drain(ctx);
+        return;
+    }
+    let backoff = Duration::from_millis(
+        RESPAWN_BACKOFF_BASE_MS
+            .checked_shl(attempt)
+            .unwrap_or(u64::MAX)
+            .min(RESPAWN_BACKOFF_CAP_MS),
+    );
     let replacement_guard = WriterGuard::enter();
     let replacement_ctx = ctx.clone();
     let pin_core = ParallelHiggs::pin_core_for(&ctx.config, ctx.shard_index);
@@ -626,12 +734,31 @@ fn supervise_failure(ctx: &WriterContext, carryover: Option<ShardCommand>) {
         if let Some(core) = pin_core {
             let _ = higgs_common::affinity::pin_to_core(core);
         }
+        if attempt > 0 {
+            std::thread::sleep(backoff);
+        }
         recover_and_serve(replacement_ctx, carryover, replacement_guard);
     });
-    ctx.respawned
-        .lock()
-        .expect("respawn registry poisoned")
-        .push(handle);
+    let finished: Vec<JoinHandle<()>> = {
+        let mut registry = ctx.respawned.lock().expect("respawn registry poisoned");
+        let mut live = Vec::with_capacity(registry.len() + 1);
+        let mut finished = Vec::new();
+        for h in registry.drain(..) {
+            if h.is_finished() {
+                finished.push(h);
+            } else {
+                live.push(h);
+            }
+        }
+        live.push(handle);
+        *registry = live;
+        finished
+    };
+    // Joined outside the lock: these generations have already exited, so the
+    // joins return immediately.
+    for h in finished {
+        let _ = h.join();
+    }
 }
 
 /// Entry point of a respawned writer: rebuild the shard from its durable
@@ -642,14 +769,23 @@ fn supervise_failure(ctx: &WriterContext, carryover: Option<ShardCommand>) {
 fn recover_and_serve(ctx: WriterContext, carryover: Option<ShardCommand>, guard: WriterGuard) {
     let _guard = guard;
     if let Some(durable) = ctx.durable.clone() {
-        if let Ok(journal) = rebuild_shard(&durable, &ctx) {
-            // ORDERING: Release publishes the rebuilt pipeline (already
-            // swapped in under the write lock) before readers that Acquire
-            // the Healthy flag can route queries here again.
-            ctx.health[ctx.shard_index].store(HEALTH_HEALTHY, Ordering::Release);
-            writer_loop(ctx, Some(journal), carryover);
-            return;
+        match rebuild_shard(&durable, &ctx) {
+            Ok(journal) => {
+                record_recovery_error(&ctx, None);
+                // ORDERING: Release publishes the rebuilt pipeline (already
+                // swapped in under the write lock) before readers that
+                // Acquire the Healthy flag can route queries here again.
+                ctx.health[ctx.shard_index].store(HEALTH_HEALTHY, Ordering::Release);
+                writer_loop(ctx, Some(journal), carryover);
+                return;
+            }
+            Err(e) => record_recovery_error(&ctx, Some(e.to_string())),
         }
+    } else {
+        record_recovery_error(
+            &ctx,
+            Some("no durable record (journaling off): nothing to rebuild from".into()),
+        );
     }
     degraded_drain(&ctx);
 }
@@ -657,22 +793,24 @@ fn recover_and_serve(ctx: WriterContext, carryover: Option<ShardCommand>, guard:
 /// Rebuilds one shard's pipeline from snapshot + journal replay and reopens
 /// its journal for appending. The rebuilt pipeline replaces the (possibly
 /// partially-mutated) live one, so a half-applied batch from the failed
-/// writer is wiped and re-applied exactly once via the journal.
-fn rebuild_shard(durable: &DurableState, ctx: &WriterContext) -> Result<Journal, ()> {
+/// writer is wiped and re-applied exactly once via the journal. A failure
+/// propagates the typed [`SnapshotError`] (journal errors wrapped as
+/// [`SnapshotError::Journal`]) so the caller can record *why* the shard
+/// stayed degraded instead of collapsing every cause into silence.
+fn rebuild_shard(durable: &DurableState, ctx: &WriterContext) -> Result<Journal, SnapshotError> {
     let mut pipeline = crate::snapshot::load_shard_pipeline(
         &durable.dir,
         ctx.shard_index,
         &ctx.config,
         durable.workers_per_shard,
-    )
-    .map_err(|_| ())?;
-    let covering = crate::snapshot::manifest_tail_checksum(&durable.dir).map_err(|_| ())?;
-    let records =
-        crate::journal::replay(&durable.dir, ctx.shard_index, covering).map_err(|_| ())?;
+    )?;
+    let covering = crate::snapshot::manifest_tail_checksum(&durable.dir)?;
+    let records = crate::journal::replay(&durable.dir, ctx.shard_index, covering)
+        .map_err(SnapshotError::Journal)?;
     crate::journal::apply_records(&mut pipeline, records);
     pipeline.flush();
-    let journal =
-        Journal::open(&durable.dir, ctx.shard_index, durable.mode, covering).map_err(|_| ())?;
+    let journal = Journal::open(&durable.dir, ctx.shard_index, durable.mode, covering)
+        .map_err(SnapshotError::Journal)?;
     *ctx.shard.write().expect("shard lock poisoned") = pipeline;
     Ok(journal)
 }
@@ -716,10 +854,27 @@ fn writer_loop(ctx: WriterContext, mut journal: Option<Journal>, initial: Option
         match command {
             ShardCommand::Shutdown => break 'serve,
             ShardCommand::Fence { ready, resume } => {
-                if !fence_writer(&ctx, &mut journal, ready, resume) {
-                    mark_degraded(&ctx);
-                    degraded_drain(&ctx);
-                    return;
+                match fence_writer(&ctx, &mut journal, ready, resume) {
+                    FenceOutcome::Resumed => {}
+                    FenceOutcome::RotationFailed => {
+                        mark_degraded(&ctx);
+                        record_recovery_error(
+                            &ctx,
+                            Some(
+                                "journal rotation failed after a successful snapshot; \
+                                 replay would double-apply the rotated records"
+                                    .into(),
+                            ),
+                        );
+                        degraded_drain(&ctx);
+                        return;
+                    }
+                    FenceOutcome::FlushPanicked => {
+                        // Every fenced mutation was journaled before it was
+                        // applied, so a rebuild replays them: no carryover.
+                        supervise_failure(&ctx, None);
+                        return;
+                    }
                 }
             }
             command => {
@@ -948,6 +1103,10 @@ impl ShardedHiggs {
                 .collect(),
         );
         let respawned: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let respawn_attempts: Arc<Vec<AtomicU32>> =
+            Arc::new((0..num_shards).map(|_| AtomicU32::new(0)).collect());
+        let recovery_errors: Arc<Vec<Mutex<Option<String>>>> =
+            Arc::new((0..num_shards).map(|_| Mutex::new(None)).collect());
         for (shard_index, (pipeline, journal)) in pipelines.into_iter().zip(journals).enumerate() {
             let shard = Arc::new(RwLock::new(pipeline));
             let (tx, rx) = match config.ingest_queue_cap {
@@ -963,6 +1122,8 @@ impl ShardedHiggs {
                 health: health.clone(),
                 durable: durable.clone(),
                 respawned: respawned.clone(),
+                respawn_attempts: respawn_attempts.clone(),
+                recovery_errors: recovery_errors.clone(),
             };
             let guard = WriterGuard::enter();
             // Same core as this shard's aggregation workers (None when
@@ -989,6 +1150,8 @@ impl ShardedHiggs {
             discard,
             health,
             respawned,
+            respawn_attempts,
+            recovery_errors,
             durable,
             config,
         })
@@ -1018,6 +1181,33 @@ impl ShardedHiggs {
                     ShardHealth::Healthy
                 }
             })
+            .collect()
+    }
+
+    /// Per-shard record of why the most recent writer recovery attempt
+    /// failed (diagnostic). `None` for a shard that is healthy or never
+    /// failed; `Some(reason)` distinguishes journal corruption from
+    /// transient I/O, a missing manifest, an exhausted respawn budget, or a
+    /// failed rotation — so a persistently `Degraded` shard is explainable
+    /// instead of silent. Cleared when a recovery succeeds.
+    pub fn shard_recovery_errors(&self) -> Vec<Option<String>> {
+        self.recovery_errors
+            .iter()
+            .map(|slot| slot.lock().expect("recovery error slot poisoned").clone())
+            .collect()
+    }
+
+    /// Per-shard count of writer respawns since construction (diagnostic).
+    /// Once a shard's count passes [`MAX_WRITER_RESPAWNS`] it stays
+    /// `Degraded` permanently; see
+    /// [`shard_recovery_errors`](Self::shard_recovery_errors) for the
+    /// recorded reason.
+    pub fn shard_respawn_counts(&self) -> Vec<u32> {
+        self.respawn_attempts
+            .iter()
+            // ORDERING: Relaxed — a monotone diagnostic counter; readers
+            // need no ordering with the writer state it counts.
+            .map(|c| c.load(Ordering::Relaxed))
             .collect()
     }
 

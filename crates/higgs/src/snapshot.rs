@@ -976,6 +976,18 @@ impl ShardedHiggs {
             // release blocks until every writer has committed its rotation —
             // when this returns, the journals really are rotated.
             let fence = self.fence_writers();
+            // Re-check health now that every writer is parked. A writer that
+            // degraded between the check above and the fence acks (its
+            // degraded replacement answers the fence) would otherwise have
+            // its partially-applied pipeline captured and stamped into a new
+            // manifest while its journal keeps the old covering stamp — a
+            // restart would dismiss that journal as stale and lose its
+            // acknowledged mutations. Parked writers apply nothing, so this
+            // check is race-free until the fence is released.
+            if let Some(shard) = self.first_degraded_shard() {
+                fence.release(None);
+                return Err(SnapshotError::DegradedShard { shard });
+            }
             match self.write_snapshot_files(dir) {
                 Ok((manifest, checksum)) => {
                     fence.release(Some(checksum));

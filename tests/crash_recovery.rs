@@ -18,8 +18,10 @@
 
 #![cfg(feature = "failpoints")]
 
-use higgs::shard::live_writer_threads;
-use higgs::{HiggsConfig, HiggsService, JournalMode, ServiceError, ShardHealth, ShardedHiggs};
+use higgs::shard::{live_writer_threads, MAX_WRITER_RESPAWNS};
+use higgs::{
+    HiggsConfig, HiggsService, JournalMode, ServiceError, ShardHealth, ShardedHiggs, SnapshotError,
+};
 use higgs_common::{Query, QueryOptions, RetryPolicy, StreamEdge, TemporalGraphSummary, TimeRange};
 use std::path::PathBuf;
 use std::sync::Mutex;
@@ -276,6 +278,130 @@ fn failed_snapshot_keeps_journals_and_state() {
         std::fs::remove_dir_all(&dir).expect("cleanup");
         fail::reset();
     }
+}
+
+/// A panic in the fence-path flush (the snapshot barrier) must not hang the
+/// snapshot holder or poison the shard lock: the writer degrades *before*
+/// acking the fence, the post-fence health re-check aborts the snapshot with
+/// `DegradedShard` (journals kept — the partial pipeline is never stamped
+/// into a manifest), supervision respawns the writer from the journal, and a
+/// retried snapshot rotates normally with bit-identical results.
+#[test]
+fn fence_flush_panic_aborts_snapshot_then_recovers() {
+    let _guard = chaos_guard();
+    let edges = workload(500);
+    for shards in [1usize, 2, 4] {
+        let expected = control_answers(shards, &edges);
+        let dir = temp_dir(&format!("fence-panic-{shards}"));
+
+        let service =
+            ShardedHiggs::new_durable(durable_config(shards), &dir).expect("durable service");
+        let handle = service.ingest_handle();
+        for e in &edges {
+            handle.insert(e).expect("live ingest");
+        }
+        service.flush();
+
+        fail::configure("shard::fence_flush", 1, fail::Action::Panic);
+        let err = service
+            .snapshot_to_dir(&dir)
+            .expect_err("a snapshot over a panicking fence flush must abort");
+        assert!(
+            matches!(err, SnapshotError::DegradedShard { .. }),
+            "expected DegradedShard, got: {err}"
+        );
+        assert!(
+            fail::hits("shard::fence_flush") >= 1,
+            "the instrumented fence flush was never reached"
+        );
+
+        // Supervision recovers the writer from the (untouched) journal.
+        await_all_healthy(&service);
+        await_census(shards);
+        assert_eq!(
+            service.query_batch(&probes()),
+            expected,
+            "{shards}-shard recovery after a fence-flush panic must be bit-identical"
+        );
+
+        // The failpoint is single-shot and spent: the retry rotates.
+        service.snapshot_to_dir(&dir).expect("retried snapshot");
+        assert_eq!(service.query_batch(&probes()), expected);
+
+        drop(service);
+        let reborn = ShardedHiggs::new_durable(durable_config(shards), &dir).expect("cold restart");
+        assert_eq!(
+            reborn.query_batch(&probes()),
+            expected,
+            "{shards}-shard restart after an aborted-then-retried snapshot"
+        );
+        drop(reborn);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+        fail::reset();
+    }
+}
+
+/// A fault that recurs on every writer generation must not respawn forever:
+/// after [`MAX_WRITER_RESPAWNS`] failures the shard parks in degraded drain
+/// permanently, the recorded recovery error names the exhausted budget,
+/// snapshots refuse the shard, and flush stays non-blocking.
+#[test]
+fn persistent_fault_exhausts_the_respawn_budget_and_parks_the_shard() {
+    let _guard = chaos_guard();
+    let dir = temp_dir("respawn-budget");
+    let service = ShardedHiggs::new_durable(durable_config(1), &dir).expect("durable service");
+    let handle = service.ingest_handle();
+    handle.insert(&StreamEdge::new(1, 2, 5, 1)).expect("live");
+    service.flush();
+
+    // One failure per round. The first MAX_WRITER_RESPAWNS rounds recover
+    // (the single-shot failpoint is spent by the time the replacement
+    // re-drives the carried-over command); the final round finds the budget
+    // exhausted and parks the shard.
+    for round in 0..=MAX_WRITER_RESPAWNS {
+        fail::configure(
+            "journal::append",
+            1,
+            fail::Action::Error("persistent disk fault".into()),
+        );
+        handle
+            .insert(&StreamEdge::new(2, 3, 1, u64::from(round) + 2))
+            .expect("queued");
+        service.flush();
+        if round < MAX_WRITER_RESPAWNS {
+            await_all_healthy(&service);
+        }
+    }
+    assert_eq!(
+        service.shard_health(),
+        vec![ShardHealth::Degraded],
+        "an exhausted respawn budget must park the shard permanently"
+    );
+    assert_eq!(
+        service.shard_respawn_counts(),
+        vec![MAX_WRITER_RESPAWNS + 1],
+        "every failure must be counted against the budget"
+    );
+    let reasons = service.shard_recovery_errors();
+    assert!(
+        reasons[0]
+            .as_deref()
+            .is_some_and(|r| r.contains("respawn budget exhausted")),
+        "the parked shard must record why: {reasons:?}"
+    );
+    assert!(
+        matches!(
+            service.snapshot_to_dir(&dir),
+            Err(SnapshotError::DegradedShard { shard: 0 })
+        ),
+        "a parked shard must refuse to snapshot"
+    );
+    // The drain keeps acknowledging flushes: nothing blocks on the shard.
+    service.flush();
+    drop(service);
+    assert_eq!(live_writer_threads(), 0, "drop joins the parked drain");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+    fail::reset();
 }
 
 /// Without a durable record there is nothing to recover from: the shard
