@@ -12,7 +12,7 @@
 //! * `ingest/sync_every_64` — [`JournalMode::SyncEveryN`]: an fsync every
 //!   64 appended records bounds post-crash loss at the cost of periodic
 //!   device round-trips.
-//! * `recover/buffered` — cold-start recovery: `new_durable` over a
+//! * `recover/buffered` — cold-start recovery: `Store::open` over a
 //!   directory holding journal tails only (no snapshot), i.e. full replay
 //!   with checksum verification plus pipeline rebuild.
 //!
@@ -21,7 +21,7 @@
 //! `BENCH_journal.json` for the CI perf-regression gate.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use higgs::{HiggsConfig, JournalMode, ShardedHiggs};
+use higgs::{HiggsConfig, JournalMode, Store, StoreOptions};
 use higgs_common::{StreamEdge, TemporalGraphSummary};
 use std::hint::black_box;
 use std::path::PathBuf;
@@ -75,8 +75,8 @@ fn bench_journal(c: &mut Criterion) {
                 for _ in 0..iters {
                     let dir = fresh_dir(tag, seq);
                     seq += 1;
-                    let mut service =
-                        ShardedHiggs::new_durable(config(mode), &dir).expect("durable service");
+                    let mut service = Store::open(StoreOptions::durable(config(mode), &dir))
+                        .expect("durable service");
                     let start = Instant::now();
                     service.insert_all(edges);
                     service.flush();
@@ -95,8 +95,11 @@ fn bench_journal(c: &mut Criterion) {
     // the same records.
     let recover_dir = fresh_dir("recover", 0);
     {
-        let mut seed = ShardedHiggs::new_durable(config(JournalMode::Buffered), &recover_dir)
-            .expect("seed service");
+        let mut seed = Store::open(StoreOptions::durable(
+            config(JournalMode::Buffered),
+            &recover_dir,
+        ))
+        .expect("seed service");
         seed.insert_all(&edges);
         seed.flush();
     }
@@ -108,8 +111,9 @@ fn bench_journal(c: &mut Criterion) {
                 let mut total = Duration::ZERO;
                 for _ in 0..iters {
                     let start = Instant::now();
-                    let recovered = ShardedHiggs::new_durable(config(JournalMode::Buffered), dir)
-                        .expect("journal replay");
+                    let recovered =
+                        Store::open(StoreOptions::durable(config(JournalMode::Buffered), dir))
+                            .expect("journal replay");
                     total += start.elapsed();
                     assert_eq!(
                         recovered.total_items(),

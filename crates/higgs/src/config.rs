@@ -255,7 +255,7 @@ pub struct HiggsConfig {
     /// Durability policy of the per-shard write-ahead journal a *durable*
     /// [`ShardedHiggs`](crate::ShardedHiggs) keeps alongside its snapshot
     /// directory (see the [`journal`](crate::journal) module and
-    /// [`ShardedHiggs::new_durable`](crate::ShardedHiggs::new_durable)).
+    /// [`Store::open`](crate::Store::open)).
     /// [`JournalMode::Off`] (the default) disables journaling entirely.
     /// Runtime durability state: never persisted in snapshots — a restored
     /// service journals only when restored through the durable path. Plain

@@ -3,8 +3,8 @@
 //!
 //! A snapshot ([`snapshot`](crate::snapshot)) captures a summary at one
 //! instant; every mutation after it lives only in memory. The journal closes
-//! that window: a *durable* service (see
-//! [`ShardedHiggs::new_durable`](crate::ShardedHiggs::new_durable)) has each
+//! that window: a *durable* service (see [`Store::open`](crate::Store::open)
+//! with [`StoreOptions::durable`](crate::StoreOptions::durable)) has each
 //! shard's writer thread append every `Insert` / `InsertBatch` / `Delete`
 //! command to an append-only, per-record-checksummed log **before** applying
 //! it, so after a crash the state is reconstructed as
@@ -89,17 +89,20 @@ const HEADER_CORE_LEN: u64 = 12;
 /// Byte length of the full file header (magic + version + covering snapshot
 /// checksum). A file shorter than this replays as empty: either nothing was
 /// ever journaled, or a crash tore a rotation mid-header — and a rotation
-/// only runs once the covering snapshot is durable.
-const HEADER_LEN: u64 = 20;
+/// only runs once the covering snapshot is durable. The follower's segment
+/// cursor ([`scan_tail`]) starts here.
+pub(crate) const HEADER_LEN: u64 = 20;
 
 /// Upper bound on one record's framed body length. The largest legitimate
 /// record is an insert-batch of one routed ingest chunk (512 edges ≈ 16 KiB);
-/// a length prefix beyond this bound can only come from corruption.
-const MAX_RECORD_BYTES: u32 = 1 << 20;
+/// a length prefix beyond this bound can only come from corruption. Shared
+/// with the elastic history log, whose records carry the same batch bound
+/// plus an 8-byte sequence number per edge.
+pub(crate) const MAX_RECORD_BYTES: u32 = 1 << 20;
 
 /// Upper bound on the edge count of one insert-batch record (decode-side
 /// allocation guard, mirroring the snapshot module's `MAX_PREALLOC`).
-const MAX_BATCH_EDGES: u64 = 1 << 16;
+pub(crate) const MAX_BATCH_EDGES: u64 = 1 << 16;
 
 /// Why a journal operation failed.
 #[derive(Debug)]
@@ -202,14 +205,17 @@ const TAG_INSERT: u8 = 1;
 const TAG_INSERT_BATCH: u8 = 2;
 const TAG_DELETE: u8 = 3;
 
-fn put_edge<W: Write>(enc: &mut Encoder<W>, edge: &StreamEdge) -> Result<(), CodecError> {
+pub(crate) fn put_edge<W: Write>(
+    enc: &mut Encoder<W>,
+    edge: &StreamEdge,
+) -> Result<(), CodecError> {
     enc.put_u64(edge.src)?;
     enc.put_u64(edge.dst)?;
     enc.put_u64(edge.weight)?;
     enc.put_u64(edge.timestamp)
 }
 
-fn get_edge<R: Read>(dec: &mut Decoder<R>) -> Result<StreamEdge, CodecError> {
+pub(crate) fn get_edge<R: Read>(dec: &mut Decoder<R>) -> Result<StreamEdge, CodecError> {
     Ok(StreamEdge {
         src: dec.get_u64()?,
         dst: dec.get_u64()?,
@@ -378,7 +384,7 @@ impl Journal {
                 // discarding every record this session journals after it.
                 let (_, clean_end) = {
                     let mut source = BufReader::new(&mut file);
-                    scan_records(&mut source, shard)?
+                    scan_records(&mut source, shard, HEADER_LEN)?
                 };
                 if clean_end < len {
                     file.set_len(clean_end)?;
@@ -544,22 +550,75 @@ pub fn replay(dir: &Path, shard: usize, covering: u64) -> Result<Vec<JournalReco
         return Ok(Vec::new());
     }
     let mut source = BufReader::new(file);
-    let (records, _) = scan_records(&mut source, shard)?;
+    let (records, _) = scan_records(&mut source, shard, HEADER_LEN)?;
     Ok(records)
 }
 
-/// Scans a journal's record region (the reader positioned just past the
-/// header), returning every complete, checksum-verified record in append
-/// order together with the **clean-end byte offset**: the file offset one
-/// past the last complete record, beyond which only a torn tail (if
-/// anything) remains. [`replay`] uses the records; [`Journal::open`] uses
-/// the offset to trim a torn tail before re-arming the journal for appends.
+/// One incremental read of a journal's tail: everything a warm follower needs
+/// to extend its replica past its current cursor (see
+/// [`Follower::sync`](crate::replica::Follower::sync)).
+pub(crate) struct JournalTail {
+    /// The covering-snapshot checksum stamped in the journal's header. The
+    /// follower compares it against the stamp its replica was bootstrapped
+    /// under: a mismatch means the leader rotated (snapshotted + truncated)
+    /// since the follower last synced, so byte offsets are no longer
+    /// comparable.
+    pub(crate) covering: u64,
+    /// Every complete, checksum-verified record from the cursor onward, in
+    /// append order.
+    pub(crate) records: Vec<JournalRecord>,
+    /// The byte offset one past the last complete record — the follower's
+    /// next cursor position.
+    pub(crate) clean_end: u64,
+}
+
+/// Scans shard `shard`'s journal in `dir` from byte offset `from` (clamped to
+/// the record region), returning the header stamp plus every complete record
+/// at or past the cursor. `Ok(None)` when the journal does not exist yet or
+/// its header is torn — "nothing shipped yet", not an error. A torn tail
+/// stops the scan cleanly (those bytes re-scan next call); interior
+/// corruption past the cursor is a typed [`JournalError::Corrupt`].
+pub(crate) fn scan_tail(
+    dir: &Path,
+    shard: usize,
+    from: u64,
+) -> Result<Option<JournalTail>, JournalError> {
+    let path = dir.join(journal_file_name(shard));
+    let mut file = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(JournalError::Io(e)),
+    };
+    if file.metadata()?.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let covering = validate_header(&mut file, shard)?;
+    let start = from.max(HEADER_LEN);
+    file.seek(SeekFrom::Start(start))?;
+    let mut source = BufReader::new(file);
+    let (records, clean_end) = scan_records(&mut source, shard, start)?;
+    Ok(Some(JournalTail {
+        covering,
+        records,
+        clean_end,
+    }))
+}
+
+/// Scans a journal's record region (the reader positioned at byte offset
+/// `start`, which must be a record boundary), returning every complete,
+/// checksum-verified record in append order together with the **clean-end
+/// byte offset**: the file offset one past the last complete record, beyond
+/// which only a torn tail (if anything) remains. [`replay`] uses the records;
+/// [`Journal::open`] uses the offset to trim a torn tail before re-arming the
+/// journal for appends; [`scan_tail`] uses both to ship the tail to a
+/// follower incrementally.
 fn scan_records<R: Read>(
     source: &mut R,
     shard: usize,
+    start: u64,
 ) -> Result<(Vec<JournalRecord>, u64), JournalError> {
     let mut records = Vec::new();
-    let mut clean_end = HEADER_LEN;
+    let mut clean_end = start;
     loop {
         // Length prefix. Clean EOF at a record boundary ends the journal;
         // a partial prefix is a torn tail (stop scanning, keep the prefix).
@@ -600,7 +659,7 @@ fn scan_records<R: Read>(
 /// Reads exactly `buf.len()` bytes, returning `Ok(false)` on clean EOF at
 /// offset zero and treating a *partial* read ending in EOF the same way
 /// (both are torn-tail shapes for the caller).
-fn read_exact_or_eof<R: Read>(source: &mut R, buf: &mut [u8]) -> std::io::Result<bool> {
+pub(crate) fn read_exact_or_eof<R: Read>(source: &mut R, buf: &mut [u8]) -> std::io::Result<bool> {
     let mut filled = 0;
     while filled < buf.len() {
         match source.read(&mut buf[filled..]) {

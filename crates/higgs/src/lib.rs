@@ -316,9 +316,9 @@
 //! * [`ShardedHiggs::snapshot_to_dir`] writes one file per shard plus a
 //!   manifest (format version, full config — the shard count is the only
 //!   routing state, since [`higgs_common::hashing::shard_of`] is a pure
-//!   function — and per-shard checksums);
-//!   [`ShardedHiggs::restore_from_dir`] rebuilds a warm service with fresh
-//!   writer threads and empty queues.
+//!   function — and per-shard checksums); [`Store::open`] with
+//!   [`StoreOptions::restore`] rebuilds a warm service with fresh writer
+//!   threads and empty queues.
 //!
 //! **Consistency.** `snapshot_to_dir` drives the same acked-`Flush` clock
 //! queries use, so a snapshot is read-your-writes consistent: it covers
@@ -345,11 +345,12 @@
 //!
 //! Snapshots bound data loss to "everything since the last snapshot"; the
 //! write-ahead journal (module [`journal`]) closes that window. A *durable*
-//! service ([`ShardedHiggs::new_durable`]) keeps one append-only,
-//! per-record-checksummed journal file per shard next to the snapshot
-//! files, and each shard's writer thread appends every mutation **before**
-//! applying it. After a crash, [`ShardedHiggs::new_durable`] reconstructs
-//! the state as `snapshot + journal tail replay` — a torn final record
+//! service ([`Store::open`] with [`StoreOptions::durable`]) keeps one
+//! append-only, per-record-checksummed journal file per shard next to the
+//! snapshot files, and each shard's writer thread appends every mutation
+//! **before** applying it. After a crash, the same [`Store::open`] call
+//! reconstructs the state as `snapshot + journal tail replay` — a torn final
+//! record
 //! (the expected crash artifact) stops replay cleanly, while interior
 //! corruption fails with a typed [`JournalError`]. Re-arming a surviving
 //! journal for appends first trims any torn tail back to the last complete
@@ -394,6 +395,57 @@
 //! The fault-injection harness behind the recovery tests lives in
 //! `crates/shims/failpoint` and compiles in only under the `failpoints`
 //! cargo feature; production builds carry zero overhead.
+//!
+//! # Elastic scaling & replication
+//!
+//! A shard count chosen at launch stops fitting once the stream grows — but
+//! [`higgs_common::hashing::shard_of`] routing means a summary folded at `N`
+//! shards cannot simply be re-cut into `M`. The *elastic history* (module
+//! [`history`]; opt in with [`StoreOptions::elastic`]) solves this: every
+//! writer appends each mutation, stamped with a global ingest sequence, to a
+//! per-shard, append-only, never-truncated history log alongside the
+//! journal. Re-streaming that history through `shard_of` at a new count
+//! rebuilds exactly the service a fresh `M`-shard build would have produced
+//! — queries answer **bit-identically** (guaranteed for single-producer
+//! workloads; see the [`reshard`] module docs), property-tested across every
+//! `N → M` pair.
+//!
+//! * **Offline:** [`Store::open_resharded`] folds a closed directory at a
+//!   new width (the directory must hold a snapshot manifest to take the
+//!   configuration from).
+//! * **Online:** [`ShardedHiggs::reshard`] fences the live writer fleet,
+//!   folds, commits the new snapshot, and swaps the shard array without
+//!   dropping an acknowledged mutation — surviving [`IngestHandle`] clones
+//!   keep routing, at the new width. Failures before the snapshot commit
+//!   abort with the service unchanged; every path is a typed
+//!   [`ReshardError`].
+//!
+//! **Warm followers.** The journal doubles as a replication log: a
+//! [`Follower`] ([`Store::follow`]) bootstraps from the directory's
+//! snapshot, then ships each shard's journal tail from a private cursor on
+//! every [`Follower::sync`] — see the [`replica`] module docs for the
+//! shipping protocol, [`ReplicationLag`] reporting, and the
+//! rotation-detection rules. [`ReplicaService`] wraps a follower in the
+//! same admission/worker serving stack for **read-only** fan-out (mutation
+//! calls report [`IngestError::ReadOnly`]), syncing on a background cadence
+//! and publishing lag through [`ServiceClient::health`]. After a leader
+//! crash, [`Follower::promote`] final-syncs and assembles a serving leader
+//! that holds every acknowledged mutation — chaos-tested under the
+//! `failpoints` feature.
+//!
+//! **Migrating to the [`Store`] API.** The constructor pairs that
+//! accumulated around durability are subsumed by one typed entry point —
+//! [`Store::open`] on a [`StoreOptions`] value with an explicit
+//! [`OpenMode`]. The old constructors remain as deprecated thin delegates:
+//!
+//! | before (deprecated)                               | after ([`Store`])                                              |
+//! |---------------------------------------------------|----------------------------------------------------------------|
+//! | `ShardedHiggs::new_durable(cfg, dir)`             | `Store::open(StoreOptions::durable(cfg, dir))`                 |
+//! | `ShardedHiggs::new_durable_with_workers(c, d, w)` | `Store::open(StoreOptions::durable(c, d).workers(w))`          |
+//! | `ShardedHiggs::restore_from_dir(dir)`             | `Store::open(StoreOptions::restore(dir))`                      |
+//! | `ShardedHiggs::restore_from_dir_with_workers(d, w)` | `Store::open(StoreOptions::restore(d).workers(w))`           |
+//! | —                                                 | `Store::open_resharded(StoreOptions::restore(d), m)`           |
+//! | —                                                 | `Store::follow(StoreOptions::restore(d))`                      |
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -401,6 +453,7 @@
 pub mod aggregate;
 pub mod boundary;
 pub mod config;
+pub mod history;
 pub mod journal;
 pub mod matrix;
 pub mod node;
@@ -408,18 +461,27 @@ pub mod overflow;
 pub mod parallel;
 pub mod plan_cache;
 pub mod query;
+pub mod replica;
+pub mod reshard;
 pub mod serving;
 pub mod shard;
 pub mod snapshot;
+pub mod store;
 pub mod tree;
 
 pub use boundary::{QueryPlan, QueryTarget};
 pub use config::{ConfigError, HiggsConfig, HiggsConfigBuilder, JournalMode};
+pub use history::{HistoryOp, HistoryOpKind};
 pub use journal::{Journal, JournalError, JournalRecord};
 pub use matrix::CompressedMatrix;
 pub use parallel::ParallelHiggs;
 pub use plan_cache::PlanCache;
-pub use serving::{BatchTicket, HiggsService, ServiceClient, ServiceError, Ticket};
+pub use replica::{Follower, ReplicaError, ReplicaProgress, ReplicationLag};
+pub use reshard::ReshardError;
+pub use serving::{
+    BatchTicket, HealthReport, HiggsService, ReplicaService, ServiceClient, ServiceError, Ticket,
+};
 pub use shard::{IngestError, IngestHandle, ShardHealth, ShardedHiggs};
 pub use snapshot::{SnapshotError, SnapshotManifest};
+pub use store::{OpenMode, Store, StoreOptions};
 pub use tree::HiggsSummary;

@@ -53,6 +53,7 @@
 //! migration table from the old three-handle surface.
 
 use crate::config::{ConfigError, HiggsConfig};
+use crate::replica::{Follower, ReplicationLag};
 use crate::shard::{HealthBoard, IngestError, IngestHandle, ShardedHiggs};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use higgs_common::{
@@ -60,6 +61,8 @@ use higgs_common::{
     TemporalGraphSummary, Weight,
 };
 use reactor::oneshot::{completion, Completer, Waiter};
+use std::sync::atomic::AtomicU32;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Why a submitted query completed without a result.
@@ -242,24 +245,108 @@ fn settled(reply: Reply) -> Waiter<Reply> {
     rx
 }
 
-/// The single, cloneable client surface of a [`HiggsService`]: typed query
-/// submission with options, fallible ingest, and flush — one handle instead
-/// of the old `&ShardedHiggs` / [`IngestHandle`] / `flush()` trio.
+/// A typed point-in-time health report, from
+/// [`ServiceClient::health`]: which shards are degraded, how the writer
+/// supervisor has been doing, and — when the client fronts a
+/// [`ReplicaService`] — how far replication trails the leader.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HealthReport {
+    /// Indices of shards currently [`Degraded`](crate::ShardHealth): their
+    /// writer died and recovery has not succeeded (yet). Queries routing to
+    /// them fail fast with [`ServiceError::ShardUnavailable`].
+    pub degraded: Vec<usize>,
+    /// Per-shard writer respawn count since service construction; see
+    /// [`ShardedHiggs::shard_respawn_counts`]. All zeros on a replica
+    /// (followers have no writers).
+    pub respawn_counts: Vec<u32>,
+    /// Per-shard reason the most recent recovery attempt failed; see
+    /// [`ShardedHiggs::shard_recovery_errors`]. All `None` on a replica.
+    pub recovery_errors: Vec<Option<String>>,
+    /// How far this replica trails its leader as of the last sync —
+    /// `Some` only for clients of a [`ReplicaService`].
+    pub replication_lag: Option<ReplicationLag>,
+    /// Why replication stopped, if it did (e.g. the leader rotated a journal
+    /// under the cursor); `None` while shipping is live, and always `None`
+    /// on a leader.
+    pub replication_error: Option<String>,
+}
+
+/// Where a client's [`health`](ServiceClient::health) report comes from:
+/// the leader's supervision state, or a replica's sync gauge. Held by `Arc`
+/// so the report stays readable after the service drops.
+#[derive(Clone)]
+enum HealthSource {
+    Leader {
+        health: HealthBoard,
+        respawn_attempts: Arc<Vec<AtomicU32>>,
+        recovery_errors: Arc<Vec<Mutex<Option<String>>>>,
+    },
+    Replica {
+        shards: usize,
+        gauge: Arc<ReplicaGauge>,
+    },
+}
+
+impl HealthSource {
+    fn report(&self) -> HealthReport {
+        match self {
+            HealthSource::Leader {
+                health,
+                respawn_attempts,
+                recovery_errors,
+            } => {
+                let shards = respawn_attempts.len();
+                HealthReport {
+                    degraded: (0..shards).filter(|&s| health.is_degraded(s)).collect(),
+                    respawn_counts: respawn_attempts
+                        .iter()
+                        // ORDERING: Relaxed — a monotone diagnostic counter;
+                        // see `ShardedHiggs::shard_respawn_counts`.
+                        .map(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+                        .collect(),
+                    recovery_errors: recovery_errors
+                        .iter()
+                        .map(|slot| slot.lock().expect("recovery error slot poisoned").clone())
+                        .collect(),
+                    replication_lag: None,
+                    replication_error: None,
+                }
+            }
+            HealthSource::Replica { shards, gauge } => HealthReport {
+                degraded: Vec::new(),
+                respawn_counts: vec![0; *shards],
+                recovery_errors: vec![None; *shards],
+                replication_lag: Some(*gauge.lag.lock().expect("lag gauge poisoned")),
+                replication_error: gauge.error.lock().expect("error gauge poisoned").clone(),
+            },
+        }
+    }
+}
+
+/// The single, cloneable client surface of a [`HiggsService`] or
+/// [`ReplicaService`]: typed query submission with options, fallible ingest,
+/// flush, and a [`health`](Self::health) probe — one handle instead of the
+/// old `&ShardedHiggs` / [`IngestHandle`] / `flush()` trio.
 ///
 /// Clones share the service's submission queue and ingest routing; handing
 /// one clone to each producer/consumer thread is the intended usage. Clients
 /// remain valid after the service drops: every operation then reports the
-/// typed shutdown error instead of hanging.
+/// typed shutdown error instead of hanging. Clients of a [`ReplicaService`]
+/// are **read-only**: every mutation method reports
+/// [`IngestError::ReadOnly`].
 #[derive(Clone)]
 pub struct ServiceClient {
     submit_tx: Sender<Request>,
-    ingest: IngestHandle,
+    /// `None` for replica clients: followers have no writers to route to.
+    ingest: Option<IngestHandle>,
+    health: HealthSource,
 }
 
 impl std::fmt::Debug for ServiceClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServiceClient")
-            .field("shards", &self.ingest.num_shards())
+            .field("shards", &self.num_shards())
+            .field("read_only", &self.ingest.is_none())
             .finish_non_exhaustive()
     }
 }
@@ -343,43 +430,71 @@ impl ServiceClient {
         })
     }
 
+    /// The ingest routing table, or the typed refusal on a read-only
+    /// replica client.
+    fn writable(&self) -> Result<&IngestHandle, IngestError> {
+        self.ingest.as_ref().ok_or(IngestError::ReadOnly)
+    }
+
     /// Enqueues one stream item (blocking for queue space when the ingest
-    /// queues are bounded); see [`IngestHandle::insert`].
+    /// queues are bounded); see [`IngestHandle::insert`]. Replica clients
+    /// report [`IngestError::ReadOnly`].
     pub fn insert(&self, edge: &StreamEdge) -> Result<(), IngestError> {
-        self.ingest.insert(edge)
+        self.writable()?.insert(edge)
     }
 
     /// Enqueues a slice of stream items in arrival order; see
     /// [`IngestHandle::insert_all`].
     pub fn insert_all(&self, edges: &[StreamEdge]) -> Result<(), IngestError> {
-        self.ingest.insert_all(edges)
+        self.writable()?.insert_all(edges)
     }
 
     /// Enqueues a deletion; see [`IngestHandle::delete`].
     pub fn delete(&self, edge: &StreamEdge) -> Result<(), IngestError> {
-        self.ingest.delete(edge)
+        self.writable()?.delete(edge)
     }
 
     /// Non-blocking insert, reporting [`IngestError::QueueFull`] instead of
     /// waiting; see [`IngestHandle::try_insert`].
     pub fn try_insert(&self, edge: &StreamEdge) -> Result<(), IngestError> {
-        self.ingest.try_insert(edge)
+        self.writable()?.try_insert(edge)
     }
 
     /// Non-blocking delete; see [`IngestHandle::try_delete`].
     pub fn try_delete(&self, edge: &StreamEdge) -> Result<(), IngestError> {
-        self.ingest.try_delete(edge)
+        self.writable()?.try_delete(edge)
     }
 
     /// Blocks until every mutation enqueued before this call (by any client
-    /// clone) is applied and aggregated; see [`IngestHandle::flush`].
+    /// clone) is applied and aggregated; see [`IngestHandle::flush`]. A
+    /// no-op on a replica client (followers have nothing local to flush —
+    /// freshness comes from the sync loop).
     pub fn flush(&self) {
-        self.ingest.flush();
+        if let Some(ingest) = &self.ingest {
+            ingest.flush();
+        }
     }
 
     /// Number of shards behind this client.
     pub fn num_shards(&self) -> usize {
-        self.ingest.num_shards()
+        match (&self.ingest, &self.health) {
+            (Some(ingest), _) => ingest.num_shards(),
+            (None, HealthSource::Replica { shards, .. }) => *shards,
+            (
+                None,
+                HealthSource::Leader {
+                    respawn_attempts, ..
+                },
+            ) => respawn_attempts.len(),
+        }
+    }
+
+    /// A typed point-in-time health report: degraded shards, writer respawn
+    /// counts and recovery errors (leader), and replication lag / the reason
+    /// shipping stopped (replica). Cheap, lock-light, and still answerable
+    /// after the service drops.
+    pub fn health(&self) -> HealthReport {
+        self.health.report()
     }
 }
 
@@ -459,9 +574,9 @@ impl HiggsService {
         let admission = AdmissionLoop {
             submit_rx,
             job_txs,
-            ingest: inner.ingest_handle(),
+            ingest: Some(inner.ingest_handle()),
             tick: config.admission_tick,
-            health: inner.health_board(),
+            health: Some(inner.health_board()),
         };
         executor.spawn("admission", move || admission.run());
         Ok(Self {
@@ -473,9 +588,15 @@ impl HiggsService {
 
     /// A new cloneable client handle onto this service.
     pub fn client(&self) -> ServiceClient {
+        let (respawn_attempts, recovery_errors) = self.inner.supervision_state();
         ServiceClient {
             submit_tx: self.submit_tx.clone(),
-            ingest: self.inner.ingest_handle(),
+            ingest: Some(self.inner.ingest_handle()),
+            health: HealthSource::Leader {
+                health: self.inner.health_board(),
+                respawn_attempts,
+                recovery_errors,
+            },
         }
     }
 
@@ -523,16 +644,211 @@ impl Drop for HiggsService {
     }
 }
 
+/// Shared between a [`ReplicaService`]'s sync thread and its clients: the
+/// last observed lag, the reason shipping stopped (if it did), and the
+/// condvar-guarded stop flag the service's drop uses to end the sync loop
+/// without waiting out its interval.
+struct ReplicaGauge {
+    lag: Mutex<ReplicationLag>,
+    error: Mutex<Option<String>>,
+    stop: Mutex<bool>,
+    wake: Condvar,
+}
+
+impl ReplicaGauge {
+    fn new() -> Self {
+        ReplicaGauge {
+            lag: Mutex::new(ReplicationLag::default()),
+            error: Mutex::new(None),
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Sleeps out (up to) one sync interval; returns `true` when the service
+    /// is shutting down — immediately if the stop flag was already raised.
+    fn wait_stop(&self, interval: Duration) -> bool {
+        let mut stopped = self.stop.lock().expect("replica stop flag poisoned");
+        while !*stopped {
+            let (guard, timeout) = self
+                .wake
+                .wait_timeout(stopped, interval)
+                .expect("replica stop flag poisoned");
+            stopped = guard;
+            if timeout.timed_out() {
+                return *stopped;
+            }
+        }
+        true
+    }
+
+    fn raise_stop(&self) {
+        *self.stop.lock().expect("replica stop flag poisoned") = true;
+        self.wake.notify_all();
+    }
+}
+
+/// The replica sync thread: owns the [`Follower`], ships journal segments
+/// every `interval`, and publishes the post-sync lag. A sync failure (e.g.
+/// the leader rotated a journal under the cursor) is terminal for shipping —
+/// the error is published for [`ServiceClient::health`] and the replica
+/// keeps serving its last synced state.
+fn replica_sync_loop(mut follower: Follower, gauge: Arc<ReplicaGauge>, interval: Duration) {
+    loop {
+        let outcome = follower.sync().and_then(|_| follower.replication_lag());
+        match outcome {
+            Ok(lag) => *gauge.lag.lock().expect("lag gauge poisoned") = lag,
+            Err(e) => {
+                *gauge.error.lock().expect("error gauge poisoned") = Some(e.to_string());
+                return;
+            }
+        }
+        if gauge.wait_stop(interval) {
+            return;
+        }
+    }
+}
+
+/// Read-replica fan-out: the serving front-end over a [`Follower`].
+///
+/// Wraps the follower's pipelines in the same per-shard evaluation workers
+/// and admission loop as a [`HiggsService`] — coalesced plans, priorities,
+/// deadlines, backpressure — while a dedicated sync thread keeps shipping
+/// the leader's journal segments in the background. Clients
+/// ([`client`](Self::client)) are **read-only**: every mutation method
+/// reports [`IngestError::ReadOnly`], and
+/// [`Consistency::ReadYourWrites`] degrades to reading the last completed
+/// sync (there are no local writes to wait for).
+///
+/// Promotion is not served from here: a followed replica's pipelines are
+/// shared with live query workers, so promote a bare [`Follower`]
+/// ([`Follower::promote`]) instead — typically a fresh one bootstrapped
+/// after the leader's crash.
+///
+/// Dropping the service stops the sync thread (without waiting out its
+/// interval), fails queued submissions with [`ServiceError::Shutdown`], and
+/// joins every thread. Surviving clients stay safe and report typed errors.
+pub struct ReplicaService {
+    /// Declared first so the admission/worker/sync threads join before the
+    /// rest of the state drops.
+    _executor: reactor::Executor,
+    submit_tx: Sender<Request>,
+    shards: usize,
+    gauge: Arc<ReplicaGauge>,
+}
+
+impl std::fmt::Debug for ReplicaService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaService")
+            .field("shards", &self.shards)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ReplicaService {
+    /// The default journal-shipping cadence of [`follow`](Self::follow).
+    pub const DEFAULT_SYNC_INTERVAL: Duration = Duration::from_millis(1);
+
+    /// Serves `follower` read-only, syncing it every
+    /// [`DEFAULT_SYNC_INTERVAL`](Self::DEFAULT_SYNC_INTERVAL). The
+    /// admission-tick and queue-depth knobs come from `config` (shard count
+    /// comes from the follower itself).
+    pub fn follow(follower: Follower, config: &HiggsConfig) -> Result<Self, ConfigError> {
+        Self::follow_with_sync_interval(follower, config, Self::DEFAULT_SYNC_INTERVAL)
+    }
+
+    /// [`follow`](Self::follow) with an explicit shipping cadence: shorter
+    /// intervals lower replication lag, longer ones lower the idle cost of
+    /// scanning unchanged journals.
+    pub fn follow_with_sync_interval(
+        follower: Follower,
+        config: &HiggsConfig,
+        interval: Duration,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let shards = follower.num_shards();
+        let (submit_tx, submit_rx) = match config.service_queue_depth {
+            Some(depth) => bounded::<Request>(depth),
+            None => unbounded::<Request>(),
+        };
+        let mut executor = reactor::Executor::new("higgs-replica");
+        let mut job_txs = Vec::with_capacity(shards);
+        for (s, pipeline) in follower.shard_pipelines().iter().enumerate() {
+            let (tx, rx) = unbounded::<ShardJob>();
+            let pipeline = pipeline.clone();
+            executor.spawn(&format!("shard{s}"), move || {
+                shard_worker_loop(pipeline, rx)
+            });
+            job_txs.push(tx);
+        }
+        let admission = AdmissionLoop {
+            submit_rx,
+            job_txs,
+            ingest: None,
+            tick: config.admission_tick,
+            health: None,
+        };
+        executor.spawn("admission", move || admission.run());
+        let gauge = Arc::new(ReplicaGauge::new());
+        let sync_gauge = gauge.clone();
+        executor.spawn("replica-sync", move || {
+            replica_sync_loop(follower, sync_gauge, interval)
+        });
+        Ok(Self {
+            _executor: executor,
+            submit_tx,
+            shards,
+            gauge,
+        })
+    }
+
+    /// A new cloneable **read-only** client handle onto this replica.
+    pub fn client(&self) -> ServiceClient {
+        ServiceClient {
+            submit_tx: self.submit_tx.clone(),
+            ingest: None,
+            health: HealthSource::Replica {
+                shards: self.shards,
+                gauge: self.gauge.clone(),
+            },
+        }
+    }
+
+    /// How far this replica trailed its leader at the end of the most recent
+    /// sync; see [`Follower::replication_lag`]. Also available from any
+    /// client via [`ServiceClient::health`].
+    pub fn replication_lag(&self) -> ReplicationLag {
+        *self.gauge.lag.lock().expect("lag gauge poisoned")
+    }
+
+    /// Number of shards this replica serves.
+    pub fn num_shards(&self) -> usize {
+        self.shards
+    }
+}
+
+impl Drop for ReplicaService {
+    fn drop(&mut self) {
+        // Wake the sync thread out of its interval sleep and post the
+        // shutdown marker; the executor (field order) then joins the sync,
+        // admission, and worker threads.
+        self.gauge.raise_stop();
+        let _ = self.submit_tx.send(Request::Shutdown);
+    }
+}
+
 /// State owned by the admission thread.
 struct AdmissionLoop {
     submit_rx: Receiver<Request>,
     job_txs: Vec<Sender<ShardJob>>,
-    ingest: IngestHandle,
+    /// `None` on a replica: there is no local ingest to make visible, so
+    /// read-your-writes consistency degrades to read-latest-sync.
+    ingest: Option<IngestHandle>,
     tick: Duration,
     /// Shared writer-health board: classes routed at a degraded shard fail
     /// fast with [`ServiceError::ShardUnavailable`] instead of hanging on a
-    /// shard whose writer died.
-    health: HealthBoard,
+    /// shard whose writer died. `None` on a replica (no writers to degrade).
+    health: Option<HealthBoard>,
 }
 
 impl AdmissionLoop {
@@ -670,7 +986,9 @@ impl AdmissionLoop {
         // whole class fails together — it coalesced into one plan, and
         // answering only the healthy shards' slice would silently violate
         // the batch-is-atomic contract of [`BatchTicket::wait`].
-        if (0..shards).any(|s| !plan.sub_batch(s).is_empty() && self.health.is_degraded(s)) {
+        if self.health.as_ref().is_some_and(|health| {
+            (0..shards).any(|s| !plan.sub_batch(s).is_empty() && health.is_degraded(s))
+        }) {
             for submission in live {
                 submission
                     .reply
@@ -681,11 +999,13 @@ impl AdmissionLoop {
         // One flush covers the whole class; an all-Relaxed class skips it —
         // this is the "jump ahead of ingest flushes" path for interactive
         // traffic.
-        if live
-            .iter()
-            .any(|s| s.options.consistency == Consistency::ReadYourWrites)
-        {
-            self.ingest.ensure_visible();
+        if let Some(ingest) = &self.ingest {
+            if live
+                .iter()
+                .any(|s| s.options.consistency == Consistency::ReadYourWrites)
+            {
+                ingest.ensure_visible();
+            }
         }
         let mut pending = Vec::with_capacity(shards);
         for (s, job_tx) in self.job_txs.iter().enumerate() {

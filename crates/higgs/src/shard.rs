@@ -65,8 +65,10 @@
 //! the cache exactly as without it.
 
 use crate::config::{ConfigError, HiggsConfig, JournalMode};
+use crate::history::HistoryLog;
 use crate::journal::{failpoint, Journal, JournalError};
 use crate::parallel::ParallelHiggs;
+use crate::reshard::{fold_history, ReshardError};
 use crate::snapshot::SnapshotError;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use higgs_common::hashing::shard_of;
@@ -143,11 +145,15 @@ impl Drop for WriterGuard {
 }
 
 /// A command processed by one shard's writer thread, in FIFO order.
+/// Mutations carry the global sequence number stamped at routing time (see
+/// [`IngestHandle`]); an `InsertBatch`'s `seqs` run parallel to its edges.
+/// Non-elastic services stamp and ignore them — only the elastic history log
+/// persists sequence numbers.
 #[allow(clippy::large_enum_variant)]
 enum ShardCommand {
-    Insert(StreamEdge),
-    InsertBatch(Vec<StreamEdge>),
-    Delete(StreamEdge),
+    Insert(StreamEdge, u64),
+    InsertBatch(Vec<StreamEdge>, Vec<u64>),
+    Delete(StreamEdge, u64),
     /// Flush the shard's aggregation pipeline, then acknowledge. Because the
     /// channel is FIFO, the acknowledgement also proves every earlier
     /// mutation on this shard has been applied.
@@ -212,12 +218,17 @@ impl HealthBoard {
 /// Durable-mode state shared by the service, its writers, and respawned
 /// recovery writers: where the journals live and how they sync.
 #[derive(Debug)]
-struct DurableState {
-    dir: PathBuf,
-    mode: JournalMode,
+pub(crate) struct DurableState {
+    pub(crate) dir: PathBuf,
+    pub(crate) mode: JournalMode,
     /// Aggregation workers per shard, needed to rebuild a pipeline during
     /// writer recovery.
-    workers_per_shard: usize,
+    pub(crate) workers_per_shard: usize,
+    /// `Some(generation)` when the store is *elastic*: every writer also
+    /// appends to a [`HistoryLog`] of this generation, and the service can
+    /// be resharded. A reshard retires the whole writer set and opens
+    /// generation `+ 1`; see the [`history`](crate::history) module docs.
+    pub(crate) history_gen: Option<u64>,
 }
 
 /// Everything a writer thread needs, bundled so a supervisor can hand an
@@ -276,6 +287,11 @@ pub enum IngestError {
     /// unapplied, so the mutation is rejected instead of silently shed.
     /// Terminal for this handle (shedding is irreversible).
     Rejected,
+    /// This client serves a read-only replica
+    /// ([`ReplicaService`](crate::ReplicaService)): followers apply only
+    /// what the leader's journals ship, so local mutations are refused.
+    /// Terminal for this handle — send writes to the leader.
+    ReadOnly,
 }
 
 impl std::fmt::Display for IngestError {
@@ -293,6 +309,13 @@ impl std::fmt::Display for IngestError {
             IngestError::Rejected => {
                 write!(f, "mutation rejected: service is in load-shedding teardown")
             }
+            IngestError::ReadOnly => {
+                write!(
+                    f,
+                    "read-only replica: followers only apply mutations shipped \
+                     from the leader's journals"
+                )
+            }
         }
     }
 }
@@ -309,15 +332,45 @@ impl std::error::Error for IngestError {}
 /// shared flush clock).
 #[derive(Clone, Debug)]
 pub struct IngestHandle {
-    senders: Vec<Sender<ShardCommand>>,
+    /// The routing table: one sender per shard. Behind an `RwLock` so an
+    /// online [`ShardedHiggs::reshard`] can swap the whole writer set under
+    /// every surviving handle clone: sends take the read lock, the reshard
+    /// takes the write lock for the duration of the swap. Uncontended reads
+    /// are a single atomic, so the steady-state ingest path is unchanged.
+    router: Arc<RwLock<Vec<Sender<ShardCommand>>>>,
     clock: Arc<FlushClock>,
     /// Shared with the service and its writers: set once the service enters
     /// load-shedding teardown, after which enqueuing is pointless and every
     /// mutation method reports [`IngestError::Rejected`].
     discard: Arc<std::sync::atomic::AtomicBool>,
+    /// Global mutation sequence counter, shared by every handle clone and
+    /// surviving reshards. Each mutation is stamped at routing time; the
+    /// elastic history log persists the stamp so the global mutation order
+    /// can be reconstructed across shards (see [`crate::history`]).
+    seq: Arc<AtomicU64>,
 }
 
 impl IngestHandle {
+    /// Stamps the next global sequence number.
+    fn next_seq(&self) -> u64 {
+        // ORDERING: Relaxed — the stamp only needs uniqueness; the global
+        // order is reconstructed by *sorting* on read (per-file order is not
+        // trusted), so no cross-thread ordering is required here.
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Reserves `n` consecutive sequence numbers, returning the first.
+    fn reserve_seqs(&self, n: u64) -> u64 {
+        // ORDERING: Relaxed — see `next_seq`.
+        self.seq.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// The current routing table. Sends hold this read guard across the
+    /// channel send, so a reshard's write lock cannot retire a writer while
+    /// a command is in flight towards it.
+    fn senders(&self) -> RwLockReadGuard<'_, Vec<Sender<ShardCommand>>> {
+        self.router.read().expect("router lock poisoned")
+    }
     /// Whether the service has entered irreversible load-shedding teardown.
     fn shedding(&self) -> bool {
         // ORDERING: Acquire pairs with the Release store in
@@ -335,9 +388,10 @@ impl IngestHandle {
         self.clock.sent.fetch_add(1, Ordering::Release);
     }
 
-    /// Number of shards this handle routes over.
+    /// Number of shards this handle routes over. Can change across an online
+    /// [`ShardedHiggs::reshard`].
     pub fn num_shards(&self) -> usize {
-        self.senders.len()
+        self.senders().len()
     }
 
     /// Enqueues one stream item on its source's shard, blocking for queue
@@ -357,8 +411,14 @@ impl IngestHandle {
         if self.shedding() {
             return Err(IngestError::Rejected);
         }
-        let result = self.senders[shard_of(edge.src, self.senders.len())]
-            .send(ShardCommand::Insert(*edge))
+        let senders = self.senders();
+        if senders.is_empty() {
+            // The service was dropped and retired its routing table.
+            return Err(IngestError::Shutdown);
+        }
+        let seq = self.next_seq();
+        let result = senders[shard_of(edge.src, senders.len())]
+            .send(ShardCommand::Insert(*edge, seq))
             .map_err(|_| IngestError::Shutdown);
         self.mark_sent();
         result
@@ -372,8 +432,12 @@ impl IngestHandle {
         if self.shedding() {
             return Err(IngestError::Rejected);
         }
-        match self.senders[shard_of(edge.src, self.senders.len())]
-            .try_send(ShardCommand::Insert(*edge))
+        let senders = self.senders();
+        if senders.is_empty() {
+            return Err(IngestError::Shutdown);
+        }
+        match senders[shard_of(edge.src, senders.len())]
+            .try_send(ShardCommand::Insert(*edge, self.next_seq()))
         {
             Ok(()) => {
                 self.mark_sent();
@@ -399,30 +463,40 @@ impl IngestHandle {
         if self.shedding() {
             return Err(IngestError::Rejected);
         }
-        let shards = self.senders.len();
-        let send_batch = |shard: usize, batch: Vec<StreamEdge>| -> bool {
-            let ok = self.senders[shard]
-                .send(ShardCommand::InsertBatch(batch))
+        let senders = self.senders();
+        if senders.is_empty() {
+            return Err(IngestError::Shutdown);
+        }
+        let shards = senders.len();
+        // One contiguous sequence block for the whole slice: edge `i` is
+        // stamped `base + i`, so arrival order and sequence order coincide
+        // for this call however the edges scatter over shards.
+        let base = self.reserve_seqs(edges.len() as u64);
+        let send_batch = |shard: usize, batch: Vec<StreamEdge>, seqs: Vec<u64>| -> bool {
+            let ok = senders[shard]
+                .send(ShardCommand::InsertBatch(batch, seqs))
                 .is_ok();
             self.mark_sent();
             ok
         };
-        let mut buffers: Vec<Vec<StreamEdge>> = vec![Vec::new(); shards];
-        for edge in edges {
+        let mut buffers: Vec<(Vec<StreamEdge>, Vec<u64>)> = vec![(Vec::new(), Vec::new()); shards];
+        for (i, edge) in edges.iter().enumerate() {
             let shard = shard_of(edge.src, shards);
-            let buf = &mut buffers[shard];
-            buf.push(*edge);
-            if buf.len() >= INGEST_CHUNK {
-                let batch = std::mem::take(buf);
-                if !send_batch(shard, batch) {
+            let (batch, seqs) = &mut buffers[shard];
+            batch.push(*edge);
+            seqs.push(base + i as u64);
+            if batch.len() >= INGEST_CHUNK {
+                let batch = std::mem::take(batch);
+                let seqs = std::mem::take(seqs);
+                if !send_batch(shard, batch, seqs) {
                     // The writers are being torn down; every further send
                     // would fail too, so stop routing.
                     return Err(IngestError::Shutdown);
                 }
             }
         }
-        for (shard, buf) in buffers.into_iter().enumerate() {
-            if !buf.is_empty() && !send_batch(shard, buf) {
+        for (shard, (batch, seqs)) in buffers.into_iter().enumerate() {
+            if !batch.is_empty() && !send_batch(shard, batch, seqs) {
                 return Err(IngestError::Shutdown);
             }
         }
@@ -437,8 +511,13 @@ impl IngestHandle {
         if self.shedding() {
             return Err(IngestError::Rejected);
         }
-        let result = self.senders[shard_of(edge.src, self.senders.len())]
-            .send(ShardCommand::Delete(*edge))
+        let senders = self.senders();
+        if senders.is_empty() {
+            return Err(IngestError::Shutdown);
+        }
+        let seq = self.next_seq();
+        let result = senders[shard_of(edge.src, senders.len())]
+            .send(ShardCommand::Delete(*edge, seq))
             .map_err(|_| IngestError::Shutdown);
         self.mark_sent();
         result
@@ -451,8 +530,12 @@ impl IngestHandle {
         if self.shedding() {
             return Err(IngestError::Rejected);
         }
-        match self.senders[shard_of(edge.src, self.senders.len())]
-            .try_send(ShardCommand::Delete(*edge))
+        let senders = self.senders();
+        if senders.is_empty() {
+            return Err(IngestError::Shutdown);
+        }
+        match senders[shard_of(edge.src, senders.len())]
+            .try_send(ShardCommand::Delete(*edge, self.next_seq()))
         {
             Ok(()) => {
                 self.mark_sent();
@@ -473,7 +556,7 @@ impl IngestHandle {
         let target = self.clock.sent.load(Ordering::Acquire);
         let (ack_tx, ack_rx) = unbounded::<()>();
         let mut expected = 0usize;
-        for sender in &self.senders {
+        for sender in self.senders().iter() {
             if sender.send(ShardCommand::Flush(ack_tx.clone())).is_ok() {
                 expected += 1;
             }
@@ -570,13 +653,13 @@ impl std::fmt::Debug for ShardedHiggs {
 fn apply(pipeline: &mut ParallelHiggs, command: ShardCommand) {
     failpoint!("shard::apply");
     match command {
-        ShardCommand::Insert(edge) => pipeline.insert(&edge),
-        ShardCommand::InsertBatch(edges) => {
+        ShardCommand::Insert(edge, _) => pipeline.insert(&edge),
+        ShardCommand::InsertBatch(edges, _) => {
             for edge in &edges {
                 pipeline.insert(edge);
             }
         }
-        ShardCommand::Delete(edge) => pipeline.delete(&edge),
+        ShardCommand::Delete(edge, _) => pipeline.delete(&edge),
         ShardCommand::Flush(ack) => {
             pipeline.flush();
             let _ = ack.send(());
@@ -592,9 +675,24 @@ fn apply(pipeline: &mut ParallelHiggs, command: ShardCommand) {
 /// between the two replays the mutation instead of losing it.
 fn journal_command(journal: &mut Journal, command: &ShardCommand) -> Result<(), JournalError> {
     match command {
-        ShardCommand::Insert(edge) => journal.append_insert(edge),
-        ShardCommand::InsertBatch(edges) => journal.append_insert_batch(edges),
-        ShardCommand::Delete(edge) => journal.append_delete(edge),
+        ShardCommand::Insert(edge, _) => journal.append_insert(edge),
+        ShardCommand::InsertBatch(edges, _) => journal.append_insert_batch(edges),
+        ShardCommand::Delete(edge, _) => journal.append_delete(edge),
+        _ => Ok(()),
+    }
+}
+
+/// Appends one command to the elastic history log, sequence stamps included.
+/// Ordered **before** the journal append (and therefore before the apply):
+/// on-disk history is always a superset of `snapshot ∪ journal`, which is
+/// what lets resharding fold history alone. A failure after the history
+/// append re-drives the command through supervision, and the duplicate
+/// history record is collapsed on read (see [`crate::history`]).
+fn history_command(history: &mut HistoryLog, command: &ShardCommand) -> Result<(), JournalError> {
+    match command {
+        ShardCommand::Insert(edge, seq) => history.append_insert(*seq, edge),
+        ShardCommand::InsertBatch(edges, seqs) => history.append_insert_batch(edges, seqs),
+        ShardCommand::Delete(edge, seq) => history.append_delete(*seq, edge),
         _ => Ok(()),
     }
 }
@@ -622,6 +720,7 @@ enum FenceOutcome {
 fn fence_writer(
     ctx: &WriterContext,
     journal: &mut Option<Journal>,
+    history: &mut Option<HistoryLog>,
     ready: Sender<()>,
     resume: Receiver<Option<u64>>,
 ) -> FenceOutcome {
@@ -651,6 +750,12 @@ fn fence_writer(
         // Best-effort: durability of the fenced prefix comes from the
         // snapshot the fence guards, not from this sync.
         let _ = j.sync();
+    }
+    if let Some(h) = history.as_mut() {
+        // Likewise best-effort: history appends already left process buffers
+        // (per-append flush); the reshard path that reads history behind
+        // this fence goes through the same filesystem, not the disk.
+        let _ = h.sync();
     }
     let _ = ready.send(());
     let ok = match resume.recv() {
@@ -770,13 +875,13 @@ fn recover_and_serve(ctx: WriterContext, carryover: Option<ShardCommand>, guard:
     let _guard = guard;
     if let Some(durable) = ctx.durable.clone() {
         match rebuild_shard(&durable, &ctx) {
-            Ok(journal) => {
+            Ok((journal, history)) => {
                 record_recovery_error(&ctx, None);
                 // ORDERING: Release publishes the rebuilt pipeline (already
                 // swapped in under the write lock) before readers that
                 // Acquire the Healthy flag can route queries here again.
                 ctx.health[ctx.shard_index].store(HEALTH_HEALTHY, Ordering::Release);
-                writer_loop(ctx, Some(journal), carryover);
+                writer_loop(ctx, Some(journal), history, carryover);
                 return;
             }
             Err(e) => record_recovery_error(&ctx, Some(e.to_string())),
@@ -797,7 +902,10 @@ fn recover_and_serve(ctx: WriterContext, carryover: Option<ShardCommand>, guard:
 /// propagates the typed [`SnapshotError`] (journal errors wrapped as
 /// [`SnapshotError::Journal`]) so the caller can record *why* the shard
 /// stayed degraded instead of collapsing every cause into silence.
-fn rebuild_shard(durable: &DurableState, ctx: &WriterContext) -> Result<Journal, SnapshotError> {
+fn rebuild_shard(
+    durable: &DurableState,
+    ctx: &WriterContext,
+) -> Result<(Journal, Option<HistoryLog>), SnapshotError> {
     let mut pipeline = crate::snapshot::load_shard_pipeline(
         &durable.dir,
         ctx.shard_index,
@@ -811,8 +919,15 @@ fn rebuild_shard(durable: &DurableState, ctx: &WriterContext) -> Result<Journal,
     pipeline.flush();
     let journal = Journal::open(&durable.dir, ctx.shard_index, durable.mode, covering)
         .map_err(SnapshotError::Journal)?;
+    let history = match durable.history_gen {
+        Some(gen) => Some(
+            HistoryLog::open(&durable.dir, gen, ctx.shard_index, durable.mode)
+                .map_err(SnapshotError::Journal)?,
+        ),
+        None => None,
+    };
     *ctx.shard.write().expect("shard lock poisoned") = pipeline;
-    Ok(journal)
+    Ok((journal, history))
 }
 
 /// Serve loop of a permanently degraded shard: mutations are dropped (there
@@ -841,7 +956,12 @@ fn degraded_drain(ctx: &WriterContext) {
     }
 }
 
-fn writer_loop(ctx: WriterContext, mut journal: Option<Journal>, initial: Option<ShardCommand>) {
+fn writer_loop(
+    ctx: WriterContext,
+    mut journal: Option<Journal>,
+    mut history: Option<HistoryLog>,
+    initial: Option<ShardCommand>,
+) {
     let mut next = initial;
     'serve: loop {
         let command = match next.take() {
@@ -854,7 +974,7 @@ fn writer_loop(ctx: WriterContext, mut journal: Option<Journal>, initial: Option
         match command {
             ShardCommand::Shutdown => break 'serve,
             ShardCommand::Fence { ready, resume } => {
-                match fence_writer(&ctx, &mut journal, ready, resume) {
+                match fence_writer(&ctx, &mut journal, &mut history, ready, resume) {
                     FenceOutcome::Resumed => {}
                     FenceOutcome::RotationFailed => {
                         mark_degraded(&ctx);
@@ -888,6 +1008,16 @@ fn writer_loop(ctx: WriterContext, mut journal: Option<Journal>, initial: Option
                     // unblocks the flusher).
                     continue 'serve;
                 }
+                if let Some(h) = history.as_mut() {
+                    if history_command(h, &command).is_err() {
+                        // Not recorded, not applied: hand the command to the
+                        // replacement so it is re-driven in order. (If the
+                        // failure hit after the bytes landed, the re-driven
+                        // duplicate is collapsed on read.)
+                        supervise_failure(&ctx, Some(command));
+                        return;
+                    }
+                }
                 if let Some(j) = journal.as_mut() {
                     if journal_command(j, &command).is_err() {
                         // Not journaled, not applied: hand the command to
@@ -915,6 +1045,13 @@ fn writer_loop(ctx: WriterContext, mut journal: Option<Journal>, initial: Option
                             break;
                         }
                         Ok(coalesced) => {
+                            if let Some(h) = history.as_mut() {
+                                if history_command(h, &coalesced).is_err() {
+                                    drop(pipeline);
+                                    supervise_failure(&ctx, Some(coalesced));
+                                    return;
+                                }
+                            }
                             if let Some(j) = journal.as_mut() {
                                 if journal_command(j, &coalesced).is_err() {
                                     drop(pipeline);
@@ -938,6 +1075,86 @@ fn writer_loop(ctx: WriterContext, mut journal: Option<Journal>, initial: Option
     }
     // Either a Shutdown arrived (commands queued behind it are dropped) or
     // every sender is gone and the queue is fully drained.
+}
+
+/// One freshly spawned writer fleet: the channel senders, the thread
+/// handles, and the supervision state the writers share. Produced by
+/// [`spawn_writer_set`]; consumed by service assembly and by the online
+/// reshard, which retires one fleet and installs another.
+struct WriterSet {
+    senders: Vec<Sender<ShardCommand>>,
+    writers: Vec<JoinHandle<()>>,
+    health: Arc<Vec<AtomicU8>>,
+    respawned: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    respawn_attempts: Arc<Vec<AtomicU32>>,
+    recovery_errors: Arc<Vec<Mutex<Option<String>>>>,
+}
+
+/// Spawns one writer thread per shard with an empty queue, arming each with
+/// its journal (durable mode) and elastic history log. Fresh supervision
+/// state (health board, respawn registry/budget, recovery-error slots) is
+/// allocated per fleet — a reshard starts the new fleet with a clean slate.
+fn spawn_writer_set(
+    config: HiggsConfig,
+    shards: &[Arc<RwLock<ParallelHiggs>>],
+    durable: Option<Arc<DurableState>>,
+    journals: Vec<Option<Journal>>,
+    histories: Vec<Option<HistoryLog>>,
+    discard: Arc<std::sync::atomic::AtomicBool>,
+) -> WriterSet {
+    let num_shards = shards.len();
+    let mut senders = Vec::with_capacity(num_shards);
+    let mut writers = Vec::with_capacity(num_shards);
+    let health: Arc<Vec<AtomicU8>> = Arc::new(
+        (0..num_shards)
+            .map(|_| AtomicU8::new(HEALTH_HEALTHY))
+            .collect(),
+    );
+    let respawned: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let respawn_attempts: Arc<Vec<AtomicU32>> =
+        Arc::new((0..num_shards).map(|_| AtomicU32::new(0)).collect());
+    let recovery_errors: Arc<Vec<Mutex<Option<String>>>> =
+        Arc::new((0..num_shards).map(|_| Mutex::new(None)).collect());
+    for (shard_index, ((shard, journal), history)) in
+        shards.iter().zip(journals).zip(histories).enumerate()
+    {
+        let (tx, rx) = match config.ingest_queue_cap {
+            Some(cap) => bounded::<ShardCommand>(cap),
+            None => unbounded::<ShardCommand>(),
+        };
+        let ctx = WriterContext {
+            shard_index,
+            config,
+            shard: shard.clone(),
+            rx,
+            discard: discard.clone(),
+            health: health.clone(),
+            durable: durable.clone(),
+            respawned: respawned.clone(),
+            respawn_attempts: respawn_attempts.clone(),
+            recovery_errors: recovery_errors.clone(),
+        };
+        let guard = WriterGuard::enter();
+        // Same core as this shard's aggregation workers (None when
+        // pinning is off); pinning is best-effort.
+        let pin_core = ParallelHiggs::pin_core_for(&config, shard_index);
+        writers.push(std::thread::spawn(move || {
+            let _guard = guard;
+            if let Some(core) = pin_core {
+                let _ = higgs_common::affinity::pin_to_core(core);
+            }
+            writer_loop(ctx, journal, history, None)
+        }));
+        senders.push(tx);
+    }
+    WriterSet {
+        senders,
+        writers,
+        health,
+        respawned,
+        respawn_attempts,
+        recovery_errors,
+    }
 }
 
 impl ShardedHiggs {
@@ -997,74 +1214,28 @@ impl ShardedHiggs {
     /// With [`JournalMode::Off`] this behaves like [`try_new`](Self::try_new)
     /// plus recovery: existing state in `dir` is loaded, but no journal is
     /// written.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Store::open(StoreOptions::durable(config, dir))`"
+    )]
     pub fn new_durable(config: HiggsConfig, dir: impl AsRef<Path>) -> Result<Self, SnapshotError> {
-        Self::new_durable_with_workers(config, dir, 1)
+        crate::store::Store::open(crate::store::StoreOptions::durable(config, dir))
     }
 
     /// [`new_durable`](Self::new_durable) with `workers_per_shard`
     /// aggregation workers behind each shard's writer.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Store::open(StoreOptions::durable(config, dir).workers(n))`"
+    )]
     pub fn new_durable_with_workers(
         config: HiggsConfig,
         dir: impl AsRef<Path>,
         workers_per_shard: usize,
     ) -> Result<Self, SnapshotError> {
-        config.validate().map_err(SnapshotError::Config)?;
-        let dir = dir.as_ref();
-        std::fs::create_dir_all(dir)?;
-        let pipelines = if crate::snapshot::manifest_exists(dir) {
-            let (stored, pipelines) = crate::snapshot::restore_pipelines(dir, workers_per_shard)?;
-            if stored.shards != config.shards {
-                return Err(SnapshotError::Corrupt(format!(
-                    "shard count mismatch: directory holds {} shards, config asks for {}",
-                    stored.shards, config.shards
-                )));
-            }
-            pipelines
-        } else {
-            // No snapshot yet (fresh directory, or a crash before the first
-            // snapshot): fresh pipelines, then journal tails on top.
-            let mut pipelines: Vec<ParallelHiggs> = (0..config.shards)
-                .map(|s| {
-                    ParallelHiggs::new_on_core(
-                        config,
-                        workers_per_shard,
-                        ParallelHiggs::pin_core_for(&config, s),
-                    )
-                })
-                .collect();
-            // No manifest, so journals (if any) must carry the zero stamp.
-            for (s, pipeline) in pipelines.iter_mut().enumerate() {
-                let records = crate::journal::replay(dir, s, 0).map_err(SnapshotError::Journal)?;
-                if !records.is_empty() {
-                    crate::journal::apply_records(pipeline, records);
-                    pipeline.flush();
-                }
-            }
-            pipelines
-        };
-        let durable = (config.journal_mode != JournalMode::Off).then(|| {
-            Arc::new(DurableState {
-                dir: dir.to_path_buf(),
-                mode: config.journal_mode,
-                workers_per_shard,
-            })
-        });
-        let journals = match &durable {
-            Some(state) => {
-                // Stamp (or validate) each journal against the manifest
-                // currently in the directory; a journal left stale by an
-                // interrupted rotation is reset here, right after the replay
-                // above discarded its records.
-                let covering = crate::snapshot::manifest_tail_checksum(dir)?;
-                (0..config.shards)
-                    .map(|s| Journal::open(dir, s, state.mode, covering).map(Some))
-                    .collect::<Result<Vec<_>, _>>()
-                    .map_err(SnapshotError::Journal)?
-            }
-            None => (0..config.shards).map(|_| None).collect(),
-        };
-        Self::from_pipelines_with(config, pipelines, durable, journals)
-            .map_err(SnapshotError::Config)
+        crate::store::Store::open(
+            crate::store::StoreOptions::durable(config, dir).workers(workers_per_shard),
+        )
     }
 
     /// Assembles a non-durable service around pre-built per-shard pipelines
@@ -1074,84 +1245,87 @@ impl ShardedHiggs {
         config: HiggsConfig,
         pipelines: Vec<ParallelHiggs>,
     ) -> Result<Self, ConfigError> {
-        let journals = (0..pipelines.len()).map(|_| None).collect();
-        Self::from_pipelines_with(config, pipelines, None, journals)
+        let n = pipelines.len();
+        Self::from_pipelines_with(
+            config,
+            pipelines,
+            None,
+            (0..n).map(|_| None).collect(),
+            (0..n).map(|_| None).collect(),
+        )
     }
 
-    /// Shared assembly core: spawns one writer thread per shard with an
-    /// empty queue, arming each writer with its journal in durable mode.
-    fn from_pipelines_with(
+    /// Assembles a service around pre-built pipelines, arming each shard's
+    /// writer with its journal (durable mode) and elastic history log.
+    pub(crate) fn from_pipelines_with(
         config: HiggsConfig,
         pipelines: Vec<ParallelHiggs>,
         durable: Option<Arc<DurableState>>,
         journals: Vec<Option<Journal>>,
+        histories: Vec<Option<HistoryLog>>,
+    ) -> Result<Self, ConfigError> {
+        let shards: Vec<Arc<RwLock<ParallelHiggs>>> = pipelines
+            .into_iter()
+            .map(|p| Arc::new(RwLock::new(p)))
+            .collect();
+        Self::from_arc_pipelines_with(config, shards, durable, journals, histories)
+    }
+
+    /// Assembles a non-durable service around **shared** pipelines — the
+    /// promotion path of a [`Follower`](crate::Follower), whose pipelines
+    /// are already Arc-wrapped from the replica apply loop.
+    pub(crate) fn from_arc_pipelines(
+        config: HiggsConfig,
+        shards: Vec<Arc<RwLock<ParallelHiggs>>>,
+    ) -> Result<Self, ConfigError> {
+        let n = shards.len();
+        Self::from_arc_pipelines_with(
+            config,
+            shards,
+            None,
+            (0..n).map(|_| None).collect(),
+            (0..n).map(|_| None).collect(),
+        )
+    }
+
+    /// Shared assembly core: spawns one writer thread per shard with an
+    /// empty queue.
+    pub(crate) fn from_arc_pipelines_with(
+        config: HiggsConfig,
+        shards: Vec<Arc<RwLock<ParallelHiggs>>>,
+        durable: Option<Arc<DurableState>>,
+        journals: Vec<Option<Journal>>,
+        histories: Vec<Option<HistoryLog>>,
     ) -> Result<Self, ConfigError> {
         config.validate()?;
-        if pipelines.len() != config.shards {
+        if shards.len() != config.shards {
             return Err(ConfigError::InvalidShardCount {
-                shards: pipelines.len(),
+                shards: shards.len(),
             });
         }
-        let num_shards = pipelines.len();
-        let mut shards = Vec::with_capacity(num_shards);
-        let mut senders = Vec::with_capacity(num_shards);
-        let mut writers = Vec::with_capacity(num_shards);
         let discard = Arc::new(std::sync::atomic::AtomicBool::new(false));
-        let health: Arc<Vec<AtomicU8>> = Arc::new(
-            (0..num_shards)
-                .map(|_| AtomicU8::new(HEALTH_HEALTHY))
-                .collect(),
+        let set = spawn_writer_set(
+            config,
+            &shards,
+            durable.clone(),
+            journals,
+            histories,
+            discard.clone(),
         );
-        let respawned: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let respawn_attempts: Arc<Vec<AtomicU32>> =
-            Arc::new((0..num_shards).map(|_| AtomicU32::new(0)).collect());
-        let recovery_errors: Arc<Vec<Mutex<Option<String>>>> =
-            Arc::new((0..num_shards).map(|_| Mutex::new(None)).collect());
-        for (shard_index, (pipeline, journal)) in pipelines.into_iter().zip(journals).enumerate() {
-            let shard = Arc::new(RwLock::new(pipeline));
-            let (tx, rx) = match config.ingest_queue_cap {
-                Some(cap) => bounded::<ShardCommand>(cap),
-                None => unbounded::<ShardCommand>(),
-            };
-            let ctx = WriterContext {
-                shard_index,
-                config,
-                shard: shard.clone(),
-                rx,
-                discard: discard.clone(),
-                health: health.clone(),
-                durable: durable.clone(),
-                respawned: respawned.clone(),
-                respawn_attempts: respawn_attempts.clone(),
-                recovery_errors: recovery_errors.clone(),
-            };
-            let guard = WriterGuard::enter();
-            // Same core as this shard's aggregation workers (None when
-            // pinning is off); pinning is best-effort.
-            let pin_core = ParallelHiggs::pin_core_for(&config, shard_index);
-            writers.push(std::thread::spawn(move || {
-                let _guard = guard;
-                if let Some(core) = pin_core {
-                    let _ = higgs_common::affinity::pin_to_core(core);
-                }
-                writer_loop(ctx, journal, None)
-            }));
-            shards.push(shard);
-            senders.push(tx);
-        }
         Ok(Self {
             shards,
             handle: IngestHandle {
-                senders,
+                router: Arc::new(RwLock::new(set.senders)),
                 clock: Arc::new(FlushClock::default()),
                 discard: discard.clone(),
+                seq: Arc::new(AtomicU64::new(0)),
             },
-            writers,
+            writers: set.writers,
             discard,
-            health,
-            respawned,
-            respawn_attempts,
-            recovery_errors,
+            health: set.health,
+            respawned: set.respawned,
+            respawn_attempts: set.respawn_attempts,
+            recovery_errors: set.recovery_errors,
             durable,
             config,
         })
@@ -1226,6 +1400,17 @@ impl ShardedHiggs {
         }
     }
 
+    /// Shared supervision state (respawn counters + recovery-error slots)
+    /// for the serving layer's [`health`](crate::ServiceClient::health)
+    /// report: clients hold the `Arc`s directly so the report stays
+    /// readable after the service drops.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn supervision_state(
+        &self,
+    ) -> (Arc<Vec<AtomicU32>>, Arc<Vec<Mutex<Option<String>>>>) {
+        (self.respawn_attempts.clone(), self.recovery_errors.clone())
+    }
+
     /// The journal directory when this service is durable.
     pub(crate) fn durable_dir(&self) -> Option<&Path> {
         self.durable.as_ref().map(|d| d.dir.as_path())
@@ -1237,34 +1422,7 @@ impl ShardedHiggs {
     /// snapshot verdict. Used by `snapshot_to_dir` to make journal rotation
     /// atomic with the snapshot (see the `journal` module docs).
     pub(crate) fn fence_writers(&self) -> WriterFence {
-        let (ready_tx, ready_rx) = unbounded::<()>();
-        let mut resume_txs = Vec::with_capacity(self.handle.senders.len());
-        let mut expected = 0usize;
-        for sender in &self.handle.senders {
-            let (resume_tx, resume_rx) = bounded::<Option<u64>>(1);
-            if sender
-                .send(ShardCommand::Fence {
-                    ready: ready_tx.clone(),
-                    resume: resume_rx,
-                })
-                .is_ok()
-            {
-                expected += 1;
-                resume_txs.push(resume_tx);
-            }
-        }
-        drop(ready_tx);
-        for _ in 0..expected {
-            if ready_rx.recv().is_err() {
-                break; // a writer exited; it cannot hold a lock either
-            }
-        }
-        WriterFence {
-            resume_txs,
-            ready_rx,
-            expected,
-            released: false,
-        }
+        fence_writers_on(&self.handle.senders())
     }
 
     /// Number of shards.
@@ -1348,6 +1506,234 @@ impl ShardedHiggs {
             .map(|s| self.read_shard(s).summary().leaf_count())
             .collect()
     }
+
+    /// Resumes the global mutation sequence counter at `next`
+    /// (construction-time, when an elastic directory already holds stamped
+    /// history: new mutations must stamp above everything on disk).
+    pub(crate) fn resume_seq(&self, next: u64) {
+        // ORDERING: Relaxed — called before any producer thread exists; the
+        // handle that carries the counter has not been cloned out yet.
+        self.handle.seq.store(next, Ordering::Relaxed);
+    }
+
+    /// **Online reshard**: changes the shard count of a live elastic service
+    /// to `new_shards` without dropping an acknowledged mutation.
+    ///
+    /// The protocol, in order:
+    ///
+    /// 1. New sends are blocked (the ingest router's write lock); commands
+    ///    already queued are FIFO-ahead of the fence and therefore included.
+    /// 2. Every writer parks at the snapshot fence: pipelines flushed,
+    ///    journals and history logs synced.
+    /// 3. The full mutation history is re-read and folded through
+    ///    [`shard_of`] at the new width into fresh pipelines.
+    /// 4. A snapshot of the folded pipelines is committed (manifest written
+    ///    last) — this is the atomic commit point. A crash before it leaves
+    ///    the old layout intact; a crash after it recovers at the new width.
+    /// 5. The old writer fleet is released and retired; a new fleet opens
+    ///    journals stamped with the new manifest and history logs at the
+    ///    next generation, and the router swaps to the new senders.
+    ///
+    /// Surviving [`IngestHandle`] clones keep working across the swap — the
+    /// sequence counter and flush clock carry over, only the routing table
+    /// changes. On a **pre-commit** failure the service resumes unchanged
+    /// (the error is returned, nothing was retired). On a **post-commit**
+    /// failure (the new fleet could not be armed) every shard is marked
+    /// degraded and the service must be reopened from the directory, which
+    /// recovers at the new width.
+    ///
+    /// Requires elastic history
+    /// ([`StoreOptions::elastic`](crate::StoreOptions::elastic)); fails with
+    /// [`ReshardError::HistoryUnavailable`] otherwise, and
+    /// [`ReshardError::Degraded`] when any shard is degraded (its
+    /// unrecovered mutations may be missing from history).
+    pub fn reshard(&mut self, new_shards: usize) -> Result<(), ReshardError> {
+        if new_shards == 0 || new_shards > MAX_SHARDS {
+            return Err(ReshardError::InvalidShardCount {
+                requested: new_shards,
+            });
+        }
+        let durable = self
+            .durable
+            .clone()
+            .ok_or_else(|| ReshardError::HistoryUnavailable {
+                detail: "service is not durable (journaling off): no elastic history to refold"
+                    .into(),
+            })?;
+        let old_gen = durable
+            .history_gen
+            .ok_or_else(|| ReshardError::HistoryUnavailable {
+                detail: "service was opened without elastic history (StoreOptions::elastic)".into(),
+            })?;
+        if let Some(shard) = self.first_degraded_shard() {
+            return Err(ReshardError::Degraded { shard });
+        }
+        let old_n = self.shards.len();
+        // 1. Block new sends for the duration of the swap. Local clone of the
+        // router Arc so the guard does not borrow `self`.
+        let router = self.handle.router.clone();
+        let mut senders_guard = router.write().expect("router lock poisoned");
+        // 2. Fence the fleet: by the first ready ack every writer has
+        // recorded and applied everything acknowledged before the lock.
+        let fence = fence_writers_on(&senders_guard);
+        // A writer may have failed between the pre-check and the fence.
+        if let Some(shard) = self.first_degraded_shard() {
+            fence.release(None);
+            return Err(ReshardError::Degraded { shard });
+        }
+        // 3.–4. Fold history at the new width and commit the snapshot. Any
+        // failure in here is pre-commit: release the fence and resume
+        // unchanged. (The interrupted `write_snapshot_files` never wrote the
+        // manifest, so recovery still sees the old layout.)
+        let mut new_config = self.config;
+        new_config.shards = new_shards;
+        let folded = crate::history::read_history(&durable.dir)
+            .map_err(ReshardError::from)
+            .and_then(|ops| {
+                let pipelines = fold_history(&ops, &new_config, durable.workers_per_shard);
+                let shards: Vec<Arc<RwLock<ParallelHiggs>>> = pipelines
+                    .into_iter()
+                    .map(|p| Arc::new(RwLock::new(p)))
+                    .collect();
+                crate::snapshot::write_snapshot_files(&durable.dir, &shards)
+                    .map_err(ReshardError::Snapshot)?;
+                Ok(shards)
+            });
+        let new_pipelines = match folded {
+            Ok(shards) => shards,
+            Err(e) => {
+                fence.release(None);
+                return Err(e);
+            }
+        };
+        // 5. Release with "keep the journals": the retiring writers must not
+        // rotate against the new manifest. The journals are reset instead
+        // when reopened below — `Journal::open` treats a stamp that does not
+        // match the covering manifest as stale and truncates, the exact
+        // crash-window path recovery already exercises.
+        fence.release(None);
+        for sender in senders_guard.iter() {
+            let _ = sender.send(ShardCommand::Shutdown);
+        }
+        senders_guard.clear();
+        for writer in self.writers.drain(..) {
+            let _ = writer.join();
+        }
+        loop {
+            let drained: Vec<JoinHandle<()>> = {
+                let mut registry = self.respawned.lock().expect("respawn registry poisoned");
+                registry.drain(..).collect()
+            };
+            if drained.is_empty() {
+                break;
+            }
+            for writer in drained {
+                let _ = writer.join();
+            }
+        }
+        // Arm the new fleet. Failures from here on are post-commit: the
+        // directory has already moved to the new width, so the live service
+        // cannot roll back — park it degraded and let a reopen recover.
+        type ArmedPersistence = (Vec<Option<Journal>>, Vec<Option<HistoryLog>>);
+        let armed = (|| -> Result<ArmedPersistence, ReshardError> {
+            let covering = crate::snapshot::manifest_tail_checksum(&durable.dir)
+                .map_err(ReshardError::Snapshot)?;
+            let journals = (0..new_shards)
+                .map(|s| {
+                    Journal::open(&durable.dir, s, durable.mode, covering)
+                        .map(Some)
+                        .map_err(ReshardError::from)
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let histories = (0..new_shards)
+                .map(|s| {
+                    HistoryLog::open(&durable.dir, old_gen + 1, s, durable.mode)
+                        .map(Some)
+                        .map_err(ReshardError::from)
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok((journals, histories))
+        })();
+        let (journals, histories) = match armed {
+            Ok(v) => v,
+            Err(e) => {
+                for slot in self.health.iter() {
+                    // ORDERING: Release — pairs with the Acquire loads in
+                    // `shard_health`; see `mark_degraded`.
+                    slot.store(HEALTH_DEGRADED, Ordering::Release);
+                }
+                return Err(e);
+            }
+        };
+        // Shrinking: journals for retired shard slots are superseded by the
+        // committed snapshot; remove them so a later reopen at the new width
+        // does not trip over stale stamps. Best-effort — a stale file left
+        // behind is reset by `Journal::open` if the count ever grows again.
+        for s in new_shards..old_n {
+            let _ = std::fs::remove_file(durable.dir.join(crate::journal::journal_file_name(s)));
+        }
+        let new_durable = Arc::new(DurableState {
+            dir: durable.dir.clone(),
+            mode: durable.mode,
+            workers_per_shard: durable.workers_per_shard,
+            history_gen: Some(old_gen + 1),
+        });
+        let set = spawn_writer_set(
+            new_config,
+            &new_pipelines,
+            Some(new_durable.clone()),
+            journals,
+            histories,
+            self.discard.clone(),
+        );
+        *senders_guard = set.senders;
+        self.shards = new_pipelines;
+        self.writers = set.writers;
+        self.health = set.health;
+        self.respawned = set.respawned;
+        self.respawn_attempts = set.respawn_attempts;
+        self.recovery_errors = set.recovery_errors;
+        self.durable = Some(new_durable);
+        self.config = new_config;
+        drop(senders_guard);
+        Ok(())
+    }
+}
+
+/// Parks the given writer fleet at a fence (see
+/// [`ShardedHiggs::fence_writers`], which fences the live fleet through the
+/// router's read lock). The online reshard calls this directly with the
+/// senders it already holds under the router's **write** lock — taking the
+/// read-locking method there would self-deadlock.
+fn fence_writers_on(senders: &[Sender<ShardCommand>]) -> WriterFence {
+    let (ready_tx, ready_rx) = unbounded::<()>();
+    let mut resume_txs = Vec::with_capacity(senders.len());
+    let mut expected = 0usize;
+    for sender in senders {
+        let (resume_tx, resume_rx) = bounded::<Option<u64>>(1);
+        if sender
+            .send(ShardCommand::Fence {
+                ready: ready_tx.clone(),
+                resume: resume_rx,
+            })
+            .is_ok()
+        {
+            expected += 1;
+            resume_txs.push(resume_tx);
+        }
+    }
+    drop(ready_tx);
+    for _ in 0..expected {
+        if ready_rx.recv().is_err() {
+            break; // a writer exited; it cannot hold a lock either
+        }
+    }
+    WriterFence {
+        resume_txs,
+        ready_rx,
+        expected,
+        released: false,
+    }
 }
 
 /// RAII handle over writers parked at a snapshot fence (see
@@ -1402,10 +1788,13 @@ impl Drop for ShardedHiggs {
         // the channels open — relying on channel disconnection alone would
         // deadlock the join below in that case. Dropping the last shard
         // reference then joins its aggregation workers.
-        for sender in &self.handle.senders {
-            let _ = sender.send(ShardCommand::Shutdown);
+        {
+            let mut senders = self.handle.router.write().expect("router lock poisoned");
+            for sender in senders.iter() {
+                let _ = sender.send(ShardCommand::Shutdown);
+            }
+            senders.clear();
         }
-        self.handle.senders.clear();
         for writer in self.writers.drain(..) {
             let _ = writer.join();
         }
@@ -1506,6 +1895,7 @@ impl TemporalGraphSummary for ShardedHiggs {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::{Store, StoreOptions};
     use crate::tree::HiggsSummary;
     use higgs_common::QueryBatch;
 
@@ -1795,7 +2185,8 @@ mod tests {
         let stream = edges(2_000);
         let cfg = durable_config(3, JournalMode::Buffered);
         {
-            let mut sharded = ShardedHiggs::new_durable(cfg, &dir).expect("durable service");
+            let mut sharded =
+                Store::open(StoreOptions::durable(cfg, &dir)).expect("durable service");
             assert_eq!(sharded.durable_dir(), Some(dir.as_path()));
             sharded.insert_all(&stream);
             for e in stream.iter().step_by(9) {
@@ -1804,7 +2195,7 @@ mod tests {
             sharded.flush();
             // Drop without ever snapshotting: the journal is the only record.
         }
-        let recovered = ShardedHiggs::new_durable(cfg, &dir).expect("recovery");
+        let recovered = Store::open(StoreOptions::durable(cfg, &dir)).expect("recovery");
         let mut control = HiggsSummary::new(config(1));
         control.insert_all(&stream);
         for e in stream.iter().step_by(9) {
@@ -1822,13 +2213,14 @@ mod tests {
         let dir = temp_dir("off");
         let cfg = durable_config(2, JournalMode::Off);
         {
-            let mut sharded = ShardedHiggs::new_durable(cfg, &dir).expect("durable service");
+            let mut sharded =
+                Store::open(StoreOptions::durable(cfg, &dir)).expect("durable service");
             assert!(sharded.durable_dir().is_none(), "Off mode arms no journal");
             sharded.insert(&StreamEdge::new(1, 2, 5, 10));
             sharded.flush();
         }
         // Nothing was journaled, so a restart starts empty.
-        let recovered = ShardedHiggs::new_durable(cfg, &dir).expect("recovery");
+        let recovered = Store::open(StoreOptions::durable(cfg, &dir)).expect("recovery");
         assert_eq!(recovered.total_items(), 0);
         drop(recovered);
         let _ = std::fs::remove_dir_all(&dir);
@@ -1838,15 +2230,21 @@ mod tests {
     fn durable_recovery_rejects_a_mismatched_shard_count() {
         let dir = temp_dir("mismatch");
         {
-            let sharded = ShardedHiggs::new_durable(durable_config(2, JournalMode::Buffered), &dir)
-                .expect("durable service");
+            let sharded = Store::open(StoreOptions::durable(
+                durable_config(2, JournalMode::Buffered),
+                &dir,
+            ))
+            .expect("durable service");
             sharded
                 .snapshot_to_dir(&dir)
                 .expect("snapshot of an empty durable service");
         }
-        let err = ShardedHiggs::new_durable(durable_config(4, JournalMode::Buffered), &dir)
-            .map(|_| ())
-            .expect_err("shard count mismatch must be rejected");
+        let err = Store::open(StoreOptions::durable(
+            durable_config(4, JournalMode::Buffered),
+            &dir,
+        ))
+        .map(|_| ())
+        .expect_err("shard count mismatch must be rejected");
         assert!(
             err.to_string().contains("shard count mismatch"),
             "unexpected error: {err}"

@@ -10,7 +10,7 @@
 //!
 //! * [`HiggsSummary::write_snapshot`] / [`HiggsSummary::read_snapshot`] —
 //!   one summary to/from any `Write`/`Read` stream, and
-//! * [`ShardedHiggs::snapshot_to_dir`] / [`ShardedHiggs::restore_from_dir`]
+//! * [`ShardedHiggs::snapshot_to_dir`] / [`Store::open`](crate::Store::open)
 //!   — the whole sharded service to/from a directory: one file per shard
 //!   plus a [`SnapshotManifest`].
 //!
@@ -81,6 +81,7 @@ use higgs_common::codec::{CodecError, Decoder, Encoder};
 use std::fmt;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
 
 /// Magic opening a single-summary snapshot file (`HIGGSSUM`).
 pub const SUMMARY_MAGIC: u64 = u64::from_le_bytes(*b"HIGGSSUM");
@@ -198,6 +199,22 @@ pub enum SnapshotError {
         /// Index of the degraded shard.
         shard: usize,
     },
+    /// [`Store::open`](crate::Store::open) with
+    /// [`OpenMode::CreateNew`](crate::OpenMode::CreateNew) found the
+    /// directory already initialised (it holds a snapshot manifest). Use
+    /// `OpenExisting` / `OpenOrCreate` to recover it instead.
+    AlreadyExists {
+        /// The directory that is already initialised.
+        dir: PathBuf,
+    },
+    /// Elastic history ([`StoreOptions::elastic`](crate::StoreOptions::elastic))
+    /// cannot be provided for this open: journaling is off, or the directory
+    /// already holds non-elastic state whose mutation history was never
+    /// recorded. The message names the missing prerequisite.
+    ElasticUnavailable {
+        /// What exactly is missing.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -236,6 +253,15 @@ impl fmt::Display for SnapshotError {
                 "shard {shard} is degraded: its writer failed and has not recovered, \
                  so a snapshot would capture partial state"
             ),
+            SnapshotError::AlreadyExists { dir } => write!(
+                f,
+                "directory {} is already initialised (CreateNew refuses to recover \
+                 existing state; open it with OpenExisting or OpenOrCreate)",
+                dir.display()
+            ),
+            SnapshotError::ElasticUnavailable { detail } => {
+                write!(f, "elastic history unavailable: {detail}")
+            }
         }
     }
 }
@@ -322,8 +348,8 @@ fn decode_config<R: Read>(dec: &mut Decoder<R>) -> Result<HiggsConfig, SnapshotE
         // journal sync policy are runtime state of the serving process, not
         // data: the snapshot format does not carry them, and a restored
         // service starts with the inert defaults (the restoring caller may
-        // opt back in on its own machine — `ShardedHiggs::new_durable`
-        // re-arms journaling from its caller's config).
+        // opt back in on its own machine — `Store::open` re-arms
+        // journaling from its caller's config).
         pin_workers: false,
         admission_tick: std::time::Duration::ZERO,
         service_queue_depth: None,
@@ -812,7 +838,7 @@ pub fn shard_file_name(index: usize) -> String {
 }
 
 /// Whether `dir` already holds a snapshot manifest (crate-internal: decides
-/// between fresh start and recovery in `ShardedHiggs::new_durable`).
+/// between fresh start and recovery in `Store::open`).
 pub(crate) fn manifest_exists(dir: &Path) -> bool {
     dir.join(MANIFEST_FILE).exists()
 }
@@ -876,6 +902,33 @@ pub(crate) fn restore_pipelines(
     dir: &Path,
     workers_per_shard: usize,
 ) -> Result<(HiggsConfig, Vec<ParallelHiggs>), SnapshotError> {
+    let (config, mut pipelines) = restore_snapshot_pipelines(dir, workers_per_shard)?;
+    // Journal tail replay: mutations that were journaled after the snapshot
+    // the directory holds (e.g. the process crashed before the next
+    // rotation). A directory without journals replays nothing, and a
+    // journal stamped for an older manifest (interrupted rotation) is
+    // discarded rather than double-applied.
+    let covering = manifest_tail_checksum(dir)?;
+    for (index, pipeline) in pipelines.iter_mut().enumerate() {
+        let records =
+            crate::journal::replay(dir, index, covering).map_err(SnapshotError::Journal)?;
+        if !records.is_empty() {
+            crate::journal::apply_records(pipeline, records);
+            pipeline.flush();
+        }
+    }
+    Ok((config, pipelines))
+}
+
+/// The snapshot-only half of [`restore_pipelines`]: restores per-shard
+/// pipelines from the directory's snapshot **without** replaying journal
+/// tails. This is the bootstrap of a [`Follower`](crate::Follower), which
+/// must apply the leader's journals through its own cursor instead — a
+/// replay here would double-apply every record the cursor then ships.
+pub(crate) fn restore_snapshot_pipelines(
+    dir: &Path,
+    workers_per_shard: usize,
+) -> Result<(HiggsConfig, Vec<ParallelHiggs>), SnapshotError> {
     let manifest = SnapshotManifest::read_from_dir(dir)?;
     let declared = manifest.shard_count();
     // An extra shard file beyond the declared count means the manifest
@@ -911,24 +964,10 @@ pub(crate) fn restore_pipelines(
         }
         summaries.push(summary);
     }
-    let mut pipelines: Vec<ParallelHiggs> = summaries
+    let pipelines: Vec<ParallelHiggs> = summaries
         .into_iter()
         .map(|s| ParallelHiggs::from_summary(s, workers_per_shard))
         .collect();
-    // Journal tail replay: mutations that were journaled after the snapshot
-    // the directory holds (e.g. the process crashed before the next
-    // rotation). A directory without journals replays nothing, and a
-    // journal stamped for an older manifest (interrupted rotation) is
-    // discarded rather than double-applied.
-    let covering = manifest_tail_checksum(dir)?;
-    for (index, pipeline) in pipelines.iter_mut().enumerate() {
-        let records =
-            crate::journal::replay(dir, index, covering).map_err(SnapshotError::Journal)?;
-        if !records.is_empty() {
-            crate::journal::apply_records(pipeline, records);
-            pipeline.flush();
-        }
-    }
     Ok((manifest.config, pipelines))
 }
 
@@ -945,7 +984,8 @@ impl ShardedHiggs {
     /// aggregations materialised. See the [module docs](self) for the
     /// concurrent-ingest caveat.
     ///
-    /// For a **durable** service ([`ShardedHiggs::new_durable`]) snapshotting
+    /// For a **durable** service ([`Store::open`](crate::Store::open) with
+    /// [`StoreOptions::durable`](crate::StoreOptions::durable)) snapshotting
     /// into its own journal directory additionally **rotates the journals**:
     /// every writer parks at a fence while the files are written, and a
     /// *successful* snapshot truncates each shard's journal (the snapshot now
@@ -1007,66 +1047,80 @@ impl ShardedHiggs {
     /// manifest together with its document checksum (the journal covering
     /// stamp).
     fn write_snapshot_files(&self, dir: &Path) -> Result<(SnapshotManifest, u64), SnapshotError> {
-        let shards = self.shard_pipelines();
-        let mut shard_checksums = Vec::with_capacity(shards.len());
-        let mut shard_items = Vec::with_capacity(shards.len());
-        let mut config = None;
-        for (index, shard) in shards.iter().enumerate() {
-            failpoint!("snapshot::write_shard", |msg: String| SnapshotError::Io(
-                std::io::Error::other(msg)
-            ));
-            let pipeline = shard.read().expect("shard lock poisoned");
-            let summary = pipeline.summary();
-            let path = dir.join(shard_file_name(index));
-            let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
-            let checksum = summary.write_snapshot(&mut file)?;
-            file.into_inner().map_err(|e| e.into_error())?.sync_all()?;
-            shard_checksums.push(checksum);
-            shard_items.push(summary.total_items());
-            config.get_or_insert(*summary.config());
-        }
-        // Remove stale shard files left by an earlier, larger snapshot into
-        // the same directory — restore's census would otherwise reject the
-        // whole directory (ShardCountMismatch) even though this snapshot
-        // succeeded.
-        let mut stale = shards.len();
-        loop {
-            let path = dir.join(shard_file_name(stale));
-            if !path.exists() {
-                break;
-            }
-            std::fs::remove_file(&path)?;
-            stale += 1;
-        }
-        // LINT-ALLOW(durability-io-panic): config validation rejects zero
-        // shards, so the shard loop above ran at least once.
-        let mut config = config.expect("a service holds at least one shard");
-        // Shard summaries carry the per-summary view of the config; the
-        // manifest records the *service* shard count so restore rebuilds the
-        // same partitioning. Worker pinning is runtime placement state, not
-        // data: it is never encoded, so the returned manifest reports it
-        // cleared exactly as a re-read of the written file would.
-        config.shards = shards.len();
-        config.pin_workers = false;
-        // Likewise for the serving knobs: admission tick, submission queue
-        // depth and journal sync policy describe the front-end process, not
-        // the summary.
-        config.admission_tick = std::time::Duration::ZERO;
-        config.service_queue_depth = None;
-        config.journal_mode = JournalMode::Off;
-        let manifest = SnapshotManifest {
-            format_version: FORMAT_VERSION,
-            config,
-            shard_checksums,
-            shard_items,
-        };
-        let path = dir.join(MANIFEST_FILE);
-        let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
-        let checksum = manifest.write_to(&mut file)?;
-        file.into_inner().map_err(|e| e.into_error())?.sync_all()?;
-        Ok((manifest, checksum))
+        write_snapshot_files(dir, self.shard_pipelines())
     }
+}
 
+/// Writes per-shard snapshot files and the manifest for `shards` into `dir`
+/// (manifest **last**, so a crash mid-write never leaves a directory that
+/// passes restore validation), returning the manifest and its document
+/// checksum. The caller is responsible for quiescence: pipelines must not
+/// mutate while this reads them (a fence, or exclusive ownership as in the
+/// reshard fold).
+pub(crate) fn write_snapshot_files(
+    dir: &Path,
+    shards: &[Arc<RwLock<ParallelHiggs>>],
+) -> Result<(SnapshotManifest, u64), SnapshotError> {
+    let mut shard_checksums = Vec::with_capacity(shards.len());
+    let mut shard_items = Vec::with_capacity(shards.len());
+    let mut config = None;
+    for (index, shard) in shards.iter().enumerate() {
+        failpoint!("snapshot::write_shard", |msg: String| SnapshotError::Io(
+            std::io::Error::other(msg)
+        ));
+        let pipeline = shard.read().expect("shard lock poisoned");
+        let summary = pipeline.summary();
+        let path = dir.join(shard_file_name(index));
+        let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        let checksum = summary.write_snapshot(&mut file)?;
+        file.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        shard_checksums.push(checksum);
+        shard_items.push(summary.total_items());
+        config.get_or_insert(*summary.config());
+    }
+    // Remove stale shard files left by an earlier, larger snapshot into
+    // the same directory — restore's census would otherwise reject the
+    // whole directory (ShardCountMismatch) even though this snapshot
+    // succeeded.
+    let mut stale = shards.len();
+    loop {
+        let path = dir.join(shard_file_name(stale));
+        if !path.exists() {
+            break;
+        }
+        std::fs::remove_file(&path)?;
+        stale += 1;
+    }
+    // LINT-ALLOW(durability-io-panic): config validation rejects zero
+    // shards, so the shard loop above ran at least once.
+    let mut config = config.expect("a service holds at least one shard");
+    // Shard summaries carry the per-summary view of the config; the
+    // manifest records the *service* shard count so restore rebuilds the
+    // same partitioning. Worker pinning is runtime placement state, not
+    // data: it is never encoded, so the returned manifest reports it
+    // cleared exactly as a re-read of the written file would.
+    config.shards = shards.len();
+    config.pin_workers = false;
+    // Likewise for the serving knobs: admission tick, submission queue
+    // depth and journal sync policy describe the front-end process, not
+    // the summary.
+    config.admission_tick = std::time::Duration::ZERO;
+    config.service_queue_depth = None;
+    config.journal_mode = JournalMode::Off;
+    let manifest = SnapshotManifest {
+        format_version: FORMAT_VERSION,
+        config,
+        shard_checksums,
+        shard_items,
+    };
+    let path = dir.join(MANIFEST_FILE);
+    let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    let checksum = manifest.write_to(&mut file)?;
+    file.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+    Ok((manifest, checksum))
+}
+
+impl ShardedHiggs {
     /// Rebuilds a warm service from a directory written by
     /// [`snapshot_to_dir`](Self::snapshot_to_dir), with one aggregation
     /// worker per shard. Writer threads restart with empty queues; the
@@ -1081,10 +1135,15 @@ impl ShardedHiggs {
     /// record (the crash hit mid-append) is tolerated as a clean end of the
     /// journal; interior corruption is a typed
     /// [`JournalError`]. The restored service is
-    /// **not** durable itself — use `new_durable` to both recover and keep
-    /// journaling.
+    /// **not** durable itself — use
+    /// [`StoreOptions::durable`](crate::StoreOptions::durable) to both
+    /// recover and keep journaling.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Store::open(StoreOptions::restore(dir))`"
+    )]
     pub fn restore_from_dir(dir: impl AsRef<Path>) -> Result<Self, SnapshotError> {
-        Self::restore_from_dir_with_workers(dir, 1)
+        crate::store::Store::open(crate::store::StoreOptions::restore(dir))
     }
 
     /// [`restore_from_dir`](Self::restore_from_dir) with `workers_per_shard`
@@ -1096,12 +1155,17 @@ impl ShardedHiggs {
     /// checksum, then journal tail replay. Nothing is spawned until every
     /// shard decoded cleanly, so a failed restore never leaks writer
     /// threads.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Store::open(StoreOptions::restore(dir).workers(n))`"
+    )]
     pub fn restore_from_dir_with_workers(
         dir: impl AsRef<Path>,
         workers_per_shard: usize,
     ) -> Result<Self, SnapshotError> {
-        let (config, pipelines) = restore_pipelines(dir.as_ref(), workers_per_shard)?;
-        Ok(Self::from_pipelines(config, pipelines)?)
+        crate::store::Store::open(
+            crate::store::StoreOptions::restore(dir).workers(workers_per_shard),
+        )
     }
 }
 
@@ -1117,6 +1181,7 @@ fn same_dir(a: &Path, b: &Path) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::{Store, StoreOptions};
     use higgs_common::{StreamEdge, TemporalGraphSummary, TimeRange};
 
     #[test]
@@ -1238,7 +1303,7 @@ mod tests {
             .journal_mode(JournalMode::SyncEveryN(8))
             .build()
             .expect("valid durable configuration");
-        let service = ShardedHiggs::new_durable(config, &dir).expect("durable service");
+        let service = Store::open(StoreOptions::durable(config, &dir)).expect("durable service");
         let handle = service.ingest_handle();
         let edges: Vec<StreamEdge> = (0..1_000u64)
             .map(|i| StreamEdge::new(i % 50, (i * 7) % 50, 1 + i % 3, i))
@@ -1281,7 +1346,7 @@ mod tests {
         ];
         let expected = service.query_batch(&expected_batch);
         drop(service);
-        let recovered = ShardedHiggs::new_durable(config, &dir).expect("recovery");
+        let recovered = Store::open(StoreOptions::durable(config, &dir)).expect("recovery");
         assert_eq!(
             recovered.query_batch(&expected_batch),
             expected,
@@ -1308,7 +1373,8 @@ mod tests {
             .journal_mode(JournalMode::Buffered)
             .build()
             .expect("valid durable configuration");
-        let mut service = ShardedHiggs::new_durable(config, &dir).expect("durable service");
+        let mut service =
+            Store::open(StoreOptions::durable(config, &dir)).expect("durable service");
         service.insert(&StreamEdge::new(1, 2, 5, 10));
         service.flush();
         let before = std::fs::metadata(dir.join(journal_file_name(0)))

@@ -1,0 +1,343 @@
+//! The unified persistence entry point: [`Store::open`] with
+//! [`StoreOptions`].
+//!
+//! Durable construction used to be spread over four constructors
+//! (`new_durable`, `new_durable_with_workers`, `restore_from_dir`,
+//! `restore_from_dir_with_workers`) whose names encoded *how* the directory
+//! was expected to look. [`Store`] replaces them with one typed options
+//! surface: say what you want ([`OpenMode`]), not which constructor matches
+//! the directory's current state. Resharding and follower construction hang
+//! off the same options type ([`Store::open_resharded`], [`Store::follow`]),
+//! so the whole persistence lifecycle — create, recover, reshard, replicate
+//! — reads from one vocabulary.
+//!
+//! ```no_run
+//! use higgs::{HiggsConfig, JournalMode, OpenMode, Store, StoreOptions};
+//!
+//! let config = HiggsConfig::builder()
+//!     .shards(2)
+//!     .journal_mode(JournalMode::Buffered)
+//!     .build()
+//!     .expect("valid");
+//! // Create-or-recover, with elastic history for later resharding.
+//! let service = Store::open(
+//!     StoreOptions::durable(config, "/var/lib/higgs").elastic(true),
+//! )
+//! .expect("open");
+//! drop(service);
+//! // Reopen strictly (fail if the directory vanished), two workers/shard.
+//! let service = Store::open(
+//!     StoreOptions::durable(config, "/var/lib/higgs")
+//!         .mode(OpenMode::OpenExisting)
+//!         .workers(2),
+//! )
+//! .expect("reopen");
+//! # drop(service);
+//! ```
+//!
+//! See the crate docs' *Elastic scaling & replication* section for the
+//! migration table from the deprecated constructors.
+
+use crate::config::{HiggsConfig, JournalMode};
+use crate::history::{self, HistoryLog};
+use crate::journal::Journal;
+use crate::parallel::ParallelHiggs;
+use crate::replica::{Follower, ReplicaError};
+use crate::reshard::ReshardError;
+use crate::shard::{DurableState, ShardedHiggs};
+use crate::snapshot::SnapshotError;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// How [`Store::open`] treats the directory's current state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpenMode {
+    /// The directory must not already be initialised: fail with
+    /// [`SnapshotError::AlreadyExists`] when it holds a snapshot manifest
+    /// instead of silently recovering state the caller did not expect.
+    CreateNew,
+    /// The directory must already exist; fail (I/O `NotFound`) instead of
+    /// creating it. With a configuration this recovers snapshot + journals;
+    /// without one the configuration is taken from the manifest.
+    OpenExisting,
+    /// Create the directory when missing, recover it when present — the
+    /// idempotent default for services that own their data directory.
+    OpenOrCreate,
+}
+
+/// Typed options for [`Store::open`]: the directory, how to treat its
+/// current state, and the runtime knobs the old constructor zoo used to
+/// encode positionally.
+#[derive(Clone, Debug)]
+pub struct StoreOptions {
+    /// The caller's configuration. `Some` makes it authoritative (the
+    /// durable open path); `None` takes the configuration from the
+    /// directory's manifest (the restore path, necessarily
+    /// [`OpenMode::OpenExisting`]).
+    config: Option<HiggsConfig>,
+    dir: PathBuf,
+    mode: OpenMode,
+    workers: usize,
+    elastic: bool,
+}
+
+impl StoreOptions {
+    /// Options for a **durable** service: `config` is authoritative, the
+    /// directory is created or recovered ([`OpenMode::OpenOrCreate`]), and
+    /// every mutation is journaled per `config`'s
+    /// [`journal_mode`](crate::HiggsConfigBuilder::journal_mode).
+    pub fn durable(config: HiggsConfig, dir: impl AsRef<Path>) -> Self {
+        StoreOptions {
+            config: Some(config),
+            dir: dir.as_ref().to_path_buf(),
+            mode: OpenMode::OpenOrCreate,
+            workers: 1,
+            elastic: false,
+        }
+    }
+
+    /// Options for restoring a **non-durable** warm copy from a snapshot
+    /// directory: the configuration comes from the manifest (journaling
+    /// off), the directory must exist ([`OpenMode::OpenExisting`]).
+    pub fn restore(dir: impl AsRef<Path>) -> Self {
+        StoreOptions {
+            config: None,
+            dir: dir.as_ref().to_path_buf(),
+            mode: OpenMode::OpenExisting,
+            workers: 1,
+            elastic: false,
+        }
+    }
+
+    /// Overrides the [`OpenMode`].
+    pub fn mode(mut self, mode: OpenMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Aggregation workers behind each shard's writer (default 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Maintain an **elastic mutation history** (see [`crate::history`]):
+    /// every acknowledged mutation is additionally appended, sequence
+    /// stamped, to per-shard history logs, enabling
+    /// [`ShardedHiggs::reshard`] and [`Store::open_resharded`] later.
+    /// Requires journaling (a [`JournalMode`] other than `Off`). Directories
+    /// that already hold history files re-enable this automatically; a
+    /// directory with existing **non-elastic** state refuses (its past
+    /// mutations were never recorded, so a later refold would drop them).
+    pub fn elastic(mut self, elastic: bool) -> Self {
+        self.elastic = elastic;
+        self
+    }
+}
+
+/// Namespace for the unified persistence API; see the [module docs](self)
+/// and [`Store::open`].
+#[derive(Debug)]
+pub struct Store;
+
+impl Store {
+    /// Opens (creates, recovers, or restores) a [`ShardedHiggs`] from
+    /// `options.dir` per the [`OpenMode`].
+    ///
+    /// * With a configuration ([`StoreOptions::durable`]): the caller's
+    ///   config is authoritative. A directory holding a snapshot and/or
+    ///   journals is recovered (journal tails replayed, a torn final record
+    ///   tolerated); a fresh directory starts empty. Journaling continues
+    ///   per the config's journal mode — `Off` gives recovery without
+    ///   durability.
+    /// * Without one ([`StoreOptions::restore`]): the manifest's stored
+    ///   config is used. Since a manifest never records a journal mode, the
+    ///   result is a warm **non-durable** copy (the `restore_from_dir`
+    ///   semantics).
+    ///
+    /// Elastic history ([`StoreOptions::elastic`]) additionally arms
+    /// per-shard history logs and resumes the global mutation sequence above
+    /// everything already recorded.
+    ///
+    /// Nothing is spawned until every file validated, so a failed open never
+    /// leaks writer threads.
+    pub fn open(options: StoreOptions) -> Result<ShardedHiggs, SnapshotError> {
+        let StoreOptions {
+            config,
+            dir,
+            mode,
+            workers,
+            elastic,
+        } = options;
+        match mode {
+            OpenMode::CreateNew => {
+                if crate::snapshot::manifest_exists(&dir) {
+                    return Err(SnapshotError::AlreadyExists { dir });
+                }
+            }
+            OpenMode::OpenExisting => {
+                if !dir.is_dir() {
+                    return Err(SnapshotError::Io(std::io::Error::new(
+                        std::io::ErrorKind::NotFound,
+                        format!("{}: no such directory (OpenExisting)", dir.display()),
+                    )));
+                }
+            }
+            OpenMode::OpenOrCreate => {}
+        }
+        match config {
+            Some(config) => open_durable(config, &dir, workers, elastic),
+            None => {
+                if elastic {
+                    return Err(SnapshotError::ElasticUnavailable {
+                        detail: "restore opens are non-durable (the manifest stores no \
+                                 journal mode), and elastic history requires the durable \
+                                 write path; pass a configuration with journaling enabled"
+                            .into(),
+                    });
+                }
+                let (stored, pipelines) = crate::snapshot::restore_pipelines(&dir, workers)?;
+                Ok(ShardedHiggs::from_pipelines(stored, pipelines)?)
+            }
+        }
+    }
+
+    /// Opens `options.dir` **resharded** to `new_shards`: the directory's
+    /// elastic history is refolded through `shard_of` at the new width, the
+    /// refolded snapshot committed back, and the service opened durable at
+    /// the new count (journaling per the options config's journal mode,
+    /// [`JournalMode::Buffered`] when the options carry no config).
+    ///
+    /// Queries on the result are bit-identical to a service built fresh at
+    /// `new_shards` from the same single-producer workload. Failures are
+    /// typed [`ReshardError`]s and spawn nothing.
+    pub fn open_resharded(
+        options: StoreOptions,
+        new_shards: usize,
+    ) -> Result<ShardedHiggs, ReshardError> {
+        let mode = options
+            .config
+            .map_or(JournalMode::Buffered, |c| c.journal_mode);
+        crate::reshard::open_resharded(&options.dir, new_shards, options.workers, mode)
+    }
+
+    /// Bootstraps a warm **read-only follower** from `options.dir` (a
+    /// leader's live durable directory, or a shipped copy of it): pipelines
+    /// restore from the snapshot, and [`Follower::sync`] then replays
+    /// journal segments as the leader appends them. See [`crate::replica`].
+    pub fn follow(options: StoreOptions) -> Result<Follower, ReplicaError> {
+        Follower::bootstrap(&options.dir, options.workers)
+    }
+}
+
+/// The durable open path: caller config authoritative, directory created
+/// per mode, snapshot + journal recovery, optional elastic history.
+fn open_durable(
+    config: HiggsConfig,
+    dir: &Path,
+    workers_per_shard: usize,
+    elastic_requested: bool,
+) -> Result<ShardedHiggs, SnapshotError> {
+    config.validate().map_err(SnapshotError::Config)?;
+    std::fs::create_dir_all(dir)?;
+    let history_gen = history::max_history_gen(dir).map_err(SnapshotError::Journal)?;
+    let elastic = elastic_requested || history_gen.is_some();
+    if elastic && config.journal_mode == JournalMode::Off {
+        return Err(SnapshotError::ElasticUnavailable {
+            detail: "elastic history rides the durable write path; configure a \
+                     JournalMode other than Off"
+                .into(),
+        });
+    }
+    let has_snapshot = crate::snapshot::manifest_exists(dir);
+    if elastic_requested && history_gen.is_none() && has_snapshot {
+        return Err(SnapshotError::ElasticUnavailable {
+            detail: format!(
+                "{} already holds non-elastic state: its past mutations were never \
+                 recorded in a history log, so a later refold would silently drop \
+                 them; elastic can only be enabled on a directory that was elastic \
+                 from the start",
+                dir.display()
+            ),
+        });
+    }
+    let pipelines = if has_snapshot {
+        let (stored, pipelines) = crate::snapshot::restore_pipelines(dir, workers_per_shard)?;
+        if stored.shards != config.shards {
+            return Err(SnapshotError::Corrupt(format!(
+                "shard count mismatch: directory holds {} shards, config asks for {}",
+                stored.shards, config.shards
+            )));
+        }
+        pipelines
+    } else {
+        // No snapshot yet (fresh directory, or a crash before the first
+        // snapshot): fresh pipelines, then journal tails on top.
+        let mut pipelines: Vec<ParallelHiggs> = (0..config.shards)
+            .map(|s| {
+                ParallelHiggs::new_on_core(
+                    config,
+                    workers_per_shard,
+                    ParallelHiggs::pin_core_for(&config, s),
+                )
+            })
+            .collect();
+        // No manifest, so journals (if any) must carry the zero stamp.
+        for (s, pipeline) in pipelines.iter_mut().enumerate() {
+            let records = crate::journal::replay(dir, s, 0).map_err(SnapshotError::Journal)?;
+            if !records.is_empty() {
+                crate::journal::apply_records(pipeline, records);
+                pipeline.flush();
+            }
+        }
+        pipelines
+    };
+    let durable = (config.journal_mode != JournalMode::Off).then(|| {
+        Arc::new(DurableState {
+            dir: dir.to_path_buf(),
+            mode: config.journal_mode,
+            workers_per_shard,
+            // Reopening appends to the current generation (its torn tail,
+            // if any, is trimmed on open); only a reshard advances it.
+            history_gen: elastic.then(|| history_gen.unwrap_or(0)),
+        })
+    });
+    let journals = match &durable {
+        Some(state) => {
+            // Stamp (or validate) each journal against the manifest
+            // currently in the directory; a journal left stale by an
+            // interrupted rotation is reset here, right after the replay
+            // above discarded its records.
+            let covering = crate::snapshot::manifest_tail_checksum(dir)?;
+            (0..config.shards)
+                .map(|s| Journal::open(dir, s, state.mode, covering).map(Some))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(SnapshotError::Journal)?
+        }
+        None => (0..config.shards).map(|_| None).collect(),
+    };
+    let histories = match durable.as_ref().and_then(|d| d.history_gen) {
+        Some(gen) => (0..config.shards)
+            .map(|s| {
+                HistoryLog::open(dir, gen, s, config.journal_mode)
+                    .map(Some)
+                    .map_err(SnapshotError::Journal)
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        None => (0..config.shards).map(|_| None).collect(),
+    };
+    // New mutations must stamp above everything already on disk, so the
+    // reconstructed global order stays a total order across restarts.
+    let next_seq = if elastic {
+        history::max_history_seq(dir)
+            .map_err(SnapshotError::Journal)?
+            .map_or(0, |s| s + 1)
+    } else {
+        0
+    };
+    let service =
+        ShardedHiggs::from_pipelines_with(config, pipelines, durable, journals, histories)
+            .map_err(SnapshotError::Config)?;
+    service.resume_seq(next_seq);
+    Ok(service)
+}

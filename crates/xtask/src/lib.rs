@@ -155,10 +155,15 @@ impl LintConfig {
                 ("crates/higgs/src/shard.rs".into(), "IngestError".into()),
                 ("crates/higgs/src/serving.rs".into(), "ServiceError".into()),
                 ("crates/higgs/src/journal.rs".into(), "JournalError".into()),
+                ("crates/higgs/src/reshard.rs".into(), "ReshardError".into()),
+                ("crates/higgs/src/replica.rs".into(), "ReplicaError".into()),
             ],
             durability_paths: vec![
                 "crates/higgs/src/journal.rs".into(),
                 "crates/higgs/src/snapshot.rs".into(),
+                "crates/higgs/src/history.rs".into(),
+                "crates/higgs/src/reshard.rs".into(),
+                "crates/higgs/src/replica.rs".into(),
             ],
             ci_file: Some(".github/workflows/ci.yml".into()),
             bench_dir: "crates/bench/benches".into(),

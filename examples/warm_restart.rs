@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run -p higgs-examples --release --example warm_restart`
 
-use higgs::{HiggsConfig, ShardedHiggs};
+use higgs::{HiggsConfig, ShardedHiggs, Store, StoreOptions};
 use higgs_common::generator::{DatasetPreset, ExperimentScale};
 use higgs_common::{Query, StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection};
 
@@ -89,7 +89,7 @@ fn main() {
     // Simulate the restart: tear the service down completely (writers join),
     // then rebuild it warm from the directory.
     drop(service);
-    let mut restored = ShardedHiggs::restore_from_dir(&dir).expect("restore must succeed");
+    let mut restored = Store::open(StoreOptions::restore(&dir)).expect("restore must succeed");
     let after = restored.query_batch(&batch);
 
     // The CI gate: a restored service must answer bit-identically.

@@ -20,7 +20,8 @@
 
 use higgs::shard::{live_writer_threads, MAX_WRITER_RESPAWNS};
 use higgs::{
-    HiggsConfig, HiggsService, JournalMode, ServiceError, ShardHealth, ShardedHiggs, SnapshotError,
+    HiggsConfig, HiggsService, JournalMode, ReshardError, ServiceError, ShardHealth, ShardedHiggs,
+    SnapshotError, Store, StoreOptions,
 };
 use higgs_common::{Query, QueryOptions, RetryPolicy, StreamEdge, TemporalGraphSummary, TimeRange};
 use std::path::PathBuf;
@@ -128,8 +129,8 @@ fn apply_panic_recovers_bit_identical_to_control() {
         let expected = control_answers(shards, &edges);
         let dir = temp_dir(&format!("apply-panic-{shards}"));
 
-        let service =
-            ShardedHiggs::new_durable(durable_config(shards), &dir).expect("durable service");
+        let service = Store::open(StoreOptions::durable(durable_config(shards), &dir))
+            .expect("durable service");
         let handle = service.ingest_handle();
         fail::configure("shard::apply", 3, fail::Action::Panic);
         for e in &edges {
@@ -152,7 +153,8 @@ fn apply_panic_recovers_bit_identical_to_control() {
         // snapshot was ever taken) rebuilds the identical state.
         drop(service);
         assert_eq!(live_writer_threads(), 0, "drop joins respawned writers");
-        let reborn = ShardedHiggs::new_durable(durable_config(shards), &dir).expect("cold restart");
+        let reborn =
+            Store::open(StoreOptions::durable(durable_config(shards), &dir)).expect("cold restart");
         assert_eq!(
             reborn.query_batch(&probes()),
             expected,
@@ -175,8 +177,8 @@ fn journal_append_failure_loses_no_acknowledged_mutation() {
         let expected = control_answers(shards, &edges);
         let dir = temp_dir(&format!("append-fail-{shards}"));
 
-        let service =
-            ShardedHiggs::new_durable(durable_config(shards), &dir).expect("durable service");
+        let service = Store::open(StoreOptions::durable(durable_config(shards), &dir))
+            .expect("durable service");
         let handle = service.ingest_handle();
         fail::configure(
             "journal::append",
@@ -199,7 +201,8 @@ fn journal_append_failure_loses_no_acknowledged_mutation() {
         );
 
         drop(service);
-        let reborn = ShardedHiggs::new_durable(durable_config(shards), &dir).expect("cold restart");
+        let reborn =
+            Store::open(StoreOptions::durable(durable_config(shards), &dir)).expect("cold restart");
         assert_eq!(
             reborn.query_batch(&probes()),
             expected,
@@ -222,8 +225,8 @@ fn failed_snapshot_keeps_journals_and_state() {
         let expected = control_answers(shards, &edges);
         let dir = temp_dir(&format!("snap-fail-{shards}"));
 
-        let service =
-            ShardedHiggs::new_durable(durable_config(shards), &dir).expect("durable service");
+        let service = Store::open(StoreOptions::durable(durable_config(shards), &dir))
+            .expect("durable service");
         let handle = service.ingest_handle();
         for e in &edges {
             handle.insert(e).expect("live ingest");
@@ -268,7 +271,8 @@ fn failed_snapshot_keeps_journals_and_state() {
         );
 
         drop(service);
-        let reborn = ShardedHiggs::new_durable(durable_config(shards), &dir).expect("cold restart");
+        let reborn =
+            Store::open(StoreOptions::durable(durable_config(shards), &dir)).expect("cold restart");
         assert_eq!(
             reborn.query_batch(&probes()),
             expected,
@@ -294,8 +298,8 @@ fn fence_flush_panic_aborts_snapshot_then_recovers() {
         let expected = control_answers(shards, &edges);
         let dir = temp_dir(&format!("fence-panic-{shards}"));
 
-        let service =
-            ShardedHiggs::new_durable(durable_config(shards), &dir).expect("durable service");
+        let service = Store::open(StoreOptions::durable(durable_config(shards), &dir))
+            .expect("durable service");
         let handle = service.ingest_handle();
         for e in &edges {
             handle.insert(e).expect("live ingest");
@@ -329,7 +333,8 @@ fn fence_flush_panic_aborts_snapshot_then_recovers() {
         assert_eq!(service.query_batch(&probes()), expected);
 
         drop(service);
-        let reborn = ShardedHiggs::new_durable(durable_config(shards), &dir).expect("cold restart");
+        let reborn =
+            Store::open(StoreOptions::durable(durable_config(shards), &dir)).expect("cold restart");
         assert_eq!(
             reborn.query_batch(&probes()),
             expected,
@@ -349,7 +354,8 @@ fn fence_flush_panic_aborts_snapshot_then_recovers() {
 fn persistent_fault_exhausts_the_respawn_budget_and_parks_the_shard() {
     let _guard = chaos_guard();
     let dir = temp_dir("respawn-budget");
-    let service = ShardedHiggs::new_durable(durable_config(1), &dir).expect("durable service");
+    let service =
+        Store::open(StoreOptions::durable(durable_config(1), &dir)).expect("durable service");
     let handle = service.ingest_handle();
     handle.insert(&StreamEdge::new(1, 2, 5, 1)).expect("live");
     service.flush();
@@ -454,5 +460,152 @@ fn degraded_shard_without_recovery_fails_queries_fast() {
         .insert(&StreamEdge::new(5, 6, 1, 12))
         .expect("queued");
     client.flush();
+    fail::reset();
+}
+
+/// A fault in the reshard's snapshot commit is **pre-commit**: the fence
+/// releases, the service keeps its old width, ingest handles keep working,
+/// and a disarmed retry completes the swap — after which a cold restart
+/// recovers at the new width.
+#[test]
+fn reshard_commit_fault_aborts_pre_commit_and_retries_cleanly() {
+    let _guard = chaos_guard();
+    let edges = workload(500);
+    let extra = StreamEdge::new(7, 8, 2, 9_000);
+    let expected_old = control_answers(2, &edges);
+    let expected_new = {
+        let mut all = edges.clone();
+        all.push(extra);
+        control_answers(4, &all)
+    };
+    let dir = temp_dir("reshard-fault");
+
+    let mut service = Store::open(StoreOptions::durable(durable_config(2), &dir).elastic(true))
+        .expect("elastic durable service");
+    let handle = service.ingest_handle();
+    for e in &edges {
+        handle.insert(e).expect("live ingest");
+    }
+    service.flush();
+
+    fail::configure(
+        "snapshot::write_shard",
+        1,
+        fail::Action::Error("injected reshard commit fault".into()),
+    );
+    let err = service
+        .reshard(4)
+        .expect_err("armed reshard commit must fail");
+    assert!(
+        matches!(err, ReshardError::Snapshot(_)),
+        "expected Snapshot, got: {err}"
+    );
+    assert!(
+        fail::hits("snapshot::write_shard") >= 1,
+        "the instrumented snapshot commit was never reached"
+    );
+    // Pre-commit abort: old width, old answers, live handles.
+    assert_eq!(service.num_shards(), 2);
+    assert_eq!(live_writer_threads(), 2, "the old fleet must survive");
+    assert_eq!(
+        service.query_batch(&probes()),
+        expected_old,
+        "an aborted reshard must keep serving the old layout bit-identically"
+    );
+    handle.insert(&extra).expect("post-abort ingest");
+    service.flush();
+
+    // The failpoint is single-shot and spent: the retry swaps the fleet.
+    service.reshard(4).expect("retried reshard");
+    assert_eq!(service.num_shards(), 4);
+    assert_eq!(live_writer_threads(), 4, "the swap joins the old fleet");
+    assert_eq!(
+        service.query_batch(&probes()),
+        expected_new,
+        "the retried reshard must fold the full history, post-abort ingest included"
+    );
+
+    drop(service);
+    let reborn = Store::open(StoreOptions::durable(durable_config(4), &dir)).expect("cold restart");
+    assert_eq!(
+        reborn.query_batch(&probes()),
+        expected_new,
+        "restart at the new width after an aborted-then-retried reshard"
+    );
+    drop(reborn);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+    fail::reset();
+}
+
+/// Kill the leader's writer mid-ingest while a follower is shipping its
+/// journals: every record is journaled **before** it is applied, so the
+/// journal stays the complete acknowledged stream across the crash and the
+/// recovery — the follower syncs to bit-identical state and a promotion
+/// after the leader dies loses nothing.
+#[test]
+fn follower_ships_across_a_leader_writer_crash_and_promotes_complete() {
+    let _guard = chaos_guard();
+    let edges = workload(600);
+    let expected = control_answers(2, &edges);
+    let dir = temp_dir("ship-crash");
+
+    let leader =
+        Store::open(StoreOptions::durable(durable_config(2), &dir)).expect("durable leader");
+    // Stamp the bootstrap snapshot (empty state) before any ingest.
+    leader.snapshot_to_dir(&dir).expect("bootstrap snapshot");
+    let mut follower = Store::follow(StoreOptions::restore(&dir)).expect("bootstrap");
+
+    let handle = leader.ingest_handle();
+    let (first, second) = edges.split_at(300);
+    for e in first {
+        handle.insert(e).expect("live ingest");
+    }
+    leader.flush();
+    follower.sync().expect("mid-ingest ship");
+
+    // The writer dies mid-stream; supervision replays the journal, whose
+    // acknowledged prefix the follower keeps shipping from unchanged (a
+    // recovery trims only torn, never-acknowledged tail bytes).
+    fail::configure("shard::apply", 3, fail::Action::Panic);
+    for e in second {
+        handle.insert(e).expect("ingest across the crash");
+    }
+    leader.flush();
+    assert!(
+        fail::hits("shard::apply") >= 3,
+        "the instrumented apply path was never reached"
+    );
+    await_all_healthy(&leader);
+    assert_eq!(
+        leader.query_batch(&probes()),
+        expected,
+        "the leader itself must recover bit-identically"
+    );
+
+    // The leader process dies after acknowledging everything.
+    drop(leader);
+    assert_eq!(live_writer_threads(), 0, "drop joins the recovered fleet");
+
+    let progress = follower.sync().expect("final ship");
+    assert!(
+        progress.records_applied > 0,
+        "the post-crash tail must ship records"
+    );
+    assert_eq!(
+        follower.query_batch(&probes()),
+        expected,
+        "a follower shipping across the crash must reach the acked state"
+    );
+    let mut promoted = follower.promote().expect("promote");
+    assert_eq!(
+        promoted.query_batch(&probes()),
+        expected,
+        "the promoted follower must serve the complete acknowledged history"
+    );
+    // The promoted service is a live leader again.
+    promoted.insert(&StreamEdge::new(1, 2, 3, 50_000));
+    promoted.flush();
+    drop(promoted);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
     fail::reset();
 }

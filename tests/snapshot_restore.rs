@@ -7,7 +7,9 @@
 //! answer), and a restored-service liveness check.
 
 use higgs::snapshot::{shard_file_name, MANIFEST_FILE};
-use higgs::{HiggsConfig, HiggsSummary, ShardedHiggs, SnapshotError, SnapshotManifest};
+use higgs::{
+    HiggsConfig, HiggsSummary, ShardedHiggs, SnapshotError, SnapshotManifest, Store, StoreOptions,
+};
 use higgs_common::codec::CodecError;
 use higgs_common::{Query, StreamEdge, TemporalGraphSummary, TimeRange, VertexDirection};
 use proptest::prelude::*;
@@ -170,7 +172,7 @@ proptest! {
             prop_assert_eq!(manifest.total_items(), live.total_items());
             drop(live);
 
-            let restored = ShardedHiggs::restore_from_dir(dir.path()).expect("restore");
+            let restored = Store::open(StoreOptions::restore(dir.path())).expect("restore");
             prop_assert_eq!(restored.num_shards(), shards);
             prop_assert_eq!(restored.query_batch(&queries), expected.clone());
 
@@ -222,7 +224,7 @@ fn truncated_shard_file_is_a_typed_error() {
     let bytes = std::fs::read(&shard0).expect("read shard file");
     std::fs::write(&shard0, &bytes[..bytes.len() / 2]).expect("truncate shard file");
 
-    match ShardedHiggs::restore_from_dir(dir.path()) {
+    match Store::open(StoreOptions::restore(dir.path())) {
         Err(SnapshotError::Codec(CodecError::UnexpectedEof)) => {}
         other => panic!("truncated shard must fail with UnexpectedEof, got {other:?}"),
     }
@@ -241,7 +243,7 @@ fn corrupted_shard_byte_fails_the_checksum() {
     bytes[mid] ^= 0x10;
     std::fs::write(&shard1, &bytes).expect("write corrupted shard");
 
-    match ShardedHiggs::restore_from_dir(dir.path()) {
+    match Store::open(StoreOptions::restore(dir.path())) {
         // A flipped byte is caught by the file's own checksum (or, if it
         // lands in a length or structural field, by an earlier structural
         // check) — either way a typed error, never a panic.
@@ -274,7 +276,7 @@ fn wrong_manifest_shard_count_is_rejected() {
     )
     .expect("swap manifests");
 
-    match ShardedHiggs::restore_from_dir(dir4.path()) {
+    match Store::open(StoreOptions::restore(dir4.path())) {
         Err(SnapshotError::ShardCountMismatch {
             manifest: 2,
             found: 4,
@@ -291,7 +293,7 @@ fn missing_shard_file_is_rejected() {
     drop(service);
     std::fs::remove_file(dir.path().join(shard_file_name(2))).expect("remove shard 2");
 
-    match ShardedHiggs::restore_from_dir(dir.path()) {
+    match Store::open(StoreOptions::restore(dir.path())) {
         Err(SnapshotError::ShardCountMismatch { manifest: 4, found }) => {
             assert!(found < 4, "census must see fewer shard files");
         }
@@ -322,7 +324,7 @@ fn resnapshotting_a_smaller_service_into_the_same_dir_stays_restorable() {
             && !dir.path().join(shard_file_name(3)).exists(),
         "stale shard files must be removed"
     );
-    let restored = ShardedHiggs::restore_from_dir(dir.path())
+    let restored = Store::open(StoreOptions::restore(dir.path()))
         .expect("shrunken snapshot directory must restore");
     assert_eq!(restored.num_shards(), 2);
     assert_eq!(
@@ -337,7 +339,7 @@ fn non_snapshot_files_report_bad_magic() {
     std::fs::create_dir_all(dir.path()).expect("create dir");
     std::fs::write(dir.path().join(MANIFEST_FILE), b"definitely not a manifest")
         .expect("write junk manifest");
-    match ShardedHiggs::restore_from_dir(dir.path()) {
+    match Store::open(StoreOptions::restore(dir.path())) {
         Err(SnapshotError::BadMagic { .. }) => {}
         other => panic!("junk manifest must fail with BadMagic, got {other:?}"),
     }
@@ -409,7 +411,7 @@ fn pin_workers_is_runtime_state_and_not_persisted() {
     );
     drop(service);
 
-    let restored = ShardedHiggs::restore_from_dir(dir.path()).expect("restore");
+    let restored = Store::open(StoreOptions::restore(dir.path())).expect("restore");
     let restored_manifest = SnapshotManifest::read_from_dir(dir.path()).expect("manifest");
     assert!(!restored_manifest.config.pin_workers);
     assert_eq!(restored.query_batch(&queries), expected);

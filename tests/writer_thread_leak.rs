@@ -9,7 +9,7 @@
 //! here.
 
 use higgs::shard::live_writer_threads;
-use higgs::{HiggsConfig, ShardedHiggs, SnapshotError};
+use higgs::{HiggsConfig, ShardedHiggs, SnapshotError, Store, StoreOptions};
 use higgs_common::{Query, StreamEdge, TemporalGraphSummary, TimeRange};
 use std::path::PathBuf;
 
@@ -49,7 +49,7 @@ fn restore_cycles_never_leak_writer_threads() {
     // writers and joins exactly SHARDS writers — no drift in either
     // direction, and the restored state keeps answering identically.
     for cycle in 0..5 {
-        let restored = ShardedHiggs::restore_from_dir(&dir).expect("restore");
+        let restored = Store::open(StoreOptions::restore(&dir)).expect("restore");
         assert_eq!(
             live_writer_threads(),
             SHARDS,
@@ -75,7 +75,8 @@ fn restore_cycles_never_leak_writer_threads() {
         .journal_mode(higgs::JournalMode::Buffered)
         .build()
         .expect("valid durable configuration");
-    let durable = ShardedHiggs::new_durable(durable_config, &durable_dir).expect("durable service");
+    let durable =
+        Store::open(StoreOptions::durable(durable_config, &durable_dir)).expect("durable service");
     assert_eq!(
         live_writer_threads(),
         SHARDS,
@@ -94,7 +95,7 @@ fn restore_cycles_never_leak_writer_threads() {
         "durable drop must join all journaled writers"
     );
     let recovered =
-        ShardedHiggs::new_durable(durable_config, &durable_dir).expect("journal recovery");
+        Store::open(StoreOptions::durable(durable_config, &durable_dir)).expect("journal recovery");
     assert_eq!(
         live_writer_threads(),
         SHARDS,
@@ -116,7 +117,7 @@ fn restore_cycles_never_leak_writer_threads() {
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x04;
     std::fs::write(&shard0, &bytes).expect("corrupt shard file");
-    match ShardedHiggs::restore_from_dir(&dir) {
+    match Store::open(StoreOptions::restore(&dir)) {
         Err(SnapshotError::Codec(_) | SnapshotError::Corrupt(_)) => {}
         other => panic!("corrupted restore must fail, got {other:?}"),
     }
